@@ -1,0 +1,71 @@
+// Ablation (Section 8.1.2 remark): at phi_V = 0 the value clustering
+// finds exactly the perfectly co-occurring value groups, aligning it with
+// frequent-itemset counting [2]. This driver verifies the alignment on
+// the DB2 sample and compares the work done by the two approaches.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/value_clustering.h"
+#include "datagen/db2_sample.h"
+#include "mining/apriori.h"
+
+namespace {
+
+using namespace limbo;  // NOLINT
+
+double Ms(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Ablation — phi_V = 0 value clustering vs Apriori",
+                "Perfect co-occurrence groups == frequent itemsets with "
+                "support equal to their members'.");
+
+  auto rel = datagen::Db2Sample::JoinedRelation();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto clusters = core::ClusterValues(*rel, {});
+  const auto t1 = std::chrono::steady_clock::now();
+  mining::AprioriOptions options;
+  options.min_support = 2;
+  options.max_size = 4;
+  auto itemsets = mining::MineFrequentItemsets(*rel, options);
+  const auto t2 = std::chrono::steady_clock::now();
+  if (!clusters.ok() || !itemsets.ok()) return 1;
+
+  size_t matched = 0;
+  size_t checked = 0;
+  for (size_t gi : clusters->duplicate_groups) {
+    std::vector<relation::ValueId> items = clusters->groups[gi].values;
+    if (items.size() > 4) continue;  // beyond the Apriori size cap
+    std::sort(items.begin(), items.end());
+    ++checked;
+    for (const auto& s : *itemsets) {
+      if (s.items == items &&
+          s.support == rel->dictionary().Support(items[0])) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  std::printf(
+      "\nCV_D groups (<= 4 values): %zu; matching frequent itemsets with "
+      "equal support: %zu\n",
+      checked, matched);
+  std::printf("Value clustering produced %zu groups in %.2f ms\n",
+              clusters->groups.size(), Ms(t0, t1));
+  std::printf("Apriori produced %zu itemsets in %.2f ms\n", itemsets->size(),
+              Ms(t1, t2));
+  std::printf(
+      "\nShape check: every small CV_D group is a frequent itemset of the "
+      "same support, while clustering summarizes the co-occurrence "
+      "structure with far fewer artifacts than the full itemset lattice.\n");
+  return matched == checked ? 0 : 1;
+}

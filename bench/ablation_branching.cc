@@ -1,0 +1,88 @@
+// Ablation (Section 8 "Parameters"): the paper reports that the DCF-tree
+// branching factor B "does not significantly affect the quality of the
+// clustering" and fixes B = 4 for insertion-time reasons (smaller B =
+// taller tree = costlier inserts). This driver sweeps B on planted-
+// cluster data and reports clustering accuracy and Phase-1 effort.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/limbo.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace limbo;  // NOLINT
+
+std::vector<core::Dcf> PlantedObjects(size_t n, size_t groups,
+                                      uint64_t seed) {
+  util::Random rng(seed);
+  std::vector<core::Dcf> objects;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t base = static_cast<uint32_t>(i % groups) * 50;
+    std::vector<uint32_t> support;
+    for (uint32_t slot = 0; slot < 6; ++slot) {
+      support.push_back(base + slot * 6 +
+                        static_cast<uint32_t>(rng.Uniform(4)));
+    }
+    core::Dcf d;
+    d.p = 1.0 / static_cast<double>(n);
+    d.cond = core::SparseDistribution::UniformOver(support);
+    objects.push_back(std::move(d));
+  }
+  return objects;
+}
+
+/// Fraction of object pairs from the same planted group that share a
+/// cluster label (pairwise recall).
+double PairwiseRecall(const std::vector<uint32_t>& labels, size_t groups) {
+  size_t same = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    for (size_t j = i + 1; j < labels.size(); ++j) {
+      if (i % groups != j % groups) continue;
+      ++total;
+      if (labels[i] == labels[j]) ++same;
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(same) / total;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Ablation — DCF-tree branching factor B",
+                "The paper fixes B = 4, reporting that B barely affects "
+                "quality; smaller B costs more per insert.");
+
+  const size_t kN = 8000;
+  const size_t kGroups = 6;
+  const auto objects = PlantedObjects(kN, kGroups, 77);
+
+  std::printf("\n%-5s %-9s %-10s %-12s %-12s\n", "B", "leaves", "height",
+              "recall", "phase1 ms");
+  for (int branching : {2, 4, 8, 16, 32}) {
+    core::LimboOptions options;
+    options.phi = 0.5;
+    options.branching = branching;
+    options.k = kGroups;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = core::RunLimbo(objects, options);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-5d %-9zu %-10zu %-12.3f %-12.2f\n", branching,
+                result->leaves.size(), result->tree_stats.height,
+                PairwiseRecall(result->assignments, kGroups),
+                std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::printf(
+      "\nShape check: recall stays (near-)constant across B — the paper's "
+      "claim — while the tree height shrinks and the insertion cost "
+      "varies with B.\n");
+  return 0;
+}

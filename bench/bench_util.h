@@ -1,0 +1,77 @@
+#ifndef LIMBO_BENCH_BENCH_UTIL_H_
+#define LIMBO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/info.h"
+#include "core/limbo.h"
+#include "core/tuple_clustering.h"
+#include "datagen/error_inject.h"
+#include "relation/relation.h"
+
+namespace limbo::bench {
+
+/// Prints a reproduction-driver banner.
+inline void Banner(const char* experiment, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", experiment, description);
+  std::printf("==============================================================\n");
+}
+
+/// Prints one "paper vs measured" row.
+inline void PaperVsMeasured(const std::string& label, double paper,
+                            double measured) {
+  std::printf("  %-44s paper=%-8.3f measured=%-8.3f\n", label.c_str(), paper,
+              measured);
+}
+
+/// How many injected dirty tuples ended up grouped with their source.
+inline size_t CountRecoveredTuples(
+    const core::DuplicateTupleReport& report,
+    const std::vector<datagen::DirtyRecord>& records) {
+  size_t found = 0;
+  for (const auto& record : records) {
+    for (const auto& group : report.groups) {
+      bool has_dirty = false;
+      bool has_source = false;
+      for (relation::TupleId t : group.tuples) {
+        has_dirty |= (t == record.dirty_id);
+        has_source |= (t == record.source_id);
+      }
+      if (has_dirty && has_source) {
+        ++found;
+        break;
+      }
+    }
+  }
+  return found;
+}
+
+/// Tuple-cluster labels from a Phase-1 + Phase-3 run at the given φ_T
+/// (used as the Double Clustering input of Section 6.2).
+inline std::vector<uint32_t> TupleClusterLabels(const relation::Relation& rel,
+                                                double phi_t,
+                                                size_t* num_clusters) {
+  const std::vector<core::Dcf> objects = core::BuildTupleObjects(rel);
+  core::WeightedRows rows;
+  for (const core::Dcf& o : objects) {
+    rows.weights.push_back(o.p);
+    rows.rows.push_back(o.cond);
+  }
+  const double info = core::MutualInformation(rows);
+  core::LimboOptions options;
+  options.phi = phi_t;
+  const double threshold =
+      phi_t * info / static_cast<double>(objects.size());
+  const std::vector<core::Dcf> leaves =
+      core::LimboPhase1(objects, options, threshold);
+  auto labels = core::LimboPhase3(objects, leaves);
+  *num_clusters = leaves.size();
+  return std::move(labels).value();
+}
+
+}  // namespace limbo::bench
+
+#endif  // LIMBO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,93 @@
+#include "dblp_clusters.h"
+
+#include "bench_util.h"
+#include "core/horizontal_partition.h"
+#include "core/value_clustering.h"
+#include "datagen/dblp.h"
+#include "fd/min_cover.h"
+#include "fd/tane.h"
+#include "relation/ops.h"
+#include "util/logging.h"
+
+namespace limbo::bench {
+
+DblpClusters MakeDblpClusters(size_t target_tuples) {
+  datagen::DblpOptions gen;
+  gen.target_tuples = target_tuples;
+  const relation::Relation full = datagen::GenerateDblp(gen);
+  auto projected = relation::ProjectNames(
+      full, {"Author", "Pages", "BookTitle", "Year", "Volume", "Journal",
+             "Number"});
+  LIMBO_CHECK(projected.ok());
+
+  core::HorizontalPartitionOptions options;
+  options.phi = 0.5;
+  options.k = 2;
+  auto partition = core::HorizontallyPartition(*projected, options);
+  LIMBO_CHECK(partition.ok());
+
+  const auto journal_attr = projected->schema().Find("Journal").value();
+  const auto school_attr = full.schema().Find("School").value();
+
+  // The journal cluster is the one whose Journal column is mostly
+  // non-NULL.
+  std::vector<size_t> journal_non_null(2, 0);
+  for (relation::TupleId t = 0; t < projected->NumTuples(); ++t) {
+    if (!projected->TextAt(t, journal_attr).empty()) {
+      ++journal_non_null[partition->assignments[t]];
+    }
+  }
+  const uint32_t journal_label = journal_non_null[1] > journal_non_null[0];
+
+  std::vector<relation::TupleId> conference_ids;
+  std::vector<relation::TupleId> journal_ids;
+  std::vector<relation::TupleId> misc_ids;
+  for (relation::TupleId t = 0; t < projected->NumTuples(); ++t) {
+    if (!full.TextAt(t, school_attr).empty()) {
+      misc_ids.push_back(t);
+    } else if (partition->assignments[t] == journal_label) {
+      journal_ids.push_back(t);
+    } else {
+      conference_ids.push_back(t);
+    }
+  }
+  DblpClusters out{relation::SelectRows(*projected, conference_ids),
+                   relation::SelectRows(*projected, journal_ids),
+                   relation::SelectRows(*projected, misc_ids)};
+  return out;
+}
+
+util::Result<ClusterAnalysis> AnalyzeCluster(const relation::Relation& rel,
+                                             double phi_t, double phi_v,
+                                             double psi) {
+  ClusterAnalysis analysis;
+
+  // FDs: TANE with min LHS 1 (constant columns yield [B]→A like the
+  // paper's FDEP run) and the minimum cover.
+  fd::TaneOptions tane_options;
+  tane_options.min_lhs = 1;
+  LIMBO_ASSIGN_OR_RETURN(auto fds, fd::Tane::Mine(rel, tane_options));
+  analysis.num_fds = fds.size();
+  const auto cover = fd::MinimumCover(fds, /*merge_same_lhs=*/false);
+  analysis.cover_size = cover.size();
+
+  // Double clustering + attribute grouping.
+  size_t num_clusters = 0;
+  const std::vector<uint32_t> labels =
+      TupleClusterLabels(rel, phi_t, &num_clusters);
+  core::ValueClusteringOptions value_options;
+  value_options.phi_v = phi_v;
+  value_options.tuple_labels = &labels;
+  value_options.num_tuple_clusters = num_clusters;
+  LIMBO_ASSIGN_OR_RETURN(auto values, core::ClusterValues(rel, value_options));
+  LIMBO_ASSIGN_OR_RETURN(analysis.grouping,
+                         core::GroupAttributes(rel, values));
+
+  core::FdRankOptions rank_options;
+  rank_options.psi = psi;
+  LIMBO_ASSIGN_OR_RETURN(analysis.ranked,
+                         core::RankFds(cover, analysis.grouping, rank_options));
+  return analysis;
+}
+
+}  // namespace limbo::bench

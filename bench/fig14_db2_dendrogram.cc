@@ -1,0 +1,102 @@
+// Reproduces Figure 14: the attribute-cluster dendrogram of the DB2
+// sample relation, built from the duplicate value groups at phi_V = 0 /
+// phi_A = 0, plus the stability observation for phi_V in {0.1, 0.2}.
+//
+// Expected shape (paper): attributes of the three source tables
+// (EMPLOYEE, DEPARTMENT, PROJECT) group together; pairs such as
+// (EmpNo, PhoneNo), (ProjNo, ProjName) and (DeptNo, MgrNo) merge at low
+// information loss; the merge order is stable as phi_V grows.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/attribute_grouping.h"
+#include "core/dendrogram.h"
+#include "core/value_clustering.h"
+#include "datagen/db2_sample.h"
+
+namespace {
+
+using namespace limbo;  // NOLINT
+
+/// The merge at which two named attributes first co-reside.
+double FirstCoResidenceLoss(const relation::Relation& rel,
+                            const core::AttributeGroupingResult& grouping,
+                            const char* a, const char* b) {
+  const auto ia = rel.schema().Find(a);
+  const auto ib = rel.schema().Find(b);
+  if (!ia.ok() || !ib.ok()) return -1.0;
+  const auto want =
+      fd::AttributeSet::Single(*ia).Union(fd::AttributeSet::Single(*ib));
+  for (const core::Merge& m : grouping.aib.merges()) {
+    if (want.IsSubsetOf(grouping.cluster_members[m.merged])) {
+      return m.delta_i;
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 14 — DB2 sample attribute dendrogram",
+                "Attribute grouping over CV_D (phi_V = 0, phi_A = 0).");
+
+  auto rel = datagen::Db2Sample::JoinedRelation();
+  auto values = core::ClusterValues(*rel, {});
+  auto grouping = core::GroupAttributes(*rel, *values);
+  if (!grouping.ok()) {
+    std::fprintf(stderr, "%s\n", grouping.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> leaf_labels;
+  for (relation::AttributeId a : grouping->attributes) {
+    leaf_labels.push_back(rel->schema().Name(a));
+  }
+  std::printf("\nDendrogram (cf. Figure 14):\n%s",
+              core::RenderDendrogram(grouping->aib, leaf_labels).c_str());
+  std::printf("\nMerge list (per-merge information loss):\n%s",
+              grouping->DendrogramText(rel->schema()).c_str());
+  std::printf("\nMaximum merge loss: %.4f (paper: 0.922)\n",
+              grouping->max_merge_loss);
+
+  std::printf("\nLow-loss pairs the paper highlights:\n");
+  for (auto [a, b] : std::vector<std::pair<const char*, const char*>>{
+           {"EmpNo", "PhoneNo"},
+           {"ProjNo", "ProjName"},
+           {"DeptNo", "MgrNo"},
+           {"EmpNo", "FirstName"},
+           {"LastName", "PhoneNo"}}) {
+    const double loss = FirstCoResidenceLoss(*rel, *grouping, a, b);
+    std::printf("  (%s, %s) first co-reside at loss %.4f  (max %.4f)\n", a,
+                b, loss, grouping->max_merge_loss);
+  }
+
+  // Stability at phi_V in {0.1, 0.2}: the paper observes that A_D may
+  // grow but the low-loss pairs keep merging early. We track the
+  // highlighted pairs' first-co-residence losses across phi_V.
+  std::printf(
+      "\nStability under phi_V (first-co-residence loss of the pairs):\n");
+  for (double phi_v : {0.1, 0.2}) {
+    core::ValueClusteringOptions options;
+    options.phi_v = phi_v;
+    auto v = core::ClusterValues(*rel, options);
+    auto g = core::GroupAttributes(*rel, *v);
+    if (!g.ok()) continue;
+    std::printf("  phi_V=%.1f: |A_D|=%zu;", phi_v, g->attributes.size());
+    for (auto [a, b] : std::vector<std::pair<const char*, const char*>>{
+             {"EmpNo", "PhoneNo"}, {"ProjNo", "ProjName"},
+             {"DeptNo", "MgrNo"}}) {
+      std::printf(" (%s,%s)=%.4f", a, b, FirstCoResidenceLoss(*rel, *g, a, b));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape check: attributes of the three source tables group "
+      "together; the paper's highlighted pairs merge at near-zero loss "
+      "and stay early merges as phi_V grows.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces Figures 16-18: the per-cluster attribute dendrograms of the
+// three DBLP horizontal partitions.
+//
+// Expected shapes (paper):
+//  - Cluster 1 (Figure 16): Volume/Journal/Number at zero distance (all
+//    NULL); Author and Pages almost zero (near one-to-one); BookTitle
+//    close to them.
+//  - Cluster 2 (Figure 17): correlations among Journal, Volume, Number
+//    and Year; Author/Pages apart.
+//  - Cluster 3 (Figure 18): small, associations essentially random, no
+//    (interesting) functional dependencies — the relation has no internal
+//    structure.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/dendrogram.h"
+#include "dblp_clusters.h"
+#include "fd/tane.h"
+
+namespace {
+
+using namespace limbo;  // NOLINT
+
+void ShowCluster(const char* title, const relation::Relation& rel,
+                 double phi_t, double phi_v) {
+  std::printf("\n--- %s: %zu tuples ---\n", title, rel.NumTuples());
+  auto analysis = bench::AnalyzeCluster(rel, phi_t, phi_v, 0.5);
+  if (!analysis.ok()) {
+    std::printf("  attribute grouping not applicable: %s\n",
+                analysis.status().ToString().c_str());
+    fd::TaneOptions options;
+    options.min_lhs = 1;
+    auto fds = fd::Tane::Mine(rel, options);
+    if (fds.ok()) {
+      std::printf("  (TANE still reports %zu FDs over its attributes)\n",
+                  fds->size());
+    }
+    return;
+  }
+  std::vector<std::string> leaf_labels;
+  for (relation::AttributeId a : analysis->grouping.attributes) {
+    leaf_labels.push_back(rel.schema().Name(a));
+  }
+  std::printf("%s",
+              core::RenderDendrogram(analysis->grouping.aib, leaf_labels)
+                  .c_str());
+  std::printf("%s", analysis->grouping.DendrogramText(rel.schema()).c_str());
+  std::printf("  max merge loss: %.5f; FDs: %zu (cover %zu)\n",
+              analysis->grouping.max_merge_loss, analysis->num_fds,
+              analysis->cover_size);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figures 16-18 — per-cluster attribute dendrograms",
+                "DBLP partitions; phi_T = 0.5, phi_V = 1.0, phi_A = 0.");
+
+  const bench::DblpClusters clusters = bench::MakeDblpClusters(50000);
+  ShowCluster("Figure 16: cluster 1 (conference)", clusters.conference, 0.5,
+              1.0);
+  ShowCluster("Figure 17: cluster 2 (journal)", clusters.journal, 0.5, 1.0);
+  // The misc cluster is tiny; exact clustering (phi_T = 0) is affordable
+  // and mirrors the paper's small-cluster treatment.
+  ShowCluster("Figure 18: cluster 3 (misc)", clusters.misc, 0.0, 0.5);
+
+  std::printf(
+      "\nShape check: cluster 1 pins the all-NULL journal columns at zero "
+      "loss; cluster 2 groups Journal/Volume/Number/Year; in cluster 3 "
+      "only the all-NULL columns cohere and the populated attributes join "
+      "at a very large loss — the paper's 'rather random' associations "
+      "with no internal structure.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Microbenchmarks (google-benchmark) for the dependency substrate:
+// closures, minimum cover, g3 error, FD verification and the approximate
+// miner — the pieces FD-RANK sits on.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "datagen/db2_sample.h"
+#include "fd/approx.h"
+#include "fd/closure.h"
+#include "fd/fdep.h"
+#include "fd/min_cover.h"
+#include "fd/mvd.h"
+#include "fd/tane.h"
+#include "testing/make_relation.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace limbo;  // NOLINT
+
+std::vector<fd::FunctionalDependency> ChainFds(size_t m) {
+  std::vector<fd::FunctionalDependency> fds;
+  for (size_t a = 0; a + 1 < m; ++a) {
+    fds.push_back({fd::AttributeSet::Single(static_cast<uint32_t>(a)),
+                   fd::AttributeSet::Single(static_cast<uint32_t>(a + 1))});
+  }
+  return fds;
+}
+
+void BM_Closure(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const auto fds = ChainFds(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fd::Closure(fd::AttributeSet::Single(0), fds));
+  }
+}
+BENCHMARK(BM_Closure)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_MinimumCoverDb2(benchmark::State& state) {
+  auto rel = datagen::Db2Sample::JoinedRelation();
+  auto fds = fd::Fdep::Mine(*rel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fd::MinimumCover(*fds));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fds->size()));
+}
+BENCHMARK(BM_MinimumCoverDb2);
+
+relation::Relation RandomRelation(size_t n, size_t m, size_t domain,
+                                  uint64_t seed) {
+  util::Random rng(seed);
+  std::vector<std::string> header;
+  for (size_t a = 0; a < m; ++a) header.push_back("A" + std::to_string(a));
+  std::vector<std::vector<std::string>> rows;
+  for (size_t t = 0; t < n; ++t) {
+    std::vector<std::string> row;
+    for (size_t a = 0; a < m; ++a) {
+      row.push_back("v" + std::to_string(rng.Uniform(domain)));
+    }
+    rows.push_back(std::move(row));
+  }
+  return limbo::testing::MakeRelation(header, rows);
+}
+
+void BM_HoldsVerification(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto rel = RandomRelation(n, 6, 12, 3);
+  const fd::FunctionalDependency f{fd::AttributeSet::FromList({0, 1}),
+                                   fd::AttributeSet::Single(2)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fd::Holds(rel, f));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_HoldsVerification)->Arg(1000)->Arg(100000);
+
+void BM_G3Error(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto rel = RandomRelation(n, 6, 12, 5);
+  const fd::FunctionalDependency f{fd::AttributeSet::Single(0),
+                                   fd::AttributeSet::Single(1)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fd::G3Error(rel, f));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_G3Error)->Arg(1000)->Arg(100000);
+
+void BM_ApproxMiner(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto rel = RandomRelation(n, 6, 8, 7);
+  fd::ApproxMinerOptions options;
+  options.epsilon = 0.05;
+  options.max_lhs = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fd::MineApproximateFds(rel, options));
+  }
+}
+BENCHMARK(BM_ApproxMiner)->Arg(1000)->Arg(10000);
+
+void BM_MvdVerification(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto rel = RandomRelation(n, 5, 6, 9);
+  const fd::MultiValuedDependency mvd{fd::AttributeSet::Single(0),
+                                      fd::AttributeSet::Single(1)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fd::HoldsMvd(rel, mvd));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MvdVerification)->Arg(1000)->Arg(50000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

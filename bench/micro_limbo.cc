@@ -1,0 +1,175 @@
+// Microbenchmarks (google-benchmark) for the core primitives and the
+// LIMBO-vs-AIB scalability ablation the paper's Section 5.2 motivates:
+// AIB is quadratic in the number of objects, LIMBO Phase 1 is near-linear
+// with a bounded number of summaries.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/aib.h"
+#include "core/dcf_tree.h"
+#include "core/info.h"
+#include "core/limbo.h"
+#include "core/tuple_clustering.h"
+#include "datagen/db2_sample.h"
+#include "fd/fdep.h"
+#include "fd/partition.h"
+#include "fd/tane.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace limbo;  // NOLINT
+
+/// Synthetic categorical objects: n objects over `groups` templates with
+/// jitter, domain width ~3 values per slot.
+std::vector<core::Dcf> SyntheticObjects(size_t n, size_t groups,
+                                        uint64_t seed) {
+  util::Random rng(seed);
+  std::vector<core::Dcf> objects;
+  objects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t base = static_cast<uint32_t>(i % groups) * 40;
+    std::vector<uint32_t> support;
+    for (uint32_t slot = 0; slot < 8; ++slot) {
+      support.push_back(base + slot * 4 +
+                        static_cast<uint32_t>(rng.Uniform(3)));
+    }
+    core::Dcf d;
+    d.p = 1.0 / static_cast<double>(n);
+    d.cond = core::SparseDistribution::UniformOver(support);
+    objects.push_back(std::move(d));
+  }
+  return objects;
+}
+
+void BM_JsDivergence(benchmark::State& state) {
+  const size_t support = static_cast<size_t>(state.range(0));
+  std::vector<uint32_t> a_ids;
+  std::vector<uint32_t> b_ids;
+  for (uint32_t i = 0; i < support; ++i) {
+    a_ids.push_back(i * 2);      // evens
+    b_ids.push_back(i * 2 + (i % 3 == 0 ? 0 : 1));  // overlap ~1/3
+  }
+  const auto p = core::SparseDistribution::UniformOver(a_ids);
+  const auto q = core::SparseDistribution::UniformOver(b_ids);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::JsDivergence(0.5, p, 0.5, q));
+  }
+  state.SetItemsProcessed(state.iterations() * support);
+}
+BENCHMARK(BM_JsDivergence)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_JsDivergenceAsymmetric(benchmark::State& state) {
+  // Small object vs large cluster summary: the binary-search fast path.
+  const size_t big = static_cast<size_t>(state.range(0));
+  std::vector<uint32_t> big_ids(big);
+  for (uint32_t i = 0; i < big; ++i) big_ids[i] = i;
+  const auto q = core::SparseDistribution::UniformOver(big_ids);
+  const auto p = core::SparseDistribution::UniformOver(
+      std::vector<uint32_t>{1, 5, 9, 13, 17, 21, 25, 29});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::JsDivergence(0.01, p, 0.99, q));
+  }
+}
+BENCHMARK(BM_JsDivergenceAsymmetric)->Arg(1024)->Arg(65536);
+
+void BM_AibFull(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto objects = SyntheticObjects(n, 8, 42);
+  for (auto _ : state) {
+    auto result = core::AgglomerativeIb(objects);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AibFull)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Complexity();
+
+void BM_LimboPhase1(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto objects = SyntheticObjects(n, 8, 42);
+  core::WeightedRows rows;
+  for (const auto& o : objects) {
+    rows.weights.push_back(o.p);
+    rows.rows.push_back(o.cond);
+  }
+  const double info = core::MutualInformation(rows);
+  core::LimboOptions options;
+  options.phi = 0.5;
+  const double threshold = 0.5 * info / static_cast<double>(n);
+  for (auto _ : state) {
+    auto leaves = core::LimboPhase1(objects, options, threshold);
+    benchmark::DoNotOptimize(leaves);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LimboPhase1)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Arg(64000)
+    ->Complexity();
+
+void BM_LimboFull(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto objects = SyntheticObjects(n, 6, 7);
+  core::LimboOptions options;
+  options.phi = 0.5;
+  options.k = 6;
+  for (auto _ : state) {
+    auto result = core::RunLimbo(objects, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LimboFull)->Arg(5000)->Arg(20000);
+
+void BM_PartitionProduct(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Random rng(3);
+  std::vector<std::string> header = {"A", "B"};
+  relation::RelationBuilder builder(
+      std::move(relation::Schema::Create(header)).value());
+  for (size_t i = 0; i < n; ++i) {
+    (void)builder.AddRow({"a" + std::to_string(rng.Uniform(50)),
+                          "b" + std::to_string(rng.Uniform(50))});
+  }
+  const relation::Relation rel = std::move(builder).Build();
+  const auto pa = fd::StrippedPartition::ForAttribute(rel, 0);
+  const auto pb = fd::StrippedPartition::ForAttribute(rel, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fd::StrippedPartition::Product(pa, pb, n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PartitionProduct)->Arg(10000)->Arg(100000);
+
+void BM_FdepDb2(benchmark::State& state) {
+  auto rel = datagen::Db2Sample::JoinedRelation();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fd::Fdep::Mine(*rel));
+  }
+}
+BENCHMARK(BM_FdepDb2);
+
+void BM_TaneDb2(benchmark::State& state) {
+  auto rel = datagen::Db2Sample::JoinedRelation();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fd::Tane::Mine(*rel));
+  }
+}
+BENCHMARK(BM_TaneDb2);
+
+void BM_TupleObjectsDb2(benchmark::State& state) {
+  auto rel = datagen::Db2Sample::JoinedRelation();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BuildTupleObjects(*rel));
+  }
+}
+BENCHMARK(BM_TupleObjectsDb2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Reproduces Section 8.1.4 + Table 3: FDEP on the DB2 sample relation,
+// minimum cover, FD-RANK at psi = 0.5, and the RAD/RTR redundancy of the
+// top-ranked dependencies.
+//
+// Expected shape (paper): FDEP finds on the order of hundreds of FDs
+// whose minimum cover is a few dozen; the top-ranked dependencies are the
+// department / employee / project "key" FDs with RAD in ~0.87-0.97 and
+// RTR in ~0.80-0.92.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/attribute_grouping.h"
+#include "core/fd_rank.h"
+#include "core/measures.h"
+#include "core/value_clustering.h"
+#include "datagen/db2_sample.h"
+#include "fd/fdep.h"
+#include "fd/min_cover.h"
+
+namespace {
+using namespace limbo;  // NOLINT
+}  // namespace
+
+int main() {
+  bench::Banner("Table 3 — FD-RANK on the DB2 sample (psi = 0.5)",
+                "RAD / RTR of the top-ranked functional dependencies.");
+
+  auto rel = datagen::Db2Sample::JoinedRelation();
+
+  auto fds = fd::Fdep::Mine(*rel);
+  if (!fds.ok()) {
+    std::fprintf(stderr, "%s\n", fds.status().ToString().c_str());
+    return 1;
+  }
+  // Single-RHS cover: FD-RANK's own Step 2 collapses same-antecedent FDs
+  // of equal rank, as in the paper.
+  const auto cover = fd::MinimumCover(*fds, /*merge_same_lhs=*/false);
+  std::printf("\nFDEP: %zu minimal FDs (paper: 106); minimum cover: %zu "
+              "single-RHS FDs (paper: 14 after merging)\n",
+              fds->size(), cover.size());
+
+  auto values = core::ClusterValues(*rel, {});
+  auto grouping = core::GroupAttributes(*rel, *values);
+  if (!grouping.ok()) return 1;
+
+  auto ranked = core::RankFds(cover, *grouping);
+  if (!ranked.ok()) return 1;
+
+  std::printf("\nTop-ranked dependencies (anchored below psi*max only):\n");
+  std::printf("  %-60s %-8s %-7s %-7s\n", "FD", "rank", "RAD", "RTR");
+  std::vector<double> rad;
+  std::vector<double> rtr;
+  for (const auto& r : *ranked) {
+    if (!r.anchored) continue;
+    const auto attrs = r.fd.lhs.Union(r.fd.rhs).ToList();
+    rad.push_back(core::Rad(*rel, attrs));
+    rtr.push_back(core::Rtr(*rel, attrs));
+    if (rad.size() <= 8) {
+      std::printf("  %-60s %-8.4f %-7.3f %-7.3f\n",
+                  r.fd.ToString(rel->schema()).c_str(), r.rank, rad.back(),
+                  rtr.back());
+    }
+  }
+
+  if (rad.size() >= 4) {
+    const size_t top = std::min<size_t>(rad.size(), 8);
+    const double best_rad = *std::max_element(rad.begin(), rad.begin() + top);
+    const double best_rtr = *std::max_element(rtr.begin(), rtr.begin() + top);
+    const double worst_rad = *std::min_element(rad.begin(), rad.begin() + top);
+    const double worst_rtr = *std::min_element(rtr.begin(), rtr.begin() + top);
+    std::printf("\nPaper's Table 3 range (its top-4) vs our anchored FDs:\n");
+    bench::PaperVsMeasured("best RAD", 0.965, best_rad);
+    bench::PaperVsMeasured("best RTR", 0.922, best_rtr);
+    bench::PaperVsMeasured("worst RAD", 0.872, worst_rad);
+    bench::PaperVsMeasured("worst RTR", 0.800, worst_rtr);
+  }
+  std::printf(
+      "\nShape check: the top-ranked FDs carry high redundancy "
+      "(RAD/RTR ~0.8-0.97 in the paper); decompositions on them remove "
+      "the most duplication.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Table 5: the top-ranked functional dependencies of DBLP
+// horizontal partition 1 (conference publications), with their RAD/RTR.
+//
+// Expected shape (paper): the highest-ranked FDs are over the all-NULL
+// journal columns — [Volume]→[Journal] and [Number]→[Journal] — with
+// RAD = RTR = 1.0 (maximal redundancy), because in this cluster those
+// attributes carry a single (NULL) value.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/measures.h"
+#include "dblp_clusters.h"
+
+namespace {
+using namespace limbo;  // NOLINT
+}  // namespace
+
+int main() {
+  bench::Banner("Table 5 — ranked FDs of DBLP cluster 1 (conference)",
+                "phi_T = 0.5, phi_V = 1.0, psi = 0.5.");
+
+  const bench::DblpClusters clusters = bench::MakeDblpClusters(50000);
+  const relation::Relation& rel = clusters.conference;
+  std::printf("\nCluster 1: %zu tuples (paper: 35892)\n", rel.NumTuples());
+
+  auto analysis = bench::AnalyzeCluster(rel, 0.5, 1.0, 0.5);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "%s\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("FDs: %zu, minimum cover: %zu (paper: 12 / 11)\n",
+              analysis->num_fds, analysis->cover_size);
+
+  std::printf("\nTop-ranked dependencies:\n");
+  std::printf("  %-44s %-8s %-7s %-7s\n", "FD", "rank", "RAD", "RTR");
+  size_t shown = 0;
+  for (const auto& r : analysis->ranked) {
+    const auto attrs = r.fd.lhs.Union(r.fd.rhs).ToList();
+    std::printf("  %-44s %-8.4f %-7.3f %-7.3f\n",
+                r.fd.ToString(rel.schema()).c_str(), r.rank,
+                core::Rad(rel, attrs), core::Rtr(rel, attrs));
+    if (++shown == 4) break;
+  }
+
+  std::printf("\nPaper's Table 5:\n");
+  std::printf("  [Volume]->[Journal]   RAD=1.0 RTR=1.0\n");
+  std::printf("  [Number]->[Journal]   RAD=1.0 RTR=1.0\n");
+  std::printf(
+      "\nShape check: the top FDs relate the all-NULL journal columns "
+      "with RAD=RTR=1.0; conference attributes (Author, Pages, BookTitle) "
+      "have large domains and rank lower.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Table 6: the top-ranked functional dependencies of DBLP
+// horizontal partition 2 (journal publications), with their RAD/RTR.
+//
+// Expected shape (paper): the top FDs relate Journal, Volume, Number and
+// Year — [Author,Volume,Journal,Number]→[Year] (RAD 0.754, RTR 0.881)
+// and [Author,Year,Volume]→[Journal] (0.858 / 0.982). In our generator
+// Year is a function of (Journal, Volume, Number) with spanning volumes,
+// so the same family of journal-metadata FDs tops the ranking.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/measures.h"
+#include "dblp_clusters.h"
+
+namespace {
+using namespace limbo;  // NOLINT
+}  // namespace
+
+int main() {
+  bench::Banner("Table 6 — ranked FDs of DBLP cluster 2 (journal)",
+                "phi_T = 0.5, phi_V = 1.0, psi = 0.5.");
+
+  const bench::DblpClusters clusters = bench::MakeDblpClusters(50000);
+  const relation::Relation& rel = clusters.journal;
+  std::printf("\nCluster 2: %zu tuples (paper: 13979)\n", rel.NumTuples());
+
+  auto analysis = bench::AnalyzeCluster(rel, 0.5, 1.0, 0.5);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "%s\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("FDs: %zu, minimum cover: %zu (paper: 12 / 11)\n",
+              analysis->num_fds, analysis->cover_size);
+
+  std::printf("\nTop-ranked dependencies:\n");
+  std::printf("  %-52s %-8s %-7s %-7s\n", "FD", "rank", "RAD", "RTR");
+  size_t shown = 0;
+  for (const auto& r : analysis->ranked) {
+    const auto attrs = r.fd.lhs.Union(r.fd.rhs).ToList();
+    std::printf("  %-52s %-8.4f %-7.3f %-7.3f\n",
+                r.fd.ToString(rel.schema()).c_str(), r.rank,
+                core::Rad(rel, attrs), core::Rtr(rel, attrs));
+    if (++shown == 4) break;
+  }
+
+  std::printf("\nPaper's Table 6:\n");
+  std::printf("  [Author,Volume,Journal,Number]->[Year]  RAD=0.754 RTR=0.881\n");
+  std::printf("  [Author,Year,Volume]->[Journal]         RAD=0.858 RTR=0.982\n");
+  std::printf(
+      "\nShape check: the top-ranked FDs are over journal metadata "
+      "(Journal/Volume/Number/Year) with high but sub-1.0 RAD/RTR — these "
+      "columns repeat heavily but are not constant.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Duplicate-elimination demo (Section 6.1.1 / 8.1.1): inject dirty
+// near-duplicate tuples into the DB2-style sample relation and recover
+// them with tuple clustering at various phi_T.
+//
+// Build & run:  ./build/examples/dedup_detection
+
+#include <cstdio>
+
+#include "core/tuple_clustering.h"
+#include "datagen/db2_sample.h"
+#include "datagen/error_inject.h"
+#include "mining/similarity.h"
+
+namespace {
+
+using namespace limbo;  // NOLINT: example brevity
+
+/// How many injected tuples ended up grouped with their source.
+size_t CountRecovered(const core::DuplicateTupleReport& report,
+                      const std::vector<datagen::DirtyRecord>& records) {
+  size_t found = 0;
+  for (const auto& record : records) {
+    for (const auto& group : report.groups) {
+      bool has_dirty = false;
+      bool has_source = false;
+      for (relation::TupleId t : group.tuples) {
+        has_dirty |= (t == record.dirty_id);
+        has_source |= (t == record.source_id);
+      }
+      if (has_dirty && has_source) {
+        ++found;
+        break;
+      }
+    }
+  }
+  return found;
+}
+
+int Run() {
+  auto base = datagen::Db2Sample::JoinedRelation();
+  if (!base.ok()) return 1;
+  std::printf("Base relation: %zu tuples x %zu attributes\n",
+              base->NumTuples(), base->NumAttributes());
+
+  datagen::ErrorInjectionOptions inject;
+  inject.num_dirty_tuples = 5;
+  inject.values_altered = 2;
+  auto dirty = datagen::InjectErrors(*base, inject);
+  if (!dirty.ok()) return 1;
+  std::printf(
+      "Injected %zu near-duplicate tuples, each with %zu corrupted "
+      "values.\n\n",
+      inject.num_dirty_tuples, inject.values_altered);
+
+  for (double phi_t : {0.0, 0.05, 0.1, 0.2}) {
+    core::DuplicateTupleOptions options;
+    options.phi_t = phi_t;
+    auto report = core::FindDuplicateTuples(dirty->dirty, options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "phi_T=%.2f: %zu candidate groups, recovered %zu/%zu injected "
+        "duplicates\n",
+        phi_t, report->groups.size(),
+        CountRecovered(*report, dirty->records), dirty->records.size());
+  }
+
+  std::printf(
+      "\nphi_T = 0 finds only exact duplicates; growing phi_T tolerates "
+      "more corrupted values, exactly as in Table 1 of the paper.\n");
+
+  // The combination the paper names as future work: verify the coarse
+  // information-theoretic candidates with string similarity.
+  core::DuplicateTupleOptions sloppy;
+  sloppy.phi_t = 0.6;
+  auto raw = core::FindDuplicateTuples(dirty->dirty, sloppy);
+  if (!raw.ok()) return 1;
+  const auto refined =
+      mining::RefineWithStringSimilarity(dirty->dirty, *raw, 0.9);
+  size_t raw_tuples = 0;
+  size_t refined_tuples = 0;
+  for (const auto& g : raw->groups) raw_tuples += g.tuples.size();
+  for (const auto& g : refined.groups) refined_tuples += g.tuples.size();
+  std::printf(
+      "\nCombining with edit-distance verification (the paper's future-"
+      "work suggestion): a sloppy phi_T=0.6 pass groups %zu tuples; "
+      "similarity refinement keeps %zu (this relation genuinely contains "
+      "near-duplicate sibling rows) and still recovers %zu/%zu injected "
+      "duplicates.\n",
+      raw_tuples, refined_tuples, CountRecovered(refined, dirty->records),
+      dirty->records.size());
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

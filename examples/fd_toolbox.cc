@@ -1,0 +1,118 @@
+// Dependency-mining toolbox demo: exact FDs (FDEP vs TANE agree),
+// approximate FDs with g3 errors, multi-valued dependencies, minimum
+// cover and an actual lossless decomposition — the full constraint-
+// mining substrate surrounding the paper's FD-RANK.
+//
+// Build & run:  ./build/examples/fd_toolbox
+
+#include <cstdio>
+
+#include "core/decompose.h"
+#include "datagen/db2_sample.h"
+#include "datagen/error_inject.h"
+#include "fd/approx.h"
+#include "fd/fdep.h"
+#include "fd/min_cover.h"
+#include "fd/mvd.h"
+#include "fd/tane.h"
+
+namespace {
+
+using namespace limbo;  // NOLINT
+
+int Run() {
+  auto rel = datagen::Db2Sample::JoinedRelation();
+  if (!rel.ok()) return 1;
+  std::printf("Relation: %zu tuples x %zu attributes\n\n", rel->NumTuples(),
+              rel->NumAttributes());
+
+  // 1. Exact FDs with both miners.
+  auto fdep = fd::Fdep::Mine(*rel);
+  auto tane = fd::Tane::Mine(*rel);
+  if (!fdep.ok() || !tane.ok()) return 1;
+  std::printf("Exact minimal FDs: FDEP=%zu TANE=%zu (agree: %s)\n",
+              fdep->size(), tane->size(),
+              *fdep == *tane ? "yes" : "NO!");
+  const auto cover = fd::MinimumCover(*fdep);
+  std::printf("Minimum cover: %zu FDs, e.g.:\n", cover.size());
+  for (size_t i = 0; i < cover.size() && i < 4; ++i) {
+    std::printf("  %s\n", cover[i].ToString(rel->schema()).c_str());
+  }
+
+  // 2. Approximate FDs after injecting errors.
+  datagen::ErrorInjectionOptions inject;
+  inject.num_dirty_tuples = 4;
+  inject.values_altered = 1;
+  auto dirty = datagen::InjectErrors(*rel, inject);
+  if (!dirty.ok()) return 1;
+  fd::ApproxMinerOptions approx_options;
+  approx_options.epsilon = 0.06;
+  approx_options.min_lhs = 1;
+  approx_options.max_lhs = 1;
+  auto approx = fd::MineApproximateFds(dirty->dirty, approx_options);
+  if (!approx.ok()) return 1;
+  size_t broken = 0;
+  for (const auto& a : *approx) {
+    if (a.g3 > 0.0) ++broken;
+  }
+  std::printf(
+      "\nAfter injecting 4 dirty tuples, %zu single-attribute FDs hold "
+      "only approximately (0 < g3 <= 0.06), e.g.:\n",
+      broken);
+  size_t shown = 0;
+  for (const auto& a : *approx) {
+    if (a.g3 > 0.0 && shown < 4) {
+      std::printf("  g3=%.4f  %s\n", a.g3,
+                  a.fd.ToString(dirty->dirty.schema()).c_str());
+      ++shown;
+    }
+  }
+
+  // 3. Multi-valued dependencies: the join R = E |x| D |x| P plants the
+  // *block* MVD DeptNo ->> {employee attributes} (employees x projects
+  // inside each department form a cross product).
+  fd::AttributeSet emp_attrs;
+  for (const char* name : {"EmpNo", "FirstName", "LastName", "PhoneNo",
+                           "HireYear", "Job", "EduLevel", "Sex",
+                           "BirthYear"}) {
+    emp_attrs = emp_attrs.With(rel->schema().Find(name).value());
+  }
+  const fd::MultiValuedDependency planted{
+      fd::AttributeSet::Single(rel->schema().Find("DeptNo").value()),
+      emp_attrs};
+  std::printf("\nPlanted block MVD %s: %s\n",
+              planted.ToString(rel->schema()).c_str(),
+              fd::HoldsMvd(*rel, planted) ? "holds (verified)" : "FAILED");
+  fd::MvdMinerOptions mvd_options;
+  mvd_options.max_lhs = 1;
+  auto mvds = fd::MineMvds(*rel, mvd_options);
+  if (!mvds.ok()) return 1;
+  std::printf(
+      "Single-attribute-RHS miner finds %zu further non-FD MVDs (block "
+      "MVDs like the one above need the multi-attribute RHS check).\n",
+      mvds->size());
+
+  // 4. Lossless decomposition on the department FD.
+  const auto dept = rel->schema().Find("DeptNo").value();
+  const auto name = rel->schema().Find("DeptName").value();
+  const auto mgr = rel->schema().Find("MgrNo").value();
+  fd::FunctionalDependency dept_fd{
+      fd::AttributeSet::Single(dept),
+      fd::AttributeSet::Single(name).With(mgr)};
+  auto decomposition = core::DecomposeOn(*rel, dept_fd);
+  if (!decomposition.ok()) return 1;
+  auto lossless = core::JoinsBackLosslessly(*rel, dept_fd, *decomposition);
+  std::printf(
+      "\nDecomposing on %s: S1 %zux%zu, S2 %zux%zu, cells %zu -> %zu "
+      "(%.1f%% saved), lossless join: %s\n",
+      dept_fd.ToString(rel->schema()).c_str(), decomposition->s1.NumTuples(),
+      decomposition->s1.NumAttributes(), decomposition->s2.NumTuples(),
+      decomposition->s2.NumAttributes(), decomposition->original_cells,
+      decomposition->decomposed_cells, 100.0 * decomposition->storage_saving,
+      lossless.ok() && *lossless ? "verified" : "FAILED");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

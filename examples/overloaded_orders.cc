@@ -1,0 +1,74 @@
+// The paper's Section 6.1.2 motivating case end to end: an orders table
+// overloaded with product AND service orders is horizontally partitioned
+// back into its two kinds, and each fragment is then profiled — the
+// service fragment's product columns (and vice versa) turn out to be
+// constant NULL, i.e. droppable.
+//
+// Build & run:  ./build/examples/overloaded_orders
+
+#include <cstdio>
+
+#include "core/horizontal_partition.h"
+#include "datagen/orders.h"
+#include "relation/ops.h"
+#include "relation/stats.h"
+
+namespace {
+
+using namespace limbo;  // NOLINT
+
+int Run() {
+  datagen::OrdersOptions gen;
+  gen.num_orders = 3000;
+  const relation::Relation rel = datagen::GenerateOrders(gen);
+  std::printf("Overloaded order table: %zu tuples x %zu attributes\n\n",
+              rel.NumTuples(), rel.NumAttributes());
+  std::printf("%s\n", relation::Profile(rel).ToString().c_str());
+
+  core::HorizontalPartitionOptions options;
+  options.phi = 0.5;
+  options.max_k = 6;
+  auto result = core::HorizontallyPartition(rel, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Natural k chosen by the delta-I heuristic: %zu\n",
+              result->chosen_k);
+
+  // Ground-truth purity per cluster.
+  for (size_t c = 0; c < result->chosen_k; ++c) {
+    size_t service = 0;
+    std::vector<relation::TupleId> members;
+    for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
+      if (result->assignments[t] == c) {
+        members.push_back(t);
+        service += datagen::IsServiceOrder(rel, t);
+      }
+    }
+    std::printf(
+        "\ncluster %zu: %zu tuples (%zu service, %zu product)\n", c + 1,
+        members.size(), service, members.size() - service);
+    const relation::Relation fragment = relation::SelectRows(rel, members);
+    const auto profile = relation::Profile(fragment);
+    std::printf("  columns now constant (droppable in this fragment):");
+    bool any = false;
+    for (const auto& column : profile.columns) {
+      if (column.is_constant && column.null_fraction == 1.0) {
+        std::printf(" %s", column.name.c_str());
+        any = true;
+      }
+    }
+    std::printf(any ? "\n" : " none\n");
+  }
+
+  std::printf(
+      "\nThe partitioning recovers the product/service split the schema "
+      "lost, and each fragment's alien columns collapse to NULL-constants "
+      "— exactly the redesign clue Section 6.1.2 describes.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

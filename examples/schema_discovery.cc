@@ -1,0 +1,91 @@
+// Schema (re)discovery on the DB2-style sample (Section 8.1): mine FDs,
+// group attributes by shared duplicate values, rank the dependencies and
+// suggest the decomposition that removes the most redundancy.
+//
+// Build & run:  ./build/examples/schema_discovery
+
+#include <cstdio>
+
+#include "core/attribute_grouping.h"
+#include "core/fd_rank.h"
+#include "core/information_content.h"
+#include "core/measures.h"
+#include "core/value_clustering.h"
+#include "datagen/db2_sample.h"
+#include "fd/fdep.h"
+#include "fd/min_cover.h"
+
+namespace {
+
+using namespace limbo;  // NOLINT: example brevity
+
+int Run() {
+  auto rel_result = datagen::Db2Sample::JoinedRelation();
+  if (!rel_result.ok()) return 1;
+  const relation::Relation& rel = *rel_result;
+  std::printf(
+      "Joined relation R = EMPLOYEE |x| DEPARTMENT |x| PROJECT: "
+      "%zu tuples, %zu attributes, %zu values\n\n",
+      rel.NumTuples(), rel.NumAttributes(), rel.NumValues());
+
+  // 1. Mine functional dependencies with FDEP, reduce to a minimum cover.
+  auto fds = fd::Fdep::Mine(rel);
+  if (!fds.ok()) {
+    std::fprintf(stderr, "fdep: %s\n", fds.status().ToString().c_str());
+    return 1;
+  }
+  const auto cover = fd::MinimumCover(*fds);
+  std::printf("FDEP discovered %zu minimal FDs; minimum cover has %zu.\n",
+              fds->size(), cover.size());
+
+  // 2. Value clustering (phi_V = 0) and attribute grouping.
+  auto values = core::ClusterValues(rel, {});
+  if (!values.ok()) return 1;
+  std::printf("Duplicate value groups (CV_D): %zu of %zu groups\n",
+              values->duplicate_groups.size(), values->groups.size());
+  auto grouping = core::GroupAttributes(rel, *values);
+  if (!grouping.ok()) return 1;
+  std::printf("\nAttribute dendrogram (cf. Figure 14):\n%s",
+              grouping->DendrogramText(rel.schema()).c_str());
+
+  // 3. Rank the minimum cover with FD-RANK.
+  auto ranked = core::RankFds(cover, *grouping);
+  if (!ranked.ok()) return 1;
+  std::printf("\nTop-ranked dependencies (psi = 0.5):\n");
+  size_t shown = 0;
+  for (const auto& r : *ranked) {
+    if (!r.anchored) continue;
+    const auto attrs = r.fd.lhs.Union(r.fd.rhs).ToList();
+    std::printf("  %zu. %s  rank=%.4f RAD=%.3f RTR=%.3f\n", ++shown,
+                r.fd.ToString(rel.schema()).c_str(), r.rank,
+                core::Rad(rel, attrs), core::Rtr(rel, attrs));
+    if (shown == 5) break;
+  }
+  if (shown > 0) {
+    std::printf(
+        "\nDecomposing R on the #1 dependency removes the most "
+        "redundancy (highest RAD/RTR among the anchored FDs).\n");
+  }
+
+  // Instance-level information content (the Figure-1 notion): how many
+  // cells of R are inferable from the *anchored* dependencies — the ones
+  // FD-RANK tells the analyst to act on?
+  std::vector<fd::FunctionalDependency> anchored;
+  for (const auto& r : *ranked) {
+    if (r.anchored) anchored.push_back(r.fd);
+  }
+  auto content = core::AnalyzeInformationContent(rel, anchored);
+  if (content.ok()) {
+    std::printf(
+        "\nInformation content of R under the %zu anchored FDs: %.1f%% "
+        "(%zu of %zu cells are redundant — a normalized design would "
+        "store them once).\n",
+        anchored.size(), 100.0 * content->content, content->redundant_cells,
+        content->total_cells);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,234 @@
+#include "core/aib.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace limbo::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Dense symmetric distance store over active cluster *slots*. Merged
+/// clusters reuse the slot of their left input; the right slot is retired.
+class SlotMatrix {
+ public:
+  explicit SlotMatrix(size_t q) : q_(q), d_(q * q, 0.0) {}
+
+  double Get(size_t i, size_t j) const { return d_[i * q_ + j]; }
+  void Set(size_t i, size_t j, double v) {
+    d_[i * q_ + j] = v;
+    d_[j * q_ + i] = v;
+  }
+
+ private:
+  size_t q_;
+  std::vector<double> d_;
+};
+
+}  // namespace
+
+util::Result<AibResult> AgglomerativeIb(const std::vector<Dcf>& inputs,
+                                        const AibOptions& options) {
+  const size_t q = inputs.size();
+  if (q == 0) {
+    return util::Status::InvalidArgument("AIB needs >= 1 input cluster");
+  }
+  if (options.min_k < 1 || options.min_k > q) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("min_k=%zu out of range [1, %zu]", options.min_k, q));
+  }
+
+  // Per-slot state. slot_cluster_id maps a live slot to its global cluster
+  // id (scipy convention); slot_dcf holds the current merged statistics.
+  std::vector<Dcf> slot_dcf = inputs;
+  std::vector<uint32_t> slot_cluster_id(q);
+  std::vector<bool> alive(q, true);
+  for (size_t i = 0; i < q; ++i) slot_cluster_id[i] = static_cast<uint32_t>(i);
+
+  SlotMatrix dist(q);
+  // Nearest-neighbour cache: nn[i] = best partner slot for slot i.
+  std::vector<size_t> nn(q, SIZE_MAX);
+  std::vector<double> nn_dist(q, kInf);
+
+  auto recompute_nn = [&](size_t i) {
+    nn[i] = SIZE_MAX;
+    nn_dist[i] = kInf;
+    for (size_t j = 0; j < q; ++j) {
+      if (j == i || !alive[j]) continue;
+      const double d = dist.Get(i, j);
+      if (d < nn_dist[i] ||
+          (d == nn_dist[i] && j < nn[i])) {
+        nn_dist[i] = d;
+        nn[i] = j;
+      }
+    }
+  };
+
+  for (size_t i = 0; i < q; ++i) {
+    for (size_t j = i + 1; j < q; ++j) {
+      dist.Set(i, j, InformationLoss(slot_dcf[i], slot_dcf[j]));
+    }
+  }
+  for (size_t i = 0; i < q; ++i) recompute_nn(i);
+
+  std::vector<Merge> merges;
+  merges.reserve(q - options.min_k);
+  double cumulative = 0.0;
+  size_t live = q;
+  uint32_t next_cluster_id = static_cast<uint32_t>(q);
+
+  while (live > options.min_k) {
+    // Pick the globally best pair; deterministic tie-break on
+    // (min cluster id of i, then of partner).
+    size_t best_i = SIZE_MAX;
+    double best_d = kInf;
+    for (size_t i = 0; i < q; ++i) {
+      if (!alive[i] || nn[i] == SIZE_MAX) continue;
+      const double d = nn_dist[i];
+      if (d < best_d ||
+          (d == best_d && best_i != SIZE_MAX &&
+           std::min(slot_cluster_id[i], slot_cluster_id[nn[i]]) <
+               std::min(slot_cluster_id[best_i],
+                        slot_cluster_id[nn[best_i]]))) {
+        best_d = d;
+        best_i = i;
+      }
+    }
+    LIMBO_CHECK(best_i != SIZE_MAX);
+    const size_t a = best_i;
+    const size_t b = nn[best_i];
+    LIMBO_CHECK(alive[a] && alive[b] && a != b);
+
+    const double delta = dist.Get(a, b);
+    cumulative += delta;
+    Dcf merged = MergeDcf(slot_dcf[a], slot_dcf[b]);
+    merges.push_back(Merge{slot_cluster_id[a], slot_cluster_id[b],
+                           next_cluster_id, delta, cumulative, merged.p});
+
+    // The merged cluster takes slot a; slot b dies.
+    slot_dcf[a] = std::move(merged);
+    slot_cluster_id[a] = next_cluster_id++;
+    alive[b] = false;
+    --live;
+
+    // Refresh distances from the merged slot and fix stale NN entries.
+    for (size_t j = 0; j < q; ++j) {
+      if (!alive[j] || j == a) continue;
+      dist.Set(a, j, InformationLoss(slot_dcf[a], slot_dcf[j]));
+    }
+    recompute_nn(a);
+    for (size_t j = 0; j < q; ++j) {
+      if (!alive[j] || j == a) continue;
+      if (nn[j] == a || nn[j] == b) {
+        recompute_nn(j);
+      } else if (dist.Get(a, j) < nn_dist[j]) {
+        nn[j] = a;
+        nn_dist[j] = dist.Get(a, j);
+      }
+    }
+  }
+
+  return AibResult(q, std::move(merges));
+}
+
+util::Result<std::vector<uint32_t>> AibResult::AssignmentsAtK(size_t k) const {
+  if (k < FinalK() || k > num_objects_) {
+    return util::Status::OutOfRange(
+        util::StrFormat("k=%zu out of range [%zu, %zu]", k, FinalK(),
+                        num_objects_));
+  }
+  // Union-find over cluster ids, replaying the first (q - k) merges.
+  const size_t steps = num_objects_ - k;
+  std::vector<uint32_t> parent(num_objects_ + steps);
+  for (size_t i = 0; i < parent.size(); ++i) {
+    parent[i] = static_cast<uint32_t>(i);
+  }
+  for (size_t s = 0; s < steps; ++s) {
+    parent[merges_[s].left] = merges_[s].merged;
+    parent[merges_[s].right] = merges_[s].merged;
+  }
+  auto find_root = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::vector<uint32_t> labels(num_objects_);
+  std::vector<int64_t> root_to_label(parent.size(), -1);
+  uint32_t next_label = 0;
+  for (size_t i = 0; i < num_objects_; ++i) {
+    const uint32_t root = find_root(static_cast<uint32_t>(i));
+    if (root_to_label[root] < 0) root_to_label[root] = next_label++;
+    labels[i] = static_cast<uint32_t>(root_to_label[root]);
+  }
+  LIMBO_CHECK(next_label == k);
+  return labels;
+}
+
+util::Result<double> AibResult::LossAtK(size_t k) const {
+  if (k < FinalK() || k > num_objects_) {
+    return util::Status::OutOfRange(
+        util::StrFormat("k=%zu out of range [%zu, %zu]", k, FinalK(),
+                        num_objects_));
+  }
+  const size_t steps = num_objects_ - k;
+  return steps == 0 ? 0.0 : merges_[steps - 1].cumulative_loss;
+}
+
+std::vector<double> AibResult::ClusterEntropyPerStep(
+    const std::vector<Dcf>& inputs) const {
+  LIMBO_CHECK(inputs.size() == num_objects_);
+  // Track cluster masses as merges are applied; entropy updated
+  // incrementally: merging masses x and y changes H(C) by
+  //   +x log x + y log y - (x+y) log(x+y)  (all divided into bits).
+  auto plogp = [](double x) {
+    return x > 0.0 ? x * std::log2(x) : 0.0;
+  };
+  std::vector<double> mass(num_objects_ + merges_.size(), 0.0);
+  double h = 0.0;
+  for (size_t i = 0; i < num_objects_; ++i) {
+    mass[i] = inputs[i].p;
+    h -= plogp(inputs[i].p);
+  }
+  std::vector<double> out;
+  out.reserve(merges_.size() + 1);
+  out.push_back(h);
+  for (const Merge& m : merges_) {
+    const double x = mass[m.left];
+    const double y = mass[m.right];
+    mass[m.merged] = x + y;
+    h += plogp(x) + plogp(y) - plogp(x + y);
+    out.push_back(h);
+  }
+  return out;
+}
+
+util::Result<std::vector<Dcf>> ClusterDcfsAtK(const std::vector<Dcf>& inputs,
+                                              const AibResult& result,
+                                              size_t k) {
+  LIMBO_ASSIGN_OR_RETURN(std::vector<uint32_t> labels,
+                         result.AssignmentsAtK(k));
+  if (inputs.size() != labels.size()) {
+    return util::Status::InvalidArgument("inputs/result size mismatch");
+  }
+  std::vector<Dcf> clusters(k);
+  std::vector<bool> seen(k, false);
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const uint32_t label = labels[i];
+    if (!seen[label]) {
+      clusters[label] = inputs[i];
+      seen[label] = true;
+    } else {
+      clusters[label] = MergeDcf(clusters[label], inputs[i]);
+    }
+  }
+  return clusters;
+}
+
+}  // namespace limbo::core

@@ -1,0 +1,111 @@
+#include "core/attribute_grouping.h"
+
+#include <algorithm>
+
+#include "core/info.h"
+#include "core/limbo.h"
+#include "util/strings.h"
+
+namespace limbo::core {
+
+std::string AttributeGroupingResult::DendrogramText(
+    const relation::Schema& schema) const {
+  std::string out;
+  for (const Merge& m : aib.merges()) {
+    out += util::StrFormat(
+        "  loss=%.6f  %s + %s -> %s\n", m.delta_i,
+        cluster_members[m.left].ToString(schema).c_str(),
+        cluster_members[m.right].ToString(schema).c_str(),
+        cluster_members[m.merged].ToString(schema).c_str());
+  }
+  return out;
+}
+
+util::Result<AttributeGroupingResult> GroupAttributes(
+    const relation::Relation& rel, const ValueClusteringResult& values,
+    const AttributeGroupingOptions& options) {
+  const size_t m = rel.NumAttributes();
+  if (values.duplicate_groups.empty()) {
+    return util::Status::FailedPrecondition(
+        "CV_D is empty: no duplicate value groups to express attributes "
+        "over");
+  }
+
+  // Matrix F: row per attribute of A_D, one column per CV_D group, entry
+  // F[a][j] = O[c_j, a], rows normalized.
+  AttributeGroupingResult result;
+  std::vector<std::vector<SparseDistribution::Entry>> rows(m);
+  for (size_t j = 0; j < values.duplicate_groups.size(); ++j) {
+    const ValueGroup& group = values.groups[values.duplicate_groups[j]];
+    for (size_t a = 0; a < m; ++a) {
+      if (group.dcf.attr_counts[a] > 0) {
+        rows[a].push_back({static_cast<uint32_t>(j),
+                           static_cast<double>(group.dcf.attr_counts[a])});
+      }
+    }
+  }
+  for (size_t a = 0; a < m; ++a) {
+    if (!rows[a].empty()) {
+      result.attributes.push_back(static_cast<relation::AttributeId>(a));
+    }
+  }
+  const size_t q = result.attributes.size();
+  if (q < 2) {
+    return util::Status::FailedPrecondition(
+        "fewer than two attributes carry duplicate value groups");
+  }
+
+  std::vector<Dcf> objects;
+  objects.reserve(q);
+  for (relation::AttributeId a : result.attributes) {
+    Dcf obj;
+    obj.p = 1.0 / static_cast<double>(q);
+    obj.cond = SparseDistribution::FromPairs(std::move(rows[a]));
+    objects.push_back(std::move(obj));
+  }
+
+  // Membership tracking per dendrogram leaf.
+  std::vector<fd::AttributeSet> leaf_members;
+  std::vector<Dcf> aib_inputs;
+  if (options.phi_a > 0.0) {
+    // Pre-summarize with Phase 1 and recover leaf membership via Phase 3.
+    WeightedRows wr;
+    for (const Dcf& o : objects) {
+      wr.weights.push_back(o.p);
+      wr.rows.push_back(o.cond);
+    }
+    const double info = MutualInformation(wr);
+    LimboOptions lo;
+    lo.phi = options.phi_a;
+    aib_inputs = LimboPhase1(objects, lo,
+                             options.phi_a * info / static_cast<double>(q));
+    LIMBO_ASSIGN_OR_RETURN(std::vector<uint32_t> labels,
+                           LimboPhase3(objects, aib_inputs));
+    leaf_members.assign(aib_inputs.size(), fd::AttributeSet());
+    for (size_t i = 0; i < q; ++i) {
+      leaf_members[labels[i]] =
+          leaf_members[labels[i]].With(result.attributes[i]);
+    }
+  } else {
+    aib_inputs = objects;
+    leaf_members.reserve(q);
+    for (relation::AttributeId a : result.attributes) {
+      leaf_members.push_back(fd::AttributeSet::Single(a));
+    }
+  }
+
+  LIMBO_ASSIGN_OR_RETURN(result.aib, AgglomerativeIb(aib_inputs));
+
+  result.cluster_members = std::move(leaf_members);
+  result.cluster_members.resize(aib_inputs.size() +
+                                result.aib.merges().size());
+  for (const Merge& merge : result.aib.merges()) {
+    result.cluster_members[merge.merged] =
+        result.cluster_members[merge.left].Union(
+            result.cluster_members[merge.right]);
+    result.max_merge_loss = std::max(result.max_merge_loss, merge.delta_i);
+  }
+  return result;
+}
+
+}  // namespace limbo::core

@@ -1,0 +1,32 @@
+#include "core/dcf.h"
+
+#include "util/logging.h"
+
+namespace limbo::core {
+
+Dcf MergeDcf(const Dcf& a, const Dcf& b) {
+  Dcf out;
+  out.p = a.p + b.p;
+  if (out.p <= 0.0) {
+    out.p = 0.0;
+    return out;
+  }
+  out.cond = SparseDistribution::WeightedMerge(a.p / out.p, a.cond,
+                                               b.p / out.p, b.cond);
+  if (!a.attr_counts.empty() || !b.attr_counts.empty()) {
+    LIMBO_CHECK(a.attr_counts.size() == b.attr_counts.size());
+    out.attr_counts.resize(a.attr_counts.size());
+    for (size_t i = 0; i < a.attr_counts.size(); ++i) {
+      out.attr_counts[i] = a.attr_counts[i] + b.attr_counts[i];
+    }
+  }
+  return out;
+}
+
+double InformationLoss(const Dcf& a, const Dcf& b) {
+  const double total = a.p + b.p;
+  if (total <= 0.0) return 0.0;
+  return total * JsDivergence(a.p / total, a.cond, b.p / total, b.cond);
+}
+
+}  // namespace limbo::core

@@ -1,0 +1,39 @@
+#ifndef LIMBO_CORE_DCF_H_
+#define LIMBO_CORE_DCF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/prob.h"
+
+namespace limbo::core {
+
+/// Distributional Cluster Feature (Section 5.2): the sufficient statistics
+/// of a cluster c — its prior mass p(c) and conditional p(T|c).
+///
+/// When `attr_counts` is non-empty the object is an *Attribute* DCF
+/// (ADCF, Section 6.2): `attr_counts[a]` is O[c, a], the cumulative number
+/// of occurrences of the cluster's values inside attribute a.
+struct Dcf {
+  double p = 0.0;
+  SparseDistribution cond;
+  std::vector<uint64_t> attr_counts;
+
+  bool IsAdcf() const { return !attr_counts.empty(); }
+};
+
+/// Merges two DCFs per Equations (1) and (2):
+///   p(c*)    = p(c1) + p(c2)
+///   p(T|c*)  = p(c1)/p(c*) p(T|c1) + p(c2)/p(c*) p(T|c2)
+/// ADCF count rows are summed elementwise.
+Dcf MergeDcf(const Dcf& a, const Dcf& b);
+
+/// Information loss of merging a and b (Equation 3):
+///   δI(c1,c2) = [p(c1)+p(c2)] · D_JS[p(T|c1), p(T|c2)]
+/// with JS weights p(ci)/p(c*). Non-negative; 0 iff the conditionals are
+/// identical (or one side has zero mass).
+double InformationLoss(const Dcf& a, const Dcf& b);
+
+}  // namespace limbo::core
+
+#endif  // LIMBO_CORE_DCF_H_

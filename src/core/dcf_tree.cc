@@ -1,0 +1,382 @@
+#include "core/dcf_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace limbo::core {
+
+namespace {
+// Tolerance added to the merge threshold so that numerically-identical
+// objects (δI ~ 1e-16 from rounding) merge under threshold = 0.0, keeping
+// the documented "φ = 0 merges exact duplicates" semantics.
+constexpr double kMergeEps = 1e-12;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+/// Internal-node child: owned subtree plus an unnormalized accumulator
+/// summary (sum over inserted objects of p_i * p(T|object_i); `p` is the
+/// accumulated prior mass, so the summarized conditional is acc[t] / p).
+struct DcfTree::ChildRef {
+  std::unique_ptr<Node> node;
+  double p = 0.0;
+  std::unordered_map<uint32_t, double> acc;
+};
+
+struct DcfTree::Node {
+  bool is_leaf = true;
+  std::vector<Dcf> leaf_entries;
+  std::vector<ChildRef> children;
+};
+
+namespace {
+
+/// δI between a (small) object DCF and an accumulator cluster, using the
+/// asymmetric JS evaluation: O(nnz(object)) hash lookups.
+double LossToAccumulator(const Dcf& obj, double ref_p,
+                         const std::unordered_map<uint32_t, double>& acc) {
+  const double total = obj.p + ref_p;
+  if (total <= 0.0) return 0.0;
+  const double w1 = obj.p / total;
+  const double w2 = ref_p / total;
+  const double log_inv_w1 = (w1 > 0.0) ? -std::log2(w1) : 0.0;
+  const double log_inv_w2 = (w2 > 0.0) ? -std::log2(w2) : 0.0;
+  double js = 0.0;
+  double shared_q = 0.0;
+  for (const auto& e : obj.cond.entries()) {
+    auto it = acc.find(e.id);
+    if (it == acc.end()) {
+      js += w1 * e.mass * log_inv_w1;
+    } else {
+      const double qm = it->second / ref_p;
+      shared_q += qm;
+      const double mm = w1 * e.mass + w2 * qm;
+      js += w1 * e.mass * std::log2(e.mass / mm) +
+            w2 * qm * std::log2(qm / mm);
+    }
+  }
+  const double q_only = 1.0 - shared_q;
+  if (q_only > 0.0) js += w2 * q_only * log_inv_w2;
+  if (js < 0.0) js = 0.0;
+  return total * js;
+}
+
+/// δI between two accumulator clusters (used only when splitting internal
+/// nodes, so the O(|a| + |b|) cost is rare).
+double LossBetweenAccumulators(double pa, const std::unordered_map<uint32_t, double>& a,
+                               double pb, const std::unordered_map<uint32_t, double>& b) {
+  const double total = pa + pb;
+  if (total <= 0.0) return 0.0;
+  const double w1 = pa / total;
+  const double w2 = pb / total;
+  const double log_inv_w1 = (w1 > 0.0) ? -std::log2(w1) : 0.0;
+  const double log_inv_w2 = (w2 > 0.0) ? -std::log2(w2) : 0.0;
+  double js = 0.0;
+  double shared_q = 0.0;
+  for (const auto& [id, va] : a) {
+    const double pm = va / pa;
+    auto it = b.find(id);
+    if (it == b.end()) {
+      js += w1 * pm * log_inv_w1;
+    } else {
+      const double qm = it->second / pb;
+      shared_q += qm;
+      const double mm = w1 * pm + w2 * qm;
+      js += w1 * pm * std::log2(pm / mm) + w2 * qm * std::log2(qm / mm);
+    }
+  }
+  const double q_only = 1.0 - shared_q;
+  if (q_only > 0.0) js += w2 * q_only * log_inv_w2;
+  if (js < 0.0) js = 0.0;
+  return total * js;
+}
+
+}  // namespace
+
+DcfTree::DcfTree(const Options& options) : options_(options) {
+  LIMBO_CHECK(options_.branching >= 2);
+  if (options_.leaf_capacity <= 0) options_.leaf_capacity = options_.branching;
+  LIMBO_CHECK(options_.threshold >= 0.0);
+  root_ = std::make_unique<Node>();
+}
+
+DcfTree::~DcfTree() = default;
+
+void DcfTree::Insert(const Dcf& object) {
+  ++stats_.num_inserts;
+  SplitResult split = InsertInto(root_.get(), object);
+  if (split.DidSplit()) {
+    // Grow a new root above the two halves.
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    new_root->children.push_back(std::move(*split.halves[0]));
+    new_root->children.push_back(std::move(*split.halves[1]));
+    root_ = std::move(new_root);
+    ++stats_.height;
+    ++stats_.num_nodes;  // the fresh root
+  }
+}
+
+std::unique_ptr<DcfTree::ChildRef> DcfTree::MakeChildRef(
+    std::unique_ptr<Node> node) const {
+  auto ref = std::make_unique<ChildRef>();
+  ref->node = std::move(node);
+  AccumulateSubtree(ref->node.get(), &ref->p, &ref->acc);
+  return ref;
+}
+
+void DcfTree::AccumulateSubtree(const Node* node, double* p,
+                                std::unordered_map<uint32_t, double>* acc) {
+  if (node->is_leaf) {
+    for (const Dcf& e : node->leaf_entries) {
+      *p += e.p;
+      for (const auto& entry : e.cond.entries()) {
+        (*acc)[entry.id] += e.p * entry.mass;
+      }
+    }
+    return;
+  }
+  for (const ChildRef& c : node->children) {
+    *p += c.p;
+    for (const auto& [id, mass] : c.acc) (*acc)[id] += mass;
+  }
+}
+
+DcfTree::SplitResult DcfTree::InsertInto(Node* node, const Dcf& object) {
+  SplitResult result;
+  if (node->is_leaf) {
+    // Closest leaf entry by information loss.
+    size_t best = SIZE_MAX;
+    double best_loss = kInf;
+    for (size_t i = 0; i < node->leaf_entries.size(); ++i) {
+      const double loss = InformationLoss(object, node->leaf_entries[i]);
+      if (loss < best_loss) {
+        best_loss = loss;
+        best = i;
+      }
+    }
+    if (best != SIZE_MAX && best_loss <= options_.threshold + kMergeEps) {
+      node->leaf_entries[best] = MergeDcf(node->leaf_entries[best], object);
+      ++stats_.num_merges;
+      return result;
+    }
+    node->leaf_entries.push_back(object);
+    ++stats_.num_leaf_entries;
+    if (node->leaf_entries.size() <=
+        static_cast<size_t>(options_.leaf_capacity)) {
+      return result;
+    }
+    // Overflow: split into two leaves.
+    std::unique_ptr<Node> a;
+    std::unique_ptr<Node> b;
+    SplitLeaf(node, &a, &b);
+    ++stats_.num_nodes;
+    result.halves[0] = MakeChildRef(std::move(a));
+    result.halves[1] = MakeChildRef(std::move(b));
+    return result;
+  }
+
+  // Internal: route to the closest child summary.
+  size_t best = 0;
+  double best_loss = kInf;
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const double loss =
+        LossToAccumulator(object, node->children[i].p, node->children[i].acc);
+    if (loss < best_loss) {
+      best_loss = loss;
+      best = i;
+    }
+  }
+  ChildRef& chosen = node->children[best];
+  chosen.p += object.p;
+  for (const auto& e : object.cond.entries()) {
+    chosen.acc[e.id] += object.p * e.mass;
+  }
+  SplitResult child_split = InsertInto(chosen.node.get(), object);
+  if (child_split.DidSplit()) {
+    // Replace the chosen child with the two halves.
+    node->children[best] = std::move(*child_split.halves[0]);
+    node->children.push_back(std::move(*child_split.halves[1]));
+    if (node->children.size() > static_cast<size_t>(options_.branching)) {
+      std::unique_ptr<Node> a;
+      std::unique_ptr<Node> b;
+      SplitInternal(node, &a, &b);
+      ++stats_.num_nodes;
+      result.halves[0] = MakeChildRef(std::move(a));
+      result.halves[1] = MakeChildRef(std::move(b));
+    }
+  }
+  return result;
+}
+
+void DcfTree::SplitLeaf(Node* leaf, std::unique_ptr<Node>* out_a,
+                        std::unique_ptr<Node>* out_b) const {
+  auto& entries = leaf->leaf_entries;
+  LIMBO_CHECK(entries.size() >= 2);
+  // Farthest-pair seeds.
+  size_t sa = 0;
+  size_t sb = 1;
+  double max_loss = -1.0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      const double loss = InformationLoss(entries[i], entries[j]);
+      if (loss > max_loss) {
+        max_loss = loss;
+        sa = i;
+        sb = j;
+      }
+    }
+  }
+  // Decide every assignment before moving anything (the seeds must stay
+  // valid while distances are computed).
+  std::vector<bool> to_a(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i == sa) {
+      to_a[i] = true;
+    } else if (i == sb) {
+      to_a[i] = false;
+    } else {
+      const double da = InformationLoss(entries[i], entries[sa]);
+      const double db = InformationLoss(entries[i], entries[sb]);
+      to_a[i] = (da <= db);
+    }
+  }
+  *out_a = std::make_unique<Node>();
+  *out_b = std::make_unique<Node>();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    (to_a[i] ? *out_a : *out_b)->leaf_entries.push_back(std::move(entries[i]));
+  }
+}
+
+void DcfTree::SplitInternal(Node* node, std::unique_ptr<Node>* out_a,
+                            std::unique_ptr<Node>* out_b) const {
+  auto& children = node->children;
+  LIMBO_CHECK(children.size() >= 2);
+  size_t sa = 0;
+  size_t sb = 1;
+  double max_loss = -1.0;
+  for (size_t i = 0; i < children.size(); ++i) {
+    for (size_t j = i + 1; j < children.size(); ++j) {
+      const double loss = LossBetweenAccumulators(
+          children[i].p, children[i].acc, children[j].p, children[j].acc);
+      if (loss > max_loss) {
+        max_loss = loss;
+        sa = i;
+        sb = j;
+      }
+    }
+  }
+  std::vector<bool> to_a(children.size());
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (i == sa) {
+      to_a[i] = true;
+    } else if (i == sb) {
+      to_a[i] = false;
+    } else {
+      const double da = LossBetweenAccumulators(
+          children[i].p, children[i].acc, children[sa].p, children[sa].acc);
+      const double db = LossBetweenAccumulators(
+          children[i].p, children[i].acc, children[sb].p, children[sb].acc);
+      to_a[i] = (da <= db);
+    }
+  }
+  *out_a = std::make_unique<Node>();
+  *out_b = std::make_unique<Node>();
+  (*out_a)->is_leaf = false;
+  (*out_b)->is_leaf = false;
+  for (size_t i = 0; i < children.size(); ++i) {
+    (to_a[i] ? *out_a : *out_b)->children.push_back(std::move(children[i]));
+  }
+}
+
+void DcfTree::CollectLeaves(const Node* node, std::vector<Dcf>* out) const {
+  if (node->is_leaf) {
+    for (const Dcf& d : node->leaf_entries) out->push_back(d);
+    return;
+  }
+  for (const ChildRef& c : node->children) CollectLeaves(c.node.get(), out);
+}
+
+std::vector<Dcf> DcfTree::LeafDcfs() const {
+  std::vector<Dcf> out;
+  out.reserve(stats_.num_leaf_entries);
+  CollectLeaves(root_.get(), &out);
+  return out;
+}
+
+std::string DcfTree::ValidateInvariants() const {
+  std::string error;
+  double total_mass = 0.0;
+  // Recursive check via an explicit lambda (Node is private, so this
+  // stays a member).
+  auto check = [&](auto&& self, const Node* node, size_t depth) -> void {
+    if (!error.empty()) return;
+    if (node->is_leaf) {
+      if (node->leaf_entries.size() >
+          static_cast<size_t>(options_.leaf_capacity)) {
+        error = util::StrFormat("leaf overflow: %zu entries",
+                                node->leaf_entries.size());
+        return;
+      }
+      for (const Dcf& e : node->leaf_entries) total_mass += e.p;
+      return;
+    }
+    if (node->children.empty() ||
+        node->children.size() > static_cast<size_t>(options_.branching)) {
+      error = util::StrFormat("internal fan-out %zu out of [1, %d]",
+                              node->children.size(), options_.branching);
+      return;
+    }
+    for (const ChildRef& child : node->children) {
+      double p = 0.0;
+      std::unordered_map<uint32_t, double> acc;
+      AccumulateSubtree(child.node.get(), &p, &acc);
+      if (std::fabs(p - child.p) > 1e-9) {
+        error = util::StrFormat(
+            "accumulator mass %.12f != subtree mass %.12f at depth %zu",
+            child.p, p, depth);
+        return;
+      }
+      if (acc.size() != child.acc.size()) {
+        error = util::StrFormat(
+            "accumulator support %zu != subtree support %zu at depth %zu",
+            child.acc.size(), acc.size(), depth);
+        return;
+      }
+      for (const auto& [id, mass] : acc) {
+        auto it = child.acc.find(id);
+        if (it == child.acc.end() || std::fabs(it->second - mass) > 1e-9) {
+          error = util::StrFormat("accumulator drift at id %u, depth %zu",
+                                  id, depth);
+          return;
+        }
+      }
+      self(self, child.node.get(), depth + 1);
+    }
+  };
+  check(check, root_.get(), 0);
+  if (error.empty() && stats_.num_inserts > 0) {
+    // Leaf masses must sum to the inserted mass (objects carry p).
+    // Callers insert probabilities, so compare against the accumulated
+    // total of all leaf DCFs gathered above.
+    double expected = 0.0;
+    for (const Dcf& leaf : LeafDcfs()) expected += leaf.p;
+    if (std::fabs(total_mass - expected) > 1e-9) {
+      error = util::StrFormat("leaf mass %.12f != %.12f", total_mass,
+                              expected);
+    }
+  }
+  return error;
+}
+
+size_t DcfTree::CountNodes(const Node* node) const {
+  if (node->is_leaf) return 1;
+  size_t n = 1;
+  for (const ChildRef& c : node->children) n += CountNodes(c.node.get());
+  return n;
+}
+
+}  // namespace limbo::core

@@ -1,0 +1,97 @@
+#ifndef LIMBO_CORE_DCF_TREE_H_
+#define LIMBO_CORE_DCF_TREE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dcf.h"
+
+namespace limbo::core {
+
+/// The BIRCH-like summary tree of LIMBO Phase 1 (Section 5.2).
+///
+/// Objects (singleton DCFs) are inserted one at a time. Each insertion
+/// descends to the leaf whose guiding summary is closest in information
+/// loss; at the leaf, the object is merged into the closest DCF entry if
+/// the loss does not exceed `threshold` (the paper's φ·I(V;T)/|V|),
+/// otherwise it starts a new entry. Overfull nodes split BIRCH-style
+/// (farthest pair seeds, nearest-seed redistribution).
+///
+/// Internal-node summaries are kept as unnormalized hash-map accumulators
+/// so that routing an object costs O(nnz(object)) per level instead of
+/// O(support(summary)); leaf entries are exact DCFs since they become the
+/// Phase-2 input.
+class DcfTree {
+ public:
+  struct Options {
+    /// Max entries per node (the paper's branching factor B; default 4).
+    int branching = 4;
+    /// Max DCF entries per leaf; 0 means "same as branching".
+    int leaf_capacity = 0;
+    /// Merge threshold on δI. 0.0 merges only (numerically) identical
+    /// objects, making Phase 1 + Phase 2 equivalent to plain AIB.
+    double threshold = 0.0;
+  };
+
+  struct Stats {
+    size_t height = 1;
+    size_t num_nodes = 1;
+    size_t num_leaf_entries = 0;
+    size_t num_inserts = 0;
+    size_t num_merges = 0;  // inserts absorbed into an existing entry
+  };
+
+  explicit DcfTree(const Options& options);
+  ~DcfTree();
+
+  DcfTree(const DcfTree&) = delete;
+  DcfTree& operator=(const DcfTree&) = delete;
+
+  /// Inserts one object. `object.p` is its prior mass (1/n for tuples,
+  /// 1/d for values); `object.cond` its conditional distribution.
+  void Insert(const Dcf& object);
+
+  /// All leaf DCF entries, left to right. These are the Phase-2 inputs.
+  std::vector<Dcf> LeafDcfs() const;
+
+  /// Walks the whole tree checking structural invariants: node fan-outs
+  /// within bounds, every internal accumulator equal to the sum of its
+  /// subtree's leaf statistics (within tolerance), and total mass equal
+  /// to the inserted mass. Returns a description of the first violation,
+  /// or an empty string. Test/debug aid — O(total support).
+  std::string ValidateInvariants() const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Node;
+  struct ChildRef;
+
+  /// Result of inserting into a subtree: if the node split, the two
+  /// replacement children (each with a fresh accumulator summary).
+  struct SplitResult {
+    std::unique_ptr<ChildRef> halves[2];
+    bool DidSplit() const { return halves[0] != nullptr; }
+  };
+
+  SplitResult InsertInto(Node* node, const Dcf& object);
+  std::unique_ptr<ChildRef> MakeChildRef(std::unique_ptr<Node> node) const;
+  static void AccumulateSubtree(const Node* node, double* p,
+                                std::unordered_map<uint32_t, double>* acc);
+  void SplitLeaf(Node* leaf, std::unique_ptr<Node>* out_a,
+                 std::unique_ptr<Node>* out_b) const;
+  void SplitInternal(Node* node, std::unique_ptr<Node>* out_a,
+                     std::unique_ptr<Node>* out_b) const;
+  void CollectLeaves(const Node* node, std::vector<Dcf>* out) const;
+  size_t CountNodes(const Node* node) const;
+
+  Options options_;
+  Stats stats_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace limbo::core
+
+#endif  // LIMBO_CORE_DCF_TREE_H_

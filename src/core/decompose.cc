@@ -1,0 +1,151 @@
+#include "core/decompose.h"
+
+#include <algorithm>
+#include <string>
+
+#include "relation/ops.h"
+#include "util/strings.h"
+
+namespace limbo::core {
+
+namespace {
+
+using relation::AttributeId;
+using relation::Relation;
+
+util::Result<Relation> DistinctProjection(const Relation& rel,
+                                          fd::AttributeSet attributes) {
+  std::vector<AttributeId> list = attributes.ToList();
+  LIMBO_ASSIGN_OR_RETURN(Relation projected, relation::Project(rel, list));
+  return relation::Distinct(projected);
+}
+
+}  // namespace
+
+util::Result<Decomposition> DecomposeOn(const Relation& rel,
+                                        const fd::FunctionalDependency& f) {
+  const size_t m = rel.NumAttributes();
+  const fd::AttributeSet all = fd::AttributeSet::Full(m);
+  const fd::AttributeSet s1_attrs = f.lhs.Union(f.rhs);
+  const fd::AttributeSet s2_attrs = all.Minus(f.rhs.Minus(f.lhs));
+  if (f.lhs.Empty() || f.rhs.Empty()) {
+    return util::Status::InvalidArgument(
+        "decomposition needs non-empty LHS and RHS");
+  }
+  if (!s1_attrs.IsSubsetOf(all)) {
+    return util::Status::OutOfRange("FD mentions attributes outside the "
+                                    "relation");
+  }
+  if (s2_attrs == all) {
+    return util::Status::InvalidArgument(
+        "RHS is contained in LHS; decomposition would be trivial");
+  }
+  if (!fd::Holds(rel, f)) {
+    return util::Status::FailedPrecondition(
+        "FD does not hold; decomposing on it would lose information");
+  }
+
+  Decomposition out;
+  LIMBO_ASSIGN_OR_RETURN(out.s1, DistinctProjection(rel, s1_attrs));
+  LIMBO_ASSIGN_OR_RETURN(out.s2, DistinctProjection(rel, s2_attrs));
+  out.original_cells = rel.NumTuples() * m;
+  out.decomposed_cells = out.s1.NumTuples() * out.s1.NumAttributes() +
+                         out.s2.NumTuples() * out.s2.NumAttributes();
+  out.storage_saving =
+      out.original_cells == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(out.decomposed_cells) /
+                      static_cast<double>(out.original_cells);
+  return out;
+}
+
+util::Result<bool> JoinsBackLosslessly(const Relation& rel,
+                                       const fd::FunctionalDependency& f,
+                                       const Decomposition& decomposition) {
+  // Join S2 with S1 on the (shared) LHS attributes.
+  std::vector<relation::JoinKey> keys;
+  for (AttributeId a : f.lhs.ToList()) {
+    keys.push_back({rel.schema().Name(a), rel.schema().Name(a)});
+  }
+  LIMBO_ASSIGN_OR_RETURN(
+      Relation joined,
+      relation::EquiJoin(decomposition.s2, decomposition.s1, keys));
+  const Relation expected = relation::Distinct(rel);
+  if (joined.NumTuples() != expected.NumTuples()) return false;
+
+  // Compare as multisets of rows keyed by original attribute names.
+  std::vector<AttributeId> joined_order;
+  for (size_t a = 0; a < rel.NumAttributes(); ++a) {
+    LIMBO_ASSIGN_OR_RETURN(AttributeId ja,
+                           joined.schema().Find(rel.schema().Name(
+                               static_cast<AttributeId>(a))));
+    joined_order.push_back(ja);
+  }
+  auto row_key = [](const Relation& r,
+                    relation::TupleId t,
+                    const std::vector<AttributeId>& order) {
+    std::string key;
+    for (AttributeId a : order) {
+      key += r.TextAt(t, a);
+      key += '\x1f';
+    }
+    return key;
+  };
+  std::vector<AttributeId> identity;
+  for (size_t a = 0; a < rel.NumAttributes(); ++a) {
+    identity.push_back(static_cast<AttributeId>(a));
+  }
+  std::vector<std::string> lhs_rows;
+  std::vector<std::string> rhs_rows;
+  for (relation::TupleId t = 0; t < joined.NumTuples(); ++t) {
+    lhs_rows.push_back(row_key(joined, t, joined_order));
+  }
+  for (relation::TupleId t = 0; t < expected.NumTuples(); ++t) {
+    rhs_rows.push_back(row_key(expected, t, identity));
+  }
+  std::sort(lhs_rows.begin(), lhs_rows.end());
+  std::sort(rhs_rows.begin(), rhs_rows.end());
+  return lhs_rows == rhs_rows;
+}
+
+util::Result<std::vector<Relation>> DecomposeGreedily(
+    const Relation& rel, const std::vector<fd::FunctionalDependency>& fds) {
+  std::vector<Relation> fragments;
+  fragments.push_back(relation::Distinct(rel));
+  for (const fd::FunctionalDependency& f : fds) {
+    // Find the fragment still containing all the FD's attributes.
+    const std::vector<AttributeId> needed = f.lhs.Union(f.rhs).ToList();
+    for (size_t i = 0; i < fragments.size(); ++i) {
+      Relation& fragment = fragments[i];
+      fd::AttributeSet local_lhs;
+      fd::AttributeSet local_rhs;
+      bool all_present = true;
+      for (AttributeId a : needed) {
+        auto found = fragment.schema().Find(rel.schema().Name(a));
+        if (!found.ok()) {
+          all_present = false;
+          break;
+        }
+        if (f.lhs.Contains(a)) local_lhs = local_lhs.With(*found);
+        if (f.rhs.Contains(a)) local_rhs = local_rhs.With(*found);
+      }
+      if (!all_present) continue;
+      const fd::AttributeSet keep =
+          fd::AttributeSet::Full(fragment.NumAttributes())
+              .Minus(local_rhs.Minus(local_lhs));
+      if (keep.Count() == fragment.NumAttributes() || local_rhs.Empty()) {
+        break;  // nothing to split off
+      }
+      auto decomposition =
+          DecomposeOn(fragment, {local_lhs, local_rhs});
+      if (!decomposition.ok()) break;  // e.g. FD no longer informative
+      Relation s1 = std::move(decomposition->s1);
+      fragments[i] = std::move(decomposition->s2);
+      fragments.push_back(std::move(s1));
+      break;
+    }
+  }
+  return fragments;
+}
+
+}  // namespace limbo::core

@@ -1,0 +1,50 @@
+#ifndef LIMBO_CORE_DECOMPOSE_H_
+#define LIMBO_CORE_DECOMPOSE_H_
+
+#include <vector>
+
+#include "fd/fd.h"
+#include "relation/relation.h"
+#include "util/result.h"
+
+namespace limbo::core {
+
+/// Result of a binary vertical decomposition of R on an FD X → Y:
+///   S1 = π_{X ∪ Y}(R)   (distinct),
+///   S2 = π_{R − Y}(R)   (distinct).
+/// The decomposition is lossless because X → Y makes X a key of S1.
+struct Decomposition {
+  relation::Relation s1;
+  relation::Relation s2;
+  /// Cell counts before/after: |R|·m vs |S1|·m1 + |S2|·m2.
+  size_t original_cells = 0;
+  size_t decomposed_cells = 0;
+  /// 1 − decomposed/original (positive = the decomposition stores less).
+  double storage_saving = 0.0;
+};
+
+/// Decomposes `rel` on `f` (which must hold in `rel` and must leave at
+/// least one attribute on each side).
+util::Result<Decomposition> DecomposeOn(const relation::Relation& rel,
+                                        const fd::FunctionalDependency& f);
+
+/// Verifies losslessness: S1 ⋈ S2 (natural join on X) reproduces exactly
+/// the distinct tuples of `rel`. Used by tests and by cautious callers.
+util::Result<bool> JoinsBackLosslessly(const relation::Relation& rel,
+                                       const fd::FunctionalDependency& f,
+                                       const Decomposition& decomposition);
+
+/// Applies FD-ranked decompositions greedily: decomposes on `fds` in the
+/// given order, skipping any FD whose attributes are no longer together
+/// in one fragment, and returns the resulting fragment relations.
+///
+/// This is the "physical data-design tool" use the paper sketches: feed
+/// it the FD-RANK output and it produces a normalized-ish design whose
+/// fragments duplicate less.
+util::Result<std::vector<relation::Relation>> DecomposeGreedily(
+    const relation::Relation& rel,
+    const std::vector<fd::FunctionalDependency>& fds);
+
+}  // namespace limbo::core
+
+#endif  // LIMBO_CORE_DECOMPOSE_H_

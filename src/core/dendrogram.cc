@@ -1,0 +1,136 @@
+#include "core/dendrogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace limbo::core {
+
+namespace {
+
+struct Node {
+  int32_t left = -1;   // cluster id or -1 for a leaf
+  int32_t right = -1;
+  double loss = 0.0;  // per-merge information loss (x position)
+};
+
+/// Leaf order by DFS so every merge spans a contiguous row range.
+void CollectLeaves(const std::vector<Node>& nodes, uint32_t id,
+                   std::vector<uint32_t>* out) {
+  if (nodes[id].left < 0) {
+    out->push_back(id);
+    return;
+  }
+  CollectLeaves(nodes, static_cast<uint32_t>(nodes[id].left), out);
+  CollectLeaves(nodes, static_cast<uint32_t>(nodes[id].right), out);
+}
+
+}  // namespace
+
+std::string RenderDendrogram(const AibResult& result,
+                             const std::vector<std::string>& labels,
+                             size_t width) {
+  const size_t q = result.num_objects();
+  LIMBO_CHECK(labels.size() == q);
+  if (q == 0) return "";
+  if (q == 1) return labels[0] + "\n";
+
+  std::vector<Node> nodes(q + result.merges().size());
+  double max_loss = 0.0;
+  for (const Merge& m : result.merges()) {
+    nodes[m.merged].left = static_cast<int32_t>(m.left);
+    nodes[m.merged].right = static_cast<int32_t>(m.right);
+    nodes[m.merged].loss = m.delta_i;
+    max_loss = std::max(max_loss, m.delta_i);
+  }
+  if (max_loss <= 0.0) max_loss = 1.0;
+
+  // Roots: clusters that are never merged further.
+  std::vector<bool> has_parent(nodes.size(), false);
+  for (const Merge& m : result.merges()) {
+    has_parent[m.left] = true;
+    has_parent[m.right] = true;
+  }
+  std::vector<uint32_t> order;
+  for (uint32_t id = 0; id < nodes.size(); ++id) {
+    if (!has_parent[id]) CollectLeaves(nodes, id, &order);
+  }
+  LIMBO_CHECK(order.size() == q);
+
+  size_t label_width = 0;
+  for (const std::string& label : labels) {
+    label_width = std::max(label_width, label.size());
+  }
+  const size_t x0 = label_width + 2;
+  const size_t total_width = x0 + width + 2;
+  const size_t rows = q;
+  std::vector<std::string> grid(rows + 2,
+                                std::string(total_width, ' '));
+
+  // Row of each cluster (leaves at their order position; merges at the
+  // midpoint) and x column (leaves at x0; merges scaled by loss).
+  std::vector<double> row(nodes.size(), 0.0);
+  std::vector<size_t> col(nodes.size(), x0);
+  std::vector<uint32_t> leaf_row(q, 0);
+  for (size_t r = 0; r < order.size(); ++r) {
+    row[order[r]] = static_cast<double>(r);
+    leaf_row[order[r]] = static_cast<uint32_t>(r);
+  }
+  for (const Merge& m : result.merges()) {
+    row[m.merged] = (row[m.left] + row[m.right]) / 2.0;
+    size_t x = x0 + static_cast<size_t>(
+                        std::lround(m.delta_i / max_loss * width));
+    // Keep parents to the right of their children even if δI dips.
+    x = std::max({x, col[m.left] + 1, col[m.right] + 1});
+    x = std::min(x, total_width - 1);
+    col[m.merged] = x;
+  }
+
+  // Leaf labels.
+  for (size_t r = 0; r < q; ++r) {
+    const std::string& label = labels[order[r]];
+    grid[r].replace(0, label.size(), label);
+  }
+  // Draw merges: horizontal runs from each child to the merge column on
+  // the child's *representative* row, and a vertical connector.
+  for (const Merge& m : result.merges()) {
+    const size_t x = col[m.merged];
+    for (uint32_t child : {m.left, m.right}) {
+      const auto child_row =
+          static_cast<size_t>(std::lround(row[child]));
+      for (size_t c = col[child]; c < x; ++c) {
+        if (grid[child_row][c] == ' ') grid[child_row][c] = '-';
+      }
+    }
+    const auto top = static_cast<size_t>(
+        std::lround(std::min(row[m.left], row[m.right])));
+    const auto bottom = static_cast<size_t>(
+        std::lround(std::max(row[m.left], row[m.right])));
+    for (size_t r = top; r <= bottom; ++r) {
+      grid[r][x] = (r == top || r == bottom) ? '+' : '|';
+    }
+    // Continuation stub on the merged cluster's row.
+    const auto mid = static_cast<size_t>(std::lround(row[m.merged]));
+    if (grid[mid][x] == ' ') grid[mid][x] = '|';
+  }
+
+  std::string out;
+  for (size_t r = 0; r < rows; ++r) {
+    // Trim trailing spaces.
+    std::string line = grid[r];
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    out += line;
+    out += '\n';
+  }
+  // Loss axis.
+  out += std::string(x0, ' ') + std::string(width, '~') + '\n';
+  out += std::string(x0, ' ') +
+         util::StrFormat("0%*s", static_cast<int>(width - 1),
+                         util::StrFormat("max loss = %.4f", max_loss).c_str()) +
+         '\n';
+  return out;
+}
+
+}  // namespace limbo::core

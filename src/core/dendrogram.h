@@ -1,0 +1,28 @@
+#ifndef LIMBO_CORE_DENDROGRAM_H_
+#define LIMBO_CORE_DENDROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/aib.h"
+
+namespace limbo::core {
+
+/// Renders an agglomerative merge sequence as an ASCII dendrogram in the
+/// style of the paper's Figures 10 and 14-18: one row per leaf, merge
+/// brackets placed at a column proportional to the merge's information
+/// loss, plus a loss axis.
+///
+///   DeptNo    ─┐
+///   DeptName  ─┤________
+///   MgrNo     ─┘        |
+///   ...
+///
+/// `labels[i]` names leaf i (i.e. input object i of the AIB run).
+std::string RenderDendrogram(const AibResult& result,
+                             const std::vector<std::string>& labels,
+                             size_t width = 56);
+
+}  // namespace limbo::core
+
+#endif  // LIMBO_CORE_DENDROGRAM_H_

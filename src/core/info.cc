@@ -1,0 +1,97 @@
+#include "core/info.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace limbo::core {
+
+namespace {
+constexpr double kLog2e = 1.4426950408889634;
+double Log2(double x) { return std::log(x) * kLog2e; }
+}  // namespace
+
+double Entropy(std::span<const double> probabilities) {
+  double h = 0.0;
+  for (double p : probabilities) {
+    if (p > 0.0) h -= p * Log2(p);
+  }
+  return h;
+}
+
+double EntropyOfCounts(std::span<const uint64_t> counts) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  const double dt = static_cast<double>(total);
+  for (uint64_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / dt;
+    h -= p * Log2(p);
+  }
+  return h;
+}
+
+namespace {
+
+/// Dense accumulation of the marginal, O(total nnz + max id). The merge-
+/// based alternative is quadratic when the marginal support is large.
+std::vector<double> DenseMarginal(const WeightedRows& data) {
+  LIMBO_CHECK(data.weights.size() == data.rows.size());
+  uint32_t max_id = 0;
+  bool any = false;
+  for (const auto& row : data.rows) {
+    if (!row.Empty()) {
+      max_id = std::max(max_id, row.entries().back().id);
+      any = true;
+    }
+  }
+  std::vector<double> dense(any ? max_id + 1 : 0, 0.0);
+  for (size_t i = 0; i < data.rows.size(); ++i) {
+    const double w = data.weights[i];
+    if (w <= 0.0) continue;
+    for (const auto& e : data.rows[i].entries()) {
+      dense[e.id] += w * e.mass;
+    }
+  }
+  return dense;
+}
+
+}  // namespace
+
+SparseDistribution Marginal(const WeightedRows& data) {
+  std::vector<double> dense = DenseMarginal(data);
+  std::vector<SparseDistribution::Entry> entries;
+  for (uint32_t id = 0; id < dense.size(); ++id) {
+    if (dense[id] > 0.0) entries.push_back({id, dense[id]});
+  }
+  if (entries.empty()) return SparseDistribution();
+  return SparseDistribution::FromPairs(std::move(entries));
+}
+
+double MutualInformation(const WeightedRows& data) {
+  const std::vector<double> dense = DenseMarginal(data);
+  double info = 0.0;
+  for (size_t i = 0; i < data.rows.size(); ++i) {
+    const double w = data.weights[i];
+    if (w <= 0.0) continue;
+    for (const auto& e : data.rows[i].entries()) {
+      info += w * e.mass * Log2(e.mass / dense[e.id]);
+    }
+  }
+  return info < 0.0 ? 0.0 : info;
+}
+
+double ConditionalEntropy(const WeightedRows& data) {
+  double h = 0.0;
+  for (size_t i = 0; i < data.rows.size(); ++i) {
+    const double w = data.weights[i];
+    if (w <= 0.0) continue;
+    h += w * data.rows[i].Entropy();
+  }
+  return h;
+}
+
+}  // namespace limbo::core

@@ -1,0 +1,40 @@
+#ifndef LIMBO_CORE_INFO_H_
+#define LIMBO_CORE_INFO_H_
+
+#include <span>
+#include <vector>
+
+#include "core/prob.h"
+
+namespace limbo::core {
+
+/// A weighted collection of conditional distributions: row i carries prior
+/// weight `weights[i]` (p(object_i)) and conditional `rows[i]` (p(T|object_i)).
+/// This is the sparse form of the paper's matrices M and N.
+struct WeightedRows {
+  std::vector<double> weights;
+  std::vector<SparseDistribution> rows;
+};
+
+/// Shannon entropy (base 2) of an explicit probability vector.
+/// Zero-probability entries contribute 0.
+double Entropy(std::span<const double> probabilities);
+
+/// Entropy (base 2) of the empirical distribution of `counts`
+/// (counts need not be normalized; zero counts contribute 0).
+double EntropyOfCounts(std::span<const uint64_t> counts);
+
+/// Marginal p(T) = sum_i w_i * p(T | object_i) of a weighted row set.
+SparseDistribution Marginal(const WeightedRows& data);
+
+/// Mutual information I(O; T) (base 2) of a weighted row set:
+///   I = sum_i w_i * D_KL[ p(T|o_i) || p(T) ].
+double MutualInformation(const WeightedRows& data);
+
+/// Conditional entropy H(T | O) = H(T) - I(O; T), computed directly as
+///   sum_i w_i * H(p(T|o_i)).
+double ConditionalEntropy(const WeightedRows& data);
+
+}  // namespace limbo::core
+
+#endif  // LIMBO_CORE_INFO_H_

@@ -1,0 +1,102 @@
+#include "core/information_content.h"
+
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace limbo::core {
+
+namespace {
+
+using relation::AttributeId;
+using relation::TupleId;
+
+/// FNV-1a over the row restricted to `attrs`.
+uint64_t HashRestricted(const relation::Relation& rel, TupleId t,
+                        const std::vector<AttributeId>& attrs) {
+  uint64_t h = 1469598103934665603ULL;
+  for (AttributeId a : attrs) {
+    h ^= rel.At(t, a);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool EqualRestricted(const relation::Relation& rel, TupleId x, TupleId y,
+                     const std::vector<AttributeId>& attrs) {
+  for (AttributeId a : attrs) {
+    if (rel.At(x, a) != rel.At(y, a)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Result<InformationContent> AnalyzeInformationContent(
+    const relation::Relation& rel,
+    const std::vector<fd::FunctionalDependency>& fds) {
+  const size_t n = rel.NumTuples();
+  const size_t m = rel.NumAttributes();
+  InformationContent result;
+  result.total_cells = n * m;
+
+  // redundant[t*m + a] = true once witnessed.
+  std::vector<bool> redundant(n * m, false);
+
+  for (size_t fi = 0; fi < fds.size(); ++fi) {
+    const fd::FunctionalDependency& f = fds[fi];
+    if (!fd::Holds(rel, f)) {
+      return util::Status::FailedPrecondition(
+          "FD does not hold; cannot use it for inference: " +
+          f.ToString(rel.schema()));
+    }
+    const std::vector<AttributeId> lhs = f.lhs.ToList();
+    const std::vector<AttributeId> rhs = f.rhs.Minus(f.lhs).ToList();
+    if (rhs.empty()) continue;
+    // Group tuples by LHS; within a group of size >= 2, every RHS cell is
+    // inferable from any *other* member, so all of them are redundant.
+    // (With the empty LHS, every tuple is in one group: a constant column
+    // of n >= 2 rows is redundant everywhere.)
+    std::unordered_map<uint64_t, std::vector<TupleId>> buckets;
+    for (TupleId t = 0; t < n; ++t) {
+      buckets[HashRestricted(rel, t, lhs)].push_back(t);
+    }
+    for (const auto& [hash, bucket] : buckets) {
+      // Split hash buckets into true groups.
+      std::vector<std::vector<TupleId>> groups;
+      for (TupleId t : bucket) {
+        bool placed = false;
+        for (auto& group : groups) {
+          if (EqualRestricted(rel, group.front(), t, lhs)) {
+            group.push_back(t);
+            placed = true;
+            break;
+          }
+        }
+        if (!placed) groups.push_back({t});
+      }
+      for (const auto& group : groups) {
+        if (group.size() < 2) continue;
+        for (TupleId t : group) {
+          for (AttributeId a : rhs) {
+            const size_t idx = static_cast<size_t>(t) * m + a;
+            if (!redundant[idx]) {
+              redundant[idx] = true;
+              result.cells.push_back({t, a, fi});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  result.redundant_cells = result.cells.size();
+  result.content =
+      result.total_cells == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(result.redundant_cells) /
+                      static_cast<double>(result.total_cells);
+  return result;
+}
+
+}  // namespace limbo::core

@@ -1,0 +1,96 @@
+#include "core/limbo.h"
+
+#include <limits>
+
+#include "core/info.h"
+#include "util/strings.h"
+
+namespace limbo::core {
+
+std::vector<Dcf> LimboPhase1(const std::vector<Dcf>& objects,
+                             const LimboOptions& options, double threshold,
+                             DcfTree::Stats* stats) {
+  DcfTree::Options tree_options;
+  tree_options.branching = options.branching;
+  tree_options.leaf_capacity = options.leaf_capacity;
+  tree_options.threshold = threshold;
+  DcfTree tree(tree_options);
+  for (const Dcf& object : objects) tree.Insert(object);
+  if (stats != nullptr) *stats = tree.stats();
+  return tree.LeafDcfs();
+}
+
+util::Result<std::vector<uint32_t>> LimboPhase3(
+    const std::vector<Dcf>& objects, const std::vector<Dcf>& representatives,
+    std::vector<double>* loss) {
+  if (representatives.empty()) {
+    return util::Status::InvalidArgument("Phase 3 needs >= 1 representative");
+  }
+  std::vector<uint32_t> labels(objects.size());
+  if (loss != nullptr) loss->assign(objects.size(), 0.0);
+  for (size_t i = 0; i < objects.size(); ++i) {
+    size_t best = 0;
+    double best_loss = std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r < representatives.size(); ++r) {
+      const double d = InformationLoss(objects[i], representatives[r]);
+      if (d < best_loss) {
+        best_loss = d;
+        best = r;
+      }
+    }
+    labels[i] = static_cast<uint32_t>(best);
+    if (loss != nullptr) (*loss)[i] = best_loss;
+  }
+  return labels;
+}
+
+util::Result<LimboResult> RunLimbo(const std::vector<Dcf>& objects,
+                                   const LimboOptions& options) {
+  if (objects.empty()) {
+    return util::Status::InvalidArgument("LIMBO needs >= 1 object");
+  }
+  if (options.phi < 0.0) {
+    return util::Status::InvalidArgument("phi must be >= 0");
+  }
+  if (options.k > objects.size()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "k=%zu exceeds object count %zu", options.k, objects.size()));
+  }
+
+  LimboResult result;
+
+  // I(V;T) of the raw objects, needed for the Phase-1 threshold.
+  WeightedRows rows;
+  rows.weights.reserve(objects.size());
+  rows.rows.reserve(objects.size());
+  for (const Dcf& o : objects) {
+    rows.weights.push_back(o.p);
+    rows.rows.push_back(o.cond);
+  }
+  result.mutual_information = MutualInformation(rows);
+  result.threshold = options.phi * result.mutual_information /
+                     static_cast<double>(objects.size());
+
+  result.leaves =
+      LimboPhase1(objects, options, result.threshold, &result.tree_stats);
+
+  AibOptions aib_options;
+  aib_options.min_k = (options.k > 0 && options.k <= result.leaves.size())
+                          ? options.k
+                          : 1;
+  LIMBO_ASSIGN_OR_RETURN(result.aib,
+                         AgglomerativeIb(result.leaves, aib_options));
+
+  if (options.k > 0) {
+    const size_t k = aib_options.min_k;  // clipped to leaf count
+    LIMBO_ASSIGN_OR_RETURN(
+        result.representatives,
+        ClusterDcfsAtK(result.leaves, result.aib, k));
+    LIMBO_ASSIGN_OR_RETURN(
+        result.assignments,
+        LimboPhase3(objects, result.representatives, &result.assignment_loss));
+  }
+  return result;
+}
+
+}  // namespace limbo::core

@@ -1,0 +1,69 @@
+#ifndef LIMBO_CORE_LIMBO_H_
+#define LIMBO_CORE_LIMBO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aib.h"
+#include "core/dcf.h"
+#include "core/dcf_tree.h"
+#include "util/result.h"
+
+namespace limbo::core {
+
+/// Parameters of a LIMBO run (Section 5.2).
+struct LimboOptions {
+  /// Accuracy knob φ: Phase-1 merges happen when the information loss does
+  /// not exceed φ·I(V;T)/q, q = number of objects. φ = 0.0 merges only
+  /// identical objects (LIMBO degenerates to AIB); large φ (≈1) produces a
+  /// coarse summary.
+  double phi = 0.0;
+  /// DCF-tree branching factor B. The paper uses B = 4.
+  int branching = 4;
+  /// Leaf capacity (0 = same as branching).
+  int leaf_capacity = 0;
+  /// Number of clusters for Phases 2–3; 0 runs Phase 2 down to k = 1 and
+  /// skips Phase 3 (useful when the caller wants the whole dendrogram).
+  size_t k = 0;
+};
+
+/// Everything a LIMBO run produces.
+struct LimboResult {
+  /// Mutual information I(V;T) of the input objects (bits).
+  double mutual_information = 0.0;
+  /// The Phase-1 merge threshold φ·I/q actually used.
+  double threshold = 0.0;
+  /// Phase-1 leaf summaries.
+  std::vector<Dcf> leaves;
+  /// Phase-2 agglomerative merge sequence over the leaves.
+  AibResult aib{0, {}};
+  /// Phase-2 cluster representatives (only when options.k > 0).
+  std::vector<Dcf> representatives;
+  /// Phase-3 label per input object (only when options.k > 0).
+  std::vector<uint32_t> assignments;
+  /// Phase-3 information loss of each object's assignment.
+  std::vector<double> assignment_loss;
+  DcfTree::Stats tree_stats;
+};
+
+/// Phase 1 only: builds the DCF tree over `objects` with the given
+/// absolute merge `threshold` and returns the leaf summaries.
+std::vector<Dcf> LimboPhase1(const std::vector<Dcf>& objects,
+                             const LimboOptions& options, double threshold,
+                             DcfTree::Stats* stats = nullptr);
+
+/// Phase 3 only: assigns each object to the representative with minimal
+/// information loss. Returns labels; per-object losses go to `loss` if
+/// non-null. Deterministic: ties pick the lowest representative index.
+util::Result<std::vector<uint32_t>> LimboPhase3(
+    const std::vector<Dcf>& objects, const std::vector<Dcf>& representatives,
+    std::vector<double>* loss = nullptr);
+
+/// Full pipeline: computes I(V;T), runs Phase 1 with threshold φ·I/q,
+/// Phase 2 (AIB on the leaves) and, when options.k > 0, Phase 3.
+util::Result<LimboResult> RunLimbo(const std::vector<Dcf>& objects,
+                                   const LimboOptions& options);
+
+}  // namespace limbo::core
+
+#endif  // LIMBO_CORE_LIMBO_H_

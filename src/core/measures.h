@@ -1,0 +1,28 @@
+#ifndef LIMBO_CORE_MEASURES_H_
+#define LIMBO_CORE_MEASURES_H_
+
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace limbo::core {
+
+/// Relative Attribute Duplication (Section 8):
+///   RAD(C_A) = 1 − H(t_{C_A} | C_A) / log2(n)
+/// where H is the entropy of the bag of tuples projected on the attribute
+/// set C_A. 1.0 means every projected tuple is identical (maximal
+/// duplication); 0.0 means all projected tuples are distinct.
+/// Defined as 1.0 for n <= 1.
+double Rad(const relation::Relation& rel,
+           const std::vector<relation::AttributeId>& attributes);
+
+/// Relative Tuple Reduction (Section 8):
+///   RTR(C_A) = 1 − n' / n
+/// where n' is the number of *distinct* tuples projected on C_A.
+/// Defined as 0.0 for n == 0.
+double Rtr(const relation::Relation& rel,
+           const std::vector<relation::AttributeId>& attributes);
+
+}  // namespace limbo::core
+
+#endif  // LIMBO_CORE_MEASURES_H_

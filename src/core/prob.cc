@@ -1,0 +1,195 @@
+#include "core/prob.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace limbo::core {
+
+namespace {
+constexpr double kLog2e = 1.4426950408889634;  // 1/ln(2)
+
+double Log2(double x) { return std::log(x) * kLog2e; }
+}  // namespace
+
+SparseDistribution SparseDistribution::UniformOver(
+    std::span<const uint32_t> ids) {
+  SparseDistribution d;
+  if (ids.empty()) return d;
+  const double mass = 1.0 / static_cast<double>(ids.size());
+  d.entries_.reserve(ids.size());
+  for (uint32_t id : ids) d.entries_.push_back({id, mass});
+  std::sort(d.entries_.begin(), d.entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.id < b.id; });
+  for (size_t i = 1; i < d.entries_.size(); ++i) {
+    LIMBO_CHECK(d.entries_[i].id != d.entries_[i - 1].id);
+  }
+  return d;
+}
+
+SparseDistribution SparseDistribution::FromPairs(std::vector<Entry> entries) {
+  SparseDistribution d;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.id < b.id; });
+  double total = 0.0;
+  for (const Entry& e : entries) {
+    LIMBO_CHECK(e.mass >= 0.0);
+    total += e.mass;
+  }
+  LIMBO_CHECK(total > 0.0);
+  d.entries_.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) LIMBO_CHECK(entries[i].id != entries[i - 1].id);
+    if (entries[i].mass > 0.0) {
+      d.entries_.push_back({entries[i].id, entries[i].mass / total});
+    }
+  }
+  return d;
+}
+
+SparseDistribution SparseDistribution::WeightedMerge(
+    double w1, const SparseDistribution& a, double w2,
+    const SparseDistribution& b) {
+  SparseDistribution out;
+  out.entries_.reserve(a.entries_.size() + b.entries_.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.entries_.size() && j < b.entries_.size()) {
+    const Entry& ea = a.entries_[i];
+    const Entry& eb = b.entries_[j];
+    if (ea.id < eb.id) {
+      out.entries_.push_back({ea.id, w1 * ea.mass});
+      ++i;
+    } else if (eb.id < ea.id) {
+      out.entries_.push_back({eb.id, w2 * eb.mass});
+      ++j;
+    } else {
+      out.entries_.push_back({ea.id, w1 * ea.mass + w2 * eb.mass});
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.entries_.size(); ++i) {
+    out.entries_.push_back({a.entries_[i].id, w1 * a.entries_[i].mass});
+  }
+  for (; j < b.entries_.size(); ++j) {
+    out.entries_.push_back({b.entries_[j].id, w2 * b.entries_[j].mass});
+  }
+  return out;
+}
+
+double SparseDistribution::MassAt(uint32_t id) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const Entry& e, uint32_t target) { return e.id < target; });
+  if (it == entries_.end() || it->id != id) return 0.0;
+  return it->mass;
+}
+
+double SparseDistribution::TotalMass() const {
+  double total = 0.0;
+  for (const Entry& e : entries_) total += e.mass;
+  return total;
+}
+
+double SparseDistribution::Entropy() const {
+  double h = 0.0;
+  for (const Entry& e : entries_) {
+    if (e.mass > 0.0) h -= e.mass * Log2(e.mass);
+  }
+  return h;
+}
+
+double KlDivergence(const SparseDistribution& p, const SparseDistribution& q) {
+  double d = 0.0;
+  const auto& pe = p.entries();
+  const auto& qe = q.entries();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < pe.size()) {
+    while (j < qe.size() && qe[j].id < pe[i].id) ++j;
+    if (j == qe.size() || qe[j].id != pe[i].id) {
+      return std::numeric_limits<double>::infinity();
+    }
+    d += pe[i].mass * Log2(pe[i].mass / qe[j].mass);
+    ++i;
+  }
+  return d;
+}
+
+namespace {
+
+/// JS divergence when |p| << |q|: for ids only in q the per-id term is
+/// w2 * q_i * log(1/w2), and the q-only mass is 1 - (q-mass at p's ids),
+/// so the whole sum needs only |p| binary searches into q.
+double JsDivergenceAsymmetric(double w1, const SparseDistribution& p,
+                              double w2, const SparseDistribution& q) {
+  const double log_inv_w1 = (w1 > 0.0) ? -std::log2(w1) : 0.0;
+  const double log_inv_w2 = (w2 > 0.0) ? -std::log2(w2) : 0.0;
+  double d = 0.0;
+  double shared_q_mass = 0.0;
+  for (const auto& e : p.entries()) {
+    const double qm = q.MassAt(e.id);
+    if (qm == 0.0) {
+      d += w1 * e.mass * log_inv_w1;
+    } else {
+      shared_q_mass += qm;
+      const double mm = w1 * e.mass + w2 * qm;
+      d += w1 * e.mass * Log2(e.mass / mm) + w2 * qm * Log2(qm / mm);
+    }
+  }
+  // Assumes q is normalized (every distribution in this library is); this
+  // avoids the O(|q|) total-mass scan the fast path exists to skip.
+  const double q_only = 1.0 - shared_q_mass;
+  if (q_only > 0.0) d += w2 * q_only * log_inv_w2;
+  return d < 0.0 ? 0.0 : d;
+}
+
+}  // namespace
+
+double JsDivergence(double w1, const SparseDistribution& p, double w2,
+                    const SparseDistribution& q) {
+  // For id present only in p: m = w1*p_i, term = w1 * p_i * log(p_i / m)
+  //                                            = w1 * p_i * log(1/w1).
+  // Symmetrically for q. Shared ids use the full formula.
+  if (p.Empty() || q.Empty()) return 0.0;
+  // Asymmetric fast path: iterating the union is wasteful when one side is
+  // tiny (an object distribution vs. a near-root cluster summary).
+  if (p.SupportSize() * 16 < q.SupportSize()) {
+    return JsDivergenceAsymmetric(w1, p, w2, q);
+  }
+  if (q.SupportSize() * 16 < p.SupportSize()) {
+    return JsDivergenceAsymmetric(w2, q, w1, p);
+  }
+  const double log_inv_w1 = (w1 > 0.0) ? -Log2(w1) : 0.0;
+  const double log_inv_w2 = (w2 > 0.0) ? -Log2(w2) : 0.0;
+  double d = 0.0;
+  const auto& pe = p.entries();
+  const auto& qe = q.entries();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < pe.size() && j < qe.size()) {
+    if (pe[i].id < qe[j].id) {
+      d += w1 * pe[i].mass * log_inv_w1;
+      ++i;
+    } else if (qe[j].id < pe[i].id) {
+      d += w2 * qe[j].mass * log_inv_w2;
+      ++j;
+    } else {
+      const double pm = pe[i].mass;
+      const double qm = qe[j].mass;
+      const double mm = w1 * pm + w2 * qm;
+      d += w1 * pm * Log2(pm / mm) + w2 * qm * Log2(qm / mm);
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < pe.size(); ++i) d += w1 * pe[i].mass * log_inv_w1;
+  for (; j < qe.size(); ++j) d += w2 * qe[j].mass * log_inv_w2;
+  // Guard against tiny negative rounding artifacts.
+  return d < 0.0 ? 0.0 : d;
+}
+
+}  // namespace limbo::core

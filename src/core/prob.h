@@ -1,0 +1,80 @@
+#ifndef LIMBO_CORE_PROB_H_
+#define LIMBO_CORE_PROB_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace limbo::core {
+
+/// A sparse probability distribution over a discrete domain indexed by
+/// uint32 ids. Entries are sorted by id and strictly positive; absent ids
+/// have mass zero. This is the representation of every p(T|c) / p(V|t)
+/// vector in the paper — clusters over large domains stay cheap as long as
+/// their supports are small, and merges are linear in the union support.
+class SparseDistribution {
+ public:
+  struct Entry {
+    uint32_t id;
+    double mass;
+  };
+
+  SparseDistribution() = default;
+
+  /// Uniform distribution over `ids` (need not be sorted; must be unique).
+  static SparseDistribution UniformOver(std::span<const uint32_t> ids);
+
+  /// From explicit (id, mass) pairs; normalizes so masses sum to 1.
+  /// Pairs need not be sorted; ids must be unique; masses must be >= 0 and
+  /// not all zero.
+  static SparseDistribution FromPairs(std::vector<Entry> entries);
+
+  /// Convex combination w1*a + w2*b (w1 + w2 should be 1 for a valid
+  /// distribution; the function does not renormalize). This is Eq. (2) of
+  /// the paper with w1 = p(c1)/p(c*), w2 = p(c2)/p(c*).
+  static SparseDistribution WeightedMerge(double w1,
+                                          const SparseDistribution& a,
+                                          double w2,
+                                          const SparseDistribution& b);
+
+  size_t SupportSize() const { return entries_.size(); }
+  bool Empty() const { return entries_.empty(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Mass at `id` (0 if absent). O(log support).
+  double MassAt(uint32_t id) const;
+
+  /// Sum of masses (1.0 up to rounding for a proper distribution).
+  double TotalMass() const;
+
+  /// Shannon entropy, base 2.
+  double Entropy() const;
+
+  bool operator==(const SparseDistribution& other) const {
+    return entries_ == other.entries_;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+
+  friend bool operator==(const Entry& a, const Entry& b);
+};
+
+inline bool operator==(const SparseDistribution::Entry& a,
+                       const SparseDistribution::Entry& b) {
+  return a.id == b.id && a.mass == b.mass;
+}
+
+/// Kullback–Leibler divergence D_KL[p || q], base 2. Requires the support
+/// of p to be contained in the support of q; returns +inf otherwise.
+double KlDivergence(const SparseDistribution& p, const SparseDistribution& q);
+
+/// Weighted Jensen–Shannon divergence
+///   JS_{w1,w2}[p, q] = w1 D_KL[p || m] + w2 D_KL[q || m],  m = w1 p + w2 q.
+/// Computed in one merge pass without materializing m. Base 2; bounded by 1.
+double JsDivergence(double w1, const SparseDistribution& p, double w2,
+                    const SparseDistribution& q);
+
+}  // namespace limbo::core
+
+#endif  // LIMBO_CORE_PROB_H_

@@ -1,0 +1,115 @@
+#include "core/summary_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace limbo::core {
+
+namespace {
+constexpr const char* kMagic = "limbo-dcf";
+constexpr int kVersion = 1;
+}  // namespace
+
+std::string SerializeDcfs(const std::vector<Dcf>& dcfs) {
+  std::string out = util::StrFormat("%s %d\n%zu\n", kMagic, kVersion,
+                                    dcfs.size());
+  for (const Dcf& d : dcfs) {
+    out += util::StrFormat("p %.17g k %zu", d.p, d.cond.SupportSize());
+    if (d.IsAdcf()) {
+      out += util::StrFormat(" a %zu", d.attr_counts.size());
+      for (uint64_t c : d.attr_counts) {
+        out += util::StrFormat(" %" PRIu64, c);
+      }
+    }
+    out += "\n";
+    for (const auto& e : d.cond.entries()) {
+      out += util::StrFormat("%u %.17g\n", e.id, e.mass);
+    }
+  }
+  return out;
+}
+
+util::Result<std::vector<Dcf>> ParseDcfs(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    return util::Status::InvalidArgument("not a limbo-dcf stream");
+  }
+  if (version != kVersion) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("unsupported dcf version %d", version));
+  }
+  size_t count = 0;
+  if (!(in >> count)) {
+    return util::Status::InvalidArgument("missing summary count");
+  }
+  std::vector<Dcf> dcfs;
+  dcfs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string tag;
+    Dcf d;
+    size_t support = 0;
+    if (!(in >> tag >> d.p) || tag != "p") {
+      return util::Status::InvalidArgument(
+          util::StrFormat("summary %zu: expected 'p <mass>'", i));
+    }
+    if (!(in >> tag >> support) || tag != "k") {
+      return util::Status::InvalidArgument(
+          util::StrFormat("summary %zu: expected 'k <support>'", i));
+    }
+    // Optional ADCF block.
+    if (in >> std::ws && in.peek() == 'a') {
+      size_t m = 0;
+      if (!(in >> tag >> m) || tag != "a") {
+        return util::Status::InvalidArgument(
+            util::StrFormat("summary %zu: malformed attr-count header", i));
+      }
+      d.attr_counts.resize(m);
+      for (size_t a = 0; a < m; ++a) {
+        if (!(in >> d.attr_counts[a])) {
+          return util::Status::InvalidArgument(
+              util::StrFormat("summary %zu: truncated attr counts", i));
+        }
+      }
+    }
+    std::vector<SparseDistribution::Entry> entries;
+    entries.reserve(support);
+    for (size_t e = 0; e < support; ++e) {
+      uint32_t id = 0;
+      double mass = 0.0;
+      if (!(in >> id >> mass)) {
+        return util::Status::InvalidArgument(
+            util::StrFormat("summary %zu: truncated support", i));
+      }
+      entries.push_back({id, mass});
+    }
+    if (!entries.empty()) {
+      d.cond = SparseDistribution::FromPairs(std::move(entries));
+    }
+    dcfs.push_back(std::move(d));
+  }
+  return dcfs;
+}
+
+util::Status SaveDcfs(const std::vector<Dcf>& dcfs, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::IoError("cannot open " + path);
+  out << SerializeDcfs(dcfs);
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<std::vector<Dcf>> LoadDcfs(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseDcfs(buf.str());
+}
+
+}  // namespace limbo::core

@@ -1,0 +1,37 @@
+#ifndef LIMBO_CORE_SUMMARY_IO_H_
+#define LIMBO_CORE_SUMMARY_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dcf.h"
+#include "util/result.h"
+
+namespace limbo::core {
+
+/// Serialization of DCF/ADCF summaries. Phase-1 summaries are the
+/// expensive, reusable artifact of the paper's workflow (the same tuple
+/// summaries feed duplicate detection, Double Clustering, attribute
+/// grouping and partitioning), so a data browser wants to build them once
+/// and reload them across sessions.
+///
+/// Format: a versioned line-oriented text format —
+///   limbo-dcf 1
+///   <count>
+///   p <mass> k <support> [a <m> c1..cm]
+///   <id> <mass> ... (support pairs)
+/// Probabilities round-trip exactly via 17-significant-digit decimals.
+
+/// Serializes `dcfs` to a string.
+std::string SerializeDcfs(const std::vector<Dcf>& dcfs);
+
+/// Parses summaries back; fails on malformed or version-mismatched input.
+util::Result<std::vector<Dcf>> ParseDcfs(const std::string& text);
+
+/// File convenience wrappers.
+util::Status SaveDcfs(const std::vector<Dcf>& dcfs, const std::string& path);
+util::Result<std::vector<Dcf>> LoadDcfs(const std::string& path);
+
+}  // namespace limbo::core
+
+#endif  // LIMBO_CORE_SUMMARY_IO_H_

@@ -1,0 +1,34 @@
+#ifndef LIMBO_DATAGEN_DB2_SAMPLE_H_
+#define LIMBO_DATAGEN_DB2_SAMPLE_H_
+
+#include "relation/relation.h"
+#include "util/result.h"
+
+namespace limbo::datagen {
+
+/// A deterministic stand-in for the IBM DB2 sample database used in the
+/// paper's small-scale experiments (Section 8.1). Mirrors the schema of
+/// Figure 12 — EMPLOYEE, DEPARTMENT, PROJECT with the same key/foreign-key
+/// structure — and the joined relation
+///   R = (E ⋈_{DeptNo=DeptNo} D) ⋈_{DeptNo=DeptNo} P
+/// with ~90 tuples, 19 attributes and ~255 distinct attribute values.
+///
+/// Planted structure (the ground truth the experiments recover):
+///   DeptNo  → DeptName, MgrNo, AdminDepNo      (department attributes)
+///   DeptName→ MgrNo                            (names and managers 1:1)
+///   EmpNo   → FirstName, LastName, PhoneNo, HireYear, Job, EduLevel,
+///             Sex, BirthYear, DeptNo           (employee attributes)
+///   ProjNo  → ProjName, RespEmpNo, StartDate, EndDate, MajorProjNo
+class Db2Sample {
+ public:
+  static relation::Relation Employees();
+  static relation::Relation Departments();
+  static relation::Relation Projects();
+
+  /// The joined single relation R (19 attributes).
+  static util::Result<relation::Relation> JoinedRelation();
+};
+
+}  // namespace limbo::datagen
+
+#endif  // LIMBO_DATAGEN_DB2_SAMPLE_H_

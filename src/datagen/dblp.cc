@@ -1,0 +1,172 @@
+#include "datagen/dblp.h"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace limbo::datagen {
+
+namespace {
+
+using relation::RelationBuilder;
+
+constexpr size_t kAuthorPool = 9000;
+constexpr size_t kConferencePool = 250;
+constexpr size_t kJournalPool = 60;
+constexpr size_t kSchoolPool = 40;
+constexpr size_t kPublisherPool = 12;
+constexpr size_t kSeriesPool = 10;
+
+const char* const kMonths[] = {"January", "March",    "May",     "June",
+                               "August",  "September", "November", "December"};
+
+std::string AuthorName(size_t i) { return util::StrFormat("Author_%04zu", i); }
+
+enum class Kind { kConference, kJournal, kMisc };
+
+/// Column indexes of the 13-attribute target schema (Figure 13 order).
+enum Column : size_t {
+  kAuthor = 0,
+  kPublisher,
+  kYear,
+  kEditor,
+  kPages,
+  kBookTitle,
+  kMonth,
+  kVolume,
+  kJournal,
+  kNumber,
+  kSchool,
+  kSeries,
+  kIsbn,
+  kNumColumns,
+};
+
+}  // namespace
+
+relation::Relation GenerateDblp(const DblpOptions& options) {
+  auto schema = relation::Schema::Create(
+      {"Author", "Publisher", "Year", "Editor", "Pages", "BookTitle",
+       "Month", "Volume", "Journal", "Number", "School", "Series", "ISBN"});
+  LIMBO_CHECK(schema.ok());
+  RelationBuilder builder(std::move(schema).value());
+  util::Random rng(options.seed);
+
+  // Every author has a home conference, giving the Author↔BookTitle
+  // correlation the paper observes in cluster 1.
+  auto home_conference = [](size_t author) {
+    return (author * 2654435761u) % kConferencePool;
+  };
+  // Journals have a base year; Year is a function of (Journal, Volume)
+  // except for "spanning" volumes where the issue Number decides the year.
+  auto journal_year = [&](size_t journal, size_t volume, size_t number) {
+    const size_t base = 1965 + (journal * 7) % 20;
+    size_t year = base + volume;
+    const bool spans = ((journal * 31 + volume) % 25) == 0;
+    if (spans && number > 2) year += 1;
+    return year;
+  };
+
+  const size_t target = options.target_tuples;
+  // Per-kind tuple quotas.
+  const size_t conf_quota =
+      static_cast<size_t>(options.conference_fraction * target);
+  const size_t journal_quota =
+      static_cast<size_t>(options.journal_fraction * target);
+  size_t conf_tuples = 0;
+  size_t journal_tuples = 0;
+  size_t total_tuples = 0;
+  size_t publication_seq = 0;
+
+  std::vector<std::string> row(kNumColumns);
+  auto clear_row = [&row] {
+    for (std::string& cell : row) cell.clear();
+  };
+
+  while (total_tuples < target) {
+    // Pick the kind with the largest remaining quota deficit.
+    Kind kind;
+    if (conf_tuples < conf_quota &&
+        (journal_tuples >= journal_quota ||
+         (double)conf_tuples / conf_quota <=
+             (double)journal_tuples / journal_quota)) {
+      kind = Kind::kConference;
+    } else if (journal_tuples < journal_quota) {
+      kind = Kind::kJournal;
+    } else {
+      kind = Kind::kMisc;
+    }
+
+    const size_t pub = publication_seq++;
+    const size_t pages_lo = 1 + (pub * 13) % 700;
+    const std::string pages =
+        util::StrFormat("%zu-%zu", pages_lo, pages_lo + 8 + pub % 17);
+
+    if (kind == Kind::kConference) {
+      const size_t num_authors = 1 + rng.Uniform(4);  // 1..4
+      const size_t lead = rng.Zipf(kAuthorPool, 1.1);
+      const size_t conf = rng.Bernoulli(0.7)
+                              ? home_conference(lead)
+                              : rng.Uniform(kConferencePool);
+      const size_t year = 1970 + rng.Uniform(34);
+      const bool has_publisher = rng.Bernoulli(0.015);
+      const bool has_editor = rng.Bernoulli(0.010);
+      const bool has_series = rng.Bernoulli(0.010);
+      const bool has_month = rng.Bernoulli(0.015);
+      for (size_t a = 0; a < num_authors; ++a) {
+        clear_row();
+        const size_t author =
+            (a == 0) ? lead : rng.Zipf(kAuthorPool, 1.1);
+        row[kAuthor] = AuthorName(author);
+        row[kYear] = util::StrFormat("%zu", year);
+        row[kPages] = pages;
+        row[kBookTitle] = util::StrFormat("Conf_%03zu", conf);
+        if (has_publisher) {
+          row[kPublisher] =
+              util::StrFormat("Publisher_%zu", pub % kPublisherPool);
+          row[kIsbn] = util::StrFormat("ISBN-%06zu", pub);
+        }
+        if (has_editor) row[kEditor] = AuthorName(rng.Uniform(kAuthorPool));
+        if (has_series) {
+          row[kSeries] = util::StrFormat("Series_%zu", pub % kSeriesPool);
+        }
+        if (has_month) row[kMonth] = kMonths[pub % 8];
+        LIMBO_CHECK(builder.AddRow(row).ok());
+        ++conf_tuples;
+        ++total_tuples;
+      }
+    } else if (kind == Kind::kJournal) {
+      const size_t num_authors = 1 + rng.Uniform(3);  // 1..3
+      const size_t journal = rng.Zipf(kJournalPool, 1.05);
+      const size_t volume = 1 + rng.Uniform(30);
+      const size_t number = 1 + rng.Uniform(4);
+      const size_t year = journal_year(journal, volume, number);
+      for (size_t a = 0; a < num_authors; ++a) {
+        clear_row();
+        row[kAuthor] = AuthorName(rng.Zipf(kAuthorPool, 1.1));
+        row[kYear] = util::StrFormat("%zu", year);
+        row[kPages] = pages;
+        row[kVolume] = util::StrFormat("%zu", volume);
+        row[kJournal] = util::StrFormat("Journal_%02zu", journal);
+        row[kNumber] = util::StrFormat("%zu", number);
+        LIMBO_CHECK(builder.AddRow(row).ok());
+        ++journal_tuples;
+        ++total_tuples;
+      }
+    } else {
+      clear_row();
+      row[kAuthor] = AuthorName(rng.Uniform(kAuthorPool));
+      row[kYear] = util::StrFormat("%zu", 1975 + rng.Uniform(29));
+      row[kSchool] = util::StrFormat("School_%02zu", rng.Uniform(kSchoolPool));
+      if (rng.Bernoulli(0.3)) row[kMonth] = kMonths[rng.Uniform(8)];
+      LIMBO_CHECK(builder.AddRow(row).ok());
+      ++total_tuples;
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace limbo::datagen

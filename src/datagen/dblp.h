@@ -1,0 +1,40 @@
+#ifndef LIMBO_DATAGEN_DBLP_H_
+#define LIMBO_DATAGEN_DBLP_H_
+
+#include <cstdint>
+
+#include "relation/relation.h"
+
+namespace limbo::datagen {
+
+/// Options for the synthetic DBLP-style publication relation.
+struct DblpOptions {
+  uint64_t seed = 7;
+  /// Approximate number of tuples (one tuple per author of each
+  /// publication, as produced by the paper's XML-to-relational mapping).
+  size_t target_tuples = 50000;
+  /// Mix of publication kinds; the remainder is "misc" (theses, technical
+  /// reports). Tuned to the paper's measured partition sizes
+  /// (35892 : 13979 : 129 out of 50000).
+  double conference_fraction = 0.718;
+  double journal_fraction = 0.2795;
+};
+
+/// Generates the paper's heterogeneous DBLP target relation (Figure 13):
+/// 13 attributes {Author, Publisher, Year, Editor, Pages, BookTitle,
+/// Month, Volume, Journal, Number, School, Series, ISBN}; one tuple per
+/// author; NULL-heavy columns exactly where the paper found them
+/// ({Publisher, ISBN, Editor, Series, School, Month} are >= 98% NULL).
+///
+/// Planted structure:
+///  - conference tuples: BookTitle set; Volume/Journal/Number NULL;
+///  - journal tuples: Journal/Volume/Number set, Year a function of
+///    (Journal, Volume, Number) — mostly of (Journal, Volume) alone, but a
+///    small fraction of volumes span two years so that a wider LHS is
+///    needed, mirroring the paper's [Author,Volume,Journal,Number]→[Year];
+///  - misc tuples (~0.26%): School set, everything else largely NULL.
+relation::Relation GenerateDblp(const DblpOptions& options = DblpOptions());
+
+}  // namespace limbo::datagen
+
+#endif  // LIMBO_DATAGEN_DBLP_H_

@@ -1,0 +1,80 @@
+#include "datagen/error_inject.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace limbo::datagen {
+
+util::Result<ErrorInjectionResult> InjectErrors(
+    const relation::Relation& rel, const ErrorInjectionOptions& options) {
+  const size_t n = rel.NumTuples();
+  const size_t m = rel.NumAttributes();
+  if (options.num_dirty_tuples > n) {
+    return util::Status::InvalidArgument(
+        "cannot pick more distinct source tuples than the relation has");
+  }
+  if (options.values_altered > m) {
+    return util::Status::InvalidArgument(
+        "cannot alter more values than there are attributes");
+  }
+
+  util::Random rng(options.seed);
+
+  // Rebuild the relation (builder re-interns values), copying originals.
+  std::vector<std::string> names = rel.schema().Names();
+  LIMBO_ASSIGN_OR_RETURN(relation::Schema schema,
+                         relation::Schema::Create(std::move(names)));
+  relation::RelationBuilder builder(std::move(schema));
+  std::vector<std::string> row(m);
+  for (relation::TupleId t = 0; t < n; ++t) {
+    for (size_t a = 0; a < m; ++a) {
+      row[a] = rel.TextAt(t, static_cast<relation::AttributeId>(a));
+    }
+    LIMBO_RETURN_IF_ERROR(builder.AddRow(row));
+  }
+
+  // Distinct random sources.
+  std::unordered_set<relation::TupleId> chosen;
+  std::vector<relation::TupleId> sources;
+  while (sources.size() < options.num_dirty_tuples) {
+    const auto t = static_cast<relation::TupleId>(rng.Uniform(n));
+    if (chosen.insert(t).second) sources.push_back(t);
+  }
+
+  ErrorInjectionResult result;
+  size_t err_seq = 0;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const relation::TupleId source = sources[i];
+    DirtyRecord record;
+    record.source_id = source;
+    record.dirty_id = static_cast<relation::TupleId>(n + i);
+    for (size_t a = 0; a < m; ++a) {
+      row[a] = rel.TextAt(source, static_cast<relation::AttributeId>(a));
+    }
+    // Distinct random attributes to corrupt, in increasing order so the
+    // (attribute, dirty text) pairing stays aligned.
+    std::unordered_set<relation::AttributeId> altered;
+    while (altered.size() < options.values_altered) {
+      altered.insert(static_cast<relation::AttributeId>(rng.Uniform(m)));
+    }
+    std::vector<relation::AttributeId> ordered(altered.begin(),
+                                               altered.end());
+    std::sort(ordered.begin(), ordered.end());
+    for (relation::AttributeId a : ordered) {
+      const std::string dirty_text = util::StrFormat(
+          "ERR_%zu_%zu", static_cast<size_t>(options.seed % 1000), err_seq++);
+      row[a] = dirty_text;
+      record.altered_attributes.push_back(a);
+      record.dirty_texts.push_back(dirty_text);
+    }
+    LIMBO_RETURN_IF_ERROR(builder.AddRow(row));
+    result.records.push_back(std::move(record));
+  }
+  result.dirty = std::move(builder).Build();
+  return result;
+}
+
+}  // namespace limbo::datagen

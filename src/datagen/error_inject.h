@@ -1,0 +1,51 @@
+#ifndef LIMBO_DATAGEN_ERROR_INJECT_H_
+#define LIMBO_DATAGEN_ERROR_INJECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/relation.h"
+#include "util/result.h"
+
+namespace limbo::datagen {
+
+/// Parameters for the paper's dirty-tuple experiments (Section 8.1.1):
+/// near-duplicates of existing tuples with some attribute values replaced
+/// by fresh erroneous values (typographic / notational / schema
+/// discrepancies introduced by integration).
+struct ErrorInjectionOptions {
+  uint64_t seed = 1234;
+  /// How many dirty tuples to append.
+  size_t num_dirty_tuples = 5;
+  /// How many attribute values to alter in each dirty tuple.
+  size_t values_altered = 1;
+};
+
+/// Ground truth of one injected tuple.
+struct DirtyRecord {
+  /// Row id of the injected tuple in the returned relation.
+  relation::TupleId dirty_id;
+  /// Row id of the clean tuple it duplicates.
+  relation::TupleId source_id;
+  /// The attributes whose values were replaced.
+  std::vector<relation::AttributeId> altered_attributes;
+  /// For each altered attribute: the fresh erroneous cell text.
+  std::vector<std::string> dirty_texts;
+};
+
+struct ErrorInjectionResult {
+  /// The original relation with the dirty tuples appended at the end.
+  relation::Relation dirty;
+  std::vector<DirtyRecord> records;
+};
+
+/// Appends `num_dirty_tuples` near-duplicates of distinct, randomly chosen
+/// source tuples. Each altered cell gets a fresh value ("ERR_<n>") that
+/// occurs nowhere else — mimicking mis-keyed identifiers after
+/// integration. Deterministic in `options.seed`.
+util::Result<ErrorInjectionResult> InjectErrors(
+    const relation::Relation& rel, const ErrorInjectionOptions& options);
+
+}  // namespace limbo::datagen
+
+#endif  // LIMBO_DATAGEN_ERROR_INJECT_H_

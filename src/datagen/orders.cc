@@ -1,0 +1,54 @@
+#include "datagen/orders.h"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace limbo::datagen {
+
+namespace {
+const char* const kRegions[] = {"north", "south", "east", "west"};
+const char* const kWarehouses[] = {"WH-A", "WH-B", "WH-C"};
+const char* const kSlots[] = {"am", "pm", "evening"};
+}  // namespace
+
+relation::Relation GenerateOrders(const OrdersOptions& options) {
+  auto schema = relation::Schema::Create(
+      {"OrderNo", "CustomerId", "Date", "Region", "ProductSku", "Quantity",
+       "Warehouse", "ServiceCode", "Technician", "VisitSlot"});
+  LIMBO_CHECK(schema.ok());
+  relation::RelationBuilder builder(std::move(schema).value());
+  util::Random rng(options.seed);
+
+  std::vector<std::string> row(10);
+  for (size_t i = 0; i < options.num_orders; ++i) {
+    for (std::string& cell : row) cell.clear();
+    row[0] = util::StrFormat("O%06zu", i + 1);
+    row[1] = util::StrFormat("C%04zu", rng.Zipf(800, 1.1));
+    row[2] = util::StrFormat("2003-%02zu-%02zu", 1 + rng.Uniform(12),
+                             1 + rng.Uniform(28));
+    row[3] = kRegions[rng.Uniform(4)];
+    if (rng.Bernoulli(options.service_fraction)) {
+      row[7] = util::StrFormat("SVC-%zu", rng.Uniform(15));
+      row[8] = util::StrFormat("tech_%02zu", rng.Uniform(25));
+      row[9] = kSlots[rng.Uniform(3)];
+    } else {
+      row[4] = util::StrFormat("SKU-%04zu", rng.Zipf(400, 1.05));
+      row[5] = util::StrFormat("%zu", 1 + rng.Uniform(9));
+      row[6] = kWarehouses[rng.Uniform(3)];
+    }
+    LIMBO_CHECK(builder.AddRow(row).ok());
+  }
+  return std::move(builder).Build();
+}
+
+bool IsServiceOrder(const relation::Relation& rel, relation::TupleId t) {
+  const auto service_code = rel.schema().Find("ServiceCode");
+  LIMBO_CHECK(service_code.ok());
+  return !rel.TextAt(t, *service_code).empty();
+}
+
+}  // namespace limbo::datagen

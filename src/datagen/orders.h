@@ -1,0 +1,34 @@
+#ifndef LIMBO_DATAGEN_ORDERS_H_
+#define LIMBO_DATAGEN_ORDERS_H_
+
+#include <cstdint>
+
+#include "relation/relation.h"
+
+namespace limbo::datagen {
+
+/// The paper's Section 6.1.2 motivating scenario: "an order table
+/// originally designed to store product orders may have been reused to
+/// store new service orders". Product orders fill product columns and
+/// leave service columns NULL; service orders do the reverse; both share
+/// the order header columns.
+struct OrdersOptions {
+  uint64_t seed = 11;
+  size_t num_orders = 3000;
+  /// Fraction of service orders mixed into the overloaded table.
+  double service_fraction = 0.3;
+};
+
+/// Schema (10 attributes):
+///   OrderNo, CustomerId, Date, Region          — shared header
+///   ProductSku, Quantity, Warehouse            — product orders only
+///   ServiceCode, Technician, VisitSlot         — service orders only
+relation::Relation GenerateOrders(const OrdersOptions& options = OrdersOptions());
+
+/// Ground truth: true iff row `t` of a relation produced by
+/// GenerateOrders is a service order (ServiceCode non-NULL).
+bool IsServiceOrder(const relation::Relation& rel, relation::TupleId t);
+
+}  // namespace limbo::datagen
+
+#endif  // LIMBO_DATAGEN_ORDERS_H_

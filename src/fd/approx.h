@@ -1,0 +1,42 @@
+#ifndef LIMBO_FD_APPROX_H_
+#define LIMBO_FD_APPROX_H_
+
+#include <vector>
+
+#include "fd/fd.h"
+#include "util/result.h"
+
+namespace limbo::fd {
+
+/// An approximate functional dependency with its g3 error — the fraction
+/// of tuples that must be removed for the dependency to hold exactly
+/// (Huhtala et al. [15], the measure the paper contrasts its value-based
+/// approximation notion against).
+struct ApproximateFd {
+  FunctionalDependency fd;
+  double g3 = 0.0;
+};
+
+struct ApproxMinerOptions {
+  /// Report X → A when g3(X → A) <= epsilon.
+  double epsilon = 0.05;
+  /// Bound on LHS size; approximate mining explores more of the lattice
+  /// than exact TANE (no superkey pruning applies), so a small default
+  /// keeps the search tractable.
+  size_t max_lhs = 3;
+  /// Minimum LHS size (see TaneOptions::min_lhs).
+  size_t min_lhs = 0;
+};
+
+/// Levelwise discovery of *minimal* approximate FDs: X → A is reported
+/// iff g3(X → A) <= epsilon and no proper subset of X already qualifies.
+/// Errors are computed from stripped partitions (tests cross-check them
+/// against fd::G3Error). epsilon = 0 reduces to the exact minimal FDs of
+/// Tane/Fdep restricted to max_lhs.
+util::Result<std::vector<ApproximateFd>> MineApproximateFds(
+    const relation::Relation& rel,
+    const ApproxMinerOptions& options = ApproxMinerOptions());
+
+}  // namespace limbo::fd
+
+#endif  // LIMBO_FD_APPROX_H_

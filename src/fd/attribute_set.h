@@ -1,0 +1,108 @@
+#ifndef LIMBO_FD_ATTRIBUTE_SET_H_
+#define LIMBO_FD_ATTRIBUTE_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+
+namespace limbo::fd {
+
+/// A set of attribute ids as a 64-bit bitmask (schemas are capped at 64
+/// attributes). Value type, cheap to copy; all set algebra is O(1).
+class AttributeSet {
+ public:
+  constexpr AttributeSet() : bits_(0) {}
+  constexpr explicit AttributeSet(uint64_t bits) : bits_(bits) {}
+
+  /// Singleton {a}.
+  static constexpr AttributeSet Single(relation::AttributeId a) {
+    return AttributeSet(uint64_t{1} << a);
+  }
+
+  /// The full set {0, ..., m-1}.
+  static constexpr AttributeSet Full(size_t m) {
+    return AttributeSet(m >= 64 ? ~uint64_t{0} : (uint64_t{1} << m) - 1);
+  }
+
+  static AttributeSet FromList(const std::vector<relation::AttributeId>& ids) {
+    AttributeSet s;
+    for (relation::AttributeId a : ids) s.bits_ |= uint64_t{1} << a;
+    return s;
+  }
+
+  constexpr uint64_t bits() const { return bits_; }
+  constexpr bool Empty() const { return bits_ == 0; }
+  constexpr size_t Count() const { return std::popcount(bits_); }
+
+  constexpr bool Contains(relation::AttributeId a) const {
+    return (bits_ >> a) & 1;
+  }
+  constexpr bool IsSubsetOf(AttributeSet other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+
+  constexpr AttributeSet Union(AttributeSet o) const {
+    return AttributeSet(bits_ | o.bits_);
+  }
+  constexpr AttributeSet Intersect(AttributeSet o) const {
+    return AttributeSet(bits_ & o.bits_);
+  }
+  constexpr AttributeSet Minus(AttributeSet o) const {
+    return AttributeSet(bits_ & ~o.bits_);
+  }
+  constexpr AttributeSet With(relation::AttributeId a) const {
+    return AttributeSet(bits_ | (uint64_t{1} << a));
+  }
+  constexpr AttributeSet Without(relation::AttributeId a) const {
+    return AttributeSet(bits_ & ~(uint64_t{1} << a));
+  }
+
+  /// Members in increasing order.
+  std::vector<relation::AttributeId> ToList() const {
+    std::vector<relation::AttributeId> out;
+    out.reserve(Count());
+    uint64_t b = bits_;
+    while (b != 0) {
+      out.push_back(static_cast<relation::AttributeId>(std::countr_zero(b)));
+      b &= b - 1;
+    }
+    return out;
+  }
+
+  /// "[A,B,C]" using schema names.
+  std::string ToString(const relation::Schema& schema) const {
+    std::string out = "[";
+    bool first = true;
+    for (relation::AttributeId a : ToList()) {
+      if (!first) out += ",";
+      out += schema.Name(a);
+      first = false;
+    }
+    out += "]";
+    return out;
+  }
+
+  friend constexpr bool operator==(AttributeSet a, AttributeSet b) {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator<(AttributeSet a, AttributeSet b) {
+    return a.bits_ < b.bits_;
+  }
+
+ private:
+  uint64_t bits_;
+};
+
+}  // namespace limbo::fd
+
+template <>
+struct std::hash<limbo::fd::AttributeSet> {
+  size_t operator()(limbo::fd::AttributeSet s) const {
+    return std::hash<uint64_t>()(s.bits());
+  }
+};
+
+#endif  // LIMBO_FD_ATTRIBUTE_SET_H_

@@ -1,0 +1,37 @@
+#include "fd/closure.h"
+
+namespace limbo::fd {
+
+AttributeSet Closure(AttributeSet x,
+                     const std::vector<FunctionalDependency>& fds) {
+  AttributeSet closure = x;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& f : fds) {
+      if (f.lhs.IsSubsetOf(closure) && !f.rhs.IsSubsetOf(closure)) {
+        closure = closure.Union(f.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool Implies(const std::vector<FunctionalDependency>& fds,
+             const FunctionalDependency& f) {
+  return f.rhs.IsSubsetOf(Closure(f.lhs, fds));
+}
+
+bool Equivalent(const std::vector<FunctionalDependency>& a,
+                const std::vector<FunctionalDependency>& b) {
+  for (const FunctionalDependency& f : a) {
+    if (!Implies(b, f)) return false;
+  }
+  for (const FunctionalDependency& f : b) {
+    if (!Implies(a, f)) return false;
+  }
+  return true;
+}
+
+}  // namespace limbo::fd

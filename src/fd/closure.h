@@ -1,0 +1,25 @@
+#ifndef LIMBO_FD_CLOSURE_H_
+#define LIMBO_FD_CLOSURE_H_
+
+#include <vector>
+
+#include "fd/fd.h"
+
+namespace limbo::fd {
+
+/// Attribute-set closure X+ under the FD set `fds` (textbook fixpoint).
+AttributeSet Closure(AttributeSet x,
+                     const std::vector<FunctionalDependency>& fds);
+
+/// True iff `f` is implied by `fds` (f.rhs ⊆ closure of f.lhs).
+bool Implies(const std::vector<FunctionalDependency>& fds,
+             const FunctionalDependency& f);
+
+/// True iff the two FD sets are equivalent (each implies every FD of the
+/// other).
+bool Equivalent(const std::vector<FunctionalDependency>& a,
+                const std::vector<FunctionalDependency>& b);
+
+}  // namespace limbo::fd
+
+#endif  // LIMBO_FD_CLOSURE_H_

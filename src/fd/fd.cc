@@ -1,0 +1,116 @@
+#include "fd/fd.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace limbo::fd {
+
+namespace {
+
+/// FNV-1a hash of the row's value ids restricted to `attrs`.
+uint64_t HashRestricted(const relation::Relation& rel, relation::TupleId t,
+                        const std::vector<relation::AttributeId>& attrs) {
+  uint64_t h = 1469598103934665603ULL;
+  for (relation::AttributeId a : attrs) {
+    h ^= rel.At(t, a);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool EqualRestricted(const relation::Relation& rel, relation::TupleId x,
+                     relation::TupleId y,
+                     const std::vector<relation::AttributeId>& attrs) {
+  for (relation::AttributeId a : attrs) {
+    if (rel.At(x, a) != rel.At(y, a)) return false;
+  }
+  return true;
+}
+
+/// Groups tuple ids by their LHS projection (open hashing on the hash of
+/// the projected row, verified by full comparison).
+std::vector<std::vector<relation::TupleId>> GroupByLhs(
+    const relation::Relation& rel,
+    const std::vector<relation::AttributeId>& lhs) {
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  std::vector<std::vector<relation::TupleId>> groups;
+  for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
+    const uint64_t h = HashRestricted(rel, t, lhs);
+    auto& bucket = buckets[h];
+    bool placed = false;
+    for (size_t gi : bucket) {
+      if (EqualRestricted(rel, groups[gi].front(), t, lhs)) {
+        groups[gi].push_back(t);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      bucket.push_back(groups.size());
+      groups.push_back({t});
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+bool Holds(const relation::Relation& rel, const FunctionalDependency& f) {
+  const auto lhs = f.lhs.ToList();
+  const auto rhs = f.rhs.ToList();
+  if (rhs.empty()) return true;
+  for (const auto& group : GroupByLhs(rel, lhs)) {
+    const relation::TupleId first = group.front();
+    for (size_t i = 1; i < group.size(); ++i) {
+      if (!EqualRestricted(rel, first, group[i], rhs)) return false;
+    }
+  }
+  return true;
+}
+
+double G3Error(const relation::Relation& rel, const FunctionalDependency& f) {
+  const size_t n = rel.NumTuples();
+  if (n == 0) return 0.0;
+  const auto lhs = f.lhs.ToList();
+  const auto rhs = f.rhs.ToList();
+  if (rhs.empty()) return 0.0;
+  // For each LHS group, keep the largest sub-group that agrees on RHS;
+  // the rest must be removed.
+  size_t kept = 0;
+  for (const auto& group : GroupByLhs(rel, lhs)) {
+    std::unordered_map<uint64_t, std::vector<std::pair<relation::TupleId, size_t>>>
+        rhs_counts;
+    size_t best = 0;
+    for (relation::TupleId t : group) {
+      const uint64_t h = HashRestricted(rel, t, rhs);
+      auto& bucket = rhs_counts[h];
+      bool found = false;
+      for (auto& [rep, count] : bucket) {
+        if (EqualRestricted(rel, rep, t, rhs)) {
+          ++count;
+          best = std::max(best, count);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        bucket.push_back({t, 1});
+        best = std::max<size_t>(best, 1);
+      }
+    }
+    kept += best;
+  }
+  return static_cast<double>(n - kept) / static_cast<double>(n);
+}
+
+void SortCanonically(std::vector<FunctionalDependency>* fds) {
+  std::sort(fds->begin(), fds->end(),
+            [](const FunctionalDependency& a, const FunctionalDependency& b) {
+              if (a.lhs.bits() != b.lhs.bits()) {
+                return a.lhs.bits() < b.lhs.bits();
+              }
+              return a.rhs.bits() < b.rhs.bits();
+            });
+}
+
+}  // namespace limbo::fd

@@ -1,0 +1,42 @@
+#ifndef LIMBO_FD_FD_H_
+#define LIMBO_FD_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "fd/attribute_set.h"
+#include "relation/relation.h"
+
+namespace limbo::fd {
+
+/// A functional dependency X → Y. Miners emit single-attribute RHS;
+/// the minimum cover and FD-RANK may collapse same-LHS FDs into multi-
+/// attribute RHS.
+struct FunctionalDependency {
+  AttributeSet lhs;
+  AttributeSet rhs;
+
+  bool operator==(const FunctionalDependency& o) const {
+    return lhs == o.lhs && rhs == o.rhs;
+  }
+
+  /// "[X1,X2]->[Y]" with schema names.
+  std::string ToString(const relation::Schema& schema) const {
+    return lhs.ToString(schema) + "->" + rhs.ToString(schema);
+  }
+};
+
+/// True iff X → Y holds in `rel` (exactly: tuples agreeing on X agree
+/// on Y). An empty LHS means Y must be constant.
+bool Holds(const relation::Relation& rel, const FunctionalDependency& f);
+
+/// Fraction of tuples that must be removed for X → Y to hold (the g3
+/// approximation error of Huhtala et al.); 0.0 iff Holds().
+double G3Error(const relation::Relation& rel, const FunctionalDependency& f);
+
+/// Sorts FDs canonically (by LHS bits, then RHS bits) for stable output.
+void SortCanonically(std::vector<FunctionalDependency>* fds);
+
+}  // namespace limbo::fd
+
+#endif  // LIMBO_FD_FD_H_

@@ -1,0 +1,143 @@
+#include "fd/fdep.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace limbo::fd {
+
+namespace {
+
+/// Removes non-minimal sets (supersets of another member) from `sets`.
+std::vector<AttributeSet> MinimizeSets(std::vector<AttributeSet> sets) {
+  std::sort(sets.begin(), sets.end(), [](AttributeSet a, AttributeSet b) {
+    if (a.Count() != b.Count()) return a.Count() < b.Count();
+    return a < b;
+  });
+  std::vector<AttributeSet> out;
+  for (AttributeSet s : sets) {
+    bool dominated = false;
+    for (AttributeSet kept : out) {
+      if (kept.IsSubsetOf(s)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(s);
+  }
+  return out;
+}
+
+/// Depth-first enumeration of all *minimal* hitting sets of `difference`
+/// over the universe `candidates`. Classic branch on the first un-hit set;
+/// minimality is verified a posteriori against the collected results.
+void FindMinimalHittingSets(const std::vector<AttributeSet>& difference,
+                            AttributeSet candidates, AttributeSet current,
+                            std::vector<AttributeSet>* out) {
+  // Find the first difference set not hit by `current`.
+  const AttributeSet* unhit = nullptr;
+  for (const AttributeSet& d : difference) {
+    if (d.Intersect(current).Empty()) {
+      unhit = &d;
+      break;
+    }
+  }
+  if (unhit == nullptr) {
+    out->push_back(current);
+    return;
+  }
+  // Branch on each eligible attribute of the un-hit set.
+  for (relation::AttributeId a : unhit->Intersect(candidates).ToList()) {
+    // Standard duplicate-avoidance: attributes already tried at this node
+    // are removed from the candidate universe of later branches.
+    candidates = candidates.Without(a);
+    FindMinimalHittingSets(difference, candidates, current.With(a), out);
+  }
+}
+
+}  // namespace
+
+std::vector<AttributeSet> Fdep::AgreeSets(const relation::Relation& rel) {
+  const size_t n = rel.NumTuples();
+  const size_t m = rel.NumAttributes();
+  std::unordered_set<AttributeSet> seen;
+  for (relation::TupleId i = 0; i < n; ++i) {
+    for (relation::TupleId j = i + 1; j < n; ++j) {
+      AttributeSet ag;
+      for (size_t a = 0; a < m; ++a) {
+        const auto attr = static_cast<relation::AttributeId>(a);
+        if (rel.At(i, attr) == rel.At(j, attr)) ag = ag.With(attr);
+      }
+      seen.insert(ag);
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+util::Result<std::vector<FunctionalDependency>> Fdep::Mine(
+    const relation::Relation& rel, const FdepOptions& options) {
+  const size_t n = rel.NumTuples();
+  const size_t m = rel.NumAttributes();
+  if (n > options.max_tuples) {
+    return util::Status::FailedPrecondition(util::StrFormat(
+        "FDEP pair scan on %zu tuples exceeds max_tuples=%zu; use Tane",
+        n, options.max_tuples));
+  }
+  const std::vector<AttributeSet> agree = AgreeSets(rel);
+  const AttributeSet full = AttributeSet::Full(m);
+
+  std::vector<FunctionalDependency> fds;
+  for (size_t a = 0; a < m; ++a) {
+    const auto attr = static_cast<relation::AttributeId>(a);
+    // Difference sets for RHS `attr`: complements of agree-sets that
+    // disagree on attr (minus attr itself).
+    std::vector<AttributeSet> difference;
+    for (AttributeSet ag : agree) {
+      if (!ag.Contains(attr)) {
+        difference.push_back(full.Minus(ag).Without(attr));
+      }
+    }
+    // An empty difference set means some pair disagrees on attr alone
+    // while agreeing everywhere else — no LHS can work... except that an
+    // empty difference set arises only from ag = R \ {attr}, which indeed
+    // invalidates every candidate LHS.
+    bool impossible = false;
+    for (const AttributeSet& d : difference) {
+      if (d.Empty()) {
+        impossible = true;
+        break;
+      }
+    }
+    if (impossible) continue;
+    if (difference.empty()) {
+      // attr is constant across all tuples. Suppressed for the empty
+      // relation, where nothing is worth reporting.
+      if (n >= 1) {
+        if (options.min_lhs == 0) {
+          fds.push_back({AttributeSet(), AttributeSet::Single(attr)});
+        } else {
+          // Minimal LHSs of size >= 1 are all singletons.
+          for (relation::AttributeId b : full.Without(attr).ToList()) {
+            fds.push_back(
+                {AttributeSet::Single(b), AttributeSet::Single(attr)});
+          }
+        }
+      }
+      continue;
+    }
+    const std::vector<AttributeSet> minimal_difference =
+        MinimizeSets(std::move(difference));
+    std::vector<AttributeSet> hitting;
+    FindMinimalHittingSets(minimal_difference, full.Without(attr),
+                           AttributeSet(), &hitting);
+    // The DFS can emit non-minimal sets on some branch orders; filter.
+    for (AttributeSet lhs : MinimizeSets(std::move(hitting))) {
+      fds.push_back({lhs, AttributeSet::Single(attr)});
+    }
+  }
+  SortCanonically(&fds);
+  return fds;
+}
+
+}  // namespace limbo::fd

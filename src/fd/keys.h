@@ -1,0 +1,32 @@
+#ifndef LIMBO_FD_KEYS_H_
+#define LIMBO_FD_KEYS_H_
+
+#include <vector>
+
+#include "fd/fd.h"
+#include "util/result.h"
+
+namespace limbo::fd {
+
+struct KeyMinerOptions {
+  /// Bound on key width explored (0 = up to m attributes).
+  size_t max_size = 0;
+};
+
+/// All minimal candidate keys of `rel` (attribute sets X whose projection
+/// is duplicate-free and no proper subset of which is). Levelwise over
+/// stripped partitions with superset pruning.
+util::Result<std::vector<AttributeSet>> MineMinimalKeys(
+    const relation::Relation& rel,
+    const KeyMinerOptions& options = KeyMinerOptions());
+
+/// True iff the (holding) FD X → Y violates BCNF given the relation's
+/// minimal keys: the FD is non-trivial and X is not a superkey. The
+/// decomposition tooling uses this to tell *which* anchored FDs justify
+/// a normalization step.
+bool ViolatesBcnf(const FunctionalDependency& f,
+                  const std::vector<AttributeSet>& minimal_keys);
+
+}  // namespace limbo::fd
+
+#endif  // LIMBO_FD_KEYS_H_

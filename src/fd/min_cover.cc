@@ -1,0 +1,62 @@
+#include "fd/min_cover.h"
+
+#include <algorithm>
+#include <map>
+
+#include "fd/closure.h"
+
+namespace limbo::fd {
+
+std::vector<FunctionalDependency> MinimumCover(
+    std::vector<FunctionalDependency> fds, bool merge_same_lhs) {
+  // 1. Single-attribute RHS, trivial parts dropped.
+  std::vector<FunctionalDependency> work;
+  for (const FunctionalDependency& f : fds) {
+    for (relation::AttributeId a : f.rhs.Minus(f.lhs).ToList()) {
+      work.push_back({f.lhs, AttributeSet::Single(a)});
+    }
+  }
+  SortCanonically(&work);
+  work.erase(std::unique(work.begin(), work.end()), work.end());
+
+  // 2. Left-reduction: X → A with B extraneous iff A ∈ (X \ B)+ under the
+  // *current* full set.
+  for (auto& f : work) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (relation::AttributeId b : f.lhs.ToList()) {
+        const AttributeSet reduced = f.lhs.Without(b);
+        if (f.rhs.IsSubsetOf(Closure(reduced, work))) {
+          f.lhs = reduced;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  SortCanonically(&work);
+  work.erase(std::unique(work.begin(), work.end()), work.end());
+
+  // 3. Drop redundant FDs: f is redundant iff implied by the others.
+  std::vector<FunctionalDependency> kept;
+  for (size_t i = 0; i < work.size(); ++i) {
+    std::vector<FunctionalDependency> rest = kept;
+    rest.insert(rest.end(), work.begin() + i + 1, work.end());
+    if (!Implies(rest, work[i])) kept.push_back(work[i]);
+  }
+
+  if (!merge_same_lhs) return kept;
+
+  // 4. Merge same-LHS FDs.
+  std::map<AttributeSet, AttributeSet> merged;
+  for (const FunctionalDependency& f : kept) {
+    merged[f.lhs] = merged[f.lhs].Union(f.rhs);
+  }
+  std::vector<FunctionalDependency> out;
+  out.reserve(merged.size());
+  for (const auto& [lhs, rhs] : merged) out.push_back({lhs, rhs});
+  return out;
+}
+
+}  // namespace limbo::fd

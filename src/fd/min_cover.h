@@ -1,0 +1,23 @@
+#ifndef LIMBO_FD_MIN_COVER_H_
+#define LIMBO_FD_MIN_COVER_H_
+
+#include <vector>
+
+#include "fd/fd.h"
+
+namespace limbo::fd {
+
+/// Minimum (canonical) cover of an FD set, after Maier [16]:
+///  1. split right-hand sides to single attributes,
+///  2. remove extraneous LHS attributes (left-reduction),
+///  3. remove redundant FDs (each implied by the rest),
+///  4. optionally merge FDs with identical LHS back into one multi-RHS FD.
+///
+/// The result is equivalent to the input (fd::Equivalent verifies this in
+/// tests) and deterministic for a given input order.
+std::vector<FunctionalDependency> MinimumCover(
+    std::vector<FunctionalDependency> fds, bool merge_same_lhs = true);
+
+}  // namespace limbo::fd
+
+#endif  // LIMBO_FD_MIN_COVER_H_

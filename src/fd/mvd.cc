@@ -1,0 +1,138 @@
+#include "fd/mvd.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace limbo::fd {
+
+namespace {
+
+using relation::AttributeId;
+using relation::TupleId;
+
+/// Hash of a row restricted to the attributes in `attrs`.
+uint64_t HashRestricted(const relation::Relation& rel, TupleId t,
+                        const std::vector<AttributeId>& attrs) {
+  uint64_t h = 1469598103934665603ULL;
+  for (AttributeId a : attrs) {
+    h ^= rel.At(t, a);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Groups tuples by the X-projection (hash-keyed; hash collisions across
+/// different X-values would only make the cross-product test *stricter*
+/// on merged groups, so for exactness we verify with a secondary mix).
+std::unordered_map<uint64_t, std::vector<TupleId>> GroupBy(
+    const relation::Relation& rel, const std::vector<AttributeId>& attrs) {
+  std::unordered_map<uint64_t, std::vector<TupleId>> groups;
+  for (TupleId t = 0; t < rel.NumTuples(); ++t) {
+    // Double hashing (two independent seeds) makes accidental collisions
+    // across distinct projections astronomically unlikely.
+    uint64_t h = HashRestricted(rel, t, attrs);
+    uint64_t h2 = 0x9E3779B97F4A7C15ULL;
+    for (AttributeId a : attrs) {
+      h2 = (h2 ^ (rel.At(t, a) + 0x9E3779B9u)) * 0xC2B2AE3D27D4EB4FULL;
+    }
+    groups[h * 0x100000001B3ULL ^ h2].push_back(t);
+  }
+  return groups;
+}
+
+}  // namespace
+
+bool HoldsMvd(const relation::Relation& rel,
+              const MultiValuedDependency& mvd) {
+  const size_t m = rel.NumAttributes();
+  const AttributeSet all = AttributeSet::Full(m);
+  const AttributeSet y = mvd.rhs.Minus(mvd.lhs);
+  const AttributeSet z = all.Minus(mvd.lhs).Minus(y);
+  if (y.Empty() || z.Empty()) return true;  // trivial MVD
+
+  const std::vector<AttributeId> x_list = mvd.lhs.ToList();
+  const std::vector<AttributeId> y_list = y.ToList();
+  const std::vector<AttributeId> z_list = z.ToList();
+
+  for (const auto& [key, group] : GroupBy(rel, x_list)) {
+    // Within the group: distinct Y-values, distinct Z-values, distinct
+    // (Y,Z)-pairs. Cross product <=> |YZ| == |Y| * |Z|.
+    std::unordered_set<uint64_t> ys;
+    std::unordered_set<uint64_t> zs;
+    std::unordered_set<uint64_t> yzs;
+    for (TupleId t : group) {
+      const uint64_t hy = HashRestricted(rel, t, y_list);
+      const uint64_t hz = HashRestricted(rel, t, z_list);
+      ys.insert(hy);
+      zs.insert(hz);
+      yzs.insert(hy * 0x100000001B3ULL ^ hz);
+    }
+    if (yzs.size() != ys.size() * zs.size()) return false;
+  }
+  return true;
+}
+
+util::Result<std::vector<MultiValuedDependency>> MineMvds(
+    const relation::Relation& rel, const MvdMinerOptions& options) {
+  std::vector<MultiValuedDependency> found;
+  const size_t m = rel.NumAttributes();
+  if (rel.NumTuples() < 2 || m < 3) return found;  // no non-trivial MVDs
+
+  // Enumerate LHS sets up to max_lhs (m <= 64, levels are small for the
+  // default bound), minimal-LHS pruning per RHS attribute.
+  std::vector<std::vector<AttributeSet>> minimal_lhs(m);
+  auto dominated = [&](AttributeSet x, size_t a) {
+    for (AttributeSet seen : minimal_lhs[a]) {
+      if (seen.IsSubsetOf(x)) return true;
+    }
+    return false;
+  };
+
+  std::vector<AttributeSet> level = {AttributeSet()};
+  for (size_t ell = 0; ell <= options.max_lhs; ++ell) {
+    for (AttributeSet x : level) {
+      for (size_t a = 0; a < m; ++a) {
+        const auto attr = static_cast<AttributeId>(a);
+        if (x.Contains(attr) || dominated(x, a)) continue;
+        // Need a non-empty complement Z.
+        if (x.Count() + 2 > m) continue;
+        const MultiValuedDependency candidate{x, AttributeSet::Single(attr)};
+        if (!HoldsMvd(rel, candidate)) continue;
+        if (options.skip_implied_by_fd &&
+            Holds(rel, {x, AttributeSet::Single(attr)})) {
+          // Implied by the FD X → A; still blocks supersets from being
+          // reported as minimal.
+          minimal_lhs[a].push_back(x);
+          continue;
+        }
+        found.push_back(candidate);
+        minimal_lhs[a].push_back(x);
+      }
+    }
+    if (ell == options.max_lhs) break;
+    // Next level: extend each X by one attribute (dedup).
+    std::unordered_set<AttributeSet> next;
+    for (AttributeSet x : level) {
+      for (size_t a = 0; a < m; ++a) {
+        const auto attr = static_cast<AttributeId>(a);
+        if (!x.Contains(attr)) next.insert(x.With(attr));
+      }
+    }
+    level.assign(next.begin(), next.end());
+    std::sort(level.begin(), level.end());
+  }
+
+  std::sort(found.begin(), found.end(),
+            [](const MultiValuedDependency& a, const MultiValuedDependency& b) {
+              if (a.lhs.bits() != b.lhs.bits()) {
+                return a.lhs.bits() < b.lhs.bits();
+              }
+              return a.rhs.bits() < b.rhs.bits();
+            });
+  return found;
+}
+
+}  // namespace limbo::fd

@@ -1,0 +1,52 @@
+#ifndef LIMBO_FD_MVD_H_
+#define LIMBO_FD_MVD_H_
+
+#include <vector>
+
+#include "fd/fd.h"
+#include "util/result.h"
+
+namespace limbo::fd {
+
+/// A multi-valued dependency X ↠ Y (with Z = R − X − Y implicitly the
+/// complement): within every X-group, the Y-projection and Z-projection
+/// combine as a full cross product. The paper cites MVD discovery
+/// (Savnik & Flach [25]) as the other family of constraints a miner can
+/// feed to its ranking.
+struct MultiValuedDependency {
+  AttributeSet lhs;
+  AttributeSet rhs;
+
+  bool operator==(const MultiValuedDependency& o) const {
+    return lhs == o.lhs && rhs == o.rhs;
+  }
+
+  std::string ToString(const relation::Schema& schema) const {
+    return lhs.ToString(schema) + "->>" + rhs.ToString(schema);
+  }
+};
+
+/// True iff X ↠ Y holds in `rel` (cross-product test per X-group).
+/// Trivial cases (Y ⊆ X, or X ∪ Y = R) hold by definition.
+bool HoldsMvd(const relation::Relation& rel,
+              const MultiValuedDependency& mvd);
+
+struct MvdMinerOptions {
+  /// Bound on the LHS size explored.
+  size_t max_lhs = 2;
+  /// Only single-attribute RHS are mined (Y = {A}); complements follow by
+  /// the complementation rule X ↠ R − X − Y.
+  bool skip_implied_by_fd = true;
+};
+
+/// Levelwise discovery of non-trivial MVDs X ↠ A with |X| <= max_lhs.
+/// When `skip_implied_by_fd` is set, X ↠ A that follow from X → A are
+/// suppressed (every FD is an MVD), leaving the genuinely multi-valued
+/// structure.
+util::Result<std::vector<MultiValuedDependency>> MineMvds(
+    const relation::Relation& rel,
+    const MvdMinerOptions& options = MvdMinerOptions());
+
+}  // namespace limbo::fd
+
+#endif  // LIMBO_FD_MVD_H_

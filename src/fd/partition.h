@@ -1,0 +1,50 @@
+#ifndef LIMBO_FD_PARTITION_H_
+#define LIMBO_FD_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace limbo::fd {
+
+/// A *stripped partition* (Huhtala et al., TANE): the equivalence classes
+/// of tuples under "agree on attribute set X", with singleton classes
+/// removed. The full-partition class count is recoverable as
+///   |π| = NumClasses() + (n - CoveredTuples()).
+class StrippedPartition {
+ public:
+  StrippedPartition() = default;
+
+  /// Partition of `rel` under a single attribute.
+  static StrippedPartition ForAttribute(const relation::Relation& rel,
+                                        relation::AttributeId a);
+
+  /// Product π_a · π_b — the partition of the union of the underlying
+  /// attribute sets. `n` is the relation's tuple count.
+  static StrippedPartition Product(const StrippedPartition& a,
+                                   const StrippedPartition& b, size_t n);
+
+  const std::vector<std::vector<relation::TupleId>>& classes() const {
+    return classes_;
+  }
+  size_t NumClasses() const { return classes_.size(); }
+  size_t CoveredTuples() const { return covered_; }
+
+  /// n - |π_full|; two partitions over the same relation are equal as
+  /// full partitions iff one refines the other and their ranks agree.
+  /// TANE's validity test X→A iff |π_X| = |π_{X∪A}| becomes
+  /// Rank(X) == Rank(X∪A).
+  size_t Rank() const { return covered_ - classes_.size(); }
+
+  /// True iff every tuple is alone in its class (X is a superkey).
+  bool IsSuperkey() const { return classes_.empty(); }
+
+ private:
+  std::vector<std::vector<relation::TupleId>> classes_;
+  size_t covered_ = 0;
+};
+
+}  // namespace limbo::fd
+
+#endif  // LIMBO_FD_PARTITION_H_

@@ -1,0 +1,112 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace limbo::mining {
+
+namespace {
+
+/// Candidate generation: join k-itemsets sharing a (k-1)-prefix, then
+/// prune candidates with an infrequent k-subset.
+std::vector<std::vector<relation::ValueId>> GenerateCandidates(
+    const std::vector<Itemset>& frequent) {
+  std::vector<std::vector<relation::ValueId>> candidates;
+  // Frequent itemsets are sorted lexicographically by construction.
+  for (size_t i = 0; i < frequent.size(); ++i) {
+    for (size_t j = i + 1; j < frequent.size(); ++j) {
+      const auto& a = frequent[i].items;
+      const auto& b = frequent[j].items;
+      const size_t k = a.size();
+      if (!std::equal(a.begin(), a.end() - 1, b.begin())) break;
+      std::vector<relation::ValueId> merged = a;
+      merged.push_back(b.back());
+      // Subset pruning: every k-subset must be frequent.
+      bool all_frequent = true;
+      for (size_t drop = 0; drop + 2 < merged.size() && all_frequent;
+           ++drop) {
+        std::vector<relation::ValueId> subset;
+        subset.reserve(k);
+        for (size_t x = 0; x < merged.size(); ++x) {
+          if (x != drop) subset.push_back(merged[x]);
+        }
+        auto it = std::lower_bound(
+            frequent.begin(), frequent.end(), subset,
+            [](const Itemset& lhs, const std::vector<relation::ValueId>& rhs) {
+              return lhs.items < rhs;
+            });
+        all_frequent = (it != frequent.end() && it->items == subset);
+      }
+      if (all_frequent) candidates.push_back(std::move(merged));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace
+
+util::Result<std::vector<Itemset>> MineFrequentItemsets(
+    const relation::Relation& rel, const AprioriOptions& options) {
+  if (options.min_support == 0) {
+    return util::Status::InvalidArgument("min_support must be >= 1");
+  }
+  const size_t n = rel.NumTuples();
+  const size_t m = rel.NumAttributes();
+
+  // Transactions: sorted value ids per row.
+  std::vector<std::vector<relation::ValueId>> transactions(n);
+  for (relation::TupleId t = 0; t < n; ++t) {
+    auto row = rel.Row(t);
+    transactions[t].assign(row.begin(), row.end());
+    std::sort(transactions[t].begin(), transactions[t].end());
+  }
+
+  std::vector<Itemset> all;
+  // L1 from dictionary supports.
+  std::vector<Itemset> level;
+  for (relation::ValueId v = 0; v < rel.NumValues(); ++v) {
+    const uint64_t support = rel.dictionary().Support(v);
+    if (support >= options.min_support) {
+      level.push_back({{v}, support});
+    }
+  }
+  std::sort(level.begin(), level.end(),
+            [](const Itemset& a, const Itemset& b) { return a.items < b.items; });
+
+  size_t k = 1;
+  while (!level.empty()) {
+    all.insert(all.end(), level.begin(), level.end());
+    if (options.max_size != 0 && k >= options.max_size) break;
+    if (k >= m) break;  // a tuple has m items; larger itemsets are empty
+    std::vector<std::vector<relation::ValueId>> candidates =
+        GenerateCandidates(level);
+    if (candidates.size() > options.max_candidates_per_level) {
+      return util::Status::FailedPrecondition(util::StrFormat(
+          "Apriori candidate explosion at level %zu: %zu candidates",
+          k + 1, candidates.size()));
+    }
+    if (candidates.empty()) break;
+    std::vector<uint64_t> counts(candidates.size(), 0);
+    for (const auto& txn : transactions) {
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        if (std::includes(txn.begin(), txn.end(), candidates[c].begin(),
+                          candidates[c].end())) {
+          ++counts[c];
+        }
+      }
+    }
+    std::vector<Itemset> next;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (counts[c] >= options.min_support) {
+        next.push_back({std::move(candidates[c]), counts[c]});
+      }
+    }
+    level = std::move(next);
+    ++k;
+  }
+  return all;
+}
+
+}  // namespace limbo::mining

@@ -1,0 +1,39 @@
+#ifndef LIMBO_MINING_APRIORI_H_
+#define LIMBO_MINING_APRIORI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/relation.h"
+#include "util/result.h"
+
+namespace limbo::mining {
+
+/// A frequent itemset over attribute values: the (sorted) value ids and
+/// the number of tuples containing all of them.
+struct Itemset {
+  std::vector<relation::ValueId> items;
+  uint64_t support = 0;
+};
+
+struct AprioriOptions {
+  /// Minimum absolute support (number of tuples).
+  uint64_t min_support = 2;
+  /// Largest itemset size mined (0 = unbounded).
+  size_t max_size = 0;
+  /// Safety valve on candidate explosion.
+  size_t max_candidates_per_level = 1u << 20;
+};
+
+/// Classic Apriori (Agrawal et al. [2]) over the transactions formed by
+/// the rows of `rel` (each tuple = the set of its m value ids). Included
+/// as the counting-based baseline the paper contrasts with: a value group
+/// with perfect co-occurrence found by φ_V = 0 clustering is exactly a
+/// frequent itemset whose support equals its members' supports.
+util::Result<std::vector<Itemset>> MineFrequentItemsets(
+    const relation::Relation& rel,
+    const AprioriOptions& options = AprioriOptions());
+
+}  // namespace limbo::mining
+
+#endif  // LIMBO_MINING_APRIORI_H_

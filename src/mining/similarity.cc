@@ -1,0 +1,92 @@
+#include "mining/similarity.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace limbo::mining {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  // Single-row dynamic program over the shorter string.
+  std::vector<size_t> row(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) row[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t diagonal = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      const size_t above = row[i];
+      const size_t substitute = diagonal + (a[i - 1] != b[j - 1] ? 1 : 0);
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, substitute});
+      diagonal = above;
+    }
+  }
+  return row[a.size()];
+}
+
+double NormalizedSimilarity(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(EditDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double TupleSimilarity(const relation::Relation& rel, relation::TupleId x,
+                       relation::TupleId y) {
+  const size_t m = rel.NumAttributes();
+  if (m == 0) return 1.0;
+  double total = 0.0;
+  for (size_t a = 0; a < m; ++a) {
+    const auto attr = static_cast<relation::AttributeId>(a);
+    total += NormalizedSimilarity(rel.TextAt(x, attr), rel.TextAt(y, attr));
+  }
+  return total / static_cast<double>(m);
+}
+
+core::DuplicateTupleReport RefineWithStringSimilarity(
+    const relation::Relation& rel, const core::DuplicateTupleReport& report,
+    double min_similarity) {
+  core::DuplicateTupleReport refined = report;
+  refined.groups.clear();
+  for (const core::DuplicateTupleGroup& group : report.groups) {
+    const size_t k = group.tuples.size();
+    if (k < 2) continue;
+    // Single-link connected components under the similarity threshold:
+    // a group may contain several distinct duplicate families plus
+    // unrelated strays; each component of size >= 2 becomes its own
+    // refined group. Candidate groups are small, so the O(k^2) pairwise
+    // pass is cheap.
+    std::vector<size_t> parent(k);
+    for (size_t i = 0; i < k; ++i) parent[i] = i;
+    std::function<size_t(size_t)> find = [&](size_t x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = i + 1; j < k; ++j) {
+        if (TupleSimilarity(rel, group.tuples[i], group.tuples[j]) >=
+            min_similarity) {
+          parent[find(i)] = find(j);
+        }
+      }
+    }
+    std::unordered_map<size_t, core::DuplicateTupleGroup> components;
+    for (size_t i = 0; i < k; ++i) {
+      auto& component = components[find(i)];
+      component.summary_mass = group.summary_mass;
+      component.tuples.push_back(group.tuples[i]);
+    }
+    for (auto& [root, component] : components) {
+      if (component.tuples.size() >= 2) {
+        refined.groups.push_back(std::move(component));
+      }
+    }
+  }
+  return refined;
+}
+
+}  // namespace limbo::mining

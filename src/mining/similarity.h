@@ -1,0 +1,36 @@
+#ifndef LIMBO_MINING_SIMILARITY_H_
+#define LIMBO_MINING_SIMILARITY_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "core/tuple_clustering.h"
+#include "relation/relation.h"
+
+namespace limbo::mining {
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// 1 − distance / max(len): 1.0 for equal strings, 0.0 for disjoint.
+double NormalizedSimilarity(std::string_view a, std::string_view b);
+
+/// Average per-cell string similarity of two tuples (the value-distance
+/// view of duplicate elimination the paper cites as complementary work).
+double TupleSimilarity(const relation::Relation& rel, relation::TupleId x,
+                       relation::TupleId y);
+
+/// The combination the paper proposes as future work ("an interesting
+/// area ... would be on how to combine these techniques"): take the
+/// candidate duplicate groups from information-theoretic tuple clustering
+/// and keep, within each group, only tuples whose string similarity to
+/// the group's first member reaches `min_similarity`. Groups that drop
+/// below two members disappear. Raises precision on noisy data without
+/// re-scanning all tuple pairs.
+core::DuplicateTupleReport RefineWithStringSimilarity(
+    const relation::Relation& rel, const core::DuplicateTupleReport& report,
+    double min_similarity);
+
+}  // namespace limbo::mining
+
+#endif  // LIMBO_MINING_SIMILARITY_H_

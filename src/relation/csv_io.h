@@ -1,0 +1,27 @@
+#ifndef LIMBO_RELATION_CSV_IO_H_
+#define LIMBO_RELATION_CSV_IO_H_
+
+#include <string>
+
+#include "relation/relation.h"
+#include "util/result.h"
+
+namespace limbo::relation {
+
+/// Reads a relation from an RFC-4180-style CSV file. The first line is the
+/// header (attribute names). Quoted fields with embedded commas, quotes
+/// ("" escaping) and newlines are supported. Empty fields become NULLs.
+util::Result<Relation> ReadCsv(const std::string& path);
+
+/// Parses CSV from an in-memory string (same dialect as ReadCsv).
+util::Result<Relation> ParseCsv(const std::string& content);
+
+/// Writes `rel` as CSV (header + rows) to `path`.
+util::Status WriteCsv(const Relation& rel, const std::string& path);
+
+/// Serializes `rel` as a CSV string.
+std::string ToCsvString(const Relation& rel);
+
+}  // namespace limbo::relation
+
+#endif  // LIMBO_RELATION_CSV_IO_H_

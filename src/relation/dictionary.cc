@@ -1,0 +1,36 @@
+#include "relation/dictionary.h"
+
+namespace limbo::relation {
+
+ValueId ValueDictionary::InternOccurrence(AttributeId attribute,
+                                          std::string_view text) {
+  Key key{attribute, std::string(text)};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    entries_[it->second].support++;
+    return it->second;
+  }
+  ValueId id = static_cast<ValueId>(entries_.size());
+  entries_.push_back(Entry{attribute, key.text, 1});
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+util::Result<ValueId> ValueDictionary::Find(AttributeId attribute,
+                                            std::string_view text) const {
+  Key key{attribute, std::string(text)};
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return util::Status::NotFound("value not interned: " + key.text);
+  }
+  return it->second;
+}
+
+std::string ValueDictionary::QualifiedName(const Schema& schema,
+                                           ValueId v) const {
+  const Entry& e = entries_[v];
+  const std::string& shown = e.text.empty() ? std::string("⊥") : e.text;
+  return schema.Name(e.attribute) + "=" + shown;
+}
+
+}  // namespace limbo::relation

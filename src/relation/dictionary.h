@@ -1,0 +1,71 @@
+#ifndef LIMBO_RELATION_DICTIONARY_H_
+#define LIMBO_RELATION_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/schema.h"
+
+namespace limbo::relation {
+
+/// Index of a distinct (attribute, string) pair. Value ids are global
+/// across the relation: the string "Boston" under attribute City and the
+/// same string under attribute Town are two distinct values, matching the
+/// paper's model where the value set is V = V1 ∪ ... ∪ Vm.
+using ValueId = uint32_t;
+
+/// Bidirectional mapping between value ids and (attribute, string) pairs.
+///
+/// The dictionary also records, per value, its attribute and its number of
+/// occurrences (the support d_v used by the O matrix of Section 6.2).
+class ValueDictionary {
+ public:
+  ValueDictionary() = default;
+
+  /// Interns (attribute, text), bumping its occurrence count.
+  ValueId InternOccurrence(AttributeId attribute, std::string_view text);
+
+  /// Looks up an existing value without changing counts.
+  /// Returns kNotFound if the pair was never interned.
+  util::Result<ValueId> Find(AttributeId attribute,
+                             std::string_view text) const;
+
+  size_t NumValues() const { return entries_.size(); }
+  const std::string& Text(ValueId v) const { return entries_[v].text; }
+  AttributeId Attribute(ValueId v) const { return entries_[v].attribute; }
+
+  /// Number of tuples the value occurs in (d_v in the paper).
+  uint32_t Support(ValueId v) const { return entries_[v].support; }
+
+  /// Qualified display name, "Attr=text", with NULLs rendered as "Attr=⊥".
+  std::string QualifiedName(const Schema& schema, ValueId v) const;
+
+ private:
+  struct Entry {
+    AttributeId attribute;
+    std::string text;
+    uint32_t support = 0;
+  };
+
+  struct Key {
+    AttributeId attribute;
+    std::string text;
+    bool operator==(const Key& o) const {
+      return attribute == o.attribute && text == o.text;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<std::string>()(k.text) * 1315423911u ^ k.attribute;
+    }
+  };
+
+  std::vector<Entry> entries_;
+  std::unordered_map<Key, ValueId, KeyHash> index_;
+};
+
+}  // namespace limbo::relation
+
+#endif  // LIMBO_RELATION_DICTIONARY_H_

@@ -1,0 +1,213 @@
+#include "relation/ops.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace limbo::relation {
+
+namespace {
+
+/// Hash of a row restricted to `attrs` (FNV-1a over value ids).
+struct ProjectedRowKey {
+  const Relation* rel;
+  TupleId t;
+};
+
+uint64_t HashProjected(const Relation& rel, TupleId t,
+                       const std::vector<AttributeId>& attrs) {
+  uint64_t h = 1469598103934665603ULL;
+  for (AttributeId a : attrs) {
+    h ^= rel.At(t, a);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool EqualProjected(const Relation& rel, TupleId x, TupleId y,
+                    const std::vector<AttributeId>& attrs) {
+  for (AttributeId a : attrs) {
+    if (rel.At(x, a) != rel.At(y, a)) return false;
+  }
+  return true;
+}
+
+util::Status ValidateAttributes(const Relation& rel,
+                                const std::vector<AttributeId>& attributes) {
+  if (attributes.empty()) {
+    return util::Status::InvalidArgument("attribute list is empty");
+  }
+  for (AttributeId a : attributes) {
+    if (a >= rel.NumAttributes()) {
+      return util::Status::OutOfRange(
+          util::StrFormat("attribute %u out of range (m=%zu)", a,
+                          rel.NumAttributes()));
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Result<Relation> Project(const Relation& rel,
+                               const std::vector<AttributeId>& attributes) {
+  LIMBO_RETURN_IF_ERROR(ValidateAttributes(rel, attributes));
+  std::vector<std::string> names;
+  names.reserve(attributes.size());
+  for (AttributeId a : attributes) names.push_back(rel.schema().Name(a));
+  LIMBO_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(names)));
+  RelationBuilder builder(std::move(schema));
+  std::vector<std::string> row(attributes.size());
+  for (TupleId t = 0; t < rel.NumTuples(); ++t) {
+    for (size_t i = 0; i < attributes.size(); ++i) {
+      row[i] = rel.TextAt(t, attributes[i]);
+    }
+    LIMBO_RETURN_IF_ERROR(builder.AddRow(row));
+  }
+  return std::move(builder).Build();
+}
+
+util::Result<Relation> ProjectNames(const Relation& rel,
+                                    const std::vector<std::string>& names) {
+  std::vector<AttributeId> attrs;
+  attrs.reserve(names.size());
+  for (const std::string& name : names) {
+    LIMBO_ASSIGN_OR_RETURN(AttributeId a, rel.schema().Find(name));
+    attrs.push_back(a);
+  }
+  return Project(rel, attrs);
+}
+
+Relation Distinct(const Relation& rel) {
+  std::vector<AttributeId> all(rel.NumAttributes());
+  for (size_t a = 0; a < all.size(); ++a) all[a] = static_cast<AttributeId>(a);
+  // Bucket rows by hash, verify with full comparison.
+  std::unordered_map<uint64_t, std::vector<TupleId>> buckets;
+  std::vector<TupleId> keep;
+  for (TupleId t = 0; t < rel.NumTuples(); ++t) {
+    uint64_t h = HashProjected(rel, t, all);
+    auto& bucket = buckets[h];
+    bool dup = false;
+    for (TupleId prev : bucket) {
+      if (EqualProjected(rel, prev, t, all)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      bucket.push_back(t);
+      keep.push_back(t);
+    }
+  }
+  return SelectRows(rel, keep);
+}
+
+size_t CountDistinctProjected(const Relation& rel,
+                              const std::vector<AttributeId>& attributes) {
+  std::unordered_map<uint64_t, std::vector<TupleId>> buckets;
+  size_t count = 0;
+  for (TupleId t = 0; t < rel.NumTuples(); ++t) {
+    uint64_t h = HashProjected(rel, t, attributes);
+    auto& bucket = buckets[h];
+    bool dup = false;
+    for (TupleId prev : bucket) {
+      if (EqualProjected(rel, prev, t, attributes)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      bucket.push_back(t);
+      ++count;
+    }
+  }
+  return count;
+}
+
+Relation SelectRows(const Relation& rel,
+                    const std::vector<TupleId>& tuple_ids) {
+  std::vector<std::string> names = rel.schema().Names();
+  auto schema = Schema::Create(std::move(names));
+  LIMBO_CHECK(schema.ok());
+  RelationBuilder builder(std::move(schema).value());
+  std::vector<std::string> row(rel.NumAttributes());
+  for (TupleId t : tuple_ids) {
+    LIMBO_CHECK(t < rel.NumTuples());
+    for (size_t a = 0; a < rel.NumAttributes(); ++a) {
+      row[a] = rel.TextAt(t, static_cast<AttributeId>(a));
+    }
+    util::Status s = builder.AddRow(row);
+    LIMBO_CHECK(s.ok());
+  }
+  return std::move(builder).Build();
+}
+
+util::Result<Relation> EquiJoin(const Relation& left, const Relation& right,
+                                const std::vector<JoinKey>& keys) {
+  if (keys.empty()) {
+    return util::Status::InvalidArgument("join requires >= 1 key");
+  }
+  std::vector<AttributeId> left_keys;
+  std::vector<AttributeId> right_keys;
+  for (const JoinKey& k : keys) {
+    LIMBO_ASSIGN_OR_RETURN(AttributeId la, left.schema().Find(k.left));
+    LIMBO_ASSIGN_OR_RETURN(AttributeId ra, right.schema().Find(k.right));
+    left_keys.push_back(la);
+    right_keys.push_back(ra);
+  }
+  // Output schema: all left attributes + right non-key attributes.
+  std::vector<AttributeId> right_carry;
+  std::vector<std::string> names = left.schema().Names();
+  for (size_t a = 0; a < right.NumAttributes(); ++a) {
+    const AttributeId ra = static_cast<AttributeId>(a);
+    if (std::find(right_keys.begin(), right_keys.end(), ra) !=
+        right_keys.end()) {
+      continue;
+    }
+    std::string name = right.schema().Name(ra);
+    // Disambiguate collisions with the left schema.
+    if (left.schema().Find(name).ok()) name += "_r";
+    names.push_back(std::move(name));
+    right_carry.push_back(ra);
+  }
+  LIMBO_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(names)));
+
+  // Build hash table over the right input keyed by the join-key texts.
+  std::unordered_map<std::string, std::vector<TupleId>> table;
+  for (TupleId t = 0; t < right.NumTuples(); ++t) {
+    std::string key;
+    for (AttributeId a : right_keys) {
+      key += right.TextAt(t, a);
+      key += '\x1f';
+    }
+    table[key].push_back(t);
+  }
+
+  RelationBuilder builder(std::move(schema));
+  std::vector<std::string> row(left.NumAttributes() + right_carry.size());
+  for (TupleId lt = 0; lt < left.NumTuples(); ++lt) {
+    std::string key;
+    for (AttributeId a : left_keys) {
+      key += left.TextAt(lt, a);
+      key += '\x1f';
+    }
+    auto it = table.find(key);
+    if (it == table.end()) continue;
+    for (TupleId rt : it->second) {
+      size_t i = 0;
+      for (size_t a = 0; a < left.NumAttributes(); ++a) {
+        row[i++] = left.TextAt(lt, static_cast<AttributeId>(a));
+      }
+      for (AttributeId a : right_carry) {
+        row[i++] = right.TextAt(rt, a);
+      }
+      LIMBO_RETURN_IF_ERROR(builder.AddRow(row));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace limbo::relation

@@ -1,0 +1,47 @@
+#ifndef LIMBO_RELATION_OPS_H_
+#define LIMBO_RELATION_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+#include "util/result.h"
+
+namespace limbo::relation {
+
+/// Projects `rel` onto `attributes` (bag semantics — duplicates kept).
+/// The projected relation has freshly encoded value ids.
+util::Result<Relation> Project(const Relation& rel,
+                               const std::vector<AttributeId>& attributes);
+
+/// Projects by attribute name.
+util::Result<Relation> ProjectNames(const Relation& rel,
+                                    const std::vector<std::string>& names);
+
+/// Returns `rel` with duplicate rows removed (first occurrence kept).
+Relation Distinct(const Relation& rel);
+
+/// Number of distinct rows of `rel` projected on `attributes`, without
+/// materializing the projection (set-semantics count used by RTR).
+size_t CountDistinctProjected(const Relation& rel,
+                              const std::vector<AttributeId>& attributes);
+
+/// Returns a relation containing only rows whose ids are in `tuple_ids`.
+Relation SelectRows(const Relation& rel, const std::vector<TupleId>& tuple_ids);
+
+/// Equi-join specification: left.attribute == right.attribute. The joined
+/// schema keeps all left attributes and the right attributes that are not
+/// join keys (natural-join style collapsing).
+struct JoinKey {
+  std::string left;
+  std::string right;
+};
+
+/// Hash equi-join of `left` and `right` on `keys` (string equality of cell
+/// text). Right-side key columns are dropped from the output.
+util::Result<Relation> EquiJoin(const Relation& left, const Relation& right,
+                                const std::vector<JoinKey>& keys);
+
+}  // namespace limbo::relation
+
+#endif  // LIMBO_RELATION_OPS_H_

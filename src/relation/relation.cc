@@ -1,0 +1,77 @@
+#include "relation/relation.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace limbo::relation {
+
+std::vector<std::vector<TupleId>> Relation::BuildValuePostings() const {
+  std::vector<std::vector<TupleId>> postings(dictionary_.NumValues());
+  for (ValueId v = 0; v < postings.size(); ++v) {
+    postings[v].reserve(dictionary_.Support(v));
+  }
+  const size_t m = schema_.NumAttributes();
+  const size_t n = NumTuples();
+  for (TupleId t = 0; t < n; ++t) {
+    for (size_t a = 0; a < m; ++a) {
+      postings[At(t, static_cast<AttributeId>(a))].push_back(t);
+    }
+  }
+  return postings;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  const size_t m = schema_.NumAttributes();
+  const size_t rows = std::min(max_rows, NumTuples());
+  std::vector<size_t> width(m);
+  for (size_t a = 0; a < m; ++a) width[a] = schema_.Name(a).size();
+  for (TupleId t = 0; t < rows; ++t) {
+    for (size_t a = 0; a < m; ++a) {
+      const std::string& text = TextAt(t, static_cast<AttributeId>(a));
+      width[a] = std::max(width[a], text.empty() ? 1 : text.size());
+    }
+  }
+  std::string out;
+  for (size_t a = 0; a < m; ++a) {
+    out += util::StrFormat("%-*s ", static_cast<int>(width[a]),
+                           schema_.Name(a).c_str());
+  }
+  out += "\n";
+  for (TupleId t = 0; t < rows; ++t) {
+    for (size_t a = 0; a < m; ++a) {
+      const std::string& text = TextAt(t, static_cast<AttributeId>(a));
+      out += util::StrFormat("%-*s ", static_cast<int>(width[a]),
+                             text.empty() ? "⊥" : text.c_str());
+    }
+    out += "\n";
+  }
+  if (rows < NumTuples()) {
+    out += util::StrFormat("... (%zu more rows)\n", NumTuples() - rows);
+  }
+  return out;
+}
+
+util::Status RelationBuilder::AddRow(const std::vector<std::string>& fields) {
+  if (fields.size() != schema_.NumAttributes()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "row has %zu fields, schema has %zu attributes", fields.size(),
+        schema_.NumAttributes()));
+  }
+  for (size_t a = 0; a < fields.size(); ++a) {
+    cells_.push_back(
+        dictionary_.InternOccurrence(static_cast<AttributeId>(a), fields[a]));
+  }
+  ++num_rows_;
+  return util::Status::Ok();
+}
+
+Relation RelationBuilder::Build() && {
+  Relation r;
+  r.schema_ = std::move(schema_);
+  r.dictionary_ = std::move(dictionary_);
+  r.cells_ = std::move(cells_);
+  return r;
+}
+
+}  // namespace limbo::relation

@@ -1,0 +1,94 @@
+#ifndef LIMBO_RELATION_RELATION_H_
+#define LIMBO_RELATION_RELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "relation/dictionary.h"
+#include "relation/schema.h"
+#include "util/result.h"
+
+namespace limbo::relation {
+
+using TupleId = uint32_t;
+
+/// The NULL token used throughout the repo. NULLs are first-class values
+/// (the paper's DBLP experiments hinge on NULL co-occurrence), represented
+/// as the empty string in the dictionary and rendered as "⊥".
+inline constexpr const char* kNullToken = "";
+
+/// An immutable-after-build categorical relation: a schema, a value
+/// dictionary, and a dense row store of value ids (row-major, stride = m).
+///
+/// This is the substrate every tool in the paper operates on. Build one
+/// with RelationBuilder, CSV I/O (csv_io.h) or the data generators.
+class Relation {
+ public:
+  const Schema& schema() const { return schema_; }
+  const ValueDictionary& dictionary() const { return dictionary_; }
+
+  size_t NumTuples() const {
+    return schema_.NumAttributes() == 0
+               ? 0
+               : cells_.size() / schema_.NumAttributes();
+  }
+  size_t NumAttributes() const { return schema_.NumAttributes(); }
+  size_t NumValues() const { return dictionary_.NumValues(); }
+
+  /// Value id stored at row `t`, column `a`.
+  ValueId At(TupleId t, AttributeId a) const {
+    return cells_[static_cast<size_t>(t) * schema_.NumAttributes() + a];
+  }
+
+  /// All value ids of row `t` in attribute order.
+  std::span<const ValueId> Row(TupleId t) const {
+    return {cells_.data() + static_cast<size_t>(t) * schema_.NumAttributes(),
+            schema_.NumAttributes()};
+  }
+
+  /// Raw text of the cell at (t, a); NULLs come back as kNullToken.
+  const std::string& TextAt(TupleId t, AttributeId a) const {
+    return dictionary_.Text(At(t, a));
+  }
+
+  /// Per-value posting lists: for each value id, the (sorted) tuple ids in
+  /// which it occurs. This is the sparse N matrix of Section 6.2.
+  std::vector<std::vector<TupleId>> BuildValuePostings() const;
+
+  /// Renders the first `max_rows` rows as an aligned text table (for
+  /// examples and debugging).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  friend class RelationBuilder;
+
+  Schema schema_;
+  ValueDictionary dictionary_;
+  std::vector<ValueId> cells_;
+};
+
+/// Incrementally builds a Relation from string rows.
+class RelationBuilder {
+ public:
+  explicit RelationBuilder(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Appends a row; `fields.size()` must equal the attribute count.
+  util::Status AddRow(const std::vector<std::string>& fields);
+
+  size_t NumRows() const { return num_rows_; }
+
+  /// Finalizes; the builder must not be reused afterwards.
+  Relation Build() &&;
+
+ private:
+  Schema schema_;
+  ValueDictionary dictionary_;
+  std::vector<ValueId> cells_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace limbo::relation
+
+#endif  // LIMBO_RELATION_RELATION_H_

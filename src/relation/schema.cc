@@ -1,0 +1,38 @@
+#include "relation/schema.h"
+
+#include <utility>
+
+#include "util/strings.h"
+
+namespace limbo::relation {
+
+util::Result<Schema> Schema::Create(std::vector<std::string> names) {
+  if (names.empty()) {
+    return util::Status::InvalidArgument("schema must have >= 1 attribute");
+  }
+  if (names.size() > 64) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("schema has %zu attributes; max is 64", names.size()));
+  }
+  Schema s;
+  for (size_t i = 0; i < names.size(); ++i) {
+    auto [it, inserted] =
+        s.index_.emplace(names[i], static_cast<AttributeId>(i));
+    if (!inserted) {
+      return util::Status::InvalidArgument("duplicate attribute name: " +
+                                           names[i]);
+    }
+  }
+  s.names_ = std::move(names);
+  return s;
+}
+
+util::Result<AttributeId> Schema::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return util::Status::NotFound("no attribute named " + name);
+  }
+  return it->second;
+}
+
+}  // namespace limbo::relation

@@ -1,0 +1,42 @@
+#ifndef LIMBO_RELATION_SCHEMA_H_
+#define LIMBO_RELATION_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace limbo::relation {
+
+/// Index of an attribute (column) within a relation. At most 64 attributes
+/// are supported so that attribute sets fit in a 64-bit bitset (src/fd).
+using AttributeId = uint32_t;
+
+/// Ordered list of named attributes. Attribute names are unique.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema from `names`. Fails if names are empty, duplicated,
+  /// or if there are more than 64 attributes.
+  static util::Result<Schema> Create(std::vector<std::string> names);
+
+  size_t NumAttributes() const { return names_.size(); }
+  const std::string& Name(AttributeId a) const { return names_[a]; }
+  const std::vector<std::string>& Names() const { return names_; }
+
+  /// Returns the index of attribute `name`, or kNotFound.
+  util::Result<AttributeId> Find(const std::string& name) const;
+
+  bool operator==(const Schema& other) const { return names_ == other.names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, AttributeId> index_;
+};
+
+}  // namespace limbo::relation
+
+#endif  // LIMBO_RELATION_SCHEMA_H_

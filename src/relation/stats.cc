@@ -1,0 +1,71 @@
+#include "relation/stats.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace limbo::relation {
+
+RelationProfile Profile(const Relation& rel) {
+  RelationProfile profile;
+  profile.tuples = rel.NumTuples();
+  profile.attributes = rel.NumAttributes();
+  profile.distinct_values = rel.NumValues();
+
+  const size_t m = rel.NumAttributes();
+  const double n = static_cast<double>(rel.NumTuples());
+  profile.columns.resize(m);
+  for (size_t a = 0; a < m; ++a) {
+    auto& col = profile.columns[a];
+    col.attribute = static_cast<AttributeId>(a);
+    col.name = rel.schema().Name(static_cast<AttributeId>(a));
+  }
+  // One pass over the dictionary: every value belongs to one attribute.
+  for (ValueId v = 0; v < rel.NumValues(); ++v) {
+    auto& col = profile.columns[rel.dictionary().Attribute(v)];
+    const size_t support = rel.dictionary().Support(v);
+    ++col.distinct_values;
+    if (rel.dictionary().Text(v).empty()) col.null_count = support;
+    if (support > col.top_count) {
+      col.top_count = support;
+      col.top_value = rel.dictionary().Text(v).empty()
+                          ? std::string("⊥")
+                          : rel.dictionary().Text(v);
+    }
+    if (n > 0) {
+      const double p = static_cast<double>(support) / n;
+      col.entropy -= p * std::log2(p);
+    }
+  }
+  for (auto& col : profile.columns) {
+    col.null_fraction = n > 0 ? col.null_count / n : 0.0;
+    col.is_key = rel.NumTuples() > 0 &&
+                 col.distinct_values == rel.NumTuples();
+    col.is_constant = col.distinct_values == 1 && rel.NumTuples() > 0;
+    col.uniformity =
+        col.distinct_values > 1
+            ? col.entropy / std::log2(static_cast<double>(col.distinct_values))
+            : 1.0;
+  }
+  return profile;
+}
+
+std::string RelationProfile::ToString() const {
+  std::string out = util::StrFormat(
+      "%zu tuples x %zu attributes, %zu distinct values\n", tuples,
+      attributes, distinct_values);
+  out += util::StrFormat("%-16s %-9s %-7s %-8s %-8s %-5s %s\n", "attribute",
+                         "distinct", "null%", "entropy", "uniform", "key",
+                         "top value");
+  for (const auto& col : columns) {
+    out += util::StrFormat(
+        "%-16s %-9zu %-7.1f %-8.3f %-8.3f %-5s %s (%zu)\n", col.name.c_str(),
+        col.distinct_values, 100.0 * col.null_fraction, col.entropy,
+        col.uniformity,
+        col.is_key ? "yes" : (col.is_constant ? "const" : ""),
+        col.top_value.c_str(), col.top_count);
+  }
+  return out;
+}
+
+}  // namespace limbo::relation

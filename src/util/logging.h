@@ -1,0 +1,34 @@
+#ifndef LIMBO_UTIL_LOGGING_H_
+#define LIMBO_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace limbo::util {
+
+/// Aborts with a message. Used only for programmer errors (broken
+/// invariants), never for data-dependent failures, which return Status.
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace limbo::util
+
+/// Invariant check that is active in all build modes (unlike assert()).
+#define LIMBO_CHECK(expr)                                  \
+  do {                                                     \
+    if (!(expr)) ::limbo::util::CheckFail(__FILE__, __LINE__, #expr); \
+  } while (0)
+
+/// Debug-only invariant check.
+#ifdef NDEBUG
+#define LIMBO_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define LIMBO_DCHECK(expr) LIMBO_CHECK(expr)
+#endif
+
+#endif  // LIMBO_UTIL_LOGGING_H_

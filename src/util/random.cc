@@ -1,0 +1,27 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace limbo::util {
+
+uint64_t Random::Zipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  // Approximate inverse-CDF sampling for the Zipf(s) distribution using the
+  // continuous analogue: P(X <= x) ~ (x^{1-s} - 1) / (n^{1-s} - 1), s != 1.
+  const double u = NextDouble();
+  double x;
+  if (std::fabs(s - 1.0) < 1e-9) {
+    x = std::exp(u * std::log(static_cast<double>(n)));
+  } else {
+    const double oneMinusS = 1.0 - s;
+    const double nPow = std::pow(static_cast<double>(n), oneMinusS);
+    x = std::pow(u * (nPow - 1.0) + 1.0, 1.0 / oneMinusS);
+  }
+  // The continuous rank x lives in [1, n]; shift to 0-based.
+  if (x < 1.0) x = 1.0;
+  uint64_t idx = static_cast<uint64_t>(x) - 1;
+  if (idx >= n) idx = n - 1;
+  return idx;
+}
+
+}  // namespace limbo::util

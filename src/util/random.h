@@ -1,0 +1,69 @@
+#ifndef LIMBO_UTIL_RANDOM_H_
+#define LIMBO_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace limbo::util {
+
+/// Deterministic, seedable PRNG (xoshiro256**). Every data generator and
+/// randomized experiment in the repo draws from this generator so that
+/// benches and tests are exactly reproducible across platforms (unlike
+/// std::mt19937 distributions, whose outputs are not portable).
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-like skewed index in [0, n): rank r drawn with weight 1/(r+1)^s.
+  /// Uses inverse-CDF over precomputable harmonic weights is avoided to stay
+  /// allocation-free; instead uses rejection-free approximate inversion,
+  /// adequate for workload generation.
+  uint64_t Zipf(uint64_t n, double s);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace limbo::util
+
+#endif  // LIMBO_UTIL_RANDOM_H_

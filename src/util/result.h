@@ -1,0 +1,70 @@
+#ifndef LIMBO_UTIL_RESULT_H_
+#define LIMBO_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace limbo::util {
+
+/// A value-or-error holder: either a `T` or a non-OK `Status`.
+///
+/// Usage:
+///   Result<Relation> r = CsvReader::Read(path);
+///   if (!r.ok()) return r.status();
+///   Relation rel = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (the common error path).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result must not be built from an OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace limbo::util
+
+/// Evaluates `expr` (a Result<T>), propagating the error or moving the
+/// value into `lhs`.
+#define LIMBO_ASSIGN_OR_RETURN(lhs, expr)            \
+  LIMBO_ASSIGN_OR_RETURN_IMPL_(                      \
+      LIMBO_RESULT_CONCAT_(_limbo_result, __LINE__), lhs, expr)
+
+#define LIMBO_RESULT_CONCAT_INNER_(a, b) a##b
+#define LIMBO_RESULT_CONCAT_(a, b) LIMBO_RESULT_CONCAT_INNER_(a, b)
+#define LIMBO_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // LIMBO_UTIL_RESULT_H_

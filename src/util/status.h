@@ -1,0 +1,81 @@
+#ifndef LIMBO_UTIL_STATUS_H_
+#define LIMBO_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace limbo::util {
+
+/// Error codes used across the library. Kept deliberately small: most
+/// library failures are either malformed input (`kInvalidArgument`),
+/// missing entities (`kNotFound`) or I/O problems (`kIoError`).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value, modeled on the RocksDB/Arrow
+/// Status idiom. The library does not throw exceptions; every fallible
+/// public entry point returns a `Status` or a `Result<T>`.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace limbo::util
+
+/// Propagates a non-OK Status from the current function.
+#define LIMBO_RETURN_IF_ERROR(expr)                      \
+  do {                                                   \
+    ::limbo::util::Status _limbo_status = (expr);        \
+    if (!_limbo_status.ok()) return _limbo_status;       \
+  } while (0)
+
+#endif  // LIMBO_UTIL_STATUS_H_

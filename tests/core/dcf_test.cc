@@ -1,0 +1,84 @@
+#include "core/dcf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace limbo::core {
+namespace {
+
+Dcf MakeDcf(double p, std::vector<uint32_t> support) {
+  Dcf d;
+  d.p = p;
+  d.cond = SparseDistribution::UniformOver(support);
+  return d;
+}
+
+TEST(DcfTest, MergeFollowsEquations1And2) {
+  const Dcf a = MakeDcf(0.25, {0, 1});
+  const Dcf b = MakeDcf(0.75, {1, 2});
+  const Dcf merged = MergeDcf(a, b);
+  EXPECT_DOUBLE_EQ(merged.p, 1.0);
+  // p(T|c*) = 0.25*(1/2,1/2,0) + 0.75*(0,1/2,1/2).
+  EXPECT_DOUBLE_EQ(merged.cond.MassAt(0), 0.125);
+  EXPECT_DOUBLE_EQ(merged.cond.MassAt(1), 0.5);
+  EXPECT_DOUBLE_EQ(merged.cond.MassAt(2), 0.375);
+}
+
+TEST(DcfTest, MergeSumsAdcfCounts) {
+  Dcf a = MakeDcf(0.5, {0});
+  Dcf b = MakeDcf(0.5, {1});
+  a.attr_counts = {2, 0, 1};
+  b.attr_counts = {0, 3, 1};
+  const Dcf merged = MergeDcf(a, b);
+  EXPECT_EQ(merged.attr_counts, (std::vector<uint64_t>{2, 3, 2}));
+  EXPECT_TRUE(merged.IsAdcf());
+}
+
+TEST(DcfTest, PlainDcfHasNoCounts) {
+  const Dcf merged = MergeDcf(MakeDcf(0.5, {0}), MakeDcf(0.5, {1}));
+  EXPECT_FALSE(merged.IsAdcf());
+}
+
+TEST(InformationLossTest, Equation3KnownValue) {
+  // Two clusters of equal mass with disjoint conditionals:
+  // δI = (p1+p2) * JS_{1/2,1/2} = (p1+p2) * 1 bit.
+  const Dcf a = MakeDcf(0.3, {0});
+  const Dcf b = MakeDcf(0.3, {1});
+  EXPECT_NEAR(InformationLoss(a, b), 0.6, 1e-12);
+}
+
+TEST(InformationLossTest, ZeroForIdenticalConditionals) {
+  const Dcf a = MakeDcf(0.2, {4, 5});
+  const Dcf b = MakeDcf(0.6, {4, 5});
+  EXPECT_NEAR(InformationLoss(a, b), 0.0, 1e-12);
+}
+
+TEST(InformationLossTest, Symmetric) {
+  const Dcf a = MakeDcf(0.1, {0, 1, 2});
+  const Dcf b = MakeDcf(0.5, {2, 3});
+  EXPECT_NEAR(InformationLoss(a, b), InformationLoss(b, a), 1e-12);
+}
+
+TEST(InformationLossTest, LossIsSubadditiveAcrossMergeChain) {
+  // Merging a with b then with c loses at least as much as any single
+  // pairwise merge (cumulative loss is monotone).
+  const Dcf a = MakeDcf(1.0 / 3, {0});
+  const Dcf b = MakeDcf(1.0 / 3, {1});
+  const Dcf c = MakeDcf(1.0 / 3, {2});
+  const double ab = InformationLoss(a, b);
+  const Dcf merged = MergeDcf(a, b);
+  const double abc = ab + InformationLoss(merged, c);
+  EXPECT_GT(abc, ab);
+}
+
+TEST(InformationLossTest, ZeroMassClusters) {
+  const Dcf a = MakeDcf(0.0, {0});
+  const Dcf b = MakeDcf(0.0, {1});
+  EXPECT_DOUBLE_EQ(InformationLoss(a, b), 0.0);
+  const Dcf merged = MergeDcf(a, b);
+  EXPECT_DOUBLE_EQ(merged.p, 0.0);
+}
+
+}  // namespace
+}  // namespace limbo::core

@@ -1,0 +1,158 @@
+#include "core/dcf_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace limbo::core {
+namespace {
+
+Dcf MakeDcf(double p, std::vector<uint32_t> support) {
+  Dcf d;
+  d.p = p;
+  d.cond = SparseDistribution::UniformOver(support);
+  return d;
+}
+
+TEST(DcfTreeTest, ZeroThresholdMergesOnlyIdenticalObjects) {
+  DcfTree::Options options;
+  options.threshold = 0.0;
+  DcfTree tree(options);
+  // Three identical + two identical + one singleton = 3 leaves.
+  for (int i = 0; i < 3; ++i) tree.Insert(MakeDcf(1.0 / 6, {0, 1}));
+  for (int i = 0; i < 2; ++i) tree.Insert(MakeDcf(1.0 / 6, {2, 3}));
+  tree.Insert(MakeDcf(1.0 / 6, {4, 5}));
+  const auto leaves = tree.LeafDcfs();
+  EXPECT_EQ(leaves.size(), 3u);
+  EXPECT_EQ(tree.stats().num_inserts, 6u);
+  EXPECT_EQ(tree.stats().num_merges, 3u);
+}
+
+TEST(DcfTreeTest, MassIsConserved) {
+  DcfTree::Options options;
+  options.threshold = 0.01;
+  DcfTree tree(options);
+  util::Random rng(3);
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    tree.Insert(MakeDcf(1.0 / n, {static_cast<uint32_t>(rng.Uniform(20)),
+                                  20 + static_cast<uint32_t>(rng.Uniform(20))}));
+  }
+  double total = 0.0;
+  for (const Dcf& leaf : tree.LeafDcfs()) total += leaf.p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DcfTreeTest, SplitsKeepAllLeavesReachable) {
+  DcfTree::Options options;
+  options.threshold = 0.0;
+  options.branching = 3;
+  DcfTree tree(options);
+  const int n = 64;
+  for (uint32_t i = 0; i < n; ++i) {
+    tree.Insert(MakeDcf(1.0 / n, {i}));  // all distinct: no merges
+  }
+  EXPECT_EQ(tree.LeafDcfs().size(), static_cast<size_t>(n));
+  EXPECT_EQ(tree.stats().num_merges, 0u);
+  EXPECT_GT(tree.stats().height, 1u);
+  EXPECT_GT(tree.stats().num_nodes, 1u);
+}
+
+TEST(DcfTreeTest, LargeThresholdCollapsesEverything) {
+  DcfTree::Options options;
+  options.threshold = 1e6;
+  DcfTree tree(options);
+  for (uint32_t i = 0; i < 50; ++i) {
+    tree.Insert(MakeDcf(0.02, {i, i + 50, i + 100}));
+  }
+  EXPECT_EQ(tree.LeafDcfs().size(), 1u);
+}
+
+TEST(DcfTreeTest, ThresholdControlsGranularity) {
+  // Two well-separated value groups with small within-group jitter:
+  // a generous threshold should give far fewer leaves than a tiny one.
+  auto build = [](double threshold) {
+    DcfTree::Options options;
+    options.threshold = threshold;
+    DcfTree tree(options);
+    util::Random rng(17);
+    const int n = 100;
+    for (int i = 0; i < n; ++i) {
+      const uint32_t base = (i % 2 == 0) ? 0 : 1000;
+      tree.Insert(MakeDcf(1.0 / n,
+                          {base + static_cast<uint32_t>(rng.Uniform(4)),
+                           base + 10 + static_cast<uint32_t>(rng.Uniform(4)),
+                           base + 20}));
+    }
+    return tree.LeafDcfs().size();
+  };
+  const size_t fine = build(1e-7);
+  const size_t coarse = build(0.05);
+  EXPECT_GT(fine, coarse);
+  EXPECT_LE(coarse, 10u);
+}
+
+TEST(DcfTreeTest, AdcfCountsSurviveTreeMerges) {
+  DcfTree::Options options;
+  options.threshold = 1e6;  // force everything into one leaf
+  DcfTree tree(options);
+  for (int i = 0; i < 4; ++i) {
+    Dcf d = MakeDcf(0.25, {static_cast<uint32_t>(i)});
+    d.attr_counts = {1, 2};
+    tree.Insert(d);
+  }
+  const auto leaves = tree.LeafDcfs();
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_EQ(leaves[0].attr_counts, (std::vector<uint64_t>{4, 8}));
+}
+
+TEST(DcfTreeTest, InvariantsHoldUnderStress) {
+  // Heavy mixed workload with many splits; every structural invariant
+  // (fan-out bounds, accumulator = subtree sum, mass conservation) must
+  // hold at several checkpoints.
+  DcfTree::Options options;
+  options.threshold = 0.002;
+  options.branching = 3;
+  DcfTree tree(options);
+  util::Random rng(123);
+  const int n = 1500;
+  for (int i = 0; i < n; ++i) {
+    std::vector<uint32_t> support;
+    const uint32_t base = static_cast<uint32_t>(rng.Uniform(10)) * 30;
+    for (uint32_t s = 0; s < 5; ++s) {
+      support.push_back(base + s * 5 +
+                        static_cast<uint32_t>(rng.Uniform(3)));
+    }
+    tree.Insert(MakeDcf(1.0 / n, support));
+    if (i % 250 == 0 || i == n - 1) {
+      EXPECT_EQ(tree.ValidateInvariants(), "") << "after insert " << i;
+    }
+  }
+}
+
+TEST(DcfTreeTest, InvariantsHoldWithWideBranching) {
+  DcfTree::Options options;
+  options.threshold = 0.0;
+  options.branching = 16;
+  options.leaf_capacity = 4;
+  DcfTree tree(options);
+  for (uint32_t i = 0; i < 300; ++i) {
+    tree.Insert(MakeDcf(1.0 / 300, {i, 1000 + (i * 7) % 50}));
+  }
+  EXPECT_EQ(tree.ValidateInvariants(), "");
+}
+
+TEST(DcfTreeTest, StatsCountInsertsAndLeafEntries) {
+  DcfTree::Options options;
+  options.threshold = 0.0;
+  DcfTree tree(options);
+  for (uint32_t i = 0; i < 10; ++i) tree.Insert(MakeDcf(0.1, {i}));
+  EXPECT_EQ(tree.stats().num_inserts, 10u);
+  EXPECT_EQ(tree.stats().num_leaf_entries, 10u);
+  EXPECT_EQ(tree.LeafDcfs().size(), 10u);
+}
+
+}  // namespace
+}  // namespace limbo::core

@@ -1,0 +1,99 @@
+#include "core/dendrogram.h"
+
+#include <gtest/gtest.h>
+
+#include "core/attribute_grouping.h"
+#include "core/value_clustering.h"
+#include "testing/make_relation.h"
+
+namespace limbo::core {
+namespace {
+
+Dcf MakeDcf(double p, std::vector<uint32_t> support) {
+  Dcf d;
+  d.p = p;
+  d.cond = SparseDistribution::UniformOver(support);
+  return d;
+}
+
+TEST(DendrogramTest, RendersAllLabels) {
+  const std::vector<Dcf> inputs = {MakeDcf(0.25, {0, 1}), MakeDcf(0.25, {0, 1}),
+                                   MakeDcf(0.25, {5}), MakeDcf(0.25, {6})};
+  auto result = AgglomerativeIb(inputs);
+  ASSERT_TRUE(result.ok());
+  const std::string art = RenderDendrogram(
+      *result, {"alpha", "beta", "gamma", "delta"});
+  EXPECT_NE(art.find("alpha"), std::string::npos);
+  EXPECT_NE(art.find("beta"), std::string::npos);
+  EXPECT_NE(art.find("gamma"), std::string::npos);
+  EXPECT_NE(art.find("delta"), std::string::npos);
+  EXPECT_NE(art.find("max loss"), std::string::npos);
+  // Connectors are present.
+  EXPECT_NE(art.find('+'), std::string::npos);
+  EXPECT_NE(art.find('-'), std::string::npos);
+}
+
+TEST(DendrogramTest, SiblingsAreAdjacentRows) {
+  // The two identical objects merge first and must be adjacent in the
+  // leaf ordering.
+  const std::vector<Dcf> inputs = {MakeDcf(0.25, {0, 1}), MakeDcf(0.25, {9}),
+                                   MakeDcf(0.25, {0, 1}), MakeDcf(0.25, {7})};
+  auto result = AgglomerativeIb(inputs);
+  ASSERT_TRUE(result.ok());
+  const std::string art =
+      RenderDendrogram(*result, {"first", "odd1", "twin", "odd2"});
+  const size_t first_pos = art.find("first");
+  const size_t twin_pos = art.find("twin");
+  ASSERT_NE(first_pos, std::string::npos);
+  ASSERT_NE(twin_pos, std::string::npos);
+  // Rows are newline-separated; adjacent rows differ by one line.
+  const size_t first_line =
+      std::count(art.begin(), art.begin() + first_pos, '\n');
+  const size_t twin_line =
+      std::count(art.begin(), art.begin() + twin_pos, '\n');
+  EXPECT_EQ(std::max(first_line, twin_line) -
+                std::min(first_line, twin_line),
+            1u);
+}
+
+TEST(DendrogramTest, SingleLeaf) {
+  AibResult result(1, {});
+  EXPECT_EQ(RenderDendrogram(result, {"only"}), "only\n");
+}
+
+TEST(DendrogramTest, PartialClustering) {
+  // min_k = 2 leaves two roots; both subtrees must render.
+  const std::vector<Dcf> inputs = {MakeDcf(0.25, {0}), MakeDcf(0.25, {0}),
+                                   MakeDcf(0.25, {9}), MakeDcf(0.25, {9})};
+  AibOptions options;
+  options.min_k = 2;
+  auto result = AgglomerativeIb(inputs, options);
+  ASSERT_TRUE(result.ok());
+  const std::string art = RenderDendrogram(*result, {"a", "b", "c", "d"});
+  for (const char* label : {"a", "b", "c", "d"}) {
+    EXPECT_NE(art.find(label), std::string::npos);
+  }
+}
+
+TEST(DendrogramTest, PaperFigure10Shape) {
+  // Figure 10: B and C merge first; A joins at the top. B and C must be
+  // adjacent rows in the rendering.
+  const auto rel = limbo::testing::PaperFigure4();
+  auto values = ClusterValues(rel, {});
+  ASSERT_TRUE(values.ok());
+  auto grouping = GroupAttributes(rel, *values);
+  ASSERT_TRUE(grouping.ok());
+  std::vector<std::string> labels;
+  for (relation::AttributeId a : grouping->attributes) {
+    labels.push_back(rel.schema().Name(a));
+  }
+  const std::string art = RenderDendrogram(grouping->aib, labels);
+  const size_t b_line = std::count(
+      art.begin(), art.begin() + static_cast<long>(art.find("B")), '\n');
+  const size_t c_line = std::count(
+      art.begin(), art.begin() + static_cast<long>(art.find("C")), '\n');
+  EXPECT_EQ(std::max(b_line, c_line) - std::min(b_line, c_line), 1u);
+}
+
+}  // namespace
+}  // namespace limbo::core

@@ -1,0 +1,130 @@
+#include "core/fd_rank.h"
+
+#include <gtest/gtest.h>
+
+#include "core/value_clustering.h"
+#include "testing/make_relation.h"
+
+namespace limbo::core {
+namespace {
+
+using limbo::testing::PaperFigure4;
+
+fd::FunctionalDependency Fd(std::vector<relation::AttributeId> lhs,
+                            std::vector<relation::AttributeId> rhs) {
+  return {fd::AttributeSet::FromList(lhs), fd::AttributeSet::FromList(rhs)};
+}
+
+AttributeGroupingResult GroupingForFigure4() {
+  const auto rel = PaperFigure4();
+  auto values = ClusterValues(rel, {});
+  EXPECT_TRUE(values.ok());
+  auto grouping = GroupAttributes(rel, *values);
+  EXPECT_TRUE(grouping.ok());
+  return std::move(grouping).value();
+}
+
+TEST(FdRankTest, PaperExampleCToBBeatsAToB) {
+  // Section 7: with ψ = 0.5 only C→B is anchored to the B+C merge; A→B
+  // keeps the maximum loss and ranks below it.
+  const auto grouping = GroupingForFigure4();
+  const std::vector<fd::FunctionalDependency> fds = {Fd({0}, {1}),
+                                                     Fd({2}, {1})};
+  auto ranked = RankFds(fds, grouping);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 2u);
+  EXPECT_EQ((*ranked)[0].fd, Fd({2}, {1}));  // C -> B first
+  EXPECT_TRUE((*ranked)[0].anchored);
+  EXPECT_NEAR((*ranked)[0].rank, 0.15766, 1e-4);
+  EXPECT_EQ((*ranked)[1].fd, Fd({0}, {1}));
+  EXPECT_FALSE((*ranked)[1].anchored);
+  EXPECT_NEAR((*ranked)[1].rank, grouping.max_merge_loss, 1e-12);
+}
+
+TEST(FdRankTest, PsiZeroAnchorsNothing) {
+  const auto grouping = GroupingForFigure4();
+  FdRankOptions options;
+  options.psi = 0.0;
+  auto ranked = RankFds({Fd({2}, {1})}, grouping, options);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_FALSE((*ranked)[0].anchored);
+}
+
+TEST(FdRankTest, PsiOneAnchorsEverythingCoClustered) {
+  const auto grouping = GroupingForFigure4();
+  FdRankOptions options;
+  options.psi = 1.0;
+  auto ranked = RankFds({Fd({0}, {1}), Fd({2}, {1})}, grouping, options);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_TRUE((*ranked)[0].anchored);
+  EXPECT_TRUE((*ranked)[1].anchored);
+}
+
+TEST(FdRankTest, CollapsesSameAntecedentSameRank) {
+  // C→B and C→A both anchored at... C→A requires {A,C} co-clustered,
+  // which only happens at the last merge. Use two FDs with LHS C whose
+  // attribute sets co-cluster at the same merge instead: C→B twice.
+  const auto grouping = GroupingForFigure4();
+  const std::vector<fd::FunctionalDependency> fds = {Fd({2}, {1}),
+                                                     Fd({2}, {1})};
+  auto ranked = RankFds(fds, grouping);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ(ranked->size(), 1u);
+}
+
+TEST(FdRankTest, CollapseMergesRhs) {
+  // Both [A]→B and [A]→C first co-cluster at the final merge with the
+  // same (max) rank: Step 2 collapses them into [A]→[B,C].
+  const auto grouping = GroupingForFigure4();
+  const std::vector<fd::FunctionalDependency> fds = {Fd({0}, {1}),
+                                                     Fd({0}, {2})};
+  auto ranked = RankFds(fds, grouping);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 1u);
+  EXPECT_EQ((*ranked)[0].fd, Fd({0}, {1, 2}));
+}
+
+TEST(FdRankTest, TieBreakPrefersWiderFds) {
+  const auto grouping = GroupingForFigure4();
+  // Both un-anchored (rank = max): the 3-attribute FD ranks first.
+  const std::vector<fd::FunctionalDependency> fds = {Fd({0}, {1}),
+                                                     Fd({0, 2}, {1})};
+  FdRankOptions options;
+  options.psi = 0.0;  // nothing anchors
+  auto ranked = RankFds(fds, grouping, options);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 2u);
+  EXPECT_EQ((*ranked)[0].fd, Fd({0, 2}, {1}));
+}
+
+TEST(FdRankTest, FdWithAttributeOutsideAdKeepsMaxRank) {
+  // An FD whose attributes never co-cluster (not all in A_D).
+  const auto rel = limbo::testing::MakeRelation(
+      {"A", "B", "D"},
+      {{"a", "1", "d1"}, {"a", "1", "d2"}, {"w", "2", "d3"}, {"y", "2", "d4"}});
+  auto values = ClusterValues(rel, {});
+  ASSERT_TRUE(values.ok());
+  auto grouping = GroupAttributes(rel, *values);
+  ASSERT_TRUE(grouping.ok());
+  auto ranked = RankFds({Fd({2}, {0})}, *grouping);  // D -> A
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_FALSE((*ranked)[0].anchored);
+  EXPECT_DOUBLE_EQ((*ranked)[0].rank, grouping->max_merge_loss);
+}
+
+TEST(FdRankTest, RejectsBadPsi) {
+  const auto grouping = GroupingForFigure4();
+  FdRankOptions options;
+  options.psi = 1.5;
+  EXPECT_FALSE(RankFds({}, grouping, options).ok());
+}
+
+TEST(FdRankTest, EmptyInputYieldsEmptyOutput) {
+  const auto grouping = GroupingForFigure4();
+  auto ranked = RankFds({}, grouping);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_TRUE(ranked->empty());
+}
+
+}  // namespace
+}  // namespace limbo::core

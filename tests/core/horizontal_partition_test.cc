@@ -1,0 +1,131 @@
+#include "core/horizontal_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "testing/make_relation.h"
+#include "util/random.h"
+
+namespace limbo::core {
+namespace {
+
+/// A relation overloaded with two kinds of rows (the paper's motivating
+/// product-orders vs. service-orders case): kind 0 uses one vocabulary,
+/// kind 1 another, with per-row jitter.
+relation::Relation TwoKindsRelation(size_t n, uint64_t seed) {
+  util::Random rng(seed);
+  std::vector<std::vector<std::string>> rows;
+  for (size_t t = 0; t < n; ++t) {
+    const int kind = t % 2;
+    std::vector<std::string> row;
+    for (int a = 0; a < 6; ++a) {
+      row.push_back("k" + std::to_string(kind) + "_a" + std::to_string(a) +
+                    "_v" + std::to_string(rng.Uniform(3)));
+    }
+    rows.push_back(std::move(row));
+  }
+  return limbo::testing::MakeRelation({"A", "B", "C", "D", "E", "F"}, rows);
+}
+
+TEST(HorizontalPartitionTest, RecoversPlantedTwoKinds) {
+  const auto rel = TwoKindsRelation(60, 11);
+  HorizontalPartitionOptions options;
+  options.phi = 0.0;
+  options.max_k = 6;
+  auto result = HorizontallyPartition(rel, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->chosen_k, 2u);
+  // All tuples of the same kind share a label.
+  for (size_t t = 2; t < rel.NumTuples(); ++t) {
+    EXPECT_EQ(result->assignments[t], result->assignments[t % 2]);
+  }
+  EXPECT_NE(result->assignments[0], result->assignments[1]);
+  EXPECT_EQ(result->cluster_sizes[0] + result->cluster_sizes[1],
+            rel.NumTuples());
+}
+
+TEST(HorizontalPartitionTest, CandidateKsRankedAndLeadByChosen) {
+  const auto rel = TwoKindsRelation(60, 31);
+  HorizontalPartitionOptions options;
+  options.phi = 0.0;
+  options.max_k = 6;
+  auto result = HorizontallyPartition(rel, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->candidate_ks.empty());
+  EXPECT_EQ(result->candidate_ks.front(), result->chosen_k);
+  for (size_t k : result->candidate_ks) {
+    EXPECT_GE(k, 2u);
+    EXPECT_LE(k, 6u);
+  }
+}
+
+TEST(HorizontalPartitionTest, ExplicitKOverridesHeuristic) {
+  const auto rel = TwoKindsRelation(40, 13);
+  HorizontalPartitionOptions options;
+  options.phi = 0.0;
+  options.k = 4;
+  auto result = HorizontallyPartition(rel, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->chosen_k, 4u);
+  EXPECT_EQ(result->cluster_sizes.size(), 4u);
+}
+
+TEST(HorizontalPartitionTest, StatsAreOrderedAndConsistent) {
+  const auto rel = TwoKindsRelation(40, 17);
+  HorizontalPartitionOptions options;
+  options.phi = 0.0;
+  options.max_k = 5;
+  auto result = HorizontallyPartition(rel, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->stats.empty());
+  // k strictly decreasing down to 1; info_retained non-increasing with
+  // smaller k; conditional entropy non-negative.
+  for (size_t i = 0; i + 1 < result->stats.size(); ++i) {
+    EXPECT_GT(result->stats[i].k, result->stats[i + 1].k);
+    EXPECT_GE(result->stats[i].info_retained,
+              result->stats[i + 1].info_retained - 1e-9);
+  }
+  EXPECT_EQ(result->stats.back().k, 1u);
+  for (const auto& s : result->stats) {
+    EXPECT_GE(s.conditional_entropy, 0.0);
+    EXPECT_GE(s.delta_i, 0.0);
+  }
+}
+
+TEST(HorizontalPartitionTest, InfoLossSmallForCleanSplit) {
+  const auto rel = TwoKindsRelation(60, 19);
+  HorizontalPartitionOptions options;
+  options.phi = 0.0;
+  auto result = HorizontallyPartition(rel, options);
+  ASSERT_TRUE(result.ok());
+  // Splitting two disjoint-vocabulary kinds loses little information
+  // relative to collapsing everything (k=1 would lose 100%).
+  EXPECT_LT(result->info_loss_fraction, 0.9);
+  EXPECT_GE(result->info_loss_fraction, 0.0);
+}
+
+TEST(HorizontalPartitionTest, ClusterValueCountsCoverVocabulary) {
+  const auto rel = TwoKindsRelation(60, 23);
+  HorizontalPartitionOptions options;
+  options.phi = 0.0;
+  options.k = 2;
+  auto result = HorizontallyPartition(rel, options);
+  ASSERT_TRUE(result.ok());
+  // The two kinds have disjoint vocabularies; together the clusters cover
+  // every distinct value.
+  EXPECT_EQ(result->cluster_value_counts[0] + result->cluster_value_counts[1],
+            rel.NumValues());
+}
+
+TEST(HorizontalPartitionTest, InvalidInputs) {
+  const auto rel = TwoKindsRelation(10, 29);
+  HorizontalPartitionOptions bad;
+  bad.min_k = 5;
+  bad.max_k = 2;
+  EXPECT_FALSE(HorizontallyPartition(rel, bad).ok());
+}
+
+}  // namespace
+}  // namespace limbo::core

@@ -1,0 +1,133 @@
+#include "core/information_content.h"
+
+#include <gtest/gtest.h>
+
+#include "core/decompose.h"
+#include "testing/make_relation.h"
+
+namespace limbo::core {
+namespace {
+
+using limbo::testing::MakeRelation;
+
+fd::FunctionalDependency Fd(std::vector<relation::AttributeId> lhs,
+                            std::vector<relation::AttributeId> rhs) {
+  return {fd::AttributeSet::FromList(lhs), fd::AttributeSet::FromList(rhs)};
+}
+
+/// The paper's Figure 1: Ename, City, Zip over three tuples.
+relation::Relation Figure1() {
+  return MakeRelation({"Ename", "City", "Zip"},
+                      {{"Pat", "Boston", "02139"},
+                       {"Pat", "Boston", "02138"},
+                       {"Sal", "Boston", "02139"}});
+}
+
+bool IsRedundant(const InformationContent& result, relation::TupleId t,
+                 relation::AttributeId a) {
+  for (const auto& cell : result.cells) {
+    if (cell.tuple == t && cell.attribute == a) return true;
+  }
+  return false;
+}
+
+TEST(InformationContentTest, Figure1WithEnameToCity) {
+  // "If the functional dependency Ename → City holds, then the value
+  // Boston in tuple t2 is redundant given the presence of tuple t1 ...
+  // However, the value Boston in the third tuple is not redundant."
+  const auto rel = Figure1();
+  auto result = AnalyzeInformationContent(rel, {Fd({0}, {1})});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsRedundant(*result, 1, 1));   // Boston in t2
+  EXPECT_TRUE(IsRedundant(*result, 0, 1));   // ... and symmetrically in t1
+  EXPECT_FALSE(IsRedundant(*result, 2, 1));  // but NOT in t3 (Sal)
+}
+
+TEST(InformationContentTest, Figure1WithZipToCity) {
+  // "But if ... instead of Ename → City, we have the dependency
+  // Zip → City, then the situation is reversed. Given t1, the value
+  // Boston is redundant in t3, but not in t2."
+  const auto rel = Figure1();
+  auto result = AnalyzeInformationContent(rel, {Fd({2}, {1})});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsRedundant(*result, 2, 1));   // Boston in t3
+  EXPECT_TRUE(IsRedundant(*result, 0, 1));   // ... symmetrically in t1
+  EXPECT_FALSE(IsRedundant(*result, 1, 1));  // but NOT in t2 (02138)
+}
+
+TEST(InformationContentTest, ContentFractionAccounting) {
+  const auto rel = Figure1();
+  auto result = AnalyzeInformationContent(rel, {Fd({0}, {1})});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->total_cells, 9u);
+  EXPECT_EQ(result->redundant_cells, 2u);
+  EXPECT_NEAR(result->content, 1.0 - 2.0 / 9.0, 1e-12);
+}
+
+TEST(InformationContentTest, RejectsNonHoldingFd) {
+  const auto rel = Figure1();
+  // City → Zip does not hold (Boston maps to two zips).
+  auto result = AnalyzeInformationContent(rel, {Fd({1}, {2})});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(InformationContentTest, NoFdsMeansFullContent) {
+  const auto rel = Figure1();
+  auto result = AnalyzeInformationContent(rel, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->redundant_cells, 0u);
+  EXPECT_DOUBLE_EQ(result->content, 1.0);
+}
+
+TEST(InformationContentTest, ConstantColumnIsAllRedundant) {
+  const auto rel = MakeRelation({"A", "B"}, {{"c", "1"}, {"c", "2"}});
+  auto result = AnalyzeInformationContent(
+      rel, {{fd::AttributeSet(), fd::AttributeSet::Single(0)}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->redundant_cells, 2u);
+}
+
+TEST(InformationContentTest, DecompositionRaisesContent) {
+  // The design story of Section 1: decomposing on the FD leaves fragments
+  // with strictly higher information content.
+  const auto rel = limbo::testing::PaperFigure4();
+  const auto f = Fd({2}, {1});  // C -> B
+  auto before = AnalyzeInformationContent(rel, {f});
+  ASSERT_TRUE(before.ok());
+  ASSERT_GT(before->redundant_cells, 0u);
+
+  auto decomposition = DecomposeOn(rel, f);
+  ASSERT_TRUE(decomposition.ok());
+  // In S1 = (C, B) each C value appears once: the FD no longer marks any
+  // cell redundant.
+  auto s1_fd = Fd({0}, {1});  // C -> B in S1's local schema (C first)
+  auto after = AnalyzeInformationContent(
+      decomposition->s1,
+      {{fd::AttributeSet::Single(
+            decomposition->s1.schema().Find("C").value()),
+        fd::AttributeSet::Single(
+            decomposition->s1.schema().Find("B").value())}});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->redundant_cells, 0u);
+  EXPECT_GT(after->content, before->content);
+  (void)s1_fd;
+}
+
+TEST(InformationContentTest, MultipleWitnessesCountOnce) {
+  // Two FDs both witness the same cell; it is counted once.
+  const auto rel = MakeRelation(
+      {"A", "B", "C"},
+      {{"1", "x", "u"}, {"1", "x", "u"}, {"2", "y", "v"}});
+  auto result =
+      AnalyzeInformationContent(rel, {Fd({0}, {1}), Fd({2}, {1})});
+  ASSERT_TRUE(result.ok());
+  size_t b_cells = 0;
+  for (const auto& cell : result->cells) {
+    if (cell.attribute == 1) ++b_cells;
+  }
+  EXPECT_EQ(b_cells, 2u);  // t0 and t1 only, once each
+}
+
+}  // namespace
+}  // namespace limbo::core

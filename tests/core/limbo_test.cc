@@ -1,0 +1,133 @@
+#include "core/limbo.h"
+
+#include <gtest/gtest.h>
+
+#include "core/info.h"
+
+#include "util/random.h"
+
+namespace limbo::core {
+namespace {
+
+Dcf MakeDcf(double p, std::vector<uint32_t> support) {
+  Dcf d;
+  d.p = p;
+  d.cond = SparseDistribution::UniformOver(support);
+  return d;
+}
+
+/// 30 objects drawn from three disjoint templates with tiny jitter.
+std::vector<Dcf> ThreePlantedClusters() {
+  std::vector<Dcf> objects;
+  util::Random rng(5);
+  const int n = 30;
+  for (int i = 0; i < n; ++i) {
+    const uint32_t base = static_cast<uint32_t>(i % 3) * 100;
+    objects.push_back(MakeDcf(
+        1.0 / n, {base, base + 1, base + 2,
+                  base + 3 + static_cast<uint32_t>(rng.Uniform(2))}));
+  }
+  return objects;
+}
+
+TEST(LimboTest, RecoversPlantedClusters) {
+  LimboOptions options;
+  options.phi = 0.0;
+  options.k = 3;
+  auto result = RunLimbo(ThreePlantedClusters(), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->assignments.size(), 30u);
+  // All objects of the same template share a label.
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(result->assignments[i], result->assignments[i % 3])
+        << "object " << i;
+  }
+  // The three labels are distinct.
+  EXPECT_NE(result->assignments[0], result->assignments[1]);
+  EXPECT_NE(result->assignments[1], result->assignments[2]);
+  EXPECT_NE(result->assignments[0], result->assignments[2]);
+}
+
+TEST(LimboTest, PhiZeroMakesPhase1Lossless) {
+  const auto objects = ThreePlantedClusters();
+  LimboOptions options;
+  options.phi = 0.0;
+  auto result = RunLimbo(objects, options);
+  ASSERT_TRUE(result.ok());
+  // Identical objects merge, everything else stays: leaves' mutual
+  // information equals the objects' (no information lost in Phase 1).
+  WeightedRows leaf_rows;
+  for (const Dcf& leaf : result->leaves) {
+    leaf_rows.weights.push_back(leaf.p);
+    leaf_rows.rows.push_back(leaf.cond);
+  }
+  EXPECT_NEAR(MutualInformation(leaf_rows), result->mutual_information,
+              1e-9);
+}
+
+TEST(LimboTest, LargerPhiGivesFewerLeaves) {
+  const auto objects = ThreePlantedClusters();
+  LimboOptions fine;
+  fine.phi = 0.0;
+  LimboOptions coarse;
+  coarse.phi = 1.0;
+  auto fine_result = RunLimbo(objects, fine);
+  auto coarse_result = RunLimbo(objects, coarse);
+  ASSERT_TRUE(fine_result.ok());
+  ASSERT_TRUE(coarse_result.ok());
+  EXPECT_LE(coarse_result->leaves.size(), fine_result->leaves.size());
+}
+
+TEST(LimboTest, Phase3LossesReported) {
+  LimboOptions options;
+  options.phi = 0.2;
+  options.k = 3;
+  auto result = RunLimbo(ThreePlantedClusters(), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->assignment_loss.size(), 30u);
+  for (double loss : result->assignment_loss) {
+    EXPECT_GE(loss, 0.0);
+  }
+}
+
+TEST(LimboTest, InvalidArguments) {
+  EXPECT_FALSE(RunLimbo({}, LimboOptions()).ok());
+  LimboOptions bad_phi;
+  bad_phi.phi = -1.0;
+  EXPECT_FALSE(RunLimbo(ThreePlantedClusters(), bad_phi).ok());
+  LimboOptions big_k;
+  big_k.k = 1000;
+  EXPECT_FALSE(RunLimbo(ThreePlantedClusters(), big_k).ok());
+}
+
+TEST(LimboPhase3Test, AssignsToNearestRepresentative) {
+  const std::vector<Dcf> reps = {MakeDcf(0.5, {0, 1}), MakeDcf(0.5, {10, 11})};
+  const std::vector<Dcf> objects = {MakeDcf(0.1, {0, 1}),
+                                    MakeDcf(0.1, {10, 11}),
+                                    MakeDcf(0.1, {0, 2})};
+  std::vector<double> losses;
+  auto labels = LimboPhase3(objects, reps, &losses);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ((*labels)[0], 0u);
+  EXPECT_EQ((*labels)[1], 1u);
+  EXPECT_EQ((*labels)[2], 0u);  // overlaps {0}
+  EXPECT_NEAR(losses[0], 0.0, 1e-12);
+  EXPECT_GT(losses[2], 0.0);
+}
+
+TEST(LimboPhase3Test, NoRepresentativesFails) {
+  EXPECT_FALSE(LimboPhase3({MakeDcf(1.0, {0})}, {}).ok());
+}
+
+TEST(LimboTest, KClampedToLeafCount) {
+  // phi huge -> 1 leaf; k = 3 should clamp, not crash.
+  LimboOptions options;
+  options.phi = 50.0;
+  options.k = 3;
+  auto result = RunLimbo(ThreePlantedClusters(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->representatives.size(), 1u);
+}
+
+}  // namespace
+}  // namespace limbo::core

@@ -1,0 +1,149 @@
+#include "core/prob.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace limbo::core {
+namespace {
+
+SparseDistribution Uniform(std::vector<uint32_t> ids) {
+  return SparseDistribution::UniformOver(ids);
+}
+
+TEST(SparseDistributionTest, UniformOver) {
+  const auto d = Uniform({5, 1, 9});
+  EXPECT_EQ(d.SupportSize(), 3u);
+  EXPECT_DOUBLE_EQ(d.MassAt(1), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(d.MassAt(5), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(d.MassAt(9), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(d.MassAt(2), 0.0);
+  EXPECT_NEAR(d.TotalMass(), 1.0, 1e-12);
+  // Sorted by id.
+  EXPECT_EQ(d.entries()[0].id, 1u);
+  EXPECT_EQ(d.entries()[2].id, 9u);
+}
+
+TEST(SparseDistributionTest, EmptyUniform) {
+  const auto d = Uniform({});
+  EXPECT_TRUE(d.Empty());
+  EXPECT_DOUBLE_EQ(d.TotalMass(), 0.0);
+}
+
+TEST(SparseDistributionTest, FromPairsNormalizes) {
+  const auto d = SparseDistribution::FromPairs({{3, 2.0}, {1, 6.0}});
+  EXPECT_DOUBLE_EQ(d.MassAt(1), 0.75);
+  EXPECT_DOUBLE_EQ(d.MassAt(3), 0.25);
+}
+
+TEST(SparseDistributionTest, FromPairsDropsZeros) {
+  const auto d = SparseDistribution::FromPairs({{1, 1.0}, {2, 0.0}});
+  EXPECT_EQ(d.SupportSize(), 1u);
+}
+
+TEST(SparseDistributionTest, WeightedMergeIsEquation2) {
+  // Merging uniform({0,1}) and uniform({1,2}) with weights 1/2 each:
+  // mass(0) = 1/4, mass(1) = 1/2, mass(2) = 1/4.
+  const auto merged = SparseDistribution::WeightedMerge(
+      0.5, Uniform({0, 1}), 0.5, Uniform({1, 2}));
+  EXPECT_DOUBLE_EQ(merged.MassAt(0), 0.25);
+  EXPECT_DOUBLE_EQ(merged.MassAt(1), 0.5);
+  EXPECT_DOUBLE_EQ(merged.MassAt(2), 0.25);
+  EXPECT_NEAR(merged.TotalMass(), 1.0, 1e-12);
+}
+
+TEST(SparseDistributionTest, WeightedMergeAsymmetricWeights) {
+  const auto merged = SparseDistribution::WeightedMerge(
+      0.25, Uniform({0}), 0.75, Uniform({1}));
+  EXPECT_DOUBLE_EQ(merged.MassAt(0), 0.25);
+  EXPECT_DOUBLE_EQ(merged.MassAt(1), 0.75);
+}
+
+TEST(SparseDistributionTest, EntropyUniformIsLogN) {
+  EXPECT_NEAR(Uniform({1, 2, 3, 4}).Entropy(), 2.0, 1e-12);
+  EXPECT_NEAR(Uniform({7}).Entropy(), 0.0, 1e-12);
+}
+
+TEST(KlDivergenceTest, ZeroForIdentical) {
+  const auto p = Uniform({1, 2, 3});
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(KlDivergenceTest, KnownValue) {
+  // p = (1/2, 1/2), q = (1/4, 3/4):
+  // D = 0.5 log2(2) + 0.5 log2(2/3) = 0.5 - 0.29248.
+  const auto p = SparseDistribution::FromPairs({{0, 0.5}, {1, 0.5}});
+  const auto q = SparseDistribution::FromPairs({{0, 0.25}, {1, 0.75}});
+  EXPECT_NEAR(KlDivergence(p, q), 0.5 + 0.5 * std::log2(2.0 / 3.0), 1e-12);
+}
+
+TEST(KlDivergenceTest, InfiniteWhenSupportEscapes) {
+  const auto p = Uniform({1, 2});
+  const auto q = Uniform({1});
+  EXPECT_TRUE(std::isinf(KlDivergence(p, q)));
+  // Reverse direction is finite: support(q) ⊆ support(p).
+  EXPECT_TRUE(std::isfinite(KlDivergence(q, p)));
+}
+
+TEST(JsDivergenceTest, ZeroForIdentical) {
+  const auto p = Uniform({1, 2, 3});
+  EXPECT_NEAR(JsDivergence(0.5, p, 0.5, p), 0.0, 1e-12);
+}
+
+TEST(JsDivergenceTest, BoundedByOneAndMaximalForDisjoint) {
+  // Disjoint supports with equal weights: JS = 1 bit exactly.
+  const auto p = Uniform({1, 2});
+  const auto q = Uniform({3, 4});
+  EXPECT_NEAR(JsDivergence(0.5, p, 0.5, q), 1.0, 1e-12);
+}
+
+TEST(JsDivergenceTest, WeightedDisjointMatchesEntropyOfWeights) {
+  // For disjoint supports, JS_{w1,w2} = H(w1, w2).
+  const auto p = Uniform({1});
+  const auto q = Uniform({2});
+  const double w1 = 0.2;
+  const double w2 = 0.8;
+  const double expected = -w1 * std::log2(w1) - w2 * std::log2(w2);
+  EXPECT_NEAR(JsDivergence(w1, p, w2, q), expected, 1e-12);
+}
+
+TEST(JsDivergenceTest, Symmetric) {
+  const auto p = SparseDistribution::FromPairs({{0, 0.7}, {1, 0.3}});
+  const auto q = SparseDistribution::FromPairs({{1, 0.4}, {2, 0.6}});
+  EXPECT_NEAR(JsDivergence(0.3, p, 0.7, q), JsDivergence(0.7, q, 0.3, p),
+              1e-12);
+}
+
+TEST(JsDivergenceTest, AsymmetricFastPathMatchesGeneric) {
+  // Build a large q (100 ids) and a tiny p (2 ids) so the binary-search
+  // path triggers; compare with a hand-computed generic evaluation via a
+  // medium-sized q over the same masses scaled — instead, simply compare
+  // against swapping arguments (symmetry), which exercises both paths.
+  std::vector<uint32_t> big_ids;
+  for (uint32_t i = 0; i < 100; ++i) big_ids.push_back(i);
+  const auto q = SparseDistribution::UniformOver(big_ids);
+  const auto p = Uniform({5, 200});
+  const double a = JsDivergence(0.4, p, 0.6, q);  // fast path (p small)
+  const double b = JsDivergence(0.6, q, 0.4, p);  // fast path (q small)
+  EXPECT_NEAR(a, b, 1e-12);
+  // And against a brute-force union evaluation.
+  double expected = 0.0;
+  for (uint32_t id = 0; id <= 200; ++id) {
+    const double pm = p.MassAt(id);
+    const double qm = q.MassAt(id);
+    const double mm = 0.4 * pm + 0.6 * qm;
+    if (pm > 0) expected += 0.4 * pm * std::log2(pm / mm);
+    if (qm > 0) expected += 0.6 * qm * std::log2(qm / mm);
+  }
+  EXPECT_NEAR(a, expected, 1e-10);
+}
+
+TEST(JsDivergenceTest, EmptyOperandsGiveZero) {
+  const auto p = Uniform({1});
+  EXPECT_DOUBLE_EQ(JsDivergence(0.5, p, 0.5, SparseDistribution()), 0.0);
+  EXPECT_DOUBLE_EQ(JsDivergence(0.5, SparseDistribution(), 0.5, p), 0.0);
+}
+
+}  // namespace
+}  // namespace limbo::core

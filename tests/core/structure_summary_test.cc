@@ -1,0 +1,72 @@
+#include "core/structure_summary.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/db2_sample.h"
+#include "datagen/error_inject.h"
+#include "testing/make_relation.h"
+
+namespace limbo::core {
+namespace {
+
+using limbo::testing::MakeRelation;
+using limbo::testing::PaperFigure4;
+
+TEST(StructureSummaryTest, PaperExampleEndToEnd) {
+  const auto rel = PaperFigure4();
+  auto summary = SummarizeStructure(rel, {});
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->profile.tuples, 5u);
+  EXPECT_TRUE(summary->has_grouping);
+  EXPECT_EQ(summary->values.duplicate_groups.size(), 2u);
+  ASSERT_FALSE(summary->ranked_cover.empty());
+  // C→B ranks at the top among the anchored FDs.
+  const auto& top = summary->ranked_cover.front();
+  EXPECT_TRUE(top.anchored);
+  EXPECT_TRUE(top.fd.lhs.Contains(2) || top.fd.rhs.Contains(2));
+}
+
+TEST(StructureSummaryTest, Db2SampleFindsInjectedDuplicates) {
+  auto base = datagen::Db2Sample::JoinedRelation();
+  datagen::ErrorInjectionOptions inject;
+  inject.num_dirty_tuples = 3;
+  inject.values_altered = 1;
+  auto dirty = datagen::InjectErrors(*base, inject);
+  StructureSummaryOptions options;
+  options.phi_t = 0.3;
+  auto summary = SummarizeStructure(dirty->dirty, options);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_FALSE(summary->duplicates.groups.empty());
+  EXPECT_GT(summary->num_fds, 0u);
+}
+
+TEST(StructureSummaryTest, GracefulWithoutDuplicateValueGroups) {
+  // All-unique relation: no CV_D, no grouping — ranked cover still
+  // reports the (unranked) cover.
+  const auto rel = MakeRelation(
+      {"A", "B"}, {{"1", "x"}, {"2", "y"}, {"3", "z"}, {"4", "w"}});
+  auto summary = SummarizeStructure(rel, {});
+  ASSERT_TRUE(summary.ok());
+  EXPECT_FALSE(summary->has_grouping);
+}
+
+TEST(StructureSummaryTest, ToStringMentionsAllSections) {
+  const auto rel = PaperFigure4();
+  auto summary = SummarizeStructure(rel, {});
+  ASSERT_TRUE(summary.ok());
+  const std::string text = summary->ToString(rel);
+  EXPECT_NE(text.find("Profile"), std::string::npos);
+  EXPECT_NE(text.find("Value groups"), std::string::npos);
+  EXPECT_NE(text.find("Dependencies"), std::string::npos);
+  EXPECT_NE(text.find("dendrogram"), std::string::npos);
+}
+
+TEST(StructureSummaryTest, EmptyRelationFails) {
+  auto schema = relation::Schema::Create({"A"});
+  ASSERT_TRUE(schema.ok());
+  relation::RelationBuilder builder(std::move(schema).value());
+  EXPECT_FALSE(SummarizeStructure(std::move(builder).Build(), {}).ok());
+}
+
+}  // namespace
+}  // namespace limbo::core

@@ -1,0 +1,98 @@
+#include "core/summary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/tuple_clustering.h"
+#include "core/value_clustering.h"
+#include "testing/make_relation.h"
+
+namespace limbo::core {
+namespace {
+
+Dcf MakeDcf(double p, std::vector<uint32_t> support) {
+  Dcf d;
+  d.p = p;
+  d.cond = SparseDistribution::UniformOver(support);
+  return d;
+}
+
+void ExpectEqualDcfs(const std::vector<Dcf>& a, const std::vector<Dcf>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].p, b[i].p) << i;
+    ASSERT_EQ(a[i].cond.SupportSize(), b[i].cond.SupportSize()) << i;
+    for (size_t e = 0; e < a[i].cond.entries().size(); ++e) {
+      EXPECT_EQ(a[i].cond.entries()[e].id, b[i].cond.entries()[e].id);
+      EXPECT_DOUBLE_EQ(a[i].cond.entries()[e].mass,
+                       b[i].cond.entries()[e].mass);
+    }
+    EXPECT_EQ(a[i].attr_counts, b[i].attr_counts) << i;
+  }
+}
+
+TEST(SummaryIoTest, RoundTripPlainDcfs) {
+  const std::vector<Dcf> dcfs = {MakeDcf(0.25, {3, 1, 9}),
+                                 MakeDcf(0.75, {0})};
+  auto back = ParseDcfs(SerializeDcfs(dcfs));
+  ASSERT_TRUE(back.ok());
+  ExpectEqualDcfs(dcfs, *back);
+}
+
+TEST(SummaryIoTest, RoundTripAdcfs) {
+  Dcf a = MakeDcf(0.5, {1, 2});
+  a.attr_counts = {3, 0, 7};
+  Dcf b = MakeDcf(0.5, {4});
+  b.attr_counts = {0, 1, 0};
+  auto back = ParseDcfs(SerializeDcfs({a, b}));
+  ASSERT_TRUE(back.ok());
+  ExpectEqualDcfs({a, b}, *back);
+  EXPECT_TRUE((*back)[0].IsAdcf());
+}
+
+TEST(SummaryIoTest, RoundTripExactDoubles) {
+  // Awkward masses (1/3, 1/7) must round-trip bit-exactly.
+  Dcf d;
+  d.p = 1.0 / 3.0;
+  d.cond = SparseDistribution::FromPairs({{0, 1.0}, {1, 6.0}});
+  auto back = ParseDcfs(SerializeDcfs({d}));
+  ASSERT_TRUE(back.ok());
+  ExpectEqualDcfs({d}, *back);
+}
+
+TEST(SummaryIoTest, RoundTripRealPhase1Output) {
+  const auto rel = limbo::testing::PaperFigure4();
+  const auto objects = BuildValueObjects(rel);
+  auto back = ParseDcfs(SerializeDcfs(objects));
+  ASSERT_TRUE(back.ok());
+  ExpectEqualDcfs(objects, *back);
+}
+
+TEST(SummaryIoTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDcfs("").ok());
+  EXPECT_FALSE(ParseDcfs("not-dcf 1\n0\n").ok());
+  EXPECT_FALSE(ParseDcfs("limbo-dcf 99\n0\n").ok());
+  EXPECT_FALSE(ParseDcfs("limbo-dcf 1\n2\np 0.5 k 1\n0 0.5\n").ok());
+  EXPECT_FALSE(ParseDcfs("limbo-dcf 1\n1\np 0.5 k 3\n0 0.5\n").ok());
+}
+
+TEST(SummaryIoTest, EmptyListRoundTrips) {
+  auto back = ParseDcfs(SerializeDcfs({}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(SummaryIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/limbo_dcf_test.dcf";
+  const std::vector<Dcf> dcfs = {MakeDcf(1.0, {7, 8})};
+  ASSERT_TRUE(SaveDcfs(dcfs, path).ok());
+  auto back = LoadDcfs(path);
+  ASSERT_TRUE(back.ok());
+  ExpectEqualDcfs(dcfs, *back);
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadDcfs("/nonexistent/x.dcf").ok());
+}
+
+}  // namespace
+}  // namespace limbo::core

@@ -1,0 +1,124 @@
+#include "core/tuple_clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/make_relation.h"
+
+namespace limbo::core {
+namespace {
+
+using limbo::testing::MakeRelation;
+
+TEST(BuildTupleObjectsTest, Figure2Representation) {
+  // The relation of Figure 1 (Ename, City, Zip); each tuple's conditional
+  // puts mass 1/3 on each of its three values (Figure 2).
+  const auto rel = MakeRelation({"Ename", "City", "Zip"},
+                                {{"Pat", "Boston", "02139"},
+                                 {"Pat", "Boston", "02138"},
+                                 {"Sal", "Boston", "02139"}});
+  const auto objects = BuildTupleObjects(rel);
+  ASSERT_EQ(objects.size(), 3u);
+  for (const Dcf& o : objects) {
+    EXPECT_DOUBLE_EQ(o.p, 1.0 / 3);
+    EXPECT_EQ(o.cond.SupportSize(), 3u);
+    for (const auto& e : o.cond.entries()) {
+      EXPECT_DOUBLE_EQ(e.mass, 1.0 / 3);
+    }
+  }
+  // t1 and t2 share the values Pat and Boston: their conditionals overlap
+  // in exactly two ids.
+  size_t shared = 0;
+  for (const auto& e : objects[0].cond.entries()) {
+    if (objects[1].cond.MassAt(e.id) > 0) ++shared;
+  }
+  EXPECT_EQ(shared, 2u);
+}
+
+relation::Relation WithExactDuplicates() {
+  return MakeRelation({"A", "B", "C"}, {{"1", "x", "p"},
+                                        {"2", "y", "q"},
+                                        {"1", "x", "p"},   // dup of t0
+                                        {"3", "z", "r"},
+                                        {"2", "y", "q"},   // dup of t1
+                                        {"1", "x", "p"}}); // dup of t0
+}
+
+TEST(FindDuplicateTuplesTest, ExactDuplicatesAtPhiZero) {
+  DuplicateTupleOptions options;
+  options.phi_t = 0.0;
+  auto report = FindDuplicateTuples(WithExactDuplicates(), options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->groups.size(), 2u);
+  // Largest group first: {0, 2, 5}, then {1, 4}.
+  EXPECT_EQ(report->groups[0].tuples,
+            (std::vector<relation::TupleId>{0, 2, 5}));
+  EXPECT_EQ(report->groups[1].tuples, (std::vector<relation::TupleId>{1, 4}));
+}
+
+TEST(FindDuplicateTuplesTest, CleanDataYieldsNoGroups) {
+  const auto rel = MakeRelation(
+      {"A", "B"}, {{"1", "x"}, {"2", "y"}, {"3", "z"}, {"4", "w"}});
+  DuplicateTupleOptions options;
+  options.phi_t = 0.0;
+  auto report = FindDuplicateTuples(rel, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->groups.empty());
+  EXPECT_EQ(report->num_heavy_leaves, 0u);
+}
+
+TEST(FindDuplicateTuplesTest, NearDuplicatesNeedPositivePhi) {
+  // Ten attributes; two tuples differ in exactly one value.
+  std::vector<std::string> header;
+  std::vector<std::string> base;
+  std::vector<std::string> near = {};
+  for (int a = 0; a < 10; ++a) {
+    header.push_back("A" + std::to_string(a));
+    base.push_back("v" + std::to_string(a));
+  }
+  near = base;
+  near[9] = "CORRUPTED";
+  // Pad with unrelated tuples.
+  std::vector<std::vector<std::string>> rows = {base, near};
+  for (int t = 0; t < 10; ++t) {
+    std::vector<std::string> other;
+    for (int a = 0; a < 10; ++a) {
+      other.push_back("u" + std::to_string(a) + "_" + std::to_string(t));
+    }
+    rows.push_back(other);
+  }
+  const auto rel = MakeRelation(header, rows);
+
+  DuplicateTupleOptions exact;
+  exact.phi_t = 0.0;
+  auto strict = FindDuplicateTuples(rel, exact);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_TRUE(strict->groups.empty());
+
+  DuplicateTupleOptions fuzzy;
+  fuzzy.phi_t = 0.2;
+  auto loose = FindDuplicateTuples(rel, fuzzy);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_FALSE(loose->groups.empty());
+  const auto& g = loose->groups[0].tuples;
+  EXPECT_TRUE(std::find(g.begin(), g.end(), 0u) != g.end());
+  EXPECT_TRUE(std::find(g.begin(), g.end(), 1u) != g.end());
+}
+
+TEST(FindDuplicateTuplesTest, ReportCarriesDiagnostics) {
+  auto report = FindDuplicateTuples(WithExactDuplicates(), {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->mutual_information, 0.0);
+  EXPECT_GT(report->num_leaves, 0u);
+}
+
+TEST(FindDuplicateTuplesTest, EmptyRelationFails) {
+  auto schema = relation::Schema::Create({"A"});
+  ASSERT_TRUE(schema.ok());
+  relation::RelationBuilder builder(std::move(schema).value());
+  EXPECT_FALSE(FindDuplicateTuples(std::move(builder).Build(), {}).ok());
+}
+
+}  // namespace
+}  // namespace limbo::core

@@ -1,0 +1,98 @@
+#include "datagen/db2_sample.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/fd.h"
+
+namespace limbo::datagen {
+namespace {
+
+fd::FunctionalDependency FdByName(const relation::Relation& rel,
+                                  const std::vector<std::string>& lhs,
+                                  const std::vector<std::string>& rhs) {
+  fd::AttributeSet l;
+  fd::AttributeSet r;
+  for (const auto& name : lhs) {
+    auto a = rel.schema().Find(name);
+    EXPECT_TRUE(a.ok()) << name;
+    l = l.With(a.value());
+  }
+  for (const auto& name : rhs) {
+    auto a = rel.schema().Find(name);
+    EXPECT_TRUE(a.ok()) << name;
+    r = r.With(a.value());
+  }
+  return {l, r};
+}
+
+TEST(Db2SampleTest, BaseTableShapes) {
+  EXPECT_EQ(Db2Sample::Employees().NumTuples(), 32u);
+  EXPECT_EQ(Db2Sample::Employees().NumAttributes(), 10u);
+  EXPECT_EQ(Db2Sample::Departments().NumTuples(), 8u);
+  EXPECT_EQ(Db2Sample::Departments().NumAttributes(), 4u);
+  EXPECT_EQ(Db2Sample::Projects().NumAttributes(), 7u);
+}
+
+TEST(Db2SampleTest, JoinedRelationMatchesPaperScale) {
+  // The paper: 90 tuples, 19 attributes, 255 attribute values. Our
+  // generator pairs entity profiles to avoid accidental FDs, which costs
+  // some distinct values (~200 instead of 255).
+  auto joined = Db2Sample::JoinedRelation();
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->NumTuples(), 90u);
+  EXPECT_EQ(joined->NumAttributes(), 19u);
+  EXPECT_GT(joined->NumValues(), 150u);
+  EXPECT_LT(joined->NumValues(), 310u);
+}
+
+TEST(Db2SampleTest, PlantedFdsHold) {
+  auto joined = Db2Sample::JoinedRelation();
+  ASSERT_TRUE(joined.ok());
+  const auto& rel = *joined;
+  EXPECT_TRUE(fd::Holds(rel, FdByName(rel, {"DeptNo"},
+                                      {"DeptName", "MgrNo", "AdminDepNo"})));
+  EXPECT_TRUE(fd::Holds(rel, FdByName(rel, {"DeptName"}, {"MgrNo"})));
+  EXPECT_TRUE(fd::Holds(
+      rel, FdByName(rel, {"EmpNo"},
+                    {"FirstName", "LastName", "PhoneNo", "HireYear", "Job",
+                     "EduLevel", "Sex", "BirthYear", "DeptNo"})));
+  EXPECT_TRUE(fd::Holds(
+      rel, FdByName(rel, {"ProjNo"},
+                    {"ProjName", "RespEmpNo", "StartDate", "EndDate",
+                     "MajorProjNo", "DeptNo"})));
+}
+
+TEST(Db2SampleTest, NonFdsDoNotHold) {
+  auto joined = Db2Sample::JoinedRelation();
+  ASSERT_TRUE(joined.ok());
+  const auto& rel = *joined;
+  // FirstName repeats across employees: it must not determine EmpNo.
+  EXPECT_FALSE(fd::Holds(rel, FdByName(rel, {"FirstName"}, {"EmpNo"})));
+  // Sex certainly determines nothing.
+  EXPECT_FALSE(fd::Holds(rel, FdByName(rel, {"Sex"}, {"DeptNo"})));
+}
+
+TEST(Db2SampleTest, EmpNoProjNoIsAKey) {
+  auto joined = Db2Sample::JoinedRelation();
+  ASSERT_TRUE(joined.ok());
+  const auto& rel = *joined;
+  EXPECT_TRUE(fd::Holds(
+      rel, FdByName(rel, {"EmpNo", "ProjNo"},
+                    {"FirstName", "DeptName", "ProjName", "StartDate"})));
+}
+
+TEST(Db2SampleTest, Deterministic) {
+  auto a = Db2Sample::JoinedRelation();
+  auto b = Db2Sample::JoinedRelation();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->NumTuples(), b->NumTuples());
+  for (relation::TupleId t = 0; t < a->NumTuples(); ++t) {
+    for (size_t c = 0; c < a->NumAttributes(); ++c) {
+      EXPECT_EQ(a->TextAt(t, c), b->TextAt(t, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace limbo::datagen

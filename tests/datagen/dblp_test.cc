@@ -1,0 +1,151 @@
+#include "datagen/dblp.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace limbo::datagen {
+namespace {
+
+DblpOptions SmallOptions() {
+  DblpOptions options;
+  options.target_tuples = 5000;
+  return options;
+}
+
+size_t NullCount(const relation::Relation& rel, const std::string& attr) {
+  auto a = rel.schema().Find(attr);
+  EXPECT_TRUE(a.ok());
+  size_t nulls = 0;
+  for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
+    if (rel.TextAt(t, a.value()).empty()) ++nulls;
+  }
+  return nulls;
+}
+
+TEST(DblpTest, SchemaMatchesFigure13) {
+  const auto rel = GenerateDblp(SmallOptions());
+  EXPECT_EQ(rel.NumAttributes(), 13u);
+  for (const char* name :
+       {"Author", "Publisher", "Year", "Editor", "Pages", "BookTitle",
+        "Month", "Volume", "Journal", "Number", "School", "Series", "ISBN"}) {
+    EXPECT_TRUE(rel.schema().Find(name).ok()) << name;
+  }
+}
+
+TEST(DblpTest, TupleCountNearTarget) {
+  const auto rel = GenerateDblp(SmallOptions());
+  EXPECT_GE(rel.NumTuples(), 5000u);
+  EXPECT_LT(rel.NumTuples(), 5010u);  // at most one publication overshoot
+}
+
+TEST(DblpTest, NullHeavyColumnsMatchPaper) {
+  // {Publisher, ISBN, Editor, Series, School, Month} are >= 98% NULL.
+  const auto rel = GenerateDblp(SmallOptions());
+  const double n = static_cast<double>(rel.NumTuples());
+  for (const std::string attr :
+       {"Publisher", "ISBN", "Editor", "Series", "School", "Month"}) {
+    EXPECT_GE(NullCount(rel, attr) / n, 0.98) << attr;
+  }
+  // Author, Year are always present.
+  EXPECT_EQ(NullCount(rel, "Author"), 0u);
+  EXPECT_EQ(NullCount(rel, "Year"), 0u);
+}
+
+TEST(DblpTest, KindMixMatchesTargets) {
+  const auto rel = GenerateDblp(SmallOptions());
+  auto book_title = rel.schema().Find("BookTitle");
+  auto journal = rel.schema().Find("Journal");
+  auto school = rel.schema().Find("School");
+  ASSERT_TRUE(book_title.ok());
+  size_t conference = 0;
+  size_t journals = 0;
+  size_t misc = 0;
+  for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
+    if (!rel.TextAt(t, book_title.value()).empty()) {
+      ++conference;
+    } else if (!rel.TextAt(t, journal.value()).empty()) {
+      ++journals;
+    } else if (!rel.TextAt(t, school.value()).empty()) {
+      ++misc;
+    }
+  }
+  const double n = static_cast<double>(rel.NumTuples());
+  EXPECT_NEAR(conference / n, 0.718, 0.02);
+  EXPECT_NEAR(journals / n, 0.2795, 0.02);
+  EXPECT_GT(misc, 0u);
+  EXPECT_LT(misc / n, 0.01);
+}
+
+TEST(DblpTest, ConferenceTuplesHaveNullJournalTriple) {
+  const auto rel = GenerateDblp(SmallOptions());
+  const auto book_title = rel.schema().Find("BookTitle").value();
+  const auto journal = rel.schema().Find("Journal").value();
+  const auto volume = rel.schema().Find("Volume").value();
+  const auto number = rel.schema().Find("Number").value();
+  for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
+    if (!rel.TextAt(t, book_title).empty()) {
+      EXPECT_TRUE(rel.TextAt(t, journal).empty());
+      EXPECT_TRUE(rel.TextAt(t, volume).empty());
+      EXPECT_TRUE(rel.TextAt(t, number).empty());
+    } else if (!rel.TextAt(t, journal).empty()) {
+      EXPECT_FALSE(rel.TextAt(t, volume).empty());
+      EXPECT_FALSE(rel.TextAt(t, number).empty());
+    }
+  }
+}
+
+TEST(DblpTest, JournalVolumeNumberDeterminesYear) {
+  // Planted: Year = f(Journal, Volume, Number) on journal tuples, while
+  // (Journal, Volume) alone is NOT always enough (spanning volumes).
+  const auto rel = GenerateDblp(SmallOptions());
+  const auto journal = rel.schema().Find("Journal").value();
+  const auto volume = rel.schema().Find("Volume").value();
+  const auto number = rel.schema().Find("Number").value();
+  const auto year = rel.schema().Find("Year").value();
+  std::unordered_map<std::string, std::string> jvn_to_year;
+  bool jv_ambiguous = false;
+  std::unordered_map<std::string, std::string> jv_to_year;
+  for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
+    if (rel.TextAt(t, journal).empty()) continue;
+    const std::string jvn = rel.TextAt(t, journal) + "|" +
+                            rel.TextAt(t, volume) + "|" +
+                            rel.TextAt(t, number);
+    auto [it, inserted] = jvn_to_year.emplace(jvn, rel.TextAt(t, year));
+    EXPECT_EQ(it->second, rel.TextAt(t, year));
+    const std::string jv =
+        rel.TextAt(t, journal) + "|" + rel.TextAt(t, volume);
+    auto [it2, inserted2] = jv_to_year.emplace(jv, rel.TextAt(t, year));
+    if (it2->second != rel.TextAt(t, year)) jv_ambiguous = true;
+  }
+  EXPECT_TRUE(jv_ambiguous)
+      << "expected some spanning volumes so that [Journal,Volume] alone "
+         "does not determine Year";
+}
+
+TEST(DblpTest, DeterministicForSeed) {
+  const auto a = GenerateDblp(SmallOptions());
+  const auto b = GenerateDblp(SmallOptions());
+  ASSERT_EQ(a.NumTuples(), b.NumTuples());
+  for (relation::TupleId t = 0; t < a.NumTuples(); t += 97) {
+    for (size_t c = 0; c < a.NumAttributes(); ++c) {
+      EXPECT_EQ(a.TextAt(t, c), b.TextAt(t, c));
+    }
+  }
+}
+
+TEST(DblpTest, DifferentSeedsDiffer) {
+  DblpOptions other = SmallOptions();
+  other.seed = 99;
+  const auto a = GenerateDblp(SmallOptions());
+  const auto b = GenerateDblp(other);
+  size_t diffs = 0;
+  const size_t n = std::min(a.NumTuples(), b.NumTuples());
+  for (relation::TupleId t = 0; t < n; t += 13) {
+    if (a.TextAt(t, 0) != b.TextAt(t, 0)) ++diffs;
+  }
+  EXPECT_GT(diffs, 0u);
+}
+
+}  // namespace
+}  // namespace limbo::datagen

@@ -1,0 +1,124 @@
+#include "datagen/error_inject.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/make_relation.h"
+
+namespace limbo::datagen {
+namespace {
+
+using limbo::testing::MakeRelation;
+
+relation::Relation BaseRelation() {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 10; ++i) {
+    rows.push_back({"k" + std::to_string(i), "x" + std::to_string(i % 3),
+                    "y" + std::to_string(i % 2)});
+  }
+  return MakeRelation({"K", "X", "Y"}, rows);
+}
+
+TEST(ErrorInjectTest, AppendsDirtyTuples) {
+  ErrorInjectionOptions options;
+  options.num_dirty_tuples = 3;
+  options.values_altered = 1;
+  auto result = InjectErrors(BaseRelation(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dirty.NumTuples(), 13u);
+  EXPECT_EQ(result->records.size(), 3u);
+}
+
+TEST(ErrorInjectTest, DirtyTuplesDifferExactlyInAlteredAttributes) {
+  ErrorInjectionOptions options;
+  options.num_dirty_tuples = 4;
+  options.values_altered = 2;
+  auto result = InjectErrors(BaseRelation(), options);
+  ASSERT_TRUE(result.ok());
+  for (const DirtyRecord& record : result->records) {
+    EXPECT_EQ(record.altered_attributes.size(), 2u);
+    size_t diffs = 0;
+    for (size_t a = 0; a < result->dirty.NumAttributes(); ++a) {
+      const bool differs =
+          result->dirty.TextAt(record.dirty_id, a) !=
+          result->dirty.TextAt(record.source_id, a);
+      const bool altered =
+          std::find(record.altered_attributes.begin(),
+                    record.altered_attributes.end(),
+                    static_cast<relation::AttributeId>(a)) !=
+          record.altered_attributes.end();
+      EXPECT_EQ(differs, altered);
+      if (differs) ++diffs;
+    }
+    EXPECT_EQ(diffs, 2u);
+  }
+}
+
+TEST(ErrorInjectTest, DirtyValuesAreFresh) {
+  ErrorInjectionOptions options;
+  options.num_dirty_tuples = 2;
+  options.values_altered = 1;
+  auto result = InjectErrors(BaseRelation(), options);
+  ASSERT_TRUE(result.ok());
+  for (const DirtyRecord& record : result->records) {
+    for (const std::string& text : record.dirty_texts) {
+      // Fresh error values occur exactly once in the dirty relation.
+      size_t occurrences = 0;
+      for (relation::TupleId t = 0; t < result->dirty.NumTuples(); ++t) {
+        for (size_t a = 0; a < result->dirty.NumAttributes(); ++a) {
+          if (result->dirty.TextAt(t, a) == text) ++occurrences;
+        }
+      }
+      EXPECT_EQ(occurrences, 1u) << text;
+    }
+  }
+}
+
+TEST(ErrorInjectTest, SourcesAreDistinct) {
+  ErrorInjectionOptions options;
+  options.num_dirty_tuples = 10;  // all tuples become sources
+  options.values_altered = 1;
+  auto result = InjectErrors(BaseRelation(), options);
+  ASSERT_TRUE(result.ok());
+  std::set<relation::TupleId> sources;
+  for (const auto& r : result->records) sources.insert(r.source_id);
+  EXPECT_EQ(sources.size(), 10u);
+}
+
+TEST(ErrorInjectTest, DeterministicInSeed) {
+  ErrorInjectionOptions options;
+  options.num_dirty_tuples = 3;
+  auto a = InjectErrors(BaseRelation(), options);
+  auto b = InjectErrors(BaseRelation(), options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->records.size(); ++i) {
+    EXPECT_EQ(a->records[i].source_id, b->records[i].source_id);
+    EXPECT_EQ(a->records[i].altered_attributes,
+              b->records[i].altered_attributes);
+  }
+}
+
+TEST(ErrorInjectTest, RejectsImpossibleRequests) {
+  ErrorInjectionOptions too_many_tuples;
+  too_many_tuples.num_dirty_tuples = 11;
+  EXPECT_FALSE(InjectErrors(BaseRelation(), too_many_tuples).ok());
+  ErrorInjectionOptions too_many_values;
+  too_many_values.values_altered = 4;
+  EXPECT_FALSE(InjectErrors(BaseRelation(), too_many_values).ok());
+}
+
+TEST(ErrorInjectTest, OriginalRowsPreserved) {
+  ErrorInjectionOptions options;
+  options.num_dirty_tuples = 2;
+  const auto base = BaseRelation();
+  auto result = InjectErrors(base, options);
+  ASSERT_TRUE(result.ok());
+  for (relation::TupleId t = 0; t < base.NumTuples(); ++t) {
+    for (size_t a = 0; a < base.NumAttributes(); ++a) {
+      EXPECT_EQ(result->dirty.TextAt(t, a), base.TextAt(t, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace limbo::datagen

@@ -1,0 +1,88 @@
+#include "datagen/orders.h"
+
+#include <gtest/gtest.h>
+
+#include "core/horizontal_partition.h"
+
+namespace limbo::datagen {
+namespace {
+
+TEST(OrdersTest, SchemaAndShape) {
+  OrdersOptions options;
+  options.num_orders = 500;
+  const auto rel = GenerateOrders(options);
+  EXPECT_EQ(rel.NumTuples(), 500u);
+  EXPECT_EQ(rel.NumAttributes(), 10u);
+  EXPECT_TRUE(rel.schema().Find("ProductSku").ok());
+  EXPECT_TRUE(rel.schema().Find("ServiceCode").ok());
+}
+
+TEST(OrdersTest, KindsAreMutuallyExclusive) {
+  OrdersOptions options;
+  options.num_orders = 500;
+  const auto rel = GenerateOrders(options);
+  const auto sku = rel.schema().Find("ProductSku").value();
+  const auto svc = rel.schema().Find("ServiceCode").value();
+  for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
+    const bool product = !rel.TextAt(t, sku).empty();
+    const bool service = !rel.TextAt(t, svc).empty();
+    EXPECT_NE(product, service) << "row " << t;
+    EXPECT_EQ(service, IsServiceOrder(rel, t));
+  }
+}
+
+TEST(OrdersTest, ServiceFractionRespected) {
+  OrdersOptions options;
+  options.num_orders = 4000;
+  options.service_fraction = 0.3;
+  const auto rel = GenerateOrders(options);
+  size_t service = 0;
+  for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
+    service += IsServiceOrder(rel, t);
+  }
+  EXPECT_NEAR(static_cast<double>(service) / rel.NumTuples(), 0.3, 0.03);
+}
+
+TEST(OrdersTest, DeterministicInSeed) {
+  OrdersOptions options;
+  options.num_orders = 200;
+  const auto a = GenerateOrders(options);
+  const auto b = GenerateOrders(options);
+  for (relation::TupleId t = 0; t < a.NumTuples(); t += 17) {
+    for (size_t c = 0; c < a.NumAttributes(); ++c) {
+      EXPECT_EQ(a.TextAt(t, c), b.TextAt(t, c));
+    }
+  }
+}
+
+TEST(OrdersTest, PartitioningRecoversTheTwoKinds) {
+  // The Section 6.1.2 claim as a test: k = 2 splits product from service
+  // orders with (near-)perfect purity.
+  OrdersOptions options;
+  options.num_orders = 1500;
+  const auto rel = GenerateOrders(options);
+  core::HorizontalPartitionOptions partition_options;
+  partition_options.phi = 0.5;
+  partition_options.max_k = 6;
+  auto result = core::HorizontallyPartition(rel, partition_options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->chosen_k, 2u);
+  size_t impure = 0;
+  std::vector<size_t> service_per_cluster(result->chosen_k, 0);
+  for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
+    service_per_cluster[result->assignments[t]] +=
+        IsServiceOrder(rel, t);
+  }
+  const uint32_t service_label =
+      service_per_cluster[1] > service_per_cluster[0];
+  for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
+    if (IsServiceOrder(rel, t) !=
+        (result->assignments[t] == service_label)) {
+      ++impure;
+    }
+  }
+  EXPECT_LT(static_cast<double>(impure) / rel.NumTuples(), 0.01);
+}
+
+}  // namespace
+}  // namespace limbo::datagen

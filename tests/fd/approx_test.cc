@@ -1,0 +1,141 @@
+#include "fd/approx.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fd/tane.h"
+#include "testing/make_relation.h"
+#include "util/random.h"
+
+namespace limbo::fd {
+namespace {
+
+using limbo::testing::MakeRelation;
+using limbo::testing::PaperFigure5;
+
+FunctionalDependency Fd(std::vector<relation::AttributeId> lhs,
+                        std::vector<relation::AttributeId> rhs) {
+  return {AttributeSet::FromList(lhs), AttributeSet::FromList(rhs)};
+}
+
+const ApproximateFd* FindFd(const std::vector<ApproximateFd>& fds,
+                            const FunctionalDependency& f) {
+  for (const auto& a : fds) {
+    if (a.fd == f) return &a;
+  }
+  return nullptr;
+}
+
+TEST(ApproxFdTest, PaperFigure5CToB) {
+  // In Figure 5, C → B is approximate: it holds after removing one of the
+  // five tuples (g3 = 0.2).
+  const auto rel = PaperFigure5();
+  ApproxMinerOptions options;
+  options.epsilon = 0.25;
+  options.min_lhs = 1;
+  auto fds = MineApproximateFds(rel, options);
+  ASSERT_TRUE(fds.ok());
+  const ApproximateFd* c_to_b = FindFd(*fds, Fd({2}, {1}));
+  ASSERT_NE(c_to_b, nullptr);
+  EXPECT_DOUBLE_EQ(c_to_b->g3, 0.2);
+}
+
+TEST(ApproxFdTest, EpsilonZeroMatchesExactMiners) {
+  const auto rel = MakeRelation({"A", "B", "C"},
+                                {{"1", "x", "p"},
+                                 {"1", "x", "q"},
+                                 {"2", "y", "p"},
+                                 {"3", "y", "q"}});
+  ApproxMinerOptions options;
+  options.epsilon = 0.0;
+  options.max_lhs = 3;
+  auto approx = MineApproximateFds(rel, options);
+  auto exact = Tane::Mine(rel);
+  ASSERT_TRUE(approx.ok());
+  ASSERT_TRUE(exact.ok());
+  std::vector<FunctionalDependency> approx_fds;
+  for (const auto& a : *approx) {
+    EXPECT_DOUBLE_EQ(a.g3, 0.0);
+    approx_fds.push_back(a.fd);
+  }
+  SortCanonically(&approx_fds);
+  EXPECT_EQ(approx_fds, *exact);
+}
+
+TEST(ApproxFdTest, G3MatchesReferenceImplementation) {
+  // Property: the partition-based g3 equals fd::G3Error on random data.
+  util::Random rng(99);
+  std::vector<std::vector<std::string>> rows;
+  for (int t = 0; t < 60; ++t) {
+    rows.push_back({"a" + std::to_string(rng.Uniform(4)),
+                    "b" + std::to_string(rng.Uniform(3)),
+                    "c" + std::to_string(rng.Uniform(5))});
+  }
+  const auto rel = MakeRelation({"A", "B", "C"}, rows);
+  ApproxMinerOptions options;
+  options.epsilon = 0.95;  // report (almost) everything
+  options.min_lhs = 1;
+  options.max_lhs = 2;
+  auto fds = MineApproximateFds(rel, options);
+  ASSERT_TRUE(fds.ok());
+  EXPECT_FALSE(fds->empty());
+  for (const auto& a : *fds) {
+    EXPECT_NEAR(a.g3, G3Error(rel, a.fd), 1e-12)
+        << a.fd.ToString(rel.schema());
+  }
+}
+
+TEST(ApproxFdTest, ReportsOnlyMinimalLhs) {
+  const auto rel = PaperFigure5();
+  ApproxMinerOptions options;
+  options.epsilon = 0.25;
+  options.min_lhs = 1;
+  auto fds = MineApproximateFds(rel, options);
+  ASSERT_TRUE(fds.ok());
+  // C -> B qualifies at LHS size 1, so no superset LHS may be reported.
+  for (const auto& a : *fds) {
+    if (a.fd.rhs == AttributeSet::Single(1)) {
+      EXPECT_FALSE(AttributeSet::Single(2).IsSubsetOf(a.fd.lhs) &&
+                   a.fd.lhs.Count() > 1)
+          << a.fd.ToString(rel.schema());
+    }
+  }
+}
+
+TEST(ApproxFdTest, EmptyLhsForNearlyConstantColumn) {
+  const auto rel = MakeRelation(
+      {"A", "B"},
+      {{"c", "1"}, {"c", "2"}, {"c", "3"}, {"c", "4"}, {"odd", "5"}});
+  ApproxMinerOptions options;
+  options.epsilon = 0.2;
+  auto fds = MineApproximateFds(rel, options);
+  ASSERT_TRUE(fds.ok());
+  const ApproximateFd* f =
+      FindFd(*fds, {AttributeSet(), AttributeSet::Single(0)});
+  ASSERT_NE(f, nullptr);
+  EXPECT_DOUBLE_EQ(f->g3, 0.2);
+}
+
+TEST(ApproxFdTest, MaxLhsBoundsSearch) {
+  const auto rel = PaperFigure5();
+  ApproxMinerOptions options;
+  options.epsilon = 0.0;
+  options.max_lhs = 1;
+  options.min_lhs = 1;
+  auto fds = MineApproximateFds(rel, options);
+  ASSERT_TRUE(fds.ok());
+  for (const auto& a : *fds) EXPECT_LE(a.fd.lhs.Count(), 1u);
+}
+
+TEST(ApproxFdTest, RejectsBadEpsilon) {
+  const auto rel = PaperFigure5();
+  ApproxMinerOptions options;
+  options.epsilon = 1.0;
+  EXPECT_FALSE(MineApproximateFds(rel, options).ok());
+  options.epsilon = -0.1;
+  EXPECT_FALSE(MineApproximateFds(rel, options).ok());
+}
+
+}  // namespace
+}  // namespace limbo::fd

@@ -1,0 +1,76 @@
+#include "fd/attribute_set.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace limbo::fd {
+namespace {
+
+TEST(AttributeSetTest, EmptyAndSingle) {
+  AttributeSet empty;
+  EXPECT_TRUE(empty.Empty());
+  EXPECT_EQ(empty.Count(), 0u);
+  AttributeSet s = AttributeSet::Single(5);
+  EXPECT_FALSE(s.Empty());
+  EXPECT_EQ(s.Count(), 1u);
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+}
+
+TEST(AttributeSetTest, FullSet) {
+  EXPECT_EQ(AttributeSet::Full(0).Count(), 0u);
+  EXPECT_EQ(AttributeSet::Full(3).Count(), 3u);
+  EXPECT_EQ(AttributeSet::Full(64).Count(), 64u);
+  EXPECT_TRUE(AttributeSet::Full(64).Contains(63));
+}
+
+TEST(AttributeSetTest, SetAlgebra) {
+  const AttributeSet a = AttributeSet::FromList({0, 1, 2});
+  const AttributeSet b = AttributeSet::FromList({2, 3});
+  EXPECT_EQ(a.Union(b), AttributeSet::FromList({0, 1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b), AttributeSet::Single(2));
+  EXPECT_EQ(a.Minus(b), AttributeSet::FromList({0, 1}));
+  EXPECT_EQ(a.With(7), AttributeSet::FromList({0, 1, 2, 7}));
+  EXPECT_EQ(a.Without(1), AttributeSet::FromList({0, 2}));
+  EXPECT_EQ(a.Without(9), a);
+}
+
+TEST(AttributeSetTest, SubsetChecks) {
+  const AttributeSet a = AttributeSet::FromList({1, 3});
+  const AttributeSet b = AttributeSet::FromList({1, 2, 3});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(AttributeSet().IsSubsetOf(a));
+}
+
+TEST(AttributeSetTest, ToListSorted) {
+  const AttributeSet a = AttributeSet::FromList({9, 2, 40});
+  EXPECT_EQ(a.ToList(),
+            (std::vector<relation::AttributeId>{2, 9, 40}));
+}
+
+TEST(AttributeSetTest, ToStringUsesSchemaNames) {
+  auto schema = relation::Schema::Create({"A", "B", "C"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(AttributeSet::FromList({0, 2}).ToString(*schema), "[A,C]");
+  EXPECT_EQ(AttributeSet().ToString(*schema), "[]");
+}
+
+TEST(AttributeSetTest, Hashable) {
+  std::unordered_set<AttributeSet> set;
+  set.insert(AttributeSet::FromList({1, 2}));
+  set.insert(AttributeSet::FromList({1, 2}));
+  set.insert(AttributeSet::Single(3));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(AttributeSetTest, HighBit63) {
+  const AttributeSet s = AttributeSet::Single(63);
+  EXPECT_TRUE(s.Contains(63));
+  EXPECT_EQ(s.ToList(), (std::vector<relation::AttributeId>{63}));
+}
+
+}  // namespace
+}  // namespace limbo::fd

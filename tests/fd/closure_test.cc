@@ -1,0 +1,63 @@
+#include "fd/closure.h"
+
+#include <gtest/gtest.h>
+
+namespace limbo::fd {
+namespace {
+
+FunctionalDependency Fd(std::vector<relation::AttributeId> lhs,
+                        std::vector<relation::AttributeId> rhs) {
+  return {AttributeSet::FromList(lhs), AttributeSet::FromList(rhs)};
+}
+
+TEST(ClosureTest, TextbookExample) {
+  // F = {A->B, B->C}; A+ = {A,B,C}.
+  const std::vector<FunctionalDependency> fds = {Fd({0}, {1}), Fd({1}, {2})};
+  EXPECT_EQ(Closure(AttributeSet::Single(0), fds),
+            AttributeSet::FromList({0, 1, 2}));
+  EXPECT_EQ(Closure(AttributeSet::Single(2), fds), AttributeSet::Single(2));
+}
+
+TEST(ClosureTest, CompositeLhsNeedsAllAttributes) {
+  // AB -> C only fires when both A and B present.
+  const std::vector<FunctionalDependency> fds = {Fd({0, 1}, {2})};
+  EXPECT_EQ(Closure(AttributeSet::Single(0), fds), AttributeSet::Single(0));
+  EXPECT_EQ(Closure(AttributeSet::FromList({0, 1}), fds),
+            AttributeSet::FromList({0, 1, 2}));
+}
+
+TEST(ClosureTest, ChainsAcrossManySteps) {
+  // A->B, B->C, C->D, D->E.
+  std::vector<FunctionalDependency> fds;
+  for (relation::AttributeId i = 0; i < 4; ++i) fds.push_back(Fd({i}, {i + 1u}));
+  EXPECT_EQ(Closure(AttributeSet::Single(0), fds),
+            AttributeSet::FromList({0, 1, 2, 3, 4}));
+}
+
+TEST(ClosureTest, EmptyLhsFdActsAsConstant) {
+  // {} -> A means A is in every closure.
+  const std::vector<FunctionalDependency> fds = {
+      {AttributeSet(), AttributeSet::Single(3)}};
+  EXPECT_EQ(Closure(AttributeSet(), fds), AttributeSet::Single(3));
+  EXPECT_EQ(Closure(AttributeSet::Single(1), fds),
+            AttributeSet::FromList({1, 3}));
+}
+
+TEST(ImpliesTest, DetectsImpliedAndNot) {
+  const std::vector<FunctionalDependency> fds = {Fd({0}, {1}), Fd({1}, {2})};
+  EXPECT_TRUE(Implies(fds, Fd({0}, {2})));
+  EXPECT_TRUE(Implies(fds, Fd({0}, {1, 2})));
+  EXPECT_FALSE(Implies(fds, Fd({2}, {0})));
+}
+
+TEST(EquivalentTest, TransitiveVsDirect) {
+  const std::vector<FunctionalDependency> a = {Fd({0}, {1}), Fd({1}, {2})};
+  const std::vector<FunctionalDependency> b = {Fd({0}, {1}), Fd({1}, {2}),
+                                               Fd({0}, {2})};
+  EXPECT_TRUE(Equivalent(a, b));
+  const std::vector<FunctionalDependency> c = {Fd({0}, {1})};
+  EXPECT_FALSE(Equivalent(a, c));
+}
+
+}  // namespace
+}  // namespace limbo::fd

@@ -1,0 +1,93 @@
+#include "fd/fd.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/make_relation.h"
+
+namespace limbo::fd {
+namespace {
+
+using limbo::testing::MakeRelation;
+using limbo::testing::PaperFigure4;
+using limbo::testing::PaperFigure5;
+
+FunctionalDependency Fd(std::vector<relation::AttributeId> lhs,
+                        std::vector<relation::AttributeId> rhs) {
+  return {AttributeSet::FromList(lhs), AttributeSet::FromList(rhs)};
+}
+
+TEST(HoldsTest, PaperExampleCToB) {
+  // In Figure 4, C → B holds (p,r → 1; x → 2) and A → B holds too.
+  const auto rel = PaperFigure4();
+  EXPECT_TRUE(Holds(rel, Fd({2}, {1})));  // C -> B
+  EXPECT_TRUE(Holds(rel, Fd({0}, {1})));  // A -> B
+  EXPECT_FALSE(Holds(rel, Fd({1}, {0})));  // B -> A fails (2 -> w,y,z)
+}
+
+TEST(HoldsTest, PaperFigure5BreaksCToB) {
+  // Value x now appears with B=1 and B=2.
+  const auto rel = PaperFigure5();
+  EXPECT_FALSE(Holds(rel, Fd({2}, {1})));
+}
+
+TEST(HoldsTest, CompositeLhs) {
+  const auto rel = MakeRelation(
+      {"A", "B", "C"},
+      {{"1", "x", "p"}, {"1", "y", "q"}, {"2", "x", "r"}, {"1", "x", "p"}});
+  EXPECT_FALSE(Holds(rel, Fd({0}, {2})));
+  EXPECT_FALSE(Holds(rel, Fd({1}, {2})));
+  EXPECT_TRUE(Holds(rel, Fd({0, 1}, {2})));
+}
+
+TEST(HoldsTest, EmptyLhsMeansConstant) {
+  const auto rel = MakeRelation({"A", "B"}, {{"c", "1"}, {"c", "2"}});
+  EXPECT_TRUE(Holds(rel, Fd({}, {0})));
+  EXPECT_FALSE(Holds(rel, Fd({}, {1})));
+}
+
+TEST(HoldsTest, EmptyRhsTriviallyHolds) {
+  const auto rel = MakeRelation({"A"}, {{"1"}, {"2"}});
+  EXPECT_TRUE(Holds(rel, {AttributeSet::Single(0), AttributeSet()}));
+}
+
+TEST(HoldsTest, MultiAttributeRhs) {
+  const auto rel = MakeRelation(
+      {"K", "X", "Y"}, {{"1", "a", "b"}, {"1", "a", "b"}, {"2", "c", "d"}});
+  EXPECT_TRUE(Holds(rel, Fd({0}, {1, 2})));
+}
+
+TEST(G3ErrorTest, ZeroIffHolds) {
+  const auto rel = PaperFigure4();
+  EXPECT_DOUBLE_EQ(G3Error(rel, Fd({2}, {1})), 0.0);
+}
+
+TEST(G3ErrorTest, SingleViolatingTuple) {
+  // Figure 5: removing the second tuple (C=x, B=1) restores C → B.
+  const auto rel = PaperFigure5();
+  EXPECT_DOUBLE_EQ(G3Error(rel, Fd({2}, {1})), 1.0 / 5.0);
+}
+
+TEST(G3ErrorTest, WorstCase) {
+  // B alternates under constant A: half the tuples must go (n=4: keep 2).
+  const auto rel =
+      MakeRelation({"A", "B"}, {{"c", "1"}, {"c", "2"}, {"c", "1"}, {"c", "2"}});
+  EXPECT_DOUBLE_EQ(G3Error(rel, Fd({0}, {1})), 0.5);
+}
+
+TEST(FdToStringTest, RendersWithNames) {
+  auto schema = relation::Schema::Create({"A", "B", "C"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(Fd({0, 2}, {1}).ToString(*schema), "[A,C]->[B]");
+}
+
+TEST(SortCanonicallyTest, OrdersByLhsThenRhs) {
+  std::vector<FunctionalDependency> fds = {Fd({1}, {0}), Fd({0}, {2}),
+                                           Fd({0}, {1})};
+  SortCanonically(&fds);
+  EXPECT_EQ(fds[0], Fd({0}, {1}));
+  EXPECT_EQ(fds[1], Fd({0}, {2}));
+  EXPECT_EQ(fds[2], Fd({1}, {0}));
+}
+
+}  // namespace
+}  // namespace limbo::fd

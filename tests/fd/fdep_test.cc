@@ -1,0 +1,127 @@
+#include "fd/fdep.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fd/closure.h"
+#include "testing/make_relation.h"
+
+namespace limbo::fd {
+namespace {
+
+using limbo::testing::MakeRelation;
+using limbo::testing::PaperFigure4;
+
+FunctionalDependency Fd(std::vector<relation::AttributeId> lhs,
+                        std::vector<relation::AttributeId> rhs) {
+  return {AttributeSet::FromList(lhs), AttributeSet::FromList(rhs)};
+}
+
+bool Contains(const std::vector<FunctionalDependency>& fds,
+              const FunctionalDependency& f) {
+  return std::find(fds.begin(), fds.end(), f) != fds.end();
+}
+
+TEST(FdepTest, PaperFigure4Dependencies) {
+  const auto rel = PaperFigure4();
+  auto fds = Fdep::Mine(rel);
+  ASSERT_TRUE(fds.ok());
+  // The paper discusses A → B and C → B holding in Figure 4.
+  EXPECT_TRUE(Contains(*fds, Fd({0}, {1})));  // A -> B
+  EXPECT_TRUE(Contains(*fds, Fd({2}, {1})));  // C -> B
+  // B -> A must not hold.
+  EXPECT_FALSE(Contains(*fds, Fd({1}, {0})));
+}
+
+TEST(FdepTest, EveryMinedFdHolds) {
+  const auto rel = MakeRelation({"A", "B", "C", "D"},
+                                {{"1", "x", "p", "m"},
+                                 {"1", "x", "q", "m"},
+                                 {"2", "y", "p", "m"},
+                                 {"2", "y", "q", "n"},
+                                 {"3", "x", "r", "n"}});
+  auto fds = Fdep::Mine(rel);
+  ASSERT_TRUE(fds.ok());
+  for (const auto& f : *fds) {
+    EXPECT_TRUE(Holds(rel, f)) << f.ToString(rel.schema());
+  }
+}
+
+TEST(FdepTest, MinedFdsAreMinimal) {
+  const auto rel = MakeRelation({"A", "B", "C"},
+                                {{"1", "x", "p"},
+                                 {"1", "x", "q"},
+                                 {"2", "y", "p"},
+                                 {"3", "y", "q"}});
+  auto fds = Fdep::Mine(rel);
+  ASSERT_TRUE(fds.ok());
+  for (const auto& f : *fds) {
+    for (relation::AttributeId a : f.lhs.ToList()) {
+      FunctionalDependency reduced{f.lhs.Without(a), f.rhs};
+      EXPECT_FALSE(Holds(rel, reduced))
+          << "not minimal: " << f.ToString(rel.schema());
+    }
+  }
+}
+
+TEST(FdepTest, ConstantAttributeEmptyLhs) {
+  const auto rel = MakeRelation({"A", "B"}, {{"c", "1"}, {"c", "2"}});
+  auto fds = Fdep::Mine(rel);
+  ASSERT_TRUE(fds.ok());
+  EXPECT_TRUE(Contains(*fds, {AttributeSet(), AttributeSet::Single(0)}));
+}
+
+TEST(FdepTest, ConstantAttributeMinLhsOne) {
+  const auto rel = MakeRelation({"A", "B"}, {{"c", "1"}, {"c", "2"}});
+  FdepOptions options;
+  options.min_lhs = 1;
+  auto fds = Fdep::Mine(rel, options);
+  ASSERT_TRUE(fds.ok());
+  EXPECT_FALSE(Contains(*fds, {AttributeSet(), AttributeSet::Single(0)}));
+  EXPECT_TRUE(Contains(*fds, Fd({1}, {0})));  // [B] -> A
+}
+
+TEST(FdepTest, KeyDeterminesEverything) {
+  const auto rel = MakeRelation(
+      {"K", "X", "Y"},
+      {{"1", "a", "p"}, {"2", "a", "q"}, {"3", "b", "p"}});
+  auto fds = Fdep::Mine(rel);
+  ASSERT_TRUE(fds.ok());
+  EXPECT_TRUE(Contains(*fds, Fd({0}, {1})));
+  EXPECT_TRUE(Contains(*fds, Fd({0}, {2})));
+}
+
+TEST(FdepTest, AgreeSetsOfFigure4) {
+  const auto rel = PaperFigure4();
+  const auto agree = Fdep::AgreeSets(rel);
+  // t1,t2 agree on {A, B}; t3..t5 pairwise agree on {B, C}; cross pairs
+  // agree on nothing.
+  EXPECT_TRUE(std::find(agree.begin(), agree.end(),
+                        AttributeSet::FromList({0, 1})) != agree.end());
+  EXPECT_TRUE(std::find(agree.begin(), agree.end(),
+                        AttributeSet::FromList({1, 2})) != agree.end());
+  EXPECT_TRUE(std::find(agree.begin(), agree.end(), AttributeSet()) !=
+              agree.end());
+  EXPECT_EQ(agree.size(), 3u);
+}
+
+TEST(FdepTest, RespectsMaxTuples) {
+  const auto rel = MakeRelation({"A"}, {{"1"}, {"2"}, {"3"}});
+  FdepOptions options;
+  options.max_tuples = 2;
+  auto fds = Fdep::Mine(rel, options);
+  ASSERT_FALSE(fds.ok());
+  EXPECT_EQ(fds.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(FdepTest, SingleTupleAllConstants) {
+  const auto rel = MakeRelation({"A", "B"}, {{"x", "y"}});
+  auto fds = Fdep::Mine(rel);
+  ASSERT_TRUE(fds.ok());
+  EXPECT_TRUE(Contains(*fds, {AttributeSet(), AttributeSet::Single(0)}));
+  EXPECT_TRUE(Contains(*fds, {AttributeSet(), AttributeSet::Single(1)}));
+}
+
+}  // namespace
+}  // namespace limbo::fd

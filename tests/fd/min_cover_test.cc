@@ -1,0 +1,87 @@
+#include "fd/min_cover.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/closure.h"
+
+namespace limbo::fd {
+namespace {
+
+FunctionalDependency Fd(std::vector<relation::AttributeId> lhs,
+                        std::vector<relation::AttributeId> rhs) {
+  return {AttributeSet::FromList(lhs), AttributeSet::FromList(rhs)};
+}
+
+TEST(MinCoverTest, RemovesTransitivelyRedundantFd) {
+  // {A->B, B->C, A->C}: A->C is redundant.
+  const std::vector<FunctionalDependency> fds = {Fd({0}, {1}), Fd({1}, {2}),
+                                                 Fd({0}, {2})};
+  const auto cover = MinimumCover(fds);
+  EXPECT_EQ(cover.size(), 2u);
+  EXPECT_TRUE(Equivalent(cover, fds));
+}
+
+TEST(MinCoverTest, RemovesExtraneousLhsAttribute) {
+  // {A->B, AB->C}: B is extraneous in AB->C.
+  const std::vector<FunctionalDependency> fds = {Fd({0}, {1}),
+                                                 Fd({0, 1}, {2})};
+  const auto cover = MinimumCover(fds, /*merge_same_lhs=*/false);
+  EXPECT_TRUE(Equivalent(cover, fds));
+  for (const auto& f : cover) {
+    EXPECT_LE(f.lhs.Count(), 1u);
+  }
+}
+
+TEST(MinCoverTest, MergesSameLhs) {
+  const std::vector<FunctionalDependency> fds = {Fd({0}, {1}), Fd({0}, {2})};
+  const auto cover = MinimumCover(fds);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].lhs, AttributeSet::Single(0));
+  EXPECT_EQ(cover[0].rhs, AttributeSet::FromList({1, 2}));
+}
+
+TEST(MinCoverTest, SplitsMultiRhsBeforeReducing) {
+  // A->BC with B->C: the C part of A->BC is redundant.
+  const std::vector<FunctionalDependency> fds = {Fd({0}, {1, 2}),
+                                                 Fd({1}, {2})};
+  const auto cover = MinimumCover(fds, /*merge_same_lhs=*/false);
+  EXPECT_TRUE(Equivalent(cover, fds));
+  EXPECT_EQ(cover.size(), 2u);  // A->B and B->C
+}
+
+TEST(MinCoverTest, DropsTrivialFds) {
+  const std::vector<FunctionalDependency> fds = {Fd({0, 1}, {1})};
+  EXPECT_TRUE(MinimumCover(fds).empty());
+}
+
+TEST(MinCoverTest, DeduplicatesExactCopies) {
+  const std::vector<FunctionalDependency> fds = {Fd({0}, {1}), Fd({0}, {1})};
+  EXPECT_EQ(MinimumCover(fds).size(), 1u);
+}
+
+TEST(MinCoverTest, EquivalenceHoldsOnDenseInput) {
+  // A messy over-specified set over 5 attributes.
+  const std::vector<FunctionalDependency> fds = {
+      Fd({0}, {1}),    Fd({0, 1}, {2}), Fd({2}, {3}),     Fd({0}, {3}),
+      Fd({0, 2}, {4}), Fd({1, 2}, {4}), Fd({0, 1, 2}, {3, 4}),
+  };
+  const auto cover = MinimumCover(fds);
+  EXPECT_TRUE(Equivalent(cover, fds));
+  EXPECT_LT(cover.size(), fds.size());
+}
+
+TEST(MinCoverTest, EmptyInput) {
+  EXPECT_TRUE(MinimumCover({}).empty());
+}
+
+TEST(MinCoverTest, HandlesEmptyLhs) {
+  // {} -> A plus B -> A: the latter is redundant.
+  const std::vector<FunctionalDependency> fds = {
+      {AttributeSet(), AttributeSet::Single(0)}, Fd({1}, {0})};
+  const auto cover = MinimumCover(fds);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_TRUE(cover[0].lhs.Empty());
+}
+
+}  // namespace
+}  // namespace limbo::fd

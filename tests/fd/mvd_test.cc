@@ -1,0 +1,136 @@
+#include "fd/mvd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/make_relation.h"
+
+namespace limbo::fd {
+namespace {
+
+using limbo::testing::MakeRelation;
+
+MultiValuedDependency Mvd(std::vector<relation::AttributeId> lhs,
+                          std::vector<relation::AttributeId> rhs) {
+  return {AttributeSet::FromList(lhs), AttributeSet::FromList(rhs)};
+}
+
+/// The textbook MVD example: each course has a set of teachers and a set
+/// of books, all combinations present. Course ->> Teacher (and Book).
+relation::Relation CourseTeacherBook() {
+  return MakeRelation({"Course", "Teacher", "Book"},
+                      {{"db", "ann", "ullman"},
+                       {"db", "ann", "date"},
+                       {"db", "bob", "ullman"},
+                       {"db", "bob", "date"},
+                       {"os", "carl", "tanenbaum"}});
+}
+
+TEST(MvdTest, TextbookExampleHolds) {
+  const auto rel = CourseTeacherBook();
+  EXPECT_TRUE(HoldsMvd(rel, Mvd({0}, {1})));  // Course ->> Teacher
+  EXPECT_TRUE(HoldsMvd(rel, Mvd({0}, {2})));  // Course ->> Book
+}
+
+TEST(MvdTest, ViolatedWhenCombinationMissing) {
+  // Remove one (teacher, book) combination: no longer a cross product.
+  const auto rel = MakeRelation({"Course", "Teacher", "Book"},
+                                {{"db", "ann", "ullman"},
+                                 {"db", "ann", "date"},
+                                 {"db", "bob", "ullman"}});
+  EXPECT_FALSE(HoldsMvd(rel, Mvd({0}, {1})));
+  EXPECT_FALSE(HoldsMvd(rel, Mvd({0}, {2})));
+}
+
+TEST(MvdTest, TrivialCasesAlwaysHold) {
+  const auto rel = CourseTeacherBook();
+  EXPECT_TRUE(HoldsMvd(rel, Mvd({0, 1}, {1})));     // Y ⊆ X
+  EXPECT_TRUE(HoldsMvd(rel, Mvd({0}, {1, 2})));     // X ∪ Y = R
+}
+
+TEST(MvdTest, ComplementationRule) {
+  // X ->> Y iff X ->> (R - X - Y).
+  const auto rel = CourseTeacherBook();
+  EXPECT_EQ(HoldsMvd(rel, Mvd({0}, {1})), HoldsMvd(rel, Mvd({0}, {2})));
+}
+
+TEST(MvdTest, EveryFdIsAnMvd) {
+  const auto rel = MakeRelation({"A", "B", "C"}, {{"1", "x", "p"},
+                                                  {"1", "x", "q"},
+                                                  {"2", "y", "p"}});
+  // A -> B holds, so A ->> B must hold.
+  ASSERT_TRUE(Holds(rel, {AttributeSet::Single(0), AttributeSet::Single(1)}));
+  EXPECT_TRUE(HoldsMvd(rel, Mvd({0}, {1})));
+}
+
+TEST(MvdMinerTest, FindsPlantedMvd) {
+  const auto rel = CourseTeacherBook();
+  MvdMinerOptions options;
+  options.skip_implied_by_fd = false;
+  auto mvds = MineMvds(rel, options);
+  ASSERT_TRUE(mvds.ok());
+  EXPECT_TRUE(std::find(mvds->begin(), mvds->end(), Mvd({0}, {1})) !=
+              mvds->end());
+  EXPECT_TRUE(std::find(mvds->begin(), mvds->end(), Mvd({0}, {2})) !=
+              mvds->end());
+}
+
+TEST(MvdMinerTest, SkipsFdImpliedMvds) {
+  const auto rel = MakeRelation({"A", "B", "C"}, {{"1", "x", "p"},
+                                                  {"1", "x", "q"},
+                                                  {"2", "y", "p"}});
+  auto mvds = MineMvds(rel, {});
+  ASSERT_TRUE(mvds.ok());
+  // A ->> B is implied by A -> B; with the default options it is skipped.
+  EXPECT_TRUE(std::find(mvds->begin(), mvds->end(), Mvd({0}, {1})) ==
+              mvds->end());
+}
+
+TEST(MvdMinerTest, MinedMvdsHold) {
+  const auto rel = MakeRelation({"A", "B", "C", "D"},
+                                {{"1", "x", "p", "m"},
+                                 {"1", "x", "q", "m"},
+                                 {"1", "y", "p", "m"},
+                                 {"1", "y", "q", "m"},
+                                 {"2", "x", "p", "n"}});
+  MvdMinerOptions options;
+  options.skip_implied_by_fd = false;
+  auto mvds = MineMvds(rel, options);
+  ASSERT_TRUE(mvds.ok());
+  EXPECT_FALSE(mvds->empty());
+  for (const auto& mvd : *mvds) {
+    EXPECT_TRUE(HoldsMvd(rel, mvd)) << mvd.ToString(rel.schema());
+  }
+}
+
+TEST(MvdMinerTest, ReportsOnlyMinimalLhs) {
+  const auto rel = CourseTeacherBook();
+  MvdMinerOptions options;
+  options.skip_implied_by_fd = false;
+  options.max_lhs = 2;
+  auto mvds = MineMvds(rel, options);
+  ASSERT_TRUE(mvds.ok());
+  // Course ->> Teacher is found at LHS {Course}; no strict superset of a
+  // reported LHS may appear for the same RHS.
+  for (const auto& a : *mvds) {
+    for (const auto& b : *mvds) {
+      if (a.rhs == b.rhs && !(a.lhs == b.lhs)) {
+        EXPECT_FALSE(a.lhs.IsSubsetOf(b.lhs))
+            << a.ToString(rel.schema()) << " vs " << b.ToString(rel.schema());
+      }
+    }
+  }
+  EXPECT_TRUE(std::find(mvds->begin(), mvds->end(), Mvd({0}, {1})) !=
+              mvds->end());
+}
+
+TEST(MvdMinerTest, TooFewAttributesYieldNothing) {
+  const auto rel = MakeRelation({"A", "B"}, {{"1", "x"}, {"2", "y"}});
+  auto mvds = MineMvds(rel, {});
+  ASSERT_TRUE(mvds.ok());
+  EXPECT_TRUE(mvds->empty());
+}
+
+}  // namespace
+}  // namespace limbo::fd

@@ -1,0 +1,89 @@
+#include "fd/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/make_relation.h"
+
+namespace limbo::fd {
+namespace {
+
+using limbo::testing::MakeRelation;
+
+TEST(StrippedPartitionTest, SingleAttributeStripsSingletons) {
+  const auto rel =
+      MakeRelation({"A"}, {{"x"}, {"y"}, {"x"}, {"z"}, {"x"}, {"y"}});
+  const auto p = StrippedPartition::ForAttribute(rel, 0);
+  // Classes: {0,2,4} (x), {1,5} (y); z is a singleton and stripped.
+  EXPECT_EQ(p.NumClasses(), 2u);
+  EXPECT_EQ(p.CoveredTuples(), 5u);
+  EXPECT_EQ(p.Rank(), 3u);  // covered - classes = n - |π_full| = 6 - 3
+  EXPECT_FALSE(p.IsSuperkey());
+}
+
+TEST(StrippedPartitionTest, KeyAttributeIsSuperkey) {
+  const auto rel = MakeRelation({"A"}, {{"1"}, {"2"}, {"3"}});
+  const auto p = StrippedPartition::ForAttribute(rel, 0);
+  EXPECT_TRUE(p.IsSuperkey());
+  EXPECT_EQ(p.Rank(), 0u);
+}
+
+TEST(StrippedPartitionTest, ConstantAttributeOneClass) {
+  const auto rel = MakeRelation({"A"}, {{"c"}, {"c"}, {"c"}});
+  const auto p = StrippedPartition::ForAttribute(rel, 0);
+  EXPECT_EQ(p.NumClasses(), 1u);
+  EXPECT_EQ(p.Rank(), 2u);  // n - 1
+}
+
+TEST(StrippedPartitionTest, ProductRefines) {
+  const auto rel = MakeRelation({"A", "B"}, {{"x", "1"},
+                                             {"x", "1"},
+                                             {"x", "2"},
+                                             {"y", "1"},
+                                             {"y", "1"}});
+  const size_t n = rel.NumTuples();
+  const auto pa = StrippedPartition::ForAttribute(rel, 0);
+  const auto pb = StrippedPartition::ForAttribute(rel, 1);
+  const auto pab = StrippedPartition::Product(pa, pb, n);
+  // π_{A,B} classes: {0,1} (x1), {3,4} (y1); (x,2) is singleton.
+  EXPECT_EQ(pab.NumClasses(), 2u);
+  EXPECT_EQ(pab.CoveredTuples(), 4u);
+  EXPECT_EQ(pab.Rank(), 2u);
+}
+
+TEST(StrippedPartitionTest, ProductIsCommutativeInRank) {
+  const auto rel = MakeRelation(
+      {"A", "B"},
+      {{"x", "1"}, {"x", "2"}, {"y", "1"}, {"y", "2"}, {"x", "1"}});
+  const size_t n = rel.NumTuples();
+  const auto pa = StrippedPartition::ForAttribute(rel, 0);
+  const auto pb = StrippedPartition::ForAttribute(rel, 1);
+  const auto ab = StrippedPartition::Product(pa, pb, n);
+  const auto ba = StrippedPartition::Product(pb, pa, n);
+  EXPECT_EQ(ab.Rank(), ba.Rank());
+  EXPECT_EQ(ab.NumClasses(), ba.NumClasses());
+}
+
+TEST(StrippedPartitionTest, FdDetectionViaRank) {
+  // A -> B holds: every A-class agrees on B.
+  const auto rel = MakeRelation(
+      {"A", "B"}, {{"x", "1"}, {"x", "1"}, {"y", "2"}, {"y", "2"}});
+  const size_t n = rel.NumTuples();
+  const auto pa = StrippedPartition::ForAttribute(rel, 0);
+  const auto pb = StrippedPartition::ForAttribute(rel, 1);
+  const auto pab = StrippedPartition::Product(pa, pb, n);
+  EXPECT_EQ(pa.Rank(), pab.Rank());   // A -> B
+  EXPECT_EQ(pb.Rank(), pab.Rank());   // B -> A (also holds here)
+}
+
+TEST(StrippedPartitionTest, FdViolationChangesRank) {
+  const auto rel = MakeRelation(
+      {"A", "B"}, {{"x", "1"}, {"x", "2"}, {"y", "1"}, {"y", "1"}});
+  const size_t n = rel.NumTuples();
+  const auto pa = StrippedPartition::ForAttribute(rel, 0);
+  const auto pab = StrippedPartition::Product(
+      pa, StrippedPartition::ForAttribute(rel, 1), n);
+  EXPECT_NE(pa.Rank(), pab.Rank());  // A -> B fails on x
+}
+
+}  // namespace
+}  // namespace limbo::fd

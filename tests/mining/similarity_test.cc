@@ -1,0 +1,129 @@
+#include "mining/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/db2_sample.h"
+#include "datagen/error_inject.h"
+#include "testing/make_relation.h"
+
+namespace limbo::mining {
+namespace {
+
+using limbo::testing::MakeRelation;
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("same", "same"), 0u);
+  EXPECT_EQ(EditDistance("a", "b"), 1u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+}
+
+TEST(EditDistanceTest, Symmetric) {
+  EXPECT_EQ(EditDistance("Boston", "Bostn"), EditDistance("Bostn", "Boston"));
+}
+
+TEST(NormalizedSimilarityTest, Bounds) {
+  EXPECT_DOUBLE_EQ(NormalizedSimilarity("x", "x"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedSimilarity("ab", "cd"), 0.0);
+  EXPECT_NEAR(NormalizedSimilarity("Pat", "Pate"), 0.75, 1e-12);
+}
+
+TEST(TupleSimilarityTest, AveragesOverAttributes) {
+  const auto rel = MakeRelation(
+      {"A", "B"}, {{"same", "abcd"}, {"same", "abxy"}});
+  // A identical (1.0), B half-matching (0.5) -> mean 0.75.
+  EXPECT_NEAR(TupleSimilarity(rel, 0, 1), 0.75, 1e-12);
+}
+
+TEST(RefineTest, DropsDissimilarMembersAndSmallGroups) {
+  const auto rel = MakeRelation({"A", "B"}, {{"alpha", "111"},
+                                             {"alphb", "111"},
+                                             {"zzzzz", "999"},
+                                             {"beta", "222"}});
+  core::DuplicateTupleReport report;
+  core::DuplicateTupleGroup group;
+  group.tuples = {0, 1, 2};  // 2 is a false positive
+  report.groups.push_back(group);
+  core::DuplicateTupleGroup lonely;
+  lonely.tuples = {3, 2};  // dissolves entirely
+  report.groups.push_back(lonely);
+
+  const auto refined = RefineWithStringSimilarity(rel, report, 0.7);
+  ASSERT_EQ(refined.groups.size(), 1u);
+  EXPECT_EQ(refined.groups[0].tuples,
+            (std::vector<relation::TupleId>{0, 1}));
+}
+
+TEST(RefineTest, SeparatesTypoDuplicatesFromStructuralLookalikes) {
+  // The future-work combination the paper sketches: information-theoretic
+  // clustering finds tuples with heavily overlapping *value sets*; string
+  // similarity then distinguishes typo-level duplicates from tuples that
+  // merely share vocabulary. Rows 0/1 are a typo pair (one char differs);
+  // rows 2/3 share two categorical values but their identifiers are
+  // textually unrelated.
+  const auto rel = MakeRelation(
+      {"Id", "Color", "Shape"},
+      {{"invoice-2024-001", "red", "circle"},
+       {"invoice-2024-O01", "red", "circle"},    // typo duplicate of row 0
+       {"alpha-alpha-alpha", "blue", "square"},
+       {"zzz-9999-qqq", "blue", "square"}});     // lookalike, not a dup
+  core::DuplicateTupleReport report;
+  core::DuplicateTupleGroup typo_group;
+  typo_group.tuples = {0, 1};
+  core::DuplicateTupleGroup lookalike_group;
+  lookalike_group.tuples = {2, 3};
+  report.groups = {typo_group, lookalike_group};
+
+  const auto refined = RefineWithStringSimilarity(rel, report, 0.9);
+  ASSERT_EQ(refined.groups.size(), 1u);
+  EXPECT_EQ(refined.groups[0].tuples, (std::vector<relation::TupleId>{0, 1}));
+}
+
+TEST(RefineTest, EndToEndWithTupleClustering) {
+  // Full pipeline: cluster, then refine. The injected duplicate of the
+  // DB2 relation stays grouped with its source after refinement at a
+  // threshold the pair clears (1 altered cell of 19 ≈ 0.95 similarity).
+  auto base = datagen::Db2Sample::JoinedRelation();
+  datagen::ErrorInjectionOptions inject;
+  inject.num_dirty_tuples = 5;
+  inject.values_altered = 1;
+  auto dirty = datagen::InjectErrors(*base, inject);
+  ASSERT_TRUE(dirty.ok());
+  core::DuplicateTupleOptions options;
+  options.phi_t = 0.3;
+  auto report = core::FindDuplicateTuples(dirty->dirty, options);
+  ASSERT_TRUE(report.ok());
+  const auto refined =
+      RefineWithStringSimilarity(dirty->dirty, *report, 0.9);
+  for (const auto& record : dirty->records) {
+    bool together = false;
+    for (const auto& g : refined.groups) {
+      bool has_dirty = false;
+      bool has_source = false;
+      for (relation::TupleId t : g.tuples) {
+        has_dirty |= (t == record.dirty_id);
+        has_source |= (t == record.source_id);
+      }
+      together |= (has_dirty && has_source);
+    }
+    EXPECT_TRUE(together) << "lost duplicate pair (" << record.source_id
+                          << ", " << record.dirty_id << ")";
+  }
+}
+
+TEST(RefineTest, ThresholdOneKeepsOnlyExactDuplicates) {
+  const auto rel = MakeRelation({"A"}, {{"x"}, {"x"}, {"y"}});
+  core::DuplicateTupleReport report;
+  core::DuplicateTupleGroup group;
+  group.tuples = {0, 1, 2};
+  report.groups.push_back(group);
+  const auto refined = RefineWithStringSimilarity(rel, report, 1.0);
+  ASSERT_EQ(refined.groups.size(), 1u);
+  EXPECT_EQ(refined.groups[0].tuples, (std::vector<relation::TupleId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace limbo::mining

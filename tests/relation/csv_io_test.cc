@@ -1,0 +1,129 @@
+#include "relation/csv_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace limbo::relation {
+namespace {
+
+TEST(CsvTest, ParseSimple) {
+  auto r = ParseCsv("A,B\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumTuples(), 2u);
+  EXPECT_EQ(r->TextAt(0, 0), "1");
+  EXPECT_EQ(r->TextAt(1, 1), "4");
+}
+
+TEST(CsvTest, ParseWithoutTrailingNewline) {
+  auto r = ParseCsv("A\nx");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumTuples(), 1u);
+  EXPECT_EQ(r->TextAt(0, 0), "x");
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  auto r = ParseCsv("A,B\n\"a,b\",\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->TextAt(0, 0), "a,b");
+  EXPECT_EQ(r->TextAt(0, 1), "say \"hi\"");
+}
+
+TEST(CsvTest, QuotedFieldWithNewline) {
+  auto r = ParseCsv("A\n\"line1\nline2\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->TextAt(0, 0), "line1\nline2");
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  auto r = ParseCsv("A,B\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumTuples(), 1u);
+  EXPECT_EQ(r->TextAt(0, 1), "2");
+}
+
+TEST(CsvTest, EmptyFieldsBecomeNulls) {
+  auto r = ParseCsv("A,B\n,x\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->TextAt(0, 0), "");
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("A\n\"oops\n").ok());
+}
+
+TEST(CsvTest, ArityMismatchFailsWithLineNumber) {
+  auto r = ParseCsv("A,B\n1,2\n3\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(CsvTest, NoHeaderFails) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, RoundTripThroughString) {
+  const std::string original = "A,B\nplain,\"with,comma\"\n\"q\"\"q\",\n";
+  auto r = ParseCsv(original);
+  ASSERT_TRUE(r.ok());
+  auto r2 = ParseCsv(ToCsvString(*r));
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->NumTuples(), r->NumTuples());
+  for (TupleId t = 0; t < r->NumTuples(); ++t) {
+    for (size_t a = 0; a < r->NumAttributes(); ++a) {
+      EXPECT_EQ(r->TextAt(t, a), r2->TextAt(t, a));
+    }
+  }
+}
+
+TEST(CsvTest, ReadWriteFile) {
+  const std::string path = ::testing::TempDir() + "/limbo_csv_test.csv";
+  auto r = ParseCsv("A,B\n1,hello\n2,\"x,y\"\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(WriteCsv(*r, path).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumTuples(), 2u);
+  EXPECT_EQ(back->TextAt(1, 1), "x,y");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto r = ReadCsv("/nonexistent/path/file.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kIoError);
+}
+
+TEST(CsvTest, RoundTripSurvivesHostileContent) {
+  // Property: any relation whose cells draw from a hostile alphabet
+  // (quotes, commas, newlines, CR, unicode, empties) round-trips exactly.
+  const std::vector<std::string> alphabet = {
+      "",        "plain",    "with,comma", "with\"quote", "\"quoted\"",
+      "new\nline", "cr\rcr", "  spaces  ", "⊥∞µ",        ",",
+      "\"",      "\n",       "a,\"b\",c"};
+  uint64_t state = 12345;
+  auto next = [&state, &alphabet]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return alphabet[(state >> 33) % alphabet.size()];
+  };
+  auto schema = Schema::Create({"A", "B", "C"});
+  ASSERT_TRUE(schema.ok());
+  RelationBuilder builder(std::move(schema).value());
+  for (int t = 0; t < 60; ++t) {
+    ASSERT_TRUE(builder.AddRow({next(), next(), next()}).ok());
+  }
+  const Relation original = std::move(builder).Build();
+  auto back = ParseCsv(ToCsvString(original));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->NumTuples(), original.NumTuples());
+  for (TupleId t = 0; t < original.NumTuples(); ++t) {
+    for (size_t a = 0; a < original.NumAttributes(); ++a) {
+      EXPECT_EQ(back->TextAt(t, a), original.TextAt(t, a))
+          << "t=" << t << " a=" << a;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace limbo::relation

@@ -1,0 +1,128 @@
+#include "relation/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/make_relation.h"
+
+namespace limbo::relation {
+namespace {
+
+using limbo::testing::MakeRelation;
+
+TEST(ProjectTest, ProjectsColumnsBagSemantics) {
+  Relation r = MakeRelation({"A", "B", "C"},
+                            {{"1", "x", "p"}, {"2", "x", "q"}, {"1", "y", "p"}});
+  auto proj = Project(r, {1});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->NumTuples(), 3u);  // duplicates kept
+  EXPECT_EQ(proj->NumAttributes(), 1u);
+  EXPECT_EQ(proj->schema().Name(0), "B");
+  EXPECT_EQ(proj->TextAt(0, 0), "x");
+  EXPECT_EQ(proj->TextAt(2, 0), "y");
+}
+
+TEST(ProjectTest, ProjectByNames) {
+  Relation r = MakeRelation({"A", "B"}, {{"1", "x"}});
+  auto proj = ProjectNames(r, {"B", "A"});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->schema().Name(0), "B");
+  EXPECT_EQ(proj->schema().Name(1), "A");
+  EXPECT_EQ(proj->TextAt(0, 1), "1");
+}
+
+TEST(ProjectTest, ErrorsOnBadInput) {
+  Relation r = MakeRelation({"A"}, {{"1"}});
+  EXPECT_FALSE(Project(r, {}).ok());
+  EXPECT_FALSE(Project(r, {5}).ok());
+  EXPECT_FALSE(ProjectNames(r, {"nope"}).ok());
+}
+
+TEST(DistinctTest, RemovesDuplicateRows) {
+  Relation r = MakeRelation({"A", "B"},
+                            {{"1", "x"}, {"1", "x"}, {"2", "x"}, {"1", "x"}});
+  Relation d = Distinct(r);
+  EXPECT_EQ(d.NumTuples(), 2u);
+  EXPECT_EQ(d.TextAt(0, 0), "1");
+  EXPECT_EQ(d.TextAt(1, 0), "2");
+}
+
+TEST(DistinctTest, NoopOnUniqueRows) {
+  Relation r = MakeRelation({"A"}, {{"1"}, {"2"}, {"3"}});
+  EXPECT_EQ(Distinct(r).NumTuples(), 3u);
+}
+
+TEST(CountDistinctProjectedTest, CountsSetSemantics) {
+  Relation r = MakeRelation(
+      {"A", "B"}, {{"1", "x"}, {"1", "y"}, {"2", "x"}, {"1", "x"}});
+  EXPECT_EQ(CountDistinctProjected(r, {0}), 2u);       // {1, 2}
+  EXPECT_EQ(CountDistinctProjected(r, {1}), 2u);       // {x, y}
+  EXPECT_EQ(CountDistinctProjected(r, {0, 1}), 3u);    // (1,x),(1,y),(2,x)
+}
+
+TEST(SelectRowsTest, KeepsRequestedRowsInOrder) {
+  Relation r = MakeRelation({"A"}, {{"a"}, {"b"}, {"c"}});
+  Relation s = SelectRows(r, {2, 0});
+  ASSERT_EQ(s.NumTuples(), 2u);
+  EXPECT_EQ(s.TextAt(0, 0), "c");
+  EXPECT_EQ(s.TextAt(1, 0), "a");
+}
+
+TEST(EquiJoinTest, JoinsAndDropsRightKey) {
+  Relation emp = MakeRelation({"Name", "Dept"},
+                              {{"ann", "d1"}, {"bob", "d2"}, {"cat", "d1"}});
+  Relation dept = MakeRelation({"DeptNo", "DeptName"},
+                               {{"d1", "sales"}, {"d2", "eng"}});
+  auto joined = EquiJoin(emp, dept, {{"Dept", "DeptNo"}});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->NumTuples(), 3u);
+  EXPECT_EQ(joined->NumAttributes(), 3u);  // Name, Dept, DeptName
+  EXPECT_EQ(joined->schema().Name(2), "DeptName");
+  EXPECT_EQ(joined->TextAt(0, 2), "sales");
+  EXPECT_EQ(joined->TextAt(1, 2), "eng");
+}
+
+TEST(EquiJoinTest, OneToManyMultipliesRows) {
+  Relation d = MakeRelation({"D"}, {{"d1"}});
+  Relation p = MakeRelation({"P", "DeptNo"},
+                            {{"p1", "d1"}, {"p2", "d1"}, {"p3", "d2"}});
+  auto joined = EquiJoin(d, p, {{"D", "DeptNo"}});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->NumTuples(), 2u);
+}
+
+TEST(EquiJoinTest, NonMatchingRowsDropped) {
+  Relation a = MakeRelation({"K", "V"}, {{"1", "x"}, {"9", "y"}});
+  Relation b = MakeRelation({"K2", "W"}, {{"1", "w"}});
+  auto joined = EquiJoin(a, b, {{"K", "K2"}});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->NumTuples(), 1u);
+  EXPECT_EQ(joined->TextAt(0, 1), "x");
+}
+
+TEST(EquiJoinTest, NameCollisionGetsSuffix) {
+  Relation a = MakeRelation({"K", "V"}, {{"1", "x"}});
+  Relation b = MakeRelation({"K2", "V"}, {{"1", "y"}});
+  auto joined = EquiJoin(a, b, {{"K", "K2"}});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->schema().Name(2), "V_r");
+  EXPECT_EQ(joined->TextAt(0, 2), "y");
+}
+
+TEST(EquiJoinTest, CompositeKeys) {
+  Relation a = MakeRelation({"X", "Y"}, {{"1", "2"}, {"1", "3"}});
+  Relation b = MakeRelation({"X2", "Y2", "Z"}, {{"1", "2", "ok"}});
+  auto joined = EquiJoin(a, b, {{"X", "X2"}, {"Y", "Y2"}});
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined->NumTuples(), 1u);
+  EXPECT_EQ(joined->TextAt(0, 2), "ok");
+}
+
+TEST(EquiJoinTest, MissingKeyAttributeFails) {
+  Relation a = MakeRelation({"A"}, {{"1"}});
+  Relation b = MakeRelation({"B"}, {{"1"}});
+  EXPECT_FALSE(EquiJoin(a, b, {{"nope", "B"}}).ok());
+  EXPECT_FALSE(EquiJoin(a, b, {}).ok());
+}
+
+}  // namespace
+}  // namespace limbo::relation

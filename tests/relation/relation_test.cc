@@ -1,0 +1,98 @@
+#include "relation/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/make_relation.h"
+
+namespace limbo::relation {
+namespace {
+
+using limbo::testing::MakeRelation;
+
+TEST(RelationTest, BasicShape) {
+  Relation r = MakeRelation({"A", "B"}, {{"x", "1"}, {"y", "2"}, {"x", "2"}});
+  EXPECT_EQ(r.NumTuples(), 3u);
+  EXPECT_EQ(r.NumAttributes(), 2u);
+  // Distinct (attribute, text) pairs: x, y, 1, 2.
+  EXPECT_EQ(r.NumValues(), 4u);
+}
+
+TEST(RelationTest, ValuesAreAttributeQualified) {
+  // "x" under A and "x" under B are distinct values.
+  Relation r = MakeRelation({"A", "B"}, {{"x", "x"}});
+  EXPECT_EQ(r.NumValues(), 2u);
+  EXPECT_NE(r.At(0, 0), r.At(0, 1));
+  EXPECT_EQ(r.TextAt(0, 0), r.TextAt(0, 1));
+}
+
+TEST(RelationTest, SharedValuesGetSameId) {
+  Relation r = MakeRelation({"A"}, {{"x"}, {"x"}, {"y"}});
+  EXPECT_EQ(r.At(0, 0), r.At(1, 0));
+  EXPECT_NE(r.At(0, 0), r.At(2, 0));
+}
+
+TEST(RelationTest, DictionarySupportCountsOccurrences) {
+  Relation r = MakeRelation({"A"}, {{"x"}, {"x"}, {"y"}});
+  EXPECT_EQ(r.dictionary().Support(r.At(0, 0)), 2u);
+  EXPECT_EQ(r.dictionary().Support(r.At(2, 0)), 1u);
+}
+
+TEST(RelationTest, RowSpan) {
+  Relation r = MakeRelation({"A", "B", "C"}, {{"p", "q", "r"}});
+  auto row = r.Row(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(r.dictionary().Text(row[1]), "q");
+}
+
+TEST(RelationTest, NullsAreFirstClassValues) {
+  Relation r = MakeRelation({"A", "B"}, {{"", "1"}, {"", "2"}});
+  EXPECT_EQ(r.TextAt(0, 0), "");
+  // Both NULL cells share one value id.
+  EXPECT_EQ(r.At(0, 0), r.At(1, 0));
+  EXPECT_EQ(r.dictionary().Support(r.At(0, 0)), 2u);
+}
+
+TEST(RelationTest, QualifiedName) {
+  Relation r = MakeRelation({"City"}, {{"Boston"}, {""}});
+  EXPECT_EQ(r.dictionary().QualifiedName(r.schema(), r.At(0, 0)),
+            "City=Boston");
+  EXPECT_EQ(r.dictionary().QualifiedName(r.schema(), r.At(1, 0)), "City=⊥");
+}
+
+TEST(RelationTest, BuildValuePostings) {
+  Relation r = MakeRelation({"A", "B"}, {{"x", "1"}, {"y", "1"}, {"x", "2"}});
+  auto postings = r.BuildValuePostings();
+  ASSERT_EQ(postings.size(), r.NumValues());
+  // "x" occurs in tuples 0 and 2.
+  const ValueId x = r.At(0, 0);
+  EXPECT_EQ(postings[x], (std::vector<TupleId>{0, 2}));
+  const ValueId one = r.At(0, 1);
+  EXPECT_EQ(postings[one], (std::vector<TupleId>{0, 1}));
+}
+
+TEST(RelationBuilderTest, RejectsWrongArity) {
+  auto schema = Schema::Create({"A", "B"});
+  ASSERT_TRUE(schema.ok());
+  RelationBuilder builder(std::move(schema).value());
+  EXPECT_FALSE(builder.AddRow({"only-one"}).ok());
+  EXPECT_TRUE(builder.AddRow({"a", "b"}).ok());
+  EXPECT_EQ(builder.NumRows(), 1u);
+}
+
+TEST(RelationTest, ToStringRendersHeaderAndRows) {
+  Relation r = MakeRelation({"A"}, {{"hello"}});
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("A"), std::string::npos);
+  EXPECT_NE(s.find("hello"), std::string::npos);
+}
+
+TEST(RelationTest, ToStringTruncates) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 30; ++i) rows.push_back({std::to_string(i)});
+  Relation r = MakeRelation({"A"}, rows);
+  const std::string s = r.ToString(5);
+  EXPECT_NE(s.find("25 more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace limbo::relation

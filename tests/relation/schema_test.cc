@@ -1,0 +1,53 @@
+#include "relation/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace limbo::relation {
+namespace {
+
+TEST(SchemaTest, CreateAndLookup) {
+  auto schema = Schema::Create({"A", "B", "C"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->NumAttributes(), 3u);
+  EXPECT_EQ(schema->Name(0), "A");
+  EXPECT_EQ(schema->Name(2), "C");
+  auto b = schema->Find("B");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(SchemaTest, FindMissingAttribute) {
+  auto schema = Schema::Create({"A"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_FALSE(schema->Find("Z").ok());
+  EXPECT_EQ(schema->Find("Z").status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, RejectsEmpty) {
+  EXPECT_FALSE(Schema::Create({}).ok());
+}
+
+TEST(SchemaTest, RejectsDuplicates) {
+  auto r = Schema::Create({"A", "B", "A"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsMoreThan64Attributes) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 65; ++i) names.push_back("a" + std::to_string(i));
+  EXPECT_FALSE(Schema::Create(names).ok());
+  names.pop_back();
+  EXPECT_TRUE(Schema::Create(names).ok());
+}
+
+TEST(SchemaTest, Equality) {
+  auto a = Schema::Create({"X", "Y"});
+  auto b = Schema::Create({"X", "Y"});
+  auto c = Schema::Create({"Y", "X"});
+  EXPECT_TRUE(a.value() == b.value());
+  EXPECT_FALSE(a.value() == c.value());
+}
+
+}  // namespace
+}  // namespace limbo::relation

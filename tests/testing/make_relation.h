@@ -1,0 +1,53 @@
+#ifndef LIMBO_TESTS_TESTING_MAKE_RELATION_H_
+#define LIMBO_TESTS_TESTING_MAKE_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/relation.h"
+#include "util/logging.h"
+
+namespace limbo::testing {
+
+/// Builds a relation from a header plus rows, aborting on malformed input
+/// (tests only).
+inline relation::Relation MakeRelation(
+    std::vector<std::string> header,
+    const std::vector<std::vector<std::string>>& rows) {
+  auto schema = relation::Schema::Create(std::move(header));
+  LIMBO_CHECK(schema.ok());
+  relation::RelationBuilder builder(std::move(schema).value());
+  for (const auto& row : rows) {
+    LIMBO_CHECK(builder.AddRow(row).ok());
+  }
+  return std::move(builder).Build();
+}
+
+/// The paper's running example relation of Figure 4:
+///   A  B  C
+///   a  1  p
+///   a  1  r
+///   w  2  x
+///   y  2  x
+///   z  2  x
+inline relation::Relation PaperFigure4() {
+  return MakeRelation({"A", "B", "C"}, {{"a", "1", "p"},
+                                        {"a", "1", "r"},
+                                        {"w", "2", "x"},
+                                        {"y", "2", "x"},
+                                        {"z", "2", "x"}});
+}
+
+/// Figure 5: same as Figure 4 except C is "x" in the second tuple, which
+/// breaks the perfect co-occurrence of {2, x} and makes C → B approximate.
+inline relation::Relation PaperFigure5() {
+  return MakeRelation({"A", "B", "C"}, {{"a", "1", "p"},
+                                        {"a", "1", "x"},
+                                        {"w", "2", "x"},
+                                        {"y", "2", "x"},
+                                        {"z", "2", "x"}});
+}
+
+}  // namespace limbo::testing
+
+#endif  // LIMBO_TESTS_TESTING_MAKE_RELATION_H_

@@ -1,0 +1,163 @@
+// Integration tests for the limbo-tool CLI: every subcommand is executed
+// as a subprocess against generated data, asserting exit codes and key
+// output fragments. The binary path is injected by CMake as
+// LIMBO_TOOL_PATH.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#ifndef LIMBO_TOOL_PATH
+#error "LIMBO_TOOL_PATH must be defined by the build"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult RunTool(const std::string& args) {
+  const std::string command =
+      std::string(LIMBO_TOOL_PATH) + " " + args + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string TempCsv() {
+  static std::string path = [] {
+    std::string p = ::testing::TempDir() + "/limbo_cli_db2.csv";
+    const RunResult r = RunTool("generate db2 --out=" + p);
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    return p;
+  }();
+  return path;
+}
+
+TEST(CliTest, UsageOnBadInvocation) {
+  EXPECT_EQ(RunTool("").exit_code, 2);
+  EXPECT_EQ(RunTool("bogus-command somewhere.csv").exit_code, 2);
+  const RunResult r = RunTool("profile");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, MissingFileFailsCleanly) {
+  const RunResult r = RunTool("profile /nonexistent/nope.csv");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("IoError"), std::string::npos);
+}
+
+TEST(CliTest, GenerateAndProfile) {
+  const RunResult r = RunTool("profile " + TempCsv());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("90 tuples x 19 attributes"), std::string::npos);
+  EXPECT_NE(r.output.find("DeptName"), std::string::npos);
+}
+
+TEST(CliTest, Duplicates) {
+  const RunResult r = RunTool("duplicates " + TempCsv() + " --phi-t=0.1");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("candidate groups"), std::string::npos);
+}
+
+TEST(CliTest, Values) {
+  const RunResult r = RunTool("values " + TempCsv());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("duplicate (CV_D)"), std::string::npos);
+  // The department triple co-occurs perfectly.
+  EXPECT_NE(r.output.find("DeptNo=D01"), std::string::npos);
+}
+
+TEST(CliTest, FdsWithMinCover) {
+  const RunResult r = RunTool("fds " + TempCsv() + " --min-cover");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("minimum cover"), std::string::npos);
+  EXPECT_NE(r.output.find("->"), std::string::npos);
+}
+
+TEST(CliTest, ApproxFds) {
+  const RunResult r = RunTool("approx-fds " + TempCsv() +
+                          " --epsilon=0.05 --max-lhs=1");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("approximate FDs"), std::string::npos);
+}
+
+TEST(CliTest, Keys) {
+  const RunResult r = RunTool("keys " + TempCsv() + " --max-size=2");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("[EmpNo,ProjNo]"), std::string::npos);
+}
+
+TEST(CliTest, RankShowsAnchoredDeptFd) {
+  const RunResult r = RunTool("rank " + TempCsv());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("rank="), std::string::npos);
+  EXPECT_NE(r.output.find("DeptName"), std::string::npos);
+}
+
+TEST(CliTest, Partition) {
+  const RunResult r = RunTool("partition " + TempCsv() + " --k=2 --phi=0.3");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("cluster 1"), std::string::npos);
+  EXPECT_NE(r.output.find("cluster 2"), std::string::npos);
+}
+
+TEST(CliTest, DecomposeWritesFragments) {
+  const std::string prefix = ::testing::TempDir() + "/limbo_cli_frag";
+  const RunResult r =
+      RunTool("decompose " + TempCsv() + " --out=" + prefix);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("BCNF"), std::string::npos);
+  EXPECT_NE(r.output.find("fragment 1"), std::string::npos);
+  const std::string frag1 = prefix + "_fragment1.csv";
+  FILE* f = std::fopen(frag1.c_str(), "r");
+  ASSERT_NE(f, nullptr) << frag1;
+  std::fclose(f);
+}
+
+TEST(CliTest, SummariesRoundTrip) {
+  const std::string dcf = ::testing::TempDir() + "/limbo_cli.dcf";
+  const RunResult r =
+      RunTool("summaries " + TempCsv() + " --phi-t=0.5 --out=" + dcf);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("Phase-1 summaries"), std::string::npos);
+  FILE* f = std::fopen(dcf.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char magic[10] = {};
+  ASSERT_EQ(std::fread(magic, 1, 9, f), 9u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(magic), "limbo-dcf");
+}
+
+TEST(CliTest, ReportProducesMarkdown) {
+  const std::string out = ::testing::TempDir() + "/limbo_cli_report.md";
+  const RunResult r = RunTool("report " + TempCsv() + " --out=" + out);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  FILE* f = std::fopen(out.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char head[20] = {};
+  ASSERT_GT(std::fread(head, 1, 18, f), 0u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(head, 18), "# Structure report");
+}
+
+TEST(CliTest, SummaryRunsWholePipeline) {
+  const RunResult r = RunTool("summary " + TempCsv());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("=== Profile ==="), std::string::npos);
+  EXPECT_NE(r.output.find("=== Dependencies"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace limbo::util {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(42);
+  Random b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformStaysInBounds) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliRespectsProbability) {
+  Random rng(11);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Bernoulli(0.25)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(rate, 0.25, 0.01);
+}
+
+TEST(RandomTest, ZipfIsSkewedTowardSmallRanks) {
+  Random rng(13);
+  const uint64_t n = 1000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.Zipf(n, 1.1)];
+  // Rank 0 should dominate the tail by a wide margin.
+  EXPECT_GT(counts[0], counts[500] * 5);
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST(RandomTest, ZipfBoundaries) {
+  Random rng(17);
+  EXPECT_EQ(rng.Zipf(1, 1.2), 0u);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Zipf(5, 1.0), 5u);
+}
+
+}  // namespace
+}  // namespace limbo::util

@@ -1,0 +1,519 @@
+// limbo-tool: command-line front end for the library.
+//
+//   limbo-tool profile    data.csv
+//   limbo-tool summary    data.csv [--phi-t=0.1] [--phi-v=0] [--psi=0.5]
+//   limbo-tool duplicates data.csv [--phi-t=0.1]
+//   limbo-tool values     data.csv [--phi-v=0]
+//   limbo-tool fds        data.csv [--miner=auto|fdep|tane] [--min-cover]
+//   limbo-tool approx-fds data.csv [--epsilon=0.05] [--max-lhs=3]
+//   limbo-tool mvds       data.csv [--max-lhs=2]
+//   limbo-tool keys       data.csv [--max-size=4]
+//   limbo-tool rank       data.csv [--psi=0.5]
+//   limbo-tool partition  data.csv [--k=0] [--phi=0.5]
+//   limbo-tool decompose  data.csv [--psi=0.5] [--out=prefix]
+//   limbo-tool generate   db2|dblp [--out=data.csv] [--tuples=N] [--seed=S]
+//   limbo-tool summaries  data.csv [--phi-t=0.5] [--out=data.dcf]
+//   limbo-tool report     data.csv [--out=report.md] [--psi=0.5]
+//
+// Input: CSV with a header row; empty fields are NULLs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/decompose.h"
+#include "core/horizontal_partition.h"
+#include "core/measures.h"
+#include "core/structure_summary.h"
+#include "core/summary_io.h"
+#include "core/dendrogram.h"
+#include "util/strings.h"
+#include "core/measures.h"
+#include <fstream>
+#include "core/info.h"
+#include "core/tuple_clustering.h"
+#include "fd/approx.h"
+#include "fd/fdep.h"
+#include "fd/min_cover.h"
+#include "fd/keys.h"
+#include "fd/mvd.h"
+#include "fd/tane.h"
+#include "relation/csv_io.h"
+#include "relation/stats.h"
+#include "datagen/db2_sample.h"
+#include "datagen/dblp.h"
+
+namespace {
+
+using namespace limbo;  // NOLINT
+
+struct Args {
+  std::string command;
+  std::string input;
+  std::map<std::string, std::string> flags;
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+  size_t GetSize(const std::string& key, size_t fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end()
+               ? fallback
+               : static_cast<size_t>(std::atoll(it->second.c_str()));
+  }
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: limbo-tool <profile|summary|duplicates|values|fds|approx-fds|"
+      "mvds|keys|rank|partition|decompose|summaries|report|generate> data.csv "
+      "[--flag=value ...]\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 3) return false;
+  args->command = argv[1];
+  args->input = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) return false;
+    const char* eq = std::strchr(arg, '=');
+    if (eq != nullptr) {
+      args->flags[std::string(arg + 2, eq - arg - 2)] = eq + 1;
+    } else {
+      args->flags[arg + 2] = "1";
+    }
+  }
+  return true;
+}
+
+/// Mines FDs with the requested (or size-appropriate) miner.
+util::Result<std::vector<fd::FunctionalDependency>> MineFds(
+    const relation::Relation& rel, const std::string& miner) {
+  if (miner == "fdep" ||
+      (miner == "auto" && rel.NumTuples() <= 2000)) {
+    return fd::Fdep::Mine(rel);
+  }
+  fd::TaneOptions options;
+  options.min_lhs = 1;
+  return fd::Tane::Mine(rel, options);
+}
+
+int CmdProfile(const relation::Relation& rel, const Args&) {
+  std::printf("%s", relation::Profile(rel).ToString().c_str());
+  return 0;
+}
+
+int CmdSummary(const relation::Relation& rel, const Args& args) {
+  core::StructureSummaryOptions options;
+  options.phi_t = args.GetDouble("phi-t", options.phi_t);
+  options.phi_v = args.GetDouble("phi-v", options.phi_v);
+  options.psi = args.GetDouble("psi", options.psi);
+  auto summary = core::SummarizeStructure(rel, options);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", summary->ToString(rel).c_str());
+  return 0;
+}
+
+int CmdDuplicates(const relation::Relation& rel, const Args& args) {
+  core::DuplicateTupleOptions options;
+  options.phi_t = args.GetDouble("phi-t", options.phi_t);
+  auto report = core::FindDuplicateTuples(rel, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("summaries: %zu leaves (%zu heavy); candidate groups: %zu\n",
+              report->num_leaves, report->num_heavy_leaves,
+              report->groups.size());
+  for (const auto& group : report->groups) {
+    std::printf("group (%zu tuples):\n", group.tuples.size());
+    for (relation::TupleId t : group.tuples) {
+      std::printf("  t%-6u", t);
+      for (size_t a = 0; a < rel.NumAttributes() && a < 8; ++a) {
+        std::printf(" %s", rel.TextAt(t, a).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int CmdValues(const relation::Relation& rel, const Args& args) {
+  core::ValueClusteringOptions options;
+  options.phi_v = args.GetDouble("phi-v", options.phi_v);
+  auto result = core::ClusterValues(rel, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu value groups, %zu duplicate (CV_D)\n",
+              result->groups.size(), result->duplicate_groups.size());
+  for (size_t gi : result->duplicate_groups) {
+    std::printf("  {");
+    const auto& group = result->groups[gi];
+    for (size_t i = 0; i < group.values.size(); ++i) {
+      if (i) std::printf(", ");
+      std::printf("%s", rel.dictionary()
+                            .QualifiedName(rel.schema(), group.values[i])
+                            .c_str());
+    }
+    std::printf("}\n");
+  }
+  return 0;
+}
+
+int CmdFds(const relation::Relation& rel, const Args& args) {
+  auto fds = MineFds(rel, args.GetString("miner", "auto"));
+  if (!fds.ok()) {
+    std::fprintf(stderr, "%s\n", fds.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<fd::FunctionalDependency> shown = *fds;
+  if (args.Has("min-cover")) {
+    shown = fd::MinimumCover(shown);
+    std::printf("# %zu minimal FDs; minimum cover of %zu:\n", fds->size(),
+                shown.size());
+  } else {
+    std::printf("# %zu minimal FDs:\n", shown.size());
+  }
+  for (const auto& f : shown) {
+    std::printf("%s\n", f.ToString(rel.schema()).c_str());
+  }
+  return 0;
+}
+
+int CmdApproxFds(const relation::Relation& rel, const Args& args) {
+  fd::ApproxMinerOptions options;
+  options.epsilon = args.GetDouble("epsilon", options.epsilon);
+  options.max_lhs = args.GetSize("max-lhs", options.max_lhs);
+  auto fds = fd::MineApproximateFds(rel, options);
+  if (!fds.ok()) {
+    std::fprintf(stderr, "%s\n", fds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("# %zu approximate FDs (g3 <= %.3f, LHS <= %zu):\n",
+              fds->size(), options.epsilon, options.max_lhs);
+  for (const auto& f : *fds) {
+    std::printf("g3=%.4f  %s\n", f.g3, f.fd.ToString(rel.schema()).c_str());
+  }
+  return 0;
+}
+
+int CmdMvds(const relation::Relation& rel, const Args& args) {
+  fd::MvdMinerOptions options;
+  options.max_lhs = args.GetSize("max-lhs", options.max_lhs);
+  auto mvds = fd::MineMvds(rel, options);
+  if (!mvds.ok()) {
+    std::fprintf(stderr, "%s\n", mvds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("# %zu non-FD multi-valued dependencies (LHS <= %zu):\n",
+              mvds->size(), options.max_lhs);
+  for (const auto& mvd : *mvds) {
+    std::printf("%s\n", mvd.ToString(rel.schema()).c_str());
+  }
+  return 0;
+}
+
+int CmdKeys(const relation::Relation& rel, const Args& args) {
+  fd::KeyMinerOptions options;
+  options.max_size = args.GetSize("max-size", 4);
+  auto keys = fd::MineMinimalKeys(rel, options);
+  if (!keys.ok()) {
+    std::fprintf(stderr, "%s\n", keys.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("# %zu minimal keys (width <= %zu):\n", keys->size(),
+              options.max_size);
+  for (fd::AttributeSet key : *keys) {
+    std::printf("%s\n", key.ToString(rel.schema()).c_str());
+  }
+  return 0;
+}
+
+int CmdRank(const relation::Relation& rel, const Args& args) {
+  core::StructureSummaryOptions options;
+  options.psi = args.GetDouble("psi", options.psi);
+  auto summary = core::SummarizeStructure(rel, options);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("# ranked minimum cover (lower rank = more redundancy):\n");
+  for (const auto& r : summary->ranked_cover) {
+    const auto attrs = r.fd.lhs.Union(r.fd.rhs).ToList();
+    std::printf("rank=%.4f%s %s  RAD=%.3f RTR=%.3f\n", r.rank,
+                r.anchored ? "*" : " ", r.fd.ToString(rel.schema()).c_str(),
+                core::Rad(rel, attrs), core::Rtr(rel, attrs));
+  }
+  return 0;
+}
+
+int CmdPartition(const relation::Relation& rel, const Args& args) {
+  core::HorizontalPartitionOptions options;
+  options.k = args.GetSize("k", 0);
+  options.phi = args.GetDouble("phi", options.phi);
+  options.max_k = args.GetSize("max-k", options.max_k);
+  auto result = core::HorizontallyPartition(rel, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("k = %zu (%zu Phase-1 summaries); candidate ks:", 
+              result->chosen_k, result->num_leaves);
+  for (size_t k : result->candidate_ks) std::printf(" %zu", k);
+  std::printf("\n");
+  for (size_t c = 0; c < result->cluster_sizes.size(); ++c) {
+    std::printf("  cluster %zu: %zu tuples, %zu distinct values\n", c + 1,
+                result->cluster_sizes[c], result->cluster_value_counts[c]);
+  }
+  std::printf("choice-of-k statistics:\n");
+  for (const auto& s : result->stats) {
+    std::printf("  k=%-4zu deltaI=%.5f H(C|V)=%.5f\n", s.k, s.delta_i,
+                s.conditional_entropy);
+  }
+  return 0;
+}
+
+int CmdDecompose(const relation::Relation& rel, const Args& args) {
+  core::StructureSummaryOptions options;
+  options.psi = args.GetDouble("psi", options.psi);
+  auto summary = core::SummarizeStructure(rel, options);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<fd::FunctionalDependency> anchored;
+  for (const auto& r : summary->ranked_cover) {
+    if (r.anchored) anchored.push_back(r.fd);
+  }
+  fd::KeyMinerOptions key_options;
+  key_options.max_size = 3;
+  auto keys = fd::MineMinimalKeys(rel, key_options);
+  if (keys.ok()) {
+    for (const auto& f : anchored) {
+      std::printf("%s %s\n",
+                  fd::ViolatesBcnf(f, *keys) ? "BCNF-violating:" : "in BCNF: ",
+                  f.ToString(rel.schema()).c_str());
+    }
+  }
+  auto fragments = core::DecomposeGreedily(rel, anchored);
+  if (!fragments.ok()) {
+    std::fprintf(stderr, "%s\n", fragments.status().ToString().c_str());
+    return 1;
+  }
+  size_t original_cells = rel.NumTuples() * rel.NumAttributes();
+  size_t cells = 0;
+  for (const auto& fragment : *fragments) {
+    cells += fragment.NumTuples() * fragment.NumAttributes();
+  }
+  std::printf("decomposed into %zu fragments using %zu anchored FDs; "
+              "cells %zu -> %zu (%.1f%% saved)\n",
+              fragments->size(), anchored.size(), original_cells, cells,
+              100.0 * (1.0 - static_cast<double>(cells) /
+                                 static_cast<double>(original_cells)));
+  const std::string prefix = args.GetString("out", "");
+  for (size_t i = 0; i < fragments->size(); ++i) {
+    const auto& fragment = (*fragments)[i];
+    std::printf("fragment %zu: %zu tuples x %zu attributes (", i + 1,
+                fragment.NumTuples(), fragment.NumAttributes());
+    for (size_t a = 0; a < fragment.NumAttributes(); ++a) {
+      std::printf("%s%s", a ? "," : "", fragment.schema().Name(a).c_str());
+    }
+    std::printf(")\n");
+    if (!prefix.empty()) {
+      const std::string path =
+          prefix + "_fragment" + std::to_string(i + 1) + ".csv";
+      util::Status s = relation::WriteCsv(fragment, path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "write %s: %s\n", path.c_str(),
+                     s.ToString().c_str());
+        return 1;
+      }
+      std::printf("  wrote %s\n", path.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int CmdReport(const relation::Relation& rel, const Args& args) {
+  core::StructureSummaryOptions options;
+  options.phi_t = args.GetDouble("phi-t", options.phi_t);
+  options.phi_v = args.GetDouble("phi-v", options.phi_v);
+  options.psi = args.GetDouble("psi", options.psi);
+  auto summary = core::SummarizeStructure(rel, options);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  std::string md = "# Structure report: " + args.input + "\n\n";
+  md += util::StrFormat(
+      "%zu tuples x %zu attributes, %zu distinct values.\n\n",
+      summary->profile.tuples, summary->profile.attributes,
+      summary->profile.distinct_values);
+  md += "## Column profile\n\n";
+  md += "| attribute | distinct | null % | entropy | flags |\n";
+  md += "|---|---|---|---|---|\n";
+  for (const auto& col : summary->profile.columns) {
+    md += util::StrFormat(
+        "| %s | %zu | %.1f | %.3f | %s |\n", col.name.c_str(),
+        col.distinct_values, 100.0 * col.null_fraction, col.entropy,
+        col.is_key ? "key" : (col.is_constant ? "constant" : ""));
+  }
+  md += util::StrFormat(
+      "\n## Duplicate tuple candidates\n\n%zu group(s) from %zu "
+      "summaries.\n",
+      summary->duplicates.groups.size(), summary->duplicates.num_leaves);
+  for (size_t g = 0; g < summary->duplicates.groups.size() && g < 10; ++g) {
+    md += "- rows:";
+    for (relation::TupleId t : summary->duplicates.groups[g].tuples) {
+      md += util::StrFormat(" %u", t);
+    }
+    md += "\n";
+  }
+  md += util::StrFormat(
+      "\n## Duplicate value groups (CV_D)\n\n%zu of %zu groups:\n\n",
+      summary->values.duplicate_groups.size(), summary->values.groups.size());
+  size_t shown = 0;
+  for (size_t gi : summary->values.duplicate_groups) {
+    if (++shown > 15) break;
+    md += "- {";
+    const auto& group = summary->values.groups[gi];
+    for (size_t i = 0; i < group.values.size() && i < 6; ++i) {
+      if (i) md += ", ";
+      md += rel.dictionary().QualifiedName(rel.schema(), group.values[i]);
+    }
+    if (group.values.size() > 6) md += ", ...";
+    md += "}\n";
+  }
+  if (summary->has_grouping) {
+    std::vector<std::string> leaf_labels;
+    for (relation::AttributeId a : summary->grouping.attributes) {
+      leaf_labels.push_back(rel.schema().Name(a));
+    }
+    md += "\n## Attribute dendrogram\n\n```\n";
+    md += core::RenderDendrogram(summary->grouping.aib, leaf_labels);
+    md += "```\n";
+  }
+  md += util::StrFormat("\n## Ranked dependencies (%zu mined)\n\n",
+                        summary->num_fds);
+  md += "| rank | anchored | FD | RAD | RTR |\n|---|---|---|---|---|\n";
+  shown = 0;
+  for (const auto& r : summary->ranked_cover) {
+    if (++shown > 15) break;
+    const auto attrs = r.fd.lhs.Union(r.fd.rhs).ToList();
+    md += util::StrFormat("| %.4f | %s | `%s` | %.3f | %.3f |\n", r.rank,
+                          r.anchored ? "yes" : "", 
+                          r.fd.ToString(rel.schema()).c_str(),
+                          core::Rad(rel, attrs), core::Rtr(rel, attrs));
+  }
+  const std::string out = args.GetString("out", args.input + ".report.md");
+  std::ofstream file(out, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  file << md;
+  std::printf("wrote %s (%zu bytes)\n", out.c_str(), md.size());
+  return 0;
+}
+
+int CmdSummaries(const relation::Relation& rel, const Args& args) {
+  const double phi_t = args.GetDouble("phi-t", 0.5);
+  const auto objects = core::BuildTupleObjects(rel);
+  core::WeightedRows rows;
+  for (const auto& o : objects) {
+    rows.weights.push_back(o.p);
+    rows.rows.push_back(o.cond);
+  }
+  const double info = core::MutualInformation(rows);
+  core::LimboOptions options;
+  options.phi = phi_t;
+  const auto leaves = core::LimboPhase1(
+      objects, options, phi_t * info / static_cast<double>(objects.size()));
+  const std::string out = args.GetString("out", args.input + ".dcf");
+  util::Status s = core::SaveDcfs(leaves, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu Phase-1 summaries (phi_T=%.2f, I=%.4f bits) to %s\n",
+              leaves.size(), phi_t, info, out.c_str());
+  return 0;
+}
+
+int CmdGenerate(const Args& args) {
+  util::Result<relation::Relation> rel =
+      util::Status::InvalidArgument("unknown dataset: " + args.input);
+  if (args.input == "db2") {
+    rel = datagen::Db2Sample::JoinedRelation();
+  } else if (args.input == "dblp") {
+    datagen::DblpOptions options;
+    options.target_tuples = args.GetSize("tuples", 50000);
+    options.seed = args.GetSize("seed", options.seed);
+    rel = datagen::GenerateDblp(options);
+  }
+  if (!rel.ok()) {
+    std::fprintf(stderr, "%s\n", rel.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out = args.GetString("out", args.input + ".csv");
+  util::Status s = relation::WriteCsv(*rel, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu tuples x %zu attributes)\n", out.c_str(),
+              rel->NumTuples(), rel->NumAttributes());
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+  if (args.command == "generate") return CmdGenerate(args);
+  const char* const kCommands[] = {"profile", "summary", "duplicates",
+                                   "values", "fds", "approx-fds", "mvds",
+                                   "keys", "rank", "partition", "decompose",
+                                   "summaries", "report"};
+  bool known = false;
+  for (const char* c : kCommands) known |= (args.command == c);
+  if (!known) return Usage();
+  auto rel = relation::ReadCsv(args.input);
+  if (!rel.ok()) {
+    std::fprintf(stderr, "%s\n", rel.status().ToString().c_str());
+    return 1;
+  }
+  if (args.command == "profile") return CmdProfile(*rel, args);
+  if (args.command == "summary") return CmdSummary(*rel, args);
+  if (args.command == "duplicates") return CmdDuplicates(*rel, args);
+  if (args.command == "values") return CmdValues(*rel, args);
+  if (args.command == "fds") return CmdFds(*rel, args);
+  if (args.command == "approx-fds") return CmdApproxFds(*rel, args);
+  if (args.command == "mvds") return CmdMvds(*rel, args);
+  if (args.command == "keys") return CmdKeys(*rel, args);
+  if (args.command == "rank") return CmdRank(*rel, args);
+  if (args.command == "partition") return CmdPartition(*rel, args);
+  if (args.command == "decompose") return CmdDecompose(*rel, args);
+  if (args.command == "summaries") return CmdSummaries(*rel, args);
+  if (args.command == "report") return CmdReport(*rel, args);
+  return Usage();
+}
