@@ -49,6 +49,37 @@ inline size_t CountRecoveredTuples(
   return found;
 }
 
+/// One row of a thread-scaling sweep: the lane count and the phase
+/// timings a LIMBO run produced with it.
+struct ThreadScalingRow {
+  size_t threads = 1;
+  core::PhaseTimings timings;
+};
+
+/// Emits a thread-scaling sweep as one JSON object on stdout:
+/// {"benchmark": ..., "tuples": ..., "leaves": ..., "deterministic": ...,
+///  "results": [{"threads": t, "phase1_seconds": ..., ...}, ...]}.
+/// `deterministic` reports whether every run was bit-identical to the
+/// serial baseline (merge sequence and Phase-3 assignments).
+inline void PrintThreadScalingJson(const char* benchmark, size_t tuples,
+                                   size_t leaves, bool deterministic,
+                                   const std::vector<ThreadScalingRow>& rows) {
+  std::printf("{\"benchmark\": \"%s\", \"tuples\": %zu, \"leaves\": %zu, "
+              "\"deterministic\": %s, \"results\": [",
+              benchmark, tuples, leaves, deterministic ? "true" : "false");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const core::PhaseTimings& t = rows[i].timings;
+    std::printf(
+        "%s{\"threads\": %zu, \"phase1_seconds\": %.6f, "
+        "\"phase2_seconds\": %.6f, \"phase3_seconds\": %.6f, "
+        "\"phase2_distance_evals\": %llu}",
+        i == 0 ? "" : ", ", rows[i].threads, t.phase1_seconds,
+        t.phase2_seconds, t.phase3_seconds,
+        static_cast<unsigned long long>(t.phase2_distance_evals));
+  }
+  std::printf("]}\n");
+}
+
 /// Tuple-cluster labels from a Phase-1 + Phase-3 run at the given φ_T
 /// (used as the Double Clustering input of Section 6.2).
 inline std::vector<uint32_t> TupleClusterLabels(const relation::Relation& rel,

@@ -2,17 +2,26 @@
 // LIMBO-vs-AIB scalability ablation the paper's Section 5.2 motivates:
 // AIB is quadratic in the number of objects, LIMBO Phase 1 is near-linear
 // with a bounded number of summaries.
+//
+// Special mode: `micro_limbo --thread-scaling [--tuples=N]` skips the
+// google-benchmark suite and instead sweeps the LIMBO worker-lane count
+// over a DBLP-sized input, emitting one JSON object (threads -> per-phase
+// wall time) and cross-checking that every lane count reproduces the
+// serial merge sequence and assignments bit-for-bit.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/aib.h"
 #include "core/dcf_tree.h"
 #include "core/info.h"
 #include "core/limbo.h"
 #include "core/tuple_clustering.h"
 #include "datagen/db2_sample.h"
+#include "datagen/dblp.h"
 #include "fd/fdep.h"
 #include "fd/partition.h"
 #include "fd/tane.h"
@@ -170,6 +179,72 @@ void BM_TupleObjectsDb2(benchmark::State& state) {
 }
 BENCHMARK(BM_TupleObjectsDb2);
 
+/// Thread-scaling sweep: one RunLimbo per lane count over the DBLP
+/// relation (the paper's large input), asserting bit-identical results.
+int RunThreadScaling(size_t tuples) {
+  datagen::DblpOptions dblp_options;
+  dblp_options.target_tuples = tuples;
+  const relation::Relation rel = datagen::GenerateDblp(dblp_options);
+  const std::vector<core::Dcf> objects = core::BuildTupleObjects(rel);
+
+  core::LimboOptions options;
+  options.phi = 0.5;
+  options.k = 10;
+
+  const size_t thread_counts[] = {1, 2, 4, 8};
+  std::vector<bench::ThreadScalingRow> rows;
+  bool deterministic = true;
+  std::vector<core::Merge> baseline_merges;
+  std::vector<uint32_t> baseline_assignments;
+  size_t leaves = 0;
+  for (size_t threads : thread_counts) {
+    options.threads = threads;
+    auto result = core::RunLimbo(objects, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    leaves = result->leaves.size();
+    rows.push_back({threads, result->timings});
+    if (threads == 1) {
+      baseline_merges = result->aib.merges();
+      baseline_assignments = result->assignments;
+    } else {
+      const auto& merges = result->aib.merges();
+      bool same = merges.size() == baseline_merges.size() &&
+                  result->assignments == baseline_assignments;
+      for (size_t i = 0; same && i < merges.size(); ++i) {
+        same = merges[i].left == baseline_merges[i].left &&
+               merges[i].right == baseline_merges[i].right &&
+               merges[i].delta_i == baseline_merges[i].delta_i;
+      }
+      deterministic = deterministic && same;
+    }
+  }
+  bench::PrintThreadScalingJson("limbo_thread_scaling", objects.size(),
+                                leaves, deterministic, rows);
+  return deterministic ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool thread_scaling = false;
+  size_t tuples = 50000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--thread-scaling") == 0) {
+      thread_scaling = true;
+    } else {
+      unsigned long long n = 0;
+      if (std::sscanf(argv[i], "--tuples=%llu", &n) == 1 && n > 0) {
+        tuples = static_cast<size_t>(n);
+      }
+    }
+  }
+  if (thread_scaling) return RunThreadScaling(tuples);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,10 +1,12 @@
 #include "core/aib.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace limbo::core {
@@ -43,6 +45,14 @@ util::Result<AibResult> AgglomerativeIb(const std::vector<Dcf>& inputs,
         util::StrFormat("min_k=%zu out of range [1, %zu]", options.min_k, q));
   }
 
+  const auto started = std::chrono::steady_clock::now();
+  util::ThreadPool pool(options.threads);
+  AibStats stats;
+  stats.threads = pool.threads();
+  // Chunk size for the row-indexed scans below; small enough that the
+  // round-robin chunk->lane mapping balances the triangular initial build.
+  constexpr size_t kGrain = 16;
+
   // Per-slot state. slot_cluster_id maps a live slot to its global cluster
   // id (scipy convention); slot_dcf holds the current merged statistics.
   std::vector<Dcf> slot_dcf = inputs;
@@ -55,6 +65,9 @@ util::Result<AibResult> AgglomerativeIb(const std::vector<Dcf>& inputs,
   std::vector<size_t> nn(q, SIZE_MAX);
   std::vector<double> nn_dist(q, kInf);
 
+  // Equal distances tie-break on *cluster ids*, never slot indices: after
+  // merges recycle slots, slot order and cluster-id order disagree, and
+  // only the latter matches the documented (and global-selection) order.
   auto recompute_nn = [&](size_t i) {
     nn[i] = SIZE_MAX;
     nn_dist[i] = kInf;
@@ -62,19 +75,28 @@ util::Result<AibResult> AgglomerativeIb(const std::vector<Dcf>& inputs,
       if (j == i || !alive[j]) continue;
       const double d = dist.Get(i, j);
       if (d < nn_dist[i] ||
-          (d == nn_dist[i] && j < nn[i])) {
+          (d == nn_dist[i] &&
+           (nn[i] == SIZE_MAX ||
+            slot_cluster_id[j] < slot_cluster_id[nn[i]]))) {
         nn_dist[i] = d;
         nn[i] = j;
       }
     }
   };
 
-  for (size_t i = 0; i < q; ++i) {
-    for (size_t j = i + 1; j < q; ++j) {
-      dist.Set(i, j, InformationLoss(slot_dcf[i], slot_dcf[j]));
+  // Initial pairwise matrix and NN cache. Every (i, j) writes cells owned
+  // by that pair alone, so the static partition is bit-deterministic.
+  pool.ParallelFor(0, q, kGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      for (size_t j = i + 1; j < q; ++j) {
+        dist.Set(i, j, InformationLoss(slot_dcf[i], slot_dcf[j]));
+      }
     }
-  }
-  for (size_t i = 0; i < q; ++i) recompute_nn(i);
+  });
+  pool.ParallelFor(0, q, kGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) recompute_nn(i);
+  });
+  stats.distance_evals += static_cast<uint64_t>(q) * (q - 1) / 2;
 
   std::vector<Merge> merges;
   merges.reserve(q - options.min_k);
@@ -83,25 +105,35 @@ util::Result<AibResult> AgglomerativeIb(const std::vector<Dcf>& inputs,
   uint32_t next_cluster_id = static_cast<uint32_t>(q);
 
   while (live > options.min_k) {
-    // Pick the globally best pair; deterministic tie-break on
-    // (min cluster id of i, then of partner).
+    // Pick the globally best pair; equal distances break on the
+    // lexicographically smallest (min cluster id, max cluster id) pair.
     size_t best_i = SIZE_MAX;
     double best_d = kInf;
+    uint32_t best_lo = 0;
+    uint32_t best_hi = 0;
     for (size_t i = 0; i < q; ++i) {
       if (!alive[i] || nn[i] == SIZE_MAX) continue;
       const double d = nn_dist[i];
+      const uint32_t lo =
+          std::min(slot_cluster_id[i], slot_cluster_id[nn[i]]);
+      const uint32_t hi =
+          std::max(slot_cluster_id[i], slot_cluster_id[nn[i]]);
       if (d < best_d ||
-          (d == best_d && best_i != SIZE_MAX &&
-           std::min(slot_cluster_id[i], slot_cluster_id[nn[i]]) <
-               std::min(slot_cluster_id[best_i],
-                        slot_cluster_id[nn[best_i]]))) {
+          (d == best_d &&
+           (best_i == SIZE_MAX || lo < best_lo ||
+            (lo == best_lo && hi < best_hi)))) {
         best_d = d;
         best_i = i;
+        best_lo = lo;
+        best_hi = hi;
       }
     }
     LIMBO_CHECK(best_i != SIZE_MAX);
-    const size_t a = best_i;
-    const size_t b = nn[best_i];
+    // Orient the pair by cluster id so the recorded merge and the slot
+    // the result lands in are independent of which side found it.
+    size_t a = best_i;
+    size_t b = nn[best_i];
+    if (slot_cluster_id[b] < slot_cluster_id[a]) std::swap(a, b);
     LIMBO_CHECK(alive[a] && alive[b] && a != b);
 
     const double delta = dist.Get(a, b);
@@ -117,23 +149,37 @@ util::Result<AibResult> AgglomerativeIb(const std::vector<Dcf>& inputs,
     --live;
 
     // Refresh distances from the merged slot and fix stale NN entries.
-    for (size_t j = 0; j < q; ++j) {
-      if (!alive[j] || j == a) continue;
-      dist.Set(a, j, InformationLoss(slot_dcf[a], slot_dcf[j]));
-    }
-    recompute_nn(a);
-    for (size_t j = 0; j < q; ++j) {
-      if (!alive[j] || j == a) continue;
-      if (nn[j] == a || nn[j] == b) {
-        recompute_nn(j);
-      } else if (dist.Get(a, j) < nn_dist[j]) {
-        nn[j] = a;
-        nn_dist[j] = dist.Get(a, j);
+    // Each j owns its dist cells and nn/nn_dist slots, so both scans are
+    // safely data-parallel and bit-identical to the serial order.
+    pool.ParallelFor(0, q, kGrain, [&](size_t lo, size_t hi) {
+      for (size_t j = lo; j < hi; ++j) {
+        if (!alive[j] || j == a) continue;
+        dist.Set(a, j, InformationLoss(slot_dcf[a], slot_dcf[j]));
       }
-    }
+    });
+    stats.distance_evals += live - 1;
+    recompute_nn(a);
+    pool.ParallelFor(0, q, kGrain, [&](size_t lo, size_t hi) {
+      for (size_t j = lo; j < hi; ++j) {
+        if (!alive[j] || j == a) continue;
+        if (nn[j] == a || nn[j] == b) {
+          recompute_nn(j);
+        } else if (dist.Get(a, j) < nn_dist[j]) {
+          // Strict < keeps the incumbent on ties: the merged cluster has
+          // the largest id, so cluster-id order agrees.
+          nn[j] = a;
+          nn_dist[j] = dist.Get(a, j);
+        }
+      }
+    });
   }
 
-  return AibResult(q, std::move(merges));
+  AibResult result(q, std::move(merges));
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  result.set_stats(stats);
+  return result;
 }
 
 util::Result<std::vector<uint32_t>> AibResult::AssignmentsAtK(size_t k) const {

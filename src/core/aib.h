@@ -24,6 +24,18 @@ struct Merge {
   double p_merged;
 };
 
+/// Execution counters of an AgglomerativeIb run, for observability. The
+/// eval counter is computed from the dispatch structure (not per-call
+/// atomics), so it is exact and identical across thread counts.
+struct AibStats {
+  /// Number of InformationLoss evaluations (initial matrix + refreshes).
+  uint64_t distance_evals = 0;
+  /// Wall-clock seconds of the whole run.
+  double seconds = 0.0;
+  /// Resolved lane count the run executed with.
+  size_t threads = 1;
+};
+
 /// Result of a (full or partial) agglomerative IB run.
 class AibResult {
  public:
@@ -48,15 +60,24 @@ class AibResult {
   /// [i] to k = q - i. Needs the input DCFs to recover leaf masses.
   std::vector<double> ClusterEntropyPerStep(const std::vector<Dcf>& inputs) const;
 
+  const AibStats& stats() const { return stats_; }
+  void set_stats(const AibStats& stats) { stats_ = stats; }
+
  private:
   size_t num_objects_;
   std::vector<Merge> merges_;
+  AibStats stats_;
 };
 
 /// Options for AgglomerativeIb.
 struct AibOptions {
   /// Stop when this many clusters remain (1 = full dendrogram).
   size_t min_k = 1;
+  /// Worker lanes for the distance-matrix build and per-merge row
+  /// refresh. 0 = LIMBO_THREADS env var / hardware concurrency
+  /// (util::DefaultThreadCount), 1 = serial. Results are bit-identical
+  /// for every value.
+  size_t threads = 0;
 };
 
 /// Agglomerative Information Bottleneck (Slonim & Tishby): greedily merges
@@ -65,8 +86,9 @@ struct AibOptions {
 /// for q up to a few thousand — use Limbo (limbo.h) above that, exactly as
 /// the paper prescribes.
 ///
-/// Ties in δI are broken deterministically by (smaller left id, smaller
-/// right id).
+/// Ties in δI are broken deterministically on *cluster ids*: the pair
+/// with the lexicographically smallest (min id, max id) merges first,
+/// independent of slot-recycling history and thread count.
 util::Result<AibResult> AgglomerativeIb(const std::vector<Dcf>& inputs,
                                         const AibOptions& options = {});
 

@@ -79,8 +79,9 @@ util::Result<AttributeGroupingResult> GroupAttributes(
     lo.phi = options.phi_a;
     aib_inputs = LimboPhase1(objects, lo,
                              options.phi_a * info / static_cast<double>(q));
-    LIMBO_ASSIGN_OR_RETURN(std::vector<uint32_t> labels,
-                           LimboPhase3(objects, aib_inputs));
+    LIMBO_ASSIGN_OR_RETURN(
+        std::vector<uint32_t> labels,
+        LimboPhase3(objects, aib_inputs, nullptr, options.threads));
     leaf_members.assign(aib_inputs.size(), fd::AttributeSet());
     for (size_t i = 0; i < q; ++i) {
       leaf_members[labels[i]] =
@@ -94,7 +95,9 @@ util::Result<AttributeGroupingResult> GroupAttributes(
     }
   }
 
-  LIMBO_ASSIGN_OR_RETURN(result.aib, AgglomerativeIb(aib_inputs));
+  AibOptions aib_options;
+  aib_options.threads = options.threads;
+  LIMBO_ASSIGN_OR_RETURN(result.aib, AgglomerativeIb(aib_inputs, aib_options));
 
   result.cluster_members = std::move(leaf_members);
   result.cluster_members.resize(aib_inputs.size() +

@@ -36,6 +36,9 @@ struct AttributeGroupingOptions {
   /// φ_A; the paper uses 0.0 (exact AIB) since m is small. Values > 0
   /// pre-merge attributes whose loss is below φ_A · I(A;CV_D)/|A_D|.
   double phi_a = 0.0;
+  /// Worker lanes for the pairwise AIB distance build and the Phase-3
+  /// scan (0 = default lane count, 1 = serial; results bit-identical).
+  size_t threads = 0;
 };
 
 /// Groups the attributes of `rel` using the duplicate value groups in

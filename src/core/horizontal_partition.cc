@@ -25,11 +25,13 @@ util::Result<HorizontalPartitionResult> HorizontallyPartition(
   limbo_options.branching = options.branching;
   limbo_options.leaf_capacity = options.leaf_capacity;
   limbo_options.k = 0;  // full dendrogram; we pick k ourselves
+  limbo_options.threads = options.threads;
   LIMBO_ASSIGN_OR_RETURN(LimboResult limbo, RunLimbo(objects, limbo_options));
 
   HorizontalPartitionResult result;
   result.mutual_information = limbo.mutual_information;
   result.num_leaves = limbo.leaves.size();
+  result.timings = limbo.timings;
 
   // I(C_leaves; V): information still present after Phase 1.
   WeightedRows leaf_rows;
@@ -93,7 +95,8 @@ util::Result<HorizontalPartitionResult> HorizontallyPartition(
   // Phase 2 representatives at the chosen k + Phase 3 assignment.
   LIMBO_ASSIGN_OR_RETURN(std::vector<Dcf> reps,
                          ClusterDcfsAtK(limbo.leaves, limbo.aib, chosen));
-  LIMBO_ASSIGN_OR_RETURN(result.assignments, LimboPhase3(objects, reps));
+  LIMBO_ASSIGN_OR_RETURN(result.assignments,
+                         LimboPhase3(objects, reps, nullptr, options.threads));
 
   result.cluster_sizes.assign(chosen, 0);
   std::vector<std::unordered_set<relation::ValueId>> values(chosen);

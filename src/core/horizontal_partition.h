@@ -21,6 +21,9 @@ struct HorizontalPartitionOptions {
   /// Search range for the automatic k (inclusive).
   size_t min_k = 2;
   size_t max_k = 10;
+  /// Worker lanes for the clustering hot paths (0 = default lane count,
+  /// 1 = serial; results bit-identical).
+  size_t threads = 0;
 };
 
 /// Statistics of the k-clustering, for the paper's "rate of change"
@@ -60,6 +63,8 @@ struct HorizontalPartitionResult {
   double info_loss_vs_leaves = 0.0;
   double mutual_information = 0.0;
   size_t num_leaves = 0;
+  /// Per-phase wall time of the underlying LIMBO run.
+  PhaseTimings timings;
 };
 
 /// Horizontal partitioning (Section 6.1.2): full LIMBO clustering of the

@@ -40,11 +40,15 @@ namespace {
 /// based alternative is quadratic when the marginal support is large.
 std::vector<double> DenseMarginal(const WeightedRows& data) {
   LIMBO_CHECK(data.weights.size() == data.rows.size());
+  // Scan every entry for the max id rather than trusting entries().back():
+  // SparseDistribution promises sorted entries, but a row that violates
+  // that (e.g. from a hand-built or deserialized source) must not make the
+  // accumulation below write out of bounds. Same O(total nnz) complexity.
   uint32_t max_id = 0;
   bool any = false;
   for (const auto& row : data.rows) {
-    if (!row.Empty()) {
-      max_id = std::max(max_id, row.entries().back().id);
+    for (const auto& e : row.entries()) {
+      max_id = std::max(max_id, e.id);
       any = true;
     }
   }
@@ -53,6 +57,7 @@ std::vector<double> DenseMarginal(const WeightedRows& data) {
     const double w = data.weights[i];
     if (w <= 0.0) continue;
     for (const auto& e : data.rows[i].entries()) {
+      LIMBO_CHECK(e.id < dense.size());
       dense[e.id] += w * e.mass;
     }
   }

@@ -1,11 +1,24 @@
 #include "core/limbo.h"
 
+#include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "core/info.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace limbo::core {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 std::vector<Dcf> LimboPhase1(const std::vector<Dcf>& objects,
                              const LimboOptions& options, double threshold,
@@ -22,25 +35,31 @@ std::vector<Dcf> LimboPhase1(const std::vector<Dcf>& objects,
 
 util::Result<std::vector<uint32_t>> LimboPhase3(
     const std::vector<Dcf>& objects, const std::vector<Dcf>& representatives,
-    std::vector<double>* loss) {
+    std::vector<double>* loss, size_t threads) {
   if (representatives.empty()) {
     return util::Status::InvalidArgument("Phase 3 needs >= 1 representative");
   }
   std::vector<uint32_t> labels(objects.size());
   if (loss != nullptr) loss->assign(objects.size(), 0.0);
-  for (size_t i = 0; i < objects.size(); ++i) {
-    size_t best = 0;
-    double best_loss = std::numeric_limits<double>::infinity();
-    for (size_t r = 0; r < representatives.size(); ++r) {
-      const double d = InformationLoss(objects[i], representatives[r]);
-      if (d < best_loss) {
-        best_loss = d;
-        best = r;
+  // Each object's argmin is independent and writes only its own label /
+  // loss cell, so the scan parallelizes with bit-identical results.
+  util::ThreadPool pool(threads);
+  pool.ParallelFor(0, objects.size(), /*grain=*/64,
+                   [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      size_t best = 0;
+      double best_loss = std::numeric_limits<double>::infinity();
+      for (size_t r = 0; r < representatives.size(); ++r) {
+        const double d = InformationLoss(objects[i], representatives[r]);
+        if (d < best_loss) {
+          best_loss = d;
+          best = r;
+        }
       }
+      labels[i] = static_cast<uint32_t>(best);
+      if (loss != nullptr) (*loss)[i] = best_loss;
     }
-    labels[i] = static_cast<uint32_t>(best);
-    if (loss != nullptr) (*loss)[i] = best_loss;
-  }
+  });
   return labels;
 }
 
@@ -71,24 +90,37 @@ util::Result<LimboResult> RunLimbo(const std::vector<Dcf>& objects,
   result.threshold = options.phi * result.mutual_information /
                      static_cast<double>(objects.size());
 
+  const auto phase1_start = std::chrono::steady_clock::now();
   result.leaves =
       LimboPhase1(objects, options, result.threshold, &result.tree_stats);
+  result.timings.phase1_seconds = SecondsSince(phase1_start);
 
   AibOptions aib_options;
-  aib_options.min_k = (options.k > 0 && options.k <= result.leaves.size())
-                          ? options.k
-                          : 1;
+  aib_options.threads = options.threads;
+  // Clip k to the Phase-1 leaf count: with fewer leaves than requested
+  // clusters the best LIMBO can do is one cluster per leaf (not one big
+  // cluster, which a min_k=1 fallback would produce).
+  aib_options.min_k =
+      options.k > 0 ? std::min(options.k, result.leaves.size()) : 1;
   LIMBO_ASSIGN_OR_RETURN(result.aib,
                          AgglomerativeIb(result.leaves, aib_options));
+  result.timings.phase2_seconds = result.aib.stats().seconds;
+  result.timings.phase2_distance_evals = result.aib.stats().distance_evals;
+  result.timings.threads = result.aib.stats().threads;
 
   if (options.k > 0) {
     const size_t k = aib_options.min_k;  // clipped to leaf count
     LIMBO_ASSIGN_OR_RETURN(
         result.representatives,
         ClusterDcfsAtK(result.leaves, result.aib, k));
+    const auto phase3_start = std::chrono::steady_clock::now();
     LIMBO_ASSIGN_OR_RETURN(
         result.assignments,
-        LimboPhase3(objects, result.representatives, &result.assignment_loss));
+        LimboPhase3(objects, result.representatives, &result.assignment_loss,
+                    options.threads));
+    result.timings.phase3_seconds = SecondsSince(phase3_start);
+    result.timings.phase3_distance_evals =
+        static_cast<uint64_t>(objects.size()) * result.representatives.size();
   }
   return result;
 }

@@ -24,7 +24,29 @@ struct LimboOptions {
   int leaf_capacity = 0;
   /// Number of clusters for Phases 2–3; 0 runs Phase 2 down to k = 1 and
   /// skips Phase 3 (useful when the caller wants the whole dendrogram).
+  /// Values above the Phase-1 leaf count are clipped to the leaf count.
   size_t k = 0;
+  /// Worker lanes for the Phase-2 distance scans and the Phase-3
+  /// assignment scan. 0 = LIMBO_THREADS env var / hardware concurrency
+  /// (util::DefaultThreadCount), 1 = serial. Every value produces
+  /// bit-identical results.
+  size_t threads = 0;
+};
+
+/// Wall-time and work counters of one RunLimbo invocation.
+struct PhaseTimings {
+  /// Phase-1 (DCF tree build) wall-time, seconds.
+  double phase1_seconds = 0.0;
+  /// Phase-2 (AIB over the leaves) wall-time, seconds.
+  double phase2_seconds = 0.0;
+  /// Phase-3 (re-assignment scan) wall-time, seconds.
+  double phase3_seconds = 0.0;
+  /// InformationLoss evaluations in Phase 2 (matrix build + refreshes).
+  uint64_t phase2_distance_evals = 0;
+  /// InformationLoss evaluations in Phase 3 (objects × representatives).
+  uint64_t phase3_distance_evals = 0;
+  /// Resolved worker-lane count the run executed with.
+  size_t threads = 1;
 };
 
 /// Everything a LIMBO run produces.
@@ -44,6 +66,8 @@ struct LimboResult {
   /// Phase-3 information loss of each object's assignment.
   std::vector<double> assignment_loss;
   DcfTree::Stats tree_stats;
+  /// Per-phase wall-time and distance-evaluation counters.
+  PhaseTimings timings;
 };
 
 /// Phase 1 only: builds the DCF tree over `objects` with the given
@@ -54,10 +78,12 @@ std::vector<Dcf> LimboPhase1(const std::vector<Dcf>& objects,
 
 /// Phase 3 only: assigns each object to the representative with minimal
 /// information loss. Returns labels; per-object losses go to `loss` if
-/// non-null. Deterministic: ties pick the lowest representative index.
+/// non-null. Deterministic: ties pick the lowest representative index,
+/// and results are bit-identical for every `threads` value (0 = default
+/// lane count, 1 = serial).
 util::Result<std::vector<uint32_t>> LimboPhase3(
     const std::vector<Dcf>& objects, const std::vector<Dcf>& representatives,
-    std::vector<double>* loss = nullptr);
+    std::vector<double>* loss = nullptr, size_t threads = 0);
 
 /// Full pipeline: computes I(V;T), runs Phase 1 with threshold φ·I/q,
 /// Phase 2 (AIB on the leaves) and, when options.k > 0, Phase 3.

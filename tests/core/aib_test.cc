@@ -125,6 +125,70 @@ TEST(AibTest, DeterministicAcrossRuns) {
   }
 }
 
+/// Runs parametrized over the worker-lane count: every result must be
+/// bit-identical to the serial path.
+class AibThreadsTest : public ::testing::TestWithParam<size_t> {};
+
+/// Regression: recompute_nn used to tie-break equal distances on *slot
+/// index* while the global selection tie-broke on *cluster id*. With all
+/// distances equal, slots recycled by merges then steered the merge order
+/// away from the documented scipy-style id order (e.g. the second merge
+/// became {6, 2} instead of {2, 3}).
+TEST_P(AibThreadsTest, EqualDistanceMergeOrderFollowsClusterIds) {
+  std::vector<Dcf> inputs;
+  for (int i = 0; i < 6; ++i) inputs.push_back(MakeDcf(1.0 / 6, {0, 1}));
+  AibOptions options;
+  options.threads = GetParam();
+  auto result = AgglomerativeIb(inputs, options);
+  ASSERT_TRUE(result.ok());
+  const auto& merges = result->merges();
+  ASSERT_EQ(merges.size(), 5u);
+  const uint32_t expected[][2] = {{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}};
+  for (size_t i = 0; i < merges.size(); ++i) {
+    EXPECT_EQ(merges[i].left, expected[i][0]) << "merge " << i;
+    EXPECT_EQ(merges[i].right, expected[i][1]) << "merge " << i;
+    EXPECT_NEAR(merges[i].delta_i, 0.0, 1e-12);
+  }
+}
+
+TEST_P(AibThreadsTest, BitIdenticalToSerial) {
+  std::vector<Dcf> inputs;
+  for (uint32_t i = 0; i < 40; ++i) {
+    inputs.push_back(MakeDcf((1.0 + i % 3) / 80.0,
+                             {i % 7, 7 + (i * 3) % 11, 18 + (i * 5) % 13}));
+  }
+  AibOptions serial;
+  serial.threads = 1;
+  AibOptions parallel;
+  parallel.threads = GetParam();
+  auto a = AgglomerativeIb(inputs, serial);
+  auto b = AgglomerativeIb(inputs, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->merges().size(), b->merges().size());
+  for (size_t i = 0; i < a->merges().size(); ++i) {
+    EXPECT_EQ(a->merges()[i].left, b->merges()[i].left) << "merge " << i;
+    EXPECT_EQ(a->merges()[i].right, b->merges()[i].right) << "merge " << i;
+    // EXPECT_EQ on doubles: the losses must match bit-for-bit, not
+    // approximately — the parallel path computes the exact same FP ops.
+    EXPECT_EQ(a->merges()[i].delta_i, b->merges()[i].delta_i);
+    EXPECT_EQ(a->merges()[i].cumulative_loss, b->merges()[i].cumulative_loss);
+    EXPECT_EQ(a->merges()[i].p_merged, b->merges()[i].p_merged);
+  }
+  EXPECT_EQ(b->stats().threads, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, AibThreadsTest, ::testing::Values(1, 4));
+
+TEST(AibStatsTest, CountsDistanceEvaluations) {
+  auto result = AgglomerativeIb(TwoNaturalClusters());
+  ASSERT_TRUE(result.ok());
+  // Initial matrix: 4*3/2 = 6. Refreshes: 2 + 1 + 0 after each merge.
+  EXPECT_EQ(result->stats().distance_evals, 9u);
+  EXPECT_GE(result->stats().threads, 1u);
+  EXPECT_GE(result->stats().seconds, 0.0);
+}
+
 TEST(ClusterDcfsAtKTest, MassConserved) {
   const auto inputs = TwoNaturalClusters();
   auto result = AgglomerativeIb(inputs);

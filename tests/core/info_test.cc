@@ -86,6 +86,32 @@ TEST(ConditionalEntropyTest, WeightedAverageOfRowEntropies) {
   EXPECT_NEAR(ConditionalEntropy(rows), 0.5, 1e-12);
 }
 
+/// Regression guard: the dense marginal accumulator used to read
+/// entries().back().id as the max id, trusting sortedness; an unsorted
+/// row (e.g. from a hand-built or deserialized source) could then index
+/// out of bounds. The accumulator now scans every entry for the max, so
+/// the largest id may live anywhere — first row, middle entry — and
+/// construction order must not matter.
+TEST(MarginalTest, DenseAccumulatorScansForMaxId) {
+  WeightedRows rows;
+  rows.weights = {0.25, 0.25, 0.5};
+  // Largest id (900) in the FIRST row; entries handed over unsorted.
+  rows.rows = {
+      SparseDistribution::FromPairs({{900, 1.0}, {2, 1.0}}),
+      SparseDistribution::FromPairs({{7, 2.0}, {3, 2.0}}),
+      SparseDistribution::FromPairs({{3, 1.0}})};
+  const auto marginal = Marginal(rows);
+  EXPECT_NEAR(marginal.MassAt(900), 0.125, 1e-12);
+  EXPECT_NEAR(marginal.MassAt(2), 0.125, 1e-12);
+  EXPECT_NEAR(marginal.MassAt(7), 0.125, 1e-12);
+  EXPECT_NEAR(marginal.MassAt(3), 0.625, 1e-12);
+  EXPECT_NEAR(marginal.TotalMass(), 1.0, 1e-12);
+  // The same accumulator backs MutualInformation; it must agree with the
+  // identity I = H(T) - H(T|O) on this shape too.
+  EXPECT_NEAR(MutualInformation(rows),
+              marginal.Entropy() - ConditionalEntropy(rows), 1e-12);
+}
+
 TEST(MarginalTest, SkipsZeroWeightRows) {
   WeightedRows rows;
   rows.weights = {1.0, 0.0};

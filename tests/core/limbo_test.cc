@@ -129,5 +129,98 @@ TEST(LimboTest, KClampedToLeafCount) {
   EXPECT_GE(result->representatives.size(), 1u);
 }
 
+/// Regression: asking for more clusters than Phase 1 left leaves used to
+/// fall back to min_k = 1, silently collapsing everything into a single
+/// cluster. The correct clip is to the leaf count: one cluster per leaf.
+TEST(LimboTest, KAboveLeafCountYieldsOneClusterPerLeaf) {
+  // phi = 0 merges only identical objects: the 30 planted objects span 6
+  // distinct DCFs (3 templates x 2 jitter values), so 6 leaves.
+  LimboOptions options;
+  options.phi = 0.0;
+  options.k = 10;  // more than the 6 leaves, fewer than the 30 objects
+  auto result = RunLimbo(ThreePlantedClusters(), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->leaves.size(), 1u);
+  ASSERT_LT(result->leaves.size(), options.k);
+  EXPECT_EQ(result->representatives.size(), result->leaves.size());
+  // Every leaf keeps its own cluster, so all leaf-count labels occur.
+  std::vector<bool> used(result->representatives.size(), false);
+  for (uint32_t label : result->assignments) {
+    ASSERT_LT(label, used.size());
+    used[label] = true;
+  }
+  for (size_t c = 0; c < used.size(); ++c) {
+    EXPECT_TRUE(used[c]) << "cluster " << c << " empty";
+  }
+}
+
+/// Runs parametrized over the worker-lane count: merge sequences,
+/// assignments and losses must be bit-identical to the serial path.
+class LimboThreadsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LimboThreadsTest, BitIdenticalToSerial) {
+  const auto objects = ThreePlantedClusters();
+  LimboOptions serial;
+  serial.phi = 0.2;
+  serial.k = 3;
+  serial.threads = 1;
+  LimboOptions parallel = serial;
+  parallel.threads = GetParam();
+  auto a = RunLimbo(objects, serial);
+  auto b = RunLimbo(objects, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Phase-2 merge sequence, bit-for-bit (EXPECT_EQ on doubles is exact).
+  ASSERT_EQ(a->aib.merges().size(), b->aib.merges().size());
+  for (size_t i = 0; i < a->aib.merges().size(); ++i) {
+    EXPECT_EQ(a->aib.merges()[i].left, b->aib.merges()[i].left);
+    EXPECT_EQ(a->aib.merges()[i].right, b->aib.merges()[i].right);
+    EXPECT_EQ(a->aib.merges()[i].delta_i, b->aib.merges()[i].delta_i);
+  }
+  // Phase-3 assignments and losses.
+  EXPECT_EQ(a->assignments, b->assignments);
+  ASSERT_EQ(a->assignment_loss.size(), b->assignment_loss.size());
+  for (size_t i = 0; i < a->assignment_loss.size(); ++i) {
+    EXPECT_EQ(a->assignment_loss[i], b->assignment_loss[i]);
+  }
+  EXPECT_EQ(b->timings.threads, GetParam());
+}
+
+TEST_P(LimboThreadsTest, Phase3BitIdenticalToSerial) {
+  const auto objects = ThreePlantedClusters();
+  const std::vector<Dcf> reps = {MakeDcf(0.4, {0, 1, 2}),
+                                 MakeDcf(0.3, {100, 101, 102}),
+                                 MakeDcf(0.3, {200, 201, 202})};
+  std::vector<double> serial_loss;
+  std::vector<double> parallel_loss;
+  auto a = LimboPhase3(objects, reps, &serial_loss, 1);
+  auto b = LimboPhase3(objects, reps, &parallel_loss, GetParam());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  ASSERT_EQ(serial_loss.size(), parallel_loss.size());
+  for (size_t i = 0; i < serial_loss.size(); ++i) {
+    EXPECT_EQ(serial_loss[i], parallel_loss[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, LimboThreadsTest, ::testing::Values(1, 4));
+
+TEST(LimboTest, PhaseTimingsPopulated) {
+  LimboOptions options;
+  options.phi = 0.2;
+  options.k = 3;
+  auto result = RunLimbo(ThreePlantedClusters(), options);
+  ASSERT_TRUE(result.ok());
+  const PhaseTimings& t = result->timings;
+  EXPECT_GE(t.threads, 1u);
+  EXPECT_GT(t.phase2_distance_evals, 0u);
+  EXPECT_EQ(t.phase3_distance_evals,
+            30u * result->representatives.size());
+  EXPECT_GE(t.phase1_seconds, 0.0);
+  EXPECT_GE(t.phase2_seconds, 0.0);
+  EXPECT_GE(t.phase3_seconds, 0.0);
+}
+
 }  // namespace
 }  // namespace limbo::core

@@ -1,0 +1,102 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace limbo::util {
+namespace {
+
+TEST(DefaultThreadCountTest, AtLeastOne) {
+  EXPECT_GE(DefaultThreadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;
+  pool.ParallelFor(0, 100, 8, [&](size_t lo, size_t hi) {
+    EXPECT_LT(lo, hi);
+    seen.push_back(std::this_thread::get_id());
+  });
+  ASSERT_FALSE(seen.empty());
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{3}, size_t{4}}) {
+    ThreadPool pool(threads);
+    constexpr size_t kN = 1237;  // not a multiple of any grain below
+    for (size_t grain : {size_t{1}, size_t{7}, size_t{64}, size_t{5000}}) {
+      std::vector<std::atomic<int>> hits(kN);
+      pool.ParallelFor(0, kN, grain, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(hits[i].load(), 1)
+            << "index " << i << " threads=" << threads << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndOffsetRanges) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(5, 5, 4, [&](size_t, size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  std::vector<int> hits(20, 0);
+  pool.ParallelFor(10, 20, 3, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(hits[i], 0);
+  for (size_t i = 10; i < 20; ++i) EXPECT_EQ(hits[i], 1);
+}
+
+TEST(ThreadPoolTest, ResultsIndependentOfThreadCount) {
+  // Per-index writes: any lane count must produce the identical vector.
+  constexpr size_t kN = 501;
+  auto run = [&](size_t threads) {
+    std::vector<double> out(kN);
+    ThreadPool pool(threads);
+    pool.ParallelFor(0, kN, 16, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        out[i] = static_cast<double>(i) * 0.1 + 1.0 / (i + 1.0);
+      }
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(4), serial);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyDispatches) {
+  ThreadPool pool(4);
+  std::vector<int64_t> data(256);
+  std::iota(data.begin(), data.end(), 0);
+  int64_t expected = 0;
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(0, data.size(), 8, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) ++data[i];
+    });
+    ++expected;
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(data[i], static_cast<int64_t>(i) + expected);
+  }
+}
+
+TEST(ParallelForTest, SharedPoolConvenience) {
+  std::vector<int> hits(64, 0);
+  ParallelFor(0, hits.size(), 4, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace limbo::util

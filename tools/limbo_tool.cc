@@ -16,7 +16,12 @@
 //   limbo-tool report     data.csv [--out=report.md] [--psi=0.5]
 //
 // Input: CSV with a header row; empty fields are NULLs.
+//
+// Every command accepts --threads=N to set the worker-lane count of the
+// clustering hot paths (default: LIMBO_THREADS env var, else hardware
+// concurrency; results are bit-identical for any value).
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -270,6 +275,7 @@ int CmdPartition(const relation::Relation& rel, const Args& args) {
   options.k = args.GetSize("k", 0);
   options.phi = args.GetDouble("phi", options.phi);
   options.max_k = args.GetSize("max-k", options.max_k);
+  options.threads = args.GetSize("threads", 0);
   auto result = core::HorizontallyPartition(rel, options);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -288,6 +294,12 @@ int CmdPartition(const relation::Relation& rel, const Args& args) {
     std::printf("  k=%-4zu deltaI=%.5f H(C|V)=%.5f\n", s.k, s.delta_i,
                 s.conditional_entropy);
   }
+  const core::PhaseTimings& t = result->timings;
+  std::printf(
+      "timings (threads=%zu): phase1=%.3fs phase2=%.3fs (%" PRIu64
+      " distance evals) phase3=%.3fs\n",
+      t.threads, t.phase1_seconds, t.phase2_seconds, t.phase2_distance_evals,
+      t.phase3_seconds);
   return 0;
 }
 
@@ -489,6 +501,12 @@ int CmdGenerate(const Args& args) {
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage();
+  // --threads=N applies to every command: publish it as LIMBO_THREADS so
+  // all thread-count resolution (util::DefaultThreadCount) sees it. Must
+  // happen before any clustering call caches the value.
+  if (args.Has("threads")) {
+    setenv("LIMBO_THREADS", args.GetString("threads", "1").c_str(), 1);
+  }
   if (args.command == "generate") return CmdGenerate(args);
   const char* const kCommands[] = {"profile", "summary", "duplicates",
                                    "values", "fds", "approx-fds", "mvds",
