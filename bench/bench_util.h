@@ -80,6 +80,68 @@ inline void PrintThreadScalingJson(const char* benchmark, size_t tuples,
   std::printf("]}\n");
 }
 
+/// One row of the `--kernel` microbenchmark: a support-size shape and
+/// the measured per-evaluation cost of the per-pair reference
+/// formulation vs the batch LossKernel.
+struct KernelCaseRow {
+  std::string name;
+  size_t object_support = 0;
+  size_t candidate_support = 0;
+  double per_pair_ns_per_eval = 0.0;
+  double batch_ns_per_eval = 0.0;
+  double max_abs_diff = 0.0;  // batch vs per-pair, should be ~0
+};
+
+/// End-to-end Phase-2 + Phase-3 timings of the two dispatch modes at one
+/// input size, single-threaded.
+struct KernelEndToEndRow {
+  size_t tuples = 0;
+  size_t leaves = 0;
+  double phase2_per_pair_seconds = 0.0;
+  double phase2_batch_seconds = 0.0;
+  double phase3_per_pair_seconds = 0.0;
+  double phase3_batch_seconds = 0.0;
+  bool bit_identical = false;
+};
+
+/// Emits the kernel benchmark as one JSON object on stdout.
+inline void PrintKernelJson(const std::vector<KernelCaseRow>& micro,
+                            const KernelEndToEndRow& e2e) {
+  std::printf("{\"benchmark\": \"limbo_kernel\", \"micro\": [");
+  for (size_t i = 0; i < micro.size(); ++i) {
+    const KernelCaseRow& r = micro[i];
+    const double speedup = r.batch_ns_per_eval > 0.0
+                               ? r.per_pair_ns_per_eval / r.batch_ns_per_eval
+                               : 0.0;
+    std::printf(
+        "%s{\"case\": \"%s\", \"object_support\": %zu, "
+        "\"candidate_support\": %zu, \"per_pair_ns_per_eval\": %.1f, "
+        "\"batch_ns_per_eval\": %.1f, \"speedup\": %.2f, "
+        "\"max_abs_diff\": %.3g}",
+        i == 0 ? "" : ", ", r.name.c_str(), r.object_support,
+        r.candidate_support, r.per_pair_ns_per_eval, r.batch_ns_per_eval,
+        speedup, r.max_abs_diff);
+  }
+  const double p2_speedup = e2e.phase2_batch_seconds > 0.0
+                                ? e2e.phase2_per_pair_seconds /
+                                      e2e.phase2_batch_seconds
+                                : 0.0;
+  const double p3_speedup = e2e.phase3_batch_seconds > 0.0
+                                ? e2e.phase3_per_pair_seconds /
+                                      e2e.phase3_batch_seconds
+                                : 0.0;
+  std::printf(
+      "], \"end_to_end\": {\"tuples\": %zu, \"leaves\": %zu, "
+      "\"phase2_per_pair_seconds\": %.6f, \"phase2_batch_seconds\": %.6f, "
+      "\"phase2_speedup\": %.2f, \"phase3_per_pair_seconds\": %.6f, "
+      "\"phase3_batch_seconds\": %.6f, \"phase3_speedup\": %.2f, "
+      "\"bit_identical\": %s}}\n",
+      e2e.tuples, e2e.leaves, e2e.phase2_per_pair_seconds,
+      e2e.phase2_batch_seconds, p2_speedup, e2e.phase3_per_pair_seconds,
+      e2e.phase3_batch_seconds, p3_speedup,
+      e2e.bit_identical ? "true" : "false");
+}
+
 /// Tuple-cluster labels from a Phase-1 + Phase-3 run at the given φ_T
 /// (used as the Double Clustering input of Section 6.2).
 inline std::vector<uint32_t> TupleClusterLabels(const relation::Relation& rel,

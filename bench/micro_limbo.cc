@@ -3,14 +3,22 @@
 // AIB is quadratic in the number of objects, LIMBO Phase 1 is near-linear
 // with a bounded number of summaries.
 //
-// Special mode: `micro_limbo --thread-scaling [--tuples=N]` skips the
-// google-benchmark suite and instead sweeps the LIMBO worker-lane count
-// over a DBLP-sized input, emitting one JSON object (threads -> per-phase
-// wall time) and cross-checking that every lane count reproduces the
-// serial merge sequence and assignments bit-for-bit.
+// Special modes (skip the google-benchmark suite):
+//  * `micro_limbo --thread-scaling [--tuples=N]` sweeps the LIMBO
+//    worker-lane count over a DBLP-sized input, emitting one JSON object
+//    (threads -> per-phase wall time) and cross-checking that every lane
+//    count reproduces the serial merge sequence bit-for-bit.
+//  * `micro_limbo --kernel [--tuples=N]` benchmarks the δI distance
+//    kernel: per-pair dispatch vs the arena batch kernel across support
+//    shapes, plus a single-threaded Phase-2 + Phase-3 comparison of the
+//    two dispatch modes, with a built-in bit-identity check. Its output
+//    is what BENCH_kernel.json records.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <vector>
 
@@ -226,22 +234,218 @@ int RunThreadScaling(size_t tuples) {
   return deterministic ? 0 : 1;
 }
 
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Per-pair reference δI: Eq. 3 through the generic JsDivergence, the
+/// pre-kernel formulation every result is checked against.
+double ReferencePairLoss(const core::Dcf& a, const core::Dcf& b) {
+  const double total = a.p + b.p;
+  if (total <= 0.0) return 0.0;
+  return total * core::JsDivergence(a.p / total, a.cond, b.p / total, b.cond);
+}
+
+/// Measures one micro case: `n_candidates` candidates scored against one
+/// object, per-pair formulation vs batch kernel. Repeats until each arm
+/// has run for >= 50ms and reports ns per evaluation.
+bench::KernelCaseRow MeasureKernelCase(const char* name, size_t so, size_t sc,
+                                       uint64_t seed) {
+  constexpr size_t kCandidates = 64;
+  util::Random rng(seed);
+  const uint32_t universe = static_cast<uint32_t>(2 * (so + sc));
+  auto random_support = [&](size_t support) {
+    std::vector<uint32_t> ids;
+    ids.reserve(support);
+    while (ids.size() < support) {
+      const uint32_t id = static_cast<uint32_t>(rng.Uniform(universe));
+      bool dup = false;
+      for (uint32_t seen : ids) dup |= (seen == id);
+      if (!dup) ids.push_back(id);
+    }
+    return core::SparseDistribution::UniformOver(ids);
+  };
+  core::Dcf object;
+  object.p = 0.3;
+  object.cond = random_support(so);
+  std::vector<core::Dcf> candidates(kCandidates);
+  core::DistributionArena arena;
+  std::vector<double> cand_p(kCandidates);
+  for (size_t i = 0; i < kCandidates; ++i) {
+    candidates[i].p = 0.7 / static_cast<double>(kCandidates);
+    candidates[i].cond = random_support(sc);
+    cand_p[i] = candidates[i].p;
+    arena.Append(candidates[i].cond);
+  }
+  // The batch arm reads both sides from the arena, exactly as the AIB
+  // scans do (cached logs on object and candidates alike).
+  const size_t object_row = arena.Append(object.cond);
+
+  bench::KernelCaseRow row;
+  row.name = name;
+  row.object_support = so;
+  row.candidate_support = sc;
+  double sink = 0.0;
+
+  uint64_t evals = 0;
+  auto start = std::chrono::steady_clock::now();
+  while (Seconds(start) < 0.05) {
+    for (const core::Dcf& c : candidates) sink += ReferencePairLoss(object, c);
+    evals += kCandidates;
+  }
+  row.per_pair_ns_per_eval = Seconds(start) * 1e9 / static_cast<double>(evals);
+
+  core::LossKernel kernel;
+  evals = 0;
+  start = std::chrono::steady_clock::now();
+  while (Seconds(start) < 0.05) {
+    kernel.SetObject(object.p, arena.Row(object_row));
+    for (size_t i = 0; i < kCandidates; ++i) {
+      sink += kernel.Loss(cand_p[i], arena.Row(i));
+    }
+    evals += kCandidates;
+  }
+  row.batch_ns_per_eval = Seconds(start) * 1e9 / static_cast<double>(evals);
+  benchmark::DoNotOptimize(sink);
+
+  kernel.SetObject(object.p, arena.Row(object_row));
+  for (size_t i = 0; i < kCandidates; ++i) {
+    const double diff = std::abs(kernel.Loss(cand_p[i], arena.Row(i)) -
+                                 ReferencePairLoss(object, candidates[i]));
+    row.max_abs_diff = std::max(row.max_abs_diff, diff);
+  }
+  return row;
+}
+
+/// Kernel benchmark mode: micro sweep over support shapes, then a
+/// single-threaded Phase-2 + Phase-3 comparison of per-pair vs batch
+/// dispatch on the DBLP input, with a bit-identity check.
+int RunKernelBench(size_t tuples) {
+  std::vector<bench::KernelCaseRow> micro;
+  micro.push_back(MeasureKernelCase("equal_8", 8, 8, 1));
+  micro.push_back(MeasureKernelCase("equal_64", 64, 64, 2));
+  micro.push_back(MeasureKernelCase("equal_512", 512, 512, 3));
+  micro.push_back(MeasureKernelCase("small_obj_vs_4096", 8, 4096, 4));
+  micro.push_back(MeasureKernelCase("large_obj_vs_8", 4096, 8, 5));
+
+  datagen::DblpOptions dblp_options;
+  dblp_options.target_tuples = tuples;
+  const relation::Relation rel = datagen::GenerateDblp(dblp_options);
+  const std::vector<core::Dcf> objects = core::BuildTupleObjects(rel);
+  core::WeightedRows rows;
+  for (const core::Dcf& o : objects) {
+    rows.weights.push_back(o.p);
+    rows.rows.push_back(o.cond);
+  }
+  const double info = core::MutualInformation(rows);
+  core::LimboOptions limbo_options;
+  limbo_options.phi = 0.5;
+  const double threshold =
+      0.5 * info / static_cast<double>(objects.size());
+  const std::vector<core::Dcf> leaves =
+      core::LimboPhase1(objects, limbo_options, threshold);
+
+  bench::KernelEndToEndRow e2e;
+  e2e.tuples = objects.size();
+  e2e.leaves = leaves.size();
+  e2e.bit_identical = true;
+
+  core::AibOptions aib_options;
+  aib_options.threads = 1;
+  constexpr int kReps = 3;
+  util::Result<core::AibResult> batch_aib =
+      util::Status::InvalidArgument("unset");
+  util::Result<core::AibResult> pair_aib =
+      util::Status::InvalidArgument("unset");
+  e2e.phase2_batch_seconds = 1e30;
+  e2e.phase2_per_pair_seconds = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    aib_options.kernel = core::AibOptions::DistanceKernel::kBatch;
+    auto start = std::chrono::steady_clock::now();
+    batch_aib = core::AgglomerativeIb(leaves, aib_options);
+    e2e.phase2_batch_seconds =
+        std::min(e2e.phase2_batch_seconds, Seconds(start));
+    aib_options.kernel = core::AibOptions::DistanceKernel::kPerPair;
+    start = std::chrono::steady_clock::now();
+    pair_aib = core::AgglomerativeIb(leaves, aib_options);
+    e2e.phase2_per_pair_seconds =
+        std::min(e2e.phase2_per_pair_seconds, Seconds(start));
+  }
+  if (!batch_aib.ok() || !pair_aib.ok()) {
+    std::fprintf(stderr, "AIB failed\n");
+    return 1;
+  }
+  const auto& bm = batch_aib->merges();
+  const auto& pm = pair_aib->merges();
+  bool same = bm.size() == pm.size();
+  for (size_t i = 0; same && i < bm.size(); ++i) {
+    same = bm[i].left == pm[i].left && bm[i].right == pm[i].right &&
+           bm[i].delta_i == pm[i].delta_i &&
+           bm[i].cumulative_loss == pm[i].cumulative_loss;
+  }
+  e2e.bit_identical = e2e.bit_identical && same;
+
+  const size_t k = std::min<size_t>(10, leaves.size());
+  auto reps = core::ClusterDcfsAtK(leaves, *batch_aib, k);
+  if (!reps.ok()) {
+    std::fprintf(stderr, "%s\n", reps.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<double> batch_loss;
+  std::vector<double> pair_loss;
+  util::Result<std::vector<uint32_t>> batch_labels =
+      util::Status::InvalidArgument("unset");
+  util::Result<std::vector<uint32_t>> pair_labels =
+      util::Status::InvalidArgument("unset");
+  e2e.phase3_batch_seconds = 1e30;
+  e2e.phase3_per_pair_seconds = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    batch_labels = core::LimboPhase3(objects, *reps, &batch_loss, 1,
+                                     /*batch_kernel=*/true);
+    e2e.phase3_batch_seconds =
+        std::min(e2e.phase3_batch_seconds, Seconds(start));
+    start = std::chrono::steady_clock::now();
+    pair_labels = core::LimboPhase3(objects, *reps, &pair_loss, 1,
+                                    /*batch_kernel=*/false);
+    e2e.phase3_per_pair_seconds =
+        std::min(e2e.phase3_per_pair_seconds, Seconds(start));
+  }
+  if (!batch_labels.ok() || !pair_labels.ok()) {
+    std::fprintf(stderr, "Phase 3 failed\n");
+    return 1;
+  }
+  e2e.bit_identical = e2e.bit_identical && *batch_labels == *pair_labels &&
+                      batch_loss == pair_loss;
+
+  bench::PrintKernelJson(micro, e2e);
+  return e2e.bit_identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool thread_scaling = false;
+  bool kernel_bench = false;
   size_t tuples = 50000;
+  bool tuples_given = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--thread-scaling") == 0) {
       thread_scaling = true;
+    } else if (std::strcmp(argv[i], "--kernel") == 0) {
+      kernel_bench = true;
     } else {
       unsigned long long n = 0;
       if (std::sscanf(argv[i], "--tuples=%llu", &n) == 1 && n > 0) {
         tuples = static_cast<size_t>(n);
+        tuples_given = true;
       }
     }
   }
   if (thread_scaling) return RunThreadScaling(tuples);
+  if (kernel_bench) return RunKernelBench(tuples_given ? tuples : 10000);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

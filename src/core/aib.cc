@@ -53,9 +53,35 @@ util::Result<AibResult> AgglomerativeIb(const std::vector<Dcf>& inputs,
   // round-robin chunk->lane mapping balances the triangular initial build.
   constexpr size_t kGrain = 16;
 
+  const bool batch = options.kernel == AibOptions::DistanceKernel::kBatch;
+
   // Per-slot state. slot_cluster_id maps a live slot to its global cluster
-  // id (scipy convention); slot_dcf holds the current merged statistics.
-  std::vector<Dcf> slot_dcf = inputs;
+  // id (scipy convention). In batch mode the conditionals live as arena
+  // rows (slot_row indexes them) with slot_p alongside; in per-pair mode
+  // slot_dcf holds the merged statistics as before. Either way the
+  // conditional masses are bit-identical (AppendMerge replicates
+  // WeightedMerge's expressions), so the two modes agree exactly.
+  std::vector<Dcf> slot_dcf;
+  DistributionArena arena;
+  std::vector<size_t> slot_row;
+  std::vector<double> slot_p(q);
+  for (size_t i = 0; i < q; ++i) slot_p[i] = inputs[i].p;
+  if (batch) {
+    size_t total_entries = 0;
+    for (const Dcf& in : inputs) total_entries += in.cond.SupportSize();
+    // Merged rows append behind the inputs; 2x covers the whole
+    // dendrogram in the common case without a mid-run realloc.
+    arena.ReserveEntries(total_entries * 2);
+    slot_row.resize(q);
+    for (size_t i = 0; i < q; ++i) slot_row[i] = arena.Append(inputs[i].cond);
+  } else {
+    slot_dcf = inputs;
+  }
+  // One δI kernel per lane: the static chunk->lane mapping means each
+  // kernel sees the same rows on every run, so results stay bit-identical
+  // at any thread count.
+  std::vector<LossKernel> kernels(pool.threads());
+
   std::vector<uint32_t> slot_cluster_id(q);
   std::vector<bool> alive(q, true);
   for (size_t i = 0; i < q; ++i) slot_cluster_id[i] = static_cast<uint32_t>(i);
@@ -86,10 +112,20 @@ util::Result<AibResult> AgglomerativeIb(const std::vector<Dcf>& inputs,
 
   // Initial pairwise matrix and NN cache. Every (i, j) writes cells owned
   // by that pair alone, so the static partition is bit-deterministic.
-  pool.ParallelFor(0, q, kGrain, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      for (size_t j = i + 1; j < q; ++j) {
-        dist.Set(i, j, InformationLoss(slot_dcf[i], slot_dcf[j]));
+  pool.ParallelFor(0, q, kGrain, [&](size_t lo, size_t hi, size_t lane) {
+    if (batch) {
+      LossKernel& kernel = kernels[lane];
+      for (size_t i = lo; i < hi; ++i) {
+        kernel.SetObject(slot_p[i], arena.Row(slot_row[i]));
+        for (size_t j = i + 1; j < q; ++j) {
+          dist.Set(i, j, kernel.Loss(slot_p[j], arena.Row(slot_row[j])));
+        }
+      }
+    } else {
+      for (size_t i = lo; i < hi; ++i) {
+        for (size_t j = i + 1; j < q; ++j) {
+          dist.Set(i, j, InformationLoss(slot_dcf[i], slot_dcf[j]));
+        }
       }
     }
   });
@@ -138,23 +174,49 @@ util::Result<AibResult> AgglomerativeIb(const std::vector<Dcf>& inputs,
 
     const double delta = dist.Get(a, b);
     cumulative += delta;
-    Dcf merged = MergeDcf(slot_dcf[a], slot_dcf[b]);
+    // Merge per Eq. 1/2. The batch arm writes the merged conditional
+    // straight into arena scratch with the same per-entry arithmetic as
+    // MergeDcf/WeightedMerge.
+    double p_merged = slot_p[a] + slot_p[b];
+    if (batch) {
+      if (p_merged <= 0.0) {
+        p_merged = 0.0;
+        slot_row[a] = arena.Append(DistributionView{});
+      } else {
+        slot_row[a] = arena.AppendMerge(slot_p[a] / p_merged, slot_row[a],
+                                        slot_p[b] / p_merged, slot_row[b]);
+      }
+    } else {
+      slot_dcf[a] = MergeDcf(slot_dcf[a], slot_dcf[b]);
+      p_merged = slot_dcf[a].p;
+    }
+    slot_p[a] = p_merged;
     merges.push_back(Merge{slot_cluster_id[a], slot_cluster_id[b],
-                           next_cluster_id, delta, cumulative, merged.p});
+                           next_cluster_id, delta, cumulative, p_merged});
 
     // The merged cluster takes slot a; slot b dies.
-    slot_dcf[a] = std::move(merged);
     slot_cluster_id[a] = next_cluster_id++;
     alive[b] = false;
     --live;
 
     // Refresh distances from the merged slot and fix stale NN entries.
     // Each j owns its dist cells and nn/nn_dist slots, so both scans are
-    // safely data-parallel and bit-identical to the serial order.
-    pool.ParallelFor(0, q, kGrain, [&](size_t lo, size_t hi) {
-      for (size_t j = lo; j < hi; ++j) {
-        if (!alive[j] || j == a) continue;
-        dist.Set(a, j, InformationLoss(slot_dcf[a], slot_dcf[j]));
+    // safely data-parallel and bit-identical to the serial order. The
+    // per-merge tag lets each lane scatter the merged row at most once.
+    const uint64_t refresh_tag = next_cluster_id;
+    pool.ParallelFor(0, q, kGrain, [&](size_t lo, size_t hi, size_t lane) {
+      if (batch) {
+        LossKernel& kernel = kernels[lane];
+        kernel.SetObject(slot_p[a], arena.Row(slot_row[a]), refresh_tag);
+        for (size_t j = lo; j < hi; ++j) {
+          if (!alive[j] || j == a) continue;
+          dist.Set(a, j, kernel.Loss(slot_p[j], arena.Row(slot_row[j])));
+        }
+      } else {
+        for (size_t j = lo; j < hi; ++j) {
+          if (!alive[j] || j == a) continue;
+          dist.Set(a, j, InformationLoss(slot_dcf[a], slot_dcf[j]));
+        }
       }
     });
     stats.distance_evals += live - 1;
@@ -263,15 +325,28 @@ util::Result<std::vector<Dcf>> ClusterDcfsAtK(const std::vector<Dcf>& inputs,
   if (inputs.size() != labels.size()) {
     return util::Status::InvalidArgument("inputs/result size mismatch");
   }
+  return MergeDcfsByLabel(inputs, labels, k);
+}
+
+util::Result<std::vector<Dcf>> MergeDcfsByLabel(
+    const std::vector<Dcf>& objects, const std::vector<uint32_t>& labels,
+    size_t k) {
+  if (objects.size() != labels.size()) {
+    return util::Status::InvalidArgument("objects/labels size mismatch");
+  }
   std::vector<Dcf> clusters(k);
   std::vector<bool> seen(k, false);
-  for (size_t i = 0; i < inputs.size(); ++i) {
+  for (size_t i = 0; i < objects.size(); ++i) {
     const uint32_t label = labels[i];
+    if (label >= k) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("label %u out of range [0, %zu)", label, k));
+    }
     if (!seen[label]) {
-      clusters[label] = inputs[i];
+      clusters[label] = objects[i];
       seen[label] = true;
     } else {
-      clusters[label] = MergeDcf(clusters[label], inputs[i]);
+      clusters[label] = MergeDcf(clusters[label], objects[i]);
     }
   }
   return clusters;

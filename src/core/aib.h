@@ -71,6 +71,12 @@ class AibResult {
 
 /// Options for AgglomerativeIb.
 struct AibOptions {
+  /// How δI evaluations are dispatched. Both produce bit-identical
+  /// results (the batch kernel *is* the per-pair kernel, scattered once
+  /// per row instead of once per pair); kPerPair survives as the
+  /// reference arm for the equivalence tests and the kernel benchmark.
+  enum class DistanceKernel { kBatch, kPerPair };
+
   /// Stop when this many clusters remain (1 = full dendrogram).
   size_t min_k = 1;
   /// Worker lanes for the distance-matrix build and per-merge row
@@ -78,6 +84,10 @@ struct AibOptions {
   /// (util::DefaultThreadCount), 1 = serial. Results are bit-identical
   /// for every value.
   size_t threads = 0;
+  /// Distance dispatch. kBatch keeps slot conditionals in a
+  /// DistributionArena and streams each matrix row / refresh through a
+  /// per-lane LossKernel.
+  DistanceKernel kernel = DistanceKernel::kBatch;
 };
 
 /// Agglomerative Information Bottleneck (Slonim & Tishby): greedily merges
@@ -97,6 +107,14 @@ util::Result<AibResult> AgglomerativeIb(const std::vector<Dcf>& inputs,
 util::Result<std::vector<Dcf>> ClusterDcfsAtK(const std::vector<Dcf>& inputs,
                                               const AibResult& result,
                                               size_t k);
+
+/// Merges `objects` into k cluster DCFs by label (Eq. 1/2 per member, in
+/// object order). Labels must lie in [0, k); a label with no members
+/// yields a default (zero-mass, empty) Dcf. Shared by ClusterDcfsAtK and
+/// the horizontal-partitioning refinement loop.
+util::Result<std::vector<Dcf>> MergeDcfsByLabel(
+    const std::vector<Dcf>& objects, const std::vector<uint32_t>& labels,
+    size_t k);
 
 }  // namespace limbo::core
 

@@ -23,10 +23,29 @@ Dcf MergeDcf(const Dcf& a, const Dcf& b) {
   return out;
 }
 
+namespace {
+// One kernel per thread: InformationLoss and InformationLossBatch are the
+// same machine, so per-pair and batch dispatch produce identical bits.
+LossKernel& PairKernel() {
+  thread_local LossKernel kernel;
+  return kernel;
+}
+}  // namespace
+
 double InformationLoss(const Dcf& a, const Dcf& b) {
-  const double total = a.p + b.p;
-  if (total <= 0.0) return 0.0;
-  return total * JsDivergence(a.p / total, a.cond, b.p / total, b.cond);
+  LossKernel& kernel = PairKernel();
+  kernel.SetObject(a.p, a.cond);
+  return kernel.Loss(b.p, b.cond);
+}
+
+void InformationLossBatch(const Dcf& object, std::span<const Dcf> candidates,
+                          std::span<double> out) {
+  LIMBO_CHECK(out.size() == candidates.size());
+  LossKernel& kernel = PairKernel();
+  kernel.SetObject(object.p, object.cond);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    out[i] = kernel.Loss(candidates[i].p, candidates[i].cond);
+  }
 }
 
 }  // namespace limbo::core

@@ -2,6 +2,7 @@
 #define LIMBO_CORE_DCF_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/prob.h"
@@ -31,8 +32,16 @@ Dcf MergeDcf(const Dcf& a, const Dcf& b);
 /// Information loss of merging a and b (Equation 3):
 ///   δI(c1,c2) = [p(c1)+p(c2)] · D_JS[p(T|c1), p(T|c2)]
 /// with JS weights p(ci)/p(c*). Non-negative; 0 iff the conditionals are
-/// identical (or one side has zero mass).
+/// identical (or one side has zero mass). Evaluated through LossKernel,
+/// so it is bit-identical to the batch form below for the same pair.
 double InformationLoss(const Dcf& a, const Dcf& b);
+
+/// δI(object, candidates[i]) for every candidate, through one LossKernel
+/// that scatters the object once. `out.size()` must equal
+/// `candidates.size()`. Equivalent to calling InformationLoss per pair —
+/// exactly, bit for bit — just cheaper.
+void InformationLossBatch(const Dcf& object, std::span<const Dcf> candidates,
+                          std::span<double> out);
 
 }  // namespace limbo::core
 

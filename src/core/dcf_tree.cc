@@ -107,6 +107,7 @@ DcfTree::~DcfTree() = default;
 
 void DcfTree::Insert(const Dcf& object) {
   ++stats_.num_inserts;
+  insert_kernel_.SetObject(object.p, object.cond);
   SplitResult split = InsertInto(root_.get(), object);
   if (split.DidSplit()) {
     // Grow a new root above the two halves.
@@ -152,7 +153,8 @@ DcfTree::SplitResult DcfTree::InsertInto(Node* node, const Dcf& object) {
     size_t best = SIZE_MAX;
     double best_loss = kInf;
     for (size_t i = 0; i < node->leaf_entries.size(); ++i) {
-      const double loss = InformationLoss(object, node->leaf_entries[i]);
+      const double loss = insert_kernel_.Loss(node->leaf_entries[i].p,
+                                              node->leaf_entries[i].cond);
       if (loss < best_loss) {
         best_loss = loss;
         best = i;

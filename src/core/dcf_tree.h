@@ -90,6 +90,10 @@ class DcfTree {
   Options options_;
   Stats stats_;
   std::unique_ptr<Node> root_;
+  /// δI kernel for the descent's leaf-entry search: Insert scatters the
+  /// incoming object once, then every candidate leaf entry streams
+  /// against it — identical bits to per-pair InformationLoss.
+  LossKernel insert_kernel_;
 };
 
 }  // namespace limbo::core

@@ -112,20 +112,11 @@ util::Result<HorizontalPartitionResult> HorizontallyPartition(
 
   // Information retained by the final assignment: I(C;V) over the actual
   // Phase-3 clustering of the objects.
-  std::vector<Dcf> assigned(chosen);
-  std::vector<bool> seen(chosen, false);
-  for (relation::TupleId t = 0; t < n; ++t) {
-    const uint32_t c = result.assignments[t];
-    if (!seen[c]) {
-      assigned[c] = objects[t];
-      seen[c] = true;
-    } else {
-      assigned[c] = MergeDcf(assigned[c], objects[t]);
-    }
-  }
+  LIMBO_ASSIGN_OR_RETURN(std::vector<Dcf> assigned,
+                         MergeDcfsByLabel(objects, result.assignments, chosen));
   WeightedRows final_rows;
   for (size_t c = 0; c < chosen; ++c) {
-    if (!seen[c]) continue;
+    if (assigned[c].p <= 0.0) continue;  // label with no members
     final_rows.weights.push_back(assigned[c].p);
     final_rows.rows.push_back(assigned[c].cond);
   }

@@ -35,25 +35,56 @@ std::vector<Dcf> LimboPhase1(const std::vector<Dcf>& objects,
 
 util::Result<std::vector<uint32_t>> LimboPhase3(
     const std::vector<Dcf>& objects, const std::vector<Dcf>& representatives,
-    std::vector<double>* loss, size_t threads) {
+    std::vector<double>* loss, size_t threads, bool batch_kernel) {
   if (representatives.empty()) {
     return util::Status::InvalidArgument("Phase 3 needs >= 1 representative");
   }
   std::vector<uint32_t> labels(objects.size());
   if (loss != nullptr) loss->assign(objects.size(), 0.0);
+  // Batch arm: representatives live as arena rows (contiguous, cached
+  // logs) and each lane owns a LossKernel that scatters one object, then
+  // streams every representative row against it.
+  DistributionArena arena;
+  std::vector<size_t> rep_row;
+  std::vector<double> rep_p(representatives.size());
+  for (size_t r = 0; r < representatives.size(); ++r) {
+    rep_p[r] = representatives[r].p;
+  }
+  if (batch_kernel) {
+    size_t total_entries = 0;
+    for (const Dcf& r : representatives) total_entries += r.cond.SupportSize();
+    arena.ReserveEntries(total_entries);
+    rep_row.resize(representatives.size());
+    for (size_t r = 0; r < representatives.size(); ++r) {
+      rep_row[r] = arena.Append(representatives[r].cond);
+    }
+  }
   // Each object's argmin is independent and writes only its own label /
   // loss cell, so the scan parallelizes with bit-identical results.
   util::ThreadPool pool(threads);
+  std::vector<LossKernel> kernels(pool.threads());
   pool.ParallelFor(0, objects.size(), /*grain=*/64,
-                   [&](size_t lo, size_t hi) {
+                   [&](size_t lo, size_t hi, size_t lane) {
+    LossKernel& kernel = kernels[lane];
     for (size_t i = lo; i < hi; ++i) {
       size_t best = 0;
       double best_loss = std::numeric_limits<double>::infinity();
-      for (size_t r = 0; r < representatives.size(); ++r) {
-        const double d = InformationLoss(objects[i], representatives[r]);
-        if (d < best_loss) {
-          best_loss = d;
-          best = r;
+      if (batch_kernel) {
+        kernel.SetObject(objects[i].p, objects[i].cond);
+        for (size_t r = 0; r < representatives.size(); ++r) {
+          const double d = kernel.Loss(rep_p[r], arena.Row(rep_row[r]));
+          if (d < best_loss) {
+            best_loss = d;
+            best = r;
+          }
+        }
+      } else {
+        for (size_t r = 0; r < representatives.size(); ++r) {
+          const double d = InformationLoss(objects[i], representatives[r]);
+          if (d < best_loss) {
+            best_loss = d;
+            best = r;
+          }
         }
       }
       labels[i] = static_cast<uint32_t>(best);

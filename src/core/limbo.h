@@ -80,10 +80,15 @@ std::vector<Dcf> LimboPhase1(const std::vector<Dcf>& objects,
 /// information loss. Returns labels; per-object losses go to `loss` if
 /// non-null. Deterministic: ties pick the lowest representative index,
 /// and results are bit-identical for every `threads` value (0 = default
-/// lane count, 1 = serial).
+/// lane count, 1 = serial). `batch_kernel` chooses between the arena
+/// batch scan (default; representatives in a DistributionArena, one
+/// LossKernel per lane) and per-pair InformationLoss — the two are
+/// bit-identical; the flag exists for the equivalence tests and the
+/// kernel benchmark.
 util::Result<std::vector<uint32_t>> LimboPhase3(
     const std::vector<Dcf>& objects, const std::vector<Dcf>& representatives,
-    std::vector<double>* loss = nullptr, size_t threads = 0);
+    std::vector<double>* loss = nullptr, size_t threads = 0,
+    bool batch_kernel = true);
 
 /// Full pipeline: computes I(V;T), runs Phase 1 with threshold φ·I/q,
 /// Phase 2 (AIB on the leaves) and, when options.k > 0, Phase 3.

@@ -121,17 +121,64 @@ double KlDivergence(const SparseDistribution& p, const SparseDistribution& q) {
 
 namespace {
 
+using Entry = SparseDistribution::Entry;
+
+/// First index >= j whose id is >= target, by galloping (exponential
+/// probe doubling from j, then binary search inside the bracketed gap).
+/// O(log gap) per call, and a full left-to-right sweep over ascending
+/// targets costs O(small·log(large/small)) total — never worse than the
+/// plain binary search per probe it replaces, and cache-friendlier
+/// because probes start where the last match ended. `probes` counts id
+/// comparisons when non-null.
+size_t GallopTo(std::span<const Entry> e, size_t j, uint32_t target,
+                uint64_t* probes) {
+  const size_t n = e.size();
+  if (j >= n) return n;
+  if (probes) ++*probes;
+  if (e[j].id >= target) return j;
+  // Invariant: e[lo].id < target.
+  size_t lo = j;
+  size_t step = 1;
+  size_t hi = j + step;
+  while (hi < n) {
+    if (probes) ++*probes;
+    if (e[hi].id >= target) break;
+    lo = hi;
+    step <<= 1;
+    hi = j + step;
+  }
+  if (hi > n) hi = n;
+  while (lo + 1 < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (probes) ++*probes;
+    if (e[mid].id < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+namespace internal {
+
 /// JS divergence when |p| << |q|: for ids only in q the per-id term is
 /// w2 * q_i * log(1/w2), and the q-only mass is 1 - (q-mass at p's ids),
-/// so the whole sum needs only |p| binary searches into q.
+/// so the whole sum needs only |p| galloping lookups into q.
 double JsDivergenceAsymmetric(double w1, const SparseDistribution& p,
-                              double w2, const SparseDistribution& q) {
+                              double w2, const SparseDistribution& q,
+                              uint64_t* probes) {
   const double log_inv_w1 = (w1 > 0.0) ? -std::log2(w1) : 0.0;
   const double log_inv_w2 = (w2 > 0.0) ? -std::log2(w2) : 0.0;
   double d = 0.0;
   double shared_q_mass = 0.0;
+  const std::span<const Entry> qe(q.entries());
+  size_t j = 0;
   for (const auto& e : p.entries()) {
-    const double qm = q.MassAt(e.id);
+    j = GallopTo(qe, j, e.id, probes);
+    const double qm = (j < qe.size() && qe[j].id == e.id) ? qe[j].mass : 0.0;
     if (qm == 0.0) {
       d += w1 * e.mass * log_inv_w1;
     } else {
@@ -147,22 +194,8 @@ double JsDivergenceAsymmetric(double w1, const SparseDistribution& p,
   return d < 0.0 ? 0.0 : d;
 }
 
-}  // namespace
-
-double JsDivergence(double w1, const SparseDistribution& p, double w2,
-                    const SparseDistribution& q) {
-  // For id present only in p: m = w1*p_i, term = w1 * p_i * log(p_i / m)
-  //                                            = w1 * p_i * log(1/w1).
-  // Symmetrically for q. Shared ids use the full formula.
-  if (p.Empty() || q.Empty()) return 0.0;
-  // Asymmetric fast path: iterating the union is wasteful when one side is
-  // tiny (an object distribution vs. a near-root cluster summary).
-  if (p.SupportSize() * 16 < q.SupportSize()) {
-    return JsDivergenceAsymmetric(w1, p, w2, q);
-  }
-  if (q.SupportSize() * 16 < p.SupportSize()) {
-    return JsDivergenceAsymmetric(w2, q, w1, p);
-  }
+double JsDivergenceMergeJoin(double w1, const SparseDistribution& p,
+                             double w2, const SparseDistribution& q) {
   const double log_inv_w1 = (w1 > 0.0) ? -Log2(w1) : 0.0;
   const double log_inv_w2 = (w2 > 0.0) ? -Log2(w2) : 0.0;
   double d = 0.0;
@@ -190,6 +223,226 @@ double JsDivergence(double w1, const SparseDistribution& p, double w2,
   for (; j < qe.size(); ++j) d += w2 * qe[j].mass * log_inv_w2;
   // Guard against tiny negative rounding artifacts.
   return d < 0.0 ? 0.0 : d;
+}
+
+}  // namespace internal
+
+double JsDivergence(double w1, const SparseDistribution& p, double w2,
+                    const SparseDistribution& q) {
+  // For id present only in p: m = w1*p_i, term = w1 * p_i * log(p_i / m)
+  //                                            = w1 * p_i * log(1/w1).
+  // Symmetrically for q. Shared ids use the full formula.
+  if (p.Empty() || q.Empty()) return 0.0;
+  // Asymmetric fast path: iterating the union is wasteful when one side is
+  // tiny (an object distribution vs. a near-root cluster summary).
+  if (p.SupportSize() * kAsymmetricCutoffRatio < q.SupportSize()) {
+    return internal::JsDivergenceAsymmetric(w1, p, w2, q);
+  }
+  if (q.SupportSize() * kAsymmetricCutoffRatio < p.SupportSize()) {
+    return internal::JsDivergenceAsymmetric(w2, q, w1, p);
+  }
+  return internal::JsDivergenceMergeJoin(w1, p, w2, q);
+}
+
+// ---------------------------------------------------------------------------
+// DistributionArena
+
+void DistributionArena::Clear() {
+  entries_.clear();
+  log2s_.clear();
+  offsets_.assign(1, 0);
+}
+
+void DistributionArena::ReserveEntries(size_t n) {
+  entries_.reserve(n);
+  log2s_.reserve(n);
+}
+
+size_t DistributionArena::Append(DistributionView row) {
+  for (size_t k = 0; k < row.entries.size(); ++k) {
+    const Entry& e = row.entries[k];
+    if (e.mass <= 0.0) continue;
+    entries_.push_back(e);
+    log2s_.push_back(row.log2s ? row.log2s[k] : Log2(e.mass));
+  }
+  offsets_.push_back(entries_.size());
+  return offsets_.size() - 2;
+}
+
+size_t DistributionArena::AppendMerge(double w1, size_t a, double w2,
+                                      size_t b) {
+  const size_t na = offsets_[a + 1] - offsets_[a];
+  const size_t nb = offsets_[b + 1] - offsets_[b];
+  // Reserve up front so the source rows stay put while we push the merge.
+  entries_.reserve(entries_.size() + na + nb);
+  log2s_.reserve(log2s_.size() + na + nb);
+  const Entry* ae = entries_.data() + offsets_[a];
+  const Entry* be = entries_.data() + offsets_[b];
+  auto emit = [this](uint32_t id, double mass) {
+    if (mass <= 0.0) return;
+    entries_.push_back({id, mass});
+    log2s_.push_back(Log2(mass));
+  };
+  size_t i = 0;
+  size_t j = 0;
+  while (i < na && j < nb) {
+    if (ae[i].id < be[j].id) {
+      emit(ae[i].id, w1 * ae[i].mass);
+      ++i;
+    } else if (be[j].id < ae[i].id) {
+      emit(be[j].id, w2 * be[j].mass);
+      ++j;
+    } else {
+      emit(ae[i].id, w1 * ae[i].mass + w2 * be[j].mass);
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < na; ++i) emit(ae[i].id, w1 * ae[i].mass);
+  for (; j < nb; ++j) emit(be[j].id, w2 * be[j].mass);
+  offsets_.push_back(entries_.size());
+  return offsets_.size() - 2;
+}
+
+// ---------------------------------------------------------------------------
+// LossKernel
+
+namespace {
+// Ids below this scatter into the dense scratch; DBLP-style domains are
+// a few hundred thousand ids, well under it. Larger ids fall back to a
+// two-pointer walk with identical arithmetic, so the cap only trades
+// memory for speed.
+constexpr uint32_t kDenseIdLimit = 1u << 22;
+}  // namespace
+
+void LossKernel::SetObject(double p, DistributionView cond, uint64_t tag) {
+  if (tag != 0 && tag == tag_) return;
+  tag_ = tag;
+  for (uint32_t id : touched_) dense_mass_[id] = 0.0;
+  touched_.clear();
+  object_p_ = p;
+  object_ = cond;
+  const size_t n = cond.entries.size();
+  if (cond.log2s == nullptr) owned_log2s_.resize(n);
+  const uint32_t max_id = n > 0 ? cond.entries[n - 1].id : 0;  // sorted
+  dense_ = n > 0 && max_id < kDenseIdLimit;
+  if (dense_ && dense_mass_.size() <= max_id) {
+    dense_mass_.resize(max_id + 1, 0.0);
+    dense_log_.resize(max_id + 1, 0.0);
+  }
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    const double mass = cond.entries[k].mass;
+    total += mass;
+    const double log =
+        cond.log2s ? cond.log2s[k] : (mass > 0.0 ? Log2(mass) : 0.0);
+    if (cond.log2s == nullptr) owned_log2s_[k] = log;
+    if (dense_ && mass > 0.0) {
+      const uint32_t id = cond.entries[k].id;
+      dense_mass_[id] = mass;
+      dense_log_[id] = log;
+      touched_.push_back(id);
+    }
+  }
+  object_log2s_ = cond.log2s ? cond.log2s : owned_log2s_.data();
+  object_mass_ = total;
+}
+
+double LossKernel::Loss(double p, DistributionView cand) const {
+  const double total = object_p_ + p;
+  if (total <= 0.0) return 0.0;
+  if (object_.Empty() || cand.Empty()) return 0.0;
+  const double w1 = object_p_ / total;
+  const double w2 = p / total;
+  const double js =
+      (object_.SupportSize() * kAsymmetricCutoffRatio < cand.SupportSize())
+          ? JsSmallObject(w1, w2, cand)
+          : JsStreamCandidate(w1, w2, cand);
+  return total * (js < 0.0 ? 0.0 : js);
+}
+
+double LossKernel::JsSmallObject(double w1, double w2,
+                                 DistributionView cand) const {
+  const double log_inv_w1 = (w1 > 0.0) ? -Log2(w1) : 0.0;
+  const double log_inv_w2 = (w2 > 0.0) ? -Log2(w2) : 0.0;
+  double d = 0.0;
+  double shared_c = 0.0;
+  const std::span<const Entry> ce = cand.entries;
+  const std::span<const Entry> oe = object_.entries;
+  size_t j = 0;
+  for (size_t k = 0; k < oe.size(); ++k) {
+    const double pm = oe[k].mass;
+    if (pm <= 0.0) continue;
+    const uint32_t id = oe[k].id;
+    j = GallopTo(ce, j, id, nullptr);
+    if (j < ce.size() && ce[j].id == id && ce[j].mass > 0.0) {
+      const double qm = ce[j].mass;
+      const double lq = cand.log2s ? cand.log2s[j] : Log2(qm);
+      const double mm = w1 * pm + w2 * qm;
+      d += w1 * pm * object_log2s_[k] + w2 * qm * lq - mm * Log2(mm);
+    } else {
+      d += w1 * pm * log_inv_w1;
+    }
+    if (j < ce.size() && ce[j].id == id) shared_c += ce[j].mass;
+  }
+  // Candidate-only mass as a residual: the candidate is normalized
+  // (every conditional here is), so 1 - shared avoids the O(|cand|) scan
+  // this path exists to skip — same assumption as JsDivergenceAsymmetric.
+  const double c_only = 1.0 - shared_c;
+  if (c_only > 0.0) d += w2 * c_only * log_inv_w2;
+  return d;
+}
+
+double LossKernel::JsStreamCandidate(double w1, double w2,
+                                     DistributionView cand) const {
+  const double log_inv_w1 = (w1 > 0.0) ? -Log2(w1) : 0.0;
+  const double log_inv_w2 = (w2 > 0.0) ? -Log2(w2) : 0.0;
+  double d = 0.0;
+  double shared_o = 0.0;
+  const std::span<const Entry> ce = cand.entries;
+  if (dense_) {
+    const size_t limit = dense_mass_.size();
+    for (size_t j = 0; j < ce.size(); ++j) {
+      const double qm = ce[j].mass;
+      if (qm <= 0.0) continue;
+      const uint32_t id = ce[j].id;
+      const double pm = (id < limit) ? dense_mass_[id] : 0.0;
+      if (pm == 0.0) {
+        d += w2 * qm * log_inv_w2;
+      } else {
+        const double lq = cand.log2s ? cand.log2s[j] : Log2(qm);
+        const double mm = w1 * pm + w2 * qm;
+        d += w1 * pm * dense_log_[id] + w2 * qm * lq - mm * Log2(mm);
+        shared_o += pm;
+      }
+    }
+  } else {
+    // Dense scatter unavailable (huge ids): two-pointer into the object
+    // row, emitting the exact same per-entry terms in the same order.
+    const std::span<const Entry> oe = object_.entries;
+    size_t k = 0;
+    for (size_t j = 0; j < ce.size(); ++j) {
+      const double qm = ce[j].mass;
+      if (qm <= 0.0) continue;
+      const uint32_t id = ce[j].id;
+      k = GallopTo(oe, k, id, nullptr);
+      const bool hit = k < oe.size() && oe[k].id == id && oe[k].mass > 0.0;
+      if (!hit) {
+        d += w2 * qm * log_inv_w2;
+      } else {
+        const double pm = oe[k].mass;
+        const double lq = cand.log2s ? cand.log2s[j] : Log2(qm);
+        const double mm = w1 * pm + w2 * qm;
+        d += w1 * pm * object_log2s_[k] + w2 * qm * lq - mm * Log2(mm);
+        shared_o += pm;
+      }
+    }
+  }
+  // Object-only mass as a residual of the exact entry-order total, so the
+  // result does not depend on which candidate is being scored.
+  const double o_only = object_mass_ - shared_o;
+  if (o_only > 0.0) d += w1 * o_only * log_inv_w1;
+  return d;
 }
 
 }  // namespace limbo::core

@@ -75,6 +75,152 @@ double KlDivergence(const SparseDistribution& p, const SparseDistribution& q);
 double JsDivergence(double w1, const SparseDistribution& p, double w2,
                     const SparseDistribution& q);
 
+/// Support-size ratio at which JsDivergence (and LossKernel) switch from
+/// the merge-join evaluation to the asymmetric small-side iteration.
+/// Measured in `micro_limbo --kernel`: at equal supports the merge-join
+/// path wins (one streaming pass, no per-entry searches); once one side
+/// is ~an order of magnitude smaller, walking the small side with
+/// galloping lookups into the large side is faster because it skips the
+/// large side's private entries entirely (their mass is folded in as
+/// 1 − shared). 16 sits comfortably past the crossover for every support
+/// shape in BENCH_kernel.json, and the two paths agree to < 1e-12, so
+/// the exact value only affects speed, never results (property-tested at
+/// the boundary in kernel_test.cc).
+inline constexpr size_t kAsymmetricCutoffRatio = 16;
+
+/// Non-owning view of a sorted sparse row: a span of entries plus an
+/// optional parallel array of cached log2(mass) values (arena rows carry
+/// one; plain SparseDistributions do not). Cached or not, the kernel
+/// produces identical bits — the cache holds exactly what Log2(mass)
+/// would return — caching just skips the call.
+struct DistributionView {
+  using Entry = SparseDistribution::Entry;
+
+  std::span<const Entry> entries;
+  const double* log2s = nullptr;
+
+  DistributionView() = default;
+  // Implicit: every SparseDistribution is viewable.
+  DistributionView(const SparseDistribution& d)  // NOLINT
+      : entries(d.entries()) {}
+  DistributionView(std::span<const Entry> e, const double* logs)
+      : entries(e), log2s(logs) {}
+
+  size_t SupportSize() const { return entries.size(); }
+  bool Empty() const { return entries.empty(); }
+};
+
+/// Slab (CSR) storage for the distribution working set of a clustering
+/// run: every row lives in one contiguous {id, mass} array with a
+/// parallel cached-log2(mass) array and an offsets table. AIB keeps its
+/// slot conditionals here and Phase 3 its representatives, so the
+/// quadratic distance scans stream one allocation instead of hopping
+/// between per-cluster heap vectors, and the per-entry logs are computed
+/// once per row instead of once per evaluation.
+///
+/// Rows are immutable once appended; merging clusters appends the merged
+/// row (AppendMerge) and the caller retires the old index. Appending may
+/// reallocate the slab, so hold row *indices* across Append calls and
+/// re-take views afterwards.
+class DistributionArena {
+ public:
+  using Entry = SparseDistribution::Entry;
+
+  size_t NumRows() const { return offsets_.size() - 1; }
+  size_t NumEntries() const { return entries_.size(); }
+
+  void Clear();
+  void ReserveEntries(size_t n);
+
+  /// Copies `row` into the slab, dropping zero-mass entries and caching
+  /// log2 of every mass. Returns the new row index.
+  size_t Append(DistributionView row);
+
+  /// Writes the weighted merge w1·rows[a] + w2·rows[b] (Eq. 2) directly
+  /// into slab scratch — the same per-entry expressions as
+  /// SparseDistribution::WeightedMerge, so the masses are bit-identical
+  /// to a MergeDcf of the same rows — and returns the new row index.
+  /// Zero-mass results (possible only when a weight is 0) are dropped.
+  size_t AppendMerge(double w1, size_t a, double w2, size_t b);
+
+  DistributionView Row(size_t i) const {
+    const size_t begin = offsets_[i];
+    return DistributionView(
+        std::span<const Entry>(entries_.data() + begin,
+                               offsets_[i + 1] - begin),
+        log2s_.data() + begin);
+  }
+
+ private:
+  std::vector<Entry> entries_;
+  std::vector<double> log2s_;  // log2(entries_[k].mass), parallel
+  std::vector<size_t> offsets_ = {0};
+};
+
+/// Fused δI evaluator (Eq. 3) for one object against many candidates.
+///
+/// SetObject scatters the object's entries (mass and log2 mass) into a
+/// reusable dense scratch once; each Loss() then streams one candidate
+/// row in a single pass. Per shared entry the JS integrand is evaluated
+/// in the rearranged form
+///     w1·p·log2(p) + w2·q·log2(q) − m·log2(m),   m = w1·p + w2·q,
+/// which costs one fresh log2 (for m) when both sides carry cached logs,
+/// instead of the two of the textbook log2(p/m) + log2(q/m) form.
+/// Entries private to the candidate contribute w2·q·log2(1/w2) as they
+/// stream; entries private to the object are folded in at the end as
+/// w1·(object mass − shared mass)·log2(1/w1). When the object support is
+/// kAsymmetricCutoffRatio× smaller than the candidate's, the roles flip:
+/// the object side is walked with galloping lookups into the candidate
+/// row and the candidate-private mass becomes the residual.
+///
+/// InformationLoss(a, b) IS SetObject(a) + Loss(b), so the batch path is
+/// bit-identical to the per-pair path by construction, and determinism
+/// across thread counts follows because each evaluation is a pure
+/// function of the pair.
+class LossKernel {
+ public:
+  /// Fixes the object side. The view's backing storage must outlive
+  /// subsequent Loss calls. A nonzero `tag` makes repeated calls with
+  /// the same tag no-ops, for call sites that re-set the same object
+  /// once per chunk of a parallel scan.
+  void SetObject(double p, DistributionView cond, uint64_t tag = 0);
+
+  /// δI(object, candidate) — Eq. 3, bits.
+  double Loss(double p, DistributionView cand) const;
+
+ private:
+  double JsSmallObject(double w1, double w2, DistributionView cand) const;
+  double JsStreamCandidate(double w1, double w2, DistributionView cand) const;
+
+  double object_p_ = 0.0;
+  double object_mass_ = 0.0;  // exact Σ mass, in entry order
+  DistributionView object_;
+  const double* object_log2s_ = nullptr;
+  std::vector<double> owned_log2s_;  // object logs when the view has none
+  // Dense scratch indexed by id, cleared via the touched list. Disabled
+  // (two-pointer fallback, identical results) when the object's id
+  // universe is too large to scatter.
+  bool dense_ = false;
+  std::vector<double> dense_mass_;
+  std::vector<double> dense_log_;
+  std::vector<uint32_t> touched_;
+  uint64_t tag_ = 0;
+};
+
+namespace internal {
+
+/// The two JsDivergence evaluation paths, exposed for property tests and
+/// the kernel microbenchmark. `probes`, when non-null, accumulates the
+/// number of id comparisons the galloping lookups perform (the
+/// complexity regression tests bound it).
+double JsDivergenceMergeJoin(double w1, const SparseDistribution& p,
+                             double w2, const SparseDistribution& q);
+double JsDivergenceAsymmetric(double w1, const SparseDistribution& p,
+                              double w2, const SparseDistribution& q,
+                              uint64_t* probes = nullptr);
+
+}  // namespace internal
+
 }  // namespace limbo::core
 
 #endif  // LIMBO_CORE_PROB_H_

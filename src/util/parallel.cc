@@ -58,17 +58,24 @@ void ThreadPool::RunLane(size_t lane) {
     const size_t begin = task_begin_ + chunk * task_grain_;
     if (begin >= task_end_) break;
     const size_t end = std::min(begin + task_grain_, task_end_);
-    (*task_fn_)(begin, end);
+    (*task_fn_)(begin, end, lane);
   }
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
                              const std::function<void(size_t, size_t)>& fn) {
+  ParallelFor(begin, end, grain,
+              [&fn](size_t lo, size_t hi, size_t) { fn(lo, hi); });
+}
+
+void ThreadPool::ParallelFor(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
   if (end <= begin) return;
   if (grain == 0) grain = 1;
   const size_t chunks = (end - begin + grain - 1) / grain;
   if (lanes_ <= 1 || chunks <= 1) {
-    fn(begin, end);
+    fn(begin, end, 0);
     return;
   }
   EnsureWorkers();

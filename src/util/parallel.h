@@ -47,6 +47,15 @@ class ThreadPool {
   void ParallelFor(size_t begin, size_t end, size_t grain,
                    const std::function<void(size_t, size_t)>& fn);
 
+  /// Lane-aware variant: fn(chunk_begin, chunk_end, lane), where `lane`
+  /// is the executing lane in [0, threads()). Because the partition is
+  /// static, chunk c always reports lane c % threads() — so per-lane
+  /// scratch (e.g. a LossKernel per lane) is raced-free *and* the work
+  /// each scratch sees is the same on every run. The inline path reports
+  /// lane 0.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
  private:
   void EnsureWorkers();
   /// Executes every chunk c with c % lanes_ == lane of the current task.
@@ -67,7 +76,7 @@ class ThreadPool {
   size_t task_begin_ = 0;
   size_t task_end_ = 0;
   size_t task_grain_ = 1;
-  const std::function<void(size_t, size_t)>* task_fn_ = nullptr;
+  const std::function<void(size_t, size_t, size_t)>* task_fn_ = nullptr;
 };
 
 /// One-shot convenience over a process-wide shared pool sized by

@@ -1,0 +1,363 @@
+// Tests for the arena-backed distance kernel layer: DistributionArena,
+// LossKernel, the batch/per-pair bit-identity contract, the asymmetric
+// JsDivergence path at its cutoff boundary, and the galloping-lookup
+// complexity bound.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/aib.h"
+#include "core/dcf.h"
+#include "core/limbo.h"
+#include "core/prob.h"
+
+namespace limbo::core {
+namespace {
+
+SparseDistribution RandomDistribution(std::mt19937& rng, size_t support,
+                                      uint32_t universe) {
+  std::vector<uint32_t> ids(universe);
+  for (uint32_t i = 0; i < universe; ++i) ids[i] = i;
+  std::shuffle(ids.begin(), ids.end(), rng);
+  std::uniform_real_distribution<double> mass(0.05, 1.0);
+  std::vector<SparseDistribution::Entry> entries;
+  entries.reserve(support);
+  for (size_t k = 0; k < support; ++k) {
+    entries.push_back({ids[k], mass(rng)});
+  }
+  return SparseDistribution::FromPairs(std::move(entries));
+}
+
+Dcf RandomDcf(std::mt19937& rng, size_t support, uint32_t universe,
+              double p) {
+  Dcf d;
+  d.p = p;
+  d.cond = RandomDistribution(rng, support, universe);
+  return d;
+}
+
+/// Reference δI: Eq. 3 straight through the public JsDivergence, the
+/// pre-kernel formulation.
+double ReferenceLoss(const Dcf& a, const Dcf& b) {
+  const double total = a.p + b.p;
+  if (total <= 0.0) return 0.0;
+  return total * JsDivergence(a.p / total, a.cond, b.p / total, b.cond);
+}
+
+// ---------------------------------------------------------------------------
+// DistributionArena
+
+TEST(DistributionArenaTest, AppendRoundTripsEntriesAndLogs) {
+  std::mt19937 rng(7);
+  DistributionArena arena;
+  std::vector<SparseDistribution> rows;
+  for (int i = 0; i < 5; ++i) {
+    rows.push_back(RandomDistribution(rng, 8 + i, 64));
+    ASSERT_EQ(arena.Append(rows.back()), static_cast<size_t>(i));
+  }
+  ASSERT_EQ(arena.NumRows(), 5u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const DistributionView view = arena.Row(i);
+    ASSERT_EQ(view.SupportSize(), rows[i].SupportSize());
+    for (size_t k = 0; k < view.entries.size(); ++k) {
+      EXPECT_EQ(view.entries[k].id, rows[i].entries()[k].id);
+      EXPECT_EQ(view.entries[k].mass, rows[i].entries()[k].mass);
+      // Cached log must be exactly what a fresh evaluation yields.
+      EXPECT_EQ(view.log2s[k],
+                std::log(rows[i].entries()[k].mass) * 1.4426950408889634);
+    }
+  }
+}
+
+TEST(DistributionArenaTest, AppendMergeMatchesWeightedMergeBitwise) {
+  std::mt19937 rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const SparseDistribution a = RandomDistribution(rng, 6 + trial % 5, 40);
+    const SparseDistribution b = RandomDistribution(rng, 9 + trial % 7, 40);
+    std::uniform_real_distribution<double> wd(0.1, 0.9);
+    const double w1 = wd(rng);
+    const double w2 = 1.0 - w1;
+    DistributionArena arena;
+    const size_t ra = arena.Append(a);
+    const size_t rb = arena.Append(b);
+    const size_t rm = arena.AppendMerge(w1, ra, w2, rb);
+    const SparseDistribution expected =
+        SparseDistribution::WeightedMerge(w1, a, w2, b);
+    const DistributionView got = arena.Row(rm);
+    ASSERT_EQ(got.SupportSize(), expected.SupportSize());
+    for (size_t k = 0; k < got.entries.size(); ++k) {
+      EXPECT_EQ(got.entries[k].id, expected.entries()[k].id);
+      EXPECT_EQ(got.entries[k].mass, expected.entries()[k].mass);
+    }
+  }
+}
+
+TEST(DistributionArenaTest, AppendMergeSurvivesSlabReallocation) {
+  // No ReserveEntries: every append may realloc, and AppendMerge reads
+  // its own slab while writing into it.
+  std::mt19937 rng(13);
+  DistributionArena arena;
+  size_t row0 = arena.Append(RandomDistribution(rng, 12, 64));
+  size_t row1 = arena.Append(RandomDistribution(rng, 12, 64));
+  for (int step = 0; step < 10; ++step) {
+    const size_t merged = arena.AppendMerge(0.5, row0, 0.5, row1);
+    const DistributionView view = arena.Row(merged);
+    double total = 0.0;
+    for (const auto& e : view.entries) total += e.mass;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    row0 = row1;
+    row1 = merged;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LossKernel vs the reference formulation
+
+TEST(LossKernelTest, MatchesReferenceAcrossShapes) {
+  std::mt19937 rng(17);
+  std::uniform_real_distribution<double> pd(0.01, 1.0);
+  const struct {
+    size_t so, sc;
+    uint32_t universe;
+  } shapes[] = {
+      {1, 1, 8},      {4, 4, 16},     {8, 200, 512},  {200, 8, 512},
+      {64, 64, 96},   {1, 500, 1024}, {500, 1, 1024}, {33, 512, 2048},
+  };
+  for (const auto& shape : shapes) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const Dcf a = RandomDcf(rng, shape.so, shape.universe, pd(rng));
+      const Dcf b = RandomDcf(rng, shape.sc, shape.universe, pd(rng));
+      LossKernel kernel;
+      kernel.SetObject(a.p, a.cond);
+      const double got = kernel.Loss(b.p, b.cond);
+      EXPECT_NEAR(got, ReferenceLoss(a, b), 1e-12)
+          << "so=" << shape.so << " sc=" << shape.sc << " trial=" << trial;
+    }
+  }
+}
+
+TEST(LossKernelTest, ZeroMassAndEmptySides) {
+  LossKernel kernel;
+  Dcf a;
+  a.p = 0.0;
+  kernel.SetObject(a.p, a.cond);
+  EXPECT_EQ(kernel.Loss(0.0, SparseDistribution{}), 0.0);
+  const SparseDistribution d =
+      SparseDistribution::FromPairs({{0, 0.5}, {1, 0.5}});
+  EXPECT_EQ(kernel.Loss(1.0, d), 0.0);  // empty object side
+  kernel.SetObject(0.5, d);
+  EXPECT_EQ(kernel.Loss(0.0, SparseDistribution{}), 0.0);
+  // Identical conditionals lose nothing.
+  EXPECT_NEAR(kernel.Loss(0.5, d), 0.0, 1e-12);
+}
+
+TEST(LossKernelTest, HugeIdsUseTwoPointerFallbackWithSameResults) {
+  // Ids beyond the dense-scatter cap exercise the fallback path.
+  std::mt19937 rng(19);
+  std::vector<SparseDistribution::Entry> pe;
+  std::vector<SparseDistribution::Entry> qe;
+  std::uniform_real_distribution<double> mass(0.1, 1.0);
+  for (uint32_t k = 0; k < 20; ++k) {
+    pe.push_back({(1u << 23) + 3 * k, mass(rng)});
+    qe.push_back({(1u << 23) + 2 * k, mass(rng)});
+  }
+  Dcf a;
+  a.p = 0.4;
+  a.cond = SparseDistribution::FromPairs(std::move(pe));
+  Dcf b;
+  b.p = 0.6;
+  b.cond = SparseDistribution::FromPairs(std::move(qe));
+  LossKernel kernel;
+  kernel.SetObject(a.p, a.cond);
+  EXPECT_NEAR(kernel.Loss(b.p, b.cond), ReferenceLoss(a, b), 1e-12);
+}
+
+TEST(LossKernelTest, TagMakesRepeatSetObjectANoOp) {
+  const SparseDistribution da =
+      SparseDistribution::FromPairs({{0, 0.5}, {1, 0.5}});
+  const SparseDistribution db =
+      SparseDistribution::FromPairs({{2, 0.5}, {3, 0.5}});
+  const SparseDistribution cand =
+      SparseDistribution::FromPairs({{0, 0.25}, {1, 0.25}, {2, 0.5}});
+  LossKernel kernel;
+  kernel.SetObject(0.5, da, /*tag=*/1);
+  const double with_a = kernel.Loss(0.5, cand);
+  // Same tag: the object stays `da` even though we pass `db`.
+  kernel.SetObject(0.5, db, /*tag=*/1);
+  EXPECT_EQ(kernel.Loss(0.5, cand), with_a);
+  // New tag: the object switches.
+  kernel.SetObject(0.5, db, /*tag=*/2);
+  EXPECT_NE(kernel.Loss(0.5, cand), with_a);
+}
+
+// ---------------------------------------------------------------------------
+// Batch vs per-pair bit-identity
+
+TEST(InformationLossBatchTest, BitIdenticalToPerPair) {
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<double> pd(0.01, 1.0);
+  std::uniform_int_distribution<size_t> sd(1, 60);
+  std::vector<Dcf> candidates;
+  for (int i = 0; i < 30; ++i) {
+    candidates.push_back(RandomDcf(rng, sd(rng), 256, pd(rng)));
+  }
+  for (int trial = 0; trial < 10; ++trial) {
+    const Dcf object = RandomDcf(rng, sd(rng), 256, pd(rng));
+    std::vector<double> batch(candidates.size());
+    InformationLossBatch(object, candidates, batch);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      EXPECT_EQ(batch[i], InformationLoss(object, candidates[i])) << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Asymmetric JsDivergence path: boundary property + complexity bound
+
+TEST(JsDivergenceBoundaryTest, FastPathMatchesMergeJoinAroundCutoff) {
+  std::mt19937 rng(29);
+  std::uniform_real_distribution<double> wd(0.05, 0.95);
+  std::uniform_int_distribution<size_t> small_d(1, 40);
+  // Ratios straddling kAsymmetricCutoffRatio (=16), plus extremes: the
+  // public JsDivergence flips paths across the boundary and the result
+  // must not care.
+  const size_t ratios[] = {1, 2, 8, 14, 15, 16, 17, 18, 32, 64, 200};
+  for (const size_t ratio : ratios) {
+    for (int trial = 0; trial < 6; ++trial) {
+      const size_t sp = small_d(rng);
+      const size_t sq = sp * ratio + (trial % 3);  // jitter the boundary
+      const uint32_t universe = static_cast<uint32_t>(2 * (sp + sq) + 8);
+      const SparseDistribution p = RandomDistribution(rng, sp, universe);
+      const SparseDistribution q = RandomDistribution(rng, sq, universe);
+      const double w1 = wd(rng);
+      const double w2 = 1.0 - w1;
+      const double joined = internal::JsDivergenceMergeJoin(w1, p, w2, q);
+      const double fast = internal::JsDivergenceAsymmetric(w1, p, w2, q);
+      EXPECT_NEAR(fast, joined, 1e-12)
+          << "ratio=" << ratio << " sp=" << sp << " sq=" << sq;
+      // And the dispatching entry point agrees with both.
+      EXPECT_NEAR(JsDivergence(w1, p, w2, q), joined, 1e-12);
+    }
+  }
+}
+
+TEST(JsDivergenceGallopTest, EqualSizeInputsStayLinear) {
+  // Satellite regression: the asymmetric path must never regress past
+  // the merge-join path on equal-size inputs. Merge-join costs
+  // |p| + |q| id steps; the galloping sweep is bounded by a small
+  // constant per p-entry when gaps are constant.
+  const size_t n = 4096;
+  std::vector<SparseDistribution::Entry> pe;
+  std::vector<SparseDistribution::Entry> qe;
+  for (uint32_t k = 0; k < n; ++k) {
+    pe.push_back({2 * k, 1.0});      // evens
+    qe.push_back({2 * k + 1, 1.0});  // odds: worst-case interleave
+  }
+  const auto p = SparseDistribution::FromPairs(std::move(pe));
+  const auto q = SparseDistribution::FromPairs(std::move(qe));
+  uint64_t probes = 0;
+  internal::JsDivergenceAsymmetric(0.5, p, 0.5, q, &probes);
+  EXPECT_LE(probes, 2 * (p.SupportSize() + q.SupportSize()));
+
+  // Identical supports: each lookup lands on the next entry.
+  std::vector<SparseDistribution::Entry> se;
+  for (uint32_t k = 0; k < n; ++k) se.push_back({3 * k, 1.0});
+  const auto s = SparseDistribution::FromPairs(std::move(se));
+  probes = 0;
+  internal::JsDivergenceAsymmetric(0.5, s, 0.5, s, &probes);
+  EXPECT_LE(probes, 2 * s.SupportSize());
+}
+
+TEST(JsDivergenceGallopTest, SmallIntoHugeStaysLogarithmic) {
+  // |p| = 32 spread across |q| = 65536: probes must be
+  // O(|p| · log(|q|/|p|)), nowhere near the O(|q|) a naive linear
+  // two-pointer advance would cost.
+  const size_t sq = 65536;
+  const size_t sp = 32;
+  std::vector<SparseDistribution::Entry> qe;
+  qe.reserve(sq);
+  for (uint32_t k = 0; k < sq; ++k) qe.push_back({k, 1.0});
+  std::vector<SparseDistribution::Entry> pe;
+  for (uint32_t k = 0; k < sp; ++k) {
+    pe.push_back({static_cast<uint32_t>(k * (sq / sp)), 1.0});
+  }
+  const auto p = SparseDistribution::FromPairs(std::move(pe));
+  const auto q = SparseDistribution::FromPairs(std::move(qe));
+  uint64_t probes = 0;
+  internal::JsDivergenceAsymmetric(0.5, p, 0.5, q, &probes);
+  EXPECT_LE(probes, sp * (2 * 16 + 4));  // 2·log2(gap) + O(1) per entry
+  EXPECT_LT(probes, sq / 4);             // far from linear in |q|
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end equivalence: batch kernel vs per-pair dispatch (satellite f)
+
+class KernelEquivalenceTest : public ::testing::TestWithParam<size_t> {};
+
+std::vector<Dcf> MixedInputs() {
+  std::mt19937 rng(31);
+  std::uniform_real_distribution<double> pd(0.2, 1.0);
+  std::uniform_int_distribution<size_t> sd(2, 24);
+  std::vector<Dcf> inputs;
+  double total = 0.0;
+  for (int i = 0; i < 48; ++i) {
+    inputs.push_back(RandomDcf(rng, sd(rng), 160, pd(rng)));
+    total += inputs.back().p;
+  }
+  for (Dcf& d : inputs) d.p /= total;
+  return inputs;
+}
+
+TEST_P(KernelEquivalenceTest, AibMergeSequencesBitIdentical) {
+  const std::vector<Dcf> inputs = MixedInputs();
+  AibOptions batch_options;
+  batch_options.threads = GetParam();
+  batch_options.kernel = AibOptions::DistanceKernel::kBatch;
+  AibOptions pair_options = batch_options;
+  pair_options.kernel = AibOptions::DistanceKernel::kPerPair;
+  auto batch = AgglomerativeIb(inputs, batch_options);
+  auto pair = AgglomerativeIb(inputs, pair_options);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(pair.ok());
+  ASSERT_EQ(batch->merges().size(), pair->merges().size());
+  for (size_t i = 0; i < batch->merges().size(); ++i) {
+    const Merge& mb = batch->merges()[i];
+    const Merge& mp = pair->merges()[i];
+    EXPECT_EQ(mb.left, mp.left) << i;
+    EXPECT_EQ(mb.right, mp.right) << i;
+    EXPECT_EQ(mb.merged, mp.merged) << i;
+    EXPECT_EQ(mb.delta_i, mp.delta_i) << i;
+    EXPECT_EQ(mb.cumulative_loss, mp.cumulative_loss) << i;
+    EXPECT_EQ(mb.p_merged, mp.p_merged) << i;
+  }
+}
+
+TEST_P(KernelEquivalenceTest, Phase3AssignmentsAndLossesBitIdentical) {
+  const std::vector<Dcf> objects = MixedInputs();
+  auto aib = AgglomerativeIb(objects);
+  ASSERT_TRUE(aib.ok());
+  auto reps = ClusterDcfsAtK(objects, *aib, 5);
+  ASSERT_TRUE(reps.ok());
+  std::vector<double> batch_loss;
+  std::vector<double> pair_loss;
+  auto batch = LimboPhase3(objects, *reps, &batch_loss, GetParam(),
+                           /*batch_kernel=*/true);
+  auto pair = LimboPhase3(objects, *reps, &pair_loss, GetParam(),
+                          /*batch_kernel=*/false);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(*batch, *pair);
+  ASSERT_EQ(batch_loss.size(), pair_loss.size());
+  for (size_t i = 0; i < batch_loss.size(); ++i) {
+    EXPECT_EQ(batch_loss[i], pair_loss[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, KernelEquivalenceTest,
+                         ::testing::Values(1, 4));
+
+}  // namespace
+}  // namespace limbo::core
