@@ -13,6 +13,11 @@
 //    shapes, plus a single-threaded Phase-2 + Phase-3 comparison of the
 //    two dispatch modes, with a built-in bit-identity check. Its output
 //    is what BENCH_kernel.json records.
+//  * `micro_limbo --report[=path] [--tuples=N]` runs the full LIMBO
+//    pipeline once over a DBLP-sized input and emits a structured run
+//    report (same schema as `limbo-tool --report=...`: phases, merge
+//    trajectory, trace spans, counters) to `path` or stdout. Its output
+//    is what BENCH_report.json records.
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +25,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -27,7 +34,11 @@
 #include "core/dcf_tree.h"
 #include "core/info.h"
 #include "core/limbo.h"
+#include "core/run_report.h"
 #include "core/tuple_clustering.h"
+#include "obs/counters.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "datagen/db2_sample.h"
 #include "datagen/dblp.h"
 #include "fd/fdep.h"
@@ -424,11 +435,61 @@ int RunKernelBench(size_t tuples) {
   return e2e.bit_identical ? 0 : 1;
 }
 
+/// Run-report mode: one full LIMBO pipeline over DBLP, reported with the
+/// exact schema `limbo-tool --report=...` writes, so tooling that parses
+/// one parses the other.
+int RunReportMode(size_t tuples, const std::string& path) {
+  obs::ResetTrace();
+  obs::ResetCounters();
+  datagen::DblpOptions dblp_options;
+  dblp_options.target_tuples = tuples;
+  const relation::Relation rel = datagen::GenerateDblp(dblp_options);
+  const std::vector<core::Dcf> objects = core::BuildTupleObjects(rel);
+
+  core::LimboOptions options;
+  options.phi = 0.5;
+  options.k = 10;
+  auto result = core::RunLimbo(objects, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<obs::ReportSection> sections;
+  obs::ReportSection run("run");
+  run.AddField("command", "micro_limbo --report");
+  run.AddField("input", "dblp");
+  run.AddField("tuples", static_cast<uint64_t>(objects.size()));
+  run.AddField("leaves", static_cast<uint64_t>(result->leaves.size()));
+  run.AddField("k", static_cast<uint64_t>(options.k));
+  sections.push_back(std::move(run));
+  sections.push_back(core::TimingsSection(result->timings));
+  sections.push_back(core::TrajectorySection(result->aib.merges()));
+  const obs::RunReport report = core::AssembleRunReport(
+      "micro_limbo limbo-pipeline", std::move(sections));
+  const std::string body = report.ToJson();
+  if (path.empty()) {
+    std::printf("%s\n", body.c_str());
+    return 0;
+  }
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  file << body;
+  std::fprintf(stderr, "wrote run report %s (%zu bytes)\n", path.c_str(),
+               body.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool thread_scaling = false;
   bool kernel_bench = false;
+  bool report_mode = false;
+  std::string report_path;
   size_t tuples = 50000;
   bool tuples_given = false;
   for (int i = 1; i < argc; ++i) {
@@ -436,6 +497,11 @@ int main(int argc, char** argv) {
       thread_scaling = true;
     } else if (std::strcmp(argv[i], "--kernel") == 0) {
       kernel_bench = true;
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      report_mode = true;
+    } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
+      report_mode = true;
+      report_path = argv[i] + 9;
     } else {
       unsigned long long n = 0;
       if (std::sscanf(argv[i], "--tuples=%llu", &n) == 1 && n > 0) {
@@ -446,6 +512,8 @@ int main(int argc, char** argv) {
   }
   if (thread_scaling) return RunThreadScaling(tuples);
   if (kernel_bench) return RunKernelBench(tuples_given ? tuples : 10000);
+  if (report_mode) return RunReportMode(tuples_given ? tuples : 10000,
+                                        report_path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

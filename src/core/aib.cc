@@ -1,10 +1,11 @@
 #include "core/aib.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <limits>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/strings.h"
@@ -45,7 +46,7 @@ util::Result<AibResult> AgglomerativeIb(const std::vector<Dcf>& inputs,
         util::StrFormat("min_k=%zu out of range [1, %zu]", options.min_k, q));
   }
 
-  const auto started = std::chrono::steady_clock::now();
+  LIMBO_OBS_SPAN(aib_span, "aib");
   util::ThreadPool pool(options.threads);
   AibStats stats;
   stats.threads = pool.threads();
@@ -112,6 +113,7 @@ util::Result<AibResult> AgglomerativeIb(const std::vector<Dcf>& inputs,
 
   // Initial pairwise matrix and NN cache. Every (i, j) writes cells owned
   // by that pair alone, so the static partition is bit-deterministic.
+  LIMBO_OBS_SPAN(build_span, "matrix_build");
   pool.ParallelFor(0, q, kGrain, [&](size_t lo, size_t hi, size_t lane) {
     if (batch) {
       LossKernel& kernel = kernels[lane];
@@ -133,7 +135,9 @@ util::Result<AibResult> AgglomerativeIb(const std::vector<Dcf>& inputs,
     for (size_t i = lo; i < hi; ++i) recompute_nn(i);
   });
   stats.distance_evals += static_cast<uint64_t>(q) * (q - 1) / 2;
+  build_span.Stop();
 
+  LIMBO_OBS_SPAN(merge_span, "merge_loop");
   std::vector<Merge> merges;
   merges.reserve(q - options.min_k);
   double cumulative = 0.0;
@@ -222,24 +226,38 @@ util::Result<AibResult> AgglomerativeIb(const std::vector<Dcf>& inputs,
     stats.distance_evals += live - 1;
     recompute_nn(a);
     pool.ParallelFor(0, q, kGrain, [&](size_t lo, size_t hi) {
+      // NN-cache economics per surviving slot: a full recompute_nn is a
+      // miss, keeping or cheaply lowering the cached partner is a hit.
+      // Both totals depend only on the merge sequence, not thread count.
+      uint64_t hits = 0;
+      uint64_t misses = 0;
       for (size_t j = lo; j < hi; ++j) {
         if (!alive[j] || j == a) continue;
         if (nn[j] == a || nn[j] == b) {
           recompute_nn(j);
-        } else if (dist.Get(a, j) < nn_dist[j]) {
-          // Strict < keeps the incumbent on ties: the merged cluster has
-          // the largest id, so cluster-id order agrees.
-          nn[j] = a;
-          nn_dist[j] = dist.Get(a, j);
+          ++misses;
+        } else {
+          if (dist.Get(a, j) < nn_dist[j]) {
+            // Strict < keeps the incumbent on ties: the merged cluster has
+            // the largest id, so cluster-id order agrees.
+            nn[j] = a;
+            nn_dist[j] = dist.Get(a, j);
+          }
+          ++hits;
         }
       }
+      LIMBO_OBS_COUNT("aib.nn_cache.hits", hits);
+      LIMBO_OBS_COUNT("aib.nn_cache.misses", misses);
     });
   }
+  merge_span.Stop();
 
   AibResult result(q, std::move(merges));
-  stats.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
-          .count();
+  LIMBO_OBS_COUNT("aib.inputs", q);
+  LIMBO_OBS_COUNT("aib.merges", result.merges().size());
+  LIMBO_OBS_COUNT("aib.distance_evals", stats.distance_evals);
+  FlushKernelStats(kernels, "aib.kernel");
+  stats.seconds = aib_span.Stop();
   result.set_stats(stats);
   return result;
 }

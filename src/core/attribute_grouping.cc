@@ -4,6 +4,8 @@
 
 #include "core/info.h"
 #include "core/limbo.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace limbo::core {
@@ -33,6 +35,7 @@ util::Result<AttributeGroupingResult> GroupAttributes(
 
   // Matrix F: row per attribute of A_D, one column per CV_D group, entry
   // F[a][j] = O[c_j, a], rows normalized.
+  LIMBO_OBS_SPAN(grouping_span, "attribute_grouping");
   AttributeGroupingResult result;
   std::vector<std::vector<SparseDistribution::Entry>> rows(m);
   for (size_t j = 0; j < values.duplicate_groups.size(); ++j) {
@@ -108,6 +111,10 @@ util::Result<AttributeGroupingResult> GroupAttributes(
             result.cluster_members[merge.right]);
     result.max_merge_loss = std::max(result.max_merge_loss, merge.delta_i);
   }
+  // The merge sequence Q (with per-merge δI) is the information-plane
+  // trajectory the run report surfaces; here just the volume.
+  LIMBO_OBS_COUNT("attribute_grouping.attributes", q);
+  LIMBO_OBS_COUNT("attribute_grouping.merges", result.aib.merges().size());
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/counters.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -107,6 +108,7 @@ DcfTree::~DcfTree() = default;
 
 void DcfTree::Insert(const Dcf& object) {
   ++stats_.num_inserts;
+  LIMBO_OBS_COUNT("dcf_tree.inserts", 1);
   insert_kernel_.SetObject(object.p, object.cond);
   SplitResult split = InsertInto(root_.get(), object);
   if (split.DidSplit()) {
@@ -150,6 +152,7 @@ DcfTree::SplitResult DcfTree::InsertInto(Node* node, const Dcf& object) {
   SplitResult result;
   if (node->is_leaf) {
     // Closest leaf entry by information loss.
+    LIMBO_OBS_COUNT("dcf_tree.leaf_scan_evals", node->leaf_entries.size());
     size_t best = SIZE_MAX;
     double best_loss = kInf;
     for (size_t i = 0; i < node->leaf_entries.size(); ++i) {
@@ -163,10 +166,12 @@ DcfTree::SplitResult DcfTree::InsertInto(Node* node, const Dcf& object) {
     if (best != SIZE_MAX && best_loss <= options_.threshold + kMergeEps) {
       node->leaf_entries[best] = MergeDcf(node->leaf_entries[best], object);
       ++stats_.num_merges;
+      LIMBO_OBS_COUNT("dcf_tree.merge_absorbs", 1);
       return result;
     }
     node->leaf_entries.push_back(object);
     ++stats_.num_leaf_entries;
+    LIMBO_OBS_COUNT("dcf_tree.new_leaf_entries", 1);
     if (node->leaf_entries.size() <=
         static_cast<size_t>(options_.leaf_capacity)) {
       return result;
@@ -176,12 +181,14 @@ DcfTree::SplitResult DcfTree::InsertInto(Node* node, const Dcf& object) {
     std::unique_ptr<Node> b;
     SplitLeaf(node, &a, &b);
     ++stats_.num_nodes;
+    LIMBO_OBS_COUNT("dcf_tree.leaf_splits", 1);
     result.halves[0] = MakeChildRef(std::move(a));
     result.halves[1] = MakeChildRef(std::move(b));
     return result;
   }
 
   // Internal: route to the closest child summary.
+  LIMBO_OBS_COUNT("dcf_tree.route_evals", node->children.size());
   size_t best = 0;
   double best_loss = kInf;
   for (size_t i = 0; i < node->children.size(); ++i) {
@@ -207,6 +214,7 @@ DcfTree::SplitResult DcfTree::InsertInto(Node* node, const Dcf& object) {
       std::unique_ptr<Node> b;
       SplitInternal(node, &a, &b);
       ++stats_.num_nodes;
+      LIMBO_OBS_COUNT("dcf_tree.internal_splits", 1);
       result.halves[0] = MakeChildRef(std::move(a));
       result.halves[1] = MakeChildRef(std::move(b));
     }

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <map>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
+
 namespace limbo::core {
 
 util::Result<std::vector<RankedFd>> RankFds(
@@ -12,6 +15,7 @@ util::Result<std::vector<RankedFd>> RankFds(
   if (options.psi < 0.0 || options.psi > 1.0) {
     return util::Status::InvalidArgument("psi must be in [0, 1]");
   }
+  LIMBO_OBS_SPAN(rank_span, "fd_rank");
   const double max_q = grouping.max_merge_loss;
   const double cutoff = options.psi * max_q;
 
@@ -34,7 +38,9 @@ util::Result<std::vector<RankedFd>> RankFds(
       }
     }
     ranked.push_back(r);
+    if (r.anchored) LIMBO_OBS_COUNT("fd_rank.anchored", 1);
   }
+  LIMBO_OBS_COUNT("fd_rank.fds_ranked", ranked.size());
 
   // Step 2: collapse same-antecedent FDs with equal rank. Ranks are
   // quantized so that two merges whose losses differ only by floating-

@@ -5,6 +5,7 @@
 
 #include "core/info.h"
 #include "core/tuple_clustering.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace limbo::core {
@@ -18,6 +19,7 @@ util::Result<HorizontalPartitionResult> HorizontallyPartition(
     return util::Status::InvalidArgument("need 1 <= min_k <= max_k");
   }
 
+  LIMBO_OBS_SPAN(partition_span, "horizontal_partition");
   const std::vector<Dcf> objects = BuildTupleObjects(rel);
 
   LimboOptions limbo_options;
@@ -92,11 +94,22 @@ util::Result<HorizontalPartitionResult> HorizontallyPartition(
   chosen = std::min(chosen, q);
   result.chosen_k = chosen;
 
-  // Phase 2 representatives at the chosen k + Phase 3 assignment.
-  LIMBO_ASSIGN_OR_RETURN(std::vector<Dcf> reps,
-                         ClusterDcfsAtK(limbo.leaves, limbo.aib, chosen));
-  LIMBO_ASSIGN_OR_RETURN(result.assignments,
-                         LimboPhase3(objects, reps, nullptr, options.threads));
+  // Phase 2 representatives at the chosen k + Phase 3 assignment. RunLimbo
+  // above ran with k = 0 (Phase 3 skipped), so the copied timings carried
+  // phase3_ran = false with zeroed fields; time the manual Phase 3 here so
+  // the reported record reflects what actually executed.
+  {
+    LIMBO_OBS_SPAN(phase3_span, "phase3");
+    LIMBO_ASSIGN_OR_RETURN(std::vector<Dcf> reps,
+                           ClusterDcfsAtK(limbo.leaves, limbo.aib, chosen));
+    LIMBO_ASSIGN_OR_RETURN(
+        result.assignments,
+        LimboPhase3(objects, reps, nullptr, options.threads));
+    result.timings.phase3_seconds = phase3_span.Stop();
+    result.timings.phase3_distance_evals =
+        static_cast<uint64_t>(objects.size()) * reps.size();
+    result.timings.phase3_ran = true;
+  }
 
   result.cluster_sizes.assign(chosen, 0);
   std::vector<std::unordered_set<relation::ValueId>> values(chosen);

@@ -1,24 +1,15 @@
 #include "core/limbo.h"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 
 #include "core/info.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/strings.h"
 
 namespace limbo::core {
-
-namespace {
-
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
 
 std::vector<Dcf> LimboPhase1(const std::vector<Dcf>& objects,
                              const LimboOptions& options, double threshold,
@@ -62,6 +53,10 @@ util::Result<std::vector<uint32_t>> LimboPhase3(
   // Each object's argmin is independent and writes only its own label /
   // loss cell, so the scan parallelizes with bit-identical results.
   util::ThreadPool pool(threads);
+  LIMBO_OBS_COUNT("phase3.objects", objects.size());
+  LIMBO_OBS_COUNT("phase3.distance_evals",
+                  static_cast<uint64_t>(objects.size()) *
+                      representatives.size());
   std::vector<LossKernel> kernels(pool.threads());
   pool.ParallelFor(0, objects.size(), /*grain=*/64,
                    [&](size_t lo, size_t hi, size_t lane) {
@@ -91,6 +86,7 @@ util::Result<std::vector<uint32_t>> LimboPhase3(
       if (loss != nullptr) (*loss)[i] = best_loss;
     }
   });
+  if (batch_kernel) FlushKernelStats(kernels, "phase3.kernel");
   return labels;
 }
 
@@ -121,10 +117,13 @@ util::Result<LimboResult> RunLimbo(const std::vector<Dcf>& objects,
   result.threshold = options.phi * result.mutual_information /
                      static_cast<double>(objects.size());
 
-  const auto phase1_start = std::chrono::steady_clock::now();
-  result.leaves =
-      LimboPhase1(objects, options, result.threshold, &result.tree_stats);
-  result.timings.phase1_seconds = SecondsSince(phase1_start);
+  LIMBO_OBS_SPAN(limbo_span, "limbo");
+  {
+    LIMBO_OBS_SPAN(phase1_span, "phase1");
+    result.leaves =
+        LimboPhase1(objects, options, result.threshold, &result.tree_stats);
+    result.timings.phase1_seconds = phase1_span.Stop();
+  }
 
   AibOptions aib_options;
   aib_options.threads = options.threads;
@@ -133,25 +132,29 @@ util::Result<LimboResult> RunLimbo(const std::vector<Dcf>& objects,
   // cluster, which a min_k=1 fallback would produce).
   aib_options.min_k =
       options.k > 0 ? std::min(options.k, result.leaves.size()) : 1;
-  LIMBO_ASSIGN_OR_RETURN(result.aib,
-                         AgglomerativeIb(result.leaves, aib_options));
+  {
+    LIMBO_OBS_SPAN(phase2_span, "phase2");
+    LIMBO_ASSIGN_OR_RETURN(result.aib,
+                           AgglomerativeIb(result.leaves, aib_options));
+  }
   result.timings.phase2_seconds = result.aib.stats().seconds;
   result.timings.phase2_distance_evals = result.aib.stats().distance_evals;
   result.timings.threads = result.aib.stats().threads;
 
   if (options.k > 0) {
     const size_t k = aib_options.min_k;  // clipped to leaf count
+    LIMBO_OBS_SPAN(phase3_span, "phase3");
     LIMBO_ASSIGN_OR_RETURN(
         result.representatives,
         ClusterDcfsAtK(result.leaves, result.aib, k));
-    const auto phase3_start = std::chrono::steady_clock::now();
     LIMBO_ASSIGN_OR_RETURN(
         result.assignments,
         LimboPhase3(objects, result.representatives, &result.assignment_loss,
                     options.threads));
-    result.timings.phase3_seconds = SecondsSince(phase3_start);
+    result.timings.phase3_seconds = phase3_span.Stop();
     result.timings.phase3_distance_evals =
         static_cast<uint64_t>(objects.size()) * result.representatives.size();
+    result.timings.phase3_ran = true;
   }
   return result;
 }

@@ -33,7 +33,12 @@ struct LimboOptions {
   size_t threads = 0;
 };
 
-/// Wall-time and work counters of one RunLimbo invocation.
+/// Wall-time and work counters of one RunLimbo invocation. Since the obs
+/// layer landed this is a convenience view assembled from the "limbo" /
+/// "phase1..3" trace spans and the structural eval counts; the full
+/// picture (kernel counters, NN-cache hit rates, per-span hierarchy)
+/// lives in the obs registry (obs/trace.h, obs/counters.h). Wall times
+/// read 0.0 when the obs layer is disabled (LIMBO_OBS=0).
 struct PhaseTimings {
   /// Phase-1 (DCF tree build) wall-time, seconds.
   double phase1_seconds = 0.0;
@@ -47,6 +52,10 @@ struct PhaseTimings {
   uint64_t phase3_distance_evals = 0;
   /// Resolved worker-lane count the run executed with.
   size_t threads = 1;
+  /// Whether Phase 3 executed at all (k = 0 skips it). Reporting paths
+  /// must not print the phase3_* fields when this is false — they are
+  /// not timings, just zero-initialized members.
+  bool phase3_ran = false;
 };
 
 /// Everything a LIMBO run produces.

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "core/info.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "relation/ops.h"
 
 namespace limbo::core {
@@ -60,6 +62,8 @@ double Rad(const relation::Relation& rel,
            const std::vector<relation::AttributeId>& attributes) {
   const size_t n = rel.NumTuples();
   if (n <= 1) return 1.0;
+  LIMBO_OBS_SPAN(rad_span, "rad");
+  LIMBO_OBS_COUNT("measures.rad_evals", 1);
   const std::vector<uint64_t> counts = ProjectedCounts(rel, attributes);
   const double h = EntropyOfCounts(counts);
   return 1.0 - h / std::log2(static_cast<double>(n));
@@ -69,6 +73,8 @@ double Rtr(const relation::Relation& rel,
            const std::vector<relation::AttributeId>& attributes) {
   const size_t n = rel.NumTuples();
   if (n == 0) return 0.0;
+  LIMBO_OBS_SPAN(rtr_span, "rtr");
+  LIMBO_OBS_COUNT("measures.rtr_evals", 1);
   const size_t distinct =
       relation::CountDistinctProjected(rel, attributes);
   return 1.0 - static_cast<double>(distinct) / static_cast<double>(n);

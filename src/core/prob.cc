@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/counters.h"
 #include "util/logging.h"
 
 namespace limbo::core {
@@ -316,7 +317,11 @@ constexpr uint32_t kDenseIdLimit = 1u << 22;
 }  // namespace
 
 void LossKernel::SetObject(double p, DistributionView cond, uint64_t tag) {
-  if (tag != 0 && tag == tag_) return;
+  if (tag != 0 && tag == tag_) {
+    ++stats_.dedup_hits;
+    return;
+  }
+  ++stats_.scatters;
   tag_ = tag;
   for (uint32_t id : touched_) dense_mass_[id] = 0.0;
   touched_.clear();
@@ -349,6 +354,7 @@ void LossKernel::SetObject(double p, DistributionView cond, uint64_t tag) {
 }
 
 double LossKernel::Loss(double p, DistributionView cand) const {
+  ++stats_.loss_calls;
   const double total = object_p_ + p;
   if (total <= 0.0) return 0.0;
   if (object_.Empty() || cand.Empty()) return 0.0;
@@ -443,6 +449,22 @@ double LossKernel::JsStreamCandidate(double w1, double w2,
   const double o_only = object_mass_ - shared_o;
   if (o_only > 0.0) d += w1 * o_only * log_inv_w1;
   return d;
+}
+
+void FlushKernelStats(const std::vector<LossKernel>& kernels,
+                      const std::string& prefix) {
+  if (!obs::Enabled()) return;
+  LossKernel::Stats total;
+  for (const LossKernel& kernel : kernels) {
+    total.loss_calls += kernel.stats().loss_calls;
+    total.scatters += kernel.stats().scatters;
+    total.dedup_hits += kernel.stats().dedup_hits;
+  }
+  obs::GetCounter(prefix + ".loss_calls").Add(total.loss_calls);
+  obs::GetCounter(prefix + ".scatters", /*scheduling=*/true)
+      .Add(total.scatters);
+  obs::GetCounter(prefix + ".dedup_hits", /*scheduling=*/true)
+      .Add(total.dedup_hits);
 }
 
 }  // namespace limbo::core

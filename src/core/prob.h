@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace limbo::core {
@@ -179,6 +180,22 @@ class DistributionArena {
 /// function of the pair.
 class LossKernel {
  public:
+  /// Plain per-kernel work tallies — no atomics, because each kernel is
+  /// owned by one lane. Call sites flush them into the obs counter
+  /// registry after their parallel regions join (FlushKernelStats).
+  struct Stats {
+    /// Loss() invocations. Thread-invariant: dispatch is structural.
+    uint64_t loss_calls = 0;
+    /// SetObject() calls that actually scattered the object.
+    uint64_t scatters = 0;
+    /// SetObject() calls skipped by the same-tag dedup. scatters and
+    /// dedup_hits are scheduling tallies: call sites that SetObject once
+    /// per work item (Phase 3) produce thread-invariant sums, but sites
+    /// that re-set per chunk of a parallel scan (the AIB refresh) make
+    /// even the sum depend on how the range was chunked.
+    uint64_t dedup_hits = 0;
+  };
+
   /// Fixes the object side. The view's backing storage must outlive
   /// subsequent Loss calls. A nonzero `tag` makes repeated calls with
   /// the same tag no-ops, for call sites that re-set the same object
@@ -187,6 +204,9 @@ class LossKernel {
 
   /// δI(object, candidate) — Eq. 3, bits.
   double Loss(double p, DistributionView cand) const;
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
 
  private:
   double JsSmallObject(double w1, double w2, DistributionView cand) const;
@@ -205,7 +225,16 @@ class LossKernel {
   std::vector<double> dense_log_;
   std::vector<uint32_t> touched_;
   uint64_t tag_ = 0;
+  mutable Stats stats_;  // mutable: Loss() is logically const
 };
+
+/// Sums the tallies of a set of per-lane kernels into the obs counters
+/// `<prefix>.loss_calls` (work — identical at every thread count) and
+/// `<prefix>.scatters` / `<prefix>.dedup_hits` (scheduling — dependent
+/// on lane count and chunking). No-op while obs is disabled. Call once
+/// per kernel lifetime, after all parallel regions joined.
+void FlushKernelStats(const std::vector<LossKernel>& kernels,
+                      const std::string& prefix);
 
 namespace internal {
 

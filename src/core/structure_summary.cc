@@ -5,6 +5,7 @@
 #include "core/info.h"
 #include "core/limbo.h"
 #include "core/measures.h"
+#include "obs/trace.h"
 #include "fd/fdep.h"
 #include "fd/min_cover.h"
 #include "fd/tane.h"
@@ -17,8 +18,12 @@ util::Result<StructureSummary> SummarizeStructure(
   if (rel.NumTuples() == 0) {
     return util::Status::InvalidArgument("relation is empty");
   }
+  LIMBO_OBS_SPAN(summary_span, "structure_summary");
   StructureSummary summary;
-  summary.profile = relation::Profile(rel);
+  {
+    LIMBO_OBS_SPAN(profile_span, "profile");
+    summary.profile = relation::Profile(rel);
+  }
 
   const bool large = rel.NumTuples() > options.large_relation_threshold;
 
@@ -34,6 +39,7 @@ util::Result<StructureSummary> SummarizeStructure(
   std::vector<uint32_t> labels;
   size_t num_clusters = 0;
   if (large) {
+    LIMBO_OBS_SPAN(dc_span, "double_clustering");
     const std::vector<Dcf> objects = BuildTupleObjects(rel);
     WeightedRows rows;
     for (const Dcf& o : objects) {
@@ -65,12 +71,15 @@ util::Result<StructureSummary> SummarizeStructure(
 
   // FD mining + minimum cover + ranking.
   std::vector<fd::FunctionalDependency> fds;
-  if (large) {
-    fd::TaneOptions tane_options;
-    tane_options.min_lhs = 1;
-    LIMBO_ASSIGN_OR_RETURN(fds, fd::Tane::Mine(rel, tane_options));
-  } else {
-    LIMBO_ASSIGN_OR_RETURN(fds, fd::Fdep::Mine(rel));
+  {
+    LIMBO_OBS_SPAN(mine_span, "fd_mining");
+    if (large) {
+      fd::TaneOptions tane_options;
+      tane_options.min_lhs = 1;
+      LIMBO_ASSIGN_OR_RETURN(fds, fd::Tane::Mine(rel, tane_options));
+    } else {
+      LIMBO_ASSIGN_OR_RETURN(fds, fd::Fdep::Mine(rel));
+    }
   }
   summary.num_fds = fds.size();
   const auto cover = fd::MinimumCover(fds, /*merge_same_lhs=*/false);

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/info.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace limbo::core {
 
@@ -28,6 +30,7 @@ util::Result<DuplicateTupleReport> FindDuplicateTuples(
   if (n == 0) {
     return util::Status::InvalidArgument("relation is empty");
   }
+  LIMBO_OBS_SPAN(dup_span, "tuple_clustering");
   const std::vector<Dcf> objects = BuildTupleObjects(rel);
 
   WeightedRows rows;
@@ -69,9 +72,17 @@ util::Result<DuplicateTupleReport> FindDuplicateTuples(
   }
   const double accept =
       options.association_margin * report.threshold + 1e-12;
+  uint64_t accepted = 0;
   for (relation::TupleId t = 0; t < n; ++t) {
-    if (losses[t] <= accept) groups[labels[t]].tuples.push_back(t);
+    if (losses[t] <= accept) {
+      groups[labels[t]].tuples.push_back(t);
+      ++accepted;
+    }
   }
+  // The Phase-3 scan assigns every tuple somewhere; the association
+  // margin then rejects loose fits back to singleton status.
+  LIMBO_OBS_COUNT("tuple_clustering.assigned", accepted);
+  LIMBO_OBS_COUNT("tuple_clustering.rejected", n - accepted);
   for (DuplicateTupleGroup& g : groups) {
     if (g.tuples.size() >= 2) report.groups.push_back(std::move(g));
   }

@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "core/info.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace limbo::core {
@@ -61,6 +63,7 @@ util::Result<ValueClusteringResult> ClusterValues(
   if (rel.NumTuples() == 0) {
     return util::Status::InvalidArgument("relation is empty");
   }
+  LIMBO_OBS_SPAN(values_span, "value_clustering");
   const bool double_clustered = options.tuple_labels != nullptr;
   const std::vector<Dcf> objects =
       double_clustered
@@ -116,6 +119,10 @@ util::Result<ValueClusteringResult> ClusterValues(
     group.is_duplicate = multi_tuple && attrs_present >= 2;
     if (group.is_duplicate) result.duplicate_groups.push_back(g);
   }
+  LIMBO_OBS_COUNT("value_clustering.values", d);
+  LIMBO_OBS_COUNT("value_clustering.groups", result.groups.size());
+  LIMBO_OBS_COUNT("value_clustering.cvd_groups",
+                  result.duplicate_groups.size());
   return result;
 }
 

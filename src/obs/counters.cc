@@ -1,0 +1,109 @@
+#include "obs/counters.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace limbo::obs {
+
+namespace {
+
+bool EnabledFromEnv() {
+  const char* value = std::getenv("LIMBO_OBS");
+  if (value == nullptr) return true;
+  return std::strcmp(value, "0") != 0 && std::strcmp(value, "off") != 0 &&
+         std::strcmp(value, "false") != 0;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{EnabledFromEnv()};
+  return flag;
+}
+
+// Counters must outlive every cached reference in LIMBO_OBS_COUNT call
+// sites, including during static destruction, so the registry is
+// intentionally leaked.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+size_t AcquireShardIndex() {
+  static std::atomic<size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) % Counter::kShards;
+}
+
+size_t ShardIndex() {
+  thread_local size_t index = AcquireShardIndex();
+  return index;
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+Counter::Counter(std::string name, bool scheduling)
+    : name_(std::move(name)), scheduling_(scheduling) {}
+
+void Counter::Add(uint64_t delta) {
+  shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+Counter& GetCounter(const std::string& name, bool scheduling) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.counters.find(name);
+  if (it == registry.counters.end()) {
+    it = registry.counters
+             .emplace(name, std::make_unique<Counter>(name, scheduling))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<CounterValue> SnapshotCounters() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<CounterValue> out;
+  out.reserve(registry.counters.size());
+  for (const auto& [name, counter] : registry.counters) {
+    out.push_back({name, counter->Value(), counter->scheduling()});
+  }
+  return out;  // std::map iteration is already name-sorted.
+}
+
+void ResetCounters() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& [name, counter] : registry.counters) {
+    counter->Reset();
+  }
+}
+
+}  // namespace limbo::obs

@@ -1,0 +1,122 @@
+#ifndef LIMBO_OBS_COUNTERS_H_
+#define LIMBO_OBS_COUNTERS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace limbo::obs {
+
+/// Whether the observability layer records anything at runtime. Defaults
+/// to true; set LIMBO_OBS=0 (or "off" / "false") in the environment to
+/// start disabled. When disabled, ScopedSpan never reads the clock and
+/// LIMBO_OBS_COUNT never touches the registry, so instrumented code pays
+/// one predictable branch per site. For a compile-time kill switch, define
+/// LIMBO_OBS_DISABLED before including obs headers: the LIMBO_OBS_*
+/// macros then expand to inert statements.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// A named monotonic counter. Adds go to one of a fixed number of
+/// cache-line-padded shards selected per thread, with relaxed atomics —
+/// no locks and no contention on the hot path as long as threads <
+/// kCounterShards. Counters are created on first use via GetCounter and
+/// live for the process lifetime (ResetCounters zeroes them but never
+/// deletes), so cached references stay valid forever.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  Counter(std::string name, bool scheduling);
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta);
+  void Increment() { Add(1); }
+
+  /// Sum over shards. Exact once concurrent writers have quiesced (the
+  /// reporting paths read after joining their parallel regions).
+  uint64_t Value() const;
+
+  void Reset();
+
+  const std::string& name() const { return name_; }
+
+  /// Scheduling counters measure *how* work was partitioned (e.g. one
+  /// kernel scatter per lane that ran a chunk), so their totals depend on
+  /// the thread count. Everything else counts *what* was computed and is
+  /// identical for every lane count; the determinism tests assert exactly
+  /// that split.
+  bool scheduling() const { return scheduling_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  std::string name_;
+  bool scheduling_;
+  std::array<Shard, kShards> shards_;
+};
+
+/// Finds or creates the counter named `name`. The scheduling flag is
+/// fixed by whichever call registers the counter first.
+Counter& GetCounter(const std::string& name, bool scheduling = false);
+
+struct CounterValue {
+  std::string name;
+  uint64_t value = 0;
+  bool scheduling = false;
+};
+
+/// All registered counters, sorted by name. Zero-valued counters are
+/// included: a counter that registered but never fired is itself signal.
+std::vector<CounterValue> SnapshotCounters();
+
+/// Zeroes every registered counter (registration survives).
+void ResetCounters();
+
+}  // namespace limbo::obs
+
+#if defined(LIMBO_OBS_DISABLED)
+
+#define LIMBO_OBS_COUNT(name, delta) \
+  do {                               \
+    if (false) {                     \
+      (void)(name);                  \
+      (void)(delta);                 \
+    }                                \
+  } while (0)
+#define LIMBO_OBS_COUNT_SCHED(name, delta) LIMBO_OBS_COUNT(name, delta)
+
+#else
+
+/// Adds `delta` to the counter `name`. The registry lookup runs once per
+/// call site (cached in a function-local static); afterwards each hit is
+/// one branch plus one relaxed fetch_add on a thread-private shard.
+#define LIMBO_OBS_COUNT(name, delta)                              \
+  do {                                                            \
+    if (::limbo::obs::Enabled()) {                                \
+      static ::limbo::obs::Counter& limbo_obs_counter_ =          \
+          ::limbo::obs::GetCounter(name);                         \
+      limbo_obs_counter_.Add(static_cast<uint64_t>(delta));       \
+    }                                                             \
+  } while (0)
+
+/// Same, but registers the counter as a scheduling counter (totals may
+/// legitimately differ across thread counts).
+#define LIMBO_OBS_COUNT_SCHED(name, delta)                        \
+  do {                                                            \
+    if (::limbo::obs::Enabled()) {                                \
+      static ::limbo::obs::Counter& limbo_obs_counter_ =          \
+          ::limbo::obs::GetCounter(name, /*scheduling=*/true);    \
+      limbo_obs_counter_.Add(static_cast<uint64_t>(delta));       \
+    }                                                             \
+  } while (0)
+
+#endif  // LIMBO_OBS_DISABLED
+
+#endif  // LIMBO_OBS_COUNTERS_H_

@@ -1,0 +1,614 @@
+#include "obs/report.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace limbo::obs {
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendValue(const ReportValue& v, std::string* out) {
+  char buf[40];
+  switch (v.kind) {
+    case ReportValue::Kind::kString:
+      AppendEscaped(v.str, out);
+      break;
+    case ReportValue::Kind::kNumber:
+      // %.17g survives a parse round-trip exactly for every double.
+      std::snprintf(buf, sizeof(buf), "%.17g", v.number);
+      // Keep the token a JSON number even when the value is integral, so
+      // the parser maps it back to kNumber.
+      if (std::strpbrk(buf, ".eE") == nullptr &&
+          std::strcmp(buf, "inf") != 0 && std::strcmp(buf, "-inf") != 0 &&
+          std::strcmp(buf, "nan") != 0) {
+        std::strcat(buf, ".0");
+      }
+      *out += buf;
+      break;
+    case ReportValue::Kind::kInteger:
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, v.integer);
+      *out += buf;
+      break;
+    case ReportValue::Kind::kBoolean:
+      *out += v.boolean ? "true" : "false";
+      break;
+  }
+}
+
+void Indent(int depth, std::string* out) { out->append(2 * depth, ' '); }
+
+void AppendSection(const ReportSection& section, int depth, std::string* out) {
+  Indent(depth, out);
+  *out += "{\n";
+  Indent(depth + 1, out);
+  *out += "\"title\": ";
+  AppendEscaped(section.title, out);
+  if (!section.fields.empty()) {
+    *out += ",\n";
+    Indent(depth + 1, out);
+    *out += "\"fields\": {";
+    bool first = true;
+    for (const auto& [key, value] : section.fields) {
+      if (!first) *out += ", ";
+      first = false;
+      AppendEscaped(key, out);
+      *out += ": ";
+      AppendValue(value, out);
+    }
+    *out += "}";
+  }
+  if (!section.table.empty()) {
+    *out += ",\n";
+    Indent(depth + 1, out);
+    *out += "\"table\": {\"columns\": [";
+    for (size_t i = 0; i < section.table.columns.size(); ++i) {
+      if (i > 0) *out += ", ";
+      AppendEscaped(section.table.columns[i], out);
+    }
+    *out += "], \"rows\": [";
+    for (size_t r = 0; r < section.table.rows.size(); ++r) {
+      if (r > 0) *out += ",";
+      *out += "\n";
+      Indent(depth + 2, out);
+      *out += "[";
+      const auto& row = section.table.rows[r];
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) *out += ", ";
+        AppendValue(row[c], out);
+      }
+      *out += "]";
+    }
+    if (!section.table.rows.empty()) {
+      *out += "\n";
+      Indent(depth + 1, out);
+    }
+    *out += "]}";
+  }
+  if (!section.children.empty()) {
+    *out += ",\n";
+    Indent(depth + 1, out);
+    *out += "\"sections\": [\n";
+    for (size_t i = 0; i < section.children.size(); ++i) {
+      if (i > 0) *out += ",\n";
+      AppendSection(section.children[i], depth + 2, out);
+    }
+    *out += "\n";
+    Indent(depth + 1, out);
+    *out += "]";
+  }
+  *out += "\n";
+  Indent(depth, out);
+  *out += "}";
+}
+
+std::string ValueToText(const ReportValue& v) {
+  std::string out;
+  if (v.kind == ReportValue::Kind::kString) return v.str;
+  AppendValue(v, &out);
+  return out;
+}
+
+void AppendSectionMarkdown(const ReportSection& section, int level,
+                           std::string* out) {
+  out->append(static_cast<size_t>(level > 6 ? 6 : level), '#');
+  *out += " " + section.title + "\n\n";
+  if (!section.fields.empty()) {
+    for (const auto& [key, value] : section.fields) {
+      *out += "- " + key + ": " + ValueToText(value) + "\n";
+    }
+    *out += "\n";
+  }
+  if (!section.table.empty()) {
+    *out += "|";
+    for (const auto& column : section.table.columns) *out += " " + column + " |";
+    *out += "\n|";
+    for (size_t i = 0; i < section.table.columns.size(); ++i) *out += "---|";
+    *out += "\n";
+    for (const auto& row : section.table.rows) {
+      *out += "|";
+      for (const auto& cell : row) *out += " " + ValueToText(cell) + " |";
+      *out += "\n";
+    }
+    *out += "\n";
+  }
+  for (const ReportSection& child : section.children) {
+    AppendSectionMarkdown(child, level + 1, out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser, just enough for the report schema round-trip.
+
+struct JsonValue {
+  enum class Kind { kNull, kBoolean, kInteger, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  uint64_t integer = 0;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const char* key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  util::Result<JsonValue> Parse() {
+    JsonValue value;
+    util::Status s = ParseValue(&value);
+    if (!s.ok()) return s;
+    SkipWs();
+    if (p_ != end_) return Fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  util::Status Fail(const std::string& what) {
+    return util::Status::InvalidArgument(
+        "JSON parse error at offset " + std::to_string(offset_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      Advance();
+    }
+  }
+
+  void Advance() {
+    ++p_;
+    ++offset_;
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (p_ == end_ || *p_ != c) return false;
+    Advance();
+    return true;
+  }
+
+  util::Status ParseValue(JsonValue* out) {
+    SkipWs();
+    if (p_ == end_) return Fail("unexpected end of input");
+    switch (*p_) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+      case 'f':
+        return ParseKeyword(out);
+      case 'n':
+        return ParseNull(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  util::Status ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    Advance();  // '{'
+    if (Consume('}')) return util::Status::Ok();
+    while (true) {
+      SkipWs();
+      if (p_ == end_ || *p_ != '"') return Fail("expected object key");
+      std::string key;
+      LIMBO_RETURN_IF_ERROR(ParseString(&key));
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      JsonValue value;
+      LIMBO_RETURN_IF_ERROR(ParseValue(&value));
+      out->object.emplace_back(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return util::Status::Ok();
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  util::Status ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    Advance();  // '['
+    if (Consume(']')) return util::Status::Ok();
+    while (true) {
+      JsonValue value;
+      LIMBO_RETURN_IF_ERROR(ParseValue(&value));
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return util::Status::Ok();
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  util::Status ParseString(std::string* out) {
+    Advance();  // '"'
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        Advance();
+        if (p_ == end_) return Fail("unterminated escape");
+        switch (*p_) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 'u': {
+            if (end_ - p_ < 5) return Fail("truncated \\u escape");
+            char hex[5] = {p_[1], p_[2], p_[3], p_[4], 0};
+            char* hex_end = nullptr;
+            long code = std::strtol(hex, &hex_end, 16);
+            if (hex_end != hex + 4) return Fail("bad \\u escape");
+            if (code > 0x7f) return Fail("non-ASCII \\u escape unsupported");
+            *out += static_cast<char>(code);
+            Advance();
+            Advance();
+            Advance();
+            Advance();
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+        Advance();
+      } else {
+        *out += *p_;
+        Advance();
+      }
+    }
+    if (p_ == end_) return Fail("unterminated string");
+    Advance();  // closing '"'
+    return util::Status::Ok();
+  }
+
+  util::Status ParseKeyword(JsonValue* out) {
+    out->kind = JsonValue::Kind::kBoolean;
+    if (end_ - p_ >= 4 && std::strncmp(p_, "true", 4) == 0) {
+      out->boolean = true;
+      for (int i = 0; i < 4; ++i) Advance();
+      return util::Status::Ok();
+    }
+    if (end_ - p_ >= 5 && std::strncmp(p_, "false", 5) == 0) {
+      out->boolean = false;
+      for (int i = 0; i < 5; ++i) Advance();
+      return util::Status::Ok();
+    }
+    return Fail("bad keyword");
+  }
+
+  util::Status ParseNull(JsonValue* out) {
+    if (end_ - p_ >= 4 && std::strncmp(p_, "null", 4) == 0) {
+      out->kind = JsonValue::Kind::kNull;
+      for (int i = 0; i < 4; ++i) Advance();
+      return util::Status::Ok();
+    }
+    return Fail("bad keyword");
+  }
+
+  util::Status ParseNumber(JsonValue* out) {
+    const char* start = p_;
+    bool is_integer = true;
+    if (p_ != end_ && *p_ == '-') Advance();
+    while (p_ != end_ &&
+           (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '.' ||
+            *p_ == 'e' || *p_ == 'E' || *p_ == '+' || *p_ == '-')) {
+      if (*p_ == '.' || *p_ == 'e' || *p_ == 'E') is_integer = false;
+      Advance();
+    }
+    if (p_ == start) return Fail("expected a value");
+    std::string token(start, p_);
+    char* parse_end = nullptr;
+    if (is_integer && token[0] != '-') {
+      out->kind = JsonValue::Kind::kInteger;
+      out->integer = std::strtoull(token.c_str(), &parse_end, 10);
+    } else {
+      out->kind = JsonValue::Kind::kNumber;
+      out->number = std::strtod(token.c_str(), &parse_end);
+    }
+    if (parse_end != token.c_str() + token.size()) return Fail("bad number");
+    return util::Status::Ok();
+  }
+
+  const char* p_;
+  const char* end_;
+  size_t offset_ = 0;
+};
+
+util::Status ValueFromJson(const JsonValue& in, ReportValue* out) {
+  switch (in.kind) {
+    case JsonValue::Kind::kString:
+      *out = ReportValue::String(in.str);
+      return util::Status::Ok();
+    case JsonValue::Kind::kInteger:
+      *out = ReportValue::Integer(in.integer);
+      return util::Status::Ok();
+    case JsonValue::Kind::kNumber:
+      *out = ReportValue::Number(in.number);
+      return util::Status::Ok();
+    case JsonValue::Kind::kBoolean:
+      *out = ReportValue::Boolean(in.boolean);
+      return util::Status::Ok();
+    default:
+      return util::Status::InvalidArgument(
+          "report values must be scalars (string/number/bool)");
+  }
+}
+
+util::Status SectionFromJson(const JsonValue& in, ReportSection* out) {
+  if (in.kind != JsonValue::Kind::kObject) {
+    return util::Status::InvalidArgument("section must be a JSON object");
+  }
+  const JsonValue* title = in.Find("title");
+  if (title == nullptr || title->kind != JsonValue::Kind::kString) {
+    return util::Status::InvalidArgument("section missing string \"title\"");
+  }
+  out->title = title->str;
+  if (const JsonValue* fields = in.Find("fields")) {
+    if (fields->kind != JsonValue::Kind::kObject) {
+      return util::Status::InvalidArgument("\"fields\" must be an object");
+    }
+    for (const auto& [key, value] : fields->object) {
+      ReportValue rv;
+      LIMBO_RETURN_IF_ERROR(ValueFromJson(value, &rv));
+      out->fields.emplace_back(key, std::move(rv));
+    }
+  }
+  if (const JsonValue* table = in.Find("table")) {
+    const JsonValue* columns = table->Find("columns");
+    const JsonValue* rows = table->Find("rows");
+    if (table->kind != JsonValue::Kind::kObject || columns == nullptr ||
+        columns->kind != JsonValue::Kind::kArray || rows == nullptr ||
+        rows->kind != JsonValue::Kind::kArray) {
+      return util::Status::InvalidArgument(
+          "\"table\" must be {columns: [...], rows: [...]}");
+    }
+    for (const JsonValue& column : columns->array) {
+      if (column.kind != JsonValue::Kind::kString) {
+        return util::Status::InvalidArgument("column names must be strings");
+      }
+      out->table.columns.push_back(column.str);
+    }
+    for (const JsonValue& row : rows->array) {
+      if (row.kind != JsonValue::Kind::kArray ||
+          row.array.size() != out->table.columns.size()) {
+        return util::Status::InvalidArgument(
+            "each table row must be an array matching the column count");
+      }
+      std::vector<ReportValue> cells;
+      for (const JsonValue& cell : row.array) {
+        ReportValue rv;
+        LIMBO_RETURN_IF_ERROR(ValueFromJson(cell, &rv));
+        cells.push_back(std::move(rv));
+      }
+      out->table.rows.push_back(std::move(cells));
+    }
+  }
+  if (const JsonValue* sections = in.Find("sections")) {
+    if (sections->kind != JsonValue::Kind::kArray) {
+      return util::Status::InvalidArgument("\"sections\" must be an array");
+    }
+    for (const JsonValue& child : sections->array) {
+      ReportSection child_section;
+      LIMBO_RETURN_IF_ERROR(SectionFromJson(child, &child_section));
+      out->children.push_back(std::move(child_section));
+    }
+  }
+  return util::Status::Ok();
+}
+
+void AppendTraceRows(const SpanStats& node, int depth, ReportSection* out) {
+  for (const SpanStats& child : node.children) {
+    out->table.rows.push_back({ReportValue::String(child.name),
+                               ReportValue::Integer(static_cast<uint64_t>(depth)),
+                               ReportValue::Integer(child.count),
+                               ReportValue::Number(child.total_seconds)});
+    AppendTraceRows(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+ReportValue ReportValue::String(std::string value) {
+  ReportValue v;
+  v.kind = Kind::kString;
+  v.str = std::move(value);
+  return v;
+}
+
+ReportValue ReportValue::Number(double value) {
+  ReportValue v;
+  v.kind = Kind::kNumber;
+  v.number = value;
+  return v;
+}
+
+ReportValue ReportValue::Integer(uint64_t value) {
+  ReportValue v;
+  v.kind = Kind::kInteger;
+  v.integer = value;
+  return v;
+}
+
+ReportValue ReportValue::Boolean(bool value) {
+  ReportValue v;
+  v.kind = Kind::kBoolean;
+  v.boolean = value;
+  return v;
+}
+
+void ReportSection::AddField(std::string key, std::string value) {
+  fields.emplace_back(std::move(key), ReportValue::String(std::move(value)));
+}
+void ReportSection::AddField(std::string key, const char* value) {
+  AddField(std::move(key), std::string(value));
+}
+void ReportSection::AddField(std::string key, double value) {
+  fields.emplace_back(std::move(key), ReportValue::Number(value));
+}
+void ReportSection::AddField(std::string key, uint64_t value) {
+  fields.emplace_back(std::move(key), ReportValue::Integer(value));
+}
+void ReportSection::AddField(std::string key, int value) {
+  fields.emplace_back(std::move(key),
+                      ReportValue::Integer(static_cast<uint64_t>(value)));
+}
+void ReportSection::AddField(std::string key, bool value) {
+  fields.emplace_back(std::move(key), ReportValue::Boolean(value));
+}
+
+std::string RunReport::ToJson() const {
+  std::string out = "{\n  \"schema_version\": ";
+  out += std::to_string(schema_version);
+  out += ",\n  \"title\": ";
+  AppendEscaped(title, &out);
+  out += ",\n  \"sections\": [\n";
+  for (size_t i = 0; i < sections.size(); ++i) {
+    if (i > 0) out += ",\n";
+    AppendSection(sections[i], 2, &out);
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string RunReport::ToMarkdown() const {
+  std::string out = "# " + title + "\n\n";
+  out += "- schema_version: " + std::to_string(schema_version) + "\n\n";
+  for (const ReportSection& section : sections) {
+    AppendSectionMarkdown(section, 2, &out);
+  }
+  return out;
+}
+
+util::Result<RunReport> RunReport::FromJson(const std::string& json) {
+  JsonParser parser(json);
+  util::Result<JsonValue> parsed = parser.Parse();
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = *parsed;
+  if (root.kind != JsonValue::Kind::kObject) {
+    return util::Status::InvalidArgument("report must be a JSON object");
+  }
+  RunReport report;
+  const JsonValue* version = root.Find("schema_version");
+  if (version == nullptr || version->kind != JsonValue::Kind::kInteger) {
+    return util::Status::InvalidArgument(
+        "report missing integer \"schema_version\"");
+  }
+  report.schema_version = static_cast<int>(version->integer);
+  if (report.schema_version != kRunReportSchemaVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported report schema_version " +
+        std::to_string(report.schema_version) + " (want " +
+        std::to_string(kRunReportSchemaVersion) + ")");
+  }
+  const JsonValue* title = root.Find("title");
+  if (title == nullptr || title->kind != JsonValue::Kind::kString) {
+    return util::Status::InvalidArgument("report missing string \"title\"");
+  }
+  report.title = title->str;
+  const JsonValue* sections = root.Find("sections");
+  if (sections == nullptr || sections->kind != JsonValue::Kind::kArray) {
+    return util::Status::InvalidArgument("report missing \"sections\" array");
+  }
+  for (const JsonValue& section : sections->array) {
+    ReportSection out;
+    LIMBO_RETURN_IF_ERROR(SectionFromJson(section, &out));
+    report.sections.push_back(std::move(out));
+  }
+  return report;
+}
+
+ReportSection TraceSection(const SpanStats& root) {
+  ReportSection section("spans");
+  section.table.columns = {"span", "depth", "count", "seconds"};
+  AppendTraceRows(root, 0, &section);
+  return section;
+}
+
+ReportSection CountersSection(const std::vector<CounterValue>& counters) {
+  ReportSection section("counters");
+  section.table.columns = {"counter", "value", "scheduling"};
+  for (const CounterValue& counter : counters) {
+    section.table.rows.push_back({ReportValue::String(counter.name),
+                                  ReportValue::Integer(counter.value),
+                                  ReportValue::Boolean(counter.scheduling)});
+  }
+  return section;
+}
+
+}  // namespace limbo::obs

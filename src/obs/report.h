@@ -1,0 +1,93 @@
+#ifndef LIMBO_OBS_REPORT_H_
+#define LIMBO_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+#include "util/result.h"
+
+namespace limbo::obs {
+
+/// Version stamp written into every serialized RunReport. Bump when the
+/// JSON layout changes shape (see EXPERIMENTS.md for the compatibility
+/// notes); readers reject reports from a different major layout.
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// A typed scalar inside a report: fields and table cells. Keeping the
+/// type explicit means JSON emits real numbers (diffable, machine
+/// readable) while Markdown renders everything as text.
+struct ReportValue {
+  enum class Kind { kString, kNumber, kInteger, kBoolean };
+
+  Kind kind = Kind::kString;
+  std::string str;
+  double number = 0.0;
+  uint64_t integer = 0;
+  bool boolean = false;
+
+  static ReportValue String(std::string value);
+  static ReportValue Number(double value);
+  static ReportValue Integer(uint64_t value);
+  static ReportValue Boolean(bool value);
+};
+
+struct ReportTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<ReportValue>> rows;
+
+  bool empty() const { return columns.empty(); }
+};
+
+/// One titled node of a report: ordered key/value fields, an optional
+/// table, and child sections. Sections nest arbitrarily deep.
+struct ReportSection {
+  std::string title;
+  std::vector<std::pair<std::string, ReportValue>> fields;
+  ReportTable table;
+  std::vector<ReportSection> children;
+
+  ReportSection() = default;
+  explicit ReportSection(std::string section_title)
+      : title(std::move(section_title)) {}
+
+  void AddField(std::string key, std::string value);
+  void AddField(std::string key, const char* value);
+  void AddField(std::string key, double value);
+  void AddField(std::string key, uint64_t value);
+  void AddField(std::string key, int value);
+  void AddField(std::string key, bool value);
+};
+
+/// A hierarchical run report, serializable to JSON (machine) and
+/// Markdown (human), parseable back from its own JSON for round-trip
+/// tests and report diffing.
+struct RunReport {
+  int schema_version = kRunReportSchemaVersion;
+  std::string title;
+  std::vector<ReportSection> sections;
+
+  std::string ToJson() const;
+  std::string ToMarkdown() const;
+
+  /// Parses a report previously produced by ToJson. Rejects malformed
+  /// JSON, shape mismatches, and unknown schema versions.
+  static util::Result<RunReport> FromJson(const std::string& json);
+};
+
+/// Renders an aggregated trace snapshot as a section titled "spans": one
+/// table row per span path, pre-order, with a depth column encoding the
+/// hierarchy. Only spans that actually executed appear.
+ReportSection TraceSection(const SpanStats& root);
+
+/// Renders a counter snapshot as a section titled "counters": one row
+/// per counter, name-sorted, with the scheduling flag (scheduling
+/// counter totals may differ across thread counts; all others must not).
+ReportSection CountersSection(const std::vector<CounterValue>& counters);
+
+}  // namespace limbo::obs
+
+#endif  // LIMBO_OBS_REPORT_H_

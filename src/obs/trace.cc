@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace limbo::obs {
+
+namespace internal {
+
+struct TraceNode {
+  std::string name;
+  uint64_t count = 0;
+  double total_seconds = 0.0;
+  std::vector<std::unique_ptr<TraceNode>> children;
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::TraceNode;
+
+std::mutex& TraceMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+// Leaked so span exits during static destruction stay safe.
+TraceNode& Root() {
+  static TraceNode* root = new TraceNode;
+  return *root;
+}
+
+bool g_echo = false;
+
+// Per-thread stack of open spans. ResetTrace requires all spans closed,
+// so entries never dangle across a reset.
+thread_local std::vector<TraceNode*> tl_stack;
+
+TraceNode* FindOrCreateChild(TraceNode* parent, const char* name) {
+  for (const auto& child : parent->children) {
+    if (child->name == name) return child.get();
+  }
+  parent->children.push_back(std::make_unique<TraceNode>());
+  parent->children.back()->name = name;
+  return parent->children.back().get();
+}
+
+void CopyNode(const TraceNode& node, SpanStats* out) {
+  out->name = node.name;
+  out->count = node.count;
+  out->total_seconds = node.total_seconds;
+  out->children.resize(node.children.size());
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    CopyNode(*node.children[i], &out->children[i]);
+  }
+}
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name), active_(Enabled()) {
+  if (!active_) return;
+  {
+    std::lock_guard<std::mutex> lock(TraceMutex());
+    TraceNode* parent = tl_stack.empty() ? &Root() : tl_stack.back();
+    node_ = FindOrCreateChild(parent, name);
+    tl_stack.push_back(node_);
+  }
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() { Stop(); }
+
+double ScopedSpan::Stop() {
+  if (!active_) return 0.0;
+  active_ = false;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(TraceMutex());
+    // Spans must stop in LIFO order per thread.
+    LIMBO_CHECK(!tl_stack.empty() && tl_stack.back() == node_);
+    node_->count += 1;
+    node_->total_seconds += elapsed;
+    tl_stack.pop_back();
+    depth = tl_stack.size();
+  }
+  if (g_echo) {
+    std::fprintf(stderr, "[trace] %*s%s: %.6f s\n",
+                 static_cast<int>(2 * depth), "", name_, elapsed);
+  }
+  return elapsed;
+}
+
+SpanStats SnapshotTrace() {
+  std::lock_guard<std::mutex> lock(TraceMutex());
+  SpanStats out;
+  CopyNode(Root(), &out);
+  return out;
+}
+
+void ResetTrace() {
+  std::lock_guard<std::mutex> lock(TraceMutex());
+  LIMBO_CHECK(tl_stack.empty());  // no resets while spans are open
+  Root().children.clear();
+  Root().count = 0;
+  Root().total_seconds = 0.0;
+}
+
+void SetTraceEcho(bool echo) { g_echo = echo; }
+
+}  // namespace limbo::obs

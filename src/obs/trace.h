@@ -1,0 +1,83 @@
+#ifndef LIMBO_OBS_TRACE_H_
+#define LIMBO_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"  // Enabled()
+
+namespace limbo::obs {
+
+namespace internal {
+struct TraceNode;
+}  // namespace internal
+
+/// An RAII wall-time span. Spans aggregate by *path*: two spans with the
+/// same name under the same parent accumulate into one node (count +
+/// total seconds), so per-iteration spans stay bounded in memory. Nesting
+/// is tracked per thread — a span opened on a worker thread starts a new
+/// top-level path for that thread. Entry and exit take a global mutex, so
+/// open spans around phases and stages, not around per-object inner
+/// loops (use counters there).
+///
+/// When the layer is disabled (runtime flag or LIMBO_OBS_DISABLED), the
+/// constructor does not read the clock and Stop() returns 0.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Ends the span now (idempotent) and returns its elapsed seconds —
+  /// 0.0 if the layer was disabled at construction. Spans must stop in
+  /// LIFO order per thread.
+  double Stop();
+
+ private:
+  const char* name_;
+  internal::TraceNode* node_ = nullptr;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Inert stand-in with the same surface as ScopedSpan; what the
+/// LIMBO_OBS_SPAN macro expands to under LIMBO_OBS_DISABLED.
+class NullSpan {
+ public:
+  explicit NullSpan(const char* name) { (void)name; }
+  ~NullSpan() {}  // non-trivial on purpose: silences unused-variable warnings
+  double Stop() { return 0.0; }
+};
+
+/// A copy of one aggregated span node. The root has an empty name and
+/// zero counts; its children are the top-level spans in first-start
+/// order (deterministic for a single-threaded instrumentation driver).
+struct SpanStats {
+  std::string name;
+  uint64_t count = 0;
+  double total_seconds = 0.0;
+  std::vector<SpanStats> children;
+};
+
+SpanStats SnapshotTrace();
+
+/// Drops the aggregate tree. Must not be called while spans are open.
+void ResetTrace();
+
+/// When true, every span exit prints "[trace] <indent><path>: <secs>" to
+/// stderr (the limbo-tool --trace mode).
+void SetTraceEcho(bool echo);
+
+}  // namespace limbo::obs
+
+#if defined(LIMBO_OBS_DISABLED)
+#define LIMBO_OBS_SPAN(var, name) ::limbo::obs::NullSpan var(name)
+#else
+#define LIMBO_OBS_SPAN(var, name) ::limbo::obs::ScopedSpan var(name)
+#endif
+
+#endif  // LIMBO_OBS_TRACE_H_

@@ -220,6 +220,18 @@ TEST(LimboTest, PhaseTimingsPopulated) {
   EXPECT_GE(t.phase1_seconds, 0.0);
   EXPECT_GE(t.phase2_seconds, 0.0);
   EXPECT_GE(t.phase3_seconds, 0.0);
+  EXPECT_TRUE(t.phase3_ran);
+}
+
+TEST(LimboTest, Phase3RanFalseWhenPhase3Skipped) {
+  LimboOptions options;
+  options.phi = 0.2;
+  options.k = 0;  // no requested cluster count: Phase 3 is skipped
+  auto result = RunLimbo(ThreePlantedClusters(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->timings.phase3_ran);
+  EXPECT_EQ(result->timings.phase3_distance_evals, 0u);
+  EXPECT_TRUE(result->assignments.empty());
 }
 
 }  // namespace

@@ -1,0 +1,53 @@
+// Compile-time kill switch: with LIMBO_OBS_DISABLED defined before the
+// obs headers, the macros expand to inert statements — no clock reads,
+// no registry lookups, nothing recorded — while still compiling the same
+// call sites.
+
+#define LIMBO_OBS_DISABLED 1
+
+#include <gtest/gtest.h>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace limbo::obs {
+namespace {
+
+TEST(ObsDisabledTest, SpanMacroExpandsToNullSpan) {
+  ResetTrace();
+  {
+    LIMBO_OBS_SPAN(span, "disabled_tu.span");
+    EXPECT_EQ(span.Stop(), 0.0);
+  }
+  {
+    // Dropping the span without Stop must also be inert.
+    LIMBO_OBS_SPAN(span, "disabled_tu.dropped");
+  }
+  for (const SpanStats& child : SnapshotTrace().children) {
+    EXPECT_NE(child.name, "disabled_tu.span");
+    EXPECT_NE(child.name, "disabled_tu.dropped");
+  }
+}
+
+TEST(ObsDisabledTest, CountMacrosNeverRegister) {
+  LIMBO_OBS_COUNT("disabled_tu.count", 3);
+  LIMBO_OBS_COUNT_SCHED("disabled_tu.sched", 3);
+  for (const CounterValue& c : SnapshotCounters()) {
+    EXPECT_NE(c.name, "disabled_tu.count");
+    EXPECT_NE(c.name, "disabled_tu.sched");
+  }
+}
+
+TEST(ObsDisabledTest, MacrosEvaluateArgumentsLazily) {
+  // The disabled expansion must not evaluate the delta expression.
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  LIMBO_OBS_COUNT("disabled_tu.lazy", expensive());
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace limbo::obs

@@ -1,0 +1,172 @@
+// Spans and counters: nesting/aggregation, sharded sums under threads,
+// and the runtime disable switch (no clock reads, no registry mutation).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace limbo::obs {
+namespace {
+
+const SpanStats* FindChild(const SpanStats& node, const std::string& name) {
+  for (const SpanStats& child : node.children) {
+    if (child.name == name) return &child;
+  }
+  return nullptr;
+}
+
+bool HasCounter(const std::string& name) {
+  for (const CounterValue& c : SnapshotCounters()) {
+    if (c.name == name) return true;
+  }
+  return false;
+}
+
+uint64_t CounterTotal(const std::string& name) {
+  for (const CounterValue& c : SnapshotCounters()) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    ResetTrace();
+    ResetCounters();
+  }
+};
+
+TEST_F(ObsTest, SpansAggregateByPath) {
+  {
+    LIMBO_OBS_SPAN(outer, "outer");
+    for (int i = 0; i < 3; ++i) {
+      LIMBO_OBS_SPAN(inner, "inner");
+    }
+    // A second top-level "outer" span accumulates into the same node.
+  }
+  {
+    LIMBO_OBS_SPAN(outer, "outer");
+  }
+  const SpanStats root = SnapshotTrace();
+  const SpanStats* outer = FindChild(root, "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 2u);
+  EXPECT_GE(outer->total_seconds, 0.0);
+  const SpanStats* inner = FindChild(*outer, "inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 3u);
+  // Same name under a different parent is a different path.
+  EXPECT_EQ(FindChild(root, "inner"), nullptr);
+}
+
+TEST_F(ObsTest, StopIsIdempotentAndReturnsElapsed) {
+  LIMBO_OBS_SPAN(span, "stoppable");
+  const double first = span.Stop();
+  EXPECT_GE(first, 0.0);
+  EXPECT_EQ(span.Stop(), 0.0);  // second stop is a no-op
+  const SpanStats root = SnapshotTrace();
+  const SpanStats* node = FindChild(root, "stoppable");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->count, 1u);
+}
+
+TEST_F(ObsTest, ResetTraceDropsAggregates) {
+  {
+    LIMBO_OBS_SPAN(span, "ephemeral");
+  }
+  ResetTrace();
+  EXPECT_TRUE(SnapshotTrace().children.empty());
+}
+
+TEST_F(ObsTest, CounterRegistryReturnsSameInstance) {
+  Counter& a = GetCounter("obs_test.same");
+  Counter& b = GetCounter("obs_test.same");
+  EXPECT_EQ(&a, &b);
+  a.Add(2);
+  b.Increment();
+  EXPECT_EQ(a.Value(), 3u);
+}
+
+TEST_F(ObsTest, SchedulingFlagFixedByFirstRegistration) {
+  Counter& sched = GetCounter("obs_test.sched", /*scheduling=*/true);
+  EXPECT_TRUE(sched.scheduling());
+  EXPECT_TRUE(GetCounter("obs_test.sched", false).scheduling());
+  EXPECT_FALSE(GetCounter("obs_test.work").scheduling());
+}
+
+TEST_F(ObsTest, ShardedAddsSumAcrossThreads) {
+  Counter& counter = GetCounter("obs_test.threads");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST_F(ObsTest, SnapshotIsNameSortedAndKeepsZeros) {
+  GetCounter("obs_test.zzz").Add(1);
+  (void)GetCounter("obs_test.aaa");  // registered, never fired
+  const std::vector<CounterValue> snapshot = SnapshotCounters();
+  ASSERT_GE(snapshot.size(), 2u);
+  for (size_t i = 1; i < snapshot.size(); ++i) {
+    EXPECT_LT(snapshot[i - 1].name, snapshot[i].name);
+  }
+  EXPECT_TRUE(HasCounter("obs_test.aaa"));
+  EXPECT_EQ(CounterTotal("obs_test.aaa"), 0u);
+  EXPECT_EQ(CounterTotal("obs_test.zzz"), 1u);
+}
+
+TEST_F(ObsTest, ResetCountersZeroesButKeepsRegistration) {
+  GetCounter("obs_test.reset_me").Add(7);
+  ResetCounters();
+  EXPECT_TRUE(HasCounter("obs_test.reset_me"));
+  EXPECT_EQ(CounterTotal("obs_test.reset_me"), 0u);
+}
+
+TEST_F(ObsTest, DisabledCountMacroDoesNotTouchRegistry) {
+  SetEnabled(false);
+  LIMBO_OBS_COUNT("obs_test.never_registered", 5);
+  LIMBO_OBS_COUNT_SCHED("obs_test.never_registered_sched", 5);
+  SetEnabled(true);
+  EXPECT_FALSE(HasCounter("obs_test.never_registered"));
+  EXPECT_FALSE(HasCounter("obs_test.never_registered_sched"));
+}
+
+TEST_F(ObsTest, DisabledSpanRecordsNothing) {
+  SetEnabled(false);
+  {
+    LIMBO_OBS_SPAN(span, "obs_test.invisible");
+    EXPECT_EQ(span.Stop(), 0.0);
+  }
+  SetEnabled(true);
+  EXPECT_EQ(FindChild(SnapshotTrace(), "obs_test.invisible"), nullptr);
+}
+
+TEST_F(ObsTest, DisableTakesEffectAtConstructionOnly) {
+  // A span alive across a disable keeps recording; a span opened while
+  // disabled stays inert even if the layer is re-enabled before Stop.
+  LIMBO_OBS_SPAN(live, "obs_test.live");
+  SetEnabled(false);
+  EXPECT_GE(live.Stop(), 0.0);
+  LIMBO_OBS_SPAN(inert, "obs_test.inert");
+  SetEnabled(true);
+  EXPECT_EQ(inert.Stop(), 0.0);
+  const SpanStats root = SnapshotTrace();
+  EXPECT_NE(FindChild(root, "obs_test.live"), nullptr);
+  EXPECT_EQ(FindChild(root, "obs_test.inert"), nullptr);
+}
+
+}  // namespace
+}  // namespace limbo::obs

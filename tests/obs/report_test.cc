@@ -1,0 +1,143 @@
+// RunReport serialization: JSON round-trip fidelity, malformed-input
+// rejection, Markdown rendering, and the trace/counter section builders.
+
+#include "obs/report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace limbo::obs {
+namespace {
+
+RunReport SampleReport() {
+  RunReport report;
+  report.title = "sample run";
+  ReportSection run("run");
+  run.AddField("command", "summary");
+  run.AddField("seconds", 0.125);
+  run.AddField("objects", static_cast<uint64_t>(90));
+  run.AddField("deterministic", true);
+  run.AddField("threads", 4);
+  ReportSection trajectory("trajectory");
+  trajectory.table.columns = {"step", "delta_i"};
+  trajectory.table.rows.push_back(
+      {ReportValue::Integer(0), ReportValue::Number(0.0078125)});
+  trajectory.table.rows.push_back(
+      {ReportValue::Integer(1), ReportValue::Number(1e-17)});
+  run.children.push_back(std::move(trajectory));
+  report.sections.push_back(std::move(run));
+  return report;
+}
+
+TEST(ReportTest, JsonRoundTripIsExact) {
+  const RunReport report = SampleReport();
+  const std::string json = report.ToJson();
+  auto parsed = RunReport::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // Re-serializing the parse reproduces the bytes: every value kept its
+  // kind (0.0078125 stayed a number, 90 an integer) and its order.
+  EXPECT_EQ(parsed->ToJson(), json);
+  EXPECT_EQ(parsed->schema_version, kRunReportSchemaVersion);
+  EXPECT_EQ(parsed->title, "sample run");
+  ASSERT_EQ(parsed->sections.size(), 1u);
+  const ReportSection& run = parsed->sections[0];
+  ASSERT_EQ(run.fields.size(), 5u);
+  EXPECT_EQ(run.fields[0].first, "command");
+  EXPECT_EQ(run.fields[0].second.kind, ReportValue::Kind::kString);
+  EXPECT_EQ(run.fields[1].second.kind, ReportValue::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(run.fields[1].second.number, 0.125);
+  EXPECT_EQ(run.fields[2].second.kind, ReportValue::Kind::kInteger);
+  EXPECT_EQ(run.fields[2].second.integer, 90u);
+  EXPECT_EQ(run.fields[3].second.kind, ReportValue::Kind::kBoolean);
+  ASSERT_EQ(run.children.size(), 1u);
+  ASSERT_EQ(run.children[0].table.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(run.children[0].table.rows[1][1].number, 1e-17);
+}
+
+TEST(ReportTest, EscapesAndRestoresSpecialCharacters) {
+  RunReport report;
+  report.title = "quotes \" backslash \\ newline \n tab \t";
+  auto parsed = RunReport::FromJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->title, report.title);
+}
+
+TEST(ReportTest, RejectsGarbage) {
+  EXPECT_FALSE(RunReport::FromJson("").ok());
+  EXPECT_FALSE(RunReport::FromJson("not json at all").ok());
+  EXPECT_FALSE(RunReport::FromJson("{\"title\": \"x\"}").ok());  // no version
+  EXPECT_FALSE(
+      RunReport::FromJson(
+          "{\"schema_version\": 999, \"title\": \"x\", \"sections\": []}")
+          .ok());
+  EXPECT_FALSE(
+      RunReport::FromJson(
+          "{\"schema_version\": 1, \"title\": \"x\", \"sections\": {}}")
+          .ok());  // sections must be an array
+  // Trailing garbage after a valid document.
+  const std::string valid = SampleReport().ToJson();
+  EXPECT_FALSE(RunReport::FromJson(valid + "trailing").ok());
+  // A table row whose width disagrees with the column list.
+  EXPECT_FALSE(
+      RunReport::FromJson(
+          "{\"schema_version\": 1, \"title\": \"x\", \"sections\": ["
+          "{\"title\": \"s\", \"table\": {\"columns\": [\"a\", \"b\"],"
+          " \"rows\": [[1]]}}]}")
+          .ok());
+}
+
+TEST(ReportTest, MarkdownRendersSectionsAndTables) {
+  const std::string md = SampleReport().ToMarkdown();
+  EXPECT_NE(md.find("# sample run"), std::string::npos);
+  EXPECT_NE(md.find("## run"), std::string::npos);
+  EXPECT_NE(md.find("### trajectory"), std::string::npos);
+  EXPECT_NE(md.find("- command: summary"), std::string::npos);
+  EXPECT_NE(md.find("| step | delta_i |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+}
+
+TEST(ReportTest, TraceSectionFlattensPreOrderWithDepth) {
+  SpanStats root;
+  SpanStats parent;
+  parent.name = "parent";
+  parent.count = 1;
+  parent.total_seconds = 2.0;
+  SpanStats child;
+  child.name = "child";
+  child.count = 3;
+  child.total_seconds = 0.5;
+  parent.children.push_back(child);
+  root.children.push_back(parent);
+  SpanStats sibling;
+  sibling.name = "sibling";
+  sibling.count = 1;
+  root.children.push_back(sibling);
+
+  const ReportSection section = TraceSection(root);
+  EXPECT_EQ(section.title, "spans");
+  ASSERT_EQ(section.table.rows.size(), 3u);
+  EXPECT_EQ(section.table.rows[0][0].str, "parent");
+  EXPECT_EQ(section.table.rows[0][1].integer, 0u);  // depth
+  EXPECT_EQ(section.table.rows[1][0].str, "child");
+  EXPECT_EQ(section.table.rows[1][1].integer, 1u);
+  EXPECT_EQ(section.table.rows[1][2].integer, 3u);  // count
+  EXPECT_EQ(section.table.rows[2][0].str, "sibling");
+  EXPECT_EQ(section.table.rows[2][1].integer, 0u);
+}
+
+TEST(ReportTest, CountersSectionCarriesSchedulingFlag) {
+  std::vector<CounterValue> counters;
+  counters.push_back({"aib.merges", 12, false});
+  counters.push_back({"aib.kernel.scatters", 48, true});
+  const ReportSection section = CountersSection(counters);
+  EXPECT_EQ(section.title, "counters");
+  ASSERT_EQ(section.table.rows.size(), 2u);
+  EXPECT_EQ(section.table.rows[0][0].str, "aib.merges");
+  EXPECT_EQ(section.table.rows[0][2].boolean, false);
+  EXPECT_EQ(section.table.rows[1][0].str, "aib.kernel.scatters");
+  EXPECT_EQ(section.table.rows[1][2].boolean, true);
+}
+
+}  // namespace
+}  // namespace limbo::obs

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Doc-consistency check: run every CLI command the docs show.
+
+Extracts every ``limbo-tool`` / ``micro_limbo`` invocation from fenced
+code blocks in docs/tutorial.md and README.md, rewrites the binary path
+to the actual build tree, and executes them in order inside a scratch
+directory (so commands that generate files feed the commands that
+consume them, exactly as a reader would run them). Any non-zero exit —
+including exit code 2 for a flag the tool no longer knows — fails the
+check. That keeps the documented flag surface honest by construction.
+
+Usage: tools/doc_check.py [--build-dir build] [--verbose]
+"""
+
+import argparse
+import pathlib
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DOCS = [REPO / "docs" / "tutorial.md", REPO / "README.md"]
+
+# Binaries the check knows how to rewrite; anything else in a fenced
+# block (cmake, ctest, bench loops) is out of scope here because CI
+# exercises those directly.
+BINARIES = {
+    "limbo-tool": "tools/limbo-tool",
+    "micro_limbo": "bench/micro_limbo",
+}
+
+FENCE_RE = re.compile(r"^```")
+COMMAND_RE = re.compile(r"(?:^|\s|/)(limbo-tool|micro_limbo)(?=\s|$)")
+
+
+def extract_commands(doc: pathlib.Path):
+    """Yields (line_number, command) for doc lines inside code fences."""
+    in_fence = False
+    for number, line in enumerate(doc.read_text().splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            continue
+        stripped = line.strip()
+        if stripped.startswith(("#", "|", "...")):
+            continue  # comments, tables, elisions inside output blocks
+        if COMMAND_RE.search(stripped):
+            yield number, stripped
+
+
+def rewrite(command: str, build_dir: pathlib.Path):
+    """Points the documented binary path at the real build tree, or
+    returns None when the line is quoted output rather than a command."""
+    try:
+        words = shlex.split(command, comments=True)
+    except ValueError:
+        return None
+    if not words:
+        return None
+    name = pathlib.Path(words[0]).name
+    if name not in BINARIES:
+        return None  # e.g. output lines that merely mention the tool
+    words[0] = str(build_dir / BINARIES[name])
+    return words
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args()
+
+    build_dir = (REPO / args.build_dir).resolve()
+    for rel in BINARIES.values():
+        if not (build_dir / rel).exists():
+            print(f"doc_check: missing binary {build_dir / rel}; build first",
+                  file=sys.stderr)
+            return 2
+
+    failures = []
+    total = 0
+    with tempfile.TemporaryDirectory(prefix="limbo_doc_check_") as scratch:
+        # The README quickstart uses `yourdata.csv` as a stand-in for the
+        # reader's own file; seed it with the DB2 sample so those commands
+        # are as runnable as the tutorial's.
+        subprocess.run(
+            [str(build_dir / BINARIES["limbo-tool"]), "generate", "db2",
+             "--out=yourdata.csv"],
+            cwd=scratch, check=True, capture_output=True, timeout=600)
+        for doc in DOCS:
+            for number, command in extract_commands(doc):
+                words = rewrite(command, build_dir)
+                if words is None:
+                    continue
+                total += 1
+                where = f"{doc.relative_to(REPO)}:{number}"
+                if args.verbose:
+                    print(f"[doc_check] {where}: {command}")
+                proc = subprocess.run(
+                    words, cwd=scratch, capture_output=True, text=True,
+                    timeout=600)
+                if proc.returncode != 0:
+                    failures.append((where, command, proc.returncode,
+                                     (proc.stdout + proc.stderr).strip()))
+
+    if failures:
+        print(f"doc_check: {len(failures)} of {total} documented commands "
+              "failed:", file=sys.stderr)
+        for where, command, code, output in failures:
+            print(f"\n  {where} (exit {code}):\n    $ {command}",
+                  file=sys.stderr)
+            for line in output.splitlines()[-5:]:
+                print(f"    {line}", file=sys.stderr)
+        return 1
+    print(f"doc_check: all {total} documented commands ran clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,17 @@
 //
 // Every command accepts --threads=N to set the worker-lane count of the
 // clustering hot paths (default: LIMBO_THREADS env var, else hardware
-// concurrency; results are bit-identical for any value).
+// concurrency; results are bit-identical for any value), plus:
+//
+//   --report=<path>   write a structured run report (trace spans, work
+//                     counters, and command-specific sections such as the
+//                     AIB merge trajectory and RAD/RTR measures) after
+//                     the command finishes. ".md" renders Markdown,
+//                     anything else JSON (schema_version in the file).
+//   --trace           echo every trace span to stderr as it closes.
+//
+// Unknown flags are rejected with exit code 2 — the doc-consistency
+// check (tools/doc_check.py) relies on that.
 
 #include <cinttypes>
 #include <cstdio>
@@ -32,7 +42,11 @@
 #include "core/decompose.h"
 #include "core/horizontal_partition.h"
 #include "core/measures.h"
+#include "core/run_report.h"
 #include "core/structure_summary.h"
+#include "obs/counters.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "core/summary_io.h"
 #include "core/dendrogram.h"
 #include "util/strings.h"
@@ -78,6 +92,15 @@ struct Args {
   bool Has(const std::string& key) const { return flags.count(key) > 0; }
 };
 
+// Command-specific sections contributed to the --report output. Commands
+// only pay for report-building work while a report was requested.
+bool g_collect_report = false;
+std::vector<limbo::obs::ReportSection> g_report_sections;
+
+void AddReportSection(limbo::obs::ReportSection section) {
+  if (g_collect_report) g_report_sections.push_back(std::move(section));
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -85,6 +108,81 @@ int Usage() {
       "mvds|keys|rank|partition|decompose|summaries|report|generate> data.csv "
       "[--flag=value ...]\n");
   return 2;
+}
+
+/// Rejects flags the selected command does not understand (exit code 2).
+/// Every command additionally accepts the global flags --threads, --report
+/// and --trace.
+int ValidateFlags(const Args& args) {
+  static const std::map<std::string, std::vector<const char*>> kCommandFlags = {
+      {"profile", {}},
+      {"summary", {"phi-t", "phi-v", "psi"}},
+      {"duplicates", {"phi-t"}},
+      {"values", {"phi-v"}},
+      {"fds", {"miner", "min-cover"}},
+      {"approx-fds", {"epsilon", "max-lhs"}},
+      {"mvds", {"max-lhs"}},
+      {"keys", {"max-size"}},
+      {"rank", {"psi"}},
+      {"partition", {"k", "phi", "max-k"}},
+      {"decompose", {"psi", "out"}},
+      {"summaries", {"phi-t", "out"}},
+      {"report", {"phi-t", "phi-v", "psi", "out"}},
+      {"generate", {"out", "tuples", "seed"}},
+  };
+  auto it = kCommandFlags.find(args.command);
+  if (it == kCommandFlags.end()) return Usage();
+  for (const auto& [flag, value] : args.flags) {
+    (void)value;
+    if (flag == "threads" || flag == "report" || flag == "trace") continue;
+    bool known = false;
+    for (const char* f : it->second) known |= (flag == f);
+    if (!known) {
+      std::fprintf(stderr, "limbo-tool %s: unknown flag --%s\n",
+                   args.command.c_str(), flag.c_str());
+      return 2;
+    }
+  }
+  return 0;
+}
+
+/// RAD/RTR measures for the top ranked-cover entries as a report table.
+obs::ReportSection MeasuresSection(const relation::Relation& rel,
+                                   const std::vector<core::RankedFd>& ranked) {
+  obs::ReportSection section("measures");
+  section.AddField("ranked_fds", static_cast<uint64_t>(ranked.size()));
+  section.table.columns = {"fd", "rank", "anchored", "rad", "rtr"};
+  size_t shown = 0;
+  for (const auto& r : ranked) {
+    if (++shown > 15) break;
+    const auto attrs = r.fd.lhs.Union(r.fd.rhs).ToList();
+    section.table.rows.push_back(
+        {obs::ReportValue::String(r.fd.ToString(rel.schema())),
+         obs::ReportValue::Number(r.rank),
+         obs::ReportValue::Boolean(r.anchored),
+         obs::ReportValue::Number(core::Rad(rel, attrs)),
+         obs::ReportValue::Number(core::Rtr(rel, attrs))});
+  }
+  return section;
+}
+
+/// Writes the --report file assembled from the command's sections plus the
+/// trace/counter snapshot. Markdown when the path ends in ".md", else JSON.
+int WriteRunReport(const Args& args) {
+  const std::string path = args.GetString("report", "");
+  obs::RunReport report = core::AssembleRunReport(
+      "limbo-tool " + args.command, std::move(g_report_sections));
+  const bool markdown =
+      path.size() >= 3 && path.compare(path.size() - 3, 3, ".md") == 0;
+  const std::string body = markdown ? report.ToMarkdown() : report.ToJson();
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  file << body;
+  std::printf("wrote run report %s (%zu bytes)\n", path.c_str(), body.size());
+  return 0;
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -132,6 +230,13 @@ int CmdSummary(const relation::Relation& rel, const Args& args) {
     return 1;
   }
   std::printf("%s", summary->ToString(rel).c_str());
+  if (g_collect_report) {
+    if (summary->has_grouping) {
+      AddReportSection(core::TrajectorySection(
+          summary->grouping.aib.merges(), "attribute_grouping_trajectory"));
+    }
+    AddReportSection(MeasuresSection(rel, summary->ranked_cover));
+  }
   return 0;
 }
 
@@ -267,6 +372,13 @@ int CmdRank(const relation::Relation& rel, const Args& args) {
                 r.anchored ? "*" : " ", r.fd.ToString(rel.schema()).c_str(),
                 core::Rad(rel, attrs), core::Rtr(rel, attrs));
   }
+  if (g_collect_report) {
+    if (summary->has_grouping) {
+      AddReportSection(core::TrajectorySection(
+          summary->grouping.aib.merges(), "attribute_grouping_trajectory"));
+    }
+    AddReportSection(MeasuresSection(rel, summary->ranked_cover));
+  }
   return 0;
 }
 
@@ -295,11 +407,27 @@ int CmdPartition(const relation::Relation& rel, const Args& args) {
                 s.conditional_entropy);
   }
   const core::PhaseTimings& t = result->timings;
-  std::printf(
-      "timings (threads=%zu): phase1=%.3fs phase2=%.3fs (%" PRIu64
-      " distance evals) phase3=%.3fs\n",
-      t.threads, t.phase1_seconds, t.phase2_seconds, t.phase2_distance_evals,
-      t.phase3_seconds);
+  // Only phases that actually ran are reported: a caller-fixed k skips the
+  // Phase-3 scan inside RunLimbo, so phase3_* would be stale zeros.
+  std::printf("timings (threads=%zu): phase1=%.3fs phase2=%.3fs (%" PRIu64
+              " distance evals)",
+              t.threads, t.phase1_seconds, t.phase2_seconds,
+              t.phase2_distance_evals);
+  if (t.phase3_ran) std::printf(" phase3=%.3fs", t.phase3_seconds);
+  std::printf("\n");
+  if (g_collect_report) {
+    AddReportSection(core::TimingsSection(t));
+    obs::ReportSection choice("choice_of_k");
+    choice.AddField("chosen_k", static_cast<uint64_t>(result->chosen_k));
+    choice.AddField("num_leaves", static_cast<uint64_t>(result->num_leaves));
+    choice.table.columns = {"k", "delta_i", "h_c_given_v"};
+    for (const auto& s : result->stats) {
+      choice.table.rows.push_back(
+          {obs::ReportValue::Integer(s.k), obs::ReportValue::Number(s.delta_i),
+           obs::ReportValue::Number(s.conditional_entropy)});
+    }
+    AddReportSection(choice);
+  }
   return 0;
 }
 
@@ -507,31 +635,42 @@ int main(int argc, char** argv) {
   if (args.Has("threads")) {
     setenv("LIMBO_THREADS", args.GetString("threads", "1").c_str(), 1);
   }
-  if (args.command == "generate") return CmdGenerate(args);
-  const char* const kCommands[] = {"profile", "summary", "duplicates",
-                                   "values", "fds", "approx-fds", "mvds",
-                                   "keys", "rank", "partition", "decompose",
-                                   "summaries", "report"};
-  bool known = false;
-  for (const char* c : kCommands) known |= (args.command == c);
-  if (!known) return Usage();
-  auto rel = relation::ReadCsv(args.input);
-  if (!rel.ok()) {
-    std::fprintf(stderr, "%s\n", rel.status().ToString().c_str());
-    return 1;
+  if (int rc = ValidateFlags(args); rc != 0) return rc;
+  if (args.Has("trace")) obs::SetTraceEcho(true);
+  g_collect_report = args.Has("report");
+  if (g_collect_report) {
+    // The report should describe this run only, not whatever the process
+    // accumulated before the command dispatch.
+    obs::ResetTrace();
+    obs::ResetCounters();
+    obs::ReportSection run("run");
+    run.AddField("command", args.command);
+    run.AddField("input", args.input);
+    g_report_sections.push_back(std::move(run));
   }
-  if (args.command == "profile") return CmdProfile(*rel, args);
-  if (args.command == "summary") return CmdSummary(*rel, args);
-  if (args.command == "duplicates") return CmdDuplicates(*rel, args);
-  if (args.command == "values") return CmdValues(*rel, args);
-  if (args.command == "fds") return CmdFds(*rel, args);
-  if (args.command == "approx-fds") return CmdApproxFds(*rel, args);
-  if (args.command == "mvds") return CmdMvds(*rel, args);
-  if (args.command == "keys") return CmdKeys(*rel, args);
-  if (args.command == "rank") return CmdRank(*rel, args);
-  if (args.command == "partition") return CmdPartition(*rel, args);
-  if (args.command == "decompose") return CmdDecompose(*rel, args);
-  if (args.command == "summaries") return CmdSummaries(*rel, args);
-  if (args.command == "report") return CmdReport(*rel, args);
-  return Usage();
+  int rc = 2;
+  if (args.command == "generate") {
+    rc = CmdGenerate(args);
+  } else {
+    auto rel = relation::ReadCsv(args.input);
+    if (!rel.ok()) {
+      std::fprintf(stderr, "%s\n", rel.status().ToString().c_str());
+      return 1;
+    }
+    if (args.command == "profile") rc = CmdProfile(*rel, args);
+    if (args.command == "summary") rc = CmdSummary(*rel, args);
+    if (args.command == "duplicates") rc = CmdDuplicates(*rel, args);
+    if (args.command == "values") rc = CmdValues(*rel, args);
+    if (args.command == "fds") rc = CmdFds(*rel, args);
+    if (args.command == "approx-fds") rc = CmdApproxFds(*rel, args);
+    if (args.command == "mvds") rc = CmdMvds(*rel, args);
+    if (args.command == "keys") rc = CmdKeys(*rel, args);
+    if (args.command == "rank") rc = CmdRank(*rel, args);
+    if (args.command == "partition") rc = CmdPartition(*rel, args);
+    if (args.command == "decompose") rc = CmdDecompose(*rel, args);
+    if (args.command == "summaries") rc = CmdSummaries(*rel, args);
+    if (args.command == "report") rc = CmdReport(*rel, args);
+  }
+  if (rc == 0 && g_collect_report) rc = WriteRunReport(args);
+  return rc;
 }
