@@ -142,6 +142,102 @@ inline void PrintKernelJson(const std::vector<KernelCaseRow>& micro,
       e2e.bit_identical ? "true" : "false");
 }
 
+/// FNV-1a mixing helpers for the result checksum below.
+inline void HashMix(uint64_t* h, const void* data, size_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    *h ^= p[i];
+    *h *= 1099511628211ull;
+  }
+}
+inline void HashDouble(uint64_t* h, double v) { HashMix(h, &v, sizeof v); }
+inline void HashU64(uint64_t* h, uint64_t v) { HashMix(h, &v, sizeof v); }
+
+/// FNV-1a checksum over every semantically meaningful bit of a
+/// LimboResult: I(V;T), the threshold, the leaf DCFs, the merge sequence,
+/// the representatives, and the per-object labels and losses. Two runs
+/// are bit-identical iff their checksums match, which lets the `--stream`
+/// benchmark compare arms that ran in separate processes.
+inline uint64_t HashLimboResult(const core::LimboResult& r) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  HashDouble(&h, r.mutual_information);
+  HashDouble(&h, r.threshold);
+  auto hash_dcfs = [&h](const std::vector<core::Dcf>& dcfs) {
+    HashU64(&h, dcfs.size());
+    for (const core::Dcf& d : dcfs) {
+      HashDouble(&h, d.p);
+      for (const auto& e : d.cond.entries()) {
+        HashU64(&h, e.id);
+        HashDouble(&h, e.mass);
+      }
+    }
+  };
+  hash_dcfs(r.leaves);
+  HashU64(&h, r.aib.merges().size());
+  for (const core::Merge& m : r.aib.merges()) {
+    HashU64(&h, m.left);
+    HashU64(&h, m.right);
+    HashU64(&h, m.merged);
+    HashDouble(&h, m.delta_i);
+    HashDouble(&h, m.cumulative_loss);
+  }
+  hash_dcfs(r.representatives);
+  for (uint32_t label : r.assignments) HashU64(&h, label);
+  for (double loss : r.assignment_loss) HashDouble(&h, loss);
+  return h;
+}
+
+/// One arm of the `--stream` benchmark, measured in its own child process
+/// so ru_maxrss isolates that arm's peak instead of the process maximum
+/// across both arms.
+struct StreamArmRow {
+  std::string arm;
+  double seconds = 0.0;
+  unsigned long long peak_rss_kb = 0;
+  size_t leaves = 0;
+  uint64_t checksum = 0;
+};
+
+/// Prints one arm as a single JSON line (the child-process protocol of
+/// the `--stream` benchmark; the parent parses exactly this shape).
+inline void PrintStreamArmJson(const StreamArmRow& r) {
+  std::printf(
+      "{\"arm\": \"%s\", \"seconds\": %.6f, \"peak_rss_kb\": %llu, "
+      "\"leaves\": %zu, \"checksum\": \"%016llx\"}\n",
+      r.arm.c_str(), r.seconds, r.peak_rss_kb, r.leaves,
+      static_cast<unsigned long long>(r.checksum));
+}
+
+/// Emits the combined `--stream` benchmark record on stdout:
+/// streamed-vs-materialized peak RSS and wall time plus the checksum
+/// equivalence verdict. This is what BENCH_stream.json records.
+inline void PrintStreamJson(size_t tuples, size_t k, bool equivalent,
+                            const std::vector<StreamArmRow>& arms) {
+  double streamed_rss = 0.0;
+  double materialized_rss = 0.0;
+  for (const StreamArmRow& r : arms) {
+    if (r.arm == "streamed") streamed_rss = static_cast<double>(r.peak_rss_kb);
+    if (r.arm == "materialized") {
+      materialized_rss = static_cast<double>(r.peak_rss_kb);
+    }
+  }
+  const double rss_ratio =
+      streamed_rss > 0.0 ? materialized_rss / streamed_rss : 0.0;
+  std::printf("{\"benchmark\": \"limbo_stream\", \"tuples\": %zu, "
+              "\"k\": %zu, \"equivalent\": %s, \"rss_ratio\": %.2f, "
+              "\"arms\": [",
+              tuples, k, equivalent ? "true" : "false", rss_ratio);
+  for (size_t i = 0; i < arms.size(); ++i) {
+    const StreamArmRow& r = arms[i];
+    std::printf(
+        "%s{\"arm\": \"%s\", \"seconds\": %.6f, \"peak_rss_kb\": %llu, "
+        "\"leaves\": %zu, \"checksum\": \"%016llx\"}",
+        i == 0 ? "" : ", ", r.arm.c_str(), r.seconds, r.peak_rss_kb, r.leaves,
+        static_cast<unsigned long long>(r.checksum));
+  }
+  std::printf("]}\n");
+}
+
 /// Tuple-cluster labels from a Phase-1 + Phase-3 run at the given φ_T
 /// (used as the Double Clustering input of Section 6.2).
 inline std::vector<uint32_t> TupleClusterLabels(const relation::Relation& rel,

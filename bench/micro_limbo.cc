@@ -18,8 +18,19 @@
 //    report (same schema as `limbo-tool --report=...`: phases, merge
 //    trajectory, trace spans, counters) to `path` or stdout. Its output
 //    is what BENCH_report.json records.
+//  * `micro_limbo --stream [--tuples=N]` writes a DBLP-sized CSV, then
+//    runs the streamed (RowSource + RunLimboStreamed) and materialized
+//    (ReadCsv + RunLimbo) pipelines over it — each in its own child
+//    process via /proc/self/exe, so getrusage peak RSS isolates one arm —
+//    and emits one JSON object with both arms' wall time, peak RSS, and
+//    an FNV-1a checksum over the full LimboResult. Exit 0 iff the
+//    checksums match (the bit-identity contract). Its output is what
+//    BENCH_stream.json records. (`--stream-arm=` / `--stream-csv=` are
+//    the internal child-process protocol.)
 
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -44,6 +55,9 @@
 #include "fd/fdep.h"
 #include "fd/partition.h"
 #include "fd/tane.h"
+#include "relation/csv_io.h"
+#include "relation/row_source.h"
+#include "relation/source_stats.h"
 #include "util/random.h"
 
 namespace {
@@ -483,12 +497,137 @@ int RunReportMode(size_t tuples, const std::string& path) {
   return 0;
 }
 
+/// Child process of the `--stream` benchmark: runs one pipeline arm over
+/// the CSV the parent wrote and prints a single JSON line with wall time,
+/// peak RSS (its own, so the arms don't contaminate each other), and the
+/// result checksum.
+int RunStreamArm(const std::string& arm, const std::string& csv_path) {
+  core::LimboOptions options;
+  // φ = 1.0 keeps the Phase-1 summary count bounded the way the paper
+  // runs large inputs; with thousands of leaves the quadratic Phase-2
+  // matrix would dominate both arms' RSS and mask the ingest difference
+  // this benchmark exists to measure.
+  options.phi = 1.0;
+  options.k = 10;
+  const auto start = std::chrono::steady_clock::now();
+  util::Result<core::LimboResult> result =
+      util::Status::InvalidArgument("unset");
+  if (arm == "streamed") {
+    auto source = relation::CsvFileSource::Open(csv_path);
+    if (!source.ok()) {
+      std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+      return 1;
+    }
+    auto stats = relation::CollectSourceStats(*source);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    core::TupleObjectStream objects(*source, *stats);
+    result = core::RunLimboStreamed(objects, options);
+  } else if (arm == "materialized") {
+    auto rel = relation::ReadCsv(csv_path);
+    if (!rel.ok()) {
+      std::fprintf(stderr, "%s\n", rel.status().ToString().c_str());
+      return 1;
+    }
+    const std::vector<core::Dcf> objects = core::BuildTupleObjects(*rel);
+    result = core::RunLimbo(objects, options);
+  } else {
+    std::fprintf(stderr, "unknown --stream-arm=%s\n", arm.c_str());
+    return 1;
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  bench::StreamArmRow row;
+  row.arm = arm;
+  row.seconds = Seconds(start);
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  row.peak_rss_kb = static_cast<unsigned long long>(usage.ru_maxrss);
+  row.leaves = result->leaves.size();
+  row.checksum = bench::HashLimboResult(*result);
+  bench::PrintStreamArmJson(row);
+  return 0;
+}
+
+/// Parent of the `--stream` benchmark: writes the CSV, re-execs itself
+/// once per arm (peak RSS is a process-lifetime maximum, so the arms must
+/// not share an address space), and emits the combined record.
+int RunStreamBench(size_t tuples) {
+  datagen::DblpOptions dblp_options;
+  dblp_options.target_tuples = tuples;
+  const relation::Relation rel = datagen::GenerateDblp(dblp_options);
+  const std::string csv =
+      "/tmp/micro_limbo_stream_" + std::to_string(getpid()) + ".csv";
+  util::Status s = relation::WriteCsv(rel, csv);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  // Resolve our own binary before popen: the child shell's
+  // /proc/self/exe would be the shell, not this benchmark.
+  char exe[4096];
+  const ssize_t exe_len = readlink("/proc/self/exe", exe, sizeof exe - 1);
+  if (exe_len <= 0) {
+    std::fprintf(stderr, "cannot resolve /proc/self/exe\n");
+    unlink(csv.c_str());
+    return 1;
+  }
+  exe[exe_len] = '\0';
+  std::vector<bench::StreamArmRow> arms;
+  for (const char* arm : {"streamed", "materialized"}) {
+    const std::string cmd = std::string(exe) + " --stream-arm=" + arm +
+                            " --stream-csv=" + csv;
+    FILE* pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr) {
+      std::fprintf(stderr, "cannot spawn %s\n", cmd.c_str());
+      unlink(csv.c_str());
+      return 1;
+    }
+    char line[512];
+    const bool got = std::fgets(line, sizeof line, pipe) != nullptr;
+    const int rc = pclose(pipe);
+    bench::StreamArmRow row;
+    char name[32] = {0};
+    unsigned long long rss = 0;
+    unsigned long long leaves = 0;
+    unsigned long long checksum = 0;
+    if (!got || rc != 0 ||
+        std::sscanf(line,
+                    "{\"arm\": \"%31[^\"]\", \"seconds\": %lf, "
+                    "\"peak_rss_kb\": %llu, \"leaves\": %llu, "
+                    "\"checksum\": \"%llx\"}",
+                    name, &row.seconds, &rss, &leaves, &checksum) != 5) {
+      std::fprintf(stderr, "stream arm %s failed (rc=%d)\n", arm, rc);
+      unlink(csv.c_str());
+      return 1;
+    }
+    row.arm = name;
+    row.peak_rss_kb = rss;
+    row.leaves = static_cast<size_t>(leaves);
+    row.checksum = checksum;
+    arms.push_back(std::move(row));
+  }
+  unlink(csv.c_str());
+  const bool equivalent = arms.size() == 2 &&
+                          arms[0].checksum == arms[1].checksum &&
+                          arms[0].leaves == arms[1].leaves;
+  bench::PrintStreamJson(tuples, /*k=*/10, equivalent, arms);
+  return equivalent ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool thread_scaling = false;
   bool kernel_bench = false;
   bool report_mode = false;
+  bool stream_bench = false;
+  std::string stream_arm;
+  std::string stream_csv;
   std::string report_path;
   size_t tuples = 50000;
   bool tuples_given = false;
@@ -497,6 +636,12 @@ int main(int argc, char** argv) {
       thread_scaling = true;
     } else if (std::strcmp(argv[i], "--kernel") == 0) {
       kernel_bench = true;
+    } else if (std::strcmp(argv[i], "--stream") == 0) {
+      stream_bench = true;
+    } else if (std::strncmp(argv[i], "--stream-arm=", 13) == 0) {
+      stream_arm = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--stream-csv=", 13) == 0) {
+      stream_csv = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--report") == 0) {
       report_mode = true;
     } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
@@ -510,6 +655,8 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (!stream_arm.empty()) return RunStreamArm(stream_arm, stream_csv);
+  if (stream_bench) return RunStreamBench(tuples_given ? tuples : 20000);
   if (thread_scaling) return RunThreadScaling(tuples);
   if (kernel_bench) return RunKernelBench(tuples_given ? tuples : 10000);
   if (report_mode) return RunReportMode(tuples_given ? tuples : 10000,

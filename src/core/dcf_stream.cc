@@ -1,0 +1,72 @@
+#include "core/dcf_stream.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace limbo::core {
+
+util::Result<std::span<const Dcf>> VectorDcfStream::NextChunk(
+    size_t max_objects) {
+  const size_t len = std::min(max_objects, objects_.size() - next_);
+  std::span<const Dcf> chunk = objects_.subspan(next_, len);
+  next_ += len;
+  return chunk;
+}
+
+util::Result<std::span<const Dcf>> TupleObjectStream::NextChunk(
+    size_t max_objects) {
+  chunk_.clear();
+  const size_t m = stats_->schema.NumAttributes();
+  const double p = stats_->num_rows > 0
+                       ? 1.0 / static_cast<double>(stats_->num_rows)
+                       : 0.0;
+  while (chunk_.size() < max_objects) {
+    LIMBO_ASSIGN_OR_RETURN(const bool more, source_->Next(&fields_));
+    if (!more) {
+      if (yielded_ != stats_->num_rows) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "row source yielded %zu rows but stats expect %zu (stale stats "
+            "file?)",
+            yielded_, stats_->num_rows));
+      }
+      break;
+    }
+    if (yielded_ == stats_->num_rows) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "row source yielded more than the %zu rows the stats expect "
+          "(stale stats file?)",
+          stats_->num_rows));
+    }
+    ids_.clear();
+    for (size_t a = 0; a < m; ++a) {
+      util::Result<relation::ValueId> id =
+          stats_->dictionary.Find(static_cast<relation::AttributeId>(a),
+                                  fields_[a]);
+      if (!id.ok()) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "row %zu, attribute %s: value not in the frozen dictionary "
+            "(stale stats file?)",
+            yielded_ + 1,
+            stats_->schema.Name(static_cast<relation::AttributeId>(a))
+                .c_str()));
+      }
+      ids_.push_back(*id);
+    }
+    Dcf object;
+    object.p = p;
+    object.cond = SparseDistribution::UniformOver(ids_);
+    chunk_.push_back(std::move(object));
+    ++yielded_;
+  }
+  return std::span<const Dcf>(chunk_);
+}
+
+util::Status TupleObjectStream::Reset() {
+  util::Status s = source_->Reset();
+  if (!s.ok()) return s;
+  yielded_ = 0;
+  return util::Status::Ok();
+}
+
+}  // namespace limbo::core

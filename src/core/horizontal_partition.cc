@@ -10,17 +10,33 @@
 
 namespace limbo::core {
 
-util::Result<HorizontalPartitionResult> HorizontallyPartition(
-    const relation::Relation& rel,
-    const HorizontalPartitionOptions& options) {
-  const size_t n = rel.NumTuples();
+namespace {
+
+/// One full pass over the stream applying `fn` to (object, global index),
+/// then a rewind.
+template <typename Fn>
+util::Status ScanIndexed(DcfStream& objects, size_t chunk, Fn&& fn) {
+  size_t index = 0;
+  while (true) {
+    LIMBO_ASSIGN_OR_RETURN(std::span<const Dcf> part,
+                           objects.NextChunk(chunk));
+    if (part.empty()) break;
+    for (const Dcf& object : part) fn(object, index++);
+  }
+  return objects.Reset();
+}
+
+}  // namespace
+
+util::Result<HorizontalPartitionResult> HorizontallyPartitionStream(
+    DcfStream& objects, const HorizontalPartitionOptions& options) {
+  const size_t n = objects.size();
   if (n == 0) return util::Status::InvalidArgument("relation is empty");
   if (options.min_k < 1 || options.min_k > options.max_k) {
     return util::Status::InvalidArgument("need 1 <= min_k <= max_k");
   }
 
   LIMBO_OBS_SPAN(partition_span, "horizontal_partition");
-  const std::vector<Dcf> objects = BuildTupleObjects(rel);
 
   LimboOptions limbo_options;
   limbo_options.phi = options.phi;
@@ -28,7 +44,12 @@ util::Result<HorizontalPartitionResult> HorizontallyPartition(
   limbo_options.leaf_capacity = options.leaf_capacity;
   limbo_options.k = 0;  // full dendrogram; we pick k ourselves
   limbo_options.threads = options.threads;
-  LIMBO_ASSIGN_OR_RETURN(LimboResult limbo, RunLimbo(objects, limbo_options));
+  if (options.stream_chunk > 0) {
+    limbo_options.stream_chunk = options.stream_chunk;
+  }
+  const size_t chunk = limbo_options.stream_chunk;
+  LIMBO_ASSIGN_OR_RETURN(LimboResult limbo,
+                         RunLimboStreamed(objects, limbo_options));
 
   HorizontalPartitionResult result;
   result.mutual_information = limbo.mutual_information;
@@ -94,30 +115,57 @@ util::Result<HorizontalPartitionResult> HorizontallyPartition(
   chosen = std::min(chosen, q);
   result.chosen_k = chosen;
 
-  // Phase 2 representatives at the chosen k + Phase 3 assignment. RunLimbo
-  // above ran with k = 0 (Phase 3 skipped), so the copied timings carried
-  // phase3_ran = false with zeroed fields; time the manual Phase 3 here so
-  // the reported record reflects what actually executed.
+  // Phase 2 representatives at the chosen k + Phase 3 assignment re-scan.
+  // RunLimboStreamed above ran with k = 0 (Phase 3 skipped), so the copied
+  // timings carried phase3_ran = false with zeroed fields; time the manual
+  // Phase 3 here so the reported record reflects what actually executed.
   {
     LIMBO_OBS_SPAN(phase3_span, "phase3");
     LIMBO_ASSIGN_OR_RETURN(std::vector<Dcf> reps,
                            ClusterDcfsAtK(limbo.leaves, limbo.aib, chosen));
-    LIMBO_ASSIGN_OR_RETURN(
-        result.assignments,
-        LimboPhase3(objects, reps, nullptr, options.threads));
+    Phase3Assigner assigner(reps, options.threads);
+    result.assignments.resize(n);
+    size_t base = 0;
+    while (true) {
+      LIMBO_ASSIGN_OR_RETURN(std::span<const Dcf> part,
+                             objects.NextChunk(chunk));
+      if (part.empty()) break;
+      assigner.AssignChunk(part, result.assignments.data() + base, nullptr);
+      base += part.size();
+    }
+    assigner.Flush();
+    util::Status reset = objects.Reset();
+    if (!reset.ok()) return reset;
+    ++result.timings.phase3_source_rescans;
     result.timings.phase3_seconds = phase3_span.Stop();
     result.timings.phase3_distance_evals =
-        static_cast<uint64_t>(objects.size()) * reps.size();
+        static_cast<uint64_t>(n) * reps.size();
     result.timings.phase3_ran = true;
   }
 
+  // One statistics re-scan: cluster sizes, distinct-value counts (a tuple
+  // object's conditional support is exactly its row's value-id set), and
+  // the label-merged cluster DCFs — accumulated in stream order with the
+  // first-copy-then-MergeDcf sequence of MergeDcfsByLabel, so the merged
+  // DCFs match the materialized path bit for bit.
   result.cluster_sizes.assign(chosen, 0);
-  std::vector<std::unordered_set<relation::ValueId>> values(chosen);
-  for (relation::TupleId t = 0; t < n; ++t) {
-    const uint32_t c = result.assignments[t];
-    ++result.cluster_sizes[c];
-    for (relation::ValueId v : rel.Row(t)) values[c].insert(v);
-  }
+  std::vector<std::unordered_set<uint32_t>> values(chosen);
+  std::vector<Dcf> assigned(chosen);
+  std::vector<bool> seen(chosen, false);
+  util::Status scan =
+      ScanIndexed(objects, chunk, [&](const Dcf& object, size_t i) {
+        const uint32_t c = result.assignments[i];
+        ++result.cluster_sizes[c];
+        for (const auto& e : object.cond.entries()) values[c].insert(e.id);
+        if (!seen[c]) {
+          assigned[c] = object;
+          seen[c] = true;
+        } else {
+          assigned[c] = MergeDcf(assigned[c], object);
+        }
+      });
+  if (!scan.ok()) return scan;
+  ++result.timings.phase3_source_rescans;
   result.cluster_value_counts.resize(chosen);
   for (size_t c = 0; c < chosen; ++c) {
     result.cluster_value_counts[c] = values[c].size();
@@ -125,8 +173,6 @@ util::Result<HorizontalPartitionResult> HorizontallyPartition(
 
   // Information retained by the final assignment: I(C;V) over the actual
   // Phase-3 clustering of the objects.
-  LIMBO_ASSIGN_OR_RETURN(std::vector<Dcf> assigned,
-                         MergeDcfsByLabel(objects, result.assignments, chosen));
   WeightedRows final_rows;
   for (size_t c = 0; c < chosen; ++c) {
     if (assigned[c].p <= 0.0) continue;  // label with no members
@@ -142,6 +188,17 @@ util::Result<HorizontalPartitionResult> HorizontallyPartition(
   result.info_loss_vs_leaves =
       leaf_info > 0.0 ? (leaf_info - final_info) / leaf_info : 0.0;
   return result;
+}
+
+util::Result<HorizontalPartitionResult> HorizontallyPartition(
+    const relation::Relation& rel,
+    const HorizontalPartitionOptions& options) {
+  if (rel.NumTuples() == 0) {
+    return util::Status::InvalidArgument("relation is empty");
+  }
+  const std::vector<Dcf> objects = BuildTupleObjects(rel);
+  VectorDcfStream stream(objects);
+  return HorizontallyPartitionStream(stream, options);
 }
 
 }  // namespace limbo::core

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/dcf_stream.h"
 #include "core/limbo.h"
 #include "relation/relation.h"
 #include "util/result.h"
@@ -24,6 +25,9 @@ struct HorizontalPartitionOptions {
   /// Worker lanes for the clustering hot paths (0 = default lane count,
   /// 1 = serial; results bit-identical).
   size_t threads = 0;
+  /// Objects per stream chunk for the scans (memory knob only; every
+  /// value is bit-identical). 0 = the LimboOptions default.
+  size_t stream_chunk = 0;
 };
 
 /// Statistics of the k-clustering, for the paper's "rate of change"
@@ -70,9 +74,20 @@ struct HorizontalPartitionResult {
 /// Horizontal partitioning (Section 6.1.2): full LIMBO clustering of the
 /// tuples, k picked by the largest relative jump in δI within
 /// [min_k, max_k] (merges below a natural k cost disproportionately more),
-/// then Phase-3 assignment of every tuple.
+/// then Phase-3 assignment of every tuple. Thin adapter that routes the
+/// materialized tuple objects through HorizontallyPartitionStream.
 util::Result<HorizontalPartitionResult> HorizontallyPartition(
     const relation::Relation& rel, const HorizontalPartitionOptions& options);
+
+/// The same partitioning over a rewindable stream of tuple objects
+/// (core::TupleObjectStream for bounded-memory ingest): a streamed
+/// k = 0 LIMBO run, the choice-of-k heuristic, a Phase-3 re-scan for the
+/// labels, and one final scan for the per-cluster statistics (sizes,
+/// distinct-value counts from each object's conditional support, and the
+/// label-merged DCFs behind the info-loss fractions). Bit-identical to
+/// HorizontallyPartition at every thread count and chunk size.
+util::Result<HorizontalPartitionResult> HorizontallyPartitionStream(
+    DcfStream& objects, const HorizontalPartitionOptions& options);
 
 }  // namespace limbo::core
 

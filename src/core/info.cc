@@ -76,17 +76,37 @@ SparseDistribution Marginal(const WeightedRows& data) {
   return SparseDistribution::FromPairs(std::move(entries));
 }
 
-double MutualInformation(const WeightedRows& data) {
-  const std::vector<double> dense = DenseMarginal(data);
-  double info = 0.0;
-  for (size_t i = 0; i < data.rows.size(); ++i) {
-    const double w = data.weights[i];
-    if (w <= 0.0) continue;
-    for (const auto& e : data.rows[i].entries()) {
-      info += w * e.mass * Log2(e.mass / dense[e.id]);
-    }
+void MutualInformationAccumulator::AddMarginal(double weight,
+                                               const SparseDistribution& row) {
+  if (weight <= 0.0) return;
+  for (const auto& e : row.entries()) {
+    // Grow on demand. Each dense cell is an independent accumulator, so
+    // the growth schedule cannot change any sum — only the row order can,
+    // and both passes see the rows in source order.
+    if (e.id >= dense_.size()) dense_.resize(static_cast<size_t>(e.id) + 1);
+    dense_[e.id] += weight * e.mass;
   }
-  return info < 0.0 ? 0.0 : info;
+}
+
+void MutualInformationAccumulator::AddInformation(
+    double weight, const SparseDistribution& row) {
+  if (weight <= 0.0) return;
+  for (const auto& e : row.entries()) {
+    LIMBO_CHECK(e.id < dense_.size());
+    info_ += weight * e.mass * Log2(e.mass / dense_[e.id]);
+  }
+}
+
+double MutualInformation(const WeightedRows& data) {
+  LIMBO_CHECK(data.weights.size() == data.rows.size());
+  MutualInformationAccumulator acc;
+  for (size_t i = 0; i < data.rows.size(); ++i) {
+    acc.AddMarginal(data.weights[i], data.rows[i]);
+  }
+  for (size_t i = 0; i < data.rows.size(); ++i) {
+    acc.AddInformation(data.weights[i], data.rows[i]);
+  }
+  return acc.Value();
 }
 
 double ConditionalEntropy(const WeightedRows& data) {

@@ -31,6 +31,28 @@ SparseDistribution Marginal(const WeightedRows& data);
 ///   I = sum_i w_i * D_KL[ p(T|o_i) || p(T) ].
 double MutualInformation(const WeightedRows& data);
 
+/// Two-pass streaming computation of I(O; T) that never holds the rows:
+/// feed every row to AddMarginal (pass 1), rewind the source, feed the
+/// same rows in the same order to AddInformation (pass 2), then read
+/// Value(). The accumulation order and arithmetic are exactly those of
+/// MutualInformation (which is now implemented on top of this), so a
+/// streamed computation is bit-identical to the materialized call.
+class MutualInformationAccumulator {
+ public:
+  /// Pass 1: accumulates w * p(T|o) into the dense marginal.
+  void AddMarginal(double weight, const SparseDistribution& row);
+
+  /// Pass 2: accumulates w * sum_t p(t|o) log2(p(t|o) / p(t)). Every row
+  /// must have gone through AddMarginal first.
+  void AddInformation(double weight, const SparseDistribution& row);
+
+  double Value() const { return info_ < 0.0 ? 0.0 : info_; }
+
+ private:
+  std::vector<double> dense_;  // the marginal p(T), grown on demand
+  double info_ = 0.0;
+};
+
 /// Conditional entropy H(T | O) = H(T) - I(O; T), computed directly as
 ///   sum_i w_i * H(p(T|o_i)).
 double ConditionalEntropy(const WeightedRows& data);

@@ -6,68 +6,92 @@
 #include "core/info.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
-#include "util/parallel.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace limbo::core {
 
-std::vector<Dcf> LimboPhase1(const std::vector<Dcf>& objects,
-                             const LimboOptions& options, double threshold,
-                             DcfTree::Stats* stats) {
+namespace {
+
+DcfTree::Options MakeTreeOptions(const LimboOptions& options,
+                                 double threshold) {
   DcfTree::Options tree_options;
   tree_options.branching = options.branching;
   tree_options.leaf_capacity = options.leaf_capacity;
   tree_options.threshold = threshold;
-  DcfTree tree(tree_options);
-  for (const Dcf& object : objects) tree.Insert(object);
-  if (stats != nullptr) *stats = tree.stats();
-  return tree.LeafDcfs();
+  return tree_options;
 }
 
-util::Result<std::vector<uint32_t>> LimboPhase3(
-    const std::vector<Dcf>& objects, const std::vector<Dcf>& representatives,
-    std::vector<double>* loss, size_t threads, bool batch_kernel) {
-  if (representatives.empty()) {
-    return util::Status::InvalidArgument("Phase 3 needs >= 1 representative");
+/// One full scan of the stream — `fn` sees every object in stream order —
+/// followed by a rewind so the next pass starts at object 0.
+template <typename Fn>
+util::Status ScanObjects(DcfStream& objects, size_t chunk, Fn&& fn) {
+  while (true) {
+    LIMBO_ASSIGN_OR_RETURN(std::span<const Dcf> part,
+                           objects.NextChunk(chunk));
+    if (part.empty()) break;
+    for (const Dcf& object : part) fn(object);
   }
-  std::vector<uint32_t> labels(objects.size());
-  if (loss != nullptr) loss->assign(objects.size(), 0.0);
-  // Batch arm: representatives live as arena rows (contiguous, cached
-  // logs) and each lane owns a LossKernel that scatters one object, then
-  // streams every representative row against it.
-  DistributionArena arena;
-  std::vector<size_t> rep_row;
-  std::vector<double> rep_p(representatives.size());
+  return objects.Reset();
+}
+
+}  // namespace
+
+Phase1Builder::Phase1Builder(const LimboOptions& options, double threshold)
+    : tree_(MakeTreeOptions(options, threshold)) {}
+
+std::vector<Dcf> LimboPhase1(const std::vector<Dcf>& objects,
+                             const LimboOptions& options, double threshold,
+                             DcfTree::Stats* stats) {
+  Phase1Builder builder(options, threshold);
+  for (const Dcf& object : objects) builder.Insert(object);
+  if (stats != nullptr) *stats = builder.stats();
+  return builder.Leaves();
+}
+
+Phase3Assigner::Phase3Assigner(const std::vector<Dcf>& representatives,
+                               size_t threads, bool batch_kernel)
+    : representatives_(&representatives),
+      batch_kernel_(batch_kernel),
+      pool_(threads),
+      kernels_(pool_.threads()) {
+  LIMBO_CHECK(!representatives.empty());
+  rep_p_.resize(representatives.size());
   for (size_t r = 0; r < representatives.size(); ++r) {
-    rep_p[r] = representatives[r].p;
+    rep_p_[r] = representatives[r].p;
   }
-  if (batch_kernel) {
+  if (batch_kernel_) {
+    // Representatives live as arena rows (contiguous, cached logs) for
+    // the whole sequence of chunks.
     size_t total_entries = 0;
     for (const Dcf& r : representatives) total_entries += r.cond.SupportSize();
-    arena.ReserveEntries(total_entries);
-    rep_row.resize(representatives.size());
+    arena_.ReserveEntries(total_entries);
+    rep_row_.resize(representatives.size());
     for (size_t r = 0; r < representatives.size(); ++r) {
-      rep_row[r] = arena.Append(representatives[r].cond);
+      rep_row_[r] = arena_.Append(representatives[r].cond);
     }
   }
-  // Each object's argmin is independent and writes only its own label /
-  // loss cell, so the scan parallelizes with bit-identical results.
-  util::ThreadPool pool(threads);
+}
+
+void Phase3Assigner::AssignChunk(std::span<const Dcf> objects,
+                                 uint32_t* labels, double* loss) {
+  const std::vector<Dcf>& representatives = *representatives_;
   LIMBO_OBS_COUNT("phase3.objects", objects.size());
   LIMBO_OBS_COUNT("phase3.distance_evals",
                   static_cast<uint64_t>(objects.size()) *
                       representatives.size());
-  std::vector<LossKernel> kernels(pool.threads());
-  pool.ParallelFor(0, objects.size(), /*grain=*/64,
-                   [&](size_t lo, size_t hi, size_t lane) {
-    LossKernel& kernel = kernels[lane];
+  // Each object's argmin is independent and writes only its own label /
+  // loss cell, so the scan parallelizes with bit-identical results.
+  pool_.ParallelFor(0, objects.size(), /*grain=*/64,
+                    [&](size_t lo, size_t hi, size_t lane) {
+    LossKernel& kernel = kernels_[lane];
     for (size_t i = lo; i < hi; ++i) {
       size_t best = 0;
       double best_loss = std::numeric_limits<double>::infinity();
-      if (batch_kernel) {
+      if (batch_kernel_) {
         kernel.SetObject(objects[i].p, objects[i].cond);
         for (size_t r = 0; r < representatives.size(); ++r) {
-          const double d = kernel.Loss(rep_p[r], arena.Row(rep_row[r]));
+          const double d = kernel.Loss(rep_p_[r], arena_.Row(rep_row_[r]));
           if (d < best_loss) {
             best_loss = d;
             best = r;
@@ -83,45 +107,78 @@ util::Result<std::vector<uint32_t>> LimboPhase3(
         }
       }
       labels[i] = static_cast<uint32_t>(best);
-      if (loss != nullptr) (*loss)[i] = best_loss;
+      if (loss != nullptr) loss[i] = best_loss;
     }
   });
-  if (batch_kernel) FlushKernelStats(kernels, "phase3.kernel");
+}
+
+void Phase3Assigner::Flush() {
+  if (batch_kernel_) FlushKernelStats(kernels_, "phase3.kernel");
+}
+
+util::Result<std::vector<uint32_t>> LimboPhase3(
+    const std::vector<Dcf>& objects, const std::vector<Dcf>& representatives,
+    std::vector<double>* loss, size_t threads, bool batch_kernel) {
+  if (representatives.empty()) {
+    return util::Status::InvalidArgument("Phase 3 needs >= 1 representative");
+  }
+  std::vector<uint32_t> labels(objects.size());
+  if (loss != nullptr) loss->assign(objects.size(), 0.0);
+  Phase3Assigner assigner(representatives, threads, batch_kernel);
+  assigner.AssignChunk(objects, labels.data(),
+                       loss != nullptr ? loss->data() : nullptr);
+  assigner.Flush();
   return labels;
 }
 
-util::Result<LimboResult> RunLimbo(const std::vector<Dcf>& objects,
-                                   const LimboOptions& options) {
-  if (objects.empty()) {
+util::Result<LimboResult> RunLimboStreamed(DcfStream& objects,
+                                           const LimboOptions& options) {
+  const size_t n = objects.size();
+  if (n == 0) {
     return util::Status::InvalidArgument("LIMBO needs >= 1 object");
   }
   if (options.phi < 0.0) {
     return util::Status::InvalidArgument("phi must be >= 0");
   }
-  if (options.k > objects.size()) {
-    return util::Status::InvalidArgument(util::StrFormat(
-        "k=%zu exceeds object count %zu", options.k, objects.size()));
+  if (options.k > n) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("k=%zu exceeds object count %zu", options.k, n));
   }
+  const size_t chunk = options.stream_chunk == 0
+                           ? LimboOptions().stream_chunk
+                           : options.stream_chunk;
 
   LimboResult result;
+  result.timings.streamed = objects.IsStreaming();
 
-  // I(V;T) of the raw objects, needed for the Phase-1 threshold.
-  WeightedRows rows;
-  rows.weights.reserve(objects.size());
-  rows.rows.reserve(objects.size());
-  for (const Dcf& o : objects) {
-    rows.weights.push_back(o.p);
-    rows.rows.push_back(o.cond);
-  }
-  result.mutual_information = MutualInformation(rows);
+  // I(V;T) of the raw objects, needed for the Phase-1 threshold: two
+  // scans through the streaming accumulator, bit-identical to
+  // MutualInformation over the materialized rows.
+  MutualInformationAccumulator info;
+  util::Status scan = ScanObjects(objects, chunk, [&](const Dcf& object) {
+    info.AddMarginal(object.p, object.cond);
+  });
+  if (!scan.ok()) return scan;
+  ++result.timings.source_scans;
+  scan = ScanObjects(objects, chunk, [&](const Dcf& object) {
+    info.AddInformation(object.p, object.cond);
+  });
+  if (!scan.ok()) return scan;
+  ++result.timings.source_scans;
+  result.mutual_information = info.Value();
   result.threshold = options.phi * result.mutual_information /
-                     static_cast<double>(objects.size());
+                     static_cast<double>(n);
 
   LIMBO_OBS_SPAN(limbo_span, "limbo");
   {
     LIMBO_OBS_SPAN(phase1_span, "phase1");
-    result.leaves =
-        LimboPhase1(objects, options, result.threshold, &result.tree_stats);
+    Phase1Builder builder(options, result.threshold);
+    scan = ScanObjects(objects, chunk,
+                       [&](const Dcf& object) { builder.Insert(object); });
+    if (!scan.ok()) return scan;
+    ++result.timings.source_scans;
+    result.leaves = builder.Leaves();
+    result.tree_stats = builder.stats();
     result.timings.phase1_seconds = phase1_span.Stop();
   }
 
@@ -144,19 +201,36 @@ util::Result<LimboResult> RunLimbo(const std::vector<Dcf>& objects,
   if (options.k > 0) {
     const size_t k = aib_options.min_k;  // clipped to leaf count
     LIMBO_OBS_SPAN(phase3_span, "phase3");
-    LIMBO_ASSIGN_OR_RETURN(
-        result.representatives,
-        ClusterDcfsAtK(result.leaves, result.aib, k));
-    LIMBO_ASSIGN_OR_RETURN(
-        result.assignments,
-        LimboPhase3(objects, result.representatives, &result.assignment_loss,
-                    options.threads));
+    LIMBO_ASSIGN_OR_RETURN(result.representatives,
+                           ClusterDcfsAtK(result.leaves, result.aib, k));
+    Phase3Assigner assigner(result.representatives, options.threads);
+    result.assignments.resize(n);
+    result.assignment_loss.assign(n, 0.0);
+    size_t base = 0;
+    while (true) {
+      LIMBO_ASSIGN_OR_RETURN(std::span<const Dcf> part,
+                             objects.NextChunk(chunk));
+      if (part.empty()) break;
+      assigner.AssignChunk(part, result.assignments.data() + base,
+                           result.assignment_loss.data() + base);
+      base += part.size();
+    }
+    assigner.Flush();
+    scan = objects.Reset();
+    if (!scan.ok()) return scan;
+    ++result.timings.phase3_source_rescans;
     result.timings.phase3_seconds = phase3_span.Stop();
     result.timings.phase3_distance_evals =
-        static_cast<uint64_t>(objects.size()) * result.representatives.size();
+        static_cast<uint64_t>(n) * result.representatives.size();
     result.timings.phase3_ran = true;
   }
   return result;
+}
+
+util::Result<LimboResult> RunLimbo(const std::vector<Dcf>& objects,
+                                   const LimboOptions& options) {
+  VectorDcfStream stream(objects);
+  return RunLimboStreamed(stream, options);
 }
 
 }  // namespace limbo::core

@@ -2,11 +2,14 @@
 #define LIMBO_CORE_LIMBO_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/aib.h"
 #include "core/dcf.h"
+#include "core/dcf_stream.h"
 #include "core/dcf_tree.h"
+#include "util/parallel.h"
 #include "util/result.h"
 
 namespace limbo::core {
@@ -31,6 +34,11 @@ struct LimboOptions {
   /// (util::DefaultThreadCount), 1 = serial. Every value produces
   /// bit-identical results.
   size_t threads = 0;
+  /// Objects pulled per DcfStream chunk in the streamed pipeline (the
+  /// I(V;T) passes, the Phase-1 insert scan, and the Phase-3 assignment
+  /// scan). A memory knob only — every chunk size yields bit-identical
+  /// results; 0 falls back to the default.
+  size_t stream_chunk = 4096;
 };
 
 /// Wall-time and work counters of one RunLimbo invocation. Since the obs
@@ -56,6 +64,17 @@ struct PhaseTimings {
   /// must not print the phase3_* fields when this is false — they are
   /// not timings, just zero-initialized members.
   bool phase3_ran = false;
+  /// Whether the run pulled objects from an external source (a streamed
+  /// RunLimboStreamed run) rather than a materialized vector. The scan
+  /// counters below are only meaningful — and only printed — when true.
+  bool streamed = false;
+  /// Full scans of the source up to and including Phase 1: two for
+  /// I(V;T), one for the DCF-tree build.
+  uint64_t source_scans = 0;
+  /// Re-scans of the source by the Phase-3 assignment pass. Zero when
+  /// Phase 3 was skipped (k = 0) — reporting paths must gate this field
+  /// on phase3_ran, exactly like the phase3_* timings.
+  uint64_t phase3_source_rescans = 0;
 };
 
 /// Everything a LIMBO run produces.
@@ -79,8 +98,58 @@ struct LimboResult {
   PhaseTimings timings;
 };
 
+/// Incremental Phase 1: insert objects one at a time — from a stream or a
+/// vector — and harvest the leaf summaries at the end. Only the DCF tree
+/// is resident; this is what makes streamed ingestion bounded-memory.
+class Phase1Builder {
+ public:
+  Phase1Builder(const LimboOptions& options, double threshold);
+
+  void Insert(const Dcf& object) { tree_.Insert(object); }
+
+  std::vector<Dcf> Leaves() const { return tree_.LeafDcfs(); }
+  const DcfTree::Stats& stats() const { return tree_.stats(); }
+
+ private:
+  DcfTree tree_;
+};
+
+/// Chunked Phase 3: the representatives are frozen up front (arena rows,
+/// cached logs, one LossKernel per lane) and AssignChunk labels any run
+/// of objects against them. Each object's argmin is a pure function of
+/// (object, representatives), so chunk boundaries and thread counts never
+/// change labels or losses — streamed re-scans are bit-identical to the
+/// one-shot vector call. Call Flush once after the last chunk to publish
+/// the per-lane kernel counters.
+class Phase3Assigner {
+ public:
+  /// `representatives` must be non-empty and outlive the assigner.
+  Phase3Assigner(const std::vector<Dcf>& representatives, size_t threads,
+                 bool batch_kernel = true);
+
+  /// Labels objects[i] into labels[i] (and its δI into loss[i] when
+  /// `loss` is non-null). The output arrays must hold objects.size()
+  /// cells.
+  void AssignChunk(std::span<const Dcf> objects, uint32_t* labels,
+                   double* loss);
+
+  /// Publishes the accumulated per-lane kernel counters to the obs
+  /// registry ("phase3.kernel"). Call exactly once, after the last chunk.
+  void Flush();
+
+ private:
+  const std::vector<Dcf>* representatives_;
+  bool batch_kernel_;
+  DistributionArena arena_;
+  std::vector<size_t> rep_row_;
+  std::vector<double> rep_p_;
+  util::ThreadPool pool_;
+  std::vector<LossKernel> kernels_;
+};
+
 /// Phase 1 only: builds the DCF tree over `objects` with the given
-/// absolute merge `threshold` and returns the leaf summaries.
+/// absolute merge `threshold` and returns the leaf summaries. Thin
+/// adapter over Phase1Builder.
 std::vector<Dcf> LimboPhase1(const std::vector<Dcf>& objects,
                              const LimboOptions& options, double threshold,
                              DcfTree::Stats* stats = nullptr);
@@ -93,14 +162,24 @@ std::vector<Dcf> LimboPhase1(const std::vector<Dcf>& objects,
 /// batch scan (default; representatives in a DistributionArena, one
 /// LossKernel per lane) and per-pair InformationLoss — the two are
 /// bit-identical; the flag exists for the equivalence tests and the
-/// kernel benchmark.
+/// kernel benchmark. Thin adapter over Phase3Assigner.
 util::Result<std::vector<uint32_t>> LimboPhase3(
     const std::vector<Dcf>& objects, const std::vector<Dcf>& representatives,
     std::vector<double>* loss = nullptr, size_t threads = 0,
     bool batch_kernel = true);
 
-/// Full pipeline: computes I(V;T), runs Phase 1 with threshold φ·I/q,
-/// Phase 2 (AIB on the leaves) and, when options.k > 0, Phase 3.
+/// Full pipeline over a rewindable object stream: two scans for I(V;T)
+/// (threshold φ·I/q), one Phase-1 insert scan (only the DCF tree
+/// resident), Phase 2 (AIB on the leaves) and, when options.k > 0, one
+/// Phase-3 re-scan that labels every object. Peak memory against a real
+/// source is the DCF tree plus one chunk of objects. Results — clusters,
+/// losses, and every work counter — are bit-identical to RunLimbo over
+/// the materialized vector, at every thread count and chunk size.
+util::Result<LimboResult> RunLimboStreamed(DcfStream& objects,
+                                           const LimboOptions& options);
+
+/// Full pipeline over a materialized object vector: thin adapter that
+/// routes a zero-copy VectorDcfStream through RunLimboStreamed.
 util::Result<LimboResult> RunLimbo(const std::vector<Dcf>& objects,
                                    const LimboOptions& options);
 

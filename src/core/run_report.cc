@@ -29,6 +29,17 @@ obs::ReportSection TimingsSection(const PhaseTimings& timings) {
     section.AddField("phase3_seconds", timings.phase3_seconds);
     section.AddField("phase3_distance_evals", timings.phase3_distance_evals);
   }
+  // Streamed-run scan accounting. phase3_source_rescans is gated on
+  // phase3_ran exactly like the phase3_* fields above: a k = 0 run never
+  // re-scans the source, so emitting the zero-initialized member would be
+  // the same stale-field bug the phase3_ran flag exists to prevent.
+  if (timings.streamed) {
+    section.AddField("streamed", true);
+    section.AddField("source_scans", timings.source_scans);
+    if (timings.phase3_ran) {
+      section.AddField("phase3_source_rescans", timings.phase3_source_rescans);
+    }
+  }
   return section;
 }
 

@@ -1,77 +1,13 @@
 #include "relation/csv_io.h"
 
 #include <fstream>
-#include <sstream>
-#include <vector>
+#include <string>
 
-#include "util/strings.h"
+#include "relation/row_source.h"
 
 namespace limbo::relation {
 
 namespace {
-
-/// Splits one CSV document into records of fields, honoring quotes.
-util::Result<std::vector<std::vector<std::string>>> ParseRecords(
-    const std::string& content) {
-  std::vector<std::vector<std::string>> records;
-  std::vector<std::string> current;
-  std::string field;
-  bool in_quotes = false;
-  bool field_started = false;
-  size_t i = 0;
-  const size_t n = content.size();
-  auto end_field = [&] {
-    current.push_back(std::move(field));
-    field.clear();
-    field_started = false;
-  };
-  auto end_record = [&] {
-    end_field();
-    records.push_back(std::move(current));
-    current.clear();
-  };
-  while (i < n) {
-    const char c = content[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < n && content[i + 1] == '"') {
-          field += '"';
-          i += 2;
-        } else {
-          in_quotes = false;
-          ++i;
-        }
-      } else {
-        field += c;
-        ++i;
-      }
-    } else if (c == '"' && !field_started) {
-      in_quotes = true;
-      field_started = true;
-      ++i;
-    } else if (c == ',') {
-      end_field();
-      ++i;
-    } else if (c == '\r') {
-      ++i;  // swallow; \r\n handled by the \n branch
-    } else if (c == '\n') {
-      end_record();
-      ++i;
-    } else {
-      field += c;
-      field_started = true;
-      ++i;
-    }
-  }
-  if (in_quotes) {
-    return util::Status::InvalidArgument("unterminated quoted CSV field");
-  }
-  // Final record without trailing newline.
-  if (!field.empty() || field_started || !current.empty()) {
-    end_record();
-  }
-  return records;
-}
 
 std::string EscapeField(const std::string& text) {
   const bool needs_quotes = text.find_first_of(",\"\n\r") != std::string::npos;
@@ -87,29 +23,19 @@ std::string EscapeField(const std::string& text) {
 
 }  // namespace
 
+// Both readers are thin wrappers over the chunked RowSource scanners
+// (row_source.h): one incremental CSV dialect implementation, and ReadCsv
+// no longer slurps the whole file into a string before parsing.
+
 util::Result<Relation> ParseCsv(const std::string& content) {
-  LIMBO_ASSIGN_OR_RETURN(auto records, ParseRecords(content));
-  if (records.empty()) {
-    return util::Status::InvalidArgument("CSV has no header line");
-  }
-  LIMBO_ASSIGN_OR_RETURN(Schema schema, Schema::Create(std::move(records[0])));
-  RelationBuilder builder(std::move(schema));
-  for (size_t r = 1; r < records.size(); ++r) {
-    util::Status s = builder.AddRow(records[r]);
-    if (!s.ok()) {
-      return util::Status::InvalidArgument(
-          util::StrFormat("CSV line %zu: %s", r + 1, s.message().c_str()));
-    }
-  }
-  return std::move(builder).Build();
+  LIMBO_ASSIGN_OR_RETURN(CsvStringSource source,
+                         CsvStringSource::Open(content));
+  return ReadAllRows(source);
 }
 
 util::Result<Relation> ReadCsv(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return util::Status::IoError("cannot open " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return ParseCsv(buf.str());
+  LIMBO_ASSIGN_OR_RETURN(CsvFileSource source, CsvFileSource::Open(path));
+  return ReadAllRows(source);
 }
 
 std::string ToCsvString(const Relation& rel) {

@@ -1,0 +1,75 @@
+#include "relation/csv_scanner.h"
+
+namespace limbo::relation {
+
+void CsvScanner::EndField() {
+  current_.push_back(std::move(field_));
+  field_.clear();
+  field_started_ = false;
+}
+
+void CsvScanner::EndRecord() {
+  EndField();
+  ready_.push_back(std::move(current_));
+  current_.clear();
+}
+
+void CsvScanner::Consume(std::string_view bytes) {
+  for (const char c : bytes) {
+    if (quote_pending_) {
+      quote_pending_ = false;
+      if (c == '"') {
+        field_ += '"';  // "" escape: literal quote, field stays open
+        continue;
+      }
+      in_quotes_ = false;  // the pending quote closed the field
+      // fall through: c is an ordinary unquoted character
+    }
+    if (in_quotes_) {
+      if (c == '"') {
+        quote_pending_ = true;  // closing quote or first half of ""
+      } else {
+        field_ += c;
+      }
+      continue;
+    }
+    if (c == '"' && !field_started_) {
+      in_quotes_ = true;
+      field_started_ = true;
+    } else if (c == ',') {
+      EndField();
+    } else if (c == '\r') {
+      // swallow; \r\n handled by the \n branch
+    } else if (c == '\n') {
+      EndRecord();
+    } else {
+      field_ += c;
+      field_started_ = true;
+    }
+  }
+}
+
+util::Status CsvScanner::Finish() {
+  if (quote_pending_) {
+    // A quote at the very end of input closes its field.
+    quote_pending_ = false;
+    in_quotes_ = false;
+  }
+  if (in_quotes_) {
+    return util::Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  // Final record without trailing newline.
+  if (!field_.empty() || field_started_ || !current_.empty()) {
+    EndRecord();
+  }
+  return util::Status::Ok();
+}
+
+bool CsvScanner::PopRecord(std::vector<std::string>* record) {
+  if (ready_.empty()) return false;
+  *record = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+}  // namespace limbo::relation

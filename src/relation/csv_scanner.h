@@ -1,0 +1,62 @@
+#ifndef LIMBO_RELATION_CSV_SCANNER_H_
+#define LIMBO_RELATION_CSV_SCANNER_H_
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace limbo::relation {
+
+/// Incremental RFC-4180-style CSV tokenizer: feed arbitrary byte chunks
+/// with Consume, pop complete records with PopRecord, and call Finish
+/// once at end of input to flush a trailing record without a newline
+/// (and to detect an unterminated quote). Quoted fields with embedded
+/// commas, "" escapes, newlines and bare \r are handled; \r outside
+/// quotes is swallowed so \r\n line endings work. Chunk boundaries may
+/// fall anywhere — even between the two quotes of a "" escape — without
+/// changing the token stream, which is what lets the file source read
+/// fixed-size blocks instead of the whole file.
+///
+/// This is the single CSV dialect implementation; ParseCsv/ReadCsv and
+/// CsvFileSource are wrappers over it.
+class CsvScanner {
+ public:
+  CsvScanner() = default;
+
+  /// Feeds the next chunk of input. Completed records queue up for
+  /// PopRecord; partial state (an open field, quote, or record) carries
+  /// over to the next Consume call.
+  void Consume(std::string_view bytes);
+
+  /// Signals end of input: flushes a final record that lacks a trailing
+  /// newline and fails on an unterminated quoted field. Call exactly
+  /// once, after the last Consume.
+  util::Status Finish();
+
+  /// Moves the oldest completed record into `*record`. Returns false when
+  /// no complete record is buffered (feed more input or Finish).
+  bool PopRecord(std::vector<std::string>* record);
+
+  /// Number of completed records currently buffered.
+  size_t BufferedRecords() const { return ready_.size(); }
+
+ private:
+  void EndField();
+  void EndRecord();
+
+  std::deque<std::vector<std::string>> ready_;
+  std::vector<std::string> current_;
+  std::string field_;
+  bool in_quotes_ = false;
+  bool field_started_ = false;
+  // A quote was seen inside a quoted field at the end of a chunk; whether
+  // it closes the field or starts a "" escape depends on the next byte.
+  bool quote_pending_ = false;
+};
+
+}  // namespace limbo::relation
+
+#endif  // LIMBO_RELATION_CSV_SCANNER_H_

@@ -16,6 +16,16 @@ ValueId ValueDictionary::InternOccurrence(AttributeId attribute,
   return id;
 }
 
+ValueId ValueDictionary::InternCounted(AttributeId attribute,
+                                       std::string_view text,
+                                       uint32_t support) {
+  Key key{attribute, std::string(text)};
+  ValueId id = static_cast<ValueId>(entries_.size());
+  entries_.push_back(Entry{attribute, key.text, support});
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
 util::Result<ValueId> ValueDictionary::Find(AttributeId attribute,
                                             std::string_view text) const {
   Key key{attribute, std::string(text)};

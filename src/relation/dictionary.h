@@ -27,6 +27,13 @@ class ValueDictionary {
   /// Interns (attribute, text), bumping its occurrence count.
   ValueId InternOccurrence(AttributeId attribute, std::string_view text);
 
+  /// Appends (attribute, text) with an explicit support count — for
+  /// rebuilding a frozen dictionary id-by-id from a sidecar stats file.
+  /// The pair must not already be present (ids are assigned in call
+  /// order); returns the new id.
+  ValueId InternCounted(AttributeId attribute, std::string_view text,
+                        uint32_t support);
+
   /// Looks up an existing value without changing counts.
   /// Returns kNotFound if the pair was never interned.
   util::Result<ValueId> Find(AttributeId attribute,

@@ -1,0 +1,183 @@
+#include "relation/row_source.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace limbo::relation {
+
+namespace {
+
+/// Shared arity check: the error text (and 1-based line accounting, with
+/// the header as line 1) matches what the materialized CSV reader always
+/// reported, so streaming and materialized ingest fail identically.
+util::Status CheckArity(size_t line, size_t fields, size_t attributes) {
+  if (fields == attributes) return util::Status::Ok();
+  return util::Status::InvalidArgument(util::StrFormat(
+      "CSV line %zu: row has %zu fields, schema has %zu attributes", line,
+      fields, attributes));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CsvFileSource
+
+util::Result<CsvFileSource> CsvFileSource::Open(const std::string& path,
+                                                size_t chunk_bytes) {
+  CsvFileSource source(path, chunk_bytes);
+  source.in_.open(source.path_, std::ios::binary);
+  if (!source.in_) return util::Status::IoError("cannot open " + source.path_);
+  source.buffer_.resize(source.chunk_);
+  std::vector<std::string> header;
+  LIMBO_ASSIGN_OR_RETURN(const bool has_header, source.NextRecord(&header));
+  if (!has_header) {
+    return util::Status::InvalidArgument("CSV has no header line");
+  }
+  LIMBO_ASSIGN_OR_RETURN(source.schema_, Schema::Create(std::move(header)));
+  source.record_line_ = 1;
+  return source;
+}
+
+util::Result<bool> CsvFileSource::NextRecord(
+    std::vector<std::string>* record) {
+  while (!scanner_.PopRecord(record)) {
+    if (finished_) return false;
+    if (eof_) {
+      util::Status s = scanner_.Finish();
+      if (!s.ok()) return s;
+      finished_ = true;
+      continue;
+    }
+    in_.read(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    const std::streamsize got = in_.gcount();
+    if (got > 0) {
+      scanner_.Consume(
+          std::string_view(buffer_.data(), static_cast<size_t>(got)));
+    }
+    if (in_.eof()) {
+      eof_ = true;
+    } else if (!in_.good()) {
+      return util::Status::IoError("read error: " + path_);
+    }
+  }
+  return true;
+}
+
+util::Result<bool> CsvFileSource::Next(std::vector<std::string>* fields) {
+  LIMBO_ASSIGN_OR_RETURN(const bool more, NextRecord(fields));
+  if (!more) return false;
+  ++record_line_;
+  util::Status s =
+      CheckArity(record_line_, fields->size(), schema_.NumAttributes());
+  if (!s.ok()) return s;
+  return true;
+}
+
+util::Status CsvFileSource::Reset() {
+  in_.clear();
+  in_.seekg(0, std::ios::beg);
+  if (!in_.good()) return util::Status::IoError("cannot rewind " + path_);
+  scanner_ = CsvScanner();
+  eof_ = false;
+  finished_ = false;
+  record_line_ = 0;
+  // Re-consume the header so the next Next() yields the first data row.
+  std::vector<std::string> header;
+  util::Result<bool> has_header = NextRecord(&header);
+  if (!has_header.ok()) return has_header.status();
+  if (!*has_header) {
+    return util::Status::InvalidArgument("CSV has no header line");
+  }
+  record_line_ = 1;
+  return util::Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// CsvStringSource
+
+util::Result<CsvStringSource> CsvStringSource::Open(std::string_view content,
+                                                    size_t chunk_bytes) {
+  CsvStringSource source(content, chunk_bytes);
+  std::vector<std::string> header;
+  LIMBO_ASSIGN_OR_RETURN(const bool has_header, source.NextRecord(&header));
+  if (!has_header) {
+    return util::Status::InvalidArgument("CSV has no header line");
+  }
+  LIMBO_ASSIGN_OR_RETURN(source.schema_, Schema::Create(std::move(header)));
+  source.record_line_ = 1;
+  return source;
+}
+
+util::Result<bool> CsvStringSource::NextRecord(
+    std::vector<std::string>* record) {
+  while (!scanner_.PopRecord(record)) {
+    if (finished_) return false;
+    if (pos_ >= content_.size()) {
+      util::Status s = scanner_.Finish();
+      if (!s.ok()) return s;
+      finished_ = true;
+      continue;
+    }
+    const size_t len = std::min(chunk_, content_.size() - pos_);
+    scanner_.Consume(content_.substr(pos_, len));
+    pos_ += len;
+  }
+  return true;
+}
+
+util::Result<bool> CsvStringSource::Next(std::vector<std::string>* fields) {
+  LIMBO_ASSIGN_OR_RETURN(const bool more, NextRecord(fields));
+  if (!more) return false;
+  ++record_line_;
+  util::Status s =
+      CheckArity(record_line_, fields->size(), schema_.NumAttributes());
+  if (!s.ok()) return s;
+  return true;
+}
+
+util::Status CsvStringSource::Reset() {
+  pos_ = 0;
+  scanner_ = CsvScanner();
+  finished_ = false;
+  record_line_ = 0;
+  std::vector<std::string> header;
+  util::Result<bool> has_header = NextRecord(&header);
+  if (!has_header.ok()) return has_header.status();
+  if (!*has_header) {
+    return util::Status::InvalidArgument("CSV has no header line");
+  }
+  record_line_ = 1;
+  return util::Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// RelationRowSource
+
+util::Result<bool> RelationRowSource::Next(std::vector<std::string>* fields) {
+  if (next_ >= rel_->NumTuples()) return false;
+  const size_t m = rel_->NumAttributes();
+  fields->resize(m);
+  for (size_t a = 0; a < m; ++a) {
+    (*fields)[a] = rel_->TextAt(next_, static_cast<AttributeId>(a));
+  }
+  ++next_;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+util::Result<Relation> ReadAllRows(RowSource& source) {
+  RelationBuilder builder(source.schema());
+  std::vector<std::string> fields;
+  while (true) {
+    LIMBO_ASSIGN_OR_RETURN(const bool more, source.Next(&fields));
+    if (!more) break;
+    util::Status s = builder.AddRow(fields);
+    if (!s.ok()) return s;
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace limbo::relation

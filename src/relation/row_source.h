@@ -1,0 +1,135 @@
+#ifndef LIMBO_RELATION_ROW_SOURCE_H_
+#define LIMBO_RELATION_ROW_SOURCE_H_
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relation/csv_scanner.h"
+#include "relation/relation.h"
+#include "relation/schema.h"
+#include "util/result.h"
+
+namespace limbo::relation {
+
+/// Pull-based iterator of decoded text rows — the streaming ingest
+/// substrate of the bounded-memory pipeline. A source knows its schema up
+/// front (for CSV that means the header has been read) and yields rows one
+/// at a time; Reset rewinds to the first data row so multi-pass consumers
+/// (the stats pass, Phase 1, the Phase-3 re-scan) can re-read without the
+/// caller ever materializing the data.
+///
+/// Implementations: CsvFileSource (chunked file reads, never the whole
+/// file), CsvStringSource (in-memory text, same chunked scanner), and
+/// RelationRowSource (adapter over an already-materialized Relation,
+/// which also covers the datagen relations).
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+
+  /// Attribute names of every row this source yields.
+  virtual const Schema& schema() const = 0;
+
+  /// Decodes the next data row into `*fields` (one string per attribute,
+  /// empty string = NULL). Returns false at end of data. The same row
+  /// sequence must come back after every Reset.
+  virtual util::Result<bool> Next(std::vector<std::string>* fields) = 0;
+
+  /// Rewinds to the first data row.
+  virtual util::Status Reset() = 0;
+};
+
+/// Streams a CSV file in fixed-size chunks through CsvScanner; at most
+/// one chunk plus one record is resident. The header is consumed by Open.
+class CsvFileSource final : public RowSource {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 64 * 1024;
+
+  /// Opens `path` and reads the header. Fails with the same errors
+  /// ReadCsv reported: kIoError for an unopenable file, "CSV has no
+  /// header line" for an empty one, and Schema::Create's own errors.
+  static util::Result<CsvFileSource> Open(const std::string& path,
+                                          size_t chunk_bytes =
+                                              kDefaultChunkBytes);
+
+  const Schema& schema() const override { return schema_; }
+  util::Result<bool> Next(std::vector<std::string>* fields) override;
+  util::Status Reset() override;
+
+ private:
+  CsvFileSource(std::string path, size_t chunk_bytes)
+      : path_(std::move(path)),
+        chunk_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+
+  /// Pops the next raw record, pulling chunks from the file as needed.
+  util::Result<bool> NextRecord(std::vector<std::string>* record);
+
+  std::string path_;
+  size_t chunk_;
+  std::ifstream in_;
+  std::vector<char> buffer_;
+  CsvScanner scanner_;
+  Schema schema_;
+  bool eof_ = false;
+  bool finished_ = false;
+  // 1-based CSV line of the record most recently returned (header = 1),
+  // for error messages that match the materialized reader's.
+  size_t record_line_ = 0;
+};
+
+/// Same dialect and chunking as CsvFileSource, over an in-memory string.
+/// The content must outlive the source (it is not copied).
+class CsvStringSource final : public RowSource {
+ public:
+  static util::Result<CsvStringSource> Open(std::string_view content,
+                                            size_t chunk_bytes =
+                                                CsvFileSource::
+                                                    kDefaultChunkBytes);
+
+  const Schema& schema() const override { return schema_; }
+  util::Result<bool> Next(std::vector<std::string>* fields) override;
+  util::Status Reset() override;
+
+ private:
+  CsvStringSource(std::string_view content, size_t chunk_bytes)
+      : content_(content),
+        chunk_(chunk_bytes == 0 ? CsvFileSource::kDefaultChunkBytes
+                                : chunk_bytes) {}
+
+  util::Result<bool> NextRecord(std::vector<std::string>* record);
+
+  std::string_view content_;
+  size_t chunk_;
+  size_t pos_ = 0;
+  CsvScanner scanner_;
+  Schema schema_;
+  bool finished_ = false;
+  size_t record_line_ = 0;
+};
+
+/// Adapter over a materialized Relation (including everything the datagen
+/// generators produce). `rel` must outlive the source.
+class RelationRowSource final : public RowSource {
+ public:
+  explicit RelationRowSource(const Relation& rel) : rel_(&rel) {}
+
+  const Schema& schema() const override { return rel_->schema(); }
+  util::Result<bool> Next(std::vector<std::string>* fields) override;
+  util::Status Reset() override {
+    next_ = 0;
+    return util::Status::Ok();
+  }
+
+ private:
+  const Relation* rel_;
+  TupleId next_ = 0;
+};
+
+/// Drains `source` into a materialized Relation (one pass; the source is
+/// left at end of data). ReadCsv/ParseCsv are this over a CSV source.
+util::Result<Relation> ReadAllRows(RowSource& source);
+
+}  // namespace limbo::relation
+
+#endif  // LIMBO_RELATION_ROW_SOURCE_H_

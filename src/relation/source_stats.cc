@@ -1,0 +1,167 @@
+#include "relation/source_stats.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace limbo::relation {
+
+SourceStats SourceStats::FromRelation(const Relation& rel) {
+  SourceStats stats;
+  stats.schema = rel.schema();
+  stats.dictionary = rel.dictionary();
+  stats.num_rows = rel.NumTuples();
+  return stats;
+}
+
+util::Result<SourceStats> CollectSourceStats(RowSource& source) {
+  SourceStats stats;
+  stats.schema = source.schema();
+  const size_t m = stats.schema.NumAttributes();
+  std::vector<std::string> fields;
+  while (true) {
+    LIMBO_ASSIGN_OR_RETURN(const bool more, source.Next(&fields));
+    if (!more) break;
+    // Row-major interning order — the same order RelationBuilder uses, so
+    // the assigned value ids match a materialized load bit for bit.
+    for (size_t a = 0; a < m; ++a) {
+      stats.dictionary.InternOccurrence(static_cast<AttributeId>(a),
+                                        fields[a]);
+    }
+    ++stats.num_rows;
+  }
+  util::Status reset = source.Reset();
+  if (!reset.ok()) return reset;
+  return stats;
+}
+
+namespace {
+
+constexpr const char kMagic[] = "limbo-stats 1";
+
+/// Cursor over the loaded sidecar text. Strings are length-prefixed
+/// ("<len>:<bytes>"), so values containing newlines or any other byte
+/// round-trip exactly.
+struct StatsCursor {
+  const std::string& text;
+  size_t pos = 0;
+
+  bool Literal(const char* want) {
+    const size_t n = std::char_traits<char>::length(want);
+    if (text.compare(pos, n, want) != 0) return false;
+    pos += n;
+    return true;
+  }
+
+  bool Uint(uint64_t* out) {
+    size_t digits = 0;
+    uint64_t value = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      value = value * 10 + static_cast<uint64_t>(text[pos] - '0');
+      ++pos;
+      ++digits;
+    }
+    *out = value;
+    return digits > 0;
+  }
+
+  bool LengthPrefixed(std::string* out) {
+    uint64_t len = 0;
+    if (!Uint(&len) || !Literal(":")) return false;
+    if (pos + len > text.size()) return false;
+    out->assign(text, pos, len);
+    pos += len;
+    return true;
+  }
+};
+
+util::Status Corrupt(const std::string& path) {
+  return util::Status::InvalidArgument("corrupt stats file: " + path);
+}
+
+}  // namespace
+
+util::Status SaveSourceStats(const SourceStats& stats,
+                             const std::string& path) {
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "rows " << stats.num_rows << "\n";
+  const size_t m = stats.schema.NumAttributes();
+  out << "attrs " << m << "\n";
+  for (size_t a = 0; a < m; ++a) {
+    const std::string& name = stats.schema.Name(static_cast<AttributeId>(a));
+    out << name.size() << ":" << name << "\n";
+  }
+  const size_t values = stats.dictionary.NumValues();
+  out << "values " << values << "\n";
+  for (ValueId v = 0; v < values; ++v) {
+    const std::string& text = stats.dictionary.Text(v);
+    out << stats.dictionary.Attribute(v) << " " << stats.dictionary.Support(v)
+        << " " << text.size() << ":" << text << "\n";
+  }
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return util::Status::IoError("cannot open " + path);
+  file << out.str();
+  if (!file.good()) return util::Status::IoError("write error: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<SourceStats> LoadSourceStats(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return util::Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  const std::string text = buf.str();
+
+  StatsCursor cursor{text};
+  if (!cursor.Literal(kMagic) || !cursor.Literal("\n")) {
+    return util::Status::InvalidArgument(
+        "not a limbo-stats sidecar (or unsupported version): " + path);
+  }
+  SourceStats stats;
+  uint64_t rows = 0;
+  uint64_t attrs = 0;
+  if (!cursor.Literal("rows ") || !cursor.Uint(&rows) ||
+      !cursor.Literal("\n") || !cursor.Literal("attrs ") ||
+      !cursor.Uint(&attrs) || !cursor.Literal("\n")) {
+    return Corrupt(path);
+  }
+  stats.num_rows = static_cast<size_t>(rows);
+  std::vector<std::string> names(static_cast<size_t>(attrs));
+  for (std::string& name : names) {
+    if (!cursor.LengthPrefixed(&name) || !cursor.Literal("\n")) {
+      return Corrupt(path);
+    }
+  }
+  LIMBO_ASSIGN_OR_RETURN(stats.schema, Schema::Create(std::move(names)));
+  uint64_t values = 0;
+  if (!cursor.Literal("values ") || !cursor.Uint(&values) ||
+      !cursor.Literal("\n")) {
+    return Corrupt(path);
+  }
+  for (uint64_t v = 0; v < values; ++v) {
+    uint64_t attribute = 0;
+    uint64_t support = 0;
+    std::string value;
+    if (!cursor.Uint(&attribute) || !cursor.Literal(" ") ||
+        !cursor.Uint(&support) || !cursor.Literal(" ") ||
+        !cursor.LengthPrefixed(&value) || !cursor.Literal("\n")) {
+      return Corrupt(path);
+    }
+    if (attribute >= stats.schema.NumAttributes()) return Corrupt(path);
+    if (stats.dictionary
+            .Find(static_cast<AttributeId>(attribute), value)
+            .ok()) {
+      return Corrupt(path);  // duplicate (attribute, value) pair
+    }
+    stats.dictionary.InternCounted(static_cast<AttributeId>(attribute), value,
+                                   static_cast<uint32_t>(support));
+  }
+  if (cursor.pos != text.size()) return Corrupt(path);
+  return stats;
+}
+
+}  // namespace limbo::relation

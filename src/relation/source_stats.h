@@ -1,0 +1,46 @@
+#ifndef LIMBO_RELATION_SOURCE_STATS_H_
+#define LIMBO_RELATION_SOURCE_STATS_H_
+
+#include <string>
+
+#include "relation/dictionary.h"
+#include "relation/relation.h"
+#include "relation/row_source.h"
+#include "relation/schema.h"
+#include "util/result.h"
+
+namespace limbo::relation {
+
+/// The frozen per-source metadata the streaming pipeline needs before it
+/// can turn rows into tuple objects: the schema, the interned value
+/// dictionary (ids in first-occurrence row-major order — exactly the ids
+/// RelationBuilder would have assigned, so streamed and materialized runs
+/// see identical value ids), and the row count (for the per-tuple prior
+/// p = 1/n). Obtained by one cheap counting pass (CollectSourceStats) or
+/// loaded from a sidecar file written by an earlier pass.
+struct SourceStats {
+  Schema schema;
+  ValueDictionary dictionary;
+  size_t num_rows = 0;
+
+  /// Stats of an already-materialized relation, for free (the builder
+  /// interned while loading).
+  static SourceStats FromRelation(const Relation& rel);
+};
+
+/// One counting pass over `source`: interns every cell in row-major order
+/// and counts rows, then rewinds the source so the caller can stream it
+/// again. Peak memory is the dictionary, never the rows.
+util::Result<SourceStats> CollectSourceStats(RowSource& source);
+
+/// Writes `stats` as a sidecar text file (length-prefixed strings, so
+/// values may contain commas, quotes and newlines).
+util::Status SaveSourceStats(const SourceStats& stats,
+                             const std::string& path);
+
+/// Loads a sidecar previously written by SaveSourceStats.
+util::Result<SourceStats> LoadSourceStats(const std::string& path);
+
+}  // namespace limbo::relation
+
+#endif  // LIMBO_RELATION_SOURCE_STATS_H_

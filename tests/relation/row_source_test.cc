@@ -1,0 +1,231 @@
+// RowSource and SourceStats: the chunked CSV sources must reproduce the
+// materialized reader exactly (same rows, same errors) at every chunk
+// size, Reset must replay the identical row sequence, and a stats sidecar
+// must round-trip the frozen schema/dictionary/row-count bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "relation/csv_io.h"
+#include "relation/row_source.h"
+#include "relation/source_stats.h"
+#include "testing/make_relation.h"
+#include "util/random.h"
+
+namespace limbo::relation {
+namespace {
+
+// Every CSV corner the dialect supports: quoted fields, embedded commas,
+// "" escapes, embedded newlines and CRs inside quotes, CRLF terminators,
+// empty (NULL) fields, and a missing trailing newline.
+const char kTrickyCsv[] =
+    "A,B,C\r\n"
+    "plain,\"with,comma\",\"esc\"\"aped\"\n"
+    ",\"multi\nline\",x\r\n"
+    "\"\",middle,\"end\"\"\"";
+
+std::string RelationAsGrid(const Relation& rel) {
+  std::string grid;
+  for (size_t a = 0; a < rel.NumAttributes(); ++a) {
+    grid += rel.schema().Name(a) + "|";
+  }
+  grid += "\n";
+  for (TupleId t = 0; t < rel.NumTuples(); ++t) {
+    for (size_t a = 0; a < rel.NumAttributes(); ++a) {
+      grid += rel.TextAt(t, a) + "|";
+    }
+    grid += "\n";
+  }
+  return grid;
+}
+
+TEST(RowSourceTest, StringSourceMatchesParseCsvAtEveryChunkSize) {
+  auto reference = ParseCsv(kTrickyCsv);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (size_t chunk : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                       size_t{64 * 1024}}) {
+    auto source = CsvStringSource::Open(kTrickyCsv, chunk);
+    ASSERT_TRUE(source.ok()) << "chunk " << chunk;
+    auto rel = ReadAllRows(*source);
+    ASSERT_TRUE(rel.ok()) << "chunk " << chunk << ": "
+                          << rel.status().ToString();
+    EXPECT_EQ(RelationAsGrid(*rel), RelationAsGrid(*reference))
+        << "chunk " << chunk;
+  }
+}
+
+TEST(RowSourceTest, FileSourceMatchesReadCsv) {
+  const std::string path = ::testing::TempDir() + "/row_source_test.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << kTrickyCsv;
+  }
+  auto reference = ReadCsv(path);
+  ASSERT_TRUE(reference.ok());
+  for (size_t chunk : {size_t{1}, size_t{5}, size_t{4096}}) {
+    auto source = CsvFileSource::Open(path, chunk);
+    ASSERT_TRUE(source.ok()) << source.status().ToString();
+    auto rel = ReadAllRows(*source);
+    ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+    EXPECT_EQ(RelationAsGrid(*rel), RelationAsGrid(*reference))
+        << "chunk " << chunk;
+  }
+}
+
+TEST(RowSourceTest, ResetReplaysIdenticalRows) {
+  auto source = CsvStringSource::Open(kTrickyCsv, /*chunk_bytes=*/4);
+  ASSERT_TRUE(source.ok());
+  auto drain = [&]() {
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> fields;
+    while (true) {
+      auto more = source->Next(&fields);
+      EXPECT_TRUE(more.ok()) << more.status().ToString();
+      if (!more.ok() || !*more) break;
+      rows.push_back(fields);
+    }
+    return rows;
+  };
+  const auto first = drain();
+  EXPECT_EQ(first.size(), 3u);
+  ASSERT_TRUE(source->Reset().ok());
+  EXPECT_EQ(drain(), first);
+  // A partial scan followed by Reset must also start over from row 0.
+  ASSERT_TRUE(source->Reset().ok());
+  std::vector<std::string> fields;
+  ASSERT_TRUE(source->Next(&fields).ok());
+  ASSERT_TRUE(source->Reset().ok());
+  EXPECT_EQ(drain(), first);
+}
+
+TEST(RowSourceTest, ArityErrorMatchesMaterializedReader) {
+  const char kBad[] = "A,B\nx,y\nonly-one\n";
+  auto reference = ParseCsv(kBad);
+  ASSERT_FALSE(reference.ok());
+  auto source = CsvStringSource::Open(kBad, /*chunk_bytes=*/2);
+  ASSERT_TRUE(source.ok());
+  auto rel = ReadAllRows(*source);
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().ToString(), reference.status().ToString());
+}
+
+TEST(RowSourceTest, UnterminatedQuoteFailsLikeParseCsv) {
+  const char kBad[] = "A\n\"never closed";
+  auto reference = ParseCsv(kBad);
+  auto source = CsvStringSource::Open(kBad, /*chunk_bytes=*/3);
+  ASSERT_TRUE(source.ok());
+  auto rel = ReadAllRows(*source);
+  ASSERT_FALSE(rel.ok());
+  ASSERT_FALSE(reference.ok());
+  EXPECT_EQ(rel.status().ToString(), reference.status().ToString());
+}
+
+// The csv_fuzz property, extended to the chunked sources: for arbitrary
+// byte soup, a tiny-chunk streamed parse must agree with ParseCsv on both
+// the ok/error verdict and, when ok, every decoded cell.
+TEST(RowSourceTest, FuzzEquivalenceWithParseCsv) {
+  util::Random rng(20260705);
+  const char alphabet[] = {'a', ',', '"', '\n', '\r', '\\', '\0',
+                           ' ', '\t', 'Z', '9', ';', '\'', '\x7f'};
+  for (int round = 0; round < 300; ++round) {
+    const size_t length = rng.Uniform(120);
+    std::string content;
+    for (size_t i = 0; i < length; ++i) {
+      content += alphabet[rng.Uniform(sizeof(alphabet))];
+    }
+    const size_t chunk = 1 + rng.Uniform(16);
+    auto reference = ParseCsv(content);
+    auto source = CsvStringSource::Open(content, chunk);
+    if (!reference.ok()) {
+      // The header parse may already have failed; otherwise the failure
+      // surfaces while draining rows. Either way: same verdict.
+      if (source.ok()) {
+        auto rel = ReadAllRows(*source);
+        EXPECT_FALSE(rel.ok()) << "round " << round << " chunk " << chunk;
+      }
+      continue;
+    }
+    ASSERT_TRUE(source.ok()) << "round " << round << " chunk " << chunk;
+    auto rel = ReadAllRows(*source);
+    ASSERT_TRUE(rel.ok()) << "round " << round << " chunk " << chunk << ": "
+                          << rel.status().ToString();
+    EXPECT_EQ(RelationAsGrid(*rel), RelationAsGrid(*reference))
+        << "round " << round << " chunk " << chunk;
+  }
+}
+
+TEST(RowSourceTest, RelationRowSourceRoundTrips) {
+  const Relation rel = testing::PaperFigure4();
+  RelationRowSource source(rel);
+  auto copy = ReadAllRows(source);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(RelationAsGrid(*copy), RelationAsGrid(rel));
+  ASSERT_TRUE(source.Reset().ok());
+  auto again = ReadAllRows(source);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(RelationAsGrid(*again), RelationAsGrid(rel));
+}
+
+void ExpectSameStats(const SourceStats& a, const SourceStats& b) {
+  EXPECT_EQ(a.num_rows, b.num_rows);
+  ASSERT_EQ(a.schema.NumAttributes(), b.schema.NumAttributes());
+  for (size_t i = 0; i < a.schema.NumAttributes(); ++i) {
+    EXPECT_EQ(a.schema.Name(i), b.schema.Name(i));
+  }
+  ASSERT_EQ(a.dictionary.NumValues(), b.dictionary.NumValues());
+  for (ValueId v = 0; v < a.dictionary.NumValues(); ++v) {
+    EXPECT_EQ(a.dictionary.Attribute(v), b.dictionary.Attribute(v));
+    EXPECT_EQ(a.dictionary.Text(v), b.dictionary.Text(v));
+    EXPECT_EQ(a.dictionary.Support(v), b.dictionary.Support(v));
+  }
+}
+
+TEST(SourceStatsTest, CollectMatchesRelationBuilderIds) {
+  // The counting pass must intern in the same row-major order as
+  // RelationBuilder, so streamed and materialized value ids coincide.
+  const std::string csv = ToCsvString(testing::PaperFigure4());
+  auto rel = ParseCsv(csv);
+  ASSERT_TRUE(rel.ok());
+  auto source = CsvStringSource::Open(csv, /*chunk_bytes=*/8);
+  ASSERT_TRUE(source.ok());
+  auto stats = CollectSourceStats(*source);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ExpectSameStats(*stats, SourceStats::FromRelation(*rel));
+  // CollectSourceStats rewinds, so a full scan still sees every row.
+  auto replay = ReadAllRows(*source);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->NumTuples(), rel->NumTuples());
+}
+
+TEST(SourceStatsTest, SidecarRoundTripsHostileValues) {
+  // Values that would break a naive text format: separators, quotes,
+  // newlines, the length-prefix delimiter, and leading/trailing space.
+  const Relation rel = testing::MakeRelation(
+      {"name with space", "B"},
+      {{"comma,value", "12:34"},
+       {"line\nbreak", "\"quoted\""},
+       {" padded ", ""},
+       {"comma,value", "12:34"}});
+  const SourceStats stats = SourceStats::FromRelation(rel);
+  const std::string path = ::testing::TempDir() + "/source_stats_test.stats";
+  ASSERT_TRUE(SaveSourceStats(stats, path).ok());
+  auto loaded = LoadSourceStats(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameStats(*loaded, stats);
+}
+
+TEST(SourceStatsTest, LoadRejectsCorruptSidecar) {
+  const std::string path = ::testing::TempDir() + "/corrupt.stats";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "limbo-stats 1\nrows notanumber\n";
+  }
+  EXPECT_FALSE(LoadSourceStats(path).ok());
+  EXPECT_FALSE(LoadSourceStats(::testing::TempDir() + "/missing.stats").ok());
+}
+
+}  // namespace
+}  // namespace limbo::relation

@@ -2,7 +2,8 @@
 """Doc-consistency check: run every CLI command the docs show.
 
 Extracts every ``limbo-tool`` / ``micro_limbo`` invocation from fenced
-code blocks in docs/tutorial.md and README.md, rewrites the binary path
+code blocks in docs/tutorial.md, README.md and docs/architecture.md,
+rewrites the binary path
 to the actual build tree, and executes them in order inside a scratch
 directory (so commands that generate files feed the commands that
 consume them, exactly as a reader would run them). Any non-zero exit —
@@ -21,7 +22,11 @@ import sys
 import tempfile
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-DOCS = [REPO / "docs" / "tutorial.md", REPO / "README.md"]
+DOCS = [
+    REPO / "docs" / "tutorial.md",
+    REPO / "README.md",
+    REPO / "docs" / "architecture.md",
+]
 
 # Binaries the check knows how to rewrite; anything else in a fenced
 # block (cmake, ctest, bench loops) is out of scope here because CI

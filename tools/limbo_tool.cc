@@ -9,13 +9,25 @@
 //   limbo-tool mvds       data.csv [--max-lhs=2]
 //   limbo-tool keys       data.csv [--max-size=4]
 //   limbo-tool rank       data.csv [--psi=0.5]
-//   limbo-tool partition  data.csv [--k=0] [--phi=0.5]
+//   limbo-tool partition  data.csv [--k=0] [--phi=0.5] [--stream]
 //   limbo-tool decompose  data.csv [--psi=0.5] [--out=prefix]
 //   limbo-tool generate   db2|dblp [--out=data.csv] [--tuples=N] [--seed=S]
-//   limbo-tool summaries  data.csv [--phi-t=0.5] [--out=data.dcf]
+//   limbo-tool summaries  data.csv [--phi-t=0.5] [--out=data.dcf] [--stream]
 //   limbo-tool report     data.csv [--out=report.md] [--psi=0.5]
 //
 // Input: CSV with a header row; empty fields are NULLs.
+//
+// partition and summaries additionally accept the streaming-ingest knobs:
+//
+//   --stream          never materialize the relation: pull the CSV in
+//                     chunks through the RowSource pipeline, so peak
+//                     memory is the DCF tree plus one chunk of objects.
+//                     Results are bit-identical to the in-memory path.
+//   --stats=<path>    sidecar stats file (schema + value dictionary + row
+//                     count). Loaded when it exists, else written after
+//                     the counting pass so later runs skip that pass.
+//   --chunk=<n>       objects per stream chunk (default 4096; memory knob
+//                     only — every value is bit-identical).
 //
 // Every command accepts --threads=N to set the worker-lane count of the
 // clustering hot paths (default: LIMBO_THREADS env var, else hardware
@@ -61,6 +73,8 @@
 #include "fd/mvd.h"
 #include "fd/tane.h"
 #include "relation/csv_io.h"
+#include "relation/row_source.h"
+#include "relation/source_stats.h"
 #include "relation/stats.h"
 #include "datagen/db2_sample.h"
 #include "datagen/dblp.h"
@@ -124,9 +138,9 @@ int ValidateFlags(const Args& args) {
       {"mvds", {"max-lhs"}},
       {"keys", {"max-size"}},
       {"rank", {"psi"}},
-      {"partition", {"k", "phi", "max-k"}},
+      {"partition", {"k", "phi", "max-k", "stream", "stats", "chunk"}},
       {"decompose", {"psi", "out"}},
-      {"summaries", {"phi-t", "out"}},
+      {"summaries", {"phi-t", "out", "stream", "stats", "chunk"}},
       {"report", {"phi-t", "phi-v", "psi", "out"}},
       {"generate", {"out", "tuples", "seed"}},
   };
@@ -382,31 +396,33 @@ int CmdRank(const relation::Relation& rel, const Args& args) {
   return 0;
 }
 
-int CmdPartition(const relation::Relation& rel, const Args& args) {
+core::HorizontalPartitionOptions PartitionOptions(const Args& args) {
   core::HorizontalPartitionOptions options;
   options.k = args.GetSize("k", 0);
   options.phi = args.GetDouble("phi", options.phi);
   options.max_k = args.GetSize("max-k", options.max_k);
   options.threads = args.GetSize("threads", 0);
-  auto result = core::HorizontallyPartition(rel, options);
-  if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("k = %zu (%zu Phase-1 summaries); candidate ks:", 
-              result->chosen_k, result->num_leaves);
-  for (size_t k : result->candidate_ks) std::printf(" %zu", k);
+  options.stream_chunk = args.GetSize("chunk", 0);
+  return options;
+}
+
+/// Shared output of the materialized and streamed partition commands —
+/// they print identically apart from the streamed scan-count line.
+int PrintPartitionResult(const core::HorizontalPartitionResult& result) {
+  std::printf("k = %zu (%zu Phase-1 summaries); candidate ks:",
+              result.chosen_k, result.num_leaves);
+  for (size_t k : result.candidate_ks) std::printf(" %zu", k);
   std::printf("\n");
-  for (size_t c = 0; c < result->cluster_sizes.size(); ++c) {
+  for (size_t c = 0; c < result.cluster_sizes.size(); ++c) {
     std::printf("  cluster %zu: %zu tuples, %zu distinct values\n", c + 1,
-                result->cluster_sizes[c], result->cluster_value_counts[c]);
+                result.cluster_sizes[c], result.cluster_value_counts[c]);
   }
   std::printf("choice-of-k statistics:\n");
-  for (const auto& s : result->stats) {
+  for (const auto& s : result.stats) {
     std::printf("  k=%-4zu deltaI=%.5f H(C|V)=%.5f\n", s.k, s.delta_i,
                 s.conditional_entropy);
   }
-  const core::PhaseTimings& t = result->timings;
+  const core::PhaseTimings& t = result.timings;
   // Only phases that actually ran are reported: a caller-fixed k skips the
   // Phase-3 scan inside RunLimbo, so phase3_* would be stale zeros.
   std::printf("timings (threads=%zu): phase1=%.3fs phase2=%.3fs (%" PRIu64
@@ -415,13 +431,22 @@ int CmdPartition(const relation::Relation& rel, const Args& args) {
               t.phase2_distance_evals);
   if (t.phase3_ran) std::printf(" phase3=%.3fs", t.phase3_seconds);
   std::printf("\n");
+  if (t.streamed) {
+    // Same gating as TimingsSection: the re-scan counter exists only when
+    // Phase 3 actually ran.
+    std::printf("streamed: %" PRIu64 " source scans", t.source_scans);
+    if (t.phase3_ran) {
+      std::printf(", %" PRIu64 " phase-3 re-scans", t.phase3_source_rescans);
+    }
+    std::printf("\n");
+  }
   if (g_collect_report) {
     AddReportSection(core::TimingsSection(t));
     obs::ReportSection choice("choice_of_k");
-    choice.AddField("chosen_k", static_cast<uint64_t>(result->chosen_k));
-    choice.AddField("num_leaves", static_cast<uint64_t>(result->num_leaves));
+    choice.AddField("chosen_k", static_cast<uint64_t>(result.chosen_k));
+    choice.AddField("num_leaves", static_cast<uint64_t>(result.num_leaves));
     choice.table.columns = {"k", "delta_i", "h_c_given_v"};
-    for (const auto& s : result->stats) {
+    for (const auto& s : result.stats) {
       choice.table.rows.push_back(
           {obs::ReportValue::Integer(s.k), obs::ReportValue::Number(s.delta_i),
            obs::ReportValue::Number(s.conditional_entropy)});
@@ -429,6 +454,56 @@ int CmdPartition(const relation::Relation& rel, const Args& args) {
     AddReportSection(choice);
   }
   return 0;
+}
+
+int CmdPartition(const relation::Relation& rel, const Args& args) {
+  auto result = core::HorizontallyPartition(rel, PartitionOptions(args));
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  return PrintPartitionResult(*result);
+}
+
+/// Source stats for a streamed command: loads the --stats sidecar when one
+/// exists, otherwise runs the counting pass (and writes the sidecar when
+/// --stats named a path, so the next run skips the pass).
+util::Result<relation::SourceStats> LoadOrCollectStats(
+    relation::RowSource& source, const Args& args) {
+  const std::string stats_path = args.GetString("stats", "");
+  if (!stats_path.empty() && std::ifstream(stats_path).good()) {
+    return relation::LoadSourceStats(stats_path);
+  }
+  auto stats = relation::CollectSourceStats(source);
+  if (stats.ok() && !stats_path.empty()) {
+    util::Status saved = relation::SaveSourceStats(*stats, stats_path);
+    if (!saved.ok()) return saved;
+    std::printf("wrote stats sidecar %s (%zu rows, %zu values)\n",
+                stats_path.c_str(), stats->num_rows,
+                stats->dictionary.NumValues());
+  }
+  return stats;
+}
+
+int CmdPartitionStream(const Args& args) {
+  auto source = relation::CsvFileSource::Open(args.input);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+    return 1;
+  }
+  auto stats = LoadOrCollectStats(*source, args);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  core::TupleObjectStream objects(*source, *stats);
+  auto result =
+      core::HorizontallyPartitionStream(objects, PartitionOptions(args));
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  return PrintPartitionResult(*result);
 }
 
 int CmdDecompose(const relation::Relation& rel, const Args& args) {
@@ -600,6 +675,65 @@ int CmdSummaries(const relation::Relation& rel, const Args& args) {
   return 0;
 }
 
+/// Streamed Phase-1 summaries: two I(V;T) scans through the accumulator,
+/// then one Phase-1 insert scan. Only the stats, the DCF tree and one
+/// chunk of objects are ever resident; leaves and the printed message are
+/// bit-identical to CmdSummaries.
+int CmdSummariesStream(const Args& args) {
+  const double phi_t = args.GetDouble("phi-t", 0.5);
+  auto source = relation::CsvFileSource::Open(args.input);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+    return 1;
+  }
+  auto stats = LoadOrCollectStats(*source, args);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  core::TupleObjectStream objects(*source, *stats);
+  const size_t chunk = args.GetSize("chunk", 4096);
+  auto scan = [&](auto&& fn) -> util::Status {
+    while (true) {
+      auto part = objects.NextChunk(chunk);
+      if (!part.ok()) return part.status();
+      if (part->empty()) break;
+      for (const core::Dcf& o : *part) fn(o);
+    }
+    return objects.Reset();
+  };
+  core::MutualInformationAccumulator info;
+  util::Status s =
+      scan([&](const core::Dcf& o) { info.AddMarginal(o.p, o.cond); });
+  if (s.ok()) {
+    s = scan([&](const core::Dcf& o) { info.AddInformation(o.p, o.cond); });
+  }
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double mi = info.Value();
+  core::LimboOptions options;
+  options.phi = phi_t;
+  core::Phase1Builder builder(
+      options, phi_t * mi / static_cast<double>(stats->num_rows));
+  s = scan([&](const core::Dcf& o) { builder.Insert(o); });
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const auto leaves = builder.Leaves();
+  const std::string out = args.GetString("out", args.input + ".dcf");
+  s = core::SaveDcfs(leaves, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu Phase-1 summaries (phi_T=%.2f, I=%.4f bits) to %s\n",
+              leaves.size(), phi_t, mi, out.c_str());
+  return 0;
+}
+
 int CmdGenerate(const Args& args) {
   util::Result<relation::Relation> rel =
       util::Status::InvalidArgument("unknown dataset: " + args.input);
@@ -651,6 +785,11 @@ int main(int argc, char** argv) {
   int rc = 2;
   if (args.command == "generate") {
     rc = CmdGenerate(args);
+  } else if (args.Has("stream")) {
+    // Streamed commands never materialize the relation — the whole point
+    // is that peak memory stays at the DCF tree plus one chunk.
+    if (args.command == "partition") rc = CmdPartitionStream(args);
+    if (args.command == "summaries") rc = CmdSummariesStream(args);
   } else {
     auto rel = relation::ReadCsv(args.input);
     if (!rel.ok()) {
