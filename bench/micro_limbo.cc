@@ -27,6 +27,13 @@
 //    checksums match (the bit-identity contract). Its output is what
 //    BENCH_stream.json records. (`--stream-arm=` / `--stream-csv=` are
 //    the internal child-process protocol.)
+//  * `micro_limbo --serve [--tuples=N]` measures the serve::Engine query
+//    path: a model bundle is frozen from a DBLP-sized LIMBO run, every
+//    row is replayed as an NDJSON assign query at 1 and 4 workers, and
+//    the output records queries/sec plus p50/p99 latency per worker
+//    count. Exit 0 iff the responses are byte-identical across worker
+//    counts AND every served label equals the batch Phase-3 assignment.
+//    Its output is what BENCH_serve.json records.
 
 #include <benchmark/benchmark.h>
 #include <sys/resource.h>
@@ -55,9 +62,13 @@
 #include "fd/fdep.h"
 #include "fd/partition.h"
 #include "fd/tane.h"
+#include "model/model_bundle.h"
 #include "relation/csv_io.h"
 #include "relation/row_source.h"
 #include "relation/source_stats.h"
+#include "serve/engine.h"
+#include "util/json.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace {
@@ -619,6 +630,132 @@ int RunStreamBench(size_t tuples) {
   return equivalent ? 0 : 1;
 }
 
+/// One worker-count arm of the serve benchmark.
+struct ServeArmRow {
+  size_t workers = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Serve-path benchmark: freeze the tuple-clustering artifacts of one
+/// LIMBO run into a ModelBundle, replay every row as an assign query,
+/// and measure throughput + latency per worker count. The value-group /
+/// FD sections stay empty — assign touches only the representatives and
+/// the dictionary, and fitting them would dominate setup time.
+int RunServeBench(size_t tuples) {
+  datagen::DblpOptions dblp_options;
+  dblp_options.target_tuples = tuples;
+  const relation::Relation rel = datagen::GenerateDblp(dblp_options);
+  const std::vector<core::Dcf> objects = core::BuildTupleObjects(rel);
+  core::LimboOptions options;
+  options.phi = 0.5;
+  options.k = 10;
+  auto run = core::RunLimbo(objects, options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 1;
+  }
+
+  model::ModelBundle bundle;
+  bundle.num_rows = rel.NumTuples();
+  bundle.phi_t = options.phi;
+  bundle.mutual_information = run->mutual_information;
+  bundle.threshold = run->threshold;
+  bundle.schema = rel.schema();
+  bundle.dictionary = rel.dictionary();
+  bundle.representatives = run->representatives;
+  bundle.assignments = run->assignments;
+  bundle.assignment_loss = run->assignment_loss;
+  const size_t clusters = bundle.representatives.size();
+  auto engine = serve::Engine::FromBundle(std::move(bundle), {});
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> queries;
+  queries.reserve(rel.NumTuples());
+  for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
+    std::string q = "{\"op\":\"assign\",\"row\":[";
+    for (relation::AttributeId a = 0; a < rel.NumAttributes(); ++a) {
+      if (a > 0) q.push_back(',');
+      util::AppendJsonString(rel.TextAt(t, a), &q);
+    }
+    q += "]}";
+    queries.push_back(std::move(q));
+  }
+
+  std::vector<ServeArmRow> arms;
+  std::vector<std::string> baseline;
+  bool bit_identical = true;
+  for (const size_t workers : {size_t{1}, size_t{4}}) {
+    util::ThreadPool pool(workers);
+    std::vector<core::LossKernel> kernels(pool.threads());
+    std::vector<std::string> responses(queries.size());
+    std::vector<std::vector<double>> lane_latencies(pool.threads());
+    auto replay = [&](bool timed) {
+      pool.ParallelFor(
+          0, queries.size(), 64, [&](size_t begin, size_t end, size_t lane) {
+            for (size_t i = begin; i < end; ++i) {
+              const auto start = std::chrono::steady_clock::now();
+              responses[i] = engine->HandleLine(queries[i], &kernels[lane]);
+              if (timed) {
+                lane_latencies[lane].push_back(
+                    std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count());
+              }
+            }
+          });
+    };
+    replay(/*timed=*/false);  // warm up caches and the JSON parser path
+    const auto start = std::chrono::steady_clock::now();
+    replay(/*timed=*/true);
+    const double elapsed = Seconds(start);
+
+    std::vector<double> latencies;
+    for (const auto& lane : lane_latencies) {
+      latencies.insert(latencies.end(), lane.begin(), lane.end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    ServeArmRow row;
+    row.workers = workers;
+    row.qps = static_cast<double>(queries.size()) / elapsed;
+    row.p50_us = latencies[latencies.size() / 2];
+    row.p99_us = latencies[latencies.size() * 99 / 100];
+    arms.push_back(row);
+
+    if (baseline.empty()) {
+      baseline = responses;
+      // The 1-worker pass also gates label fidelity: every served
+      // cluster id must equal the batch Phase-3 assignment.
+      for (size_t t = 0; t < responses.size(); ++t) {
+        auto parsed = util::ParseJson(responses[t]);
+        if (!parsed.ok() || parsed->Find("cluster") == nullptr ||
+            parsed->Find("cluster")->integer != run->assignments[t]) {
+          bit_identical = false;
+          break;
+        }
+      }
+    } else {
+      bit_identical = bit_identical && responses == baseline;
+    }
+  }
+
+  std::printf("{\"benchmark\": \"serve\", \"tuples\": %zu, "
+              "\"clusters\": %zu, \"bit_identical\": %s, \"arms\": [",
+              rel.NumTuples(), clusters, bit_identical ? "true" : "false");
+  for (size_t i = 0; i < arms.size(); ++i) {
+    std::printf("%s{\"workers\": %zu, \"qps\": %.1f, \"p50_us\": %.2f, "
+                "\"p99_us\": %.2f}",
+                i > 0 ? ", " : "", arms[i].workers, arms[i].qps,
+                arms[i].p50_us, arms[i].p99_us);
+  }
+  std::printf("]}\n");
+  return bit_identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -626,6 +763,7 @@ int main(int argc, char** argv) {
   bool kernel_bench = false;
   bool report_mode = false;
   bool stream_bench = false;
+  bool serve_bench = false;
   std::string stream_arm;
   std::string stream_csv;
   std::string report_path;
@@ -638,6 +776,8 @@ int main(int argc, char** argv) {
       kernel_bench = true;
     } else if (std::strcmp(argv[i], "--stream") == 0) {
       stream_bench = true;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve_bench = true;
     } else if (std::strncmp(argv[i], "--stream-arm=", 13) == 0) {
       stream_arm = argv[i] + 13;
     } else if (std::strncmp(argv[i], "--stream-csv=", 13) == 0) {
@@ -657,6 +797,7 @@ int main(int argc, char** argv) {
   }
   if (!stream_arm.empty()) return RunStreamArm(stream_arm, stream_csv);
   if (stream_bench) return RunStreamBench(tuples_given ? tuples : 20000);
+  if (serve_bench) return RunServeBench(tuples_given ? tuples : 10000);
   if (thread_scaling) return RunThreadScaling(tuples);
   if (kernel_bench) return RunKernelBench(tuples_given ? tuples : 10000);
   if (report_mode) return RunReportMode(tuples_given ? tuples : 10000,

@@ -50,6 +50,19 @@ SparseDistribution SparseDistribution::FromPairs(std::vector<Entry> entries) {
   return d;
 }
 
+SparseDistribution SparseDistribution::FromNormalizedPairs(
+    std::vector<Entry> entries) {
+  SparseDistribution d;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.id < b.id; });
+  for (size_t i = 0; i < entries.size(); ++i) {
+    LIMBO_CHECK(entries[i].mass > 0.0);
+    if (i > 0) LIMBO_CHECK(entries[i].id != entries[i - 1].id);
+  }
+  d.entries_ = std::move(entries);
+  return d;
+}
+
 SparseDistribution SparseDistribution::WeightedMerge(
     double w1, const SparseDistribution& a, double w2,
     const SparseDistribution& b) {

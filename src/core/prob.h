@@ -30,6 +30,12 @@ class SparseDistribution {
   /// not all zero.
   static SparseDistribution FromPairs(std::vector<Entry> entries);
 
+  /// From (id, mass) pairs that already form a distribution (e.g. parsed
+  /// back from a serialized one): masses are kept bit-for-bit, never
+  /// renormalized. Pairs need not be sorted; ids must be unique; masses
+  /// must be > 0.
+  static SparseDistribution FromNormalizedPairs(std::vector<Entry> entries);
+
   /// Convex combination w1*a + w2*b (w1 + w2 should be 1 for a valid
   /// distribution; the function does not renormalize). This is Eq. (2) of
   /// the paper with w1 = p(c1)/p(c*), w2 = p(c2)/p(c*).

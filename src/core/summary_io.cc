@@ -1,6 +1,7 @@
 #include "core/summary_io.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -11,12 +12,20 @@ namespace limbo::core {
 
 namespace {
 constexpr const char* kMagic = "limbo-dcf";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;
 }  // namespace
 
 std::string SerializeDcfs(const std::vector<Dcf>& dcfs) {
-  std::string out = util::StrFormat("%s %d\n%zu\n", kMagic, kVersion,
-                                    dcfs.size());
+  return SerializeDcfs(dcfs, DcfMeta());
+}
+
+std::string SerializeDcfs(const std::vector<Dcf>& dcfs, const DcfMeta& meta) {
+  std::string out = util::StrFormat("%s %d\n", kMagic, kVersion);
+  if (meta.has_clustering) {
+    out += util::StrFormat("meta phi %.17g mi %.17g threshold %.17g\n",
+                           meta.phi, meta.mutual_information, meta.threshold);
+  }
+  out += util::StrFormat("%zu\n", dcfs.size());
   for (const Dcf& d : dcfs) {
     out += util::StrFormat("p %.17g k %zu", d.p, d.cond.SupportSize());
     if (d.IsAdcf()) {
@@ -34,15 +43,36 @@ std::string SerializeDcfs(const std::vector<Dcf>& dcfs) {
 }
 
 util::Result<std::vector<Dcf>> ParseDcfs(const std::string& text) {
+  return ParseDcfs(text, nullptr);
+}
+
+util::Result<std::vector<Dcf>> ParseDcfs(const std::string& text,
+                                         DcfMeta* meta) {
+  if (meta != nullptr) *meta = DcfMeta();
   std::istringstream in(text);
   std::string magic;
   int version = 0;
   if (!(in >> magic >> version) || magic != kMagic) {
     return util::Status::InvalidArgument("not a limbo-dcf stream");
   }
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
     return util::Status::InvalidArgument(
         util::StrFormat("unsupported dcf version %d", version));
+  }
+  std::string tag;
+  if (version >= 2 && in >> std::ws && in.peek() == 'm') {
+    DcfMeta parsed;
+    parsed.has_clustering = true;
+    std::string key_phi;
+    std::string key_mi;
+    std::string key_threshold;
+    if (!(in >> tag >> key_phi >> parsed.phi >> key_mi >>
+          parsed.mutual_information >> key_threshold >> parsed.threshold) ||
+        tag != "meta" || key_phi != "phi" || key_mi != "mi" ||
+        key_threshold != "threshold") {
+      return util::Status::InvalidArgument("malformed meta line");
+    }
+    if (meta != nullptr) *meta = parsed;
   }
   size_t count = 0;
   if (!(in >> count)) {
@@ -51,12 +81,15 @@ util::Result<std::vector<Dcf>> ParseDcfs(const std::string& text) {
   std::vector<Dcf> dcfs;
   dcfs.reserve(count);
   for (size_t i = 0; i < count; ++i) {
-    std::string tag;
     Dcf d;
     size_t support = 0;
     if (!(in >> tag >> d.p) || tag != "p") {
       return util::Status::InvalidArgument(
           util::StrFormat("summary %zu: expected 'p <mass>'", i));
+    }
+    if (!std::isfinite(d.p) || d.p <= 0.0) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("summary %zu: p out of range", i));
     }
     if (!(in >> tag >> support) || tag != "k") {
       return util::Status::InvalidArgument(
@@ -86,10 +119,25 @@ util::Result<std::vector<Dcf>> ParseDcfs(const std::string& text) {
         return util::Status::InvalidArgument(
             util::StrFormat("summary %zu: truncated support", i));
       }
+      // Validate here with typed errors: the class invariants (sorted,
+      // strictly positive) are LIMBO_CHECKed, and a hostile file must not
+      // reach an abort.
+      if (!std::isfinite(mass) || mass <= 0.0) {
+        return util::Status::InvalidArgument(
+            util::StrFormat("summary %zu: mass out of range", i));
+      }
+      if (!entries.empty() && id <= entries.back().id) {
+        return util::Status::InvalidArgument(
+            util::StrFormat("summary %zu: ids not strictly increasing", i));
+      }
       entries.push_back({id, mass});
     }
     if (!entries.empty()) {
-      d.cond = SparseDistribution::FromPairs(std::move(entries));
+      // Masses were written from a valid distribution; keep them
+      // bit-for-bit instead of renormalizing (FromPairs divides by the
+      // parsed total, which perturbs the low bits whenever the decimal
+      // round-trip of the sum is not exactly 1).
+      d.cond = SparseDistribution::FromNormalizedPairs(std::move(entries));
     }
     dcfs.push_back(std::move(d));
   }
@@ -97,19 +145,29 @@ util::Result<std::vector<Dcf>> ParseDcfs(const std::string& text) {
 }
 
 util::Status SaveDcfs(const std::vector<Dcf>& dcfs, const std::string& path) {
+  return SaveDcfs(dcfs, DcfMeta(), path);
+}
+
+util::Status SaveDcfs(const std::vector<Dcf>& dcfs, const DcfMeta& meta,
+                      const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return util::Status::IoError("cannot open " + path);
-  out << SerializeDcfs(dcfs);
+  out << SerializeDcfs(dcfs, meta);
   if (!out) return util::Status::IoError("write failed: " + path);
   return util::Status::Ok();
 }
 
 util::Result<std::vector<Dcf>> LoadDcfs(const std::string& path) {
+  return LoadDcfs(path, nullptr);
+}
+
+util::Result<std::vector<Dcf>> LoadDcfs(const std::string& path,
+                                        DcfMeta* meta) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return util::Status::IoError("cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ParseDcfs(buf.str());
+  return ParseDcfs(buf.str(), meta);
 }
 
 }  // namespace limbo::core

@@ -16,21 +16,44 @@ namespace limbo::core {
 /// and reload them across sessions.
 ///
 /// Format: a versioned line-oriented text format —
-///   limbo-dcf 1
+///   limbo-dcf 2
+///   meta phi <phi> mi <bits> threshold <bits>   (optional)
 ///   <count>
 ///   p <mass> k <support> [a <m> c1..cm]
 ///   <id> <mass> ... (support pairs)
-/// Probabilities round-trip exactly via 17-significant-digit decimals.
+/// Probabilities round-trip bit-exactly: masses are written as
+/// 17-significant-digit decimals and read back verbatim (never
+/// renormalized). Version-1 files (no meta line) still parse.
 
-/// Serializes `dcfs` to a string.
+/// Run parameters a summary file carries alongside the DCFs, so a reload
+/// can reproduce thresholded decisions (duplicate checks, tree rebuilds)
+/// without re-deriving them from the source relation.
+struct DcfMeta {
+  bool has_clustering = false;      // meta line present
+  double phi = 0.0;                 // φ used for the merge threshold
+  double mutual_information = 0.0;  // I(V;T) of the source objects, bits
+  double threshold = 0.0;           // φ·I/n actually applied, bits
+};
+
+/// Serializes `dcfs` to a string; the overload records `meta` when
+/// meta.has_clustering is set.
 std::string SerializeDcfs(const std::vector<Dcf>& dcfs);
+std::string SerializeDcfs(const std::vector<Dcf>& dcfs, const DcfMeta& meta);
 
 /// Parses summaries back; fails on malformed or version-mismatched input.
+/// The overload also surfaces the meta line (has_clustering false when the
+/// file carries none, e.g. version-1 files).
 util::Result<std::vector<Dcf>> ParseDcfs(const std::string& text);
+util::Result<std::vector<Dcf>> ParseDcfs(const std::string& text,
+                                         DcfMeta* meta);
 
 /// File convenience wrappers.
 util::Status SaveDcfs(const std::vector<Dcf>& dcfs, const std::string& path);
+util::Status SaveDcfs(const std::vector<Dcf>& dcfs, const DcfMeta& meta,
+                      const std::string& path);
 util::Result<std::vector<Dcf>> LoadDcfs(const std::string& path);
+util::Result<std::vector<Dcf>> LoadDcfs(const std::string& path,
+                                        DcfMeta* meta);
 
 }  // namespace limbo::core
 

@@ -1,0 +1,76 @@
+#include "model/fit.h"
+
+#include <utility>
+
+#include "core/limbo.h"
+#include "core/structure_summary.h"
+#include "core/tuple_clustering.h"
+#include "obs/trace.h"
+
+namespace limbo::model {
+
+util::Result<ModelBundle> FitModel(const relation::Relation& rel,
+                                   const FitOptions& options) {
+  if (rel.NumTuples() == 0) {
+    return util::Status::InvalidArgument("cannot fit a model on 0 rows");
+  }
+  if (options.k == 0) {
+    return util::Status::InvalidArgument("fit requires k >= 1");
+  }
+  LIMBO_OBS_SPAN(fit_span, "model.fit");
+
+  ModelBundle bundle;
+  bundle.num_rows = rel.NumTuples();
+  bundle.phi_t = options.phi_t;
+  bundle.phi_v = options.phi_v;
+  bundle.psi = options.psi;
+  bundle.association_margin = options.association_margin;
+  bundle.schema = rel.schema();
+  bundle.dictionary = rel.dictionary();
+
+  // Tuple clustering: the frozen assignment map.
+  const std::vector<core::Dcf> objects = core::BuildTupleObjects(rel);
+  core::LimboOptions limbo_options;
+  limbo_options.phi = options.phi_t;
+  limbo_options.k = options.k;
+  limbo_options.threads = options.threads;
+  LIMBO_ASSIGN_OR_RETURN(core::LimboResult run,
+                         core::RunLimbo(objects, limbo_options));
+  bundle.mutual_information = run.mutual_information;
+  bundle.threshold = run.threshold;
+  bundle.representatives = std::move(run.representatives);
+  bundle.assignments = std::move(run.assignments);
+  bundle.assignment_loss = std::move(run.assignment_loss);
+
+  // Derived structure: value groups / CV_D, dendrogram, ranked FDs.
+  core::StructureSummaryOptions summary_options;
+  summary_options.phi_t = options.phi_t;
+  summary_options.phi_v = options.phi_v;
+  summary_options.psi = options.psi;
+  LIMBO_ASSIGN_OR_RETURN(core::StructureSummary summary,
+                         core::SummarizeStructure(rel, summary_options));
+  bundle.value_mutual_information = summary.values.mutual_information;
+  bundle.value_threshold = summary.values.threshold;
+  bundle.value_groups = std::move(summary.values.groups);
+  bundle.duplicate_groups.reserve(summary.values.duplicate_groups.size());
+  for (size_t g : summary.values.duplicate_groups) {
+    bundle.duplicate_groups.push_back(static_cast<uint32_t>(g));
+  }
+  bundle.has_grouping = summary.has_grouping;
+  if (summary.has_grouping) {
+    bundle.grouping_attributes = std::move(summary.grouping.attributes);
+    bundle.grouping_num_objects = summary.grouping.aib.num_objects();
+    bundle.grouping_merges = summary.grouping.aib.merges();
+    bundle.grouping_cluster_members.reserve(
+        summary.grouping.cluster_members.size());
+    for (const fd::AttributeSet& s : summary.grouping.cluster_members) {
+      bundle.grouping_cluster_members.push_back(s.bits());
+    }
+    bundle.max_merge_loss = summary.grouping.max_merge_loss;
+  }
+  bundle.num_fds = summary.num_fds;
+  bundle.ranked_fds = std::move(summary.ranked_cover);
+  return bundle;
+}
+
+}  // namespace limbo::model

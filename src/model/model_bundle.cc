@@ -1,0 +1,754 @@
+#include "model/model_bundle.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace limbo::model {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'I', 'M', 'B', 'O', 'M', 'D', 'L'};
+
+// Section tags, written and required in ascending order.
+enum SectionTag : uint32_t {
+  kMeta = 1,
+  kSchema = 2,
+  kDictionary = 3,
+  kRepresentatives = 4,
+  kAssignments = 5,
+  kValueGroups = 6,
+  kGrouping = 7,  // optional
+  kRankedFds = 8,
+};
+
+// ---- writer helpers (host-endian fixed-width, doubles as raw bits) ----
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+void PutF64(double v, std::string* out) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutStr(const std::string& s, std::string* out) {
+  PutU64(s.size(), out);
+  out->append(s);
+}
+
+void PutSection(uint32_t tag, const std::string& body, std::string* out) {
+  PutU32(tag, out);
+  PutU32(0, out);
+  PutU64(body.size(), out);
+  out->append(body);
+}
+
+void PutDcf(const core::Dcf& d, std::string* out) {
+  PutF64(d.p, out);
+  PutU64(d.cond.SupportSize(), out);
+  for (const auto& e : d.cond.entries()) {
+    PutU32(e.id, out);
+    PutF64(e.mass, out);
+  }
+  PutU64(d.attr_counts.size(), out);
+  for (uint64_t c : d.attr_counts) PutU64(c, out);
+}
+
+// ---- bounds-checked reader ----
+
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : p_(data), end_(data + size) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  bool done() const { return p_ == end_; }
+
+  util::Status ReadU8(uint8_t* v) { return ReadRaw(v, sizeof(*v)); }
+  util::Status ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  util::Status ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  util::Status ReadF64(double* v) { return ReadRaw(v, sizeof(*v)); }
+
+  util::Status ReadStr(std::string* out) {
+    uint64_t len = 0;
+    LIMBO_RETURN_IF_ERROR(ReadU64(&len));
+    if (len > remaining()) {
+      return util::Status::InvalidArgument("model bundle: truncated string");
+    }
+    out->assign(p_, static_cast<size_t>(len));
+    p_ += len;
+    return util::Status::Ok();
+  }
+
+  /// Reads an element count and refuses counts that could not possibly
+  /// fit in the remaining bytes — a corrupt length must fail fast, not
+  /// drive a multi-gigabyte allocation.
+  util::Status ReadCount(size_t min_elem_bytes, uint64_t* count) {
+    LIMBO_RETURN_IF_ERROR(ReadU64(count));
+    if (min_elem_bytes > 0 && *count > remaining() / min_elem_bytes) {
+      return util::Status::InvalidArgument(
+          "model bundle: element count exceeds section size");
+    }
+    return util::Status::Ok();
+  }
+
+ private:
+  util::Status ReadRaw(void* out, size_t n) {
+    if (remaining() < n) {
+      return util::Status::InvalidArgument("model bundle: truncated field");
+    }
+    std::memcpy(out, p_, n);
+    p_ += n;
+    return util::Status::Ok();
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+util::Status CheckFinite(double v, const char* what) {
+  if (!std::isfinite(v)) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("model bundle: non-finite %s", what));
+  }
+  return util::Status::Ok();
+}
+
+util::Status ReadDcf(Cursor* in, size_t max_cond_id, core::Dcf* out) {
+  LIMBO_RETURN_IF_ERROR(in->ReadF64(&out->p));
+  LIMBO_RETURN_IF_ERROR(CheckFinite(out->p, "dcf mass"));
+  if (out->p <= 0.0) {
+    return util::Status::InvalidArgument("model bundle: dcf mass not > 0");
+  }
+  uint64_t support = 0;
+  LIMBO_RETURN_IF_ERROR(in->ReadCount(sizeof(uint32_t) + sizeof(double),
+                                      &support));
+  std::vector<core::SparseDistribution::Entry> entries;
+  entries.reserve(support);
+  for (uint64_t e = 0; e < support; ++e) {
+    uint32_t id = 0;
+    double mass = 0.0;
+    LIMBO_RETURN_IF_ERROR(in->ReadU32(&id));
+    LIMBO_RETURN_IF_ERROR(in->ReadF64(&mass));
+    LIMBO_RETURN_IF_ERROR(CheckFinite(mass, "dcf conditional mass"));
+    if (mass <= 0.0) {
+      return util::Status::InvalidArgument(
+          "model bundle: dcf conditional mass not > 0");
+    }
+    if (max_cond_id != 0 && id >= max_cond_id) {
+      return util::Status::InvalidArgument(
+          "model bundle: dcf support id out of range");
+    }
+    if (!entries.empty() && id <= entries.back().id) {
+      return util::Status::InvalidArgument(
+          "model bundle: dcf support ids not strictly increasing");
+    }
+    entries.push_back({id, mass});
+  }
+  if (!entries.empty()) {
+    out->cond = core::SparseDistribution::FromNormalizedPairs(
+        std::move(entries));
+  }
+  uint64_t num_counts = 0;
+  LIMBO_RETURN_IF_ERROR(in->ReadCount(sizeof(uint64_t), &num_counts));
+  out->attr_counts.resize(num_counts);
+  for (uint64_t a = 0; a < num_counts; ++a) {
+    LIMBO_RETURN_IF_ERROR(in->ReadU64(&out->attr_counts[a]));
+  }
+  return util::Status::Ok();
+}
+
+util::Status ExpectDone(const Cursor& in, const char* section) {
+  if (!in.done()) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("model bundle: trailing bytes in %s section",
+                        section));
+  }
+  return util::Status::Ok();
+}
+
+// ---- per-section serializers ----
+
+std::string MetaBody(const ModelBundle& b) {
+  std::string out;
+  PutU64(b.num_rows, &out);
+  PutF64(b.phi_t, &out);
+  PutF64(b.phi_v, &out);
+  PutF64(b.psi, &out);
+  PutF64(b.mutual_information, &out);
+  PutF64(b.threshold, &out);
+  PutF64(b.association_margin, &out);
+  PutF64(b.value_mutual_information, &out);
+  PutF64(b.value_threshold, &out);
+  return out;
+}
+
+std::string SchemaBody(const ModelBundle& b) {
+  std::string out;
+  PutU64(b.schema.NumAttributes(), &out);
+  for (const std::string& name : b.schema.Names()) PutStr(name, &out);
+  return out;
+}
+
+std::string DictionaryBody(const ModelBundle& b) {
+  std::string out;
+  PutU64(b.dictionary.NumValues(), &out);
+  for (relation::ValueId v = 0; v < b.dictionary.NumValues(); ++v) {
+    PutU32(b.dictionary.Attribute(v), &out);
+    PutU32(b.dictionary.Support(v), &out);
+    PutStr(b.dictionary.Text(v), &out);
+  }
+  return out;
+}
+
+std::string RepresentativesBody(const ModelBundle& b) {
+  // CSR layout, mirroring DistributionArena: priors, row offsets, then one
+  // flat (id, mass) entry slab — so a loader can hand the rows straight to
+  // an arena without per-row bookkeeping.
+  std::string out;
+  PutU64(b.representatives.size(), &out);
+  for (const core::Dcf& r : b.representatives) PutF64(r.p, &out);
+  uint64_t offset = 0;
+  PutU64(offset, &out);
+  for (const core::Dcf& r : b.representatives) {
+    offset += r.cond.SupportSize();
+    PutU64(offset, &out);
+  }
+  for (const core::Dcf& r : b.representatives) {
+    for (const auto& e : r.cond.entries()) {
+      PutU32(e.id, &out);
+      PutF64(e.mass, &out);
+    }
+  }
+  return out;
+}
+
+std::string AssignmentsBody(const ModelBundle& b) {
+  std::string out;
+  PutU64(b.assignments.size(), &out);
+  for (uint32_t label : b.assignments) PutU32(label, &out);
+  for (double loss : b.assignment_loss) PutF64(loss, &out);
+  return out;
+}
+
+std::string ValueGroupsBody(const ModelBundle& b) {
+  std::string out;
+  PutU64(b.value_groups.size(), &out);
+  for (const core::ValueGroup& g : b.value_groups) {
+    PutU64(g.values.size(), &out);
+    for (relation::ValueId v : g.values) PutU32(v, &out);
+    PutDcf(g.dcf, &out);
+    PutU8(g.is_duplicate ? 1 : 0, &out);
+  }
+  PutU64(b.duplicate_groups.size(), &out);
+  for (uint32_t g : b.duplicate_groups) PutU32(g, &out);
+  return out;
+}
+
+std::string GroupingBody(const ModelBundle& b) {
+  std::string out;
+  PutU64(b.grouping_attributes.size(), &out);
+  for (relation::AttributeId a : b.grouping_attributes) PutU32(a, &out);
+  PutU64(b.grouping_num_objects, &out);
+  PutU64(b.grouping_merges.size(), &out);
+  for (const core::Merge& m : b.grouping_merges) {
+    PutU32(m.left, &out);
+    PutU32(m.right, &out);
+    PutU32(m.merged, &out);
+    PutF64(m.delta_i, &out);
+    PutF64(m.cumulative_loss, &out);
+    PutF64(m.p_merged, &out);
+  }
+  PutU64(b.grouping_cluster_members.size(), &out);
+  for (uint64_t bits : b.grouping_cluster_members) PutU64(bits, &out);
+  PutF64(b.max_merge_loss, &out);
+  return out;
+}
+
+std::string RankedFdsBody(const ModelBundle& b) {
+  std::string out;
+  PutU64(b.num_fds, &out);
+  PutU64(b.ranked_fds.size(), &out);
+  for (const core::RankedFd& r : b.ranked_fds) {
+    PutU64(r.fd.lhs.bits(), &out);
+    PutU64(r.fd.rhs.bits(), &out);
+    PutF64(r.rank, &out);
+    PutU8(r.anchored ? 1 : 0, &out);
+  }
+  return out;
+}
+
+// ---- per-section parsers ----
+
+util::Status ParseMeta(Cursor in, ModelBundle* b) {
+  LIMBO_RETURN_IF_ERROR(in.ReadU64(&b->num_rows));
+  LIMBO_RETURN_IF_ERROR(in.ReadF64(&b->phi_t));
+  LIMBO_RETURN_IF_ERROR(in.ReadF64(&b->phi_v));
+  LIMBO_RETURN_IF_ERROR(in.ReadF64(&b->psi));
+  LIMBO_RETURN_IF_ERROR(in.ReadF64(&b->mutual_information));
+  LIMBO_RETURN_IF_ERROR(in.ReadF64(&b->threshold));
+  LIMBO_RETURN_IF_ERROR(in.ReadF64(&b->association_margin));
+  LIMBO_RETURN_IF_ERROR(in.ReadF64(&b->value_mutual_information));
+  LIMBO_RETURN_IF_ERROR(in.ReadF64(&b->value_threshold));
+  LIMBO_RETURN_IF_ERROR(ExpectDone(in, "meta"));
+  if (b->num_rows == 0) {
+    return util::Status::InvalidArgument("model bundle: num_rows is zero");
+  }
+  for (double v : {b->phi_t, b->phi_v, b->psi, b->mutual_information,
+                   b->threshold, b->association_margin,
+                   b->value_mutual_information, b->value_threshold}) {
+    LIMBO_RETURN_IF_ERROR(CheckFinite(v, "meta field"));
+    if (v < 0.0) {
+      return util::Status::InvalidArgument(
+          "model bundle: negative meta field");
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status ParseSchema(Cursor in, ModelBundle* b) {
+  uint64_t count = 0;
+  LIMBO_RETURN_IF_ERROR(in.ReadCount(sizeof(uint64_t), &count));
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    LIMBO_RETURN_IF_ERROR(in.ReadStr(&name));
+    names.push_back(std::move(name));
+  }
+  LIMBO_RETURN_IF_ERROR(ExpectDone(in, "schema"));
+  LIMBO_ASSIGN_OR_RETURN(b->schema, relation::Schema::Create(std::move(names)));
+  return util::Status::Ok();
+}
+
+util::Status ParseDictionary(Cursor in, ModelBundle* b) {
+  uint64_t count = 0;
+  LIMBO_RETURN_IF_ERROR(
+      in.ReadCount(2 * sizeof(uint32_t) + sizeof(uint64_t), &count));
+  if (count > static_cast<uint64_t>(UINT32_MAX)) {
+    return util::Status::InvalidArgument(
+        "model bundle: dictionary too large");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t attribute = 0;
+    uint32_t support = 0;
+    std::string text;
+    LIMBO_RETURN_IF_ERROR(in.ReadU32(&attribute));
+    LIMBO_RETURN_IF_ERROR(in.ReadU32(&support));
+    LIMBO_RETURN_IF_ERROR(in.ReadStr(&text));
+    if (attribute >= b->schema.NumAttributes()) {
+      return util::Status::InvalidArgument(
+          "model bundle: dictionary attribute out of range");
+    }
+    // InternCounted requires the pair to be fresh; a corrupt file with a
+    // repeated pair must not silently shadow the first id.
+    if (b->dictionary.Find(attribute, text).ok()) {
+      return util::Status::InvalidArgument(
+          "model bundle: duplicate dictionary entry");
+    }
+    b->dictionary.InternCounted(attribute, text, support);
+  }
+  return ExpectDone(in, "dictionary");
+}
+
+util::Status ParseRepresentatives(Cursor in, ModelBundle* b) {
+  uint64_t count = 0;
+  LIMBO_RETURN_IF_ERROR(
+      in.ReadCount(sizeof(double) + sizeof(uint64_t), &count));
+  std::vector<double> priors(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    LIMBO_RETURN_IF_ERROR(in.ReadF64(&priors[i]));
+    LIMBO_RETURN_IF_ERROR(CheckFinite(priors[i], "representative mass"));
+    if (priors[i] <= 0.0) {
+      return util::Status::InvalidArgument(
+          "model bundle: representative mass not > 0");
+    }
+  }
+  std::vector<uint64_t> offsets(count + 1);
+  for (uint64_t i = 0; i <= count; ++i) {
+    LIMBO_RETURN_IF_ERROR(in.ReadU64(&offsets[i]));
+    if (i > 0 && offsets[i] < offsets[i - 1]) {
+      return util::Status::InvalidArgument(
+          "model bundle: representative offsets not monotone");
+    }
+  }
+  if (offsets[0] != 0 ||
+      offsets[count] >
+          in.remaining() / (sizeof(uint32_t) + sizeof(double))) {
+    return util::Status::InvalidArgument(
+        "model bundle: representative entry slab size mismatch");
+  }
+  const size_t num_values = b->dictionary.NumValues();
+  b->representatives.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::vector<core::SparseDistribution::Entry> entries;
+    entries.reserve(offsets[i + 1] - offsets[i]);
+    for (uint64_t e = offsets[i]; e < offsets[i + 1]; ++e) {
+      uint32_t id = 0;
+      double mass = 0.0;
+      LIMBO_RETURN_IF_ERROR(in.ReadU32(&id));
+      LIMBO_RETURN_IF_ERROR(in.ReadF64(&mass));
+      LIMBO_RETURN_IF_ERROR(CheckFinite(mass, "representative entry"));
+      if (mass <= 0.0) {
+        return util::Status::InvalidArgument(
+            "model bundle: representative entry mass not > 0");
+      }
+      if (id >= num_values) {
+        return util::Status::InvalidArgument(
+            "model bundle: representative support id out of range");
+      }
+      if (!entries.empty() && id <= entries.back().id) {
+        return util::Status::InvalidArgument(
+            "model bundle: representative ids not strictly increasing");
+      }
+      entries.push_back({id, mass});
+    }
+    core::Dcf d;
+    d.p = priors[i];
+    if (!entries.empty()) {
+      d.cond = core::SparseDistribution::FromNormalizedPairs(
+          std::move(entries));
+    }
+    b->representatives.push_back(std::move(d));
+  }
+  return ExpectDone(in, "representatives");
+}
+
+util::Status ParseAssignments(Cursor in, ModelBundle* b) {
+  uint64_t count = 0;
+  LIMBO_RETURN_IF_ERROR(
+      in.ReadCount(sizeof(uint32_t) + sizeof(double), &count));
+  if (count != b->num_rows) {
+    return util::Status::InvalidArgument(
+        "model bundle: assignment count != num_rows");
+  }
+  b->assignments.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    LIMBO_RETURN_IF_ERROR(in.ReadU32(&b->assignments[i]));
+    if (b->assignments[i] >= b->representatives.size()) {
+      return util::Status::InvalidArgument(
+          "model bundle: assignment label out of range");
+    }
+  }
+  b->assignment_loss.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    LIMBO_RETURN_IF_ERROR(in.ReadF64(&b->assignment_loss[i]));
+    LIMBO_RETURN_IF_ERROR(
+        CheckFinite(b->assignment_loss[i], "assignment loss"));
+  }
+  return ExpectDone(in, "assignments");
+}
+
+util::Status ParseValueGroups(Cursor in, ModelBundle* b) {
+  uint64_t count = 0;
+  LIMBO_RETURN_IF_ERROR(in.ReadCount(sizeof(uint64_t), &count));
+  const size_t num_values = b->dictionary.NumValues();
+  b->value_groups.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    core::ValueGroup g;
+    uint64_t num_members = 0;
+    LIMBO_RETURN_IF_ERROR(in.ReadCount(sizeof(uint32_t), &num_members));
+    g.values.resize(num_members);
+    for (uint64_t m = 0; m < num_members; ++m) {
+      uint32_t v = 0;
+      LIMBO_RETURN_IF_ERROR(in.ReadU32(&v));
+      if (v >= num_values) {
+        return util::Status::InvalidArgument(
+            "model bundle: value-group member out of range");
+      }
+      g.values[m] = v;
+    }
+    // The group DCF's conditional ranges over tuples (or tuple clusters
+    // under Double Clustering), so no id bound applies here.
+    LIMBO_RETURN_IF_ERROR(ReadDcf(&in, 0, &g.dcf));
+    uint8_t dup = 0;
+    LIMBO_RETURN_IF_ERROR(in.ReadU8(&dup));
+    if (dup > 1) {
+      return util::Status::InvalidArgument(
+          "model bundle: boolean field out of range");
+    }
+    g.is_duplicate = dup != 0;
+    b->value_groups.push_back(std::move(g));
+  }
+  uint64_t num_dups = 0;
+  LIMBO_RETURN_IF_ERROR(in.ReadCount(sizeof(uint32_t), &num_dups));
+  b->duplicate_groups.resize(num_dups);
+  for (uint64_t i = 0; i < num_dups; ++i) {
+    LIMBO_RETURN_IF_ERROR(in.ReadU32(&b->duplicate_groups[i]));
+    if (b->duplicate_groups[i] >= b->value_groups.size()) {
+      return util::Status::InvalidArgument(
+          "model bundle: duplicate-group index out of range");
+    }
+  }
+  return ExpectDone(in, "value groups");
+}
+
+util::Status ParseGrouping(Cursor in, ModelBundle* b) {
+  b->has_grouping = true;
+  uint64_t count = 0;
+  LIMBO_RETURN_IF_ERROR(in.ReadCount(sizeof(uint32_t), &count));
+  b->grouping_attributes.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    LIMBO_RETURN_IF_ERROR(in.ReadU32(&b->grouping_attributes[i]));
+    if (b->grouping_attributes[i] >= b->schema.NumAttributes()) {
+      return util::Status::InvalidArgument(
+          "model bundle: grouping attribute out of range");
+    }
+  }
+  LIMBO_RETURN_IF_ERROR(in.ReadU64(&b->grouping_num_objects));
+  if (b->grouping_num_objects != b->grouping_attributes.size()) {
+    return util::Status::InvalidArgument(
+        "model bundle: grouping leaf count mismatch");
+  }
+  uint64_t num_merges = 0;
+  LIMBO_RETURN_IF_ERROR(
+      in.ReadCount(3 * sizeof(uint32_t) + 3 * sizeof(double), &num_merges));
+  b->grouping_merges.reserve(num_merges);
+  for (uint64_t i = 0; i < num_merges; ++i) {
+    core::Merge m{};
+    LIMBO_RETURN_IF_ERROR(in.ReadU32(&m.left));
+    LIMBO_RETURN_IF_ERROR(in.ReadU32(&m.right));
+    LIMBO_RETURN_IF_ERROR(in.ReadU32(&m.merged));
+    LIMBO_RETURN_IF_ERROR(in.ReadF64(&m.delta_i));
+    LIMBO_RETURN_IF_ERROR(in.ReadF64(&m.cumulative_loss));
+    LIMBO_RETURN_IF_ERROR(in.ReadF64(&m.p_merged));
+    LIMBO_RETURN_IF_ERROR(CheckFinite(m.delta_i, "merge loss"));
+    LIMBO_RETURN_IF_ERROR(CheckFinite(m.cumulative_loss, "merge loss"));
+    LIMBO_RETURN_IF_ERROR(CheckFinite(m.p_merged, "merge mass"));
+    // scipy-linkage convention: the i-th merge creates cluster q+i from
+    // two clusters that already exist.
+    const uint64_t limit = b->grouping_num_objects + i;
+    if (m.left >= limit || m.right >= limit || m.left == m.right ||
+        m.merged != limit) {
+      return util::Status::InvalidArgument(
+          "model bundle: merge ids violate the linkage convention");
+    }
+    b->grouping_merges.push_back(m);
+  }
+  uint64_t num_members = 0;
+  LIMBO_RETURN_IF_ERROR(in.ReadCount(sizeof(uint64_t), &num_members));
+  if (num_members != b->grouping_num_objects + b->grouping_merges.size()) {
+    return util::Status::InvalidArgument(
+        "model bundle: cluster-member table size mismatch");
+  }
+  b->grouping_cluster_members.resize(num_members);
+  for (uint64_t i = 0; i < num_members; ++i) {
+    LIMBO_RETURN_IF_ERROR(in.ReadU64(&b->grouping_cluster_members[i]));
+  }
+  LIMBO_RETURN_IF_ERROR(in.ReadF64(&b->max_merge_loss));
+  LIMBO_RETURN_IF_ERROR(CheckFinite(b->max_merge_loss, "max merge loss"));
+  return ExpectDone(in, "grouping");
+}
+
+util::Status ParseRankedFds(Cursor in, ModelBundle* b) {
+  LIMBO_RETURN_IF_ERROR(in.ReadU64(&b->num_fds));
+  uint64_t count = 0;
+  LIMBO_RETURN_IF_ERROR(
+      in.ReadCount(2 * sizeof(uint64_t) + sizeof(double) + 1, &count));
+  const uint64_t attr_mask =
+      fd::AttributeSet::Full(b->schema.NumAttributes()).bits();
+  b->ranked_fds.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    core::RankedFd r;
+    uint64_t lhs = 0;
+    uint64_t rhs = 0;
+    LIMBO_RETURN_IF_ERROR(in.ReadU64(&lhs));
+    LIMBO_RETURN_IF_ERROR(in.ReadU64(&rhs));
+    if ((lhs & ~attr_mask) != 0 || (rhs & ~attr_mask) != 0) {
+      return util::Status::InvalidArgument(
+          "model bundle: FD attribute bits out of range");
+    }
+    r.fd.lhs = fd::AttributeSet(lhs);
+    r.fd.rhs = fd::AttributeSet(rhs);
+    LIMBO_RETURN_IF_ERROR(in.ReadF64(&r.rank));
+    LIMBO_RETURN_IF_ERROR(CheckFinite(r.rank, "FD rank"));
+    uint8_t anchored = 0;
+    LIMBO_RETURN_IF_ERROR(in.ReadU8(&anchored));
+    if (anchored > 1) {
+      return util::Status::InvalidArgument(
+          "model bundle: boolean field out of range");
+    }
+    r.anchored = anchored != 0;
+    b->ranked_fds.push_back(std::move(r));
+  }
+  return ExpectDone(in, "ranked FDs");
+}
+
+}  // namespace
+
+uint64_t Fnv1a(const void* data, size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t hash = 14695981039346656037ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string SerializeBundle(const ModelBundle& bundle) {
+  std::string payload;
+  PutSection(kMeta, MetaBody(bundle), &payload);
+  PutSection(kSchema, SchemaBody(bundle), &payload);
+  PutSection(kDictionary, DictionaryBody(bundle), &payload);
+  PutSection(kRepresentatives, RepresentativesBody(bundle), &payload);
+  PutSection(kAssignments, AssignmentsBody(bundle), &payload);
+  PutSection(kValueGroups, ValueGroupsBody(bundle), &payload);
+  if (bundle.has_grouping) {
+    PutSection(kGrouping, GroupingBody(bundle), &payload);
+  }
+  PutSection(kRankedFds, RankedFdsBody(bundle), &payload);
+
+  std::string out;
+  out.reserve(sizeof(kMagic) + 24 + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  PutU32(kFormatVersion, &out);
+  PutU32(0, &out);
+  PutU64(payload.size(), &out);
+  PutU64(Fnv1a(payload.data(), payload.size()), &out);
+  out.append(payload);
+  return out;
+}
+
+util::Result<ModelBundle> ParseBundle(const std::string& bytes) {
+  Cursor header(bytes.data(), bytes.size());
+  char magic[sizeof(kMagic)];
+  if (bytes.size() < sizeof(kMagic)) {
+    return util::Status::InvalidArgument("model bundle: truncated header");
+  }
+  std::memcpy(magic, bytes.data(), sizeof(kMagic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::InvalidArgument("not a .limbo model bundle");
+  }
+  Cursor in(bytes.data() + sizeof(kMagic), bytes.size() - sizeof(kMagic));
+  uint32_t version = 0;
+  uint32_t reserved = 0;
+  uint64_t payload_len = 0;
+  uint64_t checksum = 0;
+  LIMBO_RETURN_IF_ERROR(in.ReadU32(&version));
+  LIMBO_RETURN_IF_ERROR(in.ReadU32(&reserved));
+  LIMBO_RETURN_IF_ERROR(in.ReadU64(&payload_len));
+  LIMBO_RETURN_IF_ERROR(in.ReadU64(&checksum));
+  if (version != kFormatVersion) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "model bundle: format version %u, this build reads %u", version,
+        kFormatVersion));
+  }
+  if (reserved != 0) {
+    return util::Status::InvalidArgument(
+        "model bundle: nonzero reserved header field");
+  }
+  if (payload_len != in.remaining()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "model bundle: payload length %llu does not match file size",
+        static_cast<unsigned long long>(payload_len)));
+  }
+  const char* payload = bytes.data() + bytes.size() - payload_len;
+  if (Fnv1a(payload, payload_len) != checksum) {
+    return util::Status::InvalidArgument(
+        "model bundle: payload checksum mismatch (corrupt file)");
+  }
+
+  ModelBundle bundle;
+  Cursor sections(payload, payload_len);
+  uint32_t last_tag = 0;
+  bool seen[kRankedFds + 1] = {false};
+  while (!sections.done()) {
+    uint32_t tag = 0;
+    uint32_t tag_reserved = 0;
+    uint64_t len = 0;
+    LIMBO_RETURN_IF_ERROR(sections.ReadU32(&tag));
+    LIMBO_RETURN_IF_ERROR(sections.ReadU32(&tag_reserved));
+    LIMBO_RETURN_IF_ERROR(sections.ReadU64(&len));
+    if (tag_reserved != 0) {
+      return util::Status::InvalidArgument(
+          "model bundle: nonzero reserved section field");
+    }
+    if (tag <= last_tag || tag > kRankedFds) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "model bundle: unknown or out-of-order section tag %u", tag));
+    }
+    if (len > sections.remaining()) {
+      return util::Status::InvalidArgument(
+          "model bundle: truncated section");
+    }
+    last_tag = tag;
+    seen[tag] = true;
+    const char* body = payload + (payload_len - sections.remaining());
+    Cursor section(body, len);
+    // Consume the body from the outer cursor by re-slicing.
+    sections = Cursor(body + len, sections.remaining() - len);
+    switch (tag) {
+      case kMeta:
+        LIMBO_RETURN_IF_ERROR(ParseMeta(section, &bundle));
+        break;
+      case kSchema:
+        LIMBO_RETURN_IF_ERROR(ParseSchema(section, &bundle));
+        break;
+      case kDictionary:
+        LIMBO_RETURN_IF_ERROR(ParseDictionary(section, &bundle));
+        break;
+      case kRepresentatives:
+        LIMBO_RETURN_IF_ERROR(ParseRepresentatives(section, &bundle));
+        break;
+      case kAssignments:
+        LIMBO_RETURN_IF_ERROR(ParseAssignments(section, &bundle));
+        break;
+      case kValueGroups:
+        LIMBO_RETURN_IF_ERROR(ParseValueGroups(section, &bundle));
+        break;
+      case kGrouping:
+        LIMBO_RETURN_IF_ERROR(ParseGrouping(section, &bundle));
+        break;
+      case kRankedFds:
+        LIMBO_RETURN_IF_ERROR(ParseRankedFds(section, &bundle));
+        break;
+      default:
+        return util::Status::Internal("unreachable section tag");
+    }
+  }
+  for (uint32_t tag : {kMeta, kSchema, kDictionary, kRepresentatives,
+                       kAssignments, kValueGroups, kRankedFds}) {
+    if (!seen[tag]) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("model bundle: missing section %u", tag));
+    }
+  }
+  return bundle;
+}
+
+util::Status Save(const ModelBundle& bundle, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::IoError("cannot open " + path);
+  const std::string bytes = SerializeBundle(bundle);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<ModelBundle> Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseBundle(buf.str());
+}
+
+}  // namespace limbo::model

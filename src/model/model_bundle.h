@@ -1,0 +1,98 @@
+#ifndef LIMBO_MODEL_MODEL_BUNDLE_H_
+#define LIMBO_MODEL_MODEL_BUNDLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/aib.h"
+#include "core/dcf.h"
+#include "core/fd_rank.h"
+#include "core/value_clustering.h"
+#include "relation/dictionary.h"
+#include "relation/schema.h"
+#include "util/result.h"
+
+namespace limbo::model {
+
+/// On-disk format version. Bump on any layout change; Load rejects files
+/// written by a different version.
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Everything a LIMBO run derives from one relation, frozen for online
+/// serving: the paper's artifacts are computed once (tuple clustering,
+/// value groups / CV_D, the attribute dendrogram Q, ranked FDs) and then
+/// queried millions of times without touching the source CSV again.
+///
+/// The `.limbo` file layout (all integers and doubles host-endian, doubles
+/// as raw 8-byte IEEE-754 so probabilities round-trip bit-exactly):
+///
+///   | bytes | field                                   |
+///   |-------|-----------------------------------------|
+///   | 8     | magic "LIMBOMDL"                        |
+///   | 4     | format version (u32)                    |
+///   | 4     | reserved (0)                            |
+///   | 8     | payload length (u64)                    |
+///   | 8     | FNV-1a checksum of the payload (u64)    |
+///   | ...   | payload: sections in ascending tag order|
+///
+/// Each section is `u32 tag, u32 reserved, u64 byte length, body`. Any
+/// truncation, checksum mismatch, version bump, unknown tag, or value
+/// out of range yields a typed util::Status error — never a crash and
+/// never a silently-wrong bundle.
+struct ModelBundle {
+  // ---- meta (run parameters; what thresholded queries re-use) ----
+  uint64_t num_rows = 0;             // n: tuples the model was fitted on
+  double phi_t = 0.0;                // tuple-clustering accuracy φ_T
+  double phi_v = 0.0;                // value-clustering accuracy φ_V
+  double psi = 0.0;                  // FD-RANK ψ
+  double mutual_information = 0.0;   // I(V;T) of the tuple objects, bits
+  double threshold = 0.0;            // Phase-1 merge threshold φ_T·I/n
+  double association_margin = 2.0;   // duplicate association margin
+  double value_mutual_information = 0.0;  // I of the value objects
+  double value_threshold = 0.0;           // value-stage merge threshold
+
+  // ---- schema + dictionary, in original intern order ----
+  relation::Schema schema;
+  relation::ValueDictionary dictionary;
+
+  // ---- tuple clustering (Phase-2 representatives + Phase-3 labels) ----
+  std::vector<core::Dcf> representatives;
+  std::vector<uint32_t> assignments;     // one label per fitted tuple
+  std::vector<double> assignment_loss;   // δI of each assignment
+
+  // ---- value groups / CV_D ----
+  std::vector<core::ValueGroup> value_groups;
+  std::vector<uint32_t> duplicate_groups;  // indices into value_groups
+
+  // ---- attribute dendrogram Q (present only when CV_D is non-empty) ----
+  bool has_grouping = false;
+  std::vector<relation::AttributeId> grouping_attributes;
+  uint64_t grouping_num_objects = 0;
+  std::vector<core::Merge> grouping_merges;
+  std::vector<uint64_t> grouping_cluster_members;  // AttributeSet bits
+  double max_merge_loss = 0.0;
+
+  // ---- ranked dependencies ----
+  uint64_t num_fds = 0;  // total FDs mined before cover/collapse
+  std::vector<core::RankedFd> ranked_fds;
+};
+
+/// Serializes `bundle` to the .limbo wire format.
+std::string SerializeBundle(const ModelBundle& bundle);
+
+/// Parses a .limbo byte string, validating the header, checksum, section
+/// structure and every cross-reference (labels < representative count,
+/// value ids < dictionary size, ...).
+util::Result<ModelBundle> ParseBundle(const std::string& bytes);
+
+/// File convenience wrappers.
+util::Status Save(const ModelBundle& bundle, const std::string& path);
+util::Result<ModelBundle> Load(const std::string& path);
+
+/// FNV-1a 64-bit checksum (exposed for tests).
+uint64_t Fnv1a(const void* data, size_t size);
+
+}  // namespace limbo::model
+
+#endif  // LIMBO_MODEL_MODEL_BUNDLE_H_

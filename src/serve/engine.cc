@@ -1,0 +1,483 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dcf.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
+#include "relation/csv_scanner.h"
+#include "util/json.h"
+
+namespace limbo::serve {
+
+namespace {
+
+using util::JsonValue;
+
+void AppendKey(const char* key, std::string* out) {
+  out->push_back('"');
+  *out += key;
+  *out += "\":";
+}
+
+void AppendStringField(const char* key, const std::string& value,
+                       std::string* out) {
+  AppendKey(key, out);
+  util::AppendJsonString(value, out);
+}
+
+void AppendNumberField(const char* key, double value, std::string* out) {
+  AppendKey(key, out);
+  util::AppendJsonNumber(value, out);
+}
+
+void AppendIntField(const char* key, uint64_t value, std::string* out) {
+  AppendKey(key, out);
+  *out += std::to_string(value);
+}
+
+void AppendBoolField(const char* key, bool value, std::string* out) {
+  AppendKey(key, out);
+  *out += value ? "true" : "false";
+}
+
+void AppendNameList(const relation::Schema& schema,
+                    const std::vector<relation::AttributeId>& ids,
+                    std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    util::AppendJsonString(schema.Name(ids[i]), out);
+  }
+  out->push_back(']');
+}
+
+}  // namespace
+
+Engine::Engine(model::ModelBundle bundle, const EngineOptions& options)
+    : bundle_(std::move(bundle)), options_(options) {
+  // Phase3Assigner's exact frozen state: priors in a flat array, the
+  // representative conditionals as arena rows with cached logs.
+  rep_p_.reserve(bundle_.representatives.size());
+  rep_row_.reserve(bundle_.representatives.size());
+  for (const core::Dcf& rep : bundle_.representatives) {
+    rep_p_.push_back(rep.p);
+    rep_row_.push_back(arena_.Append(rep.cond));
+  }
+  value_to_group_.assign(bundle_.dictionary.NumValues(), kNoGroup);
+  for (size_t g = 0; g < bundle_.value_groups.size(); ++g) {
+    for (relation::ValueId v : bundle_.value_groups[g].values) {
+      value_to_group_[v] = static_cast<uint32_t>(g);
+    }
+  }
+}
+
+util::Result<Engine> Engine::Open(const std::string& path,
+                                  const EngineOptions& options) {
+  LIMBO_ASSIGN_OR_RETURN(model::ModelBundle bundle, model::Load(path));
+  return FromBundle(std::move(bundle), options);
+}
+
+util::Result<Engine> Engine::FromBundle(model::ModelBundle bundle,
+                                        const EngineOptions& options) {
+  if (bundle.representatives.empty()) {
+    return util::Status::FailedPrecondition(
+        "bundle has no cluster representatives; refusing to serve");
+  }
+  if (bundle.num_rows == 0) {
+    return util::Status::FailedPrecondition(
+        "bundle was fitted on 0 rows; refusing to serve");
+  }
+  return Engine(std::move(bundle), options);
+}
+
+util::Result<core::Dcf> Engine::RowObject(
+    const std::vector<std::string>& fields, size_t* oov) const {
+  const relation::Schema& schema = bundle_.schema;
+  if (fields.size() != schema.NumAttributes()) {
+    return util::Status::InvalidArgument(
+        "row has " + std::to_string(fields.size()) + " fields; schema has " +
+        std::to_string(schema.NumAttributes()) + " attributes");
+  }
+  std::vector<uint32_t> ids;
+  ids.reserve(fields.size());
+  *oov = 0;
+  for (size_t a = 0; a < fields.size(); ++a) {
+    util::Result<relation::ValueId> v = bundle_.dictionary.Find(
+        static_cast<relation::AttributeId>(a), fields[a]);
+    if (v.ok()) {
+      ids.push_back(*v);
+      continue;
+    }
+    if (options_.oov == OovPolicy::kStrict) {
+      return util::Status::NotFound("unseen value for attribute \"" +
+                                    schema.Name(static_cast<uint32_t>(a)) +
+                                    "\": \"" + fields[a] + "\"");
+    }
+    ++*oov;
+  }
+  if (ids.empty()) {
+    return util::Status::NotFound(
+        "every value in the row is unseen; nothing to assign");
+  }
+  // The batch tuple object of Section 5.2: prior 1/n, conditional uniform
+  // over the row's value ids. Using the fitted n keeps the loss scale —
+  // and thus the assignment argmin — bit-identical to Phase 3.
+  core::Dcf object;
+  object.p = 1.0 / static_cast<double>(bundle_.num_rows);
+  object.cond = core::SparseDistribution::UniformOver(ids);
+  return object;
+}
+
+util::Status Engine::AssignRow(const std::vector<std::string>& fields,
+                               core::LossKernel* kernel, uint32_t* label,
+                               double* loss, size_t* oov) const {
+  core::Dcf object;
+  {
+    util::Result<core::Dcf> r = RowObject(fields, oov);
+    if (!r.ok()) return r.status();
+    object = std::move(r).value();
+  }
+  // Phase3Assigner::AssignChunk verbatim: strict < keeps the lowest
+  // cluster index on ties, making the result a pure function of the pair
+  // set — identical at every worker count.
+  kernel->SetObject(object.p, object.cond);
+  uint32_t best = 0;
+  double best_loss = std::numeric_limits<double>::infinity();
+  for (size_t r = 0; r < rep_row_.size(); ++r) {
+    const double d = kernel->Loss(rep_p_[r], arena_.Row(rep_row_[r]));
+    if (d < best_loss) {
+      best_loss = d;
+      best = static_cast<uint32_t>(r);
+    }
+  }
+  *label = best;
+  *loss = best_loss;
+  return util::Status::Ok();
+}
+
+util::Status Engine::ParseRowArg(const JsonValue& request,
+                                 std::vector<std::string>* fields) const {
+  const JsonValue* row = request.Find("row");
+  const JsonValue* csv = request.Find("csv");
+  if ((row != nullptr) == (csv != nullptr)) {
+    return util::Status::InvalidArgument(
+        "query needs exactly one of \"row\" (array of strings) or \"csv\" "
+        "(raw record)");
+  }
+  fields->clear();
+  if (row != nullptr) {
+    if (row->kind != JsonValue::Kind::kArray) {
+      return util::Status::InvalidArgument("\"row\" must be an array");
+    }
+    fields->reserve(row->array.size());
+    for (const JsonValue& field : row->array) {
+      if (field.kind != JsonValue::Kind::kString) {
+        return util::Status::InvalidArgument(
+            "\"row\" elements must be strings");
+      }
+      fields->push_back(field.str);
+    }
+    return util::Status::Ok();
+  }
+  if (csv->kind != JsonValue::Kind::kString) {
+    return util::Status::InvalidArgument("\"csv\" must be a string");
+  }
+  relation::CsvScanner scanner;
+  scanner.Consume(csv->str);
+  LIMBO_RETURN_IF_ERROR(scanner.Finish());
+  if (scanner.BufferedRecords() != 1) {
+    return util::Status::InvalidArgument(
+        "\"csv\" must contain exactly one record, got " +
+        std::to_string(scanner.BufferedRecords()));
+  }
+  scanner.PopRecord(fields);
+  return util::Status::Ok();
+}
+
+util::Result<std::string> Engine::HandleAssign(const JsonValue& request,
+                                               core::LossKernel* kernel) const {
+  std::vector<std::string> fields;
+  LIMBO_RETURN_IF_ERROR(ParseRowArg(request, &fields));
+  uint32_t label = 0;
+  double loss = 0.0;
+  size_t oov = 0;
+  LIMBO_RETURN_IF_ERROR(AssignRow(fields, kernel, &label, &loss, &oov));
+  std::string out = "{\"ok\":true,";
+  AppendIntField("cluster", label, &out);
+  out.push_back(',');
+  AppendNumberField("loss", loss, &out);
+  out.push_back(',');
+  AppendIntField("oov", oov, &out);
+  out.push_back('}');
+  return out;
+}
+
+util::Result<std::string> Engine::HandleDuplicates(
+    const JsonValue& request, core::LossKernel* kernel) const {
+  std::vector<std::string> fields;
+  LIMBO_RETURN_IF_ERROR(ParseRowArg(request, &fields));
+  uint32_t label = 0;
+  double loss = 0.0;
+  size_t oov = 0;
+  LIMBO_RETURN_IF_ERROR(AssignRow(fields, kernel, &label, &loss, &oov));
+  // Section 6.1 association test: the row is a near-duplicate iff its
+  // nearest cluster is heavy (prior above a single tuple's 1/n) and
+  // joining it costs at most margin × the Phase-1 merge threshold.
+  const bool heavy =
+      rep_p_[label] > 1.0 / static_cast<double>(bundle_.num_rows);
+  const double limit = bundle_.association_margin * bundle_.threshold;
+  const bool duplicate = heavy && loss <= limit;
+  std::string out = "{\"ok\":true,";
+  AppendBoolField("duplicate", duplicate, &out);
+  out.push_back(',');
+  AppendIntField("cluster", label, &out);
+  out.push_back(',');
+  AppendNumberField("loss", loss, &out);
+  out.push_back(',');
+  AppendNumberField("limit", limit, &out);
+  out.push_back(',');
+  AppendBoolField("heavy", heavy, &out);
+  out.push_back(',');
+  AppendIntField("oov", oov, &out);
+  out.push_back('}');
+  return out;
+}
+
+util::Result<std::string> Engine::HandleValueGroup(
+    const JsonValue& request) const {
+  const JsonValue* attr = request.Find("attr");
+  const JsonValue* value = request.Find("value");
+  if (attr == nullptr || attr->kind != JsonValue::Kind::kString ||
+      value == nullptr || value->kind != JsonValue::Kind::kString) {
+    return util::Status::InvalidArgument(
+        "valuegroup needs string fields \"attr\" and \"value\"");
+  }
+  LIMBO_ASSIGN_OR_RETURN(relation::AttributeId a,
+                         bundle_.schema.Find(attr->str));
+  util::Result<relation::ValueId> v = bundle_.dictionary.Find(a, value->str);
+  if (!v.ok()) {
+    return util::Status::NotFound("value \"" + value->str +
+                                  "\" was never seen under attribute \"" +
+                                  attr->str + "\"");
+  }
+  std::string out = "{\"ok\":true,";
+  AppendStringField(
+      "value", bundle_.dictionary.QualifiedName(bundle_.schema, *v), &out);
+  out.push_back(',');
+  AppendIntField("support", bundle_.dictionary.Support(*v), &out);
+  out.push_back(',');
+  const uint32_t g = value_to_group_[*v];
+  if (g == kNoGroup) {
+    out += "\"group\":null,\"is_duplicate\":false,\"members\":[]";
+    out.push_back('}');
+    return out;
+  }
+  const core::ValueGroup& group = bundle_.value_groups[g];
+  AppendIntField("group", g, &out);
+  out.push_back(',');
+  AppendBoolField("is_duplicate", group.is_duplicate, &out);
+  out.push_back(',');
+  AppendKey("members", &out);
+  out.push_back('[');
+  for (size_t i = 0; i < group.values.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    util::AppendJsonString(
+        bundle_.dictionary.QualifiedName(bundle_.schema, group.values[i]),
+        &out);
+  }
+  out += "]}";
+  return out;
+}
+
+util::Result<std::string> Engine::HandleAttrs() const {
+  std::string out = "{\"ok\":true,";
+  AppendKey("attributes", &out);
+  out.push_back('[');
+  for (size_t a = 0; a < bundle_.schema.NumAttributes(); ++a) {
+    if (a > 0) out.push_back(',');
+    util::AppendJsonString(bundle_.schema.Name(static_cast<uint32_t>(a)),
+                           &out);
+  }
+  out += "],";
+  AppendBoolField("has_grouping", bundle_.has_grouping, &out);
+  if (bundle_.has_grouping) {
+    out.push_back(',');
+    AppendKey("grouping", &out);
+    out += "{";
+    AppendKey("attributes", &out);
+    AppendNameList(bundle_.schema, bundle_.grouping_attributes, &out);
+    out.push_back(',');
+    AppendNumberField("max_merge_loss", bundle_.max_merge_loss, &out);
+    out.push_back(',');
+    AppendKey("merges", &out);
+    out.push_back('[');
+    for (size_t i = 0; i < bundle_.grouping_merges.size(); ++i) {
+      const core::Merge& m = bundle_.grouping_merges[i];
+      if (i > 0) out.push_back(',');
+      out += "{";
+      AppendIntField("left", m.left, &out);
+      out.push_back(',');
+      AppendIntField("right", m.right, &out);
+      out.push_back(',');
+      AppendIntField("merged", m.merged, &out);
+      out.push_back(',');
+      AppendNumberField("loss", m.delta_i, &out);
+      out.push_back('}');
+    }
+    out += "],";
+    AppendKey("clusters", &out);
+    out.push_back('[');
+    for (size_t i = 0; i < bundle_.grouping_cluster_members.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendNameList(
+          bundle_.schema,
+          fd::AttributeSet(bundle_.grouping_cluster_members[i]).ToList(),
+          &out);
+    }
+    out += "]}";
+  }
+  out.push_back('}');
+  return out;
+}
+
+util::Result<std::string> Engine::HandleFds(const JsonValue& request) const {
+  size_t limit = bundle_.ranked_fds.size();
+  if (const JsonValue* l = request.Find("limit"); l != nullptr) {
+    // Negative literals parse as kNumber (the integer kind is unsigned),
+    // so kInteger already implies non-negative.
+    if (l->kind != JsonValue::Kind::kInteger) {
+      return util::Status::InvalidArgument(
+          "\"limit\" must be a non-negative integer");
+    }
+    limit = std::min(limit, static_cast<size_t>(l->integer));
+  }
+  std::string out = "{\"ok\":true,";
+  AppendIntField("total_mined", bundle_.num_fds, &out);
+  out.push_back(',');
+  AppendIntField("ranked", bundle_.ranked_fds.size(), &out);
+  out.push_back(',');
+  AppendKey("fds", &out);
+  out.push_back('[');
+  for (size_t i = 0; i < limit; ++i) {
+    const core::RankedFd& f = bundle_.ranked_fds[i];
+    if (i > 0) out.push_back(',');
+    out += "{";
+    AppendKey("lhs", &out);
+    AppendNameList(bundle_.schema, f.fd.lhs.ToList(), &out);
+    out.push_back(',');
+    AppendKey("rhs", &out);
+    AppendNameList(bundle_.schema, f.fd.rhs.ToList(), &out);
+    out.push_back(',');
+    AppendNumberField("rank", f.rank, &out);
+    out.push_back(',');
+    AppendBoolField("anchored", f.anchored, &out);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+util::Result<std::string> Engine::HandleInfo() const {
+  std::string out = "{\"ok\":true,";
+  AppendIntField("format_version", model::kFormatVersion, &out);
+  out.push_back(',');
+  AppendIntField("rows", bundle_.num_rows, &out);
+  out.push_back(',');
+  AppendIntField("attributes", bundle_.schema.NumAttributes(), &out);
+  out.push_back(',');
+  AppendIntField("values", bundle_.dictionary.NumValues(), &out);
+  out.push_back(',');
+  AppendIntField("clusters", bundle_.representatives.size(), &out);
+  out.push_back(',');
+  AppendNumberField("phi_t", bundle_.phi_t, &out);
+  out.push_back(',');
+  AppendNumberField("phi_v", bundle_.phi_v, &out);
+  out.push_back(',');
+  AppendNumberField("psi", bundle_.psi, &out);
+  out.push_back(',');
+  AppendNumberField("mutual_information", bundle_.mutual_information, &out);
+  out.push_back(',');
+  AppendNumberField("threshold", bundle_.threshold, &out);
+  out.push_back(',');
+  AppendNumberField("association_margin", bundle_.association_margin, &out);
+  out.push_back(',');
+  AppendIntField("value_groups", bundle_.value_groups.size(), &out);
+  out.push_back(',');
+  AppendIntField("duplicate_value_groups", bundle_.duplicate_groups.size(),
+                 &out);
+  out.push_back(',');
+  AppendBoolField("has_grouping", bundle_.has_grouping, &out);
+  out.push_back(',');
+  AppendIntField("fds_mined", bundle_.num_fds, &out);
+  out.push_back(',');
+  AppendIntField("ranked_fds", bundle_.ranked_fds.size(), &out);
+  out.push_back(',');
+  AppendStringField("oov_policy",
+                    options_.oov == OovPolicy::kDrop ? "drop" : "strict",
+                    &out);
+  out.push_back('}');
+  return out;
+}
+
+std::string Engine::HandleLine(const std::string& line,
+                               core::LossKernel* kernel) const {
+  util::Result<std::string> response = [&]() -> util::Result<std::string> {
+    LIMBO_ASSIGN_OR_RETURN(JsonValue request, util::ParseJson(line));
+    if (request.kind != JsonValue::Kind::kObject) {
+      return util::Status::InvalidArgument("query must be a JSON object");
+    }
+    const JsonValue* op = request.Find("op");
+    if (op == nullptr || op->kind != JsonValue::Kind::kString) {
+      return util::Status::InvalidArgument(
+          "query needs a string field \"op\"");
+    }
+    if (op->str == "assign") {
+      LIMBO_OBS_SPAN(span, "serve.assign");
+      LIMBO_OBS_COUNT("serve.query.assign", 1);
+      return HandleAssign(request, kernel);
+    }
+    if (op->str == "duplicates") {
+      LIMBO_OBS_SPAN(span, "serve.duplicates");
+      LIMBO_OBS_COUNT("serve.query.duplicates", 1);
+      return HandleDuplicates(request, kernel);
+    }
+    if (op->str == "valuegroup") {
+      LIMBO_OBS_SPAN(span, "serve.valuegroup");
+      LIMBO_OBS_COUNT("serve.query.valuegroup", 1);
+      return HandleValueGroup(request);
+    }
+    if (op->str == "attrs") {
+      LIMBO_OBS_SPAN(span, "serve.attrs");
+      LIMBO_OBS_COUNT("serve.query.attrs", 1);
+      return HandleAttrs();
+    }
+    if (op->str == "fds") {
+      LIMBO_OBS_SPAN(span, "serve.fds");
+      LIMBO_OBS_COUNT("serve.query.fds", 1);
+      return HandleFds(request);
+    }
+    if (op->str == "info") {
+      LIMBO_OBS_SPAN(span, "serve.info");
+      LIMBO_OBS_COUNT("serve.query.info", 1);
+      return HandleInfo();
+    }
+    return util::Status::InvalidArgument("unknown op \"" + op->str + "\"");
+  }();
+  if (response.ok()) return std::move(response).value();
+  LIMBO_OBS_COUNT("serve.query.errors", 1);
+  std::string out = "{\"ok\":false,";
+  AppendStringField("code", util::StatusCodeName(response.status().code()),
+                    &out);
+  out.push_back(',');
+  AppendStringField("error", response.status().message(), &out);
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace limbo::serve

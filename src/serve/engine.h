@@ -1,0 +1,105 @@
+#ifndef LIMBO_SERVE_ENGINE_H_
+#define LIMBO_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/prob.h"
+#include "model/model_bundle.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace limbo::serve {
+
+/// What to do with attribute values the model never saw at fit time.
+enum class OovPolicy {
+  /// Drop unseen values from the row object's support (the uniform
+  /// conditional spreads over the known values only) and report how many
+  /// were dropped. A row with *no* known value is still an error.
+  kDrop,
+  /// Any unseen value fails the query with a typed error.
+  kStrict,
+};
+
+struct EngineOptions {
+  OovPolicy oov = OovPolicy::kDrop;
+};
+
+/// Stateless query engine over one frozen model bundle. The bundle is
+/// loaded once; every query after that touches only in-memory state, and
+/// all of it is read-only after construction — concurrent HandleLine
+/// calls are safe as long as each caller passes its own LossKernel.
+///
+/// Queries and responses are newline-delimited JSON (one object per
+/// line). Protocol errors come back as {"ok":false,...} responses, never
+/// as crashes — HandleLine itself cannot fail.
+///
+/// `assign` replicates Phase3Assigner bit for bit: the row object is
+/// p = 1/n uniform over its dictionary ids, the representatives live as
+/// arena rows with cached logs, and the argmin uses strict < (lowest
+/// cluster index wins ties). A fitted row therefore gets exactly the
+/// label and loss the batch run stored, at any worker count.
+class Engine {
+ public:
+  /// Loads a bundle file and freezes the serving state.
+  static util::Result<Engine> Open(const std::string& path,
+                                   const EngineOptions& options = {});
+
+  /// Same, over an already-parsed bundle.
+  static util::Result<Engine> FromBundle(model::ModelBundle bundle,
+                                         const EngineOptions& options = {});
+
+  /// Answers one query line. `kernel` is the caller's scratch evaluator —
+  /// one per worker lane; the engine itself stays read-only.
+  std::string HandleLine(const std::string& line,
+                         core::LossKernel* kernel) const;
+
+  /// Single-threaded convenience using an engine-owned kernel.
+  std::string HandleLine(const std::string& line) {
+    return HandleLine(line, &own_kernel_);
+  }
+
+  const model::ModelBundle& bundle() const { return bundle_; }
+
+  /// Assigns one decoded row (fields in schema order) to its nearest
+  /// representative. Exposed for the bit-identity tests and the serve
+  /// benchmark; HandleLine's "assign" op is a JSON wrapper over this.
+  /// `oov` receives the number of dropped values (kDrop only).
+  util::Status AssignRow(const std::vector<std::string>& fields,
+                         core::LossKernel* kernel, uint32_t* label,
+                         double* loss, size_t* oov) const;
+
+ private:
+  Engine(model::ModelBundle bundle, const EngineOptions& options);
+
+  util::Result<core::Dcf> RowObject(const std::vector<std::string>& fields,
+                                    size_t* oov) const;
+  util::Status ParseRowArg(const util::JsonValue& request,
+                           std::vector<std::string>* fields) const;
+
+  util::Result<std::string> HandleAssign(const util::JsonValue& request,
+                                         core::LossKernel* kernel) const;
+  util::Result<std::string> HandleDuplicates(const util::JsonValue& request,
+                                             core::LossKernel* kernel) const;
+  util::Result<std::string> HandleValueGroup(
+      const util::JsonValue& request) const;
+  util::Result<std::string> HandleAttrs() const;
+  util::Result<std::string> HandleFds(const util::JsonValue& request) const;
+  util::Result<std::string> HandleInfo() const;
+
+  model::ModelBundle bundle_;
+  EngineOptions options_;
+  // Frozen Phase-3 state, mirroring Phase3Assigner's layout.
+  core::DistributionArena arena_;
+  std::vector<size_t> rep_row_;
+  std::vector<double> rep_p_;
+  // value id -> value_groups index (kNoGroup when unassigned).
+  static constexpr uint32_t kNoGroup = UINT32_MAX;
+  std::vector<uint32_t> value_to_group_;
+  core::LossKernel own_kernel_;
+};
+
+}  // namespace limbo::serve
+
+#endif  // LIMBO_SERVE_ENGINE_H_

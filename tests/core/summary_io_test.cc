@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/tuple_clustering.h"
 #include "core/value_clustering.h"
@@ -18,15 +19,22 @@ Dcf MakeDcf(double p, std::vector<uint32_t> support) {
   return d;
 }
 
+void ExpectBitEqual(double a, double b, const char* what, size_t i) {
+  // memcmp, not EXPECT_DOUBLE_EQ: the 4-ULP tolerance used to hide the
+  // parse-side renormalization drift.
+  EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0)
+      << what << " " << i << ": " << a << " vs " << b;
+}
+
 void ExpectEqualDcfs(const std::vector<Dcf>& a, const std::vector<Dcf>& b) {
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a[i].p, b[i].p) << i;
+    ExpectBitEqual(a[i].p, b[i].p, "p", i);
     ASSERT_EQ(a[i].cond.SupportSize(), b[i].cond.SupportSize()) << i;
     for (size_t e = 0; e < a[i].cond.entries().size(); ++e) {
       EXPECT_EQ(a[i].cond.entries()[e].id, b[i].cond.entries()[e].id);
-      EXPECT_DOUBLE_EQ(a[i].cond.entries()[e].mass,
-                       b[i].cond.entries()[e].mass);
+      ExpectBitEqual(a[i].cond.entries()[e].mass, b[i].cond.entries()[e].mass,
+                     "mass", e);
     }
     EXPECT_EQ(a[i].attr_counts, b[i].attr_counts) << i;
   }
@@ -69,12 +77,60 @@ TEST(SummaryIoTest, RoundTripRealPhase1Output) {
   ExpectEqualDcfs(objects, *back);
 }
 
+TEST(SummaryIoTest, RoundTripClusteringMeta) {
+  DcfMeta meta;
+  meta.has_clustering = true;
+  meta.phi = 0.1;
+  meta.mutual_information = 1.0 / 3.0;
+  meta.threshold = meta.phi * meta.mutual_information / 7.0;
+  const std::vector<Dcf> dcfs = {MakeDcf(1.0, {2, 5})};
+  DcfMeta back_meta;
+  auto back = ParseDcfs(SerializeDcfs(dcfs, meta), &back_meta);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  ExpectEqualDcfs(dcfs, *back);
+  ASSERT_TRUE(back_meta.has_clustering);
+  ExpectBitEqual(meta.phi, back_meta.phi, "phi", 0);
+  ExpectBitEqual(meta.mutual_information, back_meta.mutual_information, "mi",
+                 0);
+  ExpectBitEqual(meta.threshold, back_meta.threshold, "threshold", 0);
+}
+
+TEST(SummaryIoTest, NoMetaLineWhenAbsent) {
+  const std::string text = SerializeDcfs({MakeDcf(1.0, {0})});
+  EXPECT_EQ(text.find("meta"), std::string::npos);
+  DcfMeta meta;
+  meta.has_clustering = true;  // must be overwritten by the parse
+  ASSERT_TRUE(ParseDcfs(text, &meta).ok());
+  EXPECT_FALSE(meta.has_clustering);
+}
+
+TEST(SummaryIoTest, ParsesVersion1Files) {
+  DcfMeta meta;
+  auto back = ParseDcfs("limbo-dcf 1\n1\np 0.5 k 2\n0 0.5\n3 0.5\n", &meta);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_EQ((*back)[0].cond.SupportSize(), 2u);
+  EXPECT_FALSE(meta.has_clustering);
+}
+
 TEST(SummaryIoTest, RejectsGarbage) {
   EXPECT_FALSE(ParseDcfs("").ok());
   EXPECT_FALSE(ParseDcfs("not-dcf 1\n0\n").ok());
   EXPECT_FALSE(ParseDcfs("limbo-dcf 99\n0\n").ok());
   EXPECT_FALSE(ParseDcfs("limbo-dcf 1\n2\np 0.5 k 1\n0 0.5\n").ok());
   EXPECT_FALSE(ParseDcfs("limbo-dcf 1\n1\np 0.5 k 3\n0 0.5\n").ok());
+  EXPECT_FALSE(ParseDcfs("limbo-dcf 2\nmeta phi 0.1\n0\n").ok());
+  // Out-of-range values must be typed errors, never asserts: negative or
+  // zero mass, non-finite p, ids out of order or duplicated.
+  EXPECT_FALSE(ParseDcfs("limbo-dcf 2\n1\np 0.5 k 1\n0 -0.5\n").ok());
+  EXPECT_FALSE(ParseDcfs("limbo-dcf 2\n1\np 0.5 k 1\n0 0\n").ok());
+  EXPECT_FALSE(ParseDcfs("limbo-dcf 2\n1\np 0.5 k 1\n0 inf\n").ok());
+  EXPECT_FALSE(ParseDcfs("limbo-dcf 2\n1\np nan k 1\n0 1\n").ok());
+  EXPECT_FALSE(ParseDcfs("limbo-dcf 2\n1\np 0 k 1\n0 1\n").ok());
+  EXPECT_FALSE(
+      ParseDcfs("limbo-dcf 2\n1\np 0.5 k 2\n3 0.5\n1 0.5\n").ok());
+  EXPECT_FALSE(
+      ParseDcfs("limbo-dcf 2\n1\np 0.5 k 2\n3 0.5\n3 0.5\n").ok());
 }
 
 TEST(SummaryIoTest, EmptyListRoundTrips) {
@@ -86,12 +142,32 @@ TEST(SummaryIoTest, EmptyListRoundTrips) {
 TEST(SummaryIoTest, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/limbo_dcf_test.dcf";
   const std::vector<Dcf> dcfs = {MakeDcf(1.0, {7, 8})};
-  ASSERT_TRUE(SaveDcfs(dcfs, path).ok());
-  auto back = LoadDcfs(path);
+  DcfMeta meta;
+  meta.has_clustering = true;
+  meta.phi = 0.5;
+  meta.mutual_information = 2.25;
+  meta.threshold = 0.5 * 2.25 / 2.0;
+  ASSERT_TRUE(SaveDcfs(dcfs, meta, path).ok());
+  DcfMeta back_meta;
+  auto back = LoadDcfs(path, &back_meta);
   ASSERT_TRUE(back.ok());
   ExpectEqualDcfs(dcfs, *back);
+  EXPECT_TRUE(back_meta.has_clustering);
+  ExpectBitEqual(meta.threshold, back_meta.threshold, "threshold", 0);
   std::remove(path.c_str());
   EXPECT_FALSE(LoadDcfs("/nonexistent/x.dcf").ok());
+}
+
+TEST(SummaryIoTest, SerializeThenParseIsIdempotent) {
+  // Field-by-field fixed point: parse(serialize(x)) == x implies the text
+  // form is a faithful encoding of every field, including ones that used
+  // to be written but drift on the way back in.
+  const auto rel = limbo::testing::PaperFigure4();
+  const auto objects = BuildValueObjects(rel);
+  const std::string once = SerializeDcfs(objects);
+  auto back = ParseDcfs(once);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(SerializeDcfs(*back), once);
 }
 
 }  // namespace

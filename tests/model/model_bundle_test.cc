@@ -1,0 +1,318 @@
+#include "model/model_bundle.h"
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "model/fit.h"
+#include "relation/relation.h"
+#include "util/status.h"
+
+namespace limbo::model {
+namespace {
+
+// Bit-exact double comparison: round-tripping a bundle must not perturb a
+// single mantissa bit, or serve-side assignments drift from the batch run.
+void ExpectBitEqual(double a, double b) {
+  EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0)
+      << "doubles differ: " << a << " vs " << b;
+}
+
+std::vector<std::vector<std::string>> TestRows() {
+  // City/State/Zip co-occur perfectly (value groups + FDs); the repeated
+  // Boston row makes its tuple cluster heavy (duplicates).
+  return {
+      {"Boston", "MA", "02134", "alice"}, {"Boston", "MA", "02134", "alice"},
+      {"Boston", "MA", "02134", "alice"}, {"Boston", "MA", "02134", "alice"},
+      {"Denver", "CO", "80201", "bob"},   {"Denver", "CO", "80201", "carol"},
+      {"Miami", "FL", "33101", "dave"},   {"Miami", "FL", "33101", "erin"},
+      {"Austin", "TX", "73301", "frank"}, {"Austin", "TX", "73301", "grace"},
+      {"Salem", "OR", "97301", "heidi"},  {"Salem", "OR", "97301", "ivan"},
+  };
+}
+
+relation::Relation TestRelation() {
+  auto schema =
+      relation::Schema::Create({"City", "State", "Zip", "Name"});
+  EXPECT_TRUE(schema.ok());
+  relation::RelationBuilder builder(std::move(schema).value());
+  for (const auto& row : TestRows()) {
+    EXPECT_TRUE(builder.AddRow(row).ok());
+  }
+  return std::move(builder).Build();
+}
+
+ModelBundle FittedBundle() {
+  FitOptions options;
+  options.k = 3;
+  auto bundle = FitModel(TestRelation(), options);
+  EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+  return std::move(bundle).value();
+}
+
+void ExpectEqualBundles(const ModelBundle& a, const ModelBundle& b) {
+  EXPECT_EQ(a.num_rows, b.num_rows);
+  ExpectBitEqual(a.phi_t, b.phi_t);
+  ExpectBitEqual(a.phi_v, b.phi_v);
+  ExpectBitEqual(a.psi, b.psi);
+  ExpectBitEqual(a.mutual_information, b.mutual_information);
+  ExpectBitEqual(a.threshold, b.threshold);
+  ExpectBitEqual(a.association_margin, b.association_margin);
+  ExpectBitEqual(a.value_mutual_information, b.value_mutual_information);
+  ExpectBitEqual(a.value_threshold, b.value_threshold);
+
+  EXPECT_EQ(a.schema.Names(), b.schema.Names());
+  ASSERT_EQ(a.dictionary.NumValues(), b.dictionary.NumValues());
+  for (relation::ValueId v = 0; v < a.dictionary.NumValues(); ++v) {
+    EXPECT_EQ(a.dictionary.Attribute(v), b.dictionary.Attribute(v));
+    EXPECT_EQ(a.dictionary.Text(v), b.dictionary.Text(v));
+    EXPECT_EQ(a.dictionary.Support(v), b.dictionary.Support(v));
+  }
+
+  ASSERT_EQ(a.representatives.size(), b.representatives.size());
+  for (size_t r = 0; r < a.representatives.size(); ++r) {
+    const core::Dcf& x = a.representatives[r];
+    const core::Dcf& y = b.representatives[r];
+    ExpectBitEqual(x.p, y.p);
+    ASSERT_EQ(x.cond.entries().size(), y.cond.entries().size());
+    for (size_t i = 0; i < x.cond.entries().size(); ++i) {
+      EXPECT_EQ(x.cond.entries()[i].id, y.cond.entries()[i].id);
+      ExpectBitEqual(x.cond.entries()[i].mass, y.cond.entries()[i].mass);
+    }
+    EXPECT_EQ(x.attr_counts, y.attr_counts);
+  }
+
+  EXPECT_EQ(a.assignments, b.assignments);
+  ASSERT_EQ(a.assignment_loss.size(), b.assignment_loss.size());
+  for (size_t i = 0; i < a.assignment_loss.size(); ++i) {
+    ExpectBitEqual(a.assignment_loss[i], b.assignment_loss[i]);
+  }
+
+  ASSERT_EQ(a.value_groups.size(), b.value_groups.size());
+  for (size_t g = 0; g < a.value_groups.size(); ++g) {
+    EXPECT_EQ(a.value_groups[g].values, b.value_groups[g].values);
+    EXPECT_EQ(a.value_groups[g].is_duplicate, b.value_groups[g].is_duplicate);
+    ExpectBitEqual(a.value_groups[g].dcf.p, b.value_groups[g].dcf.p);
+    EXPECT_EQ(a.value_groups[g].dcf.attr_counts,
+              b.value_groups[g].dcf.attr_counts);
+    ASSERT_EQ(a.value_groups[g].dcf.cond.entries().size(),
+              b.value_groups[g].dcf.cond.entries().size());
+    for (size_t i = 0; i < a.value_groups[g].dcf.cond.entries().size(); ++i) {
+      EXPECT_EQ(a.value_groups[g].dcf.cond.entries()[i].id,
+                b.value_groups[g].dcf.cond.entries()[i].id);
+      ExpectBitEqual(a.value_groups[g].dcf.cond.entries()[i].mass,
+                     b.value_groups[g].dcf.cond.entries()[i].mass);
+    }
+  }
+  EXPECT_EQ(a.duplicate_groups, b.duplicate_groups);
+
+  EXPECT_EQ(a.has_grouping, b.has_grouping);
+  EXPECT_EQ(a.grouping_attributes, b.grouping_attributes);
+  EXPECT_EQ(a.grouping_num_objects, b.grouping_num_objects);
+  ASSERT_EQ(a.grouping_merges.size(), b.grouping_merges.size());
+  for (size_t i = 0; i < a.grouping_merges.size(); ++i) {
+    EXPECT_EQ(a.grouping_merges[i].left, b.grouping_merges[i].left);
+    EXPECT_EQ(a.grouping_merges[i].right, b.grouping_merges[i].right);
+    EXPECT_EQ(a.grouping_merges[i].merged, b.grouping_merges[i].merged);
+    ExpectBitEqual(a.grouping_merges[i].delta_i, b.grouping_merges[i].delta_i);
+    ExpectBitEqual(a.grouping_merges[i].cumulative_loss,
+                   b.grouping_merges[i].cumulative_loss);
+    ExpectBitEqual(a.grouping_merges[i].p_merged, b.grouping_merges[i].p_merged);
+  }
+  EXPECT_EQ(a.grouping_cluster_members, b.grouping_cluster_members);
+  ExpectBitEqual(a.max_merge_loss, b.max_merge_loss);
+
+  EXPECT_EQ(a.num_fds, b.num_fds);
+  ASSERT_EQ(a.ranked_fds.size(), b.ranked_fds.size());
+  for (size_t i = 0; i < a.ranked_fds.size(); ++i) {
+    EXPECT_EQ(a.ranked_fds[i].fd.lhs, b.ranked_fds[i].fd.lhs);
+    EXPECT_EQ(a.ranked_fds[i].fd.rhs, b.ranked_fds[i].fd.rhs);
+    ExpectBitEqual(a.ranked_fds[i].rank, b.ranked_fds[i].rank);
+    EXPECT_EQ(a.ranked_fds[i].anchored, b.ranked_fds[i].anchored);
+  }
+}
+
+TEST(FitModelTest, ProducesConsistentBundle) {
+  const relation::Relation rel = TestRelation();
+  const ModelBundle bundle = FittedBundle();
+  EXPECT_EQ(bundle.num_rows, rel.NumTuples());
+  EXPECT_EQ(bundle.schema.Names(), rel.schema().Names());
+  EXPECT_EQ(bundle.dictionary.NumValues(), rel.NumValues());
+  ASSERT_FALSE(bundle.representatives.empty());
+  ASSERT_EQ(bundle.assignments.size(), rel.NumTuples());
+  ASSERT_EQ(bundle.assignment_loss.size(), rel.NumTuples());
+  for (uint32_t label : bundle.assignments) {
+    EXPECT_LT(label, bundle.representatives.size());
+  }
+  EXPECT_GT(bundle.mutual_information, 0.0);
+  EXPECT_GT(bundle.threshold, 0.0);
+  EXPECT_FALSE(bundle.value_groups.empty());
+}
+
+TEST(FitModelTest, RejectsEmptyRelation) {
+  auto schema = relation::Schema::Create({"A"});
+  ASSERT_TRUE(schema.ok());
+  relation::RelationBuilder builder(std::move(schema).value());
+  auto bundle = FitModel(std::move(builder).Build(), FitOptions());
+  ASSERT_FALSE(bundle.ok());
+  EXPECT_EQ(bundle.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ModelBundleTest, RoundTripIsFieldExact) {
+  const ModelBundle bundle = FittedBundle();
+  const std::string bytes = SerializeBundle(bundle);
+  auto parsed = ParseBundle(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectEqualBundles(bundle, *parsed);
+}
+
+TEST(ModelBundleTest, SerializationIsDeterministic) {
+  const ModelBundle bundle = FittedBundle();
+  EXPECT_EQ(SerializeBundle(bundle), SerializeBundle(bundle));
+}
+
+TEST(ModelBundleTest, FileRoundTrip) {
+  const ModelBundle bundle = FittedBundle();
+  const std::string path = testing::TempDir() + "/round_trip.limbo";
+  ASSERT_TRUE(Save(bundle, path).ok());
+  auto loaded = Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEqualBundles(bundle, *loaded);
+}
+
+TEST(ModelBundleTest, LoadRejectsMissingFile) {
+  auto loaded = Load(testing::TempDir() + "/definitely_not_there.limbo");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+}
+
+TEST(ModelBundleTest, RejectsEveryTruncation) {
+  const std::string bytes = SerializeBundle(FittedBundle());
+  // Every header prefix, then a sweep through the payload: a truncated
+  // file must never parse and never crash.
+  for (size_t len = 0; len < bytes.size(); len += (len < 64 ? 1 : 97)) {
+    auto parsed = ParseBundle(bytes.substr(0, len));
+    EXPECT_FALSE(parsed.ok()) << "prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST(ModelBundleTest, RejectsTrailingGarbage) {
+  std::string bytes = SerializeBundle(FittedBundle());
+  bytes += "extra";
+  auto parsed = ParseBundle(bytes);
+  ASSERT_FALSE(parsed.ok());
+}
+
+TEST(ModelBundleTest, RejectsBadMagic) {
+  std::string bytes = SerializeBundle(FittedBundle());
+  bytes[0] = 'X';
+  auto parsed = ParseBundle(bytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ModelBundleTest, RejectsVersionBump) {
+  std::string bytes = SerializeBundle(FittedBundle());
+  // The format version is the u32 right after the 8-byte magic; the
+  // checksum covers only the payload, so the bumped header is otherwise
+  // intact — the version check alone must reject it.
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 8, sizeof(version));
+  ASSERT_EQ(version, kFormatVersion);
+  version = kFormatVersion + 1;
+  std::memcpy(bytes.data() + 8, &version, sizeof(version));
+  auto parsed = ParseBundle(bytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("version"), std::string::npos);
+}
+
+TEST(ModelBundleTest, BitFlipFuzzAlwaysYieldsTypedError) {
+  const std::string bytes = SerializeBundle(FittedBundle());
+  // Any single-bit flip lands in the header (structural checks fail) or
+  // in the payload (the FNV-1a checksum fails). Either way the result is
+  // a clean error — never a crash, never a silently different bundle.
+  std::mt19937 rng(20260806);
+  std::uniform_int_distribution<size_t> pick_byte(0, bytes.size() - 1);
+  std::uniform_int_distribution<int> pick_bit(0, 7);
+  for (int i = 0; i < 400; ++i) {
+    std::string corrupt = bytes;
+    corrupt[pick_byte(rng)] ^= static_cast<char>(1 << pick_bit(rng));
+    auto parsed = ParseBundle(corrupt);
+    EXPECT_FALSE(parsed.ok()) << "bit-flipped bundle parsed on iteration "
+                              << i;
+  }
+}
+
+TEST(ModelBundleTest, MultiByteCorruptionFuzz) {
+  const std::string bytes = SerializeBundle(FittedBundle());
+  std::mt19937 rng(987654321);
+  std::uniform_int_distribution<size_t> pick_byte(0, bytes.size() - 1);
+  std::uniform_int_distribution<int> pick_value(0, 255);
+  for (int i = 0; i < 200; ++i) {
+    std::string corrupt = bytes;
+    for (int j = 0; j < 8; ++j) {
+      corrupt[pick_byte(rng)] = static_cast<char>(pick_value(rng));
+    }
+    auto parsed = ParseBundle(corrupt);
+    if (parsed.ok()) {
+      // Astronomically unlikely (the random rewrite must preserve the
+      // checksum), but if it happens the bundle must be the original.
+      ExpectEqualBundles(*ParseBundle(bytes), *parsed);
+    }
+  }
+}
+
+TEST(Fnv1aTest, MatchesKnownVectors) {
+  // Reference values from the FNV specification.
+  EXPECT_EQ(Fnv1a("", 0), 14695981039346656037ull);
+  EXPECT_EQ(Fnv1a("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a("foobar", 6), 0x85944171f73967e8ull);
+}
+
+// The dictionary re-hydration satellite: interning the fit-time rows into
+// a fresh builder over the loaded bundle's schema reproduces the original
+// value ids in row-major order — so a served bundle and the CSV it was
+// fitted on agree on every id without shipping the id map separately.
+TEST(ModelBundleTest, DictionaryRehydrationReproducesValueIds) {
+  const relation::Relation rel = TestRelation();
+  const std::string path = testing::TempDir() + "/rehydrate.limbo";
+  {
+    FitOptions options;
+    options.k = 3;
+    auto bundle = FitModel(rel, options);
+    ASSERT_TRUE(bundle.ok());
+    ASSERT_TRUE(Save(*bundle, path).ok());
+  }
+  auto loaded = Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Loaded dictionary answers Find() with the original ids.
+  for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
+    for (relation::AttributeId a = 0; a < rel.NumAttributes(); ++a) {
+      auto found = loaded->dictionary.Find(a, rel.TextAt(t, a));
+      ASSERT_TRUE(found.ok());
+      EXPECT_EQ(*found, rel.At(t, a));
+    }
+  }
+
+  // And re-interning the same rows in row-major order assigns the same
+  // ids from scratch (RelationBuilder's intern order is deterministic).
+  relation::RelationBuilder builder(loaded->schema);
+  for (const auto& row : TestRows()) {
+    ASSERT_TRUE(builder.AddRow(row).ok());
+  }
+  const relation::Relation rebuilt = std::move(builder).Build();
+  ASSERT_EQ(rebuilt.NumValues(), loaded->dictionary.NumValues());
+  for (relation::ValueId v = 0; v < rebuilt.NumValues(); ++v) {
+    EXPECT_EQ(rebuilt.dictionary().Text(v), loaded->dictionary.Text(v));
+    EXPECT_EQ(rebuilt.dictionary().Attribute(v),
+              loaded->dictionary.Attribute(v));
+    EXPECT_EQ(rebuilt.dictionary().Support(v),
+              loaded->dictionary.Support(v));
+  }
+}
+
+}  // namespace
+}  // namespace limbo::model

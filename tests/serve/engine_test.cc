@@ -1,0 +1,284 @@
+#include "serve/engine.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "model/fit.h"
+#include "relation/relation.h"
+#include "util/json.h"
+#include "util/parallel.h"
+
+namespace limbo::serve {
+namespace {
+
+using util::JsonValue;
+
+std::vector<std::vector<std::string>> TestRows() {
+  return {
+      {"Boston", "MA", "02134", "alice"}, {"Boston", "MA", "02134", "alice"},
+      {"Boston", "MA", "02134", "alice"}, {"Boston", "MA", "02134", "alice"},
+      {"Denver", "CO", "80201", "bob"},   {"Denver", "CO", "80201", "carol"},
+      {"Miami", "FL", "33101", "dave"},   {"Miami", "FL", "33101", "erin"},
+      {"Austin", "TX", "73301", "frank"}, {"Austin", "TX", "73301", "grace"},
+      {"Salem", "OR", "97301", "heidi"},  {"Salem", "OR", "97301", "ivan"},
+  };
+}
+
+relation::Relation TestRelation() {
+  auto schema = relation::Schema::Create({"City", "State", "Zip", "Name"});
+  EXPECT_TRUE(schema.ok());
+  relation::RelationBuilder builder(std::move(schema).value());
+  for (const auto& row : TestRows()) {
+    EXPECT_TRUE(builder.AddRow(row).ok());
+  }
+  return std::move(builder).Build();
+}
+
+model::ModelBundle FittedBundle() {
+  model::FitOptions options;
+  options.k = 3;
+  auto bundle = model::FitModel(TestRelation(), options);
+  EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+  return std::move(bundle).value();
+}
+
+Engine TestEngine(OovPolicy oov = OovPolicy::kDrop) {
+  EngineOptions options;
+  options.oov = oov;
+  auto engine = Engine::FromBundle(FittedBundle(), options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+std::string AssignQuery(const std::vector<std::string>& fields) {
+  std::string q = "{\"op\":\"assign\",\"row\":[";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) q.push_back(',');
+    util::AppendJsonString(fields[i], &q);
+  }
+  q += "]}";
+  return q;
+}
+
+JsonValue ParseResponse(const std::string& response) {
+  auto parsed = util::ParseJson(response);
+  EXPECT_TRUE(parsed.ok()) << response;
+  EXPECT_EQ(parsed->kind, JsonValue::Kind::kObject) << response;
+  return std::move(parsed).value();
+}
+
+bool ResponseOk(const JsonValue& response) {
+  const JsonValue* ok = response.Find("ok");
+  return ok != nullptr && ok->kind == JsonValue::Kind::kBoolean &&
+         ok->boolean;
+}
+
+// The acceptance criterion of the serving subsystem: assigning the
+// fit-time rows through the engine reproduces the batch Phase-3 labels
+// and losses bit for bit.
+TEST(EngineTest, AssignIsBitIdenticalToBatchRun) {
+  Engine engine = TestEngine();
+  const model::ModelBundle& bundle = engine.bundle();
+  const relation::Relation rel = TestRelation();
+  core::LossKernel kernel;
+  for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
+    std::vector<std::string> fields;
+    for (relation::AttributeId a = 0; a < rel.NumAttributes(); ++a) {
+      fields.push_back(rel.TextAt(t, a));
+    }
+    uint32_t label = 0;
+    double loss = 0.0;
+    size_t oov = 0;
+    ASSERT_TRUE(
+        engine.AssignRow(fields, &kernel, &label, &loss, &oov).ok());
+    EXPECT_EQ(oov, 0u);
+    EXPECT_EQ(label, bundle.assignments[t]) << "row " << t;
+    EXPECT_EQ(std::memcmp(&loss, &bundle.assignment_loss[t], sizeof(double)),
+              0)
+        << "row " << t << ": loss " << loss << " vs batch "
+        << bundle.assignment_loss[t];
+  }
+}
+
+// Worker-count invariance: the same query stream through 1 and 4 lanes
+// (per-lane kernels, static partition) yields byte-identical responses.
+TEST(EngineTest, ResponsesBitIdenticalAcrossWorkerCounts) {
+  Engine engine = TestEngine();
+  std::vector<std::string> queries;
+  for (const auto& row : TestRows()) queries.push_back(AssignQuery(row));
+  queries.push_back("{\"op\":\"info\"}");
+  queries.push_back("{\"op\":\"fds\",\"limit\":5}");
+
+  auto run = [&](size_t workers) {
+    util::ThreadPool pool(workers);
+    std::vector<core::LossKernel> kernels(pool.threads());
+    std::vector<std::string> responses(queries.size());
+    pool.ParallelFor(0, queries.size(), 1,
+                     [&](size_t begin, size_t end, size_t lane) {
+                       for (size_t i = begin; i < end; ++i) {
+                         responses[i] =
+                             engine.HandleLine(queries[i], &kernels[lane]);
+                       }
+                     });
+    return responses;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(EngineTest, CsvAndRowFormsAgree) {
+  Engine engine = TestEngine();
+  const std::string by_row = engine.HandleLine(
+      "{\"op\":\"assign\",\"row\":[\"Boston\",\"MA\",\"02134\",\"alice\"]}");
+  const std::string by_csv =
+      engine.HandleLine("{\"op\":\"assign\",\"csv\":\"Boston,MA,02134,alice\"}");
+  EXPECT_EQ(by_row, by_csv);
+  EXPECT_TRUE(ResponseOk(ParseResponse(by_row)));
+}
+
+TEST(EngineTest, OovDropSpreadsOverKnownValues) {
+  Engine engine = TestEngine(OovPolicy::kDrop);
+  JsonValue response = ParseResponse(engine.HandleLine(
+      "{\"op\":\"assign\",\"row\":[\"Boston\",\"MA\",\"02134\",\"zed\"]}"));
+  ASSERT_TRUE(ResponseOk(response));
+  ASSERT_NE(response.Find("oov"), nullptr);
+  EXPECT_EQ(response.Find("oov")->integer, 1u);
+  // Still lands on the Boston cluster: three of four values are known.
+  JsonValue exact = ParseResponse(engine.HandleLine(
+      "{\"op\":\"assign\",\"row\":[\"Boston\",\"MA\",\"02134\",\"alice\"]}"));
+  EXPECT_EQ(response.Find("cluster")->integer,
+            exact.Find("cluster")->integer);
+}
+
+TEST(EngineTest, OovStrictRejectsUnseenValues) {
+  Engine engine = TestEngine(OovPolicy::kStrict);
+  JsonValue response = ParseResponse(engine.HandleLine(
+      "{\"op\":\"assign\",\"row\":[\"Boston\",\"MA\",\"02134\",\"zed\"]}"));
+  EXPECT_FALSE(ResponseOk(response));
+  EXPECT_EQ(response.Find("code")->str, "NotFound");
+}
+
+TEST(EngineTest, AllUnseenRowIsAnErrorEvenUnderDrop) {
+  Engine engine = TestEngine(OovPolicy::kDrop);
+  JsonValue response = ParseResponse(engine.HandleLine(
+      "{\"op\":\"assign\",\"row\":[\"x\",\"y\",\"z\",\"w\"]}"));
+  EXPECT_FALSE(ResponseOk(response));
+  EXPECT_EQ(response.Find("code")->str, "NotFound");
+}
+
+TEST(EngineTest, ProtocolErrorsAreCleanResponses) {
+  Engine engine = TestEngine();
+  const std::vector<std::string> bad = {
+      "not json at all",
+      "[1,2,3]",
+      "{}",
+      "{\"op\":7}",
+      "{\"op\":\"warp\"}",
+      "{\"op\":\"assign\"}",
+      "{\"op\":\"assign\",\"row\":[\"a\"],\"csv\":\"b\"}",
+      "{\"op\":\"assign\",\"row\":[\"too\",\"short\"]}",
+      "{\"op\":\"assign\",\"row\":[1,2,3,4]}",
+      "{\"op\":\"assign\",\"csv\":\"line1\\nline2,b,c,d\"}",
+      "{\"op\":\"fds\",\"limit\":\"ten\"}",
+      "{\"op\":\"valuegroup\"}",
+      "{\"op\":\"valuegroup\",\"attr\":\"NoSuch\",\"value\":\"x\"}",
+  };
+  for (const std::string& query : bad) {
+    JsonValue response = ParseResponse(engine.HandleLine(query));
+    EXPECT_FALSE(ResponseOk(response)) << query;
+    ASSERT_NE(response.Find("error"), nullptr) << query;
+    ASSERT_NE(response.Find("code"), nullptr) << query;
+  }
+}
+
+TEST(EngineTest, DuplicatesFlagsTheHeavyCluster) {
+  Engine engine = TestEngine();
+  // Boston×4 makes its cluster heavy; the row is a near-duplicate.
+  JsonValue dup = ParseResponse(engine.HandleLine(
+      "{\"op\":\"duplicates\",\"row\":[\"Boston\",\"MA\",\"02134\","
+      "\"alice\"]}"));
+  ASSERT_TRUE(ResponseOk(dup));
+  EXPECT_TRUE(dup.Find("duplicate")->boolean);
+  EXPECT_TRUE(dup.Find("heavy")->boolean);
+  ASSERT_NE(dup.Find("loss"), nullptr);
+  ASSERT_NE(dup.Find("limit"), nullptr);
+}
+
+TEST(EngineTest, ValueGroupReturnsCoOccurringMembers) {
+  Engine engine = TestEngine();
+  JsonValue response = ParseResponse(engine.HandleLine(
+      "{\"op\":\"valuegroup\",\"attr\":\"City\",\"value\":\"Denver\"}"));
+  ASSERT_TRUE(ResponseOk(response));
+  EXPECT_EQ(response.Find("value")->str, "City=Denver");
+  const JsonValue* members = response.Find("members");
+  ASSERT_NE(members, nullptr);
+  ASSERT_EQ(members->kind, JsonValue::Kind::kArray);
+  // Denver co-occurs perfectly with CO and 80201.
+  std::vector<std::string> names;
+  for (const JsonValue& m : members->array) names.push_back(m.str);
+  EXPECT_NE(std::find(names.begin(), names.end(), "State=CO"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Zip=80201"), names.end());
+
+  JsonValue missing = ParseResponse(engine.HandleLine(
+      "{\"op\":\"valuegroup\",\"attr\":\"City\",\"value\":\"Atlantis\"}"));
+  EXPECT_FALSE(ResponseOk(missing));
+  EXPECT_EQ(missing.Find("code")->str, "NotFound");
+}
+
+TEST(EngineTest, AttrsReportsSchemaAndGrouping) {
+  Engine engine = TestEngine();
+  JsonValue response = ParseResponse(engine.HandleLine("{\"op\":\"attrs\"}"));
+  ASSERT_TRUE(ResponseOk(response));
+  const JsonValue* attributes = response.Find("attributes");
+  ASSERT_NE(attributes, nullptr);
+  ASSERT_EQ(attributes->array.size(), 4u);
+  EXPECT_EQ(attributes->array[0].str, "City");
+  const JsonValue* has_grouping = response.Find("has_grouping");
+  ASSERT_NE(has_grouping, nullptr);
+  if (has_grouping->boolean) {
+    ASSERT_NE(response.Find("grouping"), nullptr);
+    EXPECT_NE(response.Find("grouping")->Find("merges"), nullptr);
+  }
+}
+
+TEST(EngineTest, FdsHonorsLimit) {
+  Engine engine = TestEngine();
+  JsonValue all = ParseResponse(engine.HandleLine("{\"op\":\"fds\"}"));
+  ASSERT_TRUE(ResponseOk(all));
+  const size_t total = all.Find("fds")->array.size();
+  ASSERT_GT(total, 1u);
+  JsonValue limited =
+      ParseResponse(engine.HandleLine("{\"op\":\"fds\",\"limit\":1}"));
+  ASSERT_TRUE(ResponseOk(limited));
+  EXPECT_EQ(limited.Find("fds")->array.size(), 1u);
+}
+
+TEST(EngineTest, InfoEchoesTheFitParameters) {
+  Engine engine = TestEngine();
+  JsonValue response = ParseResponse(engine.HandleLine("{\"op\":\"info\"}"));
+  ASSERT_TRUE(ResponseOk(response));
+  EXPECT_EQ(response.Find("rows")->integer, 12u);
+  EXPECT_EQ(response.Find("attributes")->integer, 4u);
+  EXPECT_EQ(response.Find("clusters")->integer,
+            engine.bundle().representatives.size());
+  EXPECT_EQ(response.Find("oov_policy")->str, "drop");
+}
+
+TEST(EngineTest, RefusesEmptyBundle) {
+  auto engine = Engine::FromBundle(model::ModelBundle(), EngineOptions());
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, OpenRoundTripsThroughDisk) {
+  const std::string path = testing::TempDir() + "/serve_engine.limbo";
+  ASSERT_TRUE(model::Save(FittedBundle(), path).ok());
+  auto engine = Engine::Open(path);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_TRUE(ResponseOk(ParseResponse(engine->HandleLine(
+      "{\"op\":\"assign\",\"csv\":\"Miami,FL,33101,dave\"}"))));
+}
+
+}  // namespace
+}  // namespace limbo::serve

@@ -53,10 +53,19 @@ std::string TempCsv() {
 
 TEST(CliTest, UsageOnBadInvocation) {
   EXPECT_EQ(RunTool("").exit_code, 2);
-  EXPECT_EQ(RunTool("bogus-command somewhere.csv").exit_code, 2);
   const RunResult r = RunTool("profile");
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownSubcommandPrintsUsageAndExits2) {
+  const RunResult r = RunTool("bogus-command somewhere.csv");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+  // The usage line enumerates the real subcommands, so a typo points the
+  // user at the right spelling.
+  EXPECT_NE(r.output.find("fit"), std::string::npos);
+  EXPECT_NE(r.output.find("summaries"), std::string::npos);
 }
 
 TEST(CliTest, MissingFileFailsCleanly) {
@@ -227,6 +236,22 @@ TEST(CliTest, TraceFlagEchoesSpans) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("[trace]"), std::string::npos);
   EXPECT_NE(r.output.find("horizontal_partition:"), std::string::npos);
+}
+
+TEST(CliTest, FitWritesAModelBundle) {
+  const std::string out = ::testing::TempDir() + "/limbo_cli_fit." +
+                          std::to_string(getpid()) + ".limbo";
+  const RunResult r =
+      RunTool("fit " + TempCsv() + " --k=5 --model-out=" + out);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("wrote model bundle"), std::string::npos);
+  EXPECT_NE(r.output.find("5 clusters"), std::string::npos);
+  FILE* f = std::fopen(out.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[9] = {};
+  ASSERT_EQ(std::fread(magic, 1, 8, f), 8u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(magic, 8), "LIMBOMDL");
 }
 
 TEST(CliTest, PartitionPrintsPhase3OnlyWhenItRan) {

@@ -1,0 +1,202 @@
+// End-to-end tests for the limbo-serve binary: fit a bundle with
+// limbo-tool, then drive queries through `limbo-serve --once` and check
+// the responses against the batch artifacts loaded via the C++ API.
+// Binary paths are injected by CMake as LIMBO_TOOL_PATH/LIMBO_SERVE_PATH.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "model/model_bundle.h"
+#include "relation/csv_io.h"
+#include "util/json.h"
+
+#ifndef LIMBO_TOOL_PATH
+#error "LIMBO_TOOL_PATH must be defined by the build"
+#endif
+#ifndef LIMBO_SERVE_PATH
+#error "LIMBO_SERVE_PATH must be defined by the build"
+#endif
+
+namespace {
+
+using namespace limbo;  // NOLINT
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult RunCommand(const std::string& command) {
+  RunResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  result.exit_code = WEXITSTATUS(pclose(pipe));
+  return result;
+}
+
+/// Paths of the per-process db2 sample and its fitted bundle, generated
+/// once (each TEST runs in its own process under gtest_discover_tests).
+struct Fixture {
+  std::string csv;
+  std::string bundle;
+};
+
+const Fixture& SharedFixture() {
+  static Fixture fixture = [] {
+    Fixture f;
+    const std::string stem =
+        ::testing::TempDir() + "/limbo_serve_cli." + std::to_string(getpid());
+    f.csv = stem + ".csv";
+    f.bundle = stem + ".limbo";
+    RunResult r = RunCommand(std::string(LIMBO_TOOL_PATH) +
+                             " generate db2 --out=" + f.csv);
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    r = RunCommand(std::string(LIMBO_TOOL_PATH) + " fit " + f.csv +
+                   " --k=5 --model-out=" + f.bundle);
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    return f;
+  }();
+  return fixture;
+}
+
+/// Runs `limbo-serve --once` feeding `queries` on stdin; returns the
+/// response lines.
+std::vector<std::string> ServeOnce(const std::vector<std::string>& queries,
+                                   const std::string& extra_flags) {
+  const std::string in_path = ::testing::TempDir() + "/limbo_serve_in." +
+                              std::to_string(getpid()) + ".jsonl";
+  {
+    std::ofstream in(in_path, std::ios::binary);
+    for (const std::string& q : queries) in << q << "\n";
+  }
+  const RunResult r =
+      RunCommand(std::string(LIMBO_SERVE_PATH) + " " +
+                 SharedFixture().bundle + " --once " + extra_flags + " < " +
+                 in_path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < r.output.size()) {
+    const size_t end = r.output.find('\n', start);
+    if (end == std::string::npos) break;
+    lines.push_back(r.output.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::vector<std::string> AssignQueriesForAllRows(
+    const relation::Relation& rel) {
+  std::vector<std::string> queries;
+  for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
+    std::string q = "{\"op\":\"assign\",\"row\":[";
+    for (relation::AttributeId a = 0; a < rel.NumAttributes(); ++a) {
+      if (a > 0) q.push_back(',');
+      util::AppendJsonString(rel.TextAt(t, a), &q);
+    }
+    q += "]}";
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+TEST(ServeCliTest, InfoQueryReportsTheModel) {
+  const RunResult r =
+      RunCommand(std::string(LIMBO_SERVE_PATH) + " " + SharedFixture().bundle +
+                 " --once --query={\\\"op\\\":\\\"info\\\"}");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(r.output.find("\"rows\":90"), std::string::npos);
+  EXPECT_NE(r.output.find("\"clusters\":5"), std::string::npos);
+}
+
+// The subsystem's acceptance criterion: serving the fit-time rows back
+// through the daemon returns exactly the batch Phase-3 labels, and the
+// full response stream is byte-identical at 1 and 4 workers.
+TEST(ServeCliTest, OnceAssignMatchesBatchAtEveryWorkerCount) {
+  auto rel = relation::ReadCsv(SharedFixture().csv);
+  ASSERT_TRUE(rel.ok());
+  auto bundle = model::Load(SharedFixture().bundle);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  const std::vector<std::string> queries = AssignQueriesForAllRows(*rel);
+
+  const std::vector<std::string> at1 = ServeOnce(queries, "--workers=1");
+  const std::vector<std::string> at4 = ServeOnce(queries, "--workers=4");
+  EXPECT_EQ(at1, at4);
+
+  ASSERT_EQ(at1.size(), bundle->assignments.size());
+  for (size_t t = 0; t < at1.size(); ++t) {
+    auto response = util::ParseJson(at1[t]);
+    ASSERT_TRUE(response.ok()) << at1[t];
+    const util::JsonValue* cluster = response->Find("cluster");
+    ASSERT_NE(cluster, nullptr) << at1[t];
+    EXPECT_EQ(cluster->integer, bundle->assignments[t]) << "row " << t;
+  }
+}
+
+TEST(ServeCliTest, MixedQueryStreamIsDeterministic) {
+  const std::vector<std::string> queries = {
+      "{\"op\":\"info\"}",
+      "{\"op\":\"attrs\"}",
+      "{\"op\":\"fds\",\"limit\":3}",
+      "{\"op\":\"valuegroup\",\"attr\":\"DeptNo\",\"value\":\"D01\"}",
+      "{\"op\":\"nope\"}",
+  };
+  const std::vector<std::string> at1 = ServeOnce(queries, "--workers=1");
+  const std::vector<std::string> at4 = ServeOnce(queries, "--workers=4");
+  EXPECT_EQ(at1, at4);
+  ASSERT_EQ(at1.size(), queries.size());
+  EXPECT_NE(at1[3].find("DeptName=SPIFFY_COMPUTER"), std::string::npos);
+  EXPECT_NE(at1[4].find("\"ok\":false"), std::string::npos);
+}
+
+TEST(ServeCliTest, MissingBundleFailsCleanly) {
+  const RunResult r = RunCommand(std::string(LIMBO_SERVE_PATH) +
+                                 " /nonexistent/nope.limbo --once");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("IoError"), std::string::npos);
+}
+
+TEST(ServeCliTest, CorruptBundleFailsCleanly) {
+  const std::string path = ::testing::TempDir() + "/limbo_serve_corrupt." +
+                           std::to_string(getpid()) + ".limbo";
+  {
+    std::ifstream in(SharedFixture().bundle, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 100u);
+    bytes[bytes.size() / 2] ^= 0x40;
+    std::ofstream out(path, std::ios::binary);
+    out << bytes;
+  }
+  const RunResult r =
+      RunCommand(std::string(LIMBO_SERVE_PATH) + " " + path + " --once");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("checksum"), std::string::npos);
+}
+
+TEST(ServeCliTest, UnknownFlagIsRejected) {
+  const RunResult r = RunCommand(std::string(LIMBO_SERVE_PATH) + " " +
+                                 SharedFixture().bundle + " --no-such-flag");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(ServeCliTest, NoArgumentsPrintsUsage) {
+  const RunResult r = RunCommand(std::string(LIMBO_SERVE_PATH));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+}  // namespace

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Doc-consistency check: run every CLI command the docs show.
 
-Extracts every ``limbo-tool`` / ``micro_limbo`` invocation from fenced
-code blocks in docs/tutorial.md, README.md and docs/architecture.md,
+Extracts every ``limbo-tool`` / ``limbo-serve`` / ``micro_limbo``
+invocation from fenced code blocks in docs/tutorial.md, README.md,
+docs/architecture.md and docs/serving.md,
 rewrites the binary path
 to the actual build tree, and executes them in order inside a scratch
 directory (so commands that generate files feed the commands that
@@ -26,6 +27,7 @@ DOCS = [
     REPO / "docs" / "tutorial.md",
     REPO / "README.md",
     REPO / "docs" / "architecture.md",
+    REPO / "docs" / "serving.md",
 ]
 
 # Binaries the check knows how to rewrite; anything else in a fenced
@@ -33,11 +35,13 @@ DOCS = [
 # exercises those directly.
 BINARIES = {
     "limbo-tool": "tools/limbo-tool",
+    "limbo-serve": "tools/limbo-serve",
     "micro_limbo": "bench/micro_limbo",
 }
 
 FENCE_RE = re.compile(r"^```")
-COMMAND_RE = re.compile(r"(?:^|\s|/)(limbo-tool|micro_limbo)(?=\s|$)")
+COMMAND_RE = re.compile(
+    r"(?:^|\s|/)(limbo-tool|limbo-serve|micro_limbo)(?=\s|$)")
 
 
 def extract_commands(doc: pathlib.Path):

@@ -1,0 +1,255 @@
+// limbo-serve: online query daemon over a frozen .limbo model bundle.
+//
+//   limbo-serve model.limbo [--port=7070] [--workers=1] [--oov=drop|strict]
+//   limbo-serve model.limbo --once [--workers=1] [--query=<json> ...]
+//
+// The bundle (written by `limbo-tool fit`) is loaded once; every query
+// after that is answered from memory. The protocol is newline-delimited
+// JSON, one object per line, identical over TCP and --once:
+//
+//   {"op":"assign","row":["a","b","c"]}      -> cluster id + loss
+//   {"op":"assign","csv":"a,b,c"}            -> same, raw CSV record
+//   {"op":"duplicates","row":[...]}          -> near-duplicate check
+//   {"op":"valuegroup","attr":"A","value":"x"} -> the value's group
+//   {"op":"attrs"}                           -> attribute dendrogram
+//   {"op":"fds","limit":10}                  -> ranked dependencies
+//   {"op":"info"}                            -> model metadata
+//
+// Responses are one JSON object per line: {"ok":true,...} on success,
+// {"ok":false,"code":...,"error":...} on any malformed or unanswerable
+// query (the process never exits on a bad query).
+//
+// --once reads queries from --query flags (in order) or stdin, writes
+// responses to stdout and exits — the mode the tests, CI smoke job and
+// doc-consistency check drive. Responses are bit-identical at every
+// --workers count: assignment is a pure function of (row, bundle).
+//
+// TCP mode accepts connections on --port (0 = ephemeral; the chosen port
+// is printed) across --workers accept lanes and shuts down cleanly on
+// SIGINT/SIGTERM, draining in-flight connections first.
+//
+// Unknown flags are rejected with exit code 2 (doc_check relies on that).
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/prob.h"
+#include "obs/counters.h"
+#include "serve/engine.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace limbo;  // NOLINT
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: limbo-serve model.limbo [--port=7070] [--workers=1] "
+               "[--oov=drop|strict] [--once] [--query=<json> ...]\n");
+  return 2;
+}
+
+struct ServeArgs {
+  std::string model_path;
+  int port = 7070;
+  size_t workers = 1;
+  serve::OovPolicy oov = serve::OovPolicy::kDrop;
+  bool once = false;
+  std::vector<std::string> queries;
+};
+
+bool ParseServeArgs(int argc, char** argv, ServeArgs* args) {
+  if (argc < 2) return false;
+  args->model_path = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) return false;
+    const size_t eq = arg.find('=');
+    const std::string key =
+        eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+    const std::string value =
+        eq == std::string::npos ? "1" : arg.substr(eq + 1);
+    if (key == "port") {
+      args->port = std::atoi(value.c_str());
+    } else if (key == "workers") {
+      args->workers = static_cast<size_t>(std::atoll(value.c_str()));
+      if (args->workers == 0) args->workers = 1;
+    } else if (key == "oov") {
+      if (value == "drop") {
+        args->oov = serve::OovPolicy::kDrop;
+      } else if (value == "strict") {
+        args->oov = serve::OovPolicy::kStrict;
+      } else {
+        std::fprintf(stderr, "limbo-serve: --oov must be drop or strict\n");
+        return false;
+      }
+    } else if (key == "once") {
+      args->once = true;
+    } else if (key == "query") {
+      args->queries.push_back(value);
+    } else {
+      std::fprintf(stderr, "limbo-serve: unknown flag --%s\n", key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// --once: answer the given queries (or stdin lines) and exit. Queries are
+/// dispatched across the worker lanes but responses print in input order,
+/// so the output is byte-identical at every worker count.
+int RunOnce(const serve::Engine& engine, const ServeArgs& args) {
+  std::vector<std::string> queries = args.queries;
+  if (queries.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) queries.push_back(line);
+    }
+  }
+  std::vector<std::string> responses(queries.size());
+  util::ThreadPool pool(args.workers);
+  std::vector<core::LossKernel> kernels(pool.threads());
+  pool.ParallelFor(0, queries.size(), 1,
+                   [&](size_t begin, size_t end, size_t lane) {
+                     for (size_t i = begin; i < end; ++i) {
+                       responses[i] = engine.HandleLine(queries[i],
+                                                        &kernels[lane]);
+                     }
+                   });
+  for (const std::string& response : responses) {
+    std::fputs(response.c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  return 0;
+}
+
+/// Serves one established connection: reads newline-delimited queries,
+/// writes one response line per query, until the peer closes.
+void ServeConnection(const serve::Engine& engine, core::LossKernel* kernel,
+                     int fd) {
+  LIMBO_OBS_COUNT("serve.connections", 1);
+  std::string pending;
+  char buffer[4096];
+  while (g_shutdown == 0) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    pending.append(buffer, static_cast<size_t>(n));
+    size_t start = 0;
+    size_t newline;
+    while ((newline = pending.find('\n', start)) != std::string::npos) {
+      std::string line = pending.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string response = engine.HandleLine(line, kernel);
+      response.push_back('\n');
+      size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t w =
+            ::send(fd, response.data() + sent, response.size() - sent, 0);
+        if (w <= 0) {
+          ::close(fd);
+          return;
+        }
+        sent += static_cast<size_t>(w);
+      }
+    }
+    pending.erase(0, start);
+  }
+  ::close(fd);
+}
+
+/// One accept lane: polls the shared listening socket so the shutdown
+/// flag is observed within 200ms even while idle.
+void AcceptLoop(const serve::Engine& engine, core::LossKernel* kernel,
+                int listen_fd) {
+  while (g_shutdown == 0) {
+    struct pollfd pfd = {listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    ServeConnection(engine, kernel, fd);
+  }
+}
+
+int RunTcp(const serve::Engine& engine, const ServeArgs& args) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("limbo-serve: socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(args.port));
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    std::perror("limbo-serve: bind");
+    ::close(listen_fd);
+    return 1;
+  }
+  if (::listen(listen_fd, 64) < 0) {
+    std::perror("limbo-serve: listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+                &addr_len);
+  std::printf("limbo-serve: listening on 127.0.0.1:%d (%zu workers)\n",
+              ntohs(addr.sin_port), args.workers);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  util::ThreadPool pool(args.workers);
+  std::vector<core::LossKernel> kernels(pool.threads());
+  // Each lane runs exactly one AcceptLoop (grain 1, one index per lane)
+  // and owns kernels[lane]; ParallelFor joins only after every lane saw
+  // the shutdown flag and drained its in-flight connection.
+  pool.ParallelFor(0, args.workers, 1,
+                   [&](size_t begin, size_t end, size_t lane) {
+                     for (size_t i = begin; i < end; ++i) {
+                       (void)i;
+                       AcceptLoop(engine, &kernels[lane], listen_fd);
+                     }
+                   });
+  ::close(listen_fd);
+  std::printf("limbo-serve: shut down cleanly\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeArgs args;
+  if (!ParseServeArgs(argc, argv, &args)) return Usage();
+  serve::EngineOptions options;
+  options.oov = args.oov;
+  util::Result<serve::Engine> engine =
+      serve::Engine::Open(args.model_path, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "limbo-serve: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  if (args.once) return RunOnce(*engine, args);
+  return RunTcp(*engine, args);
+}

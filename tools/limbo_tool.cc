@@ -14,6 +14,8 @@
 //   limbo-tool generate   db2|dblp [--out=data.csv] [--tuples=N] [--seed=S]
 //   limbo-tool summaries  data.csv [--phi-t=0.5] [--out=data.dcf] [--stream]
 //   limbo-tool report     data.csv [--out=report.md] [--psi=0.5]
+//   limbo-tool fit        data.csv [--phi-t=0.1] [--phi-v=0] [--psi=0.5]
+//                                  [--k=10] [--model-out=data.limbo]
 //
 // Input: CSV with a header row; empty fields are NULLs.
 //
@@ -72,6 +74,8 @@
 #include "fd/keys.h"
 #include "fd/mvd.h"
 #include "fd/tane.h"
+#include "model/fit.h"
+#include "model/model_bundle.h"
 #include "relation/csv_io.h"
 #include "relation/row_source.h"
 #include "relation/source_stats.h"
@@ -119,8 +123,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: limbo-tool <profile|summary|duplicates|values|fds|approx-fds|"
-      "mvds|keys|rank|partition|decompose|summaries|report|generate> data.csv "
-      "[--flag=value ...]\n");
+      "mvds|keys|rank|partition|decompose|summaries|report|fit|generate> "
+      "data.csv [--flag=value ...]\n");
   return 2;
 }
 
@@ -142,6 +146,7 @@ int ValidateFlags(const Args& args) {
       {"decompose", {"psi", "out"}},
       {"summaries", {"phi-t", "out", "stream", "stats", "chunk"}},
       {"report", {"phi-t", "phi-v", "psi", "out"}},
+      {"fit", {"phi-t", "phi-v", "psi", "k", "model-out"}},
       {"generate", {"out", "tuples", "seed"}},
   };
   auto it = kCommandFlags.find(args.command);
@@ -662,10 +667,15 @@ int CmdSummaries(const relation::Relation& rel, const Args& args) {
   const double info = core::MutualInformation(rows);
   core::LimboOptions options;
   options.phi = phi_t;
-  const auto leaves = core::LimboPhase1(
-      objects, options, phi_t * info / static_cast<double>(objects.size()));
+  const double threshold = phi_t * info / static_cast<double>(objects.size());
+  const auto leaves = core::LimboPhase1(objects, options, threshold);
   const std::string out = args.GetString("out", args.input + ".dcf");
-  util::Status s = core::SaveDcfs(leaves, out);
+  core::DcfMeta meta;
+  meta.has_clustering = true;
+  meta.phi = phi_t;
+  meta.mutual_information = info;
+  meta.threshold = threshold;
+  util::Status s = core::SaveDcfs(leaves, meta, out);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
@@ -715,8 +725,8 @@ int CmdSummariesStream(const Args& args) {
   const double mi = info.Value();
   core::LimboOptions options;
   options.phi = phi_t;
-  core::Phase1Builder builder(
-      options, phi_t * mi / static_cast<double>(stats->num_rows));
+  const double threshold = phi_t * mi / static_cast<double>(stats->num_rows);
+  core::Phase1Builder builder(options, threshold);
   s = scan([&](const core::Dcf& o) { builder.Insert(o); });
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
@@ -724,13 +734,45 @@ int CmdSummariesStream(const Args& args) {
   }
   const auto leaves = builder.Leaves();
   const std::string out = args.GetString("out", args.input + ".dcf");
-  s = core::SaveDcfs(leaves, out);
+  core::DcfMeta meta;
+  meta.has_clustering = true;
+  meta.phi = phi_t;
+  meta.mutual_information = mi;
+  meta.threshold = threshold;
+  s = core::SaveDcfs(leaves, meta, out);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
   std::printf("wrote %zu Phase-1 summaries (phi_T=%.2f, I=%.4f bits) to %s\n",
               leaves.size(), phi_t, mi, out.c_str());
+  return 0;
+}
+
+/// Freezes a full LIMBO run into a .limbo model bundle for limbo-serve.
+int CmdFit(const relation::Relation& rel, const Args& args) {
+  model::FitOptions options;
+  options.phi_t = args.GetDouble("phi-t", options.phi_t);
+  options.phi_v = args.GetDouble("phi-v", options.phi_v);
+  options.psi = args.GetDouble("psi", options.psi);
+  options.k = args.GetSize("k", options.k);
+  options.threads = args.GetSize("threads", 0);
+  auto bundle = model::FitModel(rel, options);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out = args.GetString("model-out", args.input + ".limbo");
+  util::Status s = model::Save(*bundle, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote model bundle %s (%" PRIu64 " rows, %zu clusters, %zu value "
+      "groups, %zu ranked FDs)\n",
+      out.c_str(), bundle->num_rows, bundle->representatives.size(),
+      bundle->value_groups.size(), bundle->ranked_fds.size());
   return 0;
 }
 
@@ -809,6 +851,7 @@ int main(int argc, char** argv) {
     if (args.command == "decompose") rc = CmdDecompose(*rel, args);
     if (args.command == "summaries") rc = CmdSummaries(*rel, args);
     if (args.command == "report") rc = CmdReport(*rel, args);
+    if (args.command == "fit") rc = CmdFit(*rel, args);
   }
   if (rc == 0 && g_collect_report) rc = WriteRunReport(args);
   return rc;
