@@ -34,17 +34,37 @@
 //    count. Exit 0 iff the responses are byte-identical across worker
 //    counts AND every served label equals the batch Phase-3 assignment.
 //    Its output is what BENCH_serve.json records.
+//  * `micro_limbo --load [--tuples=N] [--connections=C]
+//    [--serve-workers=W] [--load-seconds=S] [--p99-limit-us=X]` is the
+//    closed-loop TCP load harness: two model bundles (k=10 and k=4 over
+//    the same DBLP input) are frozen to disk and served by an in-process
+//    serve::Server (registry + bounded admission queue — the exact stack
+//    behind limbo-serve), C client connections drive assign queries
+//    routed across both models as fast as responses come back, and one
+//    blue/green hot reload fires mid-run through the admin protocol.
+//    Every response is byte-compared against the engine-computed
+//    expectation for its model; the run fails on any mismatched or
+//    dropped response, a failed reload, or (when --p99-limit-us is
+//    given) an aggregate p99 above the ceiling. Its output is the
+//    second line of BENCH_serve.json.
 
 #include <benchmark/benchmark.h>
+#include <netinet/in.h>
+#include <poll.h>
 #include <sys/resource.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -67,6 +87,8 @@
 #include "relation/row_source.h"
 #include "relation/source_stats.h"
 #include "serve/engine.h"
+#include "serve/registry.h"
+#include "serve/server.h"
 #include "util/json.h"
 #include "util/parallel.h"
 #include "util/random.h"
@@ -638,37 +660,65 @@ struct ServeArmRow {
   double p99_us = 0.0;
 };
 
-/// Serve-path benchmark: freeze the tuple-clustering artifacts of one
-/// LIMBO run into a ModelBundle, replay every row as an assign query,
-/// and measure throughput + latency per worker count. The value-group /
-/// FD sections stay empty — assign touches only the representatives and
-/// the dictionary, and fitting them would dominate setup time.
+/// Freezes the tuple-clustering artifacts of one LIMBO run at `k` into
+/// a ModelBundle. The value-group / FD sections stay empty — assign
+/// touches only the representatives and the dictionary, and fitting
+/// them would dominate setup time.
+util::Result<model::ModelBundle> FreezeTupleBundle(
+    const relation::Relation& rel, const std::vector<core::Dcf>& objects,
+    size_t k) {
+  core::LimboOptions options;
+  options.phi = 0.5;
+  options.k = k;
+  LIMBO_ASSIGN_OR_RETURN(core::LimboResult run,
+                         core::RunLimbo(objects, options));
+  model::ModelBundle bundle;
+  bundle.num_rows = rel.NumTuples();
+  bundle.phi_t = options.phi;
+  bundle.mutual_information = run.mutual_information;
+  bundle.threshold = run.threshold;
+  bundle.schema = rel.schema();
+  bundle.dictionary = rel.dictionary();
+  bundle.representatives = std::move(run.representatives);
+  bundle.assignments = std::move(run.assignments);
+  bundle.assignment_loss = std::move(run.assignment_loss);
+  return bundle;
+}
+
+/// The assign query for row `t` of `rel`, optionally routed to `model`.
+std::string AssignQuery(const relation::Relation& rel, relation::TupleId t,
+                        const std::string& model) {
+  std::string q = "{\"op\":\"assign\",";
+  if (!model.empty()) {
+    q += "\"model\":";
+    util::AppendJsonString(model, &q);
+    q.push_back(',');
+  }
+  q += "\"row\":[";
+  for (relation::AttributeId a = 0; a < rel.NumAttributes(); ++a) {
+    if (a > 0) q.push_back(',');
+    util::AppendJsonString(rel.TextAt(t, a), &q);
+  }
+  q += "]}";
+  return q;
+}
+
+/// Serve-path benchmark: freeze one LIMBO run into a ModelBundle,
+/// replay every row as an assign query, and measure throughput +
+/// latency per worker count.
 int RunServeBench(size_t tuples) {
   datagen::DblpOptions dblp_options;
   dblp_options.target_tuples = tuples;
   const relation::Relation rel = datagen::GenerateDblp(dblp_options);
   const std::vector<core::Dcf> objects = core::BuildTupleObjects(rel);
-  core::LimboOptions options;
-  options.phi = 0.5;
-  options.k = 10;
-  auto run = core::RunLimbo(objects, options);
-  if (!run.ok()) {
-    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+  auto bundle = FreezeTupleBundle(rel, objects, 10);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
     return 1;
   }
-
-  model::ModelBundle bundle;
-  bundle.num_rows = rel.NumTuples();
-  bundle.phi_t = options.phi;
-  bundle.mutual_information = run->mutual_information;
-  bundle.threshold = run->threshold;
-  bundle.schema = rel.schema();
-  bundle.dictionary = rel.dictionary();
-  bundle.representatives = run->representatives;
-  bundle.assignments = run->assignments;
-  bundle.assignment_loss = run->assignment_loss;
-  const size_t clusters = bundle.representatives.size();
-  auto engine = serve::Engine::FromBundle(std::move(bundle), {});
+  const std::vector<uint32_t> batch_assignments = bundle->assignments;
+  const size_t clusters = bundle->representatives.size();
+  auto engine = serve::Engine::FromBundle(std::move(*bundle), {});
   if (!engine.ok()) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
@@ -677,13 +727,7 @@ int RunServeBench(size_t tuples) {
   std::vector<std::string> queries;
   queries.reserve(rel.NumTuples());
   for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
-    std::string q = "{\"op\":\"assign\",\"row\":[";
-    for (relation::AttributeId a = 0; a < rel.NumAttributes(); ++a) {
-      if (a > 0) q.push_back(',');
-      util::AppendJsonString(rel.TextAt(t, a), &q);
-    }
-    q += "]}";
-    queries.push_back(std::move(q));
+    queries.push_back(AssignQuery(rel, t, ""));
   }
 
   std::vector<ServeArmRow> arms;
@@ -733,7 +777,7 @@ int RunServeBench(size_t tuples) {
       for (size_t t = 0; t < responses.size(); ++t) {
         auto parsed = util::ParseJson(responses[t]);
         if (!parsed.ok() || parsed->Find("cluster") == nullptr ||
-            parsed->Find("cluster")->integer != run->assignments[t]) {
+            parsed->Find("cluster")->integer != batch_assignments[t]) {
           bit_identical = false;
           break;
         }
@@ -756,6 +800,233 @@ int RunServeBench(size_t tuples) {
   return bit_identical ? 0 : 1;
 }
 
+/// A blocking loopback NDJSON client for the load harness: one
+/// connection, send a line, read a line.
+class LoadClient {
+ public:
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    return true;
+  }
+
+  ~LoadClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Send(const std::string& line) {
+    std::string framed = line;
+    framed.push_back('\n');
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t w = ::send(fd_, framed.data() + sent,
+                               framed.size() - sent, MSG_NOSIGNAL);
+      if (w < 0 && errno == EINTR) continue;
+      if (w <= 0) return false;
+      sent += static_cast<size_t>(w);
+    }
+    return true;
+  }
+
+  /// Reads one '\n'-terminated response (without the newline). False on
+  /// close or error.
+  bool ReadLine(std::string* line) {
+    line->clear();
+    for (;;) {
+      const size_t newline = buffered_.find('\n');
+      if (newline != std::string::npos) {
+        line->assign(buffered_, 0, newline);
+        buffered_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n;
+      do {
+        n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      } while (n < 0 && errno == EINTR);
+      if (n <= 0) return false;
+      buffered_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffered_;
+};
+
+/// Closed-loop TCP load harness over the full serve::Server stack: a
+/// 2-model registry, C concurrent client connections alternating models,
+/// one blue/green hot reload mid-run, and a byte-exact check of every
+/// response against the per-model expectation.
+int RunLoadBench(size_t tuples, size_t connections, size_t workers,
+                 double seconds, double p99_limit_us) {
+  datagen::DblpOptions dblp_options;
+  dblp_options.target_tuples = tuples;
+  const relation::Relation rel = datagen::GenerateDblp(dblp_options);
+  const std::vector<core::Dcf> objects = core::BuildTupleObjects(rel);
+
+  // Two genuinely different models over the same schema (k=10 vs k=4),
+  // frozen to disk so the registry's reload path exercises a real load.
+  const std::string stem =
+      "/tmp/micro_limbo_load_" + std::to_string(getpid());
+  const char* names[2] = {"wide", "narrow"};
+  const size_t ks[2] = {10, 4};
+  std::string paths[2];
+  std::vector<std::string> expected[2];  // per-model response per row
+  serve::Registry registry;
+  for (int m = 0; m < 2; ++m) {
+    auto bundle = FreezeTupleBundle(rel, objects, ks[m]);
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
+      return 1;
+    }
+    paths[m] = stem + "_" + names[m] + ".limbo";
+    util::Status saved = model::Save(*bundle, paths[m]);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    auto engine = serve::Engine::FromBundle(std::move(*bundle), {});
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+      return 1;
+    }
+    expected[m].reserve(rel.NumTuples());
+    for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
+      expected[m].push_back(
+          engine->HandleLine(AssignQuery(rel, t, names[m])));
+    }
+    util::Status added = registry.AddModel(names[m], paths[m]);
+    if (!added.ok()) {
+      std::fprintf(stderr, "%s\n", added.ToString().c_str());
+      return 1;
+    }
+  }
+
+  serve::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.workers = workers;
+  server_options.poll_ms = 20;
+  auto server = serve::Server::Start(&registry, server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  const int port = (*server)->port();
+  std::atomic<int> stop_flag{0};
+  std::thread acceptor([&server, &stop_flag] { (*server)->Run(&stop_flag); });
+
+  // C closed-loop clients, model fixed per connection (even = wide, odd
+  // = narrow), each verifying every response byte-for-byte.
+  std::atomic<uint64_t> total_requests{0};
+  std::atomic<uint64_t> mismatched{0};
+  std::atomic<uint64_t> transport_errors{0};
+  std::vector<std::vector<double>> latencies(connections);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  const auto run_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      const int m = static_cast<int>(c % 2);
+      const std::vector<std::string>& want = expected[m];
+      std::vector<std::string> queries;
+      queries.reserve(rel.NumTuples());
+      for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
+        queries.push_back(AssignQuery(rel, t, names[m]));
+      }
+      LoadClient client;
+      if (!client.Connect(port)) {
+        transport_errors.fetch_add(1);
+        return;
+      }
+      std::string response;
+      size_t t = c;  // stagger the row cursor across connections
+      while (std::chrono::steady_clock::now() < deadline) {
+        const size_t row = t++ % queries.size();
+        const auto start = std::chrono::steady_clock::now();
+        if (!client.Send(queries[row]) || !client.ReadLine(&response)) {
+          transport_errors.fetch_add(1);
+          return;
+        }
+        latencies[c].push_back(std::chrono::duration<double, std::micro>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
+        total_requests.fetch_add(1);
+        if (response != want[row]) mismatched.fetch_add(1);
+      }
+    });
+  }
+
+  // One blue/green hot reload of both models mid-run, through the admin
+  // protocol like any other client.
+  bool reload_ok = false;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds / 2));
+  {
+    LoadClient admin;
+    std::string response;
+    if (admin.Connect(port) && admin.Send("{\"op\":\"reload\"}") &&
+        admin.ReadLine(&response)) {
+      reload_ok = response.find("\"ok\":true") != std::string::npos &&
+                  response.find("\"version\":2") != std::string::npos;
+      if (!reload_ok) {
+        std::fprintf(stderr, "reload failed: %s\n", response.c_str());
+      }
+    } else {
+      std::fprintf(stderr, "reload connection failed\n");
+    }
+  }
+
+  for (std::thread& client : clients) client.join();
+  const double elapsed = Seconds(run_start);
+  stop_flag.store(1);
+  acceptor.join();
+  const uint64_t sheds = (*server)->sheds();
+  for (const std::string& path : paths) unlink(path.c_str());
+
+  std::vector<double> all;
+  for (const std::vector<double>& lane : latencies) {
+    all.insert(all.end(), lane.begin(), lane.end());
+  }
+  std::sort(all.begin(), all.end());
+  const double p50 = all.empty() ? 0.0 : all[all.size() / 2];
+  const double p99 = all.empty() ? 0.0 : all[all.size() * 99 / 100];
+  const uint64_t requests = total_requests.load();
+  const bool bit_identical = mismatched.load() == 0 &&
+                             transport_errors.load() == 0 && requests > 0;
+  const bool p99_ok = p99_limit_us <= 0.0 || p99 <= p99_limit_us;
+  if (!p99_ok) {
+    std::fprintf(stderr, "p99 %.2fus exceeds --p99-limit-us=%.2f\n", p99,
+                 p99_limit_us);
+  }
+
+  std::printf(
+      "{\"benchmark\": \"serve_load\", \"tuples\": %zu, \"models\": 2, "
+      "\"connections\": %zu, \"workers\": %zu, \"seconds\": %.2f, "
+      "\"requests\": %llu, \"qps\": %.1f, \"p50_us\": %.2f, "
+      "\"p99_us\": %.2f, \"reload_mid_run\": %s, \"sheds\": %llu, "
+      "\"mismatched\": %llu, \"bit_identical\": %s}\n",
+      rel.NumTuples(), connections, workers, elapsed,
+      static_cast<unsigned long long>(requests),
+      static_cast<double>(requests) / elapsed, p50, p99,
+      reload_ok ? "true" : "false",
+      static_cast<unsigned long long>(sheds),
+      static_cast<unsigned long long>(mismatched.load()),
+      bit_identical ? "true" : "false");
+  return (bit_identical && reload_ok && p99_ok) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -764,11 +1035,16 @@ int main(int argc, char** argv) {
   bool report_mode = false;
   bool stream_bench = false;
   bool serve_bench = false;
+  bool load_bench = false;
   std::string stream_arm;
   std::string stream_csv;
   std::string report_path;
   size_t tuples = 50000;
   bool tuples_given = false;
+  size_t connections = 8;
+  size_t serve_workers = 4;
+  double load_seconds = 2.0;
+  double p99_limit_us = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--thread-scaling") == 0) {
       thread_scaling = true;
@@ -778,6 +1054,18 @@ int main(int argc, char** argv) {
       stream_bench = true;
     } else if (std::strcmp(argv[i], "--serve") == 0) {
       serve_bench = true;
+    } else if (std::strcmp(argv[i], "--load") == 0) {
+      load_bench = true;
+    } else if (std::strncmp(argv[i], "--connections=", 14) == 0) {
+      connections = static_cast<size_t>(std::strtoull(argv[i] + 14,
+                                                      nullptr, 10));
+    } else if (std::strncmp(argv[i], "--serve-workers=", 16) == 0) {
+      serve_workers = static_cast<size_t>(std::strtoull(argv[i] + 16,
+                                                        nullptr, 10));
+    } else if (std::strncmp(argv[i], "--load-seconds=", 15) == 0) {
+      load_seconds = std::strtod(argv[i] + 15, nullptr);
+    } else if (std::strncmp(argv[i], "--p99-limit-us=", 15) == 0) {
+      p99_limit_us = std::strtod(argv[i] + 15, nullptr);
     } else if (std::strncmp(argv[i], "--stream-arm=", 13) == 0) {
       stream_arm = argv[i] + 13;
     } else if (std::strncmp(argv[i], "--stream-csv=", 13) == 0) {
@@ -798,6 +1086,13 @@ int main(int argc, char** argv) {
   if (!stream_arm.empty()) return RunStreamArm(stream_arm, stream_csv);
   if (stream_bench) return RunStreamBench(tuples_given ? tuples : 20000);
   if (serve_bench) return RunServeBench(tuples_given ? tuples : 10000);
+  if (load_bench) {
+    if (connections == 0) connections = 1;
+    if (serve_workers == 0) serve_workers = 1;
+    if (load_seconds <= 0.0) load_seconds = 2.0;
+    return RunLoadBench(tuples_given ? tuples : 5000, connections,
+                        serve_workers, load_seconds, p99_limit_us);
+  }
   if (thread_scaling) return RunThreadScaling(tuples);
   if (kernel_bench) return RunKernelBench(tuples_given ? tuples : 10000);
   if (report_mode) return RunReportMode(tuples_given ? tuples : 10000,

@@ -11,6 +11,7 @@
 #include "obs/counters.h"
 #include "obs/trace.h"
 #include "relation/csv_scanner.h"
+#include "serve/wire.h"
 #include "util/json.h"
 
 namespace limbo::serve {
@@ -18,33 +19,6 @@ namespace limbo::serve {
 namespace {
 
 using util::JsonValue;
-
-void AppendKey(const char* key, std::string* out) {
-  out->push_back('"');
-  *out += key;
-  *out += "\":";
-}
-
-void AppendStringField(const char* key, const std::string& value,
-                       std::string* out) {
-  AppendKey(key, out);
-  util::AppendJsonString(value, out);
-}
-
-void AppendNumberField(const char* key, double value, std::string* out) {
-  AppendKey(key, out);
-  util::AppendJsonNumber(value, out);
-}
-
-void AppendIntField(const char* key, uint64_t value, std::string* out) {
-  AppendKey(key, out);
-  *out += std::to_string(value);
-}
-
-void AppendBoolField(const char* key, bool value, std::string* out) {
-  AppendKey(key, out);
-  *out += value ? "true" : "false";
-}
 
 void AppendNameList(const relation::Schema& schema,
                     const std::vector<relation::AttributeId>& ids,
@@ -427,11 +401,22 @@ util::Result<std::string> Engine::HandleInfo() const {
 
 std::string Engine::HandleLine(const std::string& line,
                                core::LossKernel* kernel) const {
+  util::Result<JsonValue> request = util::ParseJson(line);
+  if (!request.ok()) {
+    LIMBO_OBS_COUNT("serve.query.errors", 1);
+    return ErrorResponse(request.status());
+  }
+  if (request->kind != JsonValue::Kind::kObject) {
+    LIMBO_OBS_COUNT("serve.query.errors", 1);
+    return ErrorResponse(
+        util::Status::InvalidArgument("query must be a JSON object"));
+  }
+  return HandleRequest(*request, kernel);
+}
+
+std::string Engine::HandleRequest(const JsonValue& request,
+                                  core::LossKernel* kernel) const {
   util::Result<std::string> response = [&]() -> util::Result<std::string> {
-    LIMBO_ASSIGN_OR_RETURN(JsonValue request, util::ParseJson(line));
-    if (request.kind != JsonValue::Kind::kObject) {
-      return util::Status::InvalidArgument("query must be a JSON object");
-    }
     const JsonValue* op = request.Find("op");
     if (op == nullptr || op->kind != JsonValue::Kind::kString) {
       return util::Status::InvalidArgument(
@@ -471,13 +456,7 @@ std::string Engine::HandleLine(const std::string& line,
   }();
   if (response.ok()) return std::move(response).value();
   LIMBO_OBS_COUNT("serve.query.errors", 1);
-  std::string out = "{\"ok\":false,";
-  AppendStringField("code", util::StatusCodeName(response.status().code()),
-                    &out);
-  out.push_back(',');
-  AppendStringField("error", response.status().message(), &out);
-  out.push_back('}');
-  return out;
+  return ErrorResponse(response.status());
 }
 
 }  // namespace limbo::serve

@@ -55,6 +55,13 @@ class Engine {
   std::string HandleLine(const std::string& line,
                          core::LossKernel* kernel) const;
 
+  /// Answers one already-parsed query object — the registry's routed
+  /// path (it parses once to read the "model" field, then dispatches
+  /// here). HandleLine is ParseJson + this. Unknown fields, including
+  /// "model", are ignored.
+  std::string HandleRequest(const util::JsonValue& request,
+                            core::LossKernel* kernel) const;
+
   /// Single-threaded convenience using an engine-owned kernel.
   std::string HandleLine(const std::string& line) {
     return HandleLine(line, &own_kernel_);

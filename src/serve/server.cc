@@ -1,0 +1,243 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/counters.h"
+#include "serve/wire.h"
+
+namespace limbo::serve {
+
+namespace {
+
+/// poll() on one fd, treating EINTR as a timeout so the caller falls
+/// through to its flag checks — exactly what a signal should cause.
+int PollOne(int fd, short events, int timeout_ms) {
+  struct pollfd pfd = {fd, events, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0 && errno == EINTR) return 0;
+  return ready;
+}
+
+/// recv() retrying on EINTR: a signal mid-read (SIGHUP for reload, ...)
+/// must not masquerade as a peer close.
+ssize_t RecvSome(int fd, char* buffer, size_t size) {
+  ssize_t n;
+  do {
+    n = ::recv(fd, buffer, size, 0);
+  } while (n < 0 && errno == EINTR);
+  return n;
+}
+
+/// Writes the whole buffer with MSG_NOSIGNAL (a dead peer yields EPIPE,
+/// never SIGPIPE) and EINTR retries. False on any unrecoverable error.
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t w = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(Registry* registry, const ServerOptions& options)
+    : registry_(registry), options_(options) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.max_pending == 0) options_.max_pending = 1;
+}
+
+Server::~Server() { Stop(); }
+
+util::Status Server::Bind() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return util::Status::IoError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const util::Status status =
+        util::Status::IoError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const util::Status status =
+        util::Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                &addr_len);
+  port_ = ntohs(addr.sin_port);
+  return util::Status::Ok();
+}
+
+util::Result<std::unique_ptr<Server>> Server::Start(
+    Registry* registry, const ServerOptions& options) {
+  if (registry == nullptr || registry->NumModels() == 0) {
+    return util::Status::FailedPrecondition(
+        "server needs a registry with at least one model");
+  }
+  std::unique_ptr<Server> server(new Server(registry, options));
+  LIMBO_RETURN_IF_ERROR(server->Bind());
+  server->lanes_.reserve(server->options_.workers);
+  for (size_t lane = 0; lane < server->options_.workers; ++lane) {
+    server->lanes_.emplace_back([s = server.get()] { s->Lane(); });
+  }
+  return server;
+}
+
+void Server::Run(const std::atomic<int>* stop, std::atomic<int>* reload) {
+  while (stop->load(std::memory_order_relaxed) == 0) {
+    if (reload != nullptr && reload->load(std::memory_order_relaxed) != 0) {
+      reload->store(0, std::memory_order_relaxed);
+      util::Status s = registry_->ReloadAll();
+      if (!s.ok()) {
+        std::fprintf(stderr, "limbo-serve: %s\n", s.ToString().c_str());
+      }
+    }
+    const int ready = PollOne(listen_fd_, POLLIN, options_.poll_ms);
+    if (ready <= 0) continue;
+    int fd;
+    do {
+      fd = ::accept(listen_fd_, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) continue;
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.size() >= options_.max_pending) {
+        shed = true;
+      } else {
+        pending_.push_back(fd);
+      }
+    }
+    if (shed) {
+      Shed(fd);
+    } else {
+      cv_.notify_one();
+    }
+  }
+  Stop();
+}
+
+void Server::Stop() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  // Lanes flush what their connections already sent, then close them.
+  draining_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::jthread& lane : lanes_) {
+    if (lane.joinable()) lane.join();
+  }
+  lanes_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::Lane() {
+  core::LossKernel kernel;
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping, queue drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd, &kernel);
+  }
+}
+
+void Server::Shed(int fd) {
+  sheds_.fetch_add(1, std::memory_order_relaxed);
+  LIMBO_OBS_COUNT("serve.sheds", 1);
+  const std::string response =
+      ErrorResponse("overloaded",
+                    "pending connection queue is full; retry later") +
+      "\n";
+  (void)SendAll(fd, response.data(), response.size());
+  ::close(fd);
+}
+
+bool Server::Respond(std::string line, core::LossKernel* kernel, int fd) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line.empty()) return true;
+  std::string response = registry_->HandleLine(line, kernel);
+  response.push_back('\n');
+  return SendAll(fd, response.data(), response.size());
+}
+
+void Server::ServeConnection(int fd, core::LossKernel* kernel) {
+  connections_.fetch_add(1, std::memory_order_relaxed);
+  LIMBO_OBS_COUNT("serve.connections", 1);
+  std::string pending;
+  char buffer[4096];
+  bool eof = false;
+  bool error = false;
+  while (!eof && !error) {
+    // While draining (shutdown), poll with zero timeout: answer what the
+    // peer already sent, then close instead of waiting for more.
+    const bool draining = draining_.load(std::memory_order_relaxed);
+    const int ready = PollOne(fd, POLLIN, draining ? 0 : options_.poll_ms);
+    if (ready < 0) break;
+    if (ready == 0) {
+      if (draining) break;
+      continue;
+    }
+    const ssize_t n = RecvSome(fd, buffer, sizeof(buffer));
+    if (n < 0) break;
+    if (n == 0) {
+      eof = true;
+    } else {
+      pending.append(buffer, static_cast<size_t>(n));
+    }
+    size_t start = 0;
+    size_t newline;
+    while ((newline = pending.find('\n', start)) != std::string::npos) {
+      std::string line = pending.substr(start, newline - start);
+      start = newline + 1;
+      if (!Respond(std::move(line), kernel, fd)) {
+        error = true;
+        break;
+      }
+    }
+    pending.erase(0, start);
+    if (eof && !error && !pending.empty()) {
+      // Orderly EOF with an unterminated final query: answer it anyway,
+      // matching --once/stdin behavior (the peer's read side is still
+      // open after shutdown(SHUT_WR)).
+      (void)Respond(std::move(pending), kernel, fd);
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace limbo::serve

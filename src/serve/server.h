@@ -1,0 +1,115 @@
+#ifndef LIMBO_SERVE_SERVER_H_
+#define LIMBO_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/prob.h"
+#include "serve/registry.h"
+#include "util/result.h"
+
+namespace limbo::serve {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back via
+  /// port()).
+  int port = 0;
+  /// Serving lanes: connections handled concurrently. Each lane owns
+  /// its LossKernel, so responses are bit-identical at every count.
+  size_t workers = 1;
+  /// Admission control: accepted connections waiting for a lane beyond
+  /// this bound are shed immediately with {"ok":false,"code":
+  /// "overloaded",...} instead of queuing behind slow clients.
+  size_t max_pending = 128;
+  /// How often (ms) blocked socket waits wake up to observe the stop /
+  /// reload / drain flags.
+  int poll_ms = 100;
+};
+
+/// TCP front end over a Registry. One acceptor thread (whichever thread
+/// calls Run) feeds a bounded queue of accepted connections; `workers`
+/// serving lanes drain it, each answering newline-delimited queries via
+/// Registry::HandleLine with a lane-owned LossKernel.
+///
+/// The socket path is hardened for real clients:
+///  - every send uses MSG_NOSIGNAL, so a peer closing mid-response
+///    surfaces as an error on that one connection, never as SIGPIPE;
+///  - recv/send/accept/poll retry on EINTR, so signals (e.g. SIGHUP for
+///    hot reload) never spuriously drop a connection;
+///  - a final query sent without a trailing newline before the peer
+///    shuts down its write side is still answered, matching --once.
+///
+/// Hot reload happens through the registry ({"op":"reload"} or the
+/// reload flag passed to Run): queries in flight finish on the engine
+/// snapshot they grabbed; new queries see the new engine.
+class Server {
+ public:
+  /// Binds 127.0.0.1:port, starts listening and spawns the serving
+  /// lanes. The listener is live when Start returns (port() is
+  /// resolved); call Run to start accepting.
+  static util::Result<std::unique_ptr<Server>> Start(
+      Registry* registry, const ServerOptions& options);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  int port() const { return port_; }
+
+  /// Accept loop on the calling thread. Returns — after draining queued
+  /// and in-flight connections — once *stop becomes nonzero. When
+  /// `reload` is non-null it is checked every wakeup: nonzero triggers
+  /// Registry::ReloadAll and the flag is cleared first (SIGHUP
+  /// semantics: a HUP landing mid-reload queues another pass). The
+  /// flags are lock-free atomics, which are both async-signal-safe (a
+  /// handler may store them) and race-free against this thread.
+  void Run(const std::atomic<int>* stop, std::atomic<int>* reload = nullptr);
+
+  /// Stops accepting, flushes what queued/in-flight connections already
+  /// sent, joins the lanes and closes the listener. Idempotent; called
+  /// by Run on exit and by the destructor.
+  void Stop();
+
+  uint64_t connections_served() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  uint64_t sheds() const { return sheds_.load(std::memory_order_relaxed); }
+
+ private:
+  Server(Registry* registry, const ServerOptions& options);
+
+  util::Status Bind();
+  void Lane();
+  void ServeConnection(int fd, core::LossKernel* kernel);
+  bool Respond(std::string line, core::LossKernel* kernel, int fd);
+  void Shed(int fd);
+
+  Registry* registry_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> sheds_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int> pending_;  // accepted fds waiting for a lane
+  bool stopping_ = false;
+  std::vector<std::jthread> lanes_;
+};
+
+}  // namespace limbo::serve
+
+#endif  // LIMBO_SERVE_SERVER_H_

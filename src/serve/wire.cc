@@ -1,0 +1,48 @@
+#include "serve/wire.h"
+
+#include "util/json.h"
+
+namespace limbo::serve {
+
+void AppendKey(const char* key, std::string* out) {
+  out->push_back('"');
+  *out += key;
+  *out += "\":";
+}
+
+void AppendStringField(const char* key, const std::string& value,
+                       std::string* out) {
+  AppendKey(key, out);
+  util::AppendJsonString(value, out);
+}
+
+void AppendNumberField(const char* key, double value, std::string* out) {
+  AppendKey(key, out);
+  util::AppendJsonNumber(value, out);
+}
+
+void AppendIntField(const char* key, uint64_t value, std::string* out) {
+  AppendKey(key, out);
+  *out += std::to_string(value);
+}
+
+void AppendBoolField(const char* key, bool value, std::string* out) {
+  AppendKey(key, out);
+  *out += value ? "true" : "false";
+}
+
+std::string ErrorResponse(const util::Status& status) {
+  return ErrorResponse(util::StatusCodeName(status.code()), status.message());
+}
+
+std::string ErrorResponse(const std::string& code,
+                          const std::string& message) {
+  std::string out = "{\"ok\":false,";
+  AppendStringField("code", code, &out);
+  out.push_back(',');
+  AppendStringField("error", message, &out);
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace limbo::serve

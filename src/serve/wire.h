@@ -1,0 +1,31 @@
+#ifndef LIMBO_SERVE_WIRE_H_
+#define LIMBO_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace limbo::serve {
+
+/// Builders for the NDJSON response wire format, shared by the engine,
+/// the registry and the TCP server so every layer emits the same shape.
+/// Each appends `"key":<value>` (no separators) to `out`.
+void AppendKey(const char* key, std::string* out);
+void AppendStringField(const char* key, const std::string& value,
+                       std::string* out);
+void AppendNumberField(const char* key, double value, std::string* out);
+void AppendIntField(const char* key, uint64_t value, std::string* out);
+void AppendBoolField(const char* key, bool value, std::string* out);
+
+/// {"ok":false,"code":"<StatusCodeName>","error":"<message>"} — the one
+/// error shape of the protocol.
+std::string ErrorResponse(const util::Status& status);
+
+/// Same shape with a caller-chosen code for conditions that have no
+/// util::StatusCode, e.g. "overloaded" for admission-control sheds.
+std::string ErrorResponse(const std::string& code, const std::string& message);
+
+}  // namespace limbo::serve
+
+#endif  // LIMBO_SERVE_WIRE_H_

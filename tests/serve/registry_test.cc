@@ -1,0 +1,314 @@
+#include "serve/registry.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/prob.h"
+#include "gtest/gtest.h"
+#include "model/fit.h"
+#include "model/model_bundle.h"
+#include "relation/relation.h"
+#include "util/json.h"
+
+namespace limbo::serve {
+namespace {
+
+using util::JsonValue;
+
+std::vector<std::vector<std::string>> TestRows() {
+  return {
+      {"Boston", "MA", "02134", "alice"}, {"Boston", "MA", "02134", "alice"},
+      {"Boston", "MA", "02134", "alice"}, {"Boston", "MA", "02134", "alice"},
+      {"Denver", "CO", "80201", "bob"},   {"Denver", "CO", "80201", "carol"},
+      {"Miami", "FL", "33101", "dave"},   {"Miami", "FL", "33101", "erin"},
+      {"Austin", "TX", "73301", "frank"}, {"Austin", "TX", "73301", "grace"},
+      {"Salem", "OR", "97301", "heidi"},  {"Salem", "OR", "97301", "ivan"},
+  };
+}
+
+relation::Relation TestRelation() {
+  auto schema = relation::Schema::Create({"City", "State", "Zip", "Name"});
+  EXPECT_TRUE(schema.ok());
+  relation::RelationBuilder builder(std::move(schema).value());
+  for (const auto& row : TestRows()) {
+    EXPECT_TRUE(builder.AddRow(row).ok());
+  }
+  return std::move(builder).Build();
+}
+
+/// Fits a k-cluster bundle over the shared test relation and freezes it
+/// to a unique temp path. Returns the path.
+std::string SaveBundle(size_t k, const std::string& tag) {
+  model::FitOptions options;
+  options.k = k;
+  auto bundle = model::FitModel(TestRelation(), options);
+  EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+  const std::string path = testing::TempDir() + "registry_test_" + tag +
+                           "_" + std::to_string(getpid()) + ".limbo";
+  EXPECT_TRUE(model::Save(*bundle, path).ok());
+  return path;
+}
+
+JsonValue ParseResponse(const std::string& response) {
+  auto parsed = util::ParseJson(response);
+  EXPECT_TRUE(parsed.ok()) << response;
+  EXPECT_EQ(parsed->kind, JsonValue::Kind::kObject) << response;
+  return std::move(parsed).value();
+}
+
+bool ResponseOk(const JsonValue& response) {
+  const JsonValue* ok = response.Find("ok");
+  return ok != nullptr && ok->kind == JsonValue::Kind::kBoolean &&
+         ok->boolean;
+}
+
+std::string ErrorCode(const JsonValue& response) {
+  const JsonValue* code = response.Find("code");
+  return code != nullptr && code->kind == JsonValue::Kind::kString
+             ? code->str
+             : "";
+}
+
+double NumberField(const JsonValue& response, const char* key) {
+  const JsonValue* field = response.Find(key);
+  EXPECT_NE(field, nullptr) << key;
+  if (field == nullptr) return -1.0;
+  if (field->kind == JsonValue::Kind::kInteger) {
+    return static_cast<double>(field->integer);
+  }
+  EXPECT_EQ(field->kind, JsonValue::Kind::kNumber) << key;
+  return field->number;
+}
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wide_path_ = SaveBundle(3, "wide");
+    narrow_path_ = SaveBundle(2, "narrow");
+  }
+
+  void TearDown() override {
+    ::unlink(wide_path_.c_str());
+    ::unlink(narrow_path_.c_str());
+  }
+
+  std::string wide_path_;
+  std::string narrow_path_;
+};
+
+TEST_F(RegistryTest, FirstModelBecomesDefault) {
+  Registry registry;
+  ASSERT_TRUE(registry.AddModel("wide", wide_path_).ok());
+  ASSERT_TRUE(registry.AddModel("narrow", narrow_path_).ok());
+  EXPECT_EQ(registry.NumModels(), 2u);
+  EXPECT_EQ(registry.DefaultName(), "wide");
+  ASSERT_TRUE(registry.SetDefault("narrow").ok());
+  EXPECT_EQ(registry.DefaultName(), "narrow");
+  EXPECT_FALSE(registry.SetDefault("missing").ok());
+}
+
+TEST_F(RegistryTest, DuplicateNameIsRejected) {
+  Registry registry;
+  ASSERT_TRUE(registry.AddModel("m", wide_path_).ok());
+  const util::Status status = registry.AddModel("m", narrow_path_);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(registry.NumModels(), 1u);
+}
+
+TEST_F(RegistryTest, MissingBundleRegistersNothing) {
+  Registry registry;
+  EXPECT_FALSE(registry.AddModel("m", "/nonexistent/never.limbo").ok());
+  EXPECT_EQ(registry.NumModels(), 0u);
+  EXPECT_EQ(registry.Lookup(""), nullptr);
+}
+
+TEST_F(RegistryTest, AddDirectoryScansSortedLimboFiles) {
+  const std::string dir =
+      testing::TempDir() + "registry_dir_" + std::to_string(getpid());
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  {
+    std::ifstream in(wide_path_, std::ios::binary);
+    std::ofstream a(dir + "/alpha.limbo", std::ios::binary);
+    a << in.rdbuf();
+  }
+  {
+    std::ifstream in(narrow_path_, std::ios::binary);
+    std::ofstream b(dir + "/beta.limbo", std::ios::binary);
+    b << in.rdbuf();
+  }
+  // Non-bundle files are ignored, not errors.
+  { std::ofstream skip(dir + "/notes.txt"); skip << "skip me\n"; }
+
+  Registry registry;
+  ASSERT_TRUE(registry.AddDirectory(dir).ok());
+  EXPECT_EQ(registry.NumModels(), 2u);
+  EXPECT_EQ(registry.DefaultName(), "alpha");  // lexicographic first
+  EXPECT_NE(registry.Lookup("beta"), nullptr);
+
+  Registry empty;
+  const std::string empty_dir = dir + "/nothing_here";
+  ASSERT_EQ(::mkdir(empty_dir.c_str(), 0755), 0);
+  EXPECT_FALSE(empty.AddDirectory(empty_dir).ok());
+
+  ::unlink((dir + "/alpha.limbo").c_str());
+  ::unlink((dir + "/beta.limbo").c_str());
+  ::unlink((dir + "/notes.txt").c_str());
+  ::rmdir(empty_dir.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST_F(RegistryTest, HandleLineRoutesByModelField) {
+  Registry registry;
+  ASSERT_TRUE(registry.AddModel("wide", wide_path_).ok());
+  ASSERT_TRUE(registry.AddModel("narrow", narrow_path_).ok());
+  core::LossKernel kernel;
+
+  const JsonValue wide_info = ParseResponse(
+      registry.HandleLine("{\"op\":\"info\",\"model\":\"wide\"}", &kernel));
+  ASSERT_TRUE(ResponseOk(wide_info));
+  EXPECT_EQ(NumberField(wide_info, "clusters"), 3.0);
+
+  const JsonValue narrow_info = ParseResponse(registry.HandleLine(
+      "{\"op\":\"info\",\"model\":\"narrow\"}", &kernel));
+  ASSERT_TRUE(ResponseOk(narrow_info));
+  EXPECT_EQ(NumberField(narrow_info, "clusters"), 2.0);
+
+  // No "model" field -> the default (first added) answers.
+  const JsonValue default_info =
+      ParseResponse(registry.HandleLine("{\"op\":\"info\"}", &kernel));
+  ASSERT_TRUE(ResponseOk(default_info));
+  EXPECT_EQ(NumberField(default_info, "clusters"), 3.0);
+}
+
+TEST_F(RegistryTest, UnknownModelIsNotFound) {
+  Registry registry;
+  ASSERT_TRUE(registry.AddModel("wide", wide_path_).ok());
+  core::LossKernel kernel;
+  const JsonValue response = ParseResponse(registry.HandleLine(
+      "{\"op\":\"info\",\"model\":\"missing\"}", &kernel));
+  EXPECT_FALSE(ResponseOk(response));
+  EXPECT_EQ(ErrorCode(response), "NotFound");
+  const JsonValue* error = response.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_NE(error->str.find("missing"), std::string::npos);
+}
+
+TEST_F(RegistryTest, NonStringModelFieldIsInvalid) {
+  Registry registry;
+  ASSERT_TRUE(registry.AddModel("wide", wide_path_).ok());
+  core::LossKernel kernel;
+  const JsonValue response = ParseResponse(
+      registry.HandleLine("{\"op\":\"info\",\"model\":7}", &kernel));
+  EXPECT_FALSE(ResponseOk(response));
+  EXPECT_EQ(ErrorCode(response), "InvalidArgument");
+}
+
+TEST_F(RegistryTest, ModelsOpReportsVersionsAndQueryCounts) {
+  Registry registry;
+  ASSERT_TRUE(registry.AddModel("wide", wide_path_).ok());
+  ASSERT_TRUE(registry.AddModel("narrow", narrow_path_).ok());
+  core::LossKernel kernel;
+  registry.HandleLine("{\"op\":\"info\",\"model\":\"narrow\"}", &kernel);
+  registry.HandleLine("{\"op\":\"info\",\"model\":\"narrow\"}", &kernel);
+  registry.HandleLine("{\"op\":\"info\"}", &kernel);  // default = wide
+
+  const std::vector<ModelInfo> models = registry.ListModels();
+  ASSERT_EQ(models.size(), 2u);
+  EXPECT_EQ(models[0].name, "wide");
+  EXPECT_EQ(models[0].version, 1u);
+  EXPECT_EQ(models[0].queries, 1u);
+  EXPECT_TRUE(models[0].is_default);
+  EXPECT_EQ(models[1].name, "narrow");
+  EXPECT_EQ(models[1].queries, 2u);
+  EXPECT_FALSE(models[1].is_default);
+
+  const JsonValue response =
+      ParseResponse(registry.HandleLine("{\"op\":\"models\"}", &kernel));
+  ASSERT_TRUE(ResponseOk(response));
+  const JsonValue* list = response.Find("models");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(list->array.size(), 2u);
+  const JsonValue* default_name = response.Find("default");
+  ASSERT_NE(default_name, nullptr);
+  EXPECT_EQ(default_name->str, "wide");
+}
+
+TEST_F(RegistryTest, ReloadBumpsVersionAndServesNewBundle) {
+  Registry registry;
+  ASSERT_TRUE(registry.AddModel("m", wide_path_).ok());
+  core::LossKernel kernel;
+  EXPECT_EQ(NumberField(
+                ParseResponse(registry.HandleLine("{\"op\":\"info\"}",
+                                                  &kernel)),
+                "clusters"),
+            3.0);
+
+  // Replace the bundle on disk with the 2-cluster fit, then hot reload:
+  // the same name must now answer from the new bundle.
+  {
+    std::ifstream in(narrow_path_, std::ios::binary);
+    std::ofstream out(wide_path_, std::ios::binary | std::ios::trunc);
+    out << in.rdbuf();
+  }
+  const JsonValue reload =
+      ParseResponse(registry.HandleLine("{\"op\":\"reload\"}", &kernel));
+  ASSERT_TRUE(ResponseOk(reload)) << "reload failed";
+  EXPECT_EQ(registry.ListModels()[0].version, 2u);
+  EXPECT_EQ(NumberField(
+                ParseResponse(registry.HandleLine("{\"op\":\"info\"}",
+                                                  &kernel)),
+                "clusters"),
+            2.0);
+}
+
+TEST_F(RegistryTest, FailedReloadKeepsOldEngineServing) {
+  Registry registry;
+  ASSERT_TRUE(registry.AddModel("m", wide_path_).ok());
+  const std::shared_ptr<const Engine> before = registry.Lookup("m");
+  ASSERT_NE(before, nullptr);
+
+  // Corrupt the on-disk bundle: the checksum check must reject it.
+  {
+    std::ofstream out(wide_path_, std::ios::binary | std::ios::trunc);
+    out << "not a limbo bundle";
+  }
+  const util::Status status = registry.Reload("m");
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("old model kept"), std::string::npos)
+      << status.ToString();
+
+  // Old engine still serving, version unchanged.
+  EXPECT_EQ(registry.Lookup("m"), before);
+  EXPECT_EQ(registry.ListModels()[0].version, 1u);
+  core::LossKernel kernel;
+  const JsonValue info =
+      ParseResponse(registry.HandleLine("{\"op\":\"info\"}", &kernel));
+  ASSERT_TRUE(ResponseOk(info));
+  EXPECT_EQ(NumberField(info, "clusters"), 3.0);
+
+  // The failed attempt is visible through the admin protocol too.
+  const JsonValue reload =
+      ParseResponse(registry.HandleLine("{\"op\":\"reload\"}", &kernel));
+  EXPECT_FALSE(ResponseOk(reload));
+  EXPECT_EQ(ErrorCode(reload), "FailedPrecondition");
+}
+
+TEST_F(RegistryTest, ReloadOfUnknownModelFails) {
+  Registry registry;
+  ASSERT_TRUE(registry.AddModel("m", wide_path_).ok());
+  EXPECT_FALSE(registry.Reload("missing").ok());
+  core::LossKernel kernel;
+  const JsonValue response = ParseResponse(registry.HandleLine(
+      "{\"op\":\"reload\",\"model\":\"missing\"}", &kernel));
+  EXPECT_FALSE(ResponseOk(response));
+  EXPECT_EQ(ErrorCode(response), "NotFound");
+}
+
+}  // namespace
+}  // namespace limbo::serve

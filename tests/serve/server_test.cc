@@ -1,0 +1,499 @@
+// In-process TCP integration tests for serve::Server: the connection-
+// handling regressions (SIGPIPE, EINTR, final-line flush, shed), model
+// routing over the wire, and hot reload under concurrent load.
+
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/prob.h"
+#include "gtest/gtest.h"
+#include "model/fit.h"
+#include "model/model_bundle.h"
+#include "relation/relation.h"
+#include "serve/registry.h"
+#include "util/json.h"
+
+namespace limbo::serve {
+namespace {
+
+std::vector<std::vector<std::string>> TestRows() {
+  return {
+      {"Boston", "MA", "02134", "alice"}, {"Boston", "MA", "02134", "alice"},
+      {"Boston", "MA", "02134", "alice"}, {"Boston", "MA", "02134", "alice"},
+      {"Denver", "CO", "80201", "bob"},   {"Denver", "CO", "80201", "carol"},
+      {"Miami", "FL", "33101", "dave"},   {"Miami", "FL", "33101", "erin"},
+      {"Austin", "TX", "73301", "frank"}, {"Austin", "TX", "73301", "grace"},
+      {"Salem", "OR", "97301", "heidi"},  {"Salem", "OR", "97301", "ivan"},
+  };
+}
+
+relation::Relation TestRelation() {
+  auto schema = relation::Schema::Create({"City", "State", "Zip", "Name"});
+  EXPECT_TRUE(schema.ok());
+  relation::RelationBuilder builder(std::move(schema).value());
+  for (const auto& row : TestRows()) {
+    EXPECT_TRUE(builder.AddRow(row).ok());
+  }
+  return std::move(builder).Build();
+}
+
+std::string SaveBundle(size_t k, const std::string& tag) {
+  model::FitOptions options;
+  options.k = k;
+  auto bundle = model::FitModel(TestRelation(), options);
+  EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+  const std::string path = testing::TempDir() + "server_test_" + tag + "_" +
+                           std::to_string(getpid()) + ".limbo";
+  EXPECT_TRUE(model::Save(*bundle, path).ok());
+  return path;
+}
+
+/// Minimal blocking loopback client. Sends use MSG_NOSIGNAL so a test
+/// never dies of SIGPIPE itself; reads are newline-framed with a
+/// deadline so a server bug fails the test instead of hanging it.
+class TestClient {
+ public:
+  ~TestClient() { Close(); }
+
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    int rc;
+    do {
+      rc = ::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+      Close();
+      return false;
+    }
+    return true;
+  }
+
+  bool Send(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t w =
+          ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (w < 0 && errno == EINTR) continue;
+      if (w <= 0) return false;
+      sent += static_cast<size_t>(w);
+    }
+    return true;
+  }
+
+  bool SendLine(const std::string& line) { return Send(line + "\n"); }
+
+  /// One '\n'-terminated response, newline stripped. False on error,
+  /// close, or a 5s deadline (server hung).
+  bool ReadLine(std::string* line) {
+    line->clear();
+    for (int spins = 0; spins < 500; ++spins) {
+      const size_t newline = buffered_.find('\n');
+      if (newline != std::string::npos) {
+        line->assign(buffered_, 0, newline);
+        buffered_.erase(0, newline + 1);
+        return true;
+      }
+      struct pollfd pfd = {fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 10);
+      if (ready < 0 && errno != EINTR) return false;
+      if (ready <= 0) continue;
+      char chunk[4096];
+      ssize_t n;
+      do {
+        n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      } while (n < 0 && errno == EINTR);
+      if (n == 0) {
+        // Orderly close: a final unterminated payload counts as a line.
+        if (buffered_.empty()) return false;
+        line->swap(buffered_);
+        return true;
+      }
+      if (n < 0) return false;
+      buffered_.append(chunk, static_cast<size_t>(n));
+    }
+    return false;  // deadline
+  }
+
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffered_;
+};
+
+/// Fixture: a two-model registry (wide k=3, narrow k=2) behind a live
+/// server whose acceptor runs on a fixture-owned thread.
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(size_t workers = 2, size_t max_pending = 128) {
+    signal(SIGPIPE, SIG_IGN);  // the daemon does this too
+    wide_path_ = SaveBundle(3, "wide");
+    narrow_path_ = SaveBundle(2, "narrow");
+    ASSERT_TRUE(registry_.AddModel("wide", wide_path_).ok());
+    ASSERT_TRUE(registry_.AddModel("narrow", narrow_path_).ok());
+    ServerOptions options;
+    options.port = 0;
+    options.workers = workers;
+    options.max_pending = max_pending;
+    options.poll_ms = 10;
+    auto server = Server::Start(&registry_, options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).value();
+    stop_.store(0);
+    reload_.store(0);
+    acceptor_ = std::thread(
+        [this] { server_->Run(&stop_, &reload_); });
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      stop_.store(1);
+      acceptor_.join();
+      server_.reset();
+    }
+    if (!wide_path_.empty()) ::unlink(wide_path_.c_str());
+    if (!narrow_path_.empty()) ::unlink(narrow_path_.c_str());
+  }
+
+  int port() const { return server_->port(); }
+
+  Registry registry_;
+  std::unique_ptr<Server> server_;
+  std::thread acceptor_;
+  std::atomic<int> stop_{0};
+  std::atomic<int> reload_{0};
+  std::string wide_path_;
+  std::string narrow_path_;
+};
+
+/// The expected response for a query, computed straight through the
+/// registry (the TCP path must be byte-identical to it).
+std::string Expected(Registry* registry, const std::string& query) {
+  core::LossKernel kernel;
+  return registry->HandleLine(query, &kernel);
+}
+
+TEST_F(ServerTest, RoutesQueriesByModelOverTcp) {
+  StartServer();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  std::string response;
+
+  ASSERT_TRUE(client.SendLine("{\"op\":\"info\",\"model\":\"wide\"}"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"clusters\":3"), std::string::npos) << response;
+
+  ASSERT_TRUE(client.SendLine("{\"op\":\"info\",\"model\":\"narrow\"}"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"clusters\":2"), std::string::npos) << response;
+
+  // Default model (first registered) answers when "model" is omitted.
+  ASSERT_TRUE(client.SendLine("{\"op\":\"info\"}"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"clusters\":3"), std::string::npos) << response;
+
+  ASSERT_TRUE(client.SendLine("{\"op\":\"info\",\"model\":\"missing\"}"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"code\":\"NotFound\""), std::string::npos)
+      << response;
+
+  // The connection survived the error and still answers.
+  ASSERT_TRUE(client.SendLine("{\"op\":\"models\"}"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"default\":\"wide\""), std::string::npos)
+      << response;
+}
+
+TEST_F(ServerTest, TcpMatchesRegistryByteForByte) {
+  StartServer();
+  const std::vector<std::string> queries = {
+      "{\"op\":\"assign\",\"row\":[\"Boston\",\"MA\",\"02134\",\"alice\"]}",
+      "{\"op\":\"assign\",\"model\":\"narrow\","
+      "\"row\":[\"Miami\",\"FL\",\"33101\",\"dave\"]}",
+      "{\"op\":\"info\",\"model\":\"narrow\"}",
+      "{\"op\":\"attrs\"}",
+      "not json at all",
+  };
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  for (const std::string& query : queries) {
+    std::string response;
+    ASSERT_TRUE(client.SendLine(query));
+    ASSERT_TRUE(client.ReadLine(&response));
+    EXPECT_EQ(response, Expected(&registry_, query)) << query;
+  }
+}
+
+// Regression (satellite 1): a client that vanishes between request and
+// response must not bring the daemon down with SIGPIPE. The response
+// send hits a dead peer; with MSG_NOSIGNAL that is an EPIPE on one
+// connection, and the server keeps serving everyone else.
+TEST_F(ServerTest, AbruptClientDisconnectDoesNotKillServer) {
+  StartServer(/*workers=*/2);
+  for (int round = 0; round < 20; ++round) {
+    TestClient doomed;
+    ASSERT_TRUE(doomed.Connect(port()));
+    // Large-ish op so the response spans several sends; close without
+    // reading any of it.
+    ASSERT_TRUE(doomed.SendLine("{\"op\":\"fds\",\"limit\":50}"));
+    doomed.Close();
+  }
+  // The server is still alive and correct.
+  TestClient checker;
+  ASSERT_TRUE(checker.Connect(port()));
+  std::string response;
+  ASSERT_TRUE(checker.SendLine("{\"op\":\"info\"}"));
+  ASSERT_TRUE(checker.ReadLine(&response));
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+}
+
+// Regression (satellite 4): the final query of a connection that shuts
+// down its write side without a trailing newline is still answered.
+TEST_F(ServerTest, FinalLineWithoutNewlineIsAnswered) {
+  StartServer();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  std::string response;
+  ASSERT_TRUE(client.SendLine("{\"op\":\"info\"}"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  ASSERT_TRUE(client.Send("{\"op\":\"info\",\"model\":\"narrow\"}"));
+  client.ShutdownWrite();
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"clusters\":2"), std::string::npos) << response;
+}
+
+// Regression (satellite 2): a signal storm against the serving process
+// must not drop connections or corrupt responses — every blocked socket
+// call gets EINTR-retried. The handler is installed without SA_RESTART
+// (like the daemon's) so the syscalls really do see EINTR.
+TEST_F(ServerTest, SurvivesSignalStorm) {
+  struct sigaction sa = {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, nullptr), 0);
+
+  StartServer(/*workers=*/2);
+  std::atomic<bool> storming{true};
+  std::thread storm([&storming] {
+    while (storming.load()) {
+      ::kill(getpid(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  const std::string query = "{\"op\":\"fds\",\"limit\":20}";
+  const std::string want = Expected(&registry_, query);
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  for (int i = 0; i < 200; ++i) {
+    std::string response;
+    ASSERT_TRUE(client.SendLine(query)) << "send failed at " << i;
+    ASSERT_TRUE(client.ReadLine(&response)) << "read failed at " << i;
+    ASSERT_EQ(response, want) << "corrupted at " << i;
+  }
+  storming.store(false);
+  storm.join();
+}
+
+// Admission control: with one lane occupied and a pending queue of one,
+// a third concurrent connection is shed immediately with "overloaded"
+// rather than waiting behind the slow client.
+TEST_F(ServerTest, ShedsWhenPendingQueueFull) {
+  StartServer(/*workers=*/1, /*max_pending=*/1);
+
+  // Occupy the single lane: connect and get an answer, keep it open.
+  TestClient busy;
+  ASSERT_TRUE(busy.Connect(port()));
+  std::string response;
+  ASSERT_TRUE(busy.SendLine("{\"op\":\"info\"}"));
+  ASSERT_TRUE(busy.ReadLine(&response));
+
+  // Fill the pending queue (never served while `busy` holds the lane).
+  TestClient waiting;
+  ASSERT_TRUE(waiting.Connect(port()));
+  // Give the acceptor a beat to queue it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Overflow: must be shed with the documented error, not queued.
+  bool shed_seen = false;
+  for (int attempt = 0; attempt < 50 && !shed_seen; ++attempt) {
+    TestClient overflow;
+    ASSERT_TRUE(overflow.Connect(port()));
+    std::string reply;
+    if (overflow.ReadLine(&reply) &&
+        reply.find("\"code\":\"overloaded\"") != std::string::npos) {
+      shed_seen = true;
+    }
+  }
+  EXPECT_TRUE(shed_seen);
+  EXPECT_GE(server_->sheds(), 1u);
+
+  // The busy connection is unaffected by the shedding.
+  ASSERT_TRUE(busy.SendLine("{\"op\":\"info\"}"));
+  ASSERT_TRUE(busy.ReadLine(&response));
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+}
+
+// The tentpole guarantee: hot reload under live concurrent traffic
+// drops nothing and never serves a half-loaded model. Clients hammer
+// both models with known-answer queries while reloads fire; every
+// response must be byte-identical to one of the model's valid states
+// (here the bundle file never changes, so THE valid state).
+TEST_F(ServerTest, ReloadUnderLoadDropsNothing) {
+  StartServer(/*workers=*/4);
+  const char* models[2] = {"wide", "narrow"};
+  std::string queries[2];
+  std::string want[2];
+  for (int m = 0; m < 2; ++m) {
+    queries[m] = std::string("{\"op\":\"assign\",\"model\":\"") + models[m] +
+                 "\",\"row\":[\"Denver\",\"CO\",\"80201\",\"bob\"]}";
+    want[m] = Expected(&registry_, queries[m]);
+  }
+
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> answered{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      const int m = c % 2;
+      TestClient client;
+      if (!client.Connect(port())) {
+        failed.store(true);
+        return;
+      }
+      for (int i = 0; i < 150 && !failed.load(); ++i) {
+        std::string response;
+        if (!client.SendLine(queries[m]) || !client.ReadLine(&response) ||
+            response != want[m]) {
+          failed.store(true);
+          return;
+        }
+        answered.fetch_add(1);
+      }
+    });
+  }
+
+  // ~20 blue/green reloads through the admin protocol, mid-traffic.
+  TestClient admin;
+  ASSERT_TRUE(admin.Connect(port()));
+  uint64_t reloads_ok = 0;
+  for (int r = 0; r < 20; ++r) {
+    std::string response;
+    ASSERT_TRUE(admin.SendLine("{\"op\":\"reload\"}"));
+    ASSERT_TRUE(admin.ReadLine(&response));
+    if (response.find("\"ok\":true") != std::string::npos) ++reloads_ok;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_FALSE(failed.load()) << "a response was dropped or mixed";
+  EXPECT_EQ(answered.load(), 4u * 150u);
+  EXPECT_EQ(reloads_ok, 20u);
+  // 20 reloads x 2 models, versions end at 21.
+  for (const ModelInfo& info : registry_.ListModels()) {
+    EXPECT_EQ(info.version, 21u) << info.name;
+  }
+}
+
+// SIGHUP semantics: the reload flag handed to Run triggers ReloadAll
+// without dropping the connection that is mid-conversation.
+TEST_F(ServerTest, ReloadFlagTriggersReloadAll) {
+  StartServer();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port()));
+  std::string response;
+  ASSERT_TRUE(client.SendLine("{\"op\":\"info\"}"));
+  ASSERT_TRUE(client.ReadLine(&response));
+
+  reload_.store(1);  // what the SIGHUP handler does
+  // The acceptor clears the flag before it starts reloading (so a HUP
+  // arriving mid-reload queues another pass), so poll the versions.
+  bool reloaded = false;
+  for (int spins = 0; spins < 500 && !reloaded; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    reloaded = true;
+    for (const ModelInfo& info : registry_.ListModels()) {
+      reloaded = reloaded && info.version == 2u;
+    }
+  }
+  EXPECT_TRUE(reloaded);
+  EXPECT_EQ(reload_.load(), 0);
+
+  // Same connection, still fine, now served by the v2 engines.
+  ASSERT_TRUE(client.SendLine("{\"op\":\"info\",\"model\":\"narrow\"}"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"clusters\":2"), std::string::npos) << response;
+}
+
+// Responses over TCP are bit-identical at every worker count (each lane
+// owns its LossKernel; assignment is a pure function of row and model).
+TEST_F(ServerTest, BitIdenticalAcrossWorkerCounts) {
+  StartServer(/*workers=*/4);
+  std::vector<std::string> queries;
+  for (const auto& row : TestRows()) {
+    std::string q = "{\"op\":\"assign\",\"row\":[";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) q.push_back(',');
+      util::AppendJsonString(row[i], &q);
+    }
+    q += "]}";
+    queries.push_back(std::move(q));
+  }
+  std::vector<std::string> want;
+  want.reserve(queries.size());
+  for (const std::string& query : queries) {
+    want.push_back(Expected(&registry_, query));
+  }
+
+  // 4 concurrent connections, all sending the full query set.
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      TestClient client;
+      if (!client.Connect(port())) {
+        failed.store(true);
+        return;
+      }
+      for (size_t i = 0; i < queries.size(); ++i) {
+        std::string response;
+        if (!client.SendLine(queries[i]) || !client.ReadLine(&response) ||
+            response != want[i]) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace limbo::serve

@@ -5,10 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -197,6 +204,315 @@ TEST(ServeCliTest, NoArgumentsPrintsUsage) {
   const RunResult r = RunCommand(std::string(LIMBO_SERVE_PATH));
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+// Satellite 3: --port is validated as an integer in [0, 65535] instead
+// of being fed through std::atoi (which maps garbage to 0 and silently
+// truncates out-of-range ports).
+TEST(ServeCliTest, PortRejectsNonInteger) {
+  const RunResult r = RunCommand(std::string(LIMBO_SERVE_PATH) + " " +
+                                 SharedFixture().bundle + " --port=abc");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--port"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[0, 65535]"), std::string::npos) << r.output;
+}
+
+TEST(ServeCliTest, PortRejectsOutOfRange) {
+  const RunResult r = RunCommand(std::string(LIMBO_SERVE_PATH) + " " +
+                                 SharedFixture().bundle + " --port=70000");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--port"), std::string::npos) << r.output;
+}
+
+TEST(ServeCliTest, PortRejectsNegativeAndTrailingGarbage) {
+  RunResult r = RunCommand(std::string(LIMBO_SERVE_PATH) + " " +
+                           SharedFixture().bundle + " --port=-1");
+  EXPECT_EQ(r.exit_code, 2);
+  r = RunCommand(std::string(LIMBO_SERVE_PATH) + " " +
+                 SharedFixture().bundle + " --port=7070x");
+  EXPECT_EQ(r.exit_code, 2);
+  r = RunCommand(std::string(LIMBO_SERVE_PATH) + " " +
+                 SharedFixture().bundle + " --port=");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+/// A second bundle (k=2) fitted over the same CSV, for registry tests.
+const std::string& CoarseBundle() {
+  static const std::string path = [] {
+    const std::string p = ::testing::TempDir() + "/limbo_serve_cli_k2." +
+                          std::to_string(getpid()) + ".limbo";
+    const RunResult r =
+        RunCommand(std::string(LIMBO_TOOL_PATH) + " fit " +
+                   SharedFixture().csv + " --k=2 --model-out=" + p);
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    return p;
+  }();
+  return path;
+}
+
+// Multi-model registry through the CLI: a positional bundle plus a
+// --model flag, routed by the "model" query field.
+TEST(ServeCliTest, OnceModeRoutesAcrossRegistry) {
+  const std::vector<std::string> responses =
+      ServeOnce({"{\"op\":\"models\"}",
+                 "{\"op\":\"info\",\"model\":\"coarse\"}",
+                 "{\"op\":\"info\"}",
+                 "{\"op\":\"info\",\"model\":\"missing\"}"},
+                "--model=coarse=" + CoarseBundle());
+  ASSERT_EQ(responses.size(), 4u);
+  // Two models; the positional bundle (file stem) is the default.
+  EXPECT_NE(responses[0].find("\"model\":\"coarse\""), std::string::npos)
+      << responses[0];
+  EXPECT_NE(responses[0].find("\"is_default\":true"), std::string::npos)
+      << responses[0];
+  EXPECT_NE(responses[1].find("\"clusters\":2"), std::string::npos)
+      << responses[1];
+  EXPECT_NE(responses[2].find("\"clusters\":5"), std::string::npos)
+      << responses[2];
+  EXPECT_NE(responses[3].find("\"code\":\"NotFound\""), std::string::npos)
+      << responses[3];
+}
+
+TEST(ServeCliTest, DefaultModelFlagSelectsTheDefault) {
+  const std::vector<std::string> responses = ServeOnce(
+      {"{\"op\":\"info\"}"},
+      "--model=coarse=" + CoarseBundle() + " --default-model=coarse");
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_NE(responses[0].find("\"clusters\":2"), std::string::npos)
+      << responses[0];
+}
+
+/// A forked limbo-serve daemon on an ephemeral port: the fixture execs
+/// the real binary, parses the port from its "listening on" line, and
+/// delivers signals to it like init/systemd would.
+class Daemon {
+ public:
+  ~Daemon() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+    if (out_fd_ >= 0) ::close(out_fd_);
+  }
+
+  bool Start(const std::string& extra_flags) {
+    int out_pipe[2];
+    if (::pipe(out_pipe) != 0) return false;
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::dup2(out_pipe[1], STDOUT_FILENO);
+      ::close(out_pipe[0]);
+      ::close(out_pipe[1]);
+      const std::string cmd = std::string("exec ") + LIMBO_SERVE_PATH + " " +
+                              SharedFixture().bundle + " --port=0 " +
+                              extra_flags;
+      ::execl("/bin/sh", "sh", "-c", cmd.c_str(),
+              static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    ::close(out_pipe[1]);
+    out_fd_ = out_pipe[0];
+    std::string line;
+    char c;
+    while (line.find('\n') == std::string::npos) {
+      const ssize_t n = ::read(out_fd_, &c, 1);
+      if (n <= 0) return false;
+      line.push_back(c);
+    }
+    return std::sscanf(line.c_str(), "limbo-serve: listening on 127.0.0.1:%d",
+                       &port_) == 1;
+  }
+
+  int port() const { return port_; }
+
+  void Signal(int sig) const { ::kill(pid_, sig); }
+
+  /// SIGTERM, then collect the exit status and whatever stdout remains.
+  int WaitForCleanExit(std::string* tail) {
+    Signal(SIGTERM);
+    char buffer[1024];
+    ssize_t n;
+    while ((n = ::read(out_fd_, buffer, sizeof(buffer))) > 0) {
+      tail->append(buffer, static_cast<size_t>(n));
+    }
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int out_fd_ = -1;
+  int port_ = 0;
+};
+
+/// Blocking loopback client against the daemon (sends never raise
+/// SIGPIPE in the test itself).
+class RawClient {
+ public:
+  ~RawClient() { Close(); }
+
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      Close();
+      return false;
+    }
+    return true;
+  }
+
+  bool Send(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t w =
+          ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (w < 0 && errno == EINTR) continue;
+      if (w <= 0) return false;
+      sent += static_cast<size_t>(w);
+    }
+    return true;
+  }
+
+  bool ReadLine(std::string* line) {
+    line->clear();
+    for (int spins = 0; spins < 500; ++spins) {
+      const size_t newline = buffered_.find('\n');
+      if (newline != std::string::npos) {
+        line->assign(buffered_, 0, newline);
+        buffered_.erase(0, newline + 1);
+        return true;
+      }
+      struct pollfd pfd = {fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 10);
+      if (ready < 0 && errno != EINTR) return false;
+      if (ready <= 0) continue;
+      char chunk[4096];
+      ssize_t n;
+      do {
+        n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      } while (n < 0 && errno == EINTR);
+      if (n == 0) {
+        if (buffered_.empty()) return false;
+        line->swap(buffered_);
+        return true;
+      }
+      if (n < 0) return false;
+      buffered_.append(chunk, static_cast<size_t>(n));
+    }
+    return false;
+  }
+
+  void ShutdownWrite() const { ::shutdown(fd_, SHUT_WR); }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffered_;
+};
+
+TEST(ServeDaemonTest, AnswersOverTcpAndExitsCleanlyOnSigterm) {
+  Daemon daemon;
+  ASSERT_TRUE(daemon.Start(""));
+  RawClient client;
+  ASSERT_TRUE(client.Connect(daemon.port()));
+  std::string response;
+  ASSERT_TRUE(client.Send("{\"op\":\"info\"}\n"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"clusters\":5"), std::string::npos) << response;
+  client.Close();
+
+  std::string tail;
+  EXPECT_EQ(daemon.WaitForCleanExit(&tail), 0) << tail;
+  EXPECT_NE(tail.find("shut down cleanly"), std::string::npos) << tail;
+}
+
+// Satellite 1 regression, against the real binary: a client killed
+// between request and response used to take the whole daemon down with
+// SIGPIPE mid-send.
+TEST(ServeDaemonTest, SurvivesClientKilledBeforeResponse) {
+  Daemon daemon;
+  ASSERT_TRUE(daemon.Start("--workers=2"));
+  for (int round = 0; round < 10; ++round) {
+    RawClient doomed;
+    ASSERT_TRUE(doomed.Connect(daemon.port()));
+    ASSERT_TRUE(doomed.Send("{\"op\":\"fds\",\"limit\":50}\n"));
+    doomed.Close();  // vanish without reading the response
+  }
+  RawClient checker;
+  ASSERT_TRUE(checker.Connect(daemon.port()));
+  std::string response;
+  ASSERT_TRUE(checker.Send("{\"op\":\"info\"}\n"));
+  ASSERT_TRUE(checker.ReadLine(&response));
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+  checker.Close();
+
+  std::string tail;
+  EXPECT_EQ(daemon.WaitForCleanExit(&tail), 0) << tail;
+}
+
+// Satellite 2 regression: SIGHUP (hot reload) mid-conversation must not
+// drop the connection — the EINTR it causes in blocked socket calls is
+// retried, and the same connection keeps answering, now at version 2.
+TEST(ServeDaemonTest, SighupReloadsWithoutDroppingConnections) {
+  Daemon daemon;
+  ASSERT_TRUE(daemon.Start("--model=coarse=" + CoarseBundle()));
+  RawClient client;
+  ASSERT_TRUE(client.Connect(daemon.port()));
+  std::string response;
+  ASSERT_TRUE(client.Send("{\"op\":\"info\",\"model\":\"coarse\"}\n"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"clusters\":2"), std::string::npos) << response;
+
+  daemon.Signal(SIGHUP);
+  // The acceptor observes the flag within its poll interval; poll until
+  // the models op reports the bumped versions.
+  bool reloaded = false;
+  for (int spins = 0; spins < 100 && !reloaded; ++spins) {
+    ::usleep(20000);
+    ASSERT_TRUE(client.Send("{\"op\":\"models\"}\n"));
+    ASSERT_TRUE(client.ReadLine(&response));
+    reloaded = response.find("\"version\":2") != std::string::npos;
+  }
+  EXPECT_TRUE(reloaded) << response;
+
+  // Same connection, still serving.
+  ASSERT_TRUE(client.Send("{\"op\":\"info\",\"model\":\"coarse\"}\n"));
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"clusters\":2"), std::string::npos) << response;
+  client.Close();
+
+  std::string tail;
+  EXPECT_EQ(daemon.WaitForCleanExit(&tail), 0) << tail;
+}
+
+// Satellite 4 regression: the final query of a connection, sent without
+// a trailing newline before shutdown(SHUT_WR), is still answered.
+TEST(ServeDaemonTest, AnswersFinalQueryWithoutNewline) {
+  Daemon daemon;
+  ASSERT_TRUE(daemon.Start(""));
+  RawClient client;
+  ASSERT_TRUE(client.Connect(daemon.port()));
+  ASSERT_TRUE(client.Send("{\"op\":\"info\"}"));  // no newline
+  client.ShutdownWrite();
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_NE(response.find("\"clusters\":5"), std::string::npos) << response;
+  client.Close();
+
+  std::string tail;
+  EXPECT_EQ(daemon.WaitForCleanExit(&tail), 0) << tail;
 }
 
 }  // namespace

@@ -1,11 +1,17 @@
-// limbo-serve: online query daemon over a frozen .limbo model bundle.
+// limbo-serve: online query daemon over frozen .limbo model bundles.
 //
-//   limbo-serve model.limbo [--port=7070] [--workers=1] [--oov=drop|strict]
-//   limbo-serve model.limbo --once [--workers=1] [--query=<json> ...]
+//   limbo-serve model.limbo [flags]
+//   limbo-serve --model name=path [--model name2=path2 ...] [flags]
+//   limbo-serve --models-dir=dir [flags]
 //
-// The bundle (written by `limbo-tool fit`) is loaded once; every query
-// after that is answered from memory. The protocol is newline-delimited
-// JSON, one object per line, identical over TCP and --once:
+// Flags: [--port=7070] [--workers=1] [--max-pending=128]
+//        [--default-model=name] [--oov=drop|strict]
+//        [--once] [--query=<json> ...]
+//
+// Every registered bundle (written by `limbo-tool fit`) is loaded once;
+// every query after that is answered from memory. The protocol is
+// newline-delimited JSON, one object per line, identical over TCP and
+// --once:
 //
 //   {"op":"assign","row":["a","b","c"]}      -> cluster id + loss
 //   {"op":"assign","csv":"a,b,c"}            -> same, raw CSV record
@@ -14,10 +20,14 @@
 //   {"op":"attrs"}                           -> attribute dendrogram
 //   {"op":"fds","limit":10}                  -> ranked dependencies
 //   {"op":"info"}                            -> model metadata
+//   {"op":"models"}                          -> the registry (admin)
+//   {"op":"reload"[,"model":"name"]}         -> blue/green hot reload
 //
-// Responses are one JSON object per line: {"ok":true,...} on success,
-// {"ok":false,"code":...,"error":...} on any malformed or unanswerable
-// query (the process never exits on a bad query).
+// Any query may carry a "model" field naming the bundle it targets; the
+// default model (the first registered, or --default-model) answers when
+// it is omitted. Responses are one JSON object per line: {"ok":true,...}
+// on success, {"ok":false,"code":...,"error":...} on any malformed or
+// unanswerable query (the process never exits on a bad query).
 //
 // --once reads queries from --query flags (in order) or stdin, writes
 // responses to stdout and exits — the mode the tests, CI smoke job and
@@ -25,68 +35,171 @@
 // --workers count: assignment is a pure function of (row, bundle).
 //
 // TCP mode accepts connections on --port (0 = ephemeral; the chosen port
-// is printed) across --workers accept lanes and shuts down cleanly on
-// SIGINT/SIGTERM, draining in-flight connections first.
+// is printed) into a bounded pending queue drained by --workers serving
+// lanes; connections beyond --max-pending are shed immediately with
+// {"ok":false,"code":"overloaded",...}. SIGHUP hot-reloads every model
+// (in-flight queries finish on their engine snapshot; none is dropped),
+// and SIGINT/SIGTERM shut down cleanly, draining in-flight connections
+// first. SIGPIPE is ignored: a client disconnecting mid-response only
+// ends that connection, never the daemon.
 //
 // Unknown flags are rejected with exit code 2 (doc_check relies on that).
 
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cctype>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/prob.h"
-#include "obs/counters.h"
-#include "serve/engine.h"
+#include "serve/registry.h"
+#include "serve/server.h"
 #include "util/parallel.h"
 
 namespace {
 
 using namespace limbo;  // NOLINT
 
-volatile std::sig_atomic_t g_shutdown = 0;
+// Lock-free atomics are async-signal-safe, so the handler may store
+// them and the acceptor thread may read them without a data race.
+std::atomic<int> g_shutdown{0};
+std::atomic<int> g_reload{0};
 
-void HandleSignal(int) { g_shutdown = 1; }
+void HandleSignal(int sig) {
+  if (sig == SIGHUP) {
+    g_reload.store(1, std::memory_order_relaxed);
+  } else {
+    g_shutdown.store(1, std::memory_order_relaxed);
+  }
+}
+
+/// Installs the daemon's signal disposition: SIGINT/SIGTERM drain and
+/// exit, SIGHUP hot-reloads, SIGPIPE is ignored (a peer closing
+/// mid-response must surface as a send error on that connection, not
+/// kill the process). Deliberately no SA_RESTART: blocked socket calls
+/// return EINTR so the flags are observed promptly — the socket path
+/// retries EINTR everywhere.
+void InstallSignalHandlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = HandleSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGHUP, &sa, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+}
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: limbo-serve model.limbo [--port=7070] [--workers=1] "
-               "[--oov=drop|strict] [--once] [--query=<json> ...]\n");
+  std::fprintf(
+      stderr,
+      "usage: limbo-serve model.limbo [--model name=path ...]\n"
+      "                   [--models-dir=dir] [--default-model=name]\n"
+      "                   [--port=7070] [--workers=1] [--max-pending=128]\n"
+      "                   [--oov=drop|strict] [--once] [--query=<json> ...]\n");
   return 2;
 }
 
 struct ServeArgs {
-  std::string model_path;
+  std::vector<std::pair<std::string, std::string>> models;  // name -> path
+  std::vector<std::string> model_dirs;
+  std::string default_model;
   int port = 7070;
   size_t workers = 1;
+  size_t max_pending = 128;
   serve::OovPolicy oov = serve::OovPolicy::kDrop;
   bool once = false;
   std::vector<std::string> queries;
 };
 
+/// Strict base-10 unsigned parse: every byte a digit, value <= max.
+/// Rejects what std::atoi silently mangles ("abc" -> 0, 70000 -> u16
+/// truncation, "7070x" -> 7070).
+bool ParseBoundedInt(const std::string& value, unsigned long max,
+                     unsigned long* out) {
+  if (value.empty() || value.size() > 10) return false;
+  for (const char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  const unsigned long parsed = std::stoul(value);
+  if (parsed > max) return false;
+  *out = parsed;
+  return true;
+}
+
+/// "name.limbo" -> "name": the registry name of a positional bundle.
+std::string ModelNameFromPath(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = stem.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) stem = stem.substr(0, dot);
+  return stem.empty() ? "default" : stem;
+}
+
 bool ParseServeArgs(int argc, char** argv, ServeArgs* args) {
-  if (argc < 2) return false;
-  args->model_path = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) return false;
+    if (arg.rfind("--", 0) != 0) {
+      // Positional bundle path, registered under its file stem.
+      args->models.emplace_back(ModelNameFromPath(arg), arg);
+      continue;
+    }
     const size_t eq = arg.find('=');
     const std::string key =
         eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
     const std::string value =
         eq == std::string::npos ? "1" : arg.substr(eq + 1);
     if (key == "port") {
-      args->port = std::atoi(value.c_str());
+      unsigned long port = 0;
+      if (eq == std::string::npos ||
+          !ParseBoundedInt(value, 65535, &port)) {
+        std::fprintf(stderr,
+                     "limbo-serve: --port must be an integer in [0, 65535], "
+                     "got \"%s\"\n",
+                     eq == std::string::npos ? "" : value.c_str());
+        return false;
+      }
+      args->port = static_cast<int>(port);
     } else if (key == "workers") {
-      args->workers = static_cast<size_t>(std::atoll(value.c_str()));
-      if (args->workers == 0) args->workers = 1;
+      unsigned long workers = 0;
+      if (!ParseBoundedInt(value, 4096, &workers) || workers == 0) {
+        std::fprintf(stderr,
+                     "limbo-serve: --workers must be an integer in "
+                     "[1, 4096], got \"%s\"\n",
+                     value.c_str());
+        return false;
+      }
+      args->workers = static_cast<size_t>(workers);
+    } else if (key == "max-pending") {
+      unsigned long pending = 0;
+      if (!ParseBoundedInt(value, 1 << 20, &pending) || pending == 0) {
+        std::fprintf(stderr,
+                     "limbo-serve: --max-pending must be a positive "
+                     "integer, got \"%s\"\n",
+                     value.c_str());
+        return false;
+      }
+      args->max_pending = static_cast<size_t>(pending);
+    } else if (key == "model") {
+      // Accepts both --model name=path and --model=name=path.
+      std::string spec = value;
+      if (eq == std::string::npos && i + 1 < argc) spec = argv[++i];
+      const size_t sep = spec.find('=');
+      if (sep == std::string::npos || sep == 0 || sep + 1 == spec.size()) {
+        std::fprintf(stderr, "limbo-serve: --model needs name=path\n");
+        return false;
+      }
+      args->models.emplace_back(spec.substr(0, sep), spec.substr(sep + 1));
+    } else if (key == "models-dir") {
+      args->model_dirs.push_back(value);
+    } else if (key == "default-model") {
+      args->default_model = value;
     } else if (key == "oov") {
       if (value == "drop") {
         args->oov = serve::OovPolicy::kDrop;
@@ -105,13 +218,17 @@ bool ParseServeArgs(int argc, char** argv, ServeArgs* args) {
       return false;
     }
   }
+  if (args->models.empty() && args->model_dirs.empty()) {
+    std::fprintf(stderr, "limbo-serve: no model bundles given\n");
+    return false;
+  }
   return true;
 }
 
-/// --once: answer the given queries (or stdin lines) and exit. Queries are
-/// dispatched across the worker lanes but responses print in input order,
-/// so the output is byte-identical at every worker count.
-int RunOnce(const serve::Engine& engine, const ServeArgs& args) {
+/// --once: answer the given queries (or stdin lines) and exit. Queries
+/// are dispatched across the worker lanes but responses print in input
+/// order, so the output is byte-identical at every worker count.
+int RunOnce(serve::Registry* registry, const ServeArgs& args) {
   std::vector<std::string> queries = args.queries;
   if (queries.empty()) {
     std::string line;
@@ -125,8 +242,8 @@ int RunOnce(const serve::Engine& engine, const ServeArgs& args) {
   pool.ParallelFor(0, queries.size(), 1,
                    [&](size_t begin, size_t end, size_t lane) {
                      for (size_t i = begin; i < end; ++i) {
-                       responses[i] = engine.HandleLine(queries[i],
-                                                        &kernels[lane]);
+                       responses[i] =
+                           registry->HandleLine(queries[i], &kernels[lane]);
                      }
                    });
   for (const std::string& response : responses) {
@@ -136,102 +253,25 @@ int RunOnce(const serve::Engine& engine, const ServeArgs& args) {
   return 0;
 }
 
-/// Serves one established connection: reads newline-delimited queries,
-/// writes one response line per query, until the peer closes.
-void ServeConnection(const serve::Engine& engine, core::LossKernel* kernel,
-                     int fd) {
-  LIMBO_OBS_COUNT("serve.connections", 1);
-  std::string pending;
-  char buffer[4096];
-  while (g_shutdown == 0) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) break;
-    pending.append(buffer, static_cast<size_t>(n));
-    size_t start = 0;
-    size_t newline;
-    while ((newline = pending.find('\n', start)) != std::string::npos) {
-      std::string line = pending.substr(start, newline - start);
-      start = newline + 1;
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      std::string response = engine.HandleLine(line, kernel);
-      response.push_back('\n');
-      size_t sent = 0;
-      while (sent < response.size()) {
-        const ssize_t w =
-            ::send(fd, response.data() + sent, response.size() - sent, 0);
-        if (w <= 0) {
-          ::close(fd);
-          return;
-        }
-        sent += static_cast<size_t>(w);
-      }
-    }
-    pending.erase(0, start);
-  }
-  ::close(fd);
-}
-
-/// One accept lane: polls the shared listening socket so the shutdown
-/// flag is observed within 200ms even while idle.
-void AcceptLoop(const serve::Engine& engine, core::LossKernel* kernel,
-                int listen_fd) {
-  while (g_shutdown == 0) {
-    struct pollfd pfd = {listen_fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 200);
-    if (ready <= 0) continue;
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) continue;
-    ServeConnection(engine, kernel, fd);
-  }
-}
-
-int RunTcp(const serve::Engine& engine, const ServeArgs& args) {
-  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    std::perror("limbo-serve: socket");
+int RunTcp(serve::Registry* registry, const ServeArgs& args) {
+  InstallSignalHandlers();
+  serve::ServerOptions options;
+  options.port = args.port;
+  options.workers = args.workers;
+  options.max_pending = args.max_pending;
+  util::Result<std::unique_ptr<serve::Server>> server =
+      serve::Server::Start(registry, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "limbo-serve: %s\n",
+                 server.status().ToString().c_str());
     return 1;
   }
-  const int one = 1;
-  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  struct sockaddr_in addr = {};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(args.port));
-  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
-             sizeof(addr)) < 0) {
-    std::perror("limbo-serve: bind");
-    ::close(listen_fd);
-    return 1;
-  }
-  if (::listen(listen_fd, 64) < 0) {
-    std::perror("limbo-serve: listen");
-    ::close(listen_fd);
-    return 1;
-  }
-  socklen_t addr_len = sizeof(addr);
-  ::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
-                &addr_len);
-  std::printf("limbo-serve: listening on 127.0.0.1:%d (%zu workers)\n",
-              ntohs(addr.sin_port), args.workers);
+  std::printf("limbo-serve: listening on 127.0.0.1:%d (%zu workers, "
+              "%zu models, default \"%s\")\n",
+              (*server)->port(), args.workers, registry->NumModels(),
+              registry->DefaultName().c_str());
   std::fflush(stdout);
-
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
-
-  util::ThreadPool pool(args.workers);
-  std::vector<core::LossKernel> kernels(pool.threads());
-  // Each lane runs exactly one AcceptLoop (grain 1, one index per lane)
-  // and owns kernels[lane]; ParallelFor joins only after every lane saw
-  // the shutdown flag and drained its in-flight connection.
-  pool.ParallelFor(0, args.workers, 1,
-                   [&](size_t begin, size_t end, size_t lane) {
-                     for (size_t i = begin; i < end; ++i) {
-                       (void)i;
-                       AcceptLoop(engine, &kernels[lane], listen_fd);
-                     }
-                   });
-  ::close(listen_fd);
+  (*server)->Run(&g_shutdown, &g_reload);
   std::printf("limbo-serve: shut down cleanly\n");
   return 0;
 }
@@ -241,15 +281,30 @@ int RunTcp(const serve::Engine& engine, const ServeArgs& args) {
 int main(int argc, char** argv) {
   ServeArgs args;
   if (!ParseServeArgs(argc, argv, &args)) return Usage();
-  serve::EngineOptions options;
-  options.oov = args.oov;
-  util::Result<serve::Engine> engine =
-      serve::Engine::Open(args.model_path, options);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "limbo-serve: %s\n",
-                 engine.status().ToString().c_str());
-    return 1;
+  serve::EngineOptions engine_options;
+  engine_options.oov = args.oov;
+  serve::Registry registry(engine_options);
+  for (const auto& [name, path] : args.models) {
+    const util::Status status = registry.AddModel(name, path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "limbo-serve: %s\n", status.ToString().c_str());
+      return 1;
+    }
   }
-  if (args.once) return RunOnce(*engine, args);
-  return RunTcp(*engine, args);
+  for (const std::string& dir : args.model_dirs) {
+    const util::Status status = registry.AddDirectory(dir);
+    if (!status.ok()) {
+      std::fprintf(stderr, "limbo-serve: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!args.default_model.empty()) {
+    const util::Status status = registry.SetDefault(args.default_model);
+    if (!status.ok()) {
+      std::fprintf(stderr, "limbo-serve: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (args.once) return RunOnce(&registry, args);
+  return RunTcp(&registry, args);
 }
