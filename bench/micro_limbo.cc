@@ -35,18 +35,24 @@
 //    counts AND every served label equals the batch Phase-3 assignment.
 //    Its output is what BENCH_serve.json records.
 //  * `micro_limbo --load [--tuples=N] [--connections=C]
-//    [--serve-workers=W] [--load-seconds=S] [--p99-limit-us=X]` is the
+//    [--serve-workers=W] [--load-seconds=S] [--p99-limit-us=X]
+//    [--batch-max=B] [--batch-wait-us=U] [--cache-entries=E]` is the
 //    closed-loop TCP load harness: two model bundles (k=10 and k=4 over
 //    the same DBLP input) are frozen to disk and served by an in-process
-//    serve::Server (registry + bounded admission queue — the exact stack
+//    serve::Server (reactor + worker-lane batching — the exact stack
 //    behind limbo-serve), C client connections drive assign queries
 //    routed across both models as fast as responses come back, and one
 //    blue/green hot reload fires mid-run through the admin protocol.
-//    Every response is byte-compared against the engine-computed
-//    expectation for its model; the run fails on any mismatched or
-//    dropped response, a failed reload, or (when --p99-limit-us is
-//    given) an aggregate p99 above the ceiling. Its output is the
-//    second line of BENCH_serve.json.
+//    --batch-max/--batch-wait-us shape the server's cross-connection
+//    batching (1 disables it); --cache-entries enables the registry's
+//    version-keyed response cache (0 = off), so cache hits must survive
+//    the mid-run reload byte-identically. Every response is
+//    byte-compared against the engine-computed expectation for its
+//    model; the run fails on any mismatched or dropped response, a
+//    failed reload, or (when --p99-limit-us is given) an aggregate p99
+//    above the ceiling. The output line records realized batching
+//    (batches, mean_batch) and cache_hits; these lines are what the
+//    serve_load arms of BENCH_serve.json record.
 
 #include <benchmark/benchmark.h>
 #include <netinet/in.h>
@@ -869,7 +875,8 @@ class LoadClient {
 /// one blue/green hot reload mid-run, and a byte-exact check of every
 /// response against the per-model expectation.
 int RunLoadBench(size_t tuples, size_t connections, size_t workers,
-                 double seconds, double p99_limit_us) {
+                 double seconds, double p99_limit_us, size_t batch_max,
+                 int batch_wait_us, size_t cache_entries) {
   datagen::DblpOptions dblp_options;
   dblp_options.target_tuples = tuples;
   const relation::Relation rel = datagen::GenerateDblp(dblp_options);
@@ -883,7 +890,7 @@ int RunLoadBench(size_t tuples, size_t connections, size_t workers,
   const size_t ks[2] = {10, 4};
   std::string paths[2];
   std::vector<std::string> expected[2];  // per-model response per row
-  serve::Registry registry;
+  serve::Registry registry({}, cache_entries);
   for (int m = 0; m < 2; ++m) {
     auto bundle = FreezeTupleBundle(rel, objects, ks[m]);
     if (!bundle.ok()) {
@@ -917,6 +924,8 @@ int RunLoadBench(size_t tuples, size_t connections, size_t workers,
   server_options.port = 0;
   server_options.workers = workers;
   server_options.poll_ms = 20;
+  server_options.batch_max = batch_max;
+  server_options.batch_wait_us = batch_wait_us;
   auto server = serve::Server::Start(&registry, server_options);
   if (!server.ok()) {
     std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
@@ -993,6 +1002,9 @@ int RunLoadBench(size_t tuples, size_t connections, size_t workers,
   stop_flag.store(1);
   acceptor.join();
   const uint64_t sheds = (*server)->sheds();
+  const uint64_t batches = (*server)->batches();
+  const uint64_t batched_requests = (*server)->batched_requests();
+  const uint64_t cache_hits = registry.CacheHits();
   for (const std::string& path : paths) unlink(path.c_str());
 
   std::vector<double> all;
@@ -1013,13 +1025,20 @@ int RunLoadBench(size_t tuples, size_t connections, size_t workers,
 
   std::printf(
       "{\"benchmark\": \"serve_load\", \"tuples\": %zu, \"models\": 2, "
-      "\"connections\": %zu, \"workers\": %zu, \"seconds\": %.2f, "
+      "\"connections\": %zu, \"workers\": %zu, \"batch_max\": %zu, "
+      "\"batch_wait_us\": %d, \"cache_entries\": %zu, \"seconds\": %.2f, "
       "\"requests\": %llu, \"qps\": %.1f, \"p50_us\": %.2f, "
-      "\"p99_us\": %.2f, \"reload_mid_run\": %s, \"sheds\": %llu, "
+      "\"p99_us\": %.2f, \"batches\": %llu, \"mean_batch\": %.2f, "
+      "\"cache_hits\": %llu, \"reload_mid_run\": %s, \"sheds\": %llu, "
       "\"mismatched\": %llu, \"bit_identical\": %s}\n",
-      rel.NumTuples(), connections, workers, elapsed,
-      static_cast<unsigned long long>(requests),
+      rel.NumTuples(), connections, workers, batch_max, batch_wait_us,
+      cache_entries, elapsed, static_cast<unsigned long long>(requests),
       static_cast<double>(requests) / elapsed, p50, p99,
+      static_cast<unsigned long long>(batches),
+      batches == 0 ? 0.0
+                   : static_cast<double>(batched_requests) /
+                         static_cast<double>(batches),
+      static_cast<unsigned long long>(cache_hits),
       reload_ok ? "true" : "false",
       static_cast<unsigned long long>(sheds),
       static_cast<unsigned long long>(mismatched.load()),
@@ -1045,6 +1064,9 @@ int main(int argc, char** argv) {
   size_t serve_workers = 4;
   double load_seconds = 2.0;
   double p99_limit_us = 0.0;
+  size_t batch_max = 16;
+  int batch_wait_us = 0;
+  size_t cache_entries = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--thread-scaling") == 0) {
       thread_scaling = true;
@@ -1066,6 +1088,15 @@ int main(int argc, char** argv) {
       load_seconds = std::strtod(argv[i] + 15, nullptr);
     } else if (std::strncmp(argv[i], "--p99-limit-us=", 15) == 0) {
       p99_limit_us = std::strtod(argv[i] + 15, nullptr);
+    } else if (std::strncmp(argv[i], "--batch-max=", 12) == 0) {
+      batch_max = static_cast<size_t>(std::strtoull(argv[i] + 12,
+                                                    nullptr, 10));
+    } else if (std::strncmp(argv[i], "--batch-wait-us=", 16) == 0) {
+      batch_wait_us = static_cast<int>(std::strtol(argv[i] + 16,
+                                                   nullptr, 10));
+    } else if (std::strncmp(argv[i], "--cache-entries=", 16) == 0) {
+      cache_entries = static_cast<size_t>(std::strtoull(argv[i] + 16,
+                                                        nullptr, 10));
     } else if (std::strncmp(argv[i], "--stream-arm=", 13) == 0) {
       stream_arm = argv[i] + 13;
     } else if (std::strncmp(argv[i], "--stream-csv=", 13) == 0) {
@@ -1090,8 +1121,11 @@ int main(int argc, char** argv) {
     if (connections == 0) connections = 1;
     if (serve_workers == 0) serve_workers = 1;
     if (load_seconds <= 0.0) load_seconds = 2.0;
+    if (batch_max == 0) batch_max = 1;
+    if (batch_wait_us < 0) batch_wait_us = 0;
     return RunLoadBench(tuples_given ? tuples : 5000, connections,
-                        serve_workers, load_seconds, p99_limit_us);
+                        serve_workers, load_seconds, p99_limit_us,
+                        batch_max, batch_wait_us, cache_entries);
   }
   if (thread_scaling) return RunThreadScaling(tuples);
   if (kernel_bench) return RunKernelBench(tuples_given ? tuples : 10000);

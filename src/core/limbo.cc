@@ -86,18 +86,14 @@ void Phase3Assigner::AssignChunk(std::span<const Dcf> objects,
                     [&](size_t lo, size_t hi, size_t lane) {
     LossKernel& kernel = kernels_[lane];
     for (size_t i = lo; i < hi; ++i) {
-      size_t best = 0;
-      double best_loss = std::numeric_limits<double>::infinity();
       if (batch_kernel_) {
-        kernel.SetObject(objects[i].p, objects[i].cond);
-        for (size_t r = 0; r < representatives.size(); ++r) {
-          const double d = kernel.Loss(rep_p_[r], arena_.Row(rep_row_[r]));
-          if (d < best_loss) {
-            best_loss = d;
-            best = r;
-          }
-        }
+        const NearestCandidate nearest = FindNearestCandidate(
+            &kernel, objects[i].p, objects[i].cond, rep_p_, arena_, rep_row_);
+        labels[i] = nearest.index;
+        if (loss != nullptr) loss[i] = nearest.loss;
       } else {
+        size_t best = 0;
+        double best_loss = std::numeric_limits<double>::infinity();
         for (size_t r = 0; r < representatives.size(); ++r) {
           const double d = InformationLoss(objects[i], representatives[r]);
           if (d < best_loss) {
@@ -105,9 +101,9 @@ void Phase3Assigner::AssignChunk(std::span<const Dcf> objects,
             best = r;
           }
         }
+        labels[i] = static_cast<uint32_t>(best);
+        if (loss != nullptr) loss[i] = best_loss;
       }
-      labels[i] = static_cast<uint32_t>(best);
-      if (loss != nullptr) loss[i] = best_loss;
     }
   });
 }

@@ -464,6 +464,24 @@ double LossKernel::JsStreamCandidate(double w1, double w2,
   return d;
 }
 
+NearestCandidate FindNearestCandidate(LossKernel* kernel, double object_p,
+                                      DistributionView object_cond,
+                                      std::span<const double> candidate_p,
+                                      const DistributionArena& arena,
+                                      std::span<const size_t> candidate_rows) {
+  kernel->SetObject(object_p, object_cond);
+  NearestCandidate best;
+  best.loss = std::numeric_limits<double>::infinity();
+  for (size_t r = 0; r < candidate_rows.size(); ++r) {
+    const double d = kernel->Loss(candidate_p[r], arena.Row(candidate_rows[r]));
+    if (d < best.loss) {
+      best.loss = d;
+      best.index = static_cast<uint32_t>(r);
+    }
+  }
+  return best;
+}
+
 void FlushKernelStats(const std::vector<LossKernel>& kernels,
                       const std::string& prefix) {
   if (!obs::Enabled()) return;

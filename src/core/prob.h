@@ -234,6 +234,27 @@ class LossKernel {
   mutable Stats stats_;  // mutable: Loss() is logically const
 };
 
+/// Result of a nearest-candidate scan: the winning candidate's position
+/// in the scanned sequence and its δI.
+struct NearestCandidate {
+  uint32_t index = 0;
+  double loss = 0.0;
+};
+
+/// The Phase-3 inner loop: fixes `object` in the kernel, streams every
+/// candidate arena row through Loss and keeps the strict-< argmin, so
+/// the lowest candidate index wins ties and the result is a pure
+/// function of the pair set. Phase3Assigner::AssignChunk and the serving
+/// engine's assign path (single and batched) all call this one function,
+/// which is what makes a served label bit-identical to the batch run's.
+/// `candidate_p` and `candidate_rows` are parallel; both must be
+/// non-empty.
+NearestCandidate FindNearestCandidate(LossKernel* kernel, double object_p,
+                                      DistributionView object_cond,
+                                      std::span<const double> candidate_p,
+                                      const DistributionArena& arena,
+                                      std::span<const size_t> candidate_rows);
+
 /// Sums the tallies of a set of per-lane kernels into the obs counters
 /// `<prefix>.loss_calls` (work — identical at every thread count) and
 /// `<prefix>.scatters` / `<prefix>.dedup_hits` (scheduling — dependent

@@ -1,0 +1,68 @@
+#include "serve/cache.h"
+
+#include <utility>
+
+namespace limbo::serve {
+
+ResponseCache::ResponseCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool ResponseCache::Lookup(const std::string& key, std::string* response) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *response = it->second->response;
+  ++hits_;
+  return true;
+}
+
+void ResponseCache::Insert(const std::string& key,
+                           const std::string& response) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Responses are pure functions of the key, so a racing re-insert
+    // carries the same bytes; just refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Node{key, response});
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+uint64_t ResponseCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ResponseCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t ResponseCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::string ResponseCacheKey(const std::string& model, uint64_t version,
+                             const util::JsonValue& request) {
+  // '\n' never survives NDJSON framing and AppendCanonicalJson escapes
+  // it inside strings, so it cleanly separates the three key parts.
+  std::string key = model;
+  key.push_back('\n');
+  key += std::to_string(version);
+  key.push_back('\n');
+  util::AppendCanonicalJson(request, &key);
+  return key;
+}
+
+}  // namespace limbo::serve

@@ -1,0 +1,63 @@
+#ifndef LIMBO_SERVE_CACHE_H_
+#define LIMBO_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/json.h"
+
+namespace limbo::serve {
+
+/// Bounded thread-safe LRU map from canonicalized request keys to
+/// response lines, shared by all serving lanes of one registry.
+///
+/// Keys carry the model name AND the engine version (ResponseCacheKey),
+/// so a blue/green reload invalidates atomically: the version bump makes
+/// every old entry unreachable in the same critical section that swaps
+/// the engine — a stale engine's response can never be served under the
+/// new version, with no flush ordering to reason about. Orphaned entries
+/// age out through normal LRU eviction.
+class ResponseCache {
+ public:
+  /// `capacity` > 0: the maximum number of cached responses.
+  explicit ResponseCache(size_t capacity);
+
+  /// Copies the response cached under `key` into `*response` and marks
+  /// the entry most-recently-used. False on miss.
+  bool Lookup(const std::string& key, std::string* response);
+
+  /// Caches `response` under `key` (refreshing the entry if present) and
+  /// evicts least-recently-used entries beyond capacity.
+  void Insert(const std::string& key, const std::string& response);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t size() const;
+
+ private:
+  struct Node {
+    std::string key;
+    std::string response;
+  };
+
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  std::list<Node> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Node>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// The cache key of one routed query: resolved model name, the engine
+/// version that will answer, and the canonical serialization of the
+/// request (sorted keys, fixed formatting), so field order and
+/// whitespace differences in the wire line collapse to one entry.
+std::string ResponseCacheKey(const std::string& model, uint64_t version,
+                             const util::JsonValue& request);
+
+}  // namespace limbo::serve
+
+#endif  // LIMBO_SERVE_CACHE_H_

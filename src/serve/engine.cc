@@ -117,22 +117,33 @@ util::Status Engine::AssignRow(const std::vector<std::string>& fields,
     if (!r.ok()) return r.status();
     object = std::move(r).value();
   }
-  // Phase3Assigner::AssignChunk verbatim: strict < keeps the lowest
-  // cluster index on ties, making the result a pure function of the pair
-  // set — identical at every worker count.
-  kernel->SetObject(object.p, object.cond);
-  uint32_t best = 0;
-  double best_loss = std::numeric_limits<double>::infinity();
-  for (size_t r = 0; r < rep_row_.size(); ++r) {
-    const double d = kernel->Loss(rep_p_[r], arena_.Row(rep_row_[r]));
-    if (d < best_loss) {
-      best_loss = d;
-      best = static_cast<uint32_t>(r);
-    }
-  }
-  *label = best;
-  *loss = best_loss;
+  // core::FindNearestCandidate is Phase3Assigner's inner loop: strict <
+  // keeps the lowest cluster index on ties, making the result a pure
+  // function of the pair set — identical at every worker count.
+  const core::NearestCandidate nearest = core::FindNearestCandidate(
+      kernel, object.p, object.cond, rep_p_, arena_, rep_row_);
+  *label = nearest.index;
+  *loss = nearest.loss;
   return util::Status::Ok();
+}
+
+std::vector<RowAssignment> Engine::AssignBatch(
+    std::span<const std::vector<std::string>> rows,
+    core::LossKernel* kernel) const {
+  std::vector<RowAssignment> results(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    RowAssignment& result = results[i];
+    util::Result<core::Dcf> object = RowObject(rows[i], &result.oov);
+    if (!object.ok()) {
+      result.status = object.status();
+      continue;
+    }
+    const core::NearestCandidate nearest = core::FindNearestCandidate(
+        kernel, object->p, object->cond, rep_p_, arena_, rep_row_);
+    result.label = nearest.index;
+    result.loss = nearest.loss;
+  }
+  return results;
 }
 
 util::Status Engine::ParseRowArg(const JsonValue& request,
@@ -174,14 +185,8 @@ util::Status Engine::ParseRowArg(const JsonValue& request,
   return util::Status::Ok();
 }
 
-util::Result<std::string> Engine::HandleAssign(const JsonValue& request,
-                                               core::LossKernel* kernel) const {
-  std::vector<std::string> fields;
-  LIMBO_RETURN_IF_ERROR(ParseRowArg(request, &fields));
-  uint32_t label = 0;
-  double loss = 0.0;
-  size_t oov = 0;
-  LIMBO_RETURN_IF_ERROR(AssignRow(fields, kernel, &label, &loss, &oov));
+std::string Engine::FormatAssign(uint32_t label, double loss,
+                                 size_t oov) const {
   std::string out = "{\"ok\":true,";
   AppendIntField("cluster", label, &out);
   out.push_back(',');
@@ -192,14 +197,8 @@ util::Result<std::string> Engine::HandleAssign(const JsonValue& request,
   return out;
 }
 
-util::Result<std::string> Engine::HandleDuplicates(
-    const JsonValue& request, core::LossKernel* kernel) const {
-  std::vector<std::string> fields;
-  LIMBO_RETURN_IF_ERROR(ParseRowArg(request, &fields));
-  uint32_t label = 0;
-  double loss = 0.0;
-  size_t oov = 0;
-  LIMBO_RETURN_IF_ERROR(AssignRow(fields, kernel, &label, &loss, &oov));
+std::string Engine::FormatDuplicates(uint32_t label, double loss,
+                                     size_t oov) const {
   // Section 6.1 association test: the row is a near-duplicate iff its
   // nearest cluster is heavy (prior above a single tuple's 1/n) and
   // joining it costs at most margin × the Phase-1 merge threshold.
@@ -221,6 +220,28 @@ util::Result<std::string> Engine::HandleDuplicates(
   AppendIntField("oov", oov, &out);
   out.push_back('}');
   return out;
+}
+
+util::Result<std::string> Engine::HandleAssign(const JsonValue& request,
+                                               core::LossKernel* kernel) const {
+  std::vector<std::string> fields;
+  LIMBO_RETURN_IF_ERROR(ParseRowArg(request, &fields));
+  uint32_t label = 0;
+  double loss = 0.0;
+  size_t oov = 0;
+  LIMBO_RETURN_IF_ERROR(AssignRow(fields, kernel, &label, &loss, &oov));
+  return FormatAssign(label, loss, oov);
+}
+
+util::Result<std::string> Engine::HandleDuplicates(
+    const JsonValue& request, core::LossKernel* kernel) const {
+  std::vector<std::string> fields;
+  LIMBO_RETURN_IF_ERROR(ParseRowArg(request, &fields));
+  uint32_t label = 0;
+  double loss = 0.0;
+  size_t oov = 0;
+  LIMBO_RETURN_IF_ERROR(AssignRow(fields, kernel, &label, &loss, &oov));
+  return FormatDuplicates(label, loss, oov);
 }
 
 util::Result<std::string> Engine::HandleValueGroup(
@@ -457,6 +478,55 @@ std::string Engine::HandleRequest(const JsonValue& request,
   if (response.ok()) return std::move(response).value();
   LIMBO_OBS_COUNT("serve.query.errors", 1);
   return ErrorResponse(response.status());
+}
+
+std::vector<std::string> Engine::HandleRequests(
+    std::span<const JsonValue* const> requests,
+    core::LossKernel* kernel) const {
+  std::vector<std::string> responses(requests.size());
+  // Decode every assign/duplicates row up front; everything else — and
+  // any request whose row argument fails to decode — takes the
+  // single-request path, which produces the identical bytes for those
+  // shapes anyway.
+  struct BatchItem {
+    size_t index;
+    bool duplicates;
+  };
+  std::vector<BatchItem> items;
+  std::vector<std::vector<std::string>> rows;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const JsonValue& request = *requests[i];
+    const JsonValue* op = request.Find("op");
+    const bool batchable =
+        op != nullptr && op->kind == JsonValue::Kind::kString &&
+        (op->str == "assign" || op->str == "duplicates");
+    std::vector<std::string> fields;
+    if (!batchable || !ParseRowArg(request, &fields).ok()) {
+      responses[i] = HandleRequest(request, kernel);
+      continue;
+    }
+    LIMBO_OBS_COUNT(
+        op->str == "assign" ? "serve.query.assign" : "serve.query.duplicates",
+        1);
+    items.push_back({i, op->str == "duplicates"});
+    rows.push_back(std::move(fields));
+  }
+  if (items.empty()) return responses;
+  LIMBO_OBS_SPAN(span, "serve.assign_batch");
+  LIMBO_OBS_COUNT("serve.batch.rows", items.size());
+  const std::vector<RowAssignment> assigned = AssignBatch(rows, kernel);
+  for (size_t j = 0; j < items.size(); ++j) {
+    const RowAssignment& a = assigned[j];
+    if (!a.status.ok()) {
+      LIMBO_OBS_COUNT("serve.query.errors", 1);
+      responses[items[j].index] = ErrorResponse(a.status);
+      continue;
+    }
+    responses[items[j].index] = items[j].duplicates
+                                    ? FormatDuplicates(a.label, a.loss, a.oov)
+                                    : FormatAssign(a.label, a.loss, a.oov);
+  }
+  return responses;
 }
 
 }  // namespace limbo::serve

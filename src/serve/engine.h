@@ -2,6 +2,7 @@
 #define LIMBO_SERVE_ENGINE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,16 @@ enum class OovPolicy {
 
 struct EngineOptions {
   OovPolicy oov = OovPolicy::kDrop;
+};
+
+/// Outcome of assigning one row of a batch. Row-level failures (arity
+/// mismatch, strict-OOV miss) are per-row statuses, never batch
+/// failures: one bad row in a batch must not poison its neighbors.
+struct RowAssignment {
+  util::Status status;
+  uint32_t label = 0;
+  double loss = 0.0;
+  size_t oov = 0;
 };
 
 /// Stateless query engine over one frozen model bundle. The bundle is
@@ -62,6 +73,18 @@ class Engine {
   std::string HandleRequest(const util::JsonValue& request,
                             core::LossKernel* kernel) const;
 
+  /// Answers a batch of already-parsed query objects with one kernel,
+  /// returning one response per request, in order. `assign` and
+  /// `duplicates` requests across the whole batch are decoded first and
+  /// evaluated through a single AssignBatch call (the representative
+  /// slab stays cache-hot across rows); every other op dispatches
+  /// through HandleRequest. Responses are byte-identical to calling
+  /// HandleRequest on each request alone — batching is a scheduling
+  /// decision, never a semantic one.
+  std::vector<std::string> HandleRequests(
+      std::span<const util::JsonValue* const> requests,
+      core::LossKernel* kernel) const;
+
   /// Single-threaded convenience using an engine-owned kernel.
   std::string HandleLine(const std::string& line) {
     return HandleLine(line, &own_kernel_);
@@ -77,6 +100,16 @@ class Engine {
                          core::LossKernel* kernel, uint32_t* label,
                          double* loss, size_t* oov) const;
 
+  /// Assigns a batch of decoded rows with one kernel. Each row's
+  /// arithmetic is exactly AssignRow's — core::FindNearestCandidate over
+  /// the same arena rows — so labels and losses are bit-identical to N
+  /// AssignRow calls; the batch exists to amortize the representative
+  /// slab traversal (and, in the server, the queue rendezvous and socket
+  /// writes) across rows.
+  std::vector<RowAssignment> AssignBatch(
+      std::span<const std::vector<std::string>> rows,
+      core::LossKernel* kernel) const;
+
  private:
   Engine(model::ModelBundle bundle, const EngineOptions& options);
 
@@ -89,6 +122,9 @@ class Engine {
                                          core::LossKernel* kernel) const;
   util::Result<std::string> HandleDuplicates(const util::JsonValue& request,
                                              core::LossKernel* kernel) const;
+  std::string FormatAssign(uint32_t label, double loss, size_t oov) const;
+  std::string FormatDuplicates(uint32_t label, double loss,
+                               size_t oov) const;
   util::Result<std::string> HandleValueGroup(
       const util::JsonValue& request) const;
   util::Result<std::string> HandleAttrs() const;

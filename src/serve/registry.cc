@@ -22,8 +22,18 @@ std::string StemOf(const std::filesystem::path& path) {
 
 }  // namespace
 
-Registry::Registry(EngineOptions engine_options)
-    : engine_options_(engine_options) {}
+Registry::Registry(EngineOptions engine_options, size_t cache_entries)
+    : engine_options_(engine_options),
+      cache_(cache_entries > 0 ? std::make_unique<ResponseCache>(cache_entries)
+                               : nullptr) {}
+
+uint64_t Registry::CacheHits() const {
+  return cache_ == nullptr ? 0 : cache_->hits();
+}
+
+uint64_t Registry::CacheMisses() const {
+  return cache_ == nullptr ? 0 : cache_->misses();
+}
 
 util::Result<std::shared_ptr<const Engine>> Registry::LoadEngine(
     const std::string& path) const {
@@ -271,31 +281,149 @@ std::string Registry::HandleLine(const std::string& line,
     LIMBO_OBS_COUNT("serve.query.models", 1);
     return HandleModels();
   }
+  std::string cache_key;
+  std::string error;
+  std::shared_ptr<const Engine> engine = Route(*request, &cache_key, &error);
+  if (engine == nullptr) return error;
+  if (cache_ != nullptr) {
+    std::string cached;
+    if (cache_->Lookup(cache_key, &cached)) {
+      LIMBO_OBS_COUNT("serve.cache.hits", 1);
+      return cached;
+    }
+    LIMBO_OBS_COUNT("serve.cache.misses", 1);
+  }
+  std::string response = engine->HandleRequest(*request, kernel);
+  if (cache_ != nullptr) cache_->Insert(cache_key, response);
+  return response;
+}
+
+std::shared_ptr<const Engine> Registry::Snapshot(const std::string& name,
+                                                 std::string* resolved,
+                                                 uint64_t* version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = FindEntryLocked(name);
+  if (entry == nullptr) return nullptr;
+  entry->queries.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Enabled()) entry->counter->Increment();
+  *resolved = entry->name;
+  *version = entry->version;
+  return entry->engine;  // snapshot: reloads cannot retract it
+}
+
+std::shared_ptr<const Engine> Registry::Route(const JsonValue& request,
+                                              std::string* cache_key,
+                                              std::string* error) {
   std::string name;
-  if (const JsonValue* model = request->Find("model"); model != nullptr) {
+  if (const JsonValue* model = request.Find("model"); model != nullptr) {
     if (model->kind != JsonValue::Kind::kString) {
       LIMBO_OBS_COUNT("serve.query.errors", 1);
-      return ErrorResponse(
+      *error = ErrorResponse(
           util::Status::InvalidArgument("\"model\" must be a string"));
+      return nullptr;
     }
     name = model->str;
   }
-  std::shared_ptr<const Engine> engine;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    Entry* entry = FindEntryLocked(name);
-    if (entry != nullptr) {
-      engine = entry->engine;  // snapshot: reloads cannot retract it
-      entry->queries.fetch_add(1, std::memory_order_relaxed);
-      if (obs::Enabled()) entry->counter->Increment();
-    }
-  }
+  std::string resolved;
+  uint64_t version = 0;
+  std::shared_ptr<const Engine> engine = Snapshot(name, &resolved, &version);
   if (engine == nullptr) {
     LIMBO_OBS_COUNT("serve.query.errors", 1);
-    return ErrorResponse(util::Status::NotFound(
+    *error = ErrorResponse(util::Status::NotFound(
         "unknown model \"" + (name.empty() ? DefaultName() : name) + "\""));
+    return nullptr;
   }
-  return engine->HandleRequest(*request, kernel);
+  if (cache_ != nullptr) {
+    *cache_key = ResponseCacheKey(resolved, version, request);
+  }
+  return engine;
+}
+
+std::vector<std::string> Registry::HandleBatch(
+    std::span<const std::string> lines, core::LossKernel* kernel) {
+  std::vector<std::string> responses(lines.size());
+  std::vector<JsonValue> parsed(lines.size());
+  // One routed cache miss awaiting engine dispatch.
+  struct Routed {
+    size_t index;
+    std::shared_ptr<const Engine> engine;
+    std::string cache_key;
+  };
+  std::vector<Routed> routed;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    util::Result<JsonValue> request = util::ParseJson(lines[i]);
+    if (!request.ok()) {
+      LIMBO_OBS_COUNT("serve.query.errors", 1);
+      responses[i] = ErrorResponse(request.status());
+      continue;
+    }
+    if (request->kind != JsonValue::Kind::kObject) {
+      LIMBO_OBS_COUNT("serve.query.errors", 1);
+      responses[i] = ErrorResponse(
+          util::Status::InvalidArgument("query must be a JSON object"));
+      continue;
+    }
+    const JsonValue* op = request->Find("op");
+    if (op == nullptr || op->kind != JsonValue::Kind::kString) {
+      LIMBO_OBS_COUNT("serve.query.errors", 1);
+      responses[i] = ErrorResponse(
+          util::Status::InvalidArgument("query needs a string field \"op\""));
+      continue;
+    }
+    if (op->str == "reload") {
+      LIMBO_OBS_COUNT("serve.query.reload", 1);
+      responses[i] = HandleReload(*request);
+      continue;
+    }
+    if (op->str == "models") {
+      LIMBO_OBS_COUNT("serve.query.models", 1);
+      responses[i] = HandleModels();
+      continue;
+    }
+    parsed[i] = std::move(*request);
+    std::string cache_key;
+    std::string error;
+    std::shared_ptr<const Engine> engine = Route(parsed[i], &cache_key, &error);
+    if (engine == nullptr) {
+      responses[i] = std::move(error);
+      continue;
+    }
+    if (cache_ != nullptr) {
+      std::string cached;
+      if (cache_->Lookup(cache_key, &cached)) {
+        LIMBO_OBS_COUNT("serve.cache.hits", 1);
+        responses[i] = std::move(cached);
+        continue;
+      }
+      LIMBO_OBS_COUNT("serve.cache.misses", 1);
+    }
+    routed.push_back(Routed{i, std::move(engine), std::move(cache_key)});
+  }
+  // Group the remaining requests by engine snapshot (first-appearance
+  // order; a mid-batch reload can split one model into two snapshots,
+  // each answering on the engine it was routed to) and dispatch each
+  // group through the engine's batched path.
+  std::vector<char> grouped(routed.size(), 0);
+  for (size_t g = 0; g < routed.size(); ++g) {
+    if (grouped[g] != 0) continue;
+    const Engine* engine = routed[g].engine.get();
+    std::vector<size_t> members;
+    std::vector<const JsonValue*> requests;
+    for (size_t j = g; j < routed.size(); ++j) {
+      if (grouped[j] == 0 && routed[j].engine.get() == engine) {
+        grouped[j] = 1;
+        members.push_back(j);
+        requests.push_back(&parsed[routed[j].index]);
+      }
+    }
+    std::vector<std::string> batch = engine->HandleRequests(requests, kernel);
+    for (size_t m = 0; m < members.size(); ++m) {
+      const Routed& r = routed[members[m]];
+      if (cache_ != nullptr) cache_->Insert(r.cache_key, batch[m]);
+      responses[r.index] = std::move(batch[m]);
+    }
+  }
+  return responses;
 }
 
 }  // namespace limbo::serve

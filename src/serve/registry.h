@@ -5,11 +5,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/prob.h"
 #include "obs/counters.h"
+#include "serve/cache.h"
 #include "serve/engine.h"
 #include "util/result.h"
 
@@ -42,7 +44,12 @@ struct ModelInfo {
 /// admin ops "reload" and "models" that exist above any single engine.
 class Registry {
  public:
-  explicit Registry(EngineOptions engine_options = {});
+  /// `cache_entries` > 0 enables the bounded LRU response cache: routed
+  /// query responses are cached under (model, engine version, canonical
+  /// request) keys — see ResponseCache for the reload-invalidation
+  /// guarantee. 0 (the default) disables caching entirely.
+  explicit Registry(EngineOptions engine_options = {},
+                    size_t cache_entries = 0);
 
   /// Loads the bundle at `path` and registers it under `name`. The
   /// first model added becomes the default. Duplicate names are an
@@ -78,6 +85,20 @@ class Registry {
   /// ops. Never fails — protocol errors come back as {"ok":false,...}.
   std::string HandleLine(const std::string& line, core::LossKernel* kernel);
 
+  /// Answers a batch of query lines with one kernel, returning one
+  /// response per line, in order. Per-engine sub-batches dispatch
+  /// through Engine::HandleRequests so assign/duplicates rows share one
+  /// AssignBatch scan; admin ops execute inline at their position in
+  /// the batch (a "reload" mid-batch affects which engine later lines
+  /// snapshot, exactly as it would between two HandleLine calls).
+  /// Responses are byte-identical to calling HandleLine on each line.
+  std::vector<std::string> HandleBatch(std::span<const std::string> lines,
+                                       core::LossKernel* kernel);
+
+  /// Response-cache counters (0 when the cache is disabled).
+  uint64_t CacheHits() const;
+  uint64_t CacheMisses() const;
+
  private:
   struct Entry {
     std::string name;
@@ -94,7 +115,24 @@ class Registry {
   std::string HandleReload(const util::JsonValue& request);
   std::string HandleModels() const;
 
+  /// Snapshots the engine serving `name` (empty = default) and bumps its
+  /// query tally. `resolved` and `version` receive the entry's name and
+  /// current version from the same critical section, so a cache key
+  /// built from them can never pair an old version with a new engine.
+  std::shared_ptr<const Engine> Snapshot(const std::string& name,
+                                         std::string* resolved,
+                                         uint64_t* version);
+
+  /// The routing step shared by HandleLine and HandleBatch: validates
+  /// the parsed request's "model" field and snapshots the target engine
+  /// (null plus an error response in `*error` when routing fails). When
+  /// the cache is enabled, also builds the request's cache key.
+  std::shared_ptr<const Engine> Route(const util::JsonValue& request,
+                                      std::string* cache_key,
+                                      std::string* error);
+
   EngineOptions engine_options_;
+  std::unique_ptr<ResponseCache> cache_;  // null when disabled
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Entry>> entries_;  // insertion order
   std::string default_name_;

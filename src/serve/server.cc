@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -15,15 +16,6 @@
 namespace limbo::serve {
 
 namespace {
-
-/// poll() on one fd, treating EINTR as a timeout so the caller falls
-/// through to its flag checks — exactly what a signal should cause.
-int PollOne(int fd, short events, int timeout_ms) {
-  struct pollfd pfd = {fd, events, 0};
-  const int ready = ::poll(&pfd, 1, timeout_ms);
-  if (ready < 0 && errno == EINTR) return 0;
-  return ready;
-}
 
 /// recv() retrying on EINTR: a signal mid-read (SIGHUP for reload, ...)
 /// must not masquerade as a peer close.
@@ -54,6 +46,8 @@ Server::Server(Registry* registry, const ServerOptions& options)
     : registry_(registry), options_(options) {
   if (options_.workers == 0) options_.workers = 1;
   if (options_.max_pending == 0) options_.max_pending = 1;
+  if (options_.batch_max == 0) options_.batch_max = 1;
+  if (options_.batch_wait_us < 0) options_.batch_wait_us = 0;
 }
 
 Server::~Server() { Stop(); }
@@ -107,7 +101,126 @@ util::Result<std::unique_ptr<Server>> Server::Start(
   return server;
 }
 
+void Server::Shed(int fd) {
+  sheds_.fetch_add(1, std::memory_order_relaxed);
+  LIMBO_OBS_COUNT("serve.sheds", 1);
+  const std::string response =
+      ErrorResponse("overloaded",
+                    "pending connection queue is full; retry later") +
+      "\n";
+  (void)SendAll(fd, response.data(), response.size());
+  ::close(fd);
+}
+
+void Server::AcceptOne() {
+  int fd;
+  do {
+    fd = ::accept(listen_fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return;
+  // Same admission bound as the lane-per-connection design: `workers`
+  // connections being actively served plus max_pending waiting ones.
+  if (conns_.size() >= options_.workers + options_.max_pending) {
+    Shed(fd);
+    return;
+  }
+  connections_.fetch_add(1, std::memory_order_relaxed);
+  LIMBO_OBS_COUNT("serve.connections", 1);
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conns_.push_back(std::move(conn));
+}
+
+void Server::EnqueueLines(Conn* conn, std::vector<std::string> lines,
+                          bool eof) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::string& line : lines) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;  // blank line: no request, no response
+    conn->lines.push_back(std::move(line));
+    ++pending_requests_;
+  }
+  if (eof) conn->eof = true;
+  if (!conn->claimed && !conn->ready && !conn->lines.empty()) {
+    conn->ready = true;
+    ready_.push_back(conn);
+    cv_.notify_one();
+  }
+  // Wake lingering lanes the moment a full batch is available.
+  if (pending_requests_ >= options_.batch_max) cv_.notify_all();
+}
+
+void Server::ReadConn(Conn* conn) {
+  char buffer[4096];
+  const ssize_t n = RecvSome(conn->fd, buffer, sizeof(buffer));
+  if (n < 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn->dead = true;
+    if (!conn->claimed && !conn->ready) {
+      pending_requests_ -= conn->lines.size();
+      conn->lines.clear();
+    }
+    return;
+  }
+  std::vector<std::string> framed;
+  bool eof = false;
+  if (n == 0) {
+    eof = true;
+    // Orderly EOF with an unterminated final query: answer it anyway,
+    // matching --once/stdin behavior (the peer's read side is still
+    // open after shutdown(SHUT_WR)).
+    if (!conn->inbuf.empty()) {
+      framed.push_back(std::move(conn->inbuf));
+      conn->inbuf.clear();
+    }
+  } else {
+    conn->inbuf.append(buffer, static_cast<size_t>(n));
+    size_t start = 0;
+    size_t newline;
+    while ((newline = conn->inbuf.find('\n', start)) != std::string::npos) {
+      framed.push_back(conn->inbuf.substr(start, newline - start));
+      start = newline + 1;
+    }
+    conn->inbuf.erase(0, start);
+  }
+  if (eof || !framed.empty()) EnqueueLines(conn, std::move(framed), eof);
+}
+
+void Server::CollectFinished() {
+  std::vector<std::unique_ptr<Conn>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      Conn* c = it->get();
+      if (!c->claimed && !c->ready && c->lines.empty() &&
+          (c->eof || c->dead)) {
+        finished.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Closing outside the lock: the fd cannot be recycled into a stale
+  // pollfd because only this thread accepts, after this call returns.
+  for (const std::unique_ptr<Conn>& c : finished) ::close(c->fd);
+}
+
 void Server::Run(const std::atomic<int>* stop, std::atomic<int>* reload) {
+  std::vector<struct pollfd> pfds;
+  std::vector<Conn*> pconns;
+  const auto build_pollfds = [&](bool with_listener) {
+    pfds.clear();
+    pconns.clear();
+    if (with_listener) pfds.push_back({listen_fd_, POLLIN, 0});
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::unique_ptr<Conn>& c : conns_) {
+      if (!c->eof && !c->dead) {
+        pfds.push_back({c->fd, POLLIN, 0});
+        pconns.push_back(c.get());
+      }
+    }
+  };
   while (stop->load(std::memory_order_relaxed) == 0) {
     if (reload != nullptr && reload->load(std::memory_order_relaxed) != 0) {
       reload->store(0, std::memory_order_relaxed);
@@ -116,26 +229,29 @@ void Server::Run(const std::atomic<int>* stop, std::atomic<int>* reload) {
         std::fprintf(stderr, "limbo-serve: %s\n", s.ToString().c_str());
       }
     }
-    const int ready = PollOne(listen_fd_, POLLIN, options_.poll_ms);
-    if (ready <= 0) continue;
-    int fd;
-    do {
-      fd = ::accept(listen_fd_, nullptr, nullptr);
-    } while (fd < 0 && errno == EINTR);
-    if (fd < 0) continue;
-    bool shed = false;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (pending_.size() >= options_.max_pending) {
-        shed = true;
-      } else {
-        pending_.push_back(fd);
+    CollectFinished();
+    build_pollfds(/*with_listener=*/true);
+    const int ready = ::poll(pfds.data(), pfds.size(), options_.poll_ms);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the flags
+    if ((pfds[0].revents & POLLIN) != 0) AcceptOne();
+    for (size_t i = 1; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        ReadConn(pconns[i - 1]);
       }
     }
-    if (shed) {
-      Shed(fd);
-    } else {
-      cv_.notify_one();
+  }
+  // Drain: one zero-timeout read pass frames whatever complete queries
+  // peers already sent; the lanes answer them before Stop joins.
+  CollectFinished();
+  build_pollfds(/*with_listener=*/false);
+  if (!pfds.empty()) {
+    const int ready = ::poll(pfds.data(), pfds.size(), 0);
+    if (ready > 0) {
+      for (size_t i = 0; i < pfds.size(); ++i) {
+        if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          ReadConn(pconns[i]);
+        }
+      }
     }
   }
   Stop();
@@ -144,8 +260,6 @@ void Server::Run(const std::atomic<int>* stop, std::atomic<int>* reload) {
 void Server::Stop() {
   bool expected = false;
   if (!stopped_.compare_exchange_strong(expected, true)) return;
-  // Lanes flush what their connections already sent, then close them.
-  draining_.store(true, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
@@ -159,85 +273,93 @@ void Server::Stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  // Every lane is joined, so no connection is claimed any more.
+  for (const std::unique_ptr<Conn>& c : conns_) {
+    if (c->fd >= 0) ::close(c->fd);
+  }
+  conns_.clear();
 }
 
 void Server::Lane() {
   core::LossKernel kernel;
+  std::vector<Conn*> claimed;          // unique connections in this batch
+  std::vector<Conn*> order;            // batch[i]'s connection
+  std::vector<std::string> batch;      // drained request lines
   for (;;) {
-    int fd = -1;
+    claimed.clear();
+    order.clear();
+    batch.clear();
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
-      if (pending_.empty()) return;  // stopping, queue drained
-      fd = pending_.front();
-      pending_.pop_front();
-    }
-    ServeConnection(fd, &kernel);
-  }
-}
-
-void Server::Shed(int fd) {
-  sheds_.fetch_add(1, std::memory_order_relaxed);
-  LIMBO_OBS_COUNT("serve.sheds", 1);
-  const std::string response =
-      ErrorResponse("overloaded",
-                    "pending connection queue is full; retry later") +
-      "\n";
-  (void)SendAll(fd, response.data(), response.size());
-  ::close(fd);
-}
-
-bool Server::Respond(std::string line, core::LossKernel* kernel, int fd) {
-  if (!line.empty() && line.back() == '\r') line.pop_back();
-  if (line.empty()) return true;
-  std::string response = registry_->HandleLine(line, kernel);
-  response.push_back('\n');
-  return SendAll(fd, response.data(), response.size());
-}
-
-void Server::ServeConnection(int fd, core::LossKernel* kernel) {
-  connections_.fetch_add(1, std::memory_order_relaxed);
-  LIMBO_OBS_COUNT("serve.connections", 1);
-  std::string pending;
-  char buffer[4096];
-  bool eof = false;
-  bool error = false;
-  while (!eof && !error) {
-    // While draining (shutdown), poll with zero timeout: answer what the
-    // peer already sent, then close instead of waiting for more.
-    const bool draining = draining_.load(std::memory_order_relaxed);
-    const int ready = PollOne(fd, POLLIN, draining ? 0 : options_.poll_ms);
-    if (ready < 0) break;
-    if (ready == 0) {
-      if (draining) break;
-      continue;
-    }
-    const ssize_t n = RecvSome(fd, buffer, sizeof(buffer));
-    if (n < 0) break;
-    if (n == 0) {
-      eof = true;
-    } else {
-      pending.append(buffer, static_cast<size_t>(n));
-    }
-    size_t start = 0;
-    size_t newline;
-    while ((newline = pending.find('\n', start)) != std::string::npos) {
-      std::string line = pending.substr(start, newline - start);
-      start = newline + 1;
-      if (!Respond(std::move(line), kernel, fd)) {
-        error = true;
-        break;
+      cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // stopping and nothing left to answer
+      if (options_.batch_wait_us > 0 && !stopping_ &&
+          pending_requests_ < options_.batch_max) {
+        // Linger briefly for a fuller batch; any new frame that
+        // completes one wakes every lane (EnqueueLines notifies).
+        cv_.wait_for(
+            lock, std::chrono::microseconds(options_.batch_wait_us), [this] {
+              return stopping_ || pending_requests_ >= options_.batch_max;
+            });
+        if (ready_.empty()) continue;  // another lane drained everything
+      }
+      while (!ready_.empty() && batch.size() < options_.batch_max) {
+        Conn* c = ready_.front();
+        ready_.pop_front();
+        c->ready = false;
+        c->claimed = true;
+        claimed.push_back(c);
+        // Take the connection's lines in arrival order. If the batch
+        // fills mid-connection the leftovers stay queued; the release
+        // below re-readies the connection once these responses are out,
+        // which is what keeps per-connection responses ordered.
+        while (!c->lines.empty() && batch.size() < options_.batch_max) {
+          batch.push_back(std::move(c->lines.front()));
+          c->lines.pop_front();
+          order.push_back(c);
+          --pending_requests_;
+        }
       }
     }
-    pending.erase(0, start);
-    if (eof && !error && !pending.empty()) {
-      // Orderly EOF with an unterminated final query: answer it anyway,
-      // matching --once/stdin behavior (the peer's read side is still
-      // open after shutdown(SHUT_WR)).
-      (void)Respond(std::move(pending), kernel, fd);
+    if (!batch.empty()) {
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+      LIMBO_OBS_COUNT("serve.batches", 1);
+      const std::vector<std::string> responses =
+          registry_->HandleBatch(batch, &kernel);
+      // One send per connection per batch: a connection's responses are
+      // consecutive in `order` by construction of the drain loop above.
+      size_t i = 0;
+      std::string out;
+      while (i < order.size()) {
+        Conn* c = order[i];
+        out.clear();
+        for (; i < order.size() && order[i] == c; ++i) {
+          out += responses[i];
+          out.push_back('\n');
+        }
+        if (!SendAll(c->fd, out.data(), out.size())) {
+          std::lock_guard<std::mutex> lock(mu_);
+          c->dead = true;
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (Conn* c : claimed) {
+        c->claimed = false;
+        if (c->dead) {
+          // Peer is gone: the remaining queued requests are unanswerable.
+          pending_requests_ -= c->lines.size();
+          c->lines.clear();
+        } else if (!c->lines.empty()) {
+          c->ready = true;
+          ready_.push_back(c);
+          cv_.notify_one();
+        }
+      }
     }
   }
-  ::close(fd);
 }
 
 }  // namespace limbo::serve

@@ -1,5 +1,6 @@
 #include "util/json.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -254,6 +255,52 @@ void AppendJsonNumber(double value, std::string* out) {
     std::strcat(buf, ".0");
   }
   *out += buf;
+}
+
+void AppendCanonicalJson(const JsonValue& value, std::string* out) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      return;
+    case JsonValue::Kind::kBoolean:
+      *out += value.boolean ? "true" : "false";
+      return;
+    case JsonValue::Kind::kInteger:
+      *out += std::to_string(value.integer);
+      return;
+    case JsonValue::Kind::kNumber:
+      AppendJsonNumber(value.number, out);
+      return;
+    case JsonValue::Kind::kString:
+      AppendJsonString(value.str, out);
+      return;
+    case JsonValue::Kind::kArray:
+      out->push_back('[');
+      for (size_t i = 0; i < value.array.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        AppendCanonicalJson(value.array[i], out);
+      }
+      out->push_back(']');
+      return;
+    case JsonValue::Kind::kObject: {
+      // Sort by key only (stable), so duplicate keys keep their parse
+      // order and the serialization is a pure function of the value.
+      std::vector<size_t> order(value.object.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return value.object[a].first < value.object[b].first;
+      });
+      out->push_back('{');
+      for (size_t i = 0; i < order.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        AppendJsonString(value.object[order[i]].first, out);
+        out->push_back(':');
+        AppendCanonicalJson(value.object[order[i]].second, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
 }
 
 }  // namespace limbo::util

@@ -53,6 +53,13 @@ void AppendJsonString(const std::string& s, std::string* out);
 /// always shaped as a JSON number token (integral values get ".0").
 void AppendJsonNumber(double value, std::string* out);
 
+/// Appends a canonical serialization of `value`: no whitespace, object
+/// keys sorted (stably, so duplicate keys keep their relative order),
+/// numbers via AppendJsonNumber. Two documents that parse to the same
+/// value modulo key order and formatting canonicalize to the same bytes
+/// — the property the serve-layer response cache keys rely on.
+void AppendCanonicalJson(const JsonValue& value, std::string* out);
+
 }  // namespace limbo::util
 
 #endif  // LIMBO_UTIL_JSON_H_

@@ -1,6 +1,7 @@
 #include "serve/engine.h"
 
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -263,6 +264,82 @@ TEST(EngineTest, InfoEchoesTheFitParameters) {
   EXPECT_EQ(response.Find("clusters")->integer,
             engine.bundle().representatives.size());
   EXPECT_EQ(response.Find("oov_policy")->str, "drop");
+}
+
+// The batching contract: evaluating N rows through one AssignBatch call
+// yields bit-identical labels, losses and OOV counts to N AssignRow
+// calls — including rows that fail (OOV under strict, all-unseen), whose
+// statuses must match without poisoning their neighbours.
+TEST(EngineTest, AssignBatchIsBitIdenticalToAssignRow) {
+  Engine engine = TestEngine();
+  std::vector<std::vector<std::string>> rows = TestRows();
+  rows.push_back({"Boston", "MA", "02134", "zed"});  // one OOV value
+  rows.push_back({"x", "y", "z", "w"});              // all unseen: error
+  rows.push_back({"Miami", "FL", "33101", "erin"});  // valid after error
+
+  core::LossKernel batch_kernel;
+  const std::vector<RowAssignment> batch =
+      engine.AssignBatch(rows, &batch_kernel);
+  ASSERT_EQ(batch.size(), rows.size());
+
+  core::LossKernel single_kernel;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    uint32_t label = 0;
+    double loss = 0.0;
+    size_t oov = 0;
+    util::Status status =
+        engine.AssignRow(rows[i], &single_kernel, &label, &loss, &oov);
+    EXPECT_EQ(batch[i].status.ok(), status.ok()) << "row " << i;
+    if (!status.ok()) {
+      EXPECT_EQ(batch[i].status.ToString(), status.ToString()) << "row " << i;
+      continue;
+    }
+    EXPECT_EQ(batch[i].label, label) << "row " << i;
+    EXPECT_EQ(batch[i].oov, oov) << "row " << i;
+    EXPECT_EQ(std::memcmp(&batch[i].loss, &loss, sizeof(double)), 0)
+        << "row " << i << ": batch " << batch[i].loss << " vs single "
+        << loss;
+  }
+}
+
+// HandleRequests (the batched dispatch behind Registry::HandleBatch)
+// must answer every request — batchable assign/duplicates, admin ops,
+// protocol errors — with exactly the bytes the per-line path produces.
+TEST(EngineTest, HandleRequestsMatchesPerLineResponses) {
+  Engine engine = TestEngine();
+  std::vector<std::string> queries;
+  for (const auto& row : TestRows()) queries.push_back(AssignQuery(row));
+  queries.push_back(
+      "{\"op\":\"duplicates\",\"row\":[\"Boston\",\"MA\",\"02134\","
+      "\"alice\"]}");
+  queries.push_back(
+      "{\"op\":\"assign\",\"row\":[\"Boston\",\"MA\",\"02134\",\"zed\"]}");
+  queries.push_back("{\"op\":\"assign\",\"row\":[\"x\",\"y\",\"z\",\"w\"]}");
+  queries.push_back("{\"op\":\"assign\",\"row\":[\"too\",\"short\"]}");
+  queries.push_back("{\"op\":\"assign\",\"csv\":\"Miami,FL,33101,dave\"}");
+  queries.push_back("{\"op\":\"info\"}");
+  queries.push_back("{\"op\":\"fds\",\"limit\":2}");
+  queries.push_back("{\"op\":\"warp\"}");
+
+  std::vector<util::JsonValue> parsed;
+  parsed.reserve(queries.size());
+  for (const std::string& q : queries) {
+    auto value = util::ParseJson(q);
+    ASSERT_TRUE(value.ok()) << q;
+    parsed.push_back(std::move(*value));
+  }
+  std::vector<const util::JsonValue*> requests;
+  for (const util::JsonValue& v : parsed) requests.push_back(&v);
+
+  core::LossKernel batch_kernel;
+  const std::vector<std::string> batched =
+      engine.HandleRequests(requests, &batch_kernel);
+  ASSERT_EQ(batched.size(), queries.size());
+  core::LossKernel single_kernel;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batched[i], engine.HandleLine(queries[i], &single_kernel))
+        << queries[i];
+  }
 }
 
 TEST(EngineTest, RefusesEmptyBundle) {

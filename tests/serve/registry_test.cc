@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -297,6 +298,144 @@ TEST_F(RegistryTest, FailedReloadKeepsOldEngineServing) {
       ParseResponse(registry.HandleLine("{\"op\":\"reload\"}", &kernel));
   EXPECT_FALSE(ResponseOk(reload));
   EXPECT_EQ(ErrorCode(reload), "FailedPrecondition");
+}
+
+// The serving-layer batching contract: a heterogeneous batch — queries
+// routed to two models, admin ops, protocol errors — answered through
+// one HandleBatch call is byte-identical to the same lines answered one
+// HandleLine at a time, in order.
+TEST_F(RegistryTest, HandleBatchMatchesHandleLine) {
+  const std::vector<std::string> lines = {
+      "{\"op\":\"assign\",\"model\":\"wide\","
+      "\"row\":[\"Boston\",\"MA\",\"02134\",\"alice\"]}",
+      "{\"op\":\"assign\",\"model\":\"narrow\","
+      "\"row\":[\"Denver\",\"CO\",\"80201\",\"bob\"]}",
+      "{\"op\":\"duplicates\",\"row\":[\"Boston\",\"MA\",\"02134\","
+      "\"alice\"]}",
+      "{\"op\":\"assign\",\"model\":\"wide\","
+      "\"row\":[\"Miami\",\"FL\",\"33101\",\"erin\"]}",
+      "not json at all",
+      "[1,2,3]",
+      "{\"op\":7}",
+      "{\"op\":\"info\",\"model\":\"missing\"}",
+      "{\"op\":\"models\"}",
+      "{\"op\":\"info\",\"model\":\"narrow\"}",
+      "{\"op\":\"assign\",\"row\":[\"x\",\"y\",\"z\",\"w\"]}",
+  };
+
+  Registry by_line;
+  ASSERT_TRUE(by_line.AddModel("wide", wide_path_).ok());
+  ASSERT_TRUE(by_line.AddModel("narrow", narrow_path_).ok());
+  Registry by_batch;
+  ASSERT_TRUE(by_batch.AddModel("wide", wide_path_).ok());
+  ASSERT_TRUE(by_batch.AddModel("narrow", narrow_path_).ok());
+
+  core::LossKernel kernel;
+  std::vector<std::string> want;
+  for (const std::string& line : lines) {
+    want.push_back(by_line.HandleLine(line, &kernel));
+  }
+  const std::vector<std::string> got = by_batch.HandleBatch(lines, &kernel);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << lines[i];
+  }
+}
+
+TEST_F(RegistryTest, CacheServesRepeatsByteIdenticallyAndCounts) {
+  Registry registry({}, /*cache_entries=*/64);
+  ASSERT_TRUE(registry.AddModel("wide", wide_path_).ok());
+  core::LossKernel kernel;
+  const std::string query =
+      "{\"op\":\"assign\",\"row\":[\"Boston\",\"MA\",\"02134\",\"alice\"]}";
+  const std::string first = registry.HandleLine(query, &kernel);
+  const std::string second = registry.HandleLine(query, &kernel);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(registry.CacheHits(), 1u);
+  EXPECT_EQ(registry.CacheMisses(), 1u);
+  // The batched path probes the same cache.
+  const std::vector<std::string> lines = {query};
+  const std::vector<std::string> batched =
+      registry.HandleBatch(lines, &kernel);
+  ASSERT_EQ(batched.size(), 1u);
+  EXPECT_EQ(batched[0], first);
+  EXPECT_EQ(registry.CacheHits(), 2u);
+}
+
+// Key canonicalization: whitespace and object-key order don't change the
+// request, so they must not miss the cache.
+TEST_F(RegistryTest, CacheKeyIgnoresWhitespaceAndKeyOrder) {
+  Registry registry({}, /*cache_entries=*/64);
+  ASSERT_TRUE(registry.AddModel("wide", wide_path_).ok());
+  core::LossKernel kernel;
+  const std::string compact =
+      "{\"op\":\"assign\",\"row\":[\"Boston\",\"MA\",\"02134\",\"alice\"]}";
+  const std::string reordered =
+      "{ \"row\": [\"Boston\", \"MA\", \"02134\", \"alice\"],\n"
+      "  \"op\": \"assign\" }";
+  const std::string first = registry.HandleLine(compact, &kernel);
+  const std::string second = registry.HandleLine(reordered, &kernel);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(registry.CacheHits(), 1u);
+  EXPECT_EQ(registry.CacheMisses(), 1u);
+}
+
+// The invalidation guarantee: the cache key carries the model version,
+// so a hot reload atomically orphans every entry cached against the old
+// engine — a stale response can never be served.
+TEST_F(RegistryTest, ReloadInvalidatesCachedResponses) {
+  Registry registry({}, /*cache_entries=*/64);
+  ASSERT_TRUE(registry.AddModel("m", wide_path_).ok());
+  core::LossKernel kernel;
+  const std::string query = "{\"op\":\"info\"}";
+  EXPECT_EQ(NumberField(ParseResponse(registry.HandleLine(query, &kernel)),
+                        "clusters"),
+            3.0);
+  EXPECT_EQ(NumberField(ParseResponse(registry.HandleLine(query, &kernel)),
+                        "clusters"),
+            3.0);
+  EXPECT_EQ(registry.CacheHits(), 1u);
+
+  // Swap the bundle on disk for the 2-cluster fit and hot reload: the
+  // same query must answer from the new engine, not the cache.
+  {
+    std::ifstream in(narrow_path_, std::ios::binary);
+    std::ofstream out(wide_path_, std::ios::binary | std::ios::trunc);
+    out << in.rdbuf();
+  }
+  ASSERT_TRUE(ResponseOk(
+      ParseResponse(registry.HandleLine("{\"op\":\"reload\"}", &kernel))));
+  EXPECT_EQ(NumberField(ParseResponse(registry.HandleLine(query, &kernel)),
+                        "clusters"),
+            2.0);
+  // The post-reload lookup missed (new version => new key) and repeats
+  // now hit the fresh entry.
+  EXPECT_EQ(registry.CacheMisses(), 2u);
+  EXPECT_EQ(NumberField(ParseResponse(registry.HandleLine(query, &kernel)),
+                        "clusters"),
+            2.0);
+  EXPECT_EQ(registry.CacheHits(), 2u);
+}
+
+TEST_F(RegistryTest, CacheEvictsLeastRecentlyUsed) {
+  Registry registry({}, /*cache_entries=*/2);
+  ASSERT_TRUE(registry.AddModel("wide", wide_path_).ok());
+  core::LossKernel kernel;
+  const std::string a =
+      "{\"op\":\"assign\",\"row\":[\"Boston\",\"MA\",\"02134\",\"alice\"]}";
+  const std::string b =
+      "{\"op\":\"assign\",\"row\":[\"Denver\",\"CO\",\"80201\",\"bob\"]}";
+  const std::string c =
+      "{\"op\":\"assign\",\"row\":[\"Miami\",\"FL\",\"33101\",\"dave\"]}";
+  registry.HandleLine(a, &kernel);  // miss; cache = [a]
+  registry.HandleLine(b, &kernel);  // miss; cache = [b, a]
+  registry.HandleLine(a, &kernel);  // hit;  cache = [a, b]
+  registry.HandleLine(c, &kernel);  // miss; evicts b -> [c, a]
+  EXPECT_EQ(registry.CacheHits(), 1u);
+  registry.HandleLine(b, &kernel);  // miss; evicts a -> [b, c]
+  EXPECT_EQ(registry.CacheMisses(), 4u);
+  registry.HandleLine(a, &kernel);  // miss: a fell out above
+  EXPECT_EQ(registry.CacheMisses(), 5u);
 }
 
 TEST_F(RegistryTest, ReloadOfUnknownModelFails) {

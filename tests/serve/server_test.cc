@@ -14,6 +14,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -150,18 +151,21 @@ class TestClient {
 /// server whose acceptor runs on a fixture-owned thread.
 class ServerTest : public ::testing::Test {
  protected:
-  void StartServer(size_t workers = 2, size_t max_pending = 128) {
+  void StartServer(size_t workers = 2, size_t max_pending = 128,
+                   size_t batch_max = 16, size_t cache_entries = 0) {
     signal(SIGPIPE, SIG_IGN);  // the daemon does this too
     wide_path_ = SaveBundle(3, "wide");
     narrow_path_ = SaveBundle(2, "narrow");
-    ASSERT_TRUE(registry_.AddModel("wide", wide_path_).ok());
-    ASSERT_TRUE(registry_.AddModel("narrow", narrow_path_).ok());
+    registry_ = std::make_unique<Registry>(EngineOptions{}, cache_entries);
+    ASSERT_TRUE(registry_->AddModel("wide", wide_path_).ok());
+    ASSERT_TRUE(registry_->AddModel("narrow", narrow_path_).ok());
     ServerOptions options;
     options.port = 0;
     options.workers = workers;
     options.max_pending = max_pending;
     options.poll_ms = 10;
-    auto server = Server::Start(&registry_, options);
+    options.batch_max = batch_max;
+    auto server = Server::Start(registry_.get(), options);
     ASSERT_TRUE(server.ok()) << server.status().ToString();
     server_ = std::move(server).value();
     stop_.store(0);
@@ -182,7 +186,7 @@ class ServerTest : public ::testing::Test {
 
   int port() const { return server_->port(); }
 
-  Registry registry_;
+  std::unique_ptr<Registry> registry_;
   std::unique_ptr<Server> server_;
   std::thread acceptor_;
   std::atomic<int> stop_{0};
@@ -245,7 +249,7 @@ TEST_F(ServerTest, TcpMatchesRegistryByteForByte) {
     std::string response;
     ASSERT_TRUE(client.SendLine(query));
     ASSERT_TRUE(client.ReadLine(&response));
-    EXPECT_EQ(response, Expected(&registry_, query)) << query;
+    EXPECT_EQ(response, Expected(registry_.get(), query)) << query;
   }
 }
 
@@ -308,7 +312,7 @@ TEST_F(ServerTest, SurvivesSignalStorm) {
   });
 
   const std::string query = "{\"op\":\"fds\",\"limit\":20}";
-  const std::string want = Expected(&registry_, query);
+  const std::string want = Expected(registry_.get(), query);
   TestClient client;
   ASSERT_TRUE(client.Connect(port()));
   for (int i = 0; i < 200; ++i) {
@@ -373,7 +377,7 @@ TEST_F(ServerTest, ReloadUnderLoadDropsNothing) {
   for (int m = 0; m < 2; ++m) {
     queries[m] = std::string("{\"op\":\"assign\",\"model\":\"") + models[m] +
                  "\",\"row\":[\"Denver\",\"CO\",\"80201\",\"bob\"]}";
-    want[m] = Expected(&registry_, queries[m]);
+    want[m] = Expected(registry_.get(), queries[m]);
   }
 
   std::atomic<bool> failed{false};
@@ -416,7 +420,7 @@ TEST_F(ServerTest, ReloadUnderLoadDropsNothing) {
   EXPECT_EQ(answered.load(), 4u * 150u);
   EXPECT_EQ(reloads_ok, 20u);
   // 20 reloads x 2 models, versions end at 21.
-  for (const ModelInfo& info : registry_.ListModels()) {
+  for (const ModelInfo& info : registry_->ListModels()) {
     EXPECT_EQ(info.version, 21u) << info.name;
   }
 }
@@ -438,7 +442,7 @@ TEST_F(ServerTest, ReloadFlagTriggersReloadAll) {
   for (int spins = 0; spins < 500 && !reloaded; ++spins) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
     reloaded = true;
-    for (const ModelInfo& info : registry_.ListModels()) {
+    for (const ModelInfo& info : registry_->ListModels()) {
       reloaded = reloaded && info.version == 2u;
     }
   }
@@ -468,7 +472,7 @@ TEST_F(ServerTest, BitIdenticalAcrossWorkerCounts) {
   std::vector<std::string> want;
   want.reserve(queries.size());
   for (const std::string& query : queries) {
-    want.push_back(Expected(&registry_, query));
+    want.push_back(Expected(registry_.get(), query));
   }
 
   // 4 concurrent connections, all sending the full query set.
@@ -493,6 +497,169 @@ TEST_F(ServerTest, BitIdenticalAcrossWorkerCounts) {
   }
   for (std::thread& client : clients) client.join();
   EXPECT_FALSE(failed.load());
+}
+
+// Cross-request batching must never change bytes: clients pipeline the
+// whole query set in a single send (so worker lanes really do drain
+// multi-line batches) and every response must match the per-line
+// registry path, in order. Exercised at 1 and 4 workers.
+class BatchedServerTest : public ServerTest {
+ protected:
+  void RunPipelinedBatchTest(size_t workers) {
+    StartServer(workers, /*max_pending=*/128, /*batch_max=*/8);
+    std::vector<std::string> queries;
+    for (const auto& row : TestRows()) {
+      std::string q = "{\"op\":\"assign\",\"row\":[";
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) q.push_back(',');
+        util::AppendJsonString(row[i], &q);
+      }
+      q += "]}";
+      queries.push_back(std::move(q));
+    }
+    queries.push_back(
+        "{\"op\":\"duplicates\",\"model\":\"narrow\","
+        "\"row\":[\"Boston\",\"MA\",\"02134\",\"alice\"]}");
+    queries.push_back("{\"op\":\"info\",\"model\":\"narrow\"}");
+    queries.push_back("not json at all");
+    std::vector<std::string> want;
+    want.reserve(queries.size());
+    for (const std::string& query : queries) {
+      want.push_back(Expected(registry_.get(), query));
+    }
+    std::string pipelined;
+    for (const std::string& query : queries) {
+      pipelined += query;
+      pipelined.push_back('\n');
+    }
+
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+      clients.emplace_back([&] {
+        TestClient client;
+        if (!client.Connect(port()) || !client.Send(pipelined)) {
+          failed.store(true);
+          return;
+        }
+        for (size_t i = 0; i < queries.size(); ++i) {
+          std::string response;
+          if (!client.ReadLine(&response) || response != want[i]) {
+            failed.store(true);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    EXPECT_FALSE(failed.load());
+    // The pipelined burst actually exercised multi-request batches.
+    EXPECT_GT(server_->batched_requests(), server_->batches());
+  }
+};
+
+TEST_F(BatchedServerTest, PipelinedBatchesMatchSinglePathOneWorker) {
+  RunPipelinedBatchTest(1);
+}
+
+TEST_F(BatchedServerTest, PipelinedBatchesMatchSinglePathFourWorkers) {
+  RunPipelinedBatchTest(4);
+}
+
+// The cache-invalidation guarantee end to end: fill the response cache,
+// hot-reload to a bundle with different assignments, and assert that no
+// query sent after the reload acknowledgment is ever answered from the
+// stale engine — under live concurrent load the whole time.
+TEST_F(ServerTest, CacheInvalidatedOnReloadUnderConcurrentLoad) {
+  StartServer(/*workers=*/4, /*max_pending=*/128, /*batch_max=*/8,
+              /*cache_entries=*/256);
+  const std::string info_query = "{\"op\":\"info\",\"model\":\"wide\"}";
+  const std::string assign_query =
+      "{\"op\":\"assign\",\"model\":\"wide\","
+      "\"row\":[\"Denver\",\"CO\",\"80201\",\"bob\"]}";
+  // Pre-reload expectations (also the cache fill), and post-reload ones:
+  // after the wide file is overwritten with the narrow bundle, "wide"
+  // must answer with the narrow engine's bytes.
+  const std::string pre_info = Expected(registry_.get(), info_query);
+  const std::string pre_assign = Expected(registry_.get(), assign_query);
+  const std::string post_info = Expected(
+      registry_.get(), "{\"op\":\"info\",\"model\":\"narrow\"}");
+  const std::string post_assign = Expected(
+      registry_.get(),
+      "{\"op\":\"assign\",\"model\":\"narrow\","
+      "\"row\":[\"Denver\",\"CO\",\"80201\",\"bob\"]}");
+  ASSERT_NE(pre_info, post_info);  // k=3 vs k=2: the states are distinct
+
+  // Concurrent load: every response must be a valid engine state —
+  // pre-reload or post-reload bytes, nothing else (stale-mixed, torn).
+  std::atomic<bool> failed{false};
+  std::atomic<bool> running{true};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      const std::string& query = (c % 2 == 0) ? info_query : assign_query;
+      const std::string& pre = (c % 2 == 0) ? pre_info : pre_assign;
+      const std::string& post = (c % 2 == 0) ? post_info : post_assign;
+      TestClient client;
+      if (!client.Connect(port())) {
+        failed.store(true);
+        return;
+      }
+      while (running.load() && !failed.load()) {
+        std::string response;
+        if (!client.SendLine(query) || !client.ReadLine(&response) ||
+            (response != pre && response != post)) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+
+  // Warm the cache on the old version, then blue/green: overwrite the
+  // wide bundle with the narrow one and reload through the admin op.
+  {
+    TestClient warm;
+    ASSERT_TRUE(warm.Connect(port()));
+    std::string response;
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(warm.SendLine(info_query));
+      ASSERT_TRUE(warm.ReadLine(&response));
+      ASSERT_TRUE(warm.SendLine(assign_query));
+      ASSERT_TRUE(warm.ReadLine(&response));
+    }
+  }
+  {
+    std::ifstream in(narrow_path_, std::ios::binary);
+    std::ofstream out(wide_path_, std::ios::binary | std::ios::trunc);
+    out << in.rdbuf();
+  }
+  TestClient admin;
+  ASSERT_TRUE(admin.Connect(port()));
+  std::string reload_response;
+  ASSERT_TRUE(admin.SendLine("{\"op\":\"reload\",\"model\":\"wide\"}"));
+  ASSERT_TRUE(admin.ReadLine(&reload_response));
+  ASSERT_NE(reload_response.find("\"ok\":true"), std::string::npos)
+      << reload_response;
+
+  // Zero stale responses: every query sent after the reload ack must
+  // carry the new engine's bytes — the version-keyed cache cannot serve
+  // version-1 entries to version-2 lookups.
+  std::string response;
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(admin.SendLine(info_query));
+    ASSERT_TRUE(admin.ReadLine(&response));
+    EXPECT_EQ(response, post_info) << "stale response after reload, i=" << i;
+    ASSERT_TRUE(admin.SendLine(assign_query));
+    ASSERT_TRUE(admin.ReadLine(&response));
+    EXPECT_EQ(response, post_assign)
+        << "stale response after reload, i=" << i;
+  }
+
+  running.store(false);
+  for (std::thread& client : clients) client.join();
+  EXPECT_FALSE(failed.load()) << "a response matched neither engine state";
+  EXPECT_GT(registry_->CacheHits(), 0u);
 }
 
 }  // namespace

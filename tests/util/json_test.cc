@@ -110,5 +110,41 @@ TEST(JsonAppend, IntegralDoubleStaysANumberToken) {
   EXPECT_EQ(out, "4.0");
 }
 
+std::string Canonical(const std::string& text) {
+  auto parsed = ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << text;
+  std::string out;
+  AppendCanonicalJson(*parsed, &out);
+  return out;
+}
+
+// The canonical form backs the serve-layer response-cache key: two
+// texts that parse to the same value must canonicalize to the same
+// bytes regardless of whitespace or object-key order.
+TEST(JsonCanonical, CollapsesWhitespaceAndKeyOrder) {
+  const std::string compact = Canonical("{\"a\":1,\"b\":[true,null,\"x\"]}");
+  EXPECT_EQ(compact, "{\"a\":1,\"b\":[true,null,\"x\"]}");
+  EXPECT_EQ(Canonical("{ \"b\": [ true, null, \"x\" ],\n  \"a\": 1 }"),
+            compact);
+}
+
+TEST(JsonCanonical, SortsNestedObjectKeys) {
+  EXPECT_EQ(Canonical("{\"z\":{\"b\":2,\"a\":1},\"a\":0}"),
+            "{\"a\":0,\"z\":{\"a\":1,\"b\":2}}");
+}
+
+TEST(JsonCanonical, ArrayOrderIsPreserved) {
+  EXPECT_EQ(Canonical("[3,2,1]"), "[3,2,1]");
+}
+
+TEST(JsonCanonical, StringsAndNumbersMatchTheirAppenders) {
+  std::string want = "{\"k\":";
+  AppendJsonNumber(1.0 / 3.0, &want);
+  want += ",\"s\":";
+  AppendJsonString("a\nb", &want);
+  want.push_back('}');
+  EXPECT_EQ(Canonical("{\"s\":\"a\\nb\",\"k\":0.3333333333333333}"), want);
+}
+
 }  // namespace
 }  // namespace limbo::util

@@ -3,7 +3,7 @@
 
 Extracts every ``limbo-tool`` / ``limbo-serve`` / ``micro_limbo``
 invocation from fenced code blocks in docs/tutorial.md, README.md,
-docs/architecture.md and docs/serving.md,
+docs/architecture.md, docs/serving.md and docs/performance.md,
 rewrites the binary path
 to the actual build tree, and executes them in order inside a scratch
 directory (so commands that generate files feed the commands that
@@ -28,6 +28,7 @@ DOCS = [
     REPO / "README.md",
     REPO / "docs" / "architecture.md",
     REPO / "docs" / "serving.md",
+    REPO / "docs" / "performance.md",
 ]
 
 # Binaries the check knows how to rewrite; anything else in a fenced

@@ -5,6 +5,7 @@
 //   limbo-serve --models-dir=dir [flags]
 //
 // Flags: [--port=7070] [--workers=1] [--max-pending=128]
+//        [--batch-max=16] [--batch-wait-us=0] [--cache-entries=0]
 //        [--default-model=name] [--oov=drop|strict]
 //        [--once] [--query=<json> ...]
 //
@@ -35,9 +36,13 @@
 // --workers count: assignment is a pure function of (row, bundle).
 //
 // TCP mode accepts connections on --port (0 = ephemeral; the chosen port
-// is printed) into a bounded pending queue drained by --workers serving
-// lanes; connections beyond --max-pending are shed immediately with
-// {"ok":false,"code":"overloaded",...}. SIGHUP hot-reloads every model
+// is printed); a reactor thread multiplexes every connection and
+// --workers lanes drain queued requests in batches of up to --batch-max
+// (lingering --batch-wait-us for a fuller batch; 0 never delays).
+// Connections beyond workers + --max-pending are shed immediately with
+// {"ok":false,"code":"overloaded",...}. --cache-entries>0 enables the
+// bounded LRU response cache, keyed by model version so hot reloads
+// invalidate atomically. SIGHUP hot-reloads every model
 // (in-flight queries finish on their engine snapshot; none is dropped),
 // and SIGINT/SIGTERM shut down cleanly, draining in-flight connections
 // first. SIGPIPE is ignored: a client disconnecting mid-response only
@@ -47,12 +52,14 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -102,6 +109,8 @@ int Usage() {
       "usage: limbo-serve model.limbo [--model name=path ...]\n"
       "                   [--models-dir=dir] [--default-model=name]\n"
       "                   [--port=7070] [--workers=1] [--max-pending=128]\n"
+      "                   [--batch-max=16] [--batch-wait-us=0]\n"
+      "                   [--cache-entries=0]\n"
       "                   [--oov=drop|strict] [--once] [--query=<json> ...]\n");
   return 2;
 }
@@ -113,6 +122,9 @@ struct ServeArgs {
   int port = 7070;
   size_t workers = 1;
   size_t max_pending = 128;
+  size_t batch_max = 16;
+  int batch_wait_us = 0;
+  size_t cache_entries = 0;
   serve::OovPolicy oov = serve::OovPolicy::kDrop;
   bool once = false;
   std::vector<std::string> queries;
@@ -186,6 +198,38 @@ bool ParseServeArgs(int argc, char** argv, ServeArgs* args) {
         return false;
       }
       args->max_pending = static_cast<size_t>(pending);
+    } else if (key == "batch-max") {
+      unsigned long batch = 0;
+      if (!ParseBoundedInt(value, 4096, &batch) || batch == 0) {
+        std::fprintf(stderr,
+                     "limbo-serve: --batch-max must be an integer in "
+                     "[1, 4096], got \"%s\"\n",
+                     value.c_str());
+        return false;
+      }
+      args->batch_max = static_cast<size_t>(batch);
+    } else if (key == "batch-wait-us") {
+      unsigned long wait = 0;
+      if (eq == std::string::npos ||
+          !ParseBoundedInt(value, 1000000, &wait)) {
+        std::fprintf(stderr,
+                     "limbo-serve: --batch-wait-us must be an integer in "
+                     "[0, 1000000], got \"%s\"\n",
+                     eq == std::string::npos ? "" : value.c_str());
+        return false;
+      }
+      args->batch_wait_us = static_cast<int>(wait);
+    } else if (key == "cache-entries") {
+      unsigned long entries = 0;
+      if (eq == std::string::npos ||
+          !ParseBoundedInt(value, 1 << 24, &entries)) {
+        std::fprintf(stderr,
+                     "limbo-serve: --cache-entries must be an integer in "
+                     "[0, 16777216], got \"%s\"\n",
+                     eq == std::string::npos ? "" : value.c_str());
+        return false;
+      }
+      args->cache_entries = static_cast<size_t>(entries);
     } else if (key == "model") {
       // Accepts both --model name=path and --model=name=path.
       std::string spec = value;
@@ -226,8 +270,10 @@ bool ParseServeArgs(int argc, char** argv, ServeArgs* args) {
 }
 
 /// --once: answer the given queries (or stdin lines) and exit. Queries
-/// are dispatched across the worker lanes but responses print in input
-/// order, so the output is byte-identical at every worker count.
+/// are dispatched across the worker lanes in --batch-max chunks (the
+/// same Registry::HandleBatch path the TCP server drives) but responses
+/// print in input order, so the output is byte-identical at every
+/// worker count and batch size.
 int RunOnce(serve::Registry* registry, const ServeArgs& args) {
   std::vector<std::string> queries = args.queries;
   if (queries.empty()) {
@@ -239,13 +285,18 @@ int RunOnce(serve::Registry* registry, const ServeArgs& args) {
   std::vector<std::string> responses(queries.size());
   util::ThreadPool pool(args.workers);
   std::vector<core::LossKernel> kernels(pool.threads());
-  pool.ParallelFor(0, queries.size(), 1,
-                   [&](size_t begin, size_t end, size_t lane) {
-                     for (size_t i = begin; i < end; ++i) {
-                       responses[i] =
-                           registry->HandleLine(queries[i], &kernels[lane]);
-                     }
-                   });
+  const size_t batch = args.batch_max == 0 ? 1 : args.batch_max;
+  const size_t chunks = (queries.size() + batch - 1) / batch;
+  pool.ParallelFor(0, chunks, 1, [&](size_t begin, size_t end, size_t lane) {
+    for (size_t c = begin; c < end; ++c) {
+      const size_t lo = c * batch;
+      const size_t hi = std::min(queries.size(), lo + batch);
+      std::vector<std::string> answers = registry->HandleBatch(
+          std::span<const std::string>(queries.data() + lo, hi - lo),
+          &kernels[lane]);
+      std::move(answers.begin(), answers.end(), responses.begin() + lo);
+    }
+  });
   for (const std::string& response : responses) {
     std::fputs(response.c_str(), stdout);
     std::fputc('\n', stdout);
@@ -259,6 +310,8 @@ int RunTcp(serve::Registry* registry, const ServeArgs& args) {
   options.port = args.port;
   options.workers = args.workers;
   options.max_pending = args.max_pending;
+  options.batch_max = args.batch_max;
+  options.batch_wait_us = args.batch_wait_us;
   util::Result<std::unique_ptr<serve::Server>> server =
       serve::Server::Start(registry, options);
   if (!server.ok()) {
@@ -283,7 +336,7 @@ int main(int argc, char** argv) {
   if (!ParseServeArgs(argc, argv, &args)) return Usage();
   serve::EngineOptions engine_options;
   engine_options.oov = args.oov;
-  serve::Registry registry(engine_options);
+  serve::Registry registry(engine_options, args.cache_entries);
   for (const auto& [name, path] : args.models) {
     const util::Status status = registry.AddModel(name, path);
     if (!status.ok()) {
