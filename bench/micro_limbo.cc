@@ -13,11 +13,13 @@
 //    shapes, plus a single-threaded Phase-2 + Phase-3 comparison of the
 //    two dispatch modes, with a built-in bit-identity check. Its output
 //    is what BENCH_kernel.json records.
-//  * `micro_limbo --report[=path] [--tuples=N]` runs the full LIMBO
-//    pipeline once over a DBLP-sized input and emits a structured run
-//    report (same schema as `limbo-tool --report=...`: phases, merge
-//    trajectory, trace spans, counters) to `path` or stdout. Its output
-//    is what BENCH_report.json records.
+//  * `micro_limbo --report[=path] [--tuples=N] [--refit-tuples=M]` runs
+//    the full LIMBO pipeline once over a DBLP-sized input and emits a
+//    structured run report (same schema as `limbo-tool --report=...`:
+//    phases, merge trajectory, trace spans, counters) to `path` or
+//    stdout, plus a "refit" section measuring the incremental-refit arm
+//    at M tuples (default: the pipeline's N). Its output is what
+//    BENCH_report.json records.
 //  * `micro_limbo --stream [--tuples=N]` writes a DBLP-sized CSV, then
 //    runs the streamed (RowSource + RunLimboStreamed) and materialized
 //    (ReadCsv + RunLimbo) pipelines over it — each in its own child
@@ -53,6 +55,15 @@
 //    above the ceiling. The output line records realized batching
 //    (batches, mean_batch) and cache_hits; these lines are what the
 //    serve_load arms of BENCH_serve.json record.
+//  * `micro_limbo --refit [--tuples=N]` measures the incremental refit
+//    path against the full fit it replaces: a bundle is fit at N DBLP
+//    tuples (with refit state), ~1% of the rows are replayed through
+//    `model::RefitModel` on the no-drift patch path, and the refitted
+//    child is hot-reloaded into a serve::Registry where every replayed
+//    assign response is byte-compared against the parent's. Exit 0 iff
+//    the batch stayed no-drift, the patch was at least 5x faster than
+//    the full fit, and zero responses mismatched after the reload. The
+//    same measurement is the "refit" section of BENCH_report.json.
 
 #include <benchmark/benchmark.h>
 #include <netinet/in.h>
@@ -88,7 +99,9 @@
 #include "fd/fdep.h"
 #include "fd/partition.h"
 #include "fd/tane.h"
+#include "model/fit.h"
 #include "model/model_bundle.h"
+#include "model/refit.h"
 #include "relation/csv_io.h"
 #include "relation/row_source.h"
 #include "relation/source_stats.h"
@@ -488,10 +501,36 @@ int RunKernelBench(size_t tuples) {
   return e2e.bit_identical ? 0 : 1;
 }
 
+/// One measured refit arm: full-fit wall time vs the no-drift patch
+/// path over the same DBLP input, plus the serve-side hot-reload gate
+/// (parent served, refitted child swapped in, responses byte-compared).
+struct RefitArmRow {
+  size_t tuples = 0;
+  size_t extra_rows = 0;
+  double fit_seconds = 0.0;
+  double refit_seconds = 0.0;
+  double speedup = 0.0;
+  double drift_score = 0.0;
+  const char* drift_class = "?";
+  bool reload_ok = false;
+  size_t replayed = 0;
+  uint64_t mismatched = 0;
+};
+
+util::Result<RefitArmRow> MeasureRefitArm(size_t tuples);
+
 /// Run-report mode: one full LIMBO pipeline over DBLP, reported with the
 /// exact schema `limbo-tool --report=...` writes, so tooling that parses
-/// one parses the other.
-int RunReportMode(size_t tuples, const std::string& path) {
+/// one parses the other. The report also carries a "refit" section —
+/// the incremental-refit arm at `refit_tuples` — measured before the
+/// pipeline so its spans and counters don't leak into the report's own.
+int RunReportMode(size_t tuples, const std::string& path,
+                  size_t refit_tuples) {
+  auto refit_arm = MeasureRefitArm(refit_tuples);
+  if (!refit_arm.ok()) {
+    std::fprintf(stderr, "%s\n", refit_arm.status().ToString().c_str());
+    return 1;
+  }
   obs::ResetTrace();
   obs::ResetCounters();
   datagen::DblpOptions dblp_options;
@@ -518,6 +557,18 @@ int RunReportMode(size_t tuples, const std::string& path) {
   sections.push_back(std::move(run));
   sections.push_back(core::TimingsSection(result->timings));
   sections.push_back(core::TrajectorySection(result->aib.merges()));
+  obs::ReportSection refit("refit");
+  refit.AddField("tuples", static_cast<uint64_t>(refit_arm->tuples));
+  refit.AddField("appended_rows",
+                 static_cast<uint64_t>(refit_arm->extra_rows));
+  refit.AddField("full_fit_seconds", refit_arm->fit_seconds);
+  refit.AddField("refit_seconds", refit_arm->refit_seconds);
+  refit.AddField("speedup", refit_arm->speedup);
+  refit.AddField("drift_score", refit_arm->drift_score);
+  refit.AddField("drift_class", refit_arm->drift_class);
+  refit.AddField("reload_bit_identical",
+                 refit_arm->reload_ok && refit_arm->mismatched == 0);
+  sections.push_back(std::move(refit));
   const obs::RunReport report = core::AssembleRunReport(
       "micro_limbo limbo-pipeline", std::move(sections));
   const std::string body = report.ToJson();
@@ -1046,6 +1097,159 @@ int RunLoadBench(size_t tuples, size_t connections, size_t workers,
   return (bit_identical && reload_ok && p99_ok) ? 0 : 1;
 }
 
+/// Escapes one CSV field per RFC 4180 (quoted when it holds a comma,
+/// quote, or newline).
+void AppendCsvField(const std::string& value, std::string* out) {
+  if (value.find_first_of(",\"\n\r") == std::string::npos) {
+    out->append(value);
+    return;
+  }
+  out->push_back('"');
+  for (const char c : value) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+util::Result<RefitArmRow> MeasureRefitArm(size_t tuples) {
+  RefitArmRow row;
+  datagen::DblpOptions dblp_options;
+  dblp_options.target_tuples = tuples;
+  const relation::Relation rel = datagen::GenerateDblp(dblp_options);
+  row.tuples = rel.NumTuples();
+
+  // The full fit is the refit's alternative, so it is what the speedup
+  // is measured against. φ_T = 1.0 bounds the Phase-1 summary count the
+  // way the paper runs large inputs (see the --stream arm) so the
+  // quadratic Phase-2 matrix doesn't dominate the 100k-tuple run.
+  model::FitOptions fit_options;
+  fit_options.phi_t = 1.0;
+  fit_options.k = 10;
+  const auto fit_start = std::chrono::steady_clock::now();
+  auto fitted = model::FitModel(rel, fit_options);
+  row.fit_seconds = Seconds(fit_start);
+  if (!fitted.ok()) return fitted.status();
+
+  const std::string path =
+      "/tmp/micro_limbo_refit_" + std::to_string(getpid()) + ".limbo";
+  util::Status saved = model::Save(*fitted, path);
+  if (!saved.ok()) return saved;
+  auto parent = model::Load(path);  // picks up the payload checksum
+  if (!parent.ok()) {
+    unlink(path.c_str());
+    return parent.status();
+  }
+
+  // Refit batch: ~1% of the input, replayed from fit-time rows so the
+  // drift score lands on the no-drift patch path by construction.
+  row.extra_rows = std::min<size_t>(rel.NumTuples(),
+                                    std::max<size_t>(tuples / 100, 16));
+  std::string csv;
+  for (relation::AttributeId a = 0; a < rel.NumAttributes(); ++a) {
+    if (a > 0) csv.push_back(',');
+    AppendCsvField(rel.schema().Name(a), &csv);
+  }
+  csv.push_back('\n');
+  for (size_t t = 0; t < row.extra_rows; ++t) {
+    for (relation::AttributeId a = 0; a < rel.NumAttributes(); ++a) {
+      if (a > 0) csv.push_back(',');
+      AppendCsvField(rel.TextAt(static_cast<relation::TupleId>(t), a),
+                     &csv);
+    }
+    csv.push_back('\n');
+  }
+
+  auto source = relation::CsvStringSource::Open(csv);
+  if (!source.ok()) {
+    unlink(path.c_str());
+    return source.status();
+  }
+  const auto refit_start = std::chrono::steady_clock::now();
+  auto refit = model::RefitModel(*parent, *source);
+  row.refit_seconds = Seconds(refit_start);
+  if (!refit.ok()) {
+    unlink(path.c_str());
+    return refit.status();
+  }
+  row.drift_score = refit->drift_score;
+  row.drift_class = model::DriftClassName(refit->drift_class);
+  row.speedup = row.refit_seconds > 0.0
+                    ? row.fit_seconds / row.refit_seconds
+                    : 0.0;
+
+  // Hot-reload gate: serve the parent, precompute expected assign
+  // responses, swap the refitted child in over the same path, replay.
+  // The no-drift patch keeps representatives and dictionary entries
+  // frozen, so every response must come back byte-identical.
+  serve::Registry registry({}, 0);
+  util::Status added = registry.AddModel("refit", path);
+  if (!added.ok()) {
+    unlink(path.c_str());
+    return added;
+  }
+  row.replayed = std::min<size_t>(rel.NumTuples(), 20000);
+  core::LossKernel kernel;
+  std::vector<std::string> queries;
+  std::vector<std::string> expected;
+  queries.reserve(row.replayed);
+  expected.reserve(row.replayed);
+  for (size_t t = 0; t < row.replayed; ++t) {
+    queries.push_back(
+        AssignQuery(rel, static_cast<relation::TupleId>(t), "refit"));
+    expected.push_back(registry.HandleLine(queries.back(), &kernel));
+  }
+  saved = model::Save(refit->bundle, path);
+  if (!saved.ok()) {
+    unlink(path.c_str());
+    return saved;
+  }
+  const util::Status reloaded = registry.Reload("refit");
+  bool lineage_ok = false;
+  for (const serve::ModelInfo& info : registry.ListModels()) {
+    lineage_ok = info.name == "refit" && info.version == 2 &&
+                 info.has_lineage && info.lineage.refit_generation >= 1;
+  }
+  row.reload_ok = reloaded.ok() && lineage_ok;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (registry.HandleLine(queries[i], &kernel) != expected[i]) {
+      ++row.mismatched;
+    }
+  }
+  unlink(path.c_str());
+  return row;
+}
+
+/// Standalone `--refit` mode: one refit arm, one JSON line. Exit 0 iff
+/// the batch stayed on the no-drift path, the patch beat the full fit
+/// by at least 5x, and the reload gate saw zero mismatched responses.
+int RunRefitBench(size_t tuples) {
+  auto arm = MeasureRefitArm(tuples);
+  if (!arm.ok()) {
+    std::fprintf(stderr, "%s\n", arm.status().ToString().c_str());
+    return 1;
+  }
+  const bool no_drift = std::strcmp(arm->drift_class, "no-drift") == 0;
+  const bool speedup_ok = arm->speedup >= 5.0;
+  const bool bit_identical = arm->reload_ok && arm->mismatched == 0;
+  std::printf(
+      "{\"benchmark\": \"refit\", \"tuples\": %zu, \"appended_rows\": %zu, "
+      "\"full_fit_seconds\": %.4f, \"refit_seconds\": %.4f, "
+      "\"speedup\": %.1f, \"drift_score\": %.4f, \"drift_class\": \"%s\", "
+      "\"reload_ok\": %s, \"replayed\": %zu, \"mismatched\": %llu, "
+      "\"bit_identical\": %s}\n",
+      arm->tuples, arm->extra_rows, arm->fit_seconds, arm->refit_seconds,
+      arm->speedup, arm->drift_score, arm->drift_class,
+      arm->reload_ok ? "true" : "false", arm->replayed,
+      static_cast<unsigned long long>(arm->mismatched),
+      bit_identical ? "true" : "false");
+  if (!speedup_ok) {
+    std::fprintf(stderr, "refit speedup %.1fx below the 5x floor\n",
+                 arm->speedup);
+  }
+  return (no_drift && speedup_ok && bit_identical) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1055,6 +1259,8 @@ int main(int argc, char** argv) {
   bool stream_bench = false;
   bool serve_bench = false;
   bool load_bench = false;
+  bool refit_bench = false;
+  size_t refit_tuples = 0;
   std::string stream_arm;
   std::string stream_csv;
   std::string report_path;
@@ -1078,6 +1284,11 @@ int main(int argc, char** argv) {
       serve_bench = true;
     } else if (std::strcmp(argv[i], "--load") == 0) {
       load_bench = true;
+    } else if (std::strcmp(argv[i], "--refit") == 0) {
+      refit_bench = true;
+    } else if (std::strncmp(argv[i], "--refit-tuples=", 15) == 0) {
+      refit_tuples = static_cast<size_t>(std::strtoull(argv[i] + 15,
+                                                       nullptr, 10));
     } else if (std::strncmp(argv[i], "--connections=", 14) == 0) {
       connections = static_cast<size_t>(std::strtoull(argv[i] + 14,
                                                       nullptr, 10));
@@ -1127,10 +1338,14 @@ int main(int argc, char** argv) {
                         serve_workers, load_seconds, p99_limit_us,
                         batch_max, batch_wait_us, cache_entries);
   }
+  if (refit_bench) return RunRefitBench(tuples_given ? tuples : 20000);
   if (thread_scaling) return RunThreadScaling(tuples);
   if (kernel_bench) return RunKernelBench(tuples_given ? tuples : 10000);
-  if (report_mode) return RunReportMode(tuples_given ? tuples : 10000,
-                                        report_path);
+  if (report_mode) {
+    const size_t report_tuples = tuples_given ? tuples : 10000;
+    return RunReportMode(report_tuples, report_path,
+                         refit_tuples > 0 ? refit_tuples : report_tuples);
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -30,6 +30,9 @@ struct DcfTree::ChildRef {
 struct DcfTree::Node {
   bool is_leaf = true;
   std::vector<Dcf> leaf_entries;
+  /// Stable creation-order id of each leaf entry, parallel to
+  /// leaf_entries. Splits move ids together with their entries.
+  std::vector<uint32_t> entry_ids;
   std::vector<ChildRef> children;
 };
 
@@ -106,7 +109,7 @@ DcfTree::DcfTree(const Options& options) : options_(options) {
 
 DcfTree::~DcfTree() = default;
 
-void DcfTree::Insert(const Dcf& object) {
+uint32_t DcfTree::Insert(const Dcf& object) {
   ++stats_.num_inserts;
   LIMBO_OBS_COUNT("dcf_tree.inserts", 1);
   insert_kernel_.SetObject(object.p, object.cond);
@@ -121,6 +124,7 @@ void DcfTree::Insert(const Dcf& object) {
     ++stats_.height;
     ++stats_.num_nodes;  // the fresh root
   }
+  return last_insert_id_;
 }
 
 std::unique_ptr<DcfTree::ChildRef> DcfTree::MakeChildRef(
@@ -165,11 +169,14 @@ DcfTree::SplitResult DcfTree::InsertInto(Node* node, const Dcf& object) {
     }
     if (best != SIZE_MAX && best_loss <= options_.threshold + kMergeEps) {
       node->leaf_entries[best] = MergeDcf(node->leaf_entries[best], object);
+      last_insert_id_ = node->entry_ids[best];
       ++stats_.num_merges;
       LIMBO_OBS_COUNT("dcf_tree.merge_absorbs", 1);
       return result;
     }
     node->leaf_entries.push_back(object);
+    node->entry_ids.push_back(static_cast<uint32_t>(stats_.num_leaf_entries));
+    last_insert_id_ = node->entry_ids.back();
     ++stats_.num_leaf_entries;
     LIMBO_OBS_COUNT("dcf_tree.new_leaf_entries", 1);
     if (node->leaf_entries.size() <=
@@ -257,7 +264,9 @@ void DcfTree::SplitLeaf(Node* leaf, std::unique_ptr<Node>* out_a,
   *out_a = std::make_unique<Node>();
   *out_b = std::make_unique<Node>();
   for (size_t i = 0; i < entries.size(); ++i) {
-    (to_a[i] ? *out_a : *out_b)->leaf_entries.push_back(std::move(entries[i]));
+    Node* dst = (to_a[i] ? *out_a : *out_b).get();
+    dst->leaf_entries.push_back(std::move(entries[i]));
+    dst->entry_ids.push_back(leaf->entry_ids[i]);
   }
 }
 
@@ -302,19 +311,100 @@ void DcfTree::SplitInternal(Node* node, std::unique_ptr<Node>* out_a,
   }
 }
 
-void DcfTree::CollectLeaves(const Node* node, std::vector<Dcf>* out) const {
+void DcfTree::CollectLeaves(const Node* node, std::vector<Dcf>* out,
+                            std::vector<uint32_t>* ids) const {
   if (node->is_leaf) {
-    for (const Dcf& d : node->leaf_entries) out->push_back(d);
+    if (out != nullptr) {
+      for (const Dcf& d : node->leaf_entries) out->push_back(d);
+    }
+    if (ids != nullptr) {
+      for (const uint32_t id : node->entry_ids) ids->push_back(id);
+    }
     return;
   }
-  for (const ChildRef& c : node->children) CollectLeaves(c.node.get(), out);
+  for (const ChildRef& c : node->children) {
+    CollectLeaves(c.node.get(), out, ids);
+  }
 }
 
 std::vector<Dcf> DcfTree::LeafDcfs() const {
   std::vector<Dcf> out;
   out.reserve(stats_.num_leaf_entries);
-  CollectLeaves(root_.get(), &out);
+  CollectLeaves(root_.get(), &out, nullptr);
   return out;
+}
+
+std::vector<uint32_t> DcfTree::LeafEntryIds() const {
+  std::vector<uint32_t> ids;
+  ids.reserve(stats_.num_leaf_entries);
+  CollectLeaves(root_.get(), nullptr, &ids);
+  return ids;
+}
+
+FrozenDcfTree DcfTree::Freeze() const {
+  FrozenDcfTree frozen;
+  frozen.branching = options_.branching;
+  frozen.leaf_capacity = options_.leaf_capacity;
+  frozen.threshold = options_.threshold;
+  frozen.stats = stats_;
+  // Recursive member lambda: Node/ChildRef are private.
+  auto freeze = [](auto&& self, const Node* node, FrozenDcfNode* out) -> void {
+    out->is_leaf = node->is_leaf;
+    if (node->is_leaf) {
+      out->entries = node->leaf_entries;
+      out->entry_ids = node->entry_ids;
+      return;
+    }
+    out->children.resize(node->children.size());
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      const ChildRef& child = node->children[i];
+      FrozenDcfChild& fc = out->children[i];
+      fc.p = child.p;
+      fc.acc_ids.reserve(child.acc.size());
+      for (const auto& [id, mass] : child.acc) fc.acc_ids.push_back(id);
+      std::sort(fc.acc_ids.begin(), fc.acc_ids.end());
+      fc.acc_masses.reserve(fc.acc_ids.size());
+      for (const uint32_t id : fc.acc_ids) {
+        fc.acc_masses.push_back(child.acc.at(id));
+      }
+      self(self, child.node.get(), &fc.node);
+    }
+  };
+  freeze(freeze, root_.get(), &frozen.root);
+  return frozen;
+}
+
+std::unique_ptr<DcfTree> DcfTree::Restore(const FrozenDcfTree& frozen) {
+  Options options;
+  options.branching = frozen.branching;
+  options.leaf_capacity = frozen.leaf_capacity;
+  options.threshold = frozen.threshold;
+  auto tree = std::unique_ptr<DcfTree>(new DcfTree(options));
+  tree->stats_ = frozen.stats;
+  auto thaw = [](auto&& self,
+                 const FrozenDcfNode& fnode) -> std::unique_ptr<Node> {
+    auto node = std::make_unique<Node>();
+    node->is_leaf = fnode.is_leaf;
+    if (fnode.is_leaf) {
+      node->leaf_entries = fnode.entries;
+      node->entry_ids = fnode.entry_ids;
+      return node;
+    }
+    node->children.reserve(fnode.children.size());
+    for (const FrozenDcfChild& fc : fnode.children) {
+      ChildRef child;
+      child.p = fc.p;
+      child.acc.reserve(fc.acc_ids.size());
+      for (size_t i = 0; i < fc.acc_ids.size(); ++i) {
+        child.acc.emplace(fc.acc_ids[i], fc.acc_masses[i]);
+      }
+      child.node = self(self, fc.node);
+      node->children.push_back(std::move(child));
+    }
+    return node;
+  };
+  tree->root_ = thaw(thaw, frozen.root);
+  return tree;
 }
 
 std::string DcfTree::ValidateInvariants() const {
@@ -328,6 +418,12 @@ std::string DcfTree::ValidateInvariants() const {
       if (node->leaf_entries.size() >
           static_cast<size_t>(options_.leaf_capacity)) {
         error = util::StrFormat("leaf overflow: %zu entries",
+                                node->leaf_entries.size());
+        return;
+      }
+      if (node->entry_ids.size() != node->leaf_entries.size()) {
+        error = util::StrFormat("leaf has %zu ids for %zu entries",
+                                node->entry_ids.size(),
                                 node->leaf_entries.size());
         return;
       }
@@ -368,6 +464,23 @@ std::string DcfTree::ValidateInvariants() const {
     }
   };
   check(check, root_.get(), 0);
+  if (error.empty()) {
+    // Leaf-entry ids must be exactly {0, ..., num_leaf_entries - 1}.
+    std::vector<uint32_t> ids = LeafEntryIds();
+    std::vector<bool> seen(stats_.num_leaf_entries, false);
+    for (const uint32_t id : ids) {
+      if (id >= stats_.num_leaf_entries || seen[id]) {
+        error = util::StrFormat("leaf-entry id %u out of range or repeated",
+                                id);
+        break;
+      }
+      seen[id] = true;
+    }
+    if (error.empty() && ids.size() != stats_.num_leaf_entries) {
+      error = util::StrFormat("%zu leaf-entry ids for %zu entries",
+                              ids.size(), stats_.num_leaf_entries);
+    }
+  }
   if (error.empty() && stats_.num_inserts > 0) {
     // Leaf masses must sum to the inserted mass (objects carry p).
     // Callers insert probabilities, so compare against the accumulated

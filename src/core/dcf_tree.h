@@ -10,6 +10,8 @@
 
 namespace limbo::core {
 
+struct FrozenDcfTree;
+
 /// The BIRCH-like summary tree of LIMBO Phase 1 (Section 5.2).
 ///
 /// Objects (singleton DCFs) are inserted one at a time. Each insertion
@@ -50,20 +52,41 @@ class DcfTree {
   DcfTree& operator=(const DcfTree&) = delete;
 
   /// Inserts one object. `object.p` is its prior mass (1/n for tuples,
-  /// 1/d for values); `object.cond` its conditional distribution.
-  void Insert(const Dcf& object);
+  /// 1/d for values); `object.cond` its conditional distribution. Returns
+  /// the id of the leaf entry the object landed in — ids are assigned in
+  /// entry-creation order, stay dense in [0, num_leaf_entries), and never
+  /// change once assigned (merges absorb into the target entry, splits
+  /// move entries between nodes without renumbering).
+  uint32_t Insert(const Dcf& object);
 
   /// All leaf DCF entries, left to right. These are the Phase-2 inputs.
   std::vector<Dcf> LeafDcfs() const;
 
+  /// The stable creation-order id of each leaf entry, in the same
+  /// left-to-right order as LeafDcfs().
+  std::vector<uint32_t> LeafEntryIds() const;
+
+  /// Deep-copies the tree's exact state — node structure, leaf entries
+  /// with their stable ids, unnormalized internal accumulators (sorted by
+  /// id so the snapshot is byte-deterministic), options and counters —
+  /// into a serializable value. Restore() rebuilds a tree that continues
+  /// inserting exactly as this one would.
+  FrozenDcfTree Freeze() const;
+
+  /// Rebuilds a live tree from a frozen snapshot. The result accepts
+  /// further Insert() calls and Freeze()s back to an identical snapshot.
+  static std::unique_ptr<DcfTree> Restore(const FrozenDcfTree& frozen);
+
   /// Walks the whole tree checking structural invariants: node fan-outs
   /// within bounds, every internal accumulator equal to the sum of its
-  /// subtree's leaf statistics (within tolerance), and total mass equal
-  /// to the inserted mass. Returns a description of the first violation,
+  /// subtree's leaf statistics (within tolerance), total mass equal
+  /// to the inserted mass, and leaf-entry ids forming a permutation of
+  /// [0, num_leaf_entries). Returns a description of the first violation,
   /// or an empty string. Test/debug aid — O(total support).
   std::string ValidateInvariants() const;
 
   const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
 
  private:
   struct Node;
@@ -84,16 +107,53 @@ class DcfTree {
                  std::unique_ptr<Node>* out_b) const;
   void SplitInternal(Node* node, std::unique_ptr<Node>* out_a,
                      std::unique_ptr<Node>* out_b) const;
-  void CollectLeaves(const Node* node, std::vector<Dcf>* out) const;
+  void CollectLeaves(const Node* node, std::vector<Dcf>* out,
+                     std::vector<uint32_t>* ids) const;
   size_t CountNodes(const Node* node) const;
 
   Options options_;
   Stats stats_;
   std::unique_ptr<Node> root_;
+  /// Leaf-entry id of the most recent Insert, set at the leaf level and
+  /// carried out of the recursion.
+  uint32_t last_insert_id_ = 0;
   /// δI kernel for the descent's leaf-entry search: Insert scatters the
   /// incoming object once, then every candidate leaf entry streams
   /// against it — identical bits to per-pair InformationLoss.
   LossKernel insert_kernel_;
+};
+
+struct FrozenDcfChild;
+
+/// One node of a frozen Phase-1 tree. Exactly one of the two payloads is
+/// populated: leaves carry exact DCF entries plus their stable ids,
+/// internal nodes carry children with their accumulator summaries.
+struct FrozenDcfNode {
+  bool is_leaf = true;
+  std::vector<Dcf> entries;
+  std::vector<uint32_t> entry_ids;
+  std::vector<FrozenDcfChild> children;
+};
+
+/// A frozen internal-node child: the subtree plus its unnormalized
+/// accumulator summary with entries sorted ascending by id (the live
+/// tree keeps them in a hash map; sorting at freeze time makes the
+/// snapshot — and hence its serialization — deterministic).
+struct FrozenDcfChild {
+  double p = 0.0;
+  std::vector<uint32_t> acc_ids;
+  std::vector<double> acc_masses;
+  FrozenDcfNode node;
+};
+
+/// A complete serializable snapshot of a DcfTree: enough state to resume
+/// incremental insertion bit-for-bit where the original left off.
+struct FrozenDcfTree {
+  int branching = 4;
+  int leaf_capacity = 4;
+  double threshold = 0.0;
+  DcfTree::Stats stats;
+  FrozenDcfNode root;
 };
 
 }  // namespace limbo::core

@@ -38,7 +38,10 @@ util::Status ScanObjects(DcfStream& objects, size_t chunk, Fn&& fn) {
 }  // namespace
 
 Phase1Builder::Phase1Builder(const LimboOptions& options, double threshold)
-    : tree_(MakeTreeOptions(options, threshold)) {}
+    : tree_(std::make_unique<DcfTree>(MakeTreeOptions(options, threshold))) {}
+
+Phase1Builder::Phase1Builder(const FrozenDcfTree& frozen)
+    : tree_(DcfTree::Restore(frozen)) {}
 
 std::vector<Dcf> LimboPhase1(const std::vector<Dcf>& objects,
                              const LimboOptions& options, double threshold,
@@ -169,12 +172,23 @@ util::Result<LimboResult> RunLimboStreamed(DcfStream& objects,
   {
     LIMBO_OBS_SPAN(phase1_span, "phase1");
     Phase1Builder builder(options, result.threshold);
-    scan = ScanObjects(objects, chunk,
-                       [&](const Dcf& object) { builder.Insert(object); });
+    if (options.freeze_tree) {
+      result.row_entry_ids.reserve(n);
+      scan = ScanObjects(objects, chunk, [&](const Dcf& object) {
+        result.row_entry_ids.push_back(builder.Insert(object));
+      });
+    } else {
+      scan = ScanObjects(objects, chunk,
+                         [&](const Dcf& object) { builder.Insert(object); });
+    }
     if (!scan.ok()) return scan;
     ++result.timings.source_scans;
     result.leaves = builder.Leaves();
     result.tree_stats = builder.stats();
+    if (options.freeze_tree) {
+      result.frozen_tree = builder.Freeze();
+      result.has_frozen_tree = true;
+    }
     result.timings.phase1_seconds = phase1_span.Stop();
   }
 

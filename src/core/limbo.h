@@ -2,6 +2,7 @@
 #define LIMBO_CORE_LIMBO_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -39,6 +40,12 @@ struct LimboOptions {
   /// scan). A memory knob only — every chunk size yields bit-identical
   /// results; 0 falls back to the default.
   size_t stream_chunk = 4096;
+  /// When true, the run snapshots the Phase-1 tree (LimboResult::
+  /// frozen_tree) and records the leaf-entry id every object landed in
+  /// (row_entry_ids) — the state `limbo-tool refit` rehydrates to absorb
+  /// new rows without refitting from scratch. Off by default: the
+  /// snapshot costs a deep copy of the tree.
+  bool freeze_tree = false;
 };
 
 /// Wall-time and work counters of one RunLimbo invocation. Since the obs
@@ -96,6 +103,15 @@ struct LimboResult {
   DcfTree::Stats tree_stats;
   /// Per-phase wall-time and distance-evaluation counters.
   PhaseTimings timings;
+  /// Snapshot of the Phase-1 tree after the insert scan (only when
+  /// options.freeze_tree). Serialized into the model bundle so refit can
+  /// resume incremental insertion.
+  bool has_frozen_tree = false;
+  FrozenDcfTree frozen_tree;
+  /// Per input object, the id of the Phase-1 leaf entry it was absorbed
+  /// into (only when options.freeze_tree). Lets refit re-derive labels
+  /// for the original rows from an updated tree without the raw data.
+  std::vector<uint32_t> row_entry_ids;
 };
 
 /// Incremental Phase 1: insert objects one at a time — from a stream or a
@@ -104,14 +120,22 @@ struct LimboResult {
 class Phase1Builder {
  public:
   Phase1Builder(const LimboOptions& options, double threshold);
+  /// Rehydrates a builder from a frozen tree snapshot. Further Insert()
+  /// calls continue bit-for-bit where the frozen tree left off.
+  explicit Phase1Builder(const FrozenDcfTree& frozen);
 
-  void Insert(const Dcf& object) { tree_.Insert(object); }
+  /// Inserts one object; returns the stable id of the leaf entry it
+  /// landed in (see DcfTree::Insert).
+  uint32_t Insert(const Dcf& object) { return tree_->Insert(object); }
 
-  std::vector<Dcf> Leaves() const { return tree_.LeafDcfs(); }
-  const DcfTree::Stats& stats() const { return tree_.stats(); }
+  std::vector<Dcf> Leaves() const { return tree_->LeafDcfs(); }
+  std::vector<uint32_t> LeafEntryIds() const { return tree_->LeafEntryIds(); }
+  FrozenDcfTree Freeze() const { return tree_->Freeze(); }
+  const DcfTree::Stats& stats() const { return tree_->stats(); }
+  const DcfTree& tree() const { return *tree_; }
 
  private:
-  DcfTree tree_;
+  std::unique_ptr<DcfTree> tree_;
 };
 
 /// Chunked Phase 3: the representatives are frozen up front (arena rows,

@@ -34,6 +34,7 @@ util::Result<ModelBundle> FitModel(const relation::Relation& rel,
   limbo_options.phi = options.phi_t;
   limbo_options.k = options.k;
   limbo_options.threads = options.threads;
+  limbo_options.freeze_tree = options.refit_state;
   LIMBO_ASSIGN_OR_RETURN(core::LimboResult run,
                          core::RunLimbo(objects, limbo_options));
   bundle.mutual_information = run.mutual_information;
@@ -41,6 +42,11 @@ util::Result<ModelBundle> FitModel(const relation::Relation& rel,
   bundle.representatives = std::move(run.representatives);
   bundle.assignments = std::move(run.assignments);
   bundle.assignment_loss = std::move(run.assignment_loss);
+  if (run.has_frozen_tree) {
+    bundle.has_phase1_tree = true;
+    bundle.phase1_tree = std::move(run.frozen_tree);
+    bundle.row_entry_ids = std::move(run.row_entry_ids);
+  }
 
   // Derived structure: value groups / CV_D, dendrogram, ranked FDs.
   core::StructureSummaryOptions summary_options;

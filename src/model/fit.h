@@ -25,6 +25,10 @@ struct FitOptions {
   /// Worker lanes (0 = LIMBO_THREADS / hardware). Results bit-identical
   /// at every value.
   size_t threads = 0;
+  /// When true (default), the bundle carries the frozen Phase-1 tree and
+  /// per-row leaf-entry ids so `limbo-tool refit` can absorb new rows
+  /// incrementally. Disable to shave the extra section off the file.
+  bool refit_state = true;
 };
 
 /// Freezes one full LIMBO run over `rel` into a bundle: RunLimbo for the

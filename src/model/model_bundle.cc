@@ -1,6 +1,11 @@
 #include "model/model_bundle.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -23,7 +28,18 @@ enum SectionTag : uint32_t {
   kValueGroups = 6,
   kGrouping = 7,  // optional
   kRankedFds = 8,
+  kPhase1Tree = 9,  // optional, version >= 2
+  kLineage = 10,    // optional, version >= 2
 };
+
+/// Highest section tag a file of `version` may contain.
+uint32_t MaxTagForVersion(uint32_t version) {
+  return version >= 2 ? kLineage : kRankedFds;
+}
+
+// A corrupt phase-1-tree section must not be able to recurse the parser
+// off the stack; real trees with branching >= 2 are far shallower.
+constexpr size_t kMaxTreeDepth = 64;
 
 // ---- writer helpers (host-endian fixed-width, doubles as raw bits) ----
 
@@ -279,6 +295,60 @@ std::string GroupingBody(const ModelBundle& b) {
   PutU64(b.grouping_cluster_members.size(), &out);
   for (uint64_t bits : b.grouping_cluster_members) PutU64(bits, &out);
   PutF64(b.max_merge_loss, &out);
+  return out;
+}
+
+void PutFrozenNode(const core::FrozenDcfNode& node, std::string* out) {
+  PutU8(node.is_leaf ? 1 : 0, out);
+  if (node.is_leaf) {
+    PutU64(node.entries.size(), out);
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      PutU32(node.entry_ids[i], out);
+      PutDcf(node.entries[i], out);
+    }
+    return;
+  }
+  PutU64(node.children.size(), out);
+  for (const core::FrozenDcfChild& child : node.children) {
+    PutF64(child.p, out);
+    PutU64(child.acc_ids.size(), out);
+    for (size_t i = 0; i < child.acc_ids.size(); ++i) {
+      PutU32(child.acc_ids[i], out);
+      PutF64(child.acc_masses[i], out);
+    }
+    PutFrozenNode(child.node, out);
+  }
+}
+
+std::string Phase1TreeBody(const ModelBundle& b) {
+  const core::FrozenDcfTree& t = b.phase1_tree;
+  std::string out;
+  PutU32(static_cast<uint32_t>(t.branching), &out);
+  PutU32(static_cast<uint32_t>(t.leaf_capacity), &out);
+  PutF64(t.threshold, &out);
+  PutU64(t.stats.height, &out);
+  PutU64(t.stats.num_nodes, &out);
+  PutU64(t.stats.num_leaf_entries, &out);
+  PutU64(t.stats.num_inserts, &out);
+  PutU64(t.stats.num_merges, &out);
+  PutFrozenNode(t.root, &out);
+  PutU64(b.row_entry_ids.size(), &out);
+  for (uint32_t id : b.row_entry_ids) PutU32(id, &out);
+  return out;
+}
+
+std::string LineageBody(const ModelBundle& b) {
+  const BundleLineage& l = b.lineage;
+  std::string out;
+  PutU64(l.parent_checksum, &out);
+  PutU32(l.refit_generation, &out);
+  PutU32(static_cast<uint32_t>(l.drift_class), &out);
+  PutU64(l.base_rows, &out);
+  PutU64(l.rows_absorbed, &out);
+  PutU64(l.total_rows_absorbed, &out);
+  PutF64(l.drift_score, &out);
+  PutF64(l.drift_moderate, &out);
+  PutF64(l.drift_severe, &out);
   return out;
 }
 
@@ -591,7 +661,208 @@ util::Status ParseRankedFds(Cursor in, ModelBundle* b) {
   return ExpectDone(in, "ranked FDs");
 }
 
+/// Recursive node parser for the phase-1 tree section. `depth` is
+/// 1-based; `nodes`/`max_depth`/`id_seen` accumulate the structural
+/// facts cross-checked against the header stats afterwards.
+util::Status ParseFrozenNode(Cursor* in, const core::FrozenDcfTree& t,
+                             size_t num_values, size_t depth, size_t* nodes,
+                             size_t* max_depth, std::vector<bool>* id_seen,
+                             core::FrozenDcfNode* out) {
+  if (depth > kMaxTreeDepth) {
+    return util::Status::InvalidArgument(
+        "model bundle: phase-1 tree deeper than the format allows");
+  }
+  ++*nodes;
+  if (depth > *max_depth) *max_depth = depth;
+  uint8_t is_leaf = 0;
+  LIMBO_RETURN_IF_ERROR(in->ReadU8(&is_leaf));
+  if (is_leaf > 1) {
+    return util::Status::InvalidArgument(
+        "model bundle: boolean field out of range");
+  }
+  out->is_leaf = is_leaf != 0;
+  if (out->is_leaf) {
+    uint64_t count = 0;
+    LIMBO_RETURN_IF_ERROR(in->ReadCount(
+        sizeof(uint32_t) + sizeof(double) + 2 * sizeof(uint64_t), &count));
+    if (count > static_cast<uint64_t>(t.leaf_capacity)) {
+      return util::Status::InvalidArgument(
+          "model bundle: phase-1 leaf over capacity");
+    }
+    out->entries.reserve(count);
+    out->entry_ids.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint32_t id = 0;
+      LIMBO_RETURN_IF_ERROR(in->ReadU32(&id));
+      if (id >= id_seen->size() || (*id_seen)[id]) {
+        return util::Status::InvalidArgument(
+            "model bundle: phase-1 leaf-entry id out of range or repeated");
+      }
+      (*id_seen)[id] = true;
+      core::Dcf entry;
+      LIMBO_RETURN_IF_ERROR(ReadDcf(in, num_values, &entry));
+      out->entry_ids.push_back(id);
+      out->entries.push_back(std::move(entry));
+    }
+    return util::Status::Ok();
+  }
+  uint64_t count = 0;
+  LIMBO_RETURN_IF_ERROR(
+      in->ReadCount(2 * sizeof(double) + 1, &count));
+  if (count < 1 || count > static_cast<uint64_t>(t.branching)) {
+    return util::Status::InvalidArgument(
+        "model bundle: phase-1 internal fan-out out of range");
+  }
+  out->children.resize(count);
+  for (uint64_t c = 0; c < count; ++c) {
+    core::FrozenDcfChild& child = out->children[c];
+    LIMBO_RETURN_IF_ERROR(in->ReadF64(&child.p));
+    LIMBO_RETURN_IF_ERROR(CheckFinite(child.p, "phase-1 child mass"));
+    if (child.p <= 0.0) {
+      return util::Status::InvalidArgument(
+          "model bundle: phase-1 child mass not > 0");
+    }
+    uint64_t acc_count = 0;
+    LIMBO_RETURN_IF_ERROR(
+        in->ReadCount(sizeof(uint32_t) + sizeof(double), &acc_count));
+    child.acc_ids.resize(acc_count);
+    child.acc_masses.resize(acc_count);
+    for (uint64_t e = 0; e < acc_count; ++e) {
+      LIMBO_RETURN_IF_ERROR(in->ReadU32(&child.acc_ids[e]));
+      LIMBO_RETURN_IF_ERROR(in->ReadF64(&child.acc_masses[e]));
+      LIMBO_RETURN_IF_ERROR(
+          CheckFinite(child.acc_masses[e], "phase-1 accumulator mass"));
+      if (child.acc_masses[e] <= 0.0) {
+        return util::Status::InvalidArgument(
+            "model bundle: phase-1 accumulator mass not > 0");
+      }
+      if (child.acc_ids[e] >= num_values) {
+        return util::Status::InvalidArgument(
+            "model bundle: phase-1 accumulator id out of range");
+      }
+      if (e > 0 && child.acc_ids[e] <= child.acc_ids[e - 1]) {
+        return util::Status::InvalidArgument(
+            "model bundle: phase-1 accumulator ids not strictly increasing");
+      }
+    }
+    LIMBO_RETURN_IF_ERROR(ParseFrozenNode(in, t, num_values, depth + 1,
+                                          nodes, max_depth, id_seen,
+                                          &child.node));
+  }
+  return util::Status::Ok();
+}
+
+util::Status ParsePhase1Tree(Cursor in, ModelBundle* b) {
+  core::FrozenDcfTree& t = b->phase1_tree;
+  uint32_t branching = 0;
+  uint32_t leaf_capacity = 0;
+  LIMBO_RETURN_IF_ERROR(in.ReadU32(&branching));
+  LIMBO_RETURN_IF_ERROR(in.ReadU32(&leaf_capacity));
+  LIMBO_RETURN_IF_ERROR(in.ReadF64(&t.threshold));
+  LIMBO_RETURN_IF_ERROR(CheckFinite(t.threshold, "phase-1 threshold"));
+  if (branching < 2 || branching > (1u << 16) || leaf_capacity < 1 ||
+      leaf_capacity > (1u << 16) || t.threshold < 0.0) {
+    return util::Status::InvalidArgument(
+        "model bundle: phase-1 tree options out of range");
+  }
+  t.branching = static_cast<int>(branching);
+  t.leaf_capacity = static_cast<int>(leaf_capacity);
+  LIMBO_RETURN_IF_ERROR(in.ReadU64(&t.stats.height));
+  LIMBO_RETURN_IF_ERROR(in.ReadU64(&t.stats.num_nodes));
+  LIMBO_RETURN_IF_ERROR(in.ReadU64(&t.stats.num_leaf_entries));
+  LIMBO_RETURN_IF_ERROR(in.ReadU64(&t.stats.num_inserts));
+  LIMBO_RETURN_IF_ERROR(in.ReadU64(&t.stats.num_merges));
+  // Every insert either merged into an existing entry or created one, and
+  // the fit pipeline inserts each row exactly once.
+  if (t.stats.height < 1 || t.stats.height > kMaxTreeDepth ||
+      t.stats.num_nodes < 1 ||
+      t.stats.num_leaf_entries > t.stats.num_inserts ||
+      t.stats.num_merges != t.stats.num_inserts - t.stats.num_leaf_entries ||
+      t.stats.num_leaf_entries > static_cast<uint64_t>(UINT32_MAX) ||
+      t.stats.num_inserts != b->num_rows) {
+    return util::Status::InvalidArgument(
+        "model bundle: phase-1 tree stats inconsistent");
+  }
+  size_t nodes = 0;
+  size_t max_depth = 0;
+  std::vector<bool> id_seen(t.stats.num_leaf_entries, false);
+  LIMBO_RETURN_IF_ERROR(ParseFrozenNode(&in, t, b->dictionary.NumValues(),
+                                        /*depth=*/1, &nodes, &max_depth,
+                                        &id_seen, &t.root));
+  if (nodes != t.stats.num_nodes || max_depth != t.stats.height) {
+    return util::Status::InvalidArgument(
+        "model bundle: phase-1 tree shape does not match its stats");
+  }
+  for (size_t id = 0; id < id_seen.size(); ++id) {
+    if (!id_seen[id]) {
+      return util::Status::InvalidArgument(
+          "model bundle: phase-1 leaf-entry id missing");
+    }
+  }
+  uint64_t num_row_ids = 0;
+  LIMBO_RETURN_IF_ERROR(in.ReadCount(sizeof(uint32_t), &num_row_ids));
+  if (num_row_ids != b->num_rows) {
+    return util::Status::InvalidArgument(
+        "model bundle: phase-1 row-entry count != num_rows");
+  }
+  b->row_entry_ids.resize(num_row_ids);
+  for (uint64_t i = 0; i < num_row_ids; ++i) {
+    LIMBO_RETURN_IF_ERROR(in.ReadU32(&b->row_entry_ids[i]));
+    if (b->row_entry_ids[i] >= t.stats.num_leaf_entries) {
+      return util::Status::InvalidArgument(
+          "model bundle: phase-1 row-entry id out of range");
+    }
+  }
+  LIMBO_RETURN_IF_ERROR(ExpectDone(in, "phase-1 tree"));
+  b->has_phase1_tree = true;
+  return util::Status::Ok();
+}
+
+util::Status ParseLineage(Cursor in, ModelBundle* b) {
+  BundleLineage& l = b->lineage;
+  LIMBO_RETURN_IF_ERROR(in.ReadU64(&l.parent_checksum));
+  LIMBO_RETURN_IF_ERROR(in.ReadU32(&l.refit_generation));
+  uint32_t drift_class = 0;
+  LIMBO_RETURN_IF_ERROR(in.ReadU32(&drift_class));
+  if (drift_class > static_cast<uint32_t>(DriftClass::kSevere)) {
+    return util::Status::InvalidArgument(
+        "model bundle: drift class out of range");
+  }
+  l.drift_class = static_cast<DriftClass>(drift_class);
+  LIMBO_RETURN_IF_ERROR(in.ReadU64(&l.base_rows));
+  LIMBO_RETURN_IF_ERROR(in.ReadU64(&l.rows_absorbed));
+  LIMBO_RETURN_IF_ERROR(in.ReadU64(&l.total_rows_absorbed));
+  LIMBO_RETURN_IF_ERROR(in.ReadF64(&l.drift_score));
+  LIMBO_RETURN_IF_ERROR(in.ReadF64(&l.drift_moderate));
+  LIMBO_RETURN_IF_ERROR(in.ReadF64(&l.drift_severe));
+  LIMBO_RETURN_IF_ERROR(ExpectDone(in, "lineage"));
+  for (double v : {l.drift_score, l.drift_moderate, l.drift_severe}) {
+    LIMBO_RETURN_IF_ERROR(CheckFinite(v, "lineage field"));
+    if (v < 0.0) {
+      return util::Status::InvalidArgument(
+          "model bundle: negative lineage field");
+    }
+  }
+  if (l.refit_generation < 1 || l.base_rows < 1 ||
+      l.rows_absorbed > l.total_rows_absorbed ||
+      l.base_rows + l.total_rows_absorbed != b->num_rows) {
+    return util::Status::InvalidArgument(
+        "model bundle: lineage row accounting inconsistent");
+  }
+  b->has_lineage = true;
+  return util::Status::Ok();
+}
+
 }  // namespace
+
+const char* DriftClassName(DriftClass c) {
+  switch (c) {
+    case DriftClass::kNone: return "no-drift";
+    case DriftClass::kModerate: return "moderate";
+    case DriftClass::kSevere: return "severe";
+  }
+  return "?";
+}
 
 uint64_t Fnv1a(const void* data, size_t size) {
   const auto* p = static_cast<const unsigned char*>(data);
@@ -615,6 +886,12 @@ std::string SerializeBundle(const ModelBundle& bundle) {
     PutSection(kGrouping, GroupingBody(bundle), &payload);
   }
   PutSection(kRankedFds, RankedFdsBody(bundle), &payload);
+  if (bundle.has_phase1_tree) {
+    PutSection(kPhase1Tree, Phase1TreeBody(bundle), &payload);
+  }
+  if (bundle.has_lineage) {
+    PutSection(kLineage, LineageBody(bundle), &payload);
+  }
 
   std::string out;
   out.reserve(sizeof(kMagic) + 24 + payload.size());
@@ -646,10 +923,10 @@ util::Result<ModelBundle> ParseBundle(const std::string& bytes) {
   LIMBO_RETURN_IF_ERROR(in.ReadU32(&reserved));
   LIMBO_RETURN_IF_ERROR(in.ReadU64(&payload_len));
   LIMBO_RETURN_IF_ERROR(in.ReadU64(&checksum));
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     return util::Status::InvalidArgument(util::StrFormat(
-        "model bundle: format version %u, this build reads %u", version,
-        kFormatVersion));
+        "model bundle: format version %u, this build reads %u..%u", version,
+        kMinFormatVersion, kFormatVersion));
   }
   if (reserved != 0) {
     return util::Status::InvalidArgument(
@@ -667,9 +944,12 @@ util::Result<ModelBundle> ParseBundle(const std::string& bytes) {
   }
 
   ModelBundle bundle;
+  bundle.format_version = version;
+  bundle.payload_checksum = checksum;
   Cursor sections(payload, payload_len);
   uint32_t last_tag = 0;
-  bool seen[kRankedFds + 1] = {false};
+  const uint32_t max_tag = MaxTagForVersion(version);
+  bool seen[kLineage + 1] = {false};
   while (!sections.done()) {
     uint32_t tag = 0;
     uint32_t tag_reserved = 0;
@@ -681,7 +961,7 @@ util::Result<ModelBundle> ParseBundle(const std::string& bytes) {
       return util::Status::InvalidArgument(
           "model bundle: nonzero reserved section field");
     }
-    if (tag <= last_tag || tag > kRankedFds) {
+    if (tag <= last_tag || tag > max_tag) {
       return util::Status::InvalidArgument(util::StrFormat(
           "model bundle: unknown or out-of-order section tag %u", tag));
     }
@@ -720,6 +1000,12 @@ util::Result<ModelBundle> ParseBundle(const std::string& bytes) {
       case kRankedFds:
         LIMBO_RETURN_IF_ERROR(ParseRankedFds(section, &bundle));
         break;
+      case kPhase1Tree:
+        LIMBO_RETURN_IF_ERROR(ParsePhase1Tree(section, &bundle));
+        break;
+      case kLineage:
+        LIMBO_RETURN_IF_ERROR(ParseLineage(section, &bundle));
+        break;
       default:
         return util::Status::Internal("unreachable section tag");
     }
@@ -735,11 +1021,38 @@ util::Result<ModelBundle> ParseBundle(const std::string& bytes) {
 }
 
 util::Status Save(const ModelBundle& bundle, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return util::Status::IoError("cannot open " + path);
+  // Write-to-temp + fsync + rename: a crash at any point leaves either
+  // the old file or the complete new one, never a truncated bundle that
+  // only the checksum catches at load time.
   const std::string bytes = SerializeBundle(bundle);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) return util::Status::IoError("write failed: " + path);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return util::Status::IoError("cannot open " + tmp);
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t w =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return util::Status::IoError("write failed: " + tmp);
+    }
+    written += static_cast<size_t>(w);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return util::Status::IoError("fsync failed: " + tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return util::Status::IoError("close failed: " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return util::Status::IoError("rename failed: " + path);
+  }
   return util::Status::Ok();
 }
 

@@ -7,6 +7,7 @@
 
 #include "core/aib.h"
 #include "core/dcf.h"
+#include "core/dcf_tree.h"
 #include "core/fd_rank.h"
 #include "core/value_clustering.h"
 #include "relation/dictionary.h"
@@ -15,9 +16,50 @@
 
 namespace limbo::model {
 
-/// On-disk format version. Bump on any layout change; Load rejects files
-/// written by a different version.
-inline constexpr uint32_t kFormatVersion = 1;
+/// On-disk format version written by this build. Version 2 added the two
+/// optional refit sections (phase-1 tree, lineage); readers accept both 1
+/// and 2 — a v1 file simply parses with no refit state. Load rejects any
+/// other version.
+inline constexpr uint32_t kFormatVersion = 2;
+/// Oldest format version this build still reads.
+inline constexpr uint32_t kMinFormatVersion = 1;
+
+/// How a refit classified the drift of the new rows against the frozen
+/// representatives. Recorded in the lineage section of the child bundle.
+enum class DriftClass : uint32_t {
+  kNone = 0,      // no-drift: assignments patched in place
+  kModerate = 1,  // Phase 2/3 re-run from the updated tree
+  kSevere = 2,    // full refit required (no child bundle is written)
+};
+
+/// Stable display name ("no-drift" / "moderate" / "severe") used by the
+/// CLI and the serve layer's lineage reporting.
+const char* DriftClassName(DriftClass c);
+
+/// Provenance of a refitted bundle: which bundle it grew from and how
+/// much data it has absorbed since the original fit. Absent on bundles
+/// written by `limbo-tool fit` (generation 0).
+struct BundleLineage {
+  /// FNV-1a payload checksum of the immediate parent bundle.
+  uint64_t parent_checksum = 0;
+  /// 1 for the first refit child, incrementing per refit.
+  uint32_t refit_generation = 0;
+  /// Drift classification of the refit that produced this bundle.
+  DriftClass drift_class = DriftClass::kNone;
+  /// Rows the original (generation-0) fit was run on. Object masses in
+  /// the frozen tree stay in units of 1/base_rows across refits.
+  uint64_t base_rows = 0;
+  /// Rows absorbed by the refit that produced this bundle.
+  uint64_t rows_absorbed = 0;
+  /// Rows absorbed across the whole chain (num_rows - base_rows).
+  uint64_t total_rows_absorbed = 0;
+  /// Mean new-row assignment loss / mean fit-time assignment loss.
+  double drift_score = 0.0;
+  /// The no-drift/moderate and moderate/severe thresholds the refit ran
+  /// with, so the classification is reproducible from the bundle alone.
+  double drift_moderate = 0.0;
+  double drift_severe = 0.0;
+};
 
 /// Everything a LIMBO run derives from one relation, frozen for online
 /// serving: the paper's artifacts are computed once (tuple clustering,
@@ -40,6 +82,21 @@ inline constexpr uint32_t kFormatVersion = 1;
 /// truncation, checksum mismatch, version bump, unknown tag, or value
 /// out of range yields a typed util::Status error — never a crash and
 /// never a silently-wrong bundle.
+///
+/// Sections (tags 9 and 10 exist only in version >= 2 files):
+///
+///   | tag | section         | presence                              |
+///   |-----|-----------------|---------------------------------------|
+///   | 1   | meta            | required                              |
+///   | 2   | schema          | required                              |
+///   | 3   | dictionary      | required                              |
+///   | 4   | representatives | required                              |
+///   | 5   | assignments     | required                              |
+///   | 6   | value groups    | required                              |
+///   | 7   | grouping        | optional (CV_D non-empty)             |
+///   | 8   | ranked FDs      | required                              |
+///   | 9   | phase-1 tree    | optional (fit --no-refit-state omits) |
+///   | 10  | lineage         | optional (refit children only)        |
 struct ModelBundle {
   // ---- meta (run parameters; what thresholded queries re-use) ----
   uint64_t num_rows = 0;             // n: tuples the model was fitted on
@@ -76,6 +133,28 @@ struct ModelBundle {
   // ---- ranked dependencies ----
   uint64_t num_fds = 0;  // total FDs mined before cover/collapse
   std::vector<core::RankedFd> ranked_fds;
+
+  // ---- refit state (optional; version >= 2) ----
+  /// Frozen Phase-1 DCF tree, rehydratable into a Phase1Builder that
+  /// accepts further incremental inserts.
+  bool has_phase1_tree = false;
+  core::FrozenDcfTree phase1_tree;
+  /// Per fitted row, the id of the Phase-1 leaf entry it was absorbed
+  /// into (parallel to `assignments`). Lets a refit re-derive labels for
+  /// the original rows from an updated tree without the raw data.
+  std::vector<uint32_t> row_entry_ids;
+  /// Refit provenance (refit children only).
+  bool has_lineage = false;
+  BundleLineage lineage;
+
+  // ---- runtime-only fields (never serialized) ----
+  /// Format version of the file this bundle was parsed from; bundles
+  /// built in memory default to the current version.
+  uint32_t format_version = kFormatVersion;
+  /// FNV-1a checksum of the payload this bundle was parsed from (0 for
+  /// bundles built in memory). A child's lineage.parent_checksum equals
+  /// the parent's payload_checksum.
+  uint64_t payload_checksum = 0;
 };
 
 /// Serializes `bundle` to the .limbo wire format.
@@ -86,7 +165,9 @@ std::string SerializeBundle(const ModelBundle& bundle);
 /// value ids < dictionary size, ...).
 util::Result<ModelBundle> ParseBundle(const std::string& bytes);
 
-/// File convenience wrappers.
+/// File convenience wrappers. Save is crash-safe: it writes to
+/// `<path>.tmp`, fsyncs, then atomically renames over `path`, so a crash
+/// mid-write can never leave a truncated `.limbo` behind.
 util::Status Save(const ModelBundle& bundle, const std::string& path);
 util::Result<ModelBundle> Load(const std::string& path);
 

@@ -1,0 +1,72 @@
+#ifndef LIMBO_MODEL_REFIT_H_
+#define LIMBO_MODEL_REFIT_H_
+
+#include <cstdint>
+
+#include "model/model_bundle.h"
+#include "relation/row_source.h"
+#include "util/result.h"
+
+namespace limbo::model {
+
+/// Parameters of an incremental refit.
+struct RefitOptions {
+  /// Drift-score boundary between the no-drift patch path and the
+  /// moderate-drift Phase-2/3 re-run. The score is the mean assignment
+  /// loss of the new rows against the frozen representatives divided by
+  /// the mean fit-time assignment loss; 2.0 means "new rows fit twice as
+  /// badly as the training rows did".
+  double drift_moderate = 2.0;
+  /// Boundary between moderate and severe drift. At or above this the
+  /// refit refuses to patch — the caller should run a full `fit`.
+  double drift_severe = 8.0;
+  /// Worker lanes for the drift scan and any Phase-2/3 re-run
+  /// (0 = LIMBO_THREADS / hardware). Bit-identical at every value.
+  size_t threads = 0;
+  /// New rows buffered per drift-scan / insert chunk. Memory knob only.
+  size_t chunk_rows = 4096;
+};
+
+/// What a refit did and produced. `bundle` is the child — populated for
+/// the no-drift and moderate paths, untouched (default) for severe drift,
+/// where no bundle should be written.
+struct RefitResult {
+  ModelBundle bundle;
+  DriftClass drift_class = DriftClass::kNone;
+  double drift_score = 0.0;
+  uint64_t rows_absorbed = 0;
+  /// Mean assignment loss of the new rows against the parent's frozen
+  /// representatives, and the parent's own mean fit-time loss.
+  double new_rows_mean_loss = 0.0;
+  double fit_mean_loss = 0.0;
+};
+
+/// Absorbs `rows` into `parent` without refitting from raw data: the
+/// parent's frozen Phase-1 tree is rehydrated and the new rows stream
+/// through it exactly as the original fit streamed its rows (same object
+/// construction, masses in units of 1/base_rows so old and new summaries
+/// compose). One pass serves three purposes: tree inserts, assignment of
+/// each new row against the frozen representatives (the drift signal),
+/// and — on the no-drift path — the new rows' labels themselves.
+///
+///   - no drift     (score < drift_moderate): parent's representatives and
+///     original assignments are kept; the new rows' labels/losses are
+///     appended and the dictionary absorbs any new values.
+///   - moderate     (score < drift_severe): Phase 2 (AIB) and Phase 3 are
+///     re-run from the updated tree's leaves. Row labels come from each
+///     row's leaf entry; per-row losses are the leaf's assignment loss
+///     apportioned by mass (an approximation, flagged in the lineage by
+///     drift_class = kModerate).
+///   - severe       (score >= drift_severe): no child is produced.
+///
+/// Requires parent.has_phase1_tree and a row schema identical to the
+/// parent's. The returned child records its lineage (parent checksum,
+/// generation, rows absorbed, drift) and carries the updated tree, so
+/// refits chain.
+util::Result<RefitResult> RefitModel(const ModelBundle& parent,
+                                     relation::RowSource& rows,
+                                     const RefitOptions& options = {});
+
+}  // namespace limbo::model
+
+#endif  // LIMBO_MODEL_REFIT_H_

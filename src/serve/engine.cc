@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -37,6 +38,9 @@ Engine::Engine(model::ModelBundle bundle, const EngineOptions& options)
     : bundle_(std::move(bundle)), options_(options) {
   // Phase3Assigner's exact frozen state: priors in a flat array, the
   // representative conditionals as arena rows with cached logs.
+  const uint64_t base_rows =
+      bundle_.has_lineage ? bundle_.lineage.base_rows : bundle_.num_rows;
+  row_mass_ = 1.0 / static_cast<double>(base_rows);
   rep_p_.reserve(bundle_.representatives.size());
   rep_row_.reserve(bundle_.representatives.size());
   for (const core::Dcf& rep : bundle_.representatives) {
@@ -100,10 +104,11 @@ util::Result<core::Dcf> Engine::RowObject(
         "every value in the row is unseen; nothing to assign");
   }
   // The batch tuple object of Section 5.2: prior 1/n, conditional uniform
-  // over the row's value ids. Using the fitted n keeps the loss scale —
-  // and thus the assignment argmin — bit-identical to Phase 3.
+  // over the row's value ids. Using the fitted n (the refit chain's
+  // base_rows) keeps the loss scale — and thus the assignment argmin —
+  // bit-identical to Phase 3 across refit generations.
   core::Dcf object;
-  object.p = 1.0 / static_cast<double>(bundle_.num_rows);
+  object.p = row_mass_;
   object.cond = core::SparseDistribution::UniformOver(ids);
   return object;
 }
@@ -131,7 +136,29 @@ std::vector<RowAssignment> Engine::AssignBatch(
     std::span<const std::vector<std::string>> rows,
     core::LossKernel* kernel) const {
   std::vector<RowAssignment> results(rows.size());
+  // Duplicate-row fast path: load batches are often dominated by repeated
+  // rows (hot entities, client retries). Byte-identical rows — keyed by a
+  // length-prefixed field join, so ("ab","c") never collides with
+  // ("a","bc") — are evaluated once; later copies reuse the first
+  // occurrence's RowAssignment verbatim (status included), which makes
+  // the responses byte-identical to the plain per-row loop.
+  std::unordered_map<std::string, size_t> first_at;
+  first_at.reserve(rows.size());
+  std::string key;
+  uint64_t dup_rows = 0;
   for (size_t i = 0; i < rows.size(); ++i) {
+    key.clear();
+    for (const std::string& field : rows[i]) {
+      const uint32_t len = static_cast<uint32_t>(field.size());
+      key.append(reinterpret_cast<const char*>(&len), sizeof(len));
+      key.append(field);
+    }
+    const auto [it, inserted] = first_at.emplace(key, i);
+    if (!inserted) {
+      results[i] = results[it->second];
+      ++dup_rows;
+      continue;
+    }
     RowAssignment& result = results[i];
     util::Result<core::Dcf> object = RowObject(rows[i], &result.oov);
     if (!object.ok()) {
@@ -143,6 +170,7 @@ std::vector<RowAssignment> Engine::AssignBatch(
     result.label = nearest.index;
     result.loss = nearest.loss;
   }
+  if (dup_rows > 0) LIMBO_OBS_COUNT("serve.batch.dup_rows", dup_rows);
   return results;
 }
 
@@ -202,8 +230,7 @@ std::string Engine::FormatDuplicates(uint32_t label, double loss,
   // Section 6.1 association test: the row is a near-duplicate iff its
   // nearest cluster is heavy (prior above a single tuple's 1/n) and
   // joining it costs at most margin × the Phase-1 merge threshold.
-  const bool heavy =
-      rep_p_[label] > 1.0 / static_cast<double>(bundle_.num_rows);
+  const bool heavy = rep_p_[label] > row_mass_;
   const double limit = bundle_.association_margin * bundle_.threshold;
   const bool duplicate = heavy && loss <= limit;
   std::string out = "{\"ok\":true,";
@@ -380,7 +407,9 @@ util::Result<std::string> Engine::HandleFds(const JsonValue& request) const {
 
 util::Result<std::string> Engine::HandleInfo() const {
   std::string out = "{\"ok\":true,";
-  AppendIntField("format_version", model::kFormatVersion, &out);
+  AppendIntField("format_version", bundle_.format_version, &out);
+  out.push_back(',');
+  AppendStringField("checksum", ChecksumHex(bundle_.payload_checksum), &out);
   out.push_back(',');
   AppendIntField("rows", bundle_.num_rows, &out);
   out.push_back(',');
@@ -416,6 +445,11 @@ util::Result<std::string> Engine::HandleInfo() const {
   AppendStringField("oov_policy",
                     options_.oov == OovPolicy::kDrop ? "drop" : "strict",
                     &out);
+  out.push_back(',');
+  AppendBoolField("refit_capable", bundle_.has_phase1_tree, &out);
+  out.push_back(',');
+  AppendKey("lineage", &out);
+  AppendLineage(bundle_.has_lineage, bundle_.lineage, &out);
   out.push_back('}');
   return out;
 }

@@ -137,6 +137,10 @@ class Engine {
   core::DistributionArena arena_;
   std::vector<size_t> rep_row_;
   std::vector<double> rep_p_;
+  // 1/base_rows — the mass unit the representatives were fitted in. A
+  // refit chain keeps anchoring to the generation-0 row count, so a
+  // refitted child serves losses byte-identical to its parent.
+  double row_mass_ = 0.0;
   // value id -> value_groups index (kNoGroup when unassigned).
   static constexpr uint32_t kNoGroup = UINT32_MAX;
   std::vector<uint32_t> value_to_group_;

@@ -136,6 +136,12 @@ std::vector<ModelInfo> Registry::ListModels() const {
     info.version = entry->version;
     info.queries = entry->queries.load(std::memory_order_relaxed);
     info.is_default = entry->name == default_name_;
+    const model::ModelBundle& bundle = entry->engine->bundle();
+    info.rows = bundle.num_rows;
+    info.checksum = ChecksumHex(bundle.payload_checksum);
+    info.refit_capable = bundle.has_phase1_tree;
+    info.has_lineage = bundle.has_lineage;
+    info.lineage = bundle.lineage;
     models.push_back(std::move(info));
   }
   return models;
@@ -248,6 +254,15 @@ std::string Registry::HandleModels() const {
     AppendIntField("queries", models[i].queries, &out);
     out.push_back(',');
     AppendBoolField("is_default", models[i].is_default, &out);
+    out.push_back(',');
+    AppendIntField("rows", models[i].rows, &out);
+    out.push_back(',');
+    AppendStringField("checksum", models[i].checksum, &out);
+    out.push_back(',');
+    AppendBoolField("refit_capable", models[i].refit_capable, &out);
+    out.push_back(',');
+    AppendKey("lineage", &out);
+    AppendLineage(models[i].has_lineage, models[i].lineage, &out);
     out.push_back('}');
   }
   out += "]}";

@@ -25,6 +25,14 @@ struct ModelInfo {
   uint64_t version = 0;  // 1 on first load, +1 per successful reload
   uint64_t queries = 0;  // routed queries answered so far
   bool is_default = false;
+  // Bundle provenance, from the engine currently serving the model (so
+  // a reload that swaps in a refitted child updates these atomically
+  // with the engine swap).
+  uint64_t rows = 0;
+  std::string checksum;  // 16-hex payload checksum of the bundle file
+  bool refit_capable = false;  // carries a rehydratable phase-1 tree
+  bool has_lineage = false;    // refit child (lineage below is valid)
+  model::BundleLineage lineage;
 };
 
 /// A named collection of serving engines over frozen .limbo bundles.

@@ -31,6 +31,39 @@ void AppendBoolField(const char* key, bool value, std::string* out) {
   *out += value ? "true" : "false";
 }
 
+std::string ChecksumHex(uint64_t checksum) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string hex(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    hex[static_cast<size_t>(i)] = kDigits[checksum & 0xf];
+    checksum >>= 4;
+  }
+  return hex;
+}
+
+void AppendLineage(bool has_lineage, const model::BundleLineage& l,
+                   std::string* out) {
+  if (!has_lineage) {
+    *out += "null";
+    return;
+  }
+  out->push_back('{');
+  AppendIntField("generation", l.refit_generation, out);
+  out->push_back(',');
+  AppendStringField("parent_checksum", ChecksumHex(l.parent_checksum), out);
+  out->push_back(',');
+  AppendIntField("base_rows", l.base_rows, out);
+  out->push_back(',');
+  AppendIntField("rows_absorbed", l.rows_absorbed, out);
+  out->push_back(',');
+  AppendIntField("total_rows_absorbed", l.total_rows_absorbed, out);
+  out->push_back(',');
+  AppendNumberField("drift_score", l.drift_score, out);
+  out->push_back(',');
+  AppendStringField("drift_class", model::DriftClassName(l.drift_class), out);
+  out->push_back('}');
+}
+
 std::string ErrorResponse(const util::Status& status) {
   return ErrorResponse(util::StatusCodeName(status.code()), status.message());
 }

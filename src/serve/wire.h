@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "model/model_bundle.h"
 #include "util/status.h"
 
 namespace limbo::serve {
@@ -17,6 +18,17 @@ void AppendStringField(const char* key, const std::string& value,
 void AppendNumberField(const char* key, double value, std::string* out);
 void AppendIntField(const char* key, uint64_t value, std::string* out);
 void AppendBoolField(const char* key, bool value, std::string* out);
+
+/// 16-hex-digit rendering of a payload checksum — checksums go over the
+/// wire as strings because u64 does not survive a double round-trip.
+std::string ChecksumHex(uint64_t checksum);
+
+/// Appends a bundle's lineage as a JSON value: an object (generation,
+/// parent checksum, row accounting, drift) for refit children, `null`
+/// for generation-0 fits (`has_lineage` false). Shared by the engine's
+/// "info" op and the registry's "models" op.
+void AppendLineage(bool has_lineage, const model::BundleLineage& lineage,
+                   std::string* out);
 
 /// {"ok":false,"code":"<StatusCodeName>","error":"<message>"} — the one
 /// error shape of the protocol.

@@ -132,6 +132,33 @@ void ExpectEqualBundles(const ModelBundle& a, const ModelBundle& b) {
     ExpectBitEqual(a.ranked_fds[i].rank, b.ranked_fds[i].rank);
     EXPECT_EQ(a.ranked_fds[i].anchored, b.ranked_fds[i].anchored);
   }
+
+  ASSERT_EQ(a.has_phase1_tree, b.has_phase1_tree);
+  if (a.has_phase1_tree) {
+    // The frozen-tree sections must round-trip bit-exactly, or a refit of
+    // a loaded bundle diverges from a refit of the in-memory one. Byte
+    // comparison of the serialized trees covers every node, entry id and
+    // double in one shot.
+    const std::string ta = SerializeBundle(a);
+    const std::string tb = SerializeBundle(b);
+    EXPECT_EQ(ta, tb);
+    EXPECT_EQ(a.phase1_tree.stats.num_leaf_entries,
+              b.phase1_tree.stats.num_leaf_entries);
+    EXPECT_EQ(a.phase1_tree.stats.num_inserts, b.phase1_tree.stats.num_inserts);
+    EXPECT_EQ(a.row_entry_ids, b.row_entry_ids);
+  }
+  ASSERT_EQ(a.has_lineage, b.has_lineage);
+  if (a.has_lineage) {
+    EXPECT_EQ(a.lineage.parent_checksum, b.lineage.parent_checksum);
+    EXPECT_EQ(a.lineage.refit_generation, b.lineage.refit_generation);
+    EXPECT_EQ(a.lineage.drift_class, b.lineage.drift_class);
+    EXPECT_EQ(a.lineage.base_rows, b.lineage.base_rows);
+    EXPECT_EQ(a.lineage.rows_absorbed, b.lineage.rows_absorbed);
+    EXPECT_EQ(a.lineage.total_rows_absorbed, b.lineage.total_rows_absorbed);
+    ExpectBitEqual(a.lineage.drift_score, b.lineage.drift_score);
+    ExpectBitEqual(a.lineage.drift_moderate, b.lineage.drift_moderate);
+    ExpectBitEqual(a.lineage.drift_severe, b.lineage.drift_severe);
+  }
 }
 
 TEST(FitModelTest, ProducesConsistentBundle) {
@@ -262,6 +289,58 @@ TEST(ModelBundleTest, MultiByteCorruptionFuzz) {
       ExpectEqualBundles(*ParseBundle(bytes), *parsed);
     }
   }
+}
+
+TEST(ModelBundleTest, FitCarriesRefitState) {
+  const ModelBundle bundle = FittedBundle();
+  ASSERT_TRUE(bundle.has_phase1_tree);
+  EXPECT_EQ(bundle.phase1_tree.stats.num_inserts, bundle.num_rows);
+  ASSERT_EQ(bundle.row_entry_ids.size(), bundle.num_rows);
+  for (uint32_t id : bundle.row_entry_ids) {
+    EXPECT_LT(id, bundle.phase1_tree.stats.num_leaf_entries);
+  }
+  EXPECT_FALSE(bundle.has_lineage);
+}
+
+TEST(ModelBundleTest, NoRefitStateOptOut) {
+  FitOptions options;
+  options.k = 3;
+  options.refit_state = false;
+  auto bundle = FitModel(TestRelation(), options);
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_FALSE(bundle->has_phase1_tree);
+  EXPECT_TRUE(bundle->row_entry_ids.empty());
+}
+
+// Backward compat: a version-1 file (no refit sections) must still load.
+// A v1 fixture is crafted by fitting without refit state and patching the
+// header's version word — the checksum covers only the payload, so the
+// header edit is otherwise invisible.
+TEST(ModelBundleTest, ReadsVersion1Files) {
+  FitOptions options;
+  options.k = 3;
+  options.refit_state = false;
+  auto bundle = FitModel(TestRelation(), options);
+  ASSERT_TRUE(bundle.ok());
+  std::string bytes = SerializeBundle(*bundle);
+  uint32_t version = 1;
+  std::memcpy(bytes.data() + 8, &version, sizeof(version));
+  auto parsed = ParseBundle(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->format_version, 1u);
+  EXPECT_FALSE(parsed->has_phase1_tree);
+  EXPECT_FALSE(parsed->has_lineage);
+  ExpectEqualBundles(*bundle, *parsed);
+}
+
+// A v1 header over a payload that carries the v2-only refit sections is
+// structurally inconsistent and must be rejected, not silently accepted.
+TEST(ModelBundleTest, RejectsRefitSectionsUnderVersion1Header) {
+  std::string bytes = SerializeBundle(FittedBundle());
+  uint32_t version = 1;
+  std::memcpy(bytes.data() + 8, &version, sizeof(version));
+  auto parsed = ParseBundle(bytes);
+  ASSERT_FALSE(parsed.ok());
 }
 
 TEST(Fnv1aTest, MatchesKnownVectors) {

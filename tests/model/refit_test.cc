@@ -1,0 +1,317 @@
+#include "model/refit.h"
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "model/fit.h"
+#include "model/model_bundle.h"
+#include "relation/relation.h"
+#include "relation/row_source.h"
+#include "util/status.h"
+
+namespace limbo::model {
+namespace {
+
+relation::Relation BaseRelation() {
+  auto schema = relation::Schema::Create({"City", "State", "Zip", "Name"});
+  EXPECT_TRUE(schema.ok());
+  relation::RelationBuilder builder(std::move(schema).value());
+  const std::vector<std::vector<std::string>> rows = {
+      {"Boston", "MA", "02134", "alice"}, {"Boston", "MA", "02134", "alice"},
+      {"Boston", "MA", "02134", "alice"}, {"Boston", "MA", "02134", "alice"},
+      {"Denver", "CO", "80201", "bob"},   {"Denver", "CO", "80201", "carol"},
+      {"Miami", "FL", "33101", "dave"},   {"Miami", "FL", "33101", "erin"},
+      {"Austin", "TX", "73301", "frank"}, {"Austin", "TX", "73301", "grace"},
+      {"Salem", "OR", "97301", "heidi"},  {"Salem", "OR", "97301", "ivan"},
+  };
+  for (const auto& row : rows) EXPECT_TRUE(builder.AddRow(row).ok());
+  return std::move(builder).Build();
+}
+
+ModelBundle FitParent() {
+  FitOptions options;
+  options.k = 3;
+  auto bundle = FitModel(BaseRelation(), options);
+  EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+  return std::move(bundle).value();
+}
+
+constexpr const char* kHeader = "City,State,Zip,Name\n";
+
+/// New rows drawn from the fitted distribution (repeats of fit-time rows).
+std::string FamiliarRowsCsv() {
+  return std::string(kHeader) +
+         "Boston,MA,02134,alice\n"
+         "Denver,CO,80201,bob\n"
+         "Miami,FL,33101,erin\n";
+}
+
+/// New rows with entirely unseen values — they assign with real loss, so
+/// the drift score is positive.
+std::string ShiftedRowsCsv() {
+  return std::string(kHeader) +
+         "Lagos,XX,99990,zara\n"
+         "Kyoto,YY,99991,yuki\n"
+         "Quito,ZZ,99992,omar\n"
+         "Oslo,WW,99993,nils\n";
+}
+
+util::Result<RefitResult> RefitCsv(const ModelBundle& parent,
+                                   const std::string& csv,
+                                   const RefitOptions& options = {}) {
+  auto source = relation::CsvStringSource::Open(csv);
+  EXPECT_TRUE(source.ok()) << source.status().ToString();
+  return RefitModel(parent, *source, options);
+}
+
+/// Splits a serialized bundle into its payload sections: tag -> raw body
+/// bytes. Duplicated from the wire layout on purpose — the test must not
+/// trust the parser it is checking.
+std::map<uint32_t, std::string> SplitSections(const std::string& bytes) {
+  std::map<uint32_t, std::string> sections;
+  size_t at = 32;  // magic + version + reserved + payload len + checksum
+  while (at < bytes.size()) {
+    uint32_t tag = 0;
+    uint64_t len = 0;
+    std::memcpy(&tag, bytes.data() + at, sizeof(tag));
+    std::memcpy(&len, bytes.data() + at + 8, sizeof(len));
+    sections[tag] = bytes.substr(at + 16, len);
+    at += 16 + len;
+  }
+  return sections;
+}
+
+constexpr uint32_t kLineageTag = 10;
+
+// The acceptance criterion of the refit tentpole: absorbing zero rows
+// must reproduce the parent bundle byte for byte outside the new lineage
+// section — every other section, including the re-frozen phase-1 tree,
+// is identical. This is what makes Freeze(Restore(tree)) a real identity
+// rather than an approximation.
+TEST(RefitTest, ZeroRowsRefitIsByteIdenticalOutsideLineage) {
+  const ModelBundle parent = FitParent();
+  auto result = RefitCsv(parent, kHeader);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows_absorbed, 0u);
+  EXPECT_EQ(result->drift_class, DriftClass::kNone);
+  EXPECT_EQ(result->drift_score, 0.0);
+
+  const auto parent_sections = SplitSections(SerializeBundle(parent));
+  const auto child_sections = SplitSections(SerializeBundle(result->bundle));
+  EXPECT_EQ(parent_sections.count(kLineageTag), 0u);
+  ASSERT_EQ(child_sections.count(kLineageTag), 1u);
+  ASSERT_EQ(child_sections.size(), parent_sections.size() + 1);
+  for (const auto& [tag, body] : parent_sections) {
+    ASSERT_EQ(child_sections.count(tag), 1u) << "section " << tag << " lost";
+    EXPECT_EQ(child_sections.at(tag), body)
+        << "section " << tag << " changed across a zero-row refit";
+  }
+}
+
+TEST(RefitTest, NoDriftPatchKeepsParentAssignments) {
+  const ModelBundle parent = FitParent();
+  auto result = RefitCsv(parent, FamiliarRowsCsv());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->drift_class, DriftClass::kNone);
+  const ModelBundle& child = result->bundle;
+  EXPECT_EQ(child.num_rows, parent.num_rows + 3);
+  ASSERT_EQ(child.assignments.size(), child.num_rows);
+  ASSERT_EQ(child.assignment_loss.size(), child.num_rows);
+  ASSERT_EQ(child.row_entry_ids.size(), child.num_rows);
+  // The original rows' labels and losses are untouched.
+  for (size_t i = 0; i < parent.num_rows; ++i) {
+    EXPECT_EQ(child.assignments[i], parent.assignments[i]);
+    EXPECT_EQ(std::memcmp(&child.assignment_loss[i],
+                          &parent.assignment_loss[i], sizeof(double)),
+              0);
+  }
+  // Representatives are frozen on the patch path.
+  ASSERT_EQ(child.representatives.size(), parent.representatives.size());
+  ASSERT_TRUE(child.has_lineage);
+  EXPECT_EQ(child.lineage.refit_generation, 1u);
+  EXPECT_EQ(child.lineage.base_rows, parent.num_rows);
+  EXPECT_EQ(child.lineage.rows_absorbed, 3u);
+  EXPECT_EQ(child.lineage.total_rows_absorbed, 3u);
+}
+
+// The three-way classification, driven through the thresholds around the
+// measured score — including the boundary itself, which is exclusive on
+// both cuts (score == threshold escalates). Run at 1 and 4 threads: the
+// classification and the child bundle must be identical at any lane
+// count.
+TEST(RefitTest, DriftBoundariesAtOneAndFourThreads) {
+  const ModelBundle parent = FitParent();
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    RefitOptions options;
+    options.threads = threads;
+    auto probe = RefitCsv(parent, ShiftedRowsCsv(), options);
+    ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+    const double score = probe->drift_score;
+    ASSERT_GT(score, 0.0);
+
+    // Thresholds comfortably above the score: no drift.
+    options.drift_moderate = score * 2.0;
+    options.drift_severe = score * 4.0;
+    auto none = RefitCsv(parent, ShiftedRowsCsv(), options);
+    ASSERT_TRUE(none.ok());
+    EXPECT_EQ(none->drift_class, DriftClass::kNone);
+
+    // Exactly at the moderate boundary: score < moderate is false, so the
+    // refit escalates to the Phase-2/3 re-run.
+    options.drift_moderate = score;
+    options.drift_severe = score * 4.0;
+    auto moderate = RefitCsv(parent, ShiftedRowsCsv(), options);
+    ASSERT_TRUE(moderate.ok());
+    EXPECT_EQ(moderate->drift_class, DriftClass::kModerate);
+
+    // Exactly at the severe boundary: the refit refuses to patch and the
+    // result carries no bundle.
+    options.drift_moderate = score / 2.0;
+    options.drift_severe = score;
+    auto severe = RefitCsv(parent, ShiftedRowsCsv(), options);
+    ASSERT_TRUE(severe.ok());
+    EXPECT_EQ(severe->drift_class, DriftClass::kSevere);
+    EXPECT_TRUE(severe->bundle.representatives.empty());
+    EXPECT_EQ(severe->bundle.num_rows, 0u);
+  }
+}
+
+TEST(RefitTest, RefitIsThreadCountInvariant) {
+  const ModelBundle parent = FitParent();
+  RefitOptions options;
+  options.threads = 1;
+  // Force the moderate path so the Phase-2/3 re-run is covered too.
+  options.drift_moderate = 0.0;
+  auto serial = RefitCsv(parent, ShiftedRowsCsv(), options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_EQ(serial->drift_class, DriftClass::kModerate);
+  options.threads = 4;
+  auto parallel = RefitCsv(parent, ShiftedRowsCsv(), options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(SerializeBundle(serial->bundle),
+            SerializeBundle(parallel->bundle));
+}
+
+TEST(RefitTest, ModeratePathRelabelsEveryRow) {
+  const ModelBundle parent = FitParent();
+  RefitOptions options;
+  options.drift_moderate = 0.0;  // any positive score -> moderate
+  auto result = RefitCsv(parent, ShiftedRowsCsv(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->drift_class, DriftClass::kModerate);
+  const ModelBundle& child = result->bundle;
+  ASSERT_EQ(child.assignments.size(), child.num_rows);
+  ASSERT_EQ(child.assignment_loss.size(), child.num_rows);
+  ASSERT_FALSE(child.representatives.empty());
+  for (uint64_t r = 0; r < child.num_rows; ++r) {
+    EXPECT_LT(child.assignments[r], child.representatives.size());
+    EXPECT_GE(child.assignment_loss[r], 0.0);
+  }
+  EXPECT_EQ(child.lineage.drift_class, DriftClass::kModerate);
+}
+
+// Lineage must chain: the checksum recorded in each child is the payload
+// checksum of the exact parent file it grew from, generations count up,
+// and base_rows stays anchored at the original fit while the absorbed
+// totals accumulate.
+TEST(RefitTest, ChainedRefitAccumulatesLineage) {
+  const std::string dir = testing::TempDir();
+  const std::string parent_path = dir + "/chain_parent.limbo";
+  const std::string child_path = dir + "/chain_child.limbo";
+  ASSERT_TRUE(Save(FitParent(), parent_path).ok());
+  auto parent = Load(parent_path);
+  ASSERT_TRUE(parent.ok());
+  ASSERT_NE(parent->payload_checksum, 0u);
+
+  auto first = RefitCsv(*parent, FamiliarRowsCsv());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->drift_class, DriftClass::kNone);
+  EXPECT_EQ(first->bundle.lineage.parent_checksum, parent->payload_checksum);
+  ASSERT_TRUE(Save(first->bundle, child_path).ok());
+
+  auto child = Load(child_path);
+  ASSERT_TRUE(child.ok());
+  auto second = RefitCsv(*child, FamiliarRowsCsv());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  const BundleLineage& l = second->bundle.lineage;
+  EXPECT_EQ(l.refit_generation, 2u);
+  EXPECT_EQ(l.parent_checksum, child->payload_checksum);
+  EXPECT_EQ(l.base_rows, parent->num_rows);
+  EXPECT_EQ(l.rows_absorbed, 3u);
+  EXPECT_EQ(l.total_rows_absorbed, 6u);
+  EXPECT_EQ(second->bundle.num_rows, parent->num_rows + 6);
+}
+
+// A refit child must itself round-trip the wire format field-exactly —
+// the lineage and updated tree sections included.
+TEST(RefitTest, ChildBundleRoundTrips) {
+  const ModelBundle parent = FitParent();
+  auto result = RefitCsv(parent, FamiliarRowsCsv());
+  ASSERT_TRUE(result.ok());
+  const std::string bytes = SerializeBundle(result->bundle);
+  auto parsed = ParseBundle(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(SerializeBundle(*parsed), bytes);
+  ASSERT_TRUE(parsed->has_lineage);
+  EXPECT_EQ(parsed->lineage.refit_generation, 1u);
+}
+
+TEST(RefitTest, RejectsBundleWithoutRefitState) {
+  FitOptions fit_options;
+  fit_options.k = 3;
+  fit_options.refit_state = false;
+  auto parent = FitModel(BaseRelation(), fit_options);
+  ASSERT_TRUE(parent.ok());
+  auto result = RefitCsv(*parent, FamiliarRowsCsv());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(RefitTest, RejectsSchemaMismatch) {
+  const ModelBundle parent = FitParent();
+  auto result = RefitCsv(parent, "City,State,Zip\nBoston,MA,02134\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(RefitTest, RejectsInvertedThresholds) {
+  const ModelBundle parent = FitParent();
+  RefitOptions options;
+  options.drift_moderate = 8.0;
+  options.drift_severe = 2.0;
+  auto result = RefitCsv(parent, FamiliarRowsCsv(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(RefitTest, RejectsRaggedRow) {
+  const ModelBundle parent = FitParent();
+  auto result =
+      RefitCsv(parent, std::string(kHeader) + "Boston,MA,02134\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+// New values arriving in the refit rows are interned into the child's
+// dictionary with correct supports, and the parent's dictionary is
+// untouched (the refit copies, never mutates).
+TEST(RefitTest, InternsNewValuesIntoChildOnly) {
+  const ModelBundle parent = FitParent();
+  const size_t parent_values = parent.dictionary.NumValues();
+  auto result = RefitCsv(parent, ShiftedRowsCsv());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(parent.dictionary.NumValues(), parent_values);
+  if (result->drift_class != DriftClass::kSevere) {
+    EXPECT_GT(result->bundle.dictionary.NumValues(), parent_values);
+    auto found = result->bundle.dictionary.Find(0, "Lagos");
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(result->bundle.dictionary.Support(*found), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace limbo::model

@@ -7,7 +7,9 @@
 
 #include "gtest/gtest.h"
 #include "model/fit.h"
+#include "model/refit.h"
 #include "relation/relation.h"
+#include "relation/row_source.h"
 #include "util/json.h"
 #include "util/parallel.h"
 
@@ -339,6 +341,112 @@ TEST(EngineTest, HandleRequestsMatchesPerLineResponses) {
   for (size_t i = 0; i < queries.size(); ++i) {
     EXPECT_EQ(batched[i], engine.HandleLine(queries[i], &single_kernel))
         << queries[i];
+  }
+}
+
+// The duplicate-row fast path: byte-identical rows in one batch are
+// evaluated once and every copy reuses the first occurrence's result —
+// error results included — while rows whose fields merely concatenate
+// to the same bytes stay distinct (the key is length-prefixed).
+TEST(EngineTest, AssignBatchDuplicateRowsShareOneEvaluation) {
+  Engine engine = TestEngine();
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 5; ++i) {
+    rows.push_back({"Boston", "MA", "02134", "alice"});
+  }
+  rows.push_back({"x", "y", "z", "w"});  // all-unseen: error
+  rows.push_back({"x", "y", "z", "w"});  // duplicate of the error row
+  rows.push_back({"Denver", "CO", "80201", "bob"});
+  // Same concatenation as the Denver row, different field boundaries.
+  rows.push_back({"DenverCO", "", "80201", "bob"});
+  core::LossKernel kernel;
+  const std::vector<RowAssignment> batch = engine.AssignBatch(rows, &kernel);
+  ASSERT_EQ(batch.size(), rows.size());
+  for (size_t i = 1; i < 5; ++i) {
+    ASSERT_TRUE(batch[i].status.ok());
+    EXPECT_EQ(batch[i].label, batch[0].label);
+    EXPECT_EQ(batch[i].oov, batch[0].oov);
+    EXPECT_EQ(std::memcmp(&batch[i].loss, &batch[0].loss, sizeof(double)), 0);
+  }
+  EXPECT_FALSE(batch[5].status.ok());
+  EXPECT_EQ(batch[6].status.ToString(), batch[5].status.ToString());
+  ASSERT_TRUE(batch[7].status.ok());
+  ASSERT_TRUE(batch[8].status.ok());
+  EXPECT_EQ(batch[7].oov, 0u);
+  EXPECT_GT(batch[8].oov, 0u);  // "DenverCO" was never interned
+
+  // And every result matches the per-row path bit for bit.
+  for (size_t i = 0; i < rows.size(); ++i) {
+    core::LossKernel single;
+    uint32_t label = 0;
+    double loss = 0.0;
+    size_t oov = 0;
+    util::Status status =
+        engine.AssignRow(rows[i], &single, &label, &loss, &oov);
+    ASSERT_EQ(batch[i].status.ok(), status.ok()) << "row " << i;
+    if (!status.ok()) continue;
+    EXPECT_EQ(batch[i].label, label) << "row " << i;
+    EXPECT_EQ(batch[i].oov, oov) << "row " << i;
+    EXPECT_EQ(std::memcmp(&batch[i].loss, &loss, sizeof(double)), 0)
+        << "row " << i;
+  }
+}
+
+// `info` surfaces the bundle's refit capability and lineage: null for a
+// generation-0 fit, the full provenance object for a refit child.
+TEST(EngineTest, InfoReportsRefitCapabilityAndLineage) {
+  Engine engine = TestEngine();
+  JsonValue info = ParseResponse(engine.HandleLine("{\"op\":\"info\"}"));
+  ASSERT_TRUE(ResponseOk(info));
+  ASSERT_NE(info.Find("refit_capable"), nullptr);
+  EXPECT_TRUE(info.Find("refit_capable")->boolean);
+  ASSERT_NE(info.Find("lineage"), nullptr);
+  EXPECT_EQ(info.Find("lineage")->kind, JsonValue::Kind::kNull);
+  ASSERT_NE(info.Find("checksum"), nullptr);
+  EXPECT_EQ(info.Find("checksum")->str.size(), 16u);
+
+  auto source = relation::CsvStringSource::Open(
+      "City,State,Zip,Name\nBoston,MA,02134,alice\n");
+  ASSERT_TRUE(source.ok());
+  auto refit = model::RefitModel(FittedBundle(), *source);
+  ASSERT_TRUE(refit.ok()) << refit.status().ToString();
+  ASSERT_NE(refit->drift_class, model::DriftClass::kSevere);
+  auto child = Engine::FromBundle(refit->bundle, EngineOptions());
+  ASSERT_TRUE(child.ok());
+  JsonValue child_info =
+      ParseResponse(child->HandleLine("{\"op\":\"info\"}"));
+  ASSERT_TRUE(ResponseOk(child_info));
+  const JsonValue* lineage = child_info.Find("lineage");
+  ASSERT_NE(lineage, nullptr);
+  ASSERT_EQ(lineage->kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(lineage->Find("generation")->integer, 1u);
+  EXPECT_EQ(lineage->Find("base_rows")->integer, 12u);
+  EXPECT_EQ(lineage->Find("rows_absorbed")->integer, 1u);
+  EXPECT_EQ(lineage->Find("drift_class")->str, "no-drift");
+}
+
+// The refit chain anchors every mass to the generation-0 row count, so
+// a no-drift child must serve losses (not just labels) byte-identical
+// to its parent — that invariance is what makes hot-reloading a
+// refitted bundle invisible to clients.
+TEST(EngineTest, RefittedChildServesByteIdenticalResponses) {
+  Engine parent = TestEngine();
+  auto source = relation::CsvStringSource::Open(
+      "City,State,Zip,Name\nBoston,MA,02134,alice\nMiami,FL,33101,dave\n");
+  ASSERT_TRUE(source.ok());
+  auto refit = model::RefitModel(FittedBundle(), *source);
+  ASSERT_TRUE(refit.ok()) << refit.status().ToString();
+  ASSERT_EQ(refit->drift_class, model::DriftClass::kNone);
+  auto child = Engine::FromBundle(refit->bundle, EngineOptions());
+  ASSERT_TRUE(child.ok());
+  const char* queries[] = {
+      "{\"op\":\"assign\",\"csv\":\"Boston,MA,02134,alice\"}",
+      "{\"op\":\"assign\",\"csv\":\"Miami,FL,33101,dave\"}",
+      "{\"op\":\"assign\",\"csv\":\"Miami,MA,02134,carol\"}",
+      "{\"op\":\"duplicates\",\"csv\":\"Boston,MA,02134,alice\"}",
+  };
+  for (const char* query : queries) {
+    EXPECT_EQ(parent.HandleLine(query), child->HandleLine(query)) << query;
   }
 }
 

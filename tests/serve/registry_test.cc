@@ -13,7 +13,9 @@
 #include "gtest/gtest.h"
 #include "model/fit.h"
 #include "model/model_bundle.h"
+#include "model/refit.h"
 #include "relation/relation.h"
+#include "relation/row_source.h"
 #include "util/json.h"
 
 namespace limbo::serve {
@@ -266,6 +268,54 @@ TEST_F(RegistryTest, ReloadBumpsVersionAndServesNewBundle) {
                                                   &kernel)),
                 "clusters"),
             2.0);
+}
+
+// The refit -> hot-reload loop: a refitted child written over the
+// registered path swaps in on reload, and the "models" op reports the
+// new lineage (generation, rows absorbed, drift) alongside the bumped
+// version and checksum.
+TEST_F(RegistryTest, ReloadPicksUpRefittedChildAndReportsLineage) {
+  Registry registry;
+  ASSERT_TRUE(registry.AddModel("m", wide_path_).ok());
+  core::LossKernel kernel;
+
+  // Generation 0: refit-capable, no lineage.
+  JsonValue models =
+      ParseResponse(registry.HandleLine("{\"op\":\"models\"}", &kernel));
+  ASSERT_TRUE(ResponseOk(models));
+  {
+    const JsonValue& entry = models.Find("models")->array[0];
+    EXPECT_TRUE(entry.Find("refit_capable")->boolean);
+    EXPECT_EQ(entry.Find("lineage")->kind, JsonValue::Kind::kNull);
+    EXPECT_EQ(entry.Find("checksum")->str.size(), 16u);
+    EXPECT_EQ(entry.Find("rows")->integer, 12u);
+  }
+
+  // Refit the bundle on disk (in place, as `limbo-tool refit` would).
+  auto parent = model::Load(wide_path_);
+  ASSERT_TRUE(parent.ok());
+  auto source = relation::CsvStringSource::Open(
+      "City,State,Zip,Name\nBoston,MA,02134,alice\nDenver,CO,80201,bob\n");
+  ASSERT_TRUE(source.ok());
+  auto refit = model::RefitModel(*parent, *source);
+  ASSERT_TRUE(refit.ok()) << refit.status().ToString();
+  ASSERT_NE(refit->drift_class, model::DriftClass::kSevere);
+  ASSERT_TRUE(model::Save(refit->bundle, wide_path_).ok());
+
+  const JsonValue reload =
+      ParseResponse(registry.HandleLine("{\"op\":\"reload\"}", &kernel));
+  ASSERT_TRUE(ResponseOk(reload));
+  models =
+      ParseResponse(registry.HandleLine("{\"op\":\"models\"}", &kernel));
+  ASSERT_TRUE(ResponseOk(models));
+  const JsonValue& entry = models.Find("models")->array[0];
+  EXPECT_EQ(entry.Find("version")->integer, 2u);
+  EXPECT_EQ(entry.Find("rows")->integer, 14u);
+  const JsonValue* lineage = entry.Find("lineage");
+  ASSERT_EQ(lineage->kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(lineage->Find("generation")->integer, 1u);
+  EXPECT_EQ(lineage->Find("base_rows")->integer, 12u);
+  EXPECT_EQ(lineage->Find("rows_absorbed")->integer, 2u);
 }
 
 TEST_F(RegistryTest, FailedReloadKeepsOldEngineServing) {

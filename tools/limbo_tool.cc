@@ -16,8 +16,16 @@
 //   limbo-tool report     data.csv [--out=report.md] [--psi=0.5]
 //   limbo-tool fit        data.csv [--phi-t=0.1] [--phi-v=0] [--psi=0.5]
 //                                  [--k=10] [--model-out=data.limbo]
+//                                  [--no-refit-state]
+//   limbo-tool refit      data.limbo --input=new_rows.csv
+//                                  [--model-out=child.limbo]
+//                                  [--drift-moderate=2.0] [--drift-severe=8.0]
+//                                  [--chunk=4096]
+//   limbo-tool inspect    data.limbo
 //
-// Input: CSV with a header row; empty fields are NULLs.
+// Input: CSV with a header row; empty fields are NULLs. refit and
+// inspect take a .limbo bundle as their positional argument instead;
+// refit exits 3 on severe drift (no bundle written -- run a full fit).
 //
 // partition and summaries additionally accept the streaming-ingest knobs:
 //
@@ -76,6 +84,7 @@
 #include "fd/tane.h"
 #include "model/fit.h"
 #include "model/model_bundle.h"
+#include "model/refit.h"
 #include "relation/csv_io.h"
 #include "relation/row_source.h"
 #include "relation/source_stats.h"
@@ -123,8 +132,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: limbo-tool <profile|summary|duplicates|values|fds|approx-fds|"
-      "mvds|keys|rank|partition|decompose|summaries|report|fit|generate> "
-      "data.csv [--flag=value ...]\n");
+      "mvds|keys|rank|partition|decompose|summaries|report|fit|refit|inspect|"
+      "generate> data.csv [--flag=value ...]\n");
   return 2;
 }
 
@@ -146,7 +155,10 @@ int ValidateFlags(const Args& args) {
       {"decompose", {"psi", "out"}},
       {"summaries", {"phi-t", "out", "stream", "stats", "chunk"}},
       {"report", {"phi-t", "phi-v", "psi", "out"}},
-      {"fit", {"phi-t", "phi-v", "psi", "k", "model-out"}},
+      {"fit", {"phi-t", "phi-v", "psi", "k", "model-out", "no-refit-state"}},
+      {"refit",
+       {"input", "model-out", "drift-moderate", "drift-severe", "chunk"}},
+      {"inspect", {}},
       {"generate", {"out", "tuples", "seed"}},
   };
   auto it = kCommandFlags.find(args.command);
@@ -757,6 +769,7 @@ int CmdFit(const relation::Relation& rel, const Args& args) {
   options.psi = args.GetDouble("psi", options.psi);
   options.k = args.GetSize("k", options.k);
   options.threads = args.GetSize("threads", 0);
+  options.refit_state = !args.Has("no-refit-state");
   auto bundle = model::FitModel(rel, options);
   if (!bundle.ok()) {
     std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
@@ -773,6 +786,109 @@ int CmdFit(const relation::Relation& rel, const Args& args) {
       "groups, %zu ranked FDs)\n",
       out.c_str(), bundle->num_rows, bundle->representatives.size(),
       bundle->value_groups.size(), bundle->ranked_fds.size());
+  return 0;
+}
+
+using model::DriftClassName;
+
+/// Absorbs new rows into a fitted bundle via the rehydrated Phase-1 tree.
+/// Exit codes: 0 = child written, 2 = usage, 3 = severe drift (nothing
+/// written — run a full fit), 1 = any other error.
+int CmdRefit(const Args& args) {
+  const std::string rows_path = args.GetString("input", "");
+  if (rows_path.empty()) {
+    std::fprintf(stderr,
+                 "limbo-tool refit: --input=<new_rows.csv> is required\n");
+    return 2;
+  }
+  auto parent = model::Load(args.input);
+  if (!parent.ok()) {
+    std::fprintf(stderr, "%s\n", parent.status().ToString().c_str());
+    return 1;
+  }
+  auto source = relation::CsvFileSource::Open(rows_path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+    return 1;
+  }
+  model::RefitOptions options;
+  options.drift_moderate =
+      args.GetDouble("drift-moderate", options.drift_moderate);
+  options.drift_severe = args.GetDouble("drift-severe", options.drift_severe);
+  options.threads = args.GetSize("threads", 0);
+  options.chunk_rows = args.GetSize("chunk", options.chunk_rows);
+  auto result = model::RefitModel(*parent, *source, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("absorbed %" PRIu64
+              " rows: drift %.4f (new mean loss %.6f / fit mean loss %.6f) "
+              "-> %s\n",
+              result->rows_absorbed, result->drift_score,
+              result->new_rows_mean_loss, result->fit_mean_loss,
+              DriftClassName(result->drift_class));
+  if (result->drift_class == model::DriftClass::kSevere) {
+    std::fprintf(stderr,
+                 "severe drift (score %.4f >= %.4f): refusing to patch; run "
+                 "a full fit on the combined data\n",
+                 result->drift_score, options.drift_severe);
+    return 3;
+  }
+  const std::string out = args.GetString("model-out", args.input);
+  util::Status s = model::Save(result->bundle, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote refitted bundle %s (generation %u, %" PRIu64
+              " rows, parent %016" PRIx64 ")\n",
+              out.c_str(), result->bundle.lineage.refit_generation,
+              result->bundle.num_rows, result->bundle.lineage.parent_checksum);
+  return 0;
+}
+
+/// Prints a bundle's header, section inventory, and lineage.
+int CmdInspect(const Args& args) {
+  auto bundle = model::Load(args.input);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("bundle: %s\n", args.input.c_str());
+  std::printf("format version: %u\n", bundle->format_version);
+  std::printf("payload checksum: %016" PRIx64 "\n", bundle->payload_checksum);
+  std::printf("rows: %" PRIu64 "\n", bundle->num_rows);
+  std::printf("attributes: %zu\n", bundle->schema.NumAttributes());
+  std::printf("values: %zu\n", bundle->dictionary.NumValues());
+  std::printf("clusters: %zu\n", bundle->representatives.size());
+  std::printf("value groups: %zu (%zu duplicate)\n",
+              bundle->value_groups.size(), bundle->duplicate_groups.size());
+  std::printf("ranked FDs: %zu\n", bundle->ranked_fds.size());
+  std::printf("grouping: %s\n", bundle->has_grouping ? "yes" : "no");
+  if (bundle->has_phase1_tree) {
+    const core::DcfTree::Stats& t = bundle->phase1_tree.stats;
+    std::printf("refit state: yes (%" PRIu64 " leaf entries, %" PRIu64
+                " nodes, height %" PRIu64 ")\n",
+                static_cast<uint64_t>(t.num_leaf_entries),
+                static_cast<uint64_t>(t.num_nodes),
+                static_cast<uint64_t>(t.height));
+  } else {
+    std::printf("refit state: no\n");
+  }
+  if (bundle->has_lineage) {
+    const model::BundleLineage& l = bundle->lineage;
+    std::printf("lineage: generation %u, parent %016" PRIx64 "\n",
+                l.refit_generation, l.parent_checksum);
+    std::printf("  base rows %" PRIu64 ", absorbed %" PRIu64 " (chain total %"
+                PRIu64 ")\n",
+                l.base_rows, l.rows_absorbed, l.total_rows_absorbed);
+    std::printf("  drift %.4f [%s] (thresholds %.2f / %.2f)\n", l.drift_score,
+                DriftClassName(l.drift_class), l.drift_moderate,
+                l.drift_severe);
+  } else {
+    std::printf("lineage: none (original fit)\n");
+  }
   return 0;
 }
 
@@ -827,6 +943,12 @@ int main(int argc, char** argv) {
   int rc = 2;
   if (args.command == "generate") {
     rc = CmdGenerate(args);
+  } else if (args.command == "refit") {
+    // The positional input is a .limbo bundle, not a CSV; the new rows
+    // arrive via --input.
+    rc = CmdRefit(args);
+  } else if (args.command == "inspect") {
+    rc = CmdInspect(args);
   } else if (args.Has("stream")) {
     // Streamed commands never materialize the relation — the whole point
     // is that peak memory stays at the DCF tree plus one chunk.
