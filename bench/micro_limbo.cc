@@ -64,6 +64,14 @@
 //    the batch stayed no-drift, the patch was at least 5x faster than
 //    the full fit, and zero responses mismatched after the reload. The
 //    same measurement is the "refit" section of BENCH_report.json.
+//  * `micro_limbo --schemes [--tuples=N]` measures the approximate
+//    acyclic-scheme miner (schemes::MineAcyclicSchemes over the streamed
+//    entropy oracle) on the DB2 join sample and an N-tuple DBLP input:
+//    wall time at 1 and 4 oracle lanes, scheme count, J-measures, and
+//    oracle pass/prune statistics, one JSON line per dataset. Exit 0 iff
+//    both lane counts mine the identical scheme list on every dataset
+//    and DBLP yields at least one scheme. Its output is what
+//    BENCH_schemes.json records.
 
 #include <benchmark/benchmark.h>
 #include <netinet/in.h>
@@ -105,6 +113,8 @@
 #include "relation/csv_io.h"
 #include "relation/row_source.h"
 #include "relation/source_stats.h"
+#include "schemes/entropy_oracle.h"
+#include "schemes/mine.h"
 #include "serve/engine.h"
 #include "serve/registry.h"
 #include "serve/server.h"
@@ -1250,6 +1260,90 @@ int RunRefitBench(size_t tuples) {
   return (no_drift && speedup_ok && bit_identical) ? 0 : 1;
 }
 
+/// Standalone `--schemes` mode: the approximate acyclic-scheme miner on
+/// the DB2 join sample and a DBLP-sized generator output. Each dataset
+/// is mined twice — oracle at 1 lane and at 4 — and the scheme lists
+/// (rendered text, J-measures included) must match exactly; the entropy
+/// oracle's determinism contract makes them bit-identical. Exit 0 iff
+/// every dataset agrees across lanes and DBLP yields >= 1 scheme.
+int RunSchemesBench(size_t tuples) {
+  struct Arm {
+    const char* name;
+    relation::Relation rel;
+  };
+  std::vector<Arm> arms;
+  {
+    auto db2 = datagen::Db2Sample::JoinedRelation();
+    if (!db2.ok()) {
+      std::fprintf(stderr, "%s\n", db2.status().ToString().c_str());
+      return 1;
+    }
+    arms.push_back({"db2", std::move(*db2)});
+    datagen::DblpOptions dblp_options;
+    dblp_options.target_tuples = tuples;
+    arms.push_back({"dblp", datagen::GenerateDblp(dblp_options)});
+  }
+  bool ok = true;
+  for (Arm& arm : arms) {
+    schemes::MineOptions options;
+    std::string rendered[2];
+    double seconds[2] = {0.0, 0.0};
+    size_t count = 0;
+    double total_entropy = 0.0;
+    double min_j = 0.0;
+    uint64_t pairs_pruned = 0;
+    uint64_t pairs_evaluated = 0;
+    uint64_t oracle_sets = 0;
+    for (int lane = 0; lane < 2; ++lane) {
+      relation::RelationRowSource source(arm.rel);
+      schemes::EntropyOracleOptions oracle_options;
+      oracle_options.threads = lane == 0 ? 1 : 4;
+      schemes::EntropyOracle oracle(source, oracle_options);
+      const auto start = std::chrono::steady_clock::now();
+      auto mined = schemes::MineAcyclicSchemes(oracle, options);
+      seconds[lane] = Seconds(start);
+      if (!mined.ok()) {
+        std::fprintf(stderr, "%s\n", mined.status().ToString().c_str());
+        return 1;
+      }
+      count = mined->schemes.size();
+      total_entropy = mined->total_entropy;
+      min_j = mined->schemes.empty() ? 0.0 : mined->schemes[0].j_measure;
+      pairs_pruned = mined->pairs_pruned;
+      pairs_evaluated = mined->pairs_evaluated;
+      oracle_sets = oracle.stats().sets_counted;
+      for (const auto& scheme : mined->schemes) {
+        rendered[lane] += scheme.ToString(arm.rel.schema());
+        rendered[lane].push_back('\n');
+      }
+    }
+    const bool lane_identical = rendered[0] == rendered[1];
+    std::printf(
+        "{\"benchmark\": \"schemes\", \"dataset\": \"%s\", \"tuples\": %zu, "
+        "\"attributes\": %zu, \"epsilon\": %.4f, \"schemes\": %zu, "
+        "\"total_entropy\": %.4f, \"best_j\": %.6f, \"pairs_pruned\": %llu, "
+        "\"pairs_evaluated\": %llu, \"oracle_sets\": %llu, "
+        "\"seconds_1_lane\": %.4f, \"seconds_4_lanes\": %.4f, "
+        "\"lane_identical\": %s}\n",
+        arm.name, arm.rel.NumTuples(), arm.rel.NumAttributes(),
+        options.epsilon, count, total_entropy, min_j,
+        static_cast<unsigned long long>(pairs_pruned),
+        static_cast<unsigned long long>(pairs_evaluated),
+        static_cast<unsigned long long>(oracle_sets), seconds[0], seconds[1],
+        lane_identical ? "true" : "false");
+    if (!lane_identical) {
+      std::fprintf(stderr, "%s: scheme lists differ between 1 and 4 lanes\n",
+                   arm.name);
+      ok = false;
+    }
+    if (std::strcmp(arm.name, "dblp") == 0 && count == 0) {
+      std::fprintf(stderr, "dblp: expected at least one acyclic scheme\n");
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1260,6 +1354,7 @@ int main(int argc, char** argv) {
   bool serve_bench = false;
   bool load_bench = false;
   bool refit_bench = false;
+  bool schemes_bench = false;
   size_t refit_tuples = 0;
   std::string stream_arm;
   std::string stream_csv;
@@ -1286,6 +1381,8 @@ int main(int argc, char** argv) {
       load_bench = true;
     } else if (std::strcmp(argv[i], "--refit") == 0) {
       refit_bench = true;
+    } else if (std::strcmp(argv[i], "--schemes") == 0) {
+      schemes_bench = true;
     } else if (std::strncmp(argv[i], "--refit-tuples=", 15) == 0) {
       refit_tuples = static_cast<size_t>(std::strtoull(argv[i] + 15,
                                                        nullptr, 10));
@@ -1339,6 +1436,7 @@ int main(int argc, char** argv) {
                         batch_max, batch_wait_us, cache_entries);
   }
   if (refit_bench) return RunRefitBench(tuples_given ? tuples : 20000);
+  if (schemes_bench) return RunSchemesBench(tuples_given ? tuples : 20000);
   if (thread_scaling) return RunThreadScaling(tuples);
   if (kernel_bench) return RunKernelBench(tuples_given ? tuples : 10000);
   if (report_mode) {

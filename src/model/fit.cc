@@ -6,6 +6,9 @@
 #include "core/structure_summary.h"
 #include "core/tuple_clustering.h"
 #include "obs/trace.h"
+#include "relation/row_source.h"
+#include "schemes/entropy_oracle.h"
+#include "schemes/mine.h"
 
 namespace limbo::model {
 
@@ -76,6 +79,32 @@ util::Result<ModelBundle> FitModel(const relation::Relation& rel,
   }
   bundle.num_fds = summary.num_fds;
   bundle.ranked_fds = std::move(summary.ranked_cover);
+
+  if (options.mine_schemes && rel.schema().NumAttributes() >= 2) {
+    LIMBO_OBS_SPAN(schemes_span, "model.fit.schemes");
+    relation::RelationRowSource source(rel);
+    schemes::EntropyOracleOptions oracle_options;
+    oracle_options.threads = options.threads;
+    schemes::EntropyOracle oracle(source, oracle_options);
+    schemes::MineOptions mine_options;
+    mine_options.epsilon = options.schemes_epsilon;
+    mine_options.max_separator = options.schemes_max_separator;
+    LIMBO_ASSIGN_OR_RETURN(schemes::MineResult mined,
+                           schemes::MineAcyclicSchemes(oracle, mine_options));
+    bundle.has_schemes = true;
+    bundle.schemes_epsilon = options.schemes_epsilon;
+    bundle.schemes_max_separator = options.schemes_max_separator;
+    bundle.schemes_total_entropy = mined.total_entropy;
+    bundle.schemes.reserve(mined.schemes.size());
+    for (const schemes::AcyclicScheme& s : mined.schemes) {
+      BundleScheme out;
+      out.separator_bits = s.separator.bits();
+      out.j_measure = s.j_measure;
+      out.bag_bits.reserve(s.bags.size());
+      for (fd::AttributeSet bag : s.bags) out.bag_bits.push_back(bag.bits());
+      bundle.schemes.push_back(std::move(out));
+    }
+  }
   return bundle;
 }
 

@@ -29,6 +29,14 @@ struct FitOptions {
   /// per-row leaf-entry ids so `limbo-tool refit` can absorb new rows
   /// incrementally. Disable to shave the extra section off the file.
   bool refit_state = true;
+  /// When true, mine approximate acyclic schemes (src/schemes) over the
+  /// fitted relation and persist them in the bundle's tag-11 section, so
+  /// the serve layer can answer `schemes` queries without re-mining.
+  bool mine_schemes = false;
+  /// J-measure acceptance bound, in bits, for the mined schemes.
+  double schemes_epsilon = 0.05;
+  /// Largest separator cardinality the miner enumerates.
+  size_t schemes_max_separator = 2;
 };
 
 /// Freezes one full LIMBO run over `rel` into a bundle: RunLimbo for the

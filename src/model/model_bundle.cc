@@ -30,10 +30,12 @@ enum SectionTag : uint32_t {
   kRankedFds = 8,
   kPhase1Tree = 9,  // optional, version >= 2
   kLineage = 10,    // optional, version >= 2
+  kSchemes = 11,    // optional, version >= 3
 };
 
 /// Highest section tag a file of `version` may contain.
 uint32_t MaxTagForVersion(uint32_t version) {
+  if (version >= 3) return kSchemes;
   return version >= 2 ? kLineage : kRankedFds;
 }
 
@@ -349,6 +351,22 @@ std::string LineageBody(const ModelBundle& b) {
   PutF64(l.drift_score, &out);
   PutF64(l.drift_moderate, &out);
   PutF64(l.drift_severe, &out);
+  PutF64(l.entropy_drift, &out);
+  return out;
+}
+
+std::string SchemesBody(const ModelBundle& b) {
+  std::string out;
+  PutF64(b.schemes_epsilon, &out);
+  PutU64(b.schemes_max_separator, &out);
+  PutF64(b.schemes_total_entropy, &out);
+  PutU64(b.schemes.size(), &out);
+  for (const BundleScheme& s : b.schemes) {
+    PutU64(s.separator_bits, &out);
+    PutF64(s.j_measure, &out);
+    PutU64(s.bag_bits.size(), &out);
+    for (uint64_t bag : s.bag_bits) PutU64(bag, &out);
+  }
   return out;
 }
 
@@ -835,8 +853,14 @@ util::Status ParseLineage(Cursor in, ModelBundle* b) {
   LIMBO_RETURN_IF_ERROR(in.ReadF64(&l.drift_score));
   LIMBO_RETURN_IF_ERROR(in.ReadF64(&l.drift_moderate));
   LIMBO_RETURN_IF_ERROR(in.ReadF64(&l.drift_severe));
+  // Version 3 appended the entropy-drift second signal; v2 lineage
+  // bodies end after the thresholds.
+  if (b->format_version >= 3) {
+    LIMBO_RETURN_IF_ERROR(in.ReadF64(&l.entropy_drift));
+  }
   LIMBO_RETURN_IF_ERROR(ExpectDone(in, "lineage"));
-  for (double v : {l.drift_score, l.drift_moderate, l.drift_severe}) {
+  for (double v : {l.drift_score, l.drift_moderate, l.drift_severe,
+                   l.entropy_drift}) {
     LIMBO_RETURN_IF_ERROR(CheckFinite(v, "lineage field"));
     if (v < 0.0) {
       return util::Status::InvalidArgument(
@@ -850,6 +874,66 @@ util::Status ParseLineage(Cursor in, ModelBundle* b) {
         "model bundle: lineage row accounting inconsistent");
   }
   b->has_lineage = true;
+  return util::Status::Ok();
+}
+
+util::Status ParseSchemes(Cursor in, ModelBundle* b) {
+  LIMBO_RETURN_IF_ERROR(in.ReadF64(&b->schemes_epsilon));
+  LIMBO_RETURN_IF_ERROR(CheckFinite(b->schemes_epsilon, "schemes epsilon"));
+  LIMBO_RETURN_IF_ERROR(in.ReadU64(&b->schemes_max_separator));
+  LIMBO_RETURN_IF_ERROR(in.ReadF64(&b->schemes_total_entropy));
+  LIMBO_RETURN_IF_ERROR(
+      CheckFinite(b->schemes_total_entropy, "schemes entropy"));
+  if (b->schemes_epsilon < 0.0 || b->schemes_total_entropy < 0.0 ||
+      b->schemes_max_separator > 64) {
+    return util::Status::InvalidArgument(
+        "model bundle: schemes header field out of range");
+  }
+  uint64_t count = 0;
+  LIMBO_RETURN_IF_ERROR(
+      in.ReadCount(2 * sizeof(uint64_t) + sizeof(double), &count));
+  const uint64_t attr_mask =
+      fd::AttributeSet::Full(b->schema.NumAttributes()).bits();
+  b->schemes.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    BundleScheme s;
+    LIMBO_RETURN_IF_ERROR(in.ReadU64(&s.separator_bits));
+    LIMBO_RETURN_IF_ERROR(in.ReadF64(&s.j_measure));
+    LIMBO_RETURN_IF_ERROR(CheckFinite(s.j_measure, "scheme j-measure"));
+    if ((s.separator_bits & ~attr_mask) != 0 || s.j_measure < 0.0) {
+      return util::Status::InvalidArgument(
+          "model bundle: scheme separator or j-measure out of range");
+    }
+    uint64_t num_bags = 0;
+    LIMBO_RETURN_IF_ERROR(in.ReadCount(sizeof(uint64_t), &num_bags));
+    if (num_bags < 2) {
+      return util::Status::InvalidArgument(
+          "model bundle: scheme has fewer than two bags");
+    }
+    s.bag_bits.resize(num_bags);
+    uint64_t covered = 0;
+    for (uint64_t g = 0; g < num_bags; ++g) {
+      LIMBO_RETURN_IF_ERROR(in.ReadU64(&s.bag_bits[g]));
+      const uint64_t bag = s.bag_bits[g];
+      // Bags come sorted, each inside the schema, each containing the
+      // separator, and no attribute outside the separator may repeat —
+      // the components partition Ω ∖ X.
+      if ((bag & ~attr_mask) != 0 || (s.separator_bits & ~bag) != 0 ||
+          (g > 0 && bag <= s.bag_bits[g - 1]) ||
+          ((covered & bag) & ~s.separator_bits) != 0) {
+        return util::Status::InvalidArgument(
+            "model bundle: scheme bags malformed");
+      }
+      covered |= bag;
+    }
+    if (covered != attr_mask) {
+      return util::Status::InvalidArgument(
+          "model bundle: scheme bags do not cover the schema");
+    }
+    b->schemes.push_back(std::move(s));
+  }
+  LIMBO_RETURN_IF_ERROR(ExpectDone(in, "schemes"));
+  b->has_schemes = true;
   return util::Status::Ok();
 }
 
@@ -891,6 +975,9 @@ std::string SerializeBundle(const ModelBundle& bundle) {
   }
   if (bundle.has_lineage) {
     PutSection(kLineage, LineageBody(bundle), &payload);
+  }
+  if (bundle.has_schemes) {
+    PutSection(kSchemes, SchemesBody(bundle), &payload);
   }
 
   std::string out;
@@ -949,7 +1036,7 @@ util::Result<ModelBundle> ParseBundle(const std::string& bytes) {
   Cursor sections(payload, payload_len);
   uint32_t last_tag = 0;
   const uint32_t max_tag = MaxTagForVersion(version);
-  bool seen[kLineage + 1] = {false};
+  bool seen[kSchemes + 1] = {false};
   while (!sections.done()) {
     uint32_t tag = 0;
     uint32_t tag_reserved = 0;
@@ -1005,6 +1092,9 @@ util::Result<ModelBundle> ParseBundle(const std::string& bytes) {
         break;
       case kLineage:
         LIMBO_RETURN_IF_ERROR(ParseLineage(section, &bundle));
+        break;
+      case kSchemes:
+        LIMBO_RETURN_IF_ERROR(ParseSchemes(section, &bundle));
         break;
       default:
         return util::Status::Internal("unreachable section tag");

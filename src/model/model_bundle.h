@@ -17,10 +17,11 @@
 namespace limbo::model {
 
 /// On-disk format version written by this build. Version 2 added the two
-/// optional refit sections (phase-1 tree, lineage); readers accept both 1
-/// and 2 — a v1 file simply parses with no refit state. Load rejects any
-/// other version.
-inline constexpr uint32_t kFormatVersion = 2;
+/// optional refit sections (phase-1 tree, lineage); version 3 added the
+/// optional mined-schemes section and the lineage entropy-drift field.
+/// Readers accept 1 through 3 — older files simply parse with the newer
+/// state absent. Load rejects any other version.
+inline constexpr uint32_t kFormatVersion = 3;
 /// Oldest format version this build still reads.
 inline constexpr uint32_t kMinFormatVersion = 1;
 
@@ -59,6 +60,22 @@ struct BundleLineage {
   /// with, so the classification is reproducible from the bundle alone.
   double drift_moderate = 0.0;
   double drift_severe = 0.0;
+  /// Second drift signal (version >= 3): the largest absolute change, in
+  /// bits, between any attribute's value entropy over the absorbed rows
+  /// and the same attribute's entropy over the parent's frozen Phase-1
+  /// counts. Loss-based drift watches the clustering; entropy drift
+  /// watches the marginals — a distribution can shift without moving the
+  /// assignment loss, and this field catches that.
+  double entropy_drift = 0.0;
+};
+
+/// One mined approximate acyclic scheme as persisted in the tag-11
+/// section: attribute bitmasks (the fd::AttributeSet encoding already
+/// used by ranked FDs) plus the scheme's J-measure approximation error.
+struct BundleScheme {
+  uint64_t separator_bits = 0;
+  std::vector<uint64_t> bag_bits;  // ascending; each contains separator
+  double j_measure = 0.0;
 };
 
 /// Everything a LIMBO run derives from one relation, frozen for online
@@ -83,7 +100,8 @@ struct BundleLineage {
 /// out of range yields a typed util::Status error — never a crash and
 /// never a silently-wrong bundle.
 ///
-/// Sections (tags 9 and 10 exist only in version >= 2 files):
+/// Sections (tags 9 and 10 exist only in version >= 2 files, tag 11 only
+/// in version >= 3):
 ///
 ///   | tag | section         | presence                              |
 ///   |-----|-----------------|---------------------------------------|
@@ -97,6 +115,7 @@ struct BundleLineage {
 ///   | 8   | ranked FDs      | required                              |
 ///   | 9   | phase-1 tree    | optional (fit --no-refit-state omits) |
 ///   | 10  | lineage         | optional (refit children only)        |
+///   | 11  | mined schemes   | optional (fit --schemes)              |
 struct ModelBundle {
   // ---- meta (run parameters; what thresholded queries re-use) ----
   uint64_t num_rows = 0;             // n: tuples the model was fitted on
@@ -146,6 +165,15 @@ struct ModelBundle {
   /// Refit provenance (refit children only).
   bool has_lineage = false;
   BundleLineage lineage;
+
+  // ---- mined acyclic schemes (optional; version >= 3) ----
+  bool has_schemes = false;
+  /// Mining knobs the schemes were found with, for reproducibility.
+  double schemes_epsilon = 0.0;
+  uint64_t schemes_max_separator = 0;
+  /// H(Ω) of the fitted relation in bits (the J-measure baseline).
+  double schemes_total_entropy = 0.0;
+  std::vector<BundleScheme> schemes;
 
   // ---- runtime-only fields (never serialized) ----
   /// Format version of the file this bundle was parsed from; bundles

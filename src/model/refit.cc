@@ -1,13 +1,22 @@
 #include "model/refit.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 #include <vector>
 
 #include "core/aib.h"
+#include "core/attribute_grouping.h"
+#include "core/fd_rank.h"
 #include "core/limbo.h"
+#include "core/value_clustering.h"
+#include "fd/closure.h"
+#include "fd/fdep.h"
+#include "fd/min_cover.h"
+#include "fd/tane.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
+#include "schemes/entropy_oracle.h"
 #include "util/strings.h"
 
 namespace limbo::model {
@@ -23,6 +32,162 @@ DriftClass Classify(double score, const RefitOptions& options) {
   if (score < options.drift_moderate) return DriftClass::kNone;
   if (score < options.drift_severe) return DriftClass::kModerate;
   return DriftClass::kSevere;
+}
+
+/// Second drift signal: per-attribute value entropies of the absorbed
+/// rows (one schemes::EntropyOracle pass over the Reset source) against
+/// the same entropies recovered from the parent's frozen dictionary
+/// supports (per-attribute occurrence counts over parent.num_rows). The
+/// loss-based score watches the clustering; this watches the marginals.
+util::Result<double> EntropyDrift(const ModelBundle& parent,
+                                  relation::RowSource& rows,
+                                  size_t threads) {
+  LIMBO_RETURN_IF_ERROR(rows.Reset());
+  schemes::EntropyOracleOptions oracle_options;
+  oracle_options.threads = threads;
+  schemes::EntropyOracle oracle(rows, oracle_options);
+  const size_t m = parent.schema.NumAttributes();
+  std::vector<fd::AttributeSet> singles;
+  singles.reserve(m);
+  for (size_t a = 0; a < m; ++a) {
+    singles.push_back(
+        fd::AttributeSet::Single(static_cast<relation::AttributeId>(a)));
+  }
+  LIMBO_ASSIGN_OR_RETURN(const std::vector<double> absorbed_h,
+                         oracle.HBatch(singles));
+  std::vector<std::vector<uint64_t>> counts(m);
+  for (relation::ValueId v = 0; v < parent.dictionary.NumValues(); ++v) {
+    counts[parent.dictionary.Attribute(v)].push_back(
+        parent.dictionary.Support(v));
+  }
+  double drift = 0.0;
+  for (size_t a = 0; a < m; ++a) {
+    const double parent_h =
+        schemes::EntropyFromCounts(std::move(counts[a]), parent.num_rows);
+    drift = std::max(drift, std::fabs(absorbed_h[a] - parent_h));
+  }
+  return drift;
+}
+
+/// Moderate-path structure refresh: re-derives the CV_D value groups and
+/// the ranked FD cover from the absorbed rows instead of carrying them
+/// verbatim from the parent. The parent's raw rows are gone, so the
+/// refresh is anchored two ways: value groups are re-clustered on the
+/// absorbed relation (ids remapped into the chain dictionary), and an FD
+/// survives only if it follows from the parent's cover AND still holds
+/// exactly on the absorbed rows — dependencies the new data broke drop
+/// out, accidental dependencies of the small absorbed sample never enter.
+util::Status RefreshDerivedStructure(const ModelBundle& parent,
+                                     const relation::Relation& absorbed,
+                                     ModelBundle* child, size_t threads) {
+  LIMBO_OBS_SPAN(span, "model.refit.structure");
+
+  // --- CV_D value groups over the absorbed rows ---
+  core::ValueClusteringOptions value_options;
+  value_options.phi_v = parent.phi_v;
+  LIMBO_ASSIGN_OR_RETURN(core::ValueClusteringResult values,
+                         core::ClusterValues(absorbed, value_options));
+
+  // Attribute grouping runs before the id remap: it reads the groups in
+  // the absorbed relation's own id space. Attribute ids are schema-global
+  // so the result needs no translation.
+  core::AttributeGroupingResult grouping;
+  bool rederived_grouping = false;
+  if (!values.duplicate_groups.empty()) {
+    core::AttributeGroupingOptions grouping_options;
+    grouping_options.threads = threads;
+    auto grouped = core::GroupAttributes(absorbed, values, grouping_options);
+    if (grouped.ok()) {
+      grouping = std::move(grouped).value();
+      rederived_grouping = true;
+    }
+  }
+
+  // Remap group members into the chain dictionary (every absorbed value
+  // was interned there by the streaming pass). The group DCF conditionals
+  // stay in the absorbed relation's tuple space, as at fit time.
+  for (core::ValueGroup& g : values.groups) {
+    for (relation::ValueId& v : g.values) {
+      LIMBO_ASSIGN_OR_RETURN(
+          v, child->dictionary.Find(absorbed.dictionary().Attribute(v),
+                                    absorbed.dictionary().Text(v)));
+    }
+  }
+  child->value_mutual_information = values.mutual_information;
+  child->value_threshold = values.threshold;
+  child->value_groups = std::move(values.groups);
+  child->duplicate_groups.clear();
+  for (size_t g : values.duplicate_groups) {
+    child->duplicate_groups.push_back(static_cast<uint32_t>(g));
+  }
+  if (rederived_grouping) {
+    child->has_grouping = true;
+    child->grouping_attributes = grouping.attributes;
+    child->grouping_num_objects = grouping.aib.num_objects();
+    child->grouping_merges = grouping.aib.merges();
+    child->grouping_cluster_members.clear();
+    for (const fd::AttributeSet& s : grouping.cluster_members) {
+      child->grouping_cluster_members.push_back(s.bits());
+    }
+    child->max_merge_loss = grouping.max_merge_loss;
+    LIMBO_OBS_COUNT("refit.grouping_rederived", 1);
+  } else if (child->has_grouping) {
+    // CV_D of the absorbed rows was empty: keep the parent's dendrogram
+    // (already copied into the child) as the ranking anchor.
+    grouping.attributes = child->grouping_attributes;
+    grouping.aib = core::AibResult(child->grouping_num_objects,
+                                   child->grouping_merges);
+    grouping.cluster_members.reserve(
+        child->grouping_cluster_members.size());
+    for (uint64_t bits : child->grouping_cluster_members) {
+      grouping.cluster_members.push_back(fd::AttributeSet(bits));
+    }
+    grouping.max_merge_loss = child->max_merge_loss;
+  }
+
+  // --- FD cover re-validated against the absorbed rows ---
+  std::vector<fd::FunctionalDependency> parent_fds;
+  for (const core::RankedFd& r : parent.ranked_fds) {
+    for (relation::AttributeId a : r.fd.rhs.ToList()) {
+      parent_fds.push_back({r.fd.lhs, fd::AttributeSet::Single(a)});
+    }
+  }
+  std::vector<fd::FunctionalDependency> mined;
+  if (absorbed.NumTuples() > 2000) {
+    fd::TaneOptions tane_options;
+    tane_options.min_lhs = 1;
+    LIMBO_ASSIGN_OR_RETURN(mined, fd::Tane::Mine(absorbed, tane_options));
+  } else {
+    LIMBO_ASSIGN_OR_RETURN(mined, fd::Fdep::Mine(absorbed));
+  }
+  std::vector<fd::FunctionalDependency> kept;
+  auto push_unique = [&kept](const fd::FunctionalDependency& f) {
+    for (const fd::FunctionalDependency& k : kept) {
+      if (k == f) return;
+    }
+    kept.push_back(f);
+  };
+  for (const fd::FunctionalDependency& f : parent_fds) {
+    if (fd::Holds(absorbed, f)) push_unique(f);
+  }
+  for (const fd::FunctionalDependency& f : mined) {
+    if (fd::Implies(parent_fds, f)) push_unique(f);
+  }
+  child->num_fds = kept.size();
+  const auto cover = fd::MinimumCover(kept, /*merge_same_lhs=*/false);
+  child->ranked_fds.clear();
+  if (child->has_grouping) {
+    core::FdRankOptions rank_options;
+    rank_options.psi = parent.psi;
+    LIMBO_ASSIGN_OR_RETURN(child->ranked_fds,
+                           core::RankFds(cover, grouping, rank_options));
+  } else {
+    for (const fd::FunctionalDependency& f : cover) {
+      child->ranked_fds.push_back({f, 0.0, false});
+    }
+  }
+  LIMBO_OBS_COUNT("refit.structure_refreshes", 1);
+  return util::Status::Ok();
 }
 
 }  // namespace
@@ -135,6 +300,13 @@ util::Result<RefitResult> RefitModel(const ModelBundle& parent,
     return result;
   }
 
+  // Second signal: entropy drift of the absorbed rows' marginals against
+  // the frozen counts. Informational — it does not change the class.
+  if (absorbed > 0) {
+    LIMBO_ASSIGN_OR_RETURN(result.entropy_drift,
+                           EntropyDrift(parent, rows, options.threads));
+  }
+
   ModelBundle child = parent;
   child.dictionary = std::move(dictionary);
   child.num_rows = parent.num_rows + absorbed;
@@ -184,6 +356,19 @@ util::Result<RefitResult> RefitModel(const ModelBundle& parent,
       child.assignment_loss[r] =
           leaf_loss[leaf] * (row_mass / leaves[leaf].p);
     }
+    // The derived structure (CV_D, dendrogram, ranked FDs) is refreshed
+    // from the absorbed rows rather than carried from the parent.
+    LIMBO_RETURN_IF_ERROR(rows.Reset());
+    relation::RelationBuilder absorbed_builder(parent.schema);
+    while (true) {
+      LIMBO_ASSIGN_OR_RETURN(const bool more, rows.Next(&fields));
+      if (!more) break;
+      LIMBO_RETURN_IF_ERROR(absorbed_builder.AddRow(fields));
+    }
+    const relation::Relation absorbed_rel =
+        std::move(absorbed_builder).Build();
+    LIMBO_RETURN_IF_ERROR(RefreshDerivedStructure(parent, absorbed_rel,
+                                                  &child, options.threads));
     LIMBO_OBS_COUNT("refit.phase23_reruns", 1);
   }
 
@@ -198,6 +383,7 @@ util::Result<RefitResult> RefitModel(const ModelBundle& parent,
   child.lineage.drift_score = result.drift_score;
   child.lineage.drift_moderate = options.drift_moderate;
   child.lineage.drift_severe = options.drift_severe;
+  child.lineage.entropy_drift = result.entropy_drift;
   result.bundle = std::move(child);
   return result;
 }

@@ -39,6 +39,12 @@ struct RefitResult {
   /// representatives, and the parent's own mean fit-time loss.
   double new_rows_mean_loss = 0.0;
   double fit_mean_loss = 0.0;
+  /// Second drift signal: the largest per-attribute |ΔH| in bits between
+  /// the absorbed rows' value entropies (schemes::EntropyOracle) and the
+  /// parent's frozen Phase-1 value counts. 0 when no rows were absorbed
+  /// or the refit was refused as severe. Also recorded in the child's
+  /// lineage and surfaced by `inspect` / the serve `info` query.
+  double entropy_drift = 0.0;
 };
 
 /// Absorbs `rows` into `parent` without refitting from raw data: the
@@ -56,7 +62,12 @@ struct RefitResult {
 ///     re-run from the updated tree's leaves. Row labels come from each
 ///     row's leaf entry; per-row losses are the leaf's assignment loss
 ///     apportioned by mass (an approximation, flagged in the lineage by
-///     drift_class = kModerate).
+///     drift_class = kModerate). The derived structure is refreshed too:
+///     CV_D value groups are re-clustered and FDs re-validated against
+///     the absorbed rows (an FD survives only if it follows from the
+///     parent's cover AND still holds exactly on the new data), so a
+///     moderate child's FD section reflects dependencies the new rows
+///     broke — they are no longer carried verbatim from the parent.
 ///   - severe       (score >= drift_severe): no child is produced.
 ///
 /// Requires parent.has_phase1_tree and a row schema identical to the

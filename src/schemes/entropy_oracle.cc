@@ -1,0 +1,199 @@
+#include "schemes/entropy_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace limbo::schemes {
+
+double EntropyFromCounts(std::vector<uint64_t> counts, uint64_t total) {
+  if (total == 0) return 0.0;
+  std::sort(counts.begin(), counts.end());
+  double sum_clog = 0.0;
+  for (uint64_t c : counts) {
+    if (c == 0) continue;
+    sum_clog += static_cast<double>(c) * std::log2(static_cast<double>(c));
+  }
+  const double n = static_cast<double>(total);
+  double h = std::log2(n) - sum_clog / n;
+  // Clamp the tiny negative residue a one-group distribution can leave
+  // behind (log2(n) - n*log2(n)/n evaluated in floating point).
+  return h < 0.0 ? 0.0 : h;
+}
+
+EntropyOracle::EntropyOracle(relation::RowSource& source,
+                             const EntropyOracleOptions& options)
+    : source_(&source),
+      options_(options),
+      pool_(options.threads),
+      num_attributes_(source.schema().NumAttributes()) {
+  if (options_.chunk_rows == 0) options_.chunk_rows = 4096;
+}
+
+util::Result<double> EntropyOracle::H(fd::AttributeSet x) {
+  std::vector<fd::AttributeSet> one{x};
+  LIMBO_ASSIGN_OR_RETURN(std::vector<double> hs, HBatch(one));
+  return hs[0];
+}
+
+util::Result<std::vector<double>> EntropyOracle::HBatch(
+    const std::vector<fd::AttributeSet>& sets) {
+  std::vector<double> out(sets.size(), 0.0);
+  // Resolve the memo (and the trivial empty set) first; collect the
+  // distinct remainder for one counting pass.
+  std::vector<fd::AttributeSet> missing;
+  std::unordered_map<uint64_t, size_t> missing_index;
+  std::vector<size_t> slot_of(sets.size(), SIZE_MAX);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    const fd::AttributeSet x = sets[i];
+    double h = 0.0;
+    if (x.Empty()) {
+      out[i] = 0.0;
+    } else if (MemoGet(x, &h)) {
+      out[i] = h;
+      ++stats_.memo_hits;
+      LIMBO_OBS_COUNT("schemes.oracle.memo_hits", 1);
+    } else {
+      auto [it, inserted] = missing_index.emplace(x.bits(), missing.size());
+      if (inserted) missing.push_back(x);
+      slot_of[i] = it->second;
+    }
+  }
+  if (!missing.empty()) {
+    std::vector<double> fresh(missing.size(), 0.0);
+    util::Status st = CountPass(missing, &fresh);
+    if (!st.ok()) return st;
+    for (size_t s = 0; s < missing.size(); ++s) MemoPut(missing[s], fresh[s]);
+    for (size_t i = 0; i < sets.size(); ++i) {
+      if (slot_of[i] != SIZE_MAX) out[i] = fresh[slot_of[i]];
+    }
+  }
+  return out;
+}
+
+util::Status EntropyOracle::CountPass(
+    const std::vector<fd::AttributeSet>& sets,
+    std::vector<double>* entropies) {
+  LIMBO_OBS_SPAN(span, "schemes.oracle.pass");
+  util::Status reset = source_->Reset();
+  if (!reset.ok()) return reset;
+
+  const size_t num_sets = sets.size();
+  // Attribute lists resolved once (ascending ids — the canonical key
+  // order) plus a per-set private counting map. Each map is written only
+  // by the lane that owns set s (ParallelFor grain 1 → chunk s → lane
+  // s % threads), so the pass is race-free and, because the counts are
+  // exact integers folded through EntropyFromCounts, bit-identical at
+  // every lane count.
+  std::vector<std::vector<relation::AttributeId>> attrs(num_sets);
+  for (size_t s = 0; s < num_sets; ++s) {
+    if (!sets[s].IsSubsetOf(fd::AttributeSet::Full(num_attributes_))) {
+      return util::Status::InvalidArgument(
+          "entropy oracle: attribute set outside the source schema");
+    }
+    attrs[s] = sets[s].ToList();
+  }
+  std::vector<std::unordered_map<std::string, uint64_t>> counts(num_sets);
+
+  // Chunked streaming: buffer up to chunk_rows rows of interned value
+  // ids, then fan the counting of that buffer out over the sets.
+  const size_t m = num_attributes_;
+  std::vector<relation::ValueId> buffer;  // row-major, m ids per row
+  buffer.reserve(options_.chunk_rows * m);
+  std::vector<std::string> fields;
+  uint64_t rows = 0;
+
+  auto flush = [&]() {
+    const size_t chunk_rows = buffer.size() / m;
+    if (chunk_rows == 0) return;
+    pool_.ParallelFor(0, num_sets, /*grain=*/1,
+                      [&](size_t lo, size_t hi) {
+                        for (size_t s = lo; s < hi; ++s) {
+                          auto& map = counts[s];
+                          const auto& ids = attrs[s];
+                          std::string key;
+                          key.reserve(ids.size() * sizeof(relation::ValueId));
+                          for (size_t r = 0; r < chunk_rows; ++r) {
+                            const relation::ValueId* row =
+                                buffer.data() + r * m;
+                            key.clear();
+                            for (relation::AttributeId a : ids) {
+                              const relation::ValueId v = row[a];
+                              key.append(
+                                  reinterpret_cast<const char*>(&v),
+                                  sizeof(v));
+                            }
+                            ++map[key];
+                          }
+                        }
+                      });
+    buffer.clear();
+  };
+
+  while (true) {
+    util::Result<bool> more = source_->Next(&fields);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    if (fields.size() != m) {
+      return util::Status::InvalidArgument(
+          "entropy oracle: row width does not match the schema");
+    }
+    for (size_t a = 0; a < m; ++a) {
+      buffer.push_back(dictionary_.InternOccurrence(
+          static_cast<relation::AttributeId>(a), fields[a]));
+    }
+    ++rows;
+    if (buffer.size() >= options_.chunk_rows * m) flush();
+  }
+  flush();
+
+  num_rows_ = rows;
+  ++stats_.passes;
+  stats_.rows_read += rows;
+  stats_.sets_counted += num_sets;
+  LIMBO_OBS_COUNT("schemes.oracle.passes", 1);
+  LIMBO_OBS_COUNT("schemes.oracle.rows_read", rows);
+  LIMBO_OBS_COUNT("schemes.oracle.sets_counted", num_sets);
+
+  for (size_t s = 0; s < num_sets; ++s) {
+    std::vector<uint64_t> c;
+    c.reserve(counts[s].size());
+    for (const auto& [key, n] : counts[s]) c.push_back(n);
+    (*entropies)[s] = EntropyFromCounts(std::move(c), rows);
+  }
+  return util::Status::Ok();
+}
+
+void EntropyOracle::MemoPut(fd::AttributeSet x, double h) {
+  if (options_.memo_entries == 0) return;
+  auto it = memo_.find(x.bits());
+  if (it != memo_.end()) {
+    memo_order_.erase(it->second.where);
+    memo_order_.push_front(x.bits());
+    it->second = {h, memo_order_.begin()};
+    return;
+  }
+  while (memo_.size() >= options_.memo_entries) {
+    memo_.erase(memo_order_.back());
+    memo_order_.pop_back();
+  }
+  memo_order_.push_front(x.bits());
+  memo_.emplace(x.bits(), MemoEntry{h, memo_order_.begin()});
+}
+
+bool EntropyOracle::MemoGet(fd::AttributeSet x, double* h) {
+  auto it = memo_.find(x.bits());
+  if (it == memo_.end()) return false;
+  memo_order_.erase(it->second.where);
+  memo_order_.push_front(x.bits());
+  it->second.where = memo_order_.begin();
+  *h = it->second.h;
+  return true;
+}
+
+}  // namespace limbo::schemes

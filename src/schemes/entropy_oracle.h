@@ -1,0 +1,109 @@
+#ifndef LIMBO_SCHEMES_ENTROPY_ORACLE_H_
+#define LIMBO_SCHEMES_ENTROPY_ORACLE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "fd/attribute_set.h"
+#include "relation/dictionary.h"
+#include "relation/row_source.h"
+#include "util/parallel.h"
+#include "util/result.h"
+
+namespace limbo::schemes {
+
+/// Shannon entropy (base 2) of a multiset given its exact occurrence
+/// counts and total: H = log2(n) - (1/n) * sum c*log2(c). The counts are
+/// summed in ascending order after sorting a copy, so the result is
+/// bit-identical no matter how the counts were produced or ordered —
+/// the determinism anchor for the oracle's 1-lane vs N-lane contract.
+/// Zero counts are ignored; an empty or all-zero span returns 0.
+double EntropyFromCounts(std::vector<uint64_t> counts, uint64_t total);
+
+struct EntropyOracleOptions {
+  /// Lane count for the per-pass counting work; 0 = DefaultThreadCount().
+  size_t threads = 0;
+  /// Rows buffered per streamed chunk before counting fans out.
+  size_t chunk_rows = 4096;
+  /// Bound on memoized H(X) entries kept across queries (LRU).
+  size_t memo_entries = 4096;
+};
+
+/// Computes H(X) — the Shannon entropy of the projection of a streamed
+/// relation onto an attribute subset X — for batches of subsets in one
+/// counting pass per batch. This is the entropy-over-attribute-sets core
+/// that approximate acyclic scheme mining (Kenig et al.) shares with
+/// FD-RANK: both reduce to "how concentrated is the distribution of
+/// distinct value combinations under X".
+///
+/// Mechanics: each batch buffers rows in chunks of `chunk_rows`, interning
+/// every field into an owned ValueDictionary (the same Phase-1 interning
+/// discipline, so repeated strings cost one hash each). Counting then
+/// fans out over the *requested sets* with util::ParallelFor at grain 1 —
+/// set s is always counted by lane s % threads, each set owns its private
+/// hash map keyed by the concatenated 4-byte value ids of X's attributes
+/// in ascending order — and entropies come from EntropyFromCounts, so
+/// results are bit-identical at any lane count. A bounded LRU memo keyed
+/// by the subset bitmask absorbs the heavy re-query traffic the miner
+/// generates (H(X) is asked for under many separators).
+///
+/// The oracle borrows `source` and Resets it before every counting pass;
+/// callers must not interleave their own reads.
+class EntropyOracle {
+ public:
+  EntropyOracle(relation::RowSource& source,
+                const EntropyOracleOptions& options = {});
+
+  /// Entropy of one subset. Memoized; H(empty) = 0 without a pass.
+  util::Result<double> H(fd::AttributeSet x);
+
+  /// Entropies of many subsets, resolved in one streaming pass over the
+  /// rows (minus whatever the memo already holds). Result order matches
+  /// `sets`; duplicate sets are counted once.
+  util::Result<std::vector<double>> HBatch(
+      const std::vector<fd::AttributeSet>& sets);
+
+  /// Rows seen by the most recent counting pass (0 before the first).
+  uint64_t num_rows() const { return num_rows_; }
+
+  size_t num_attributes() const { return num_attributes_; }
+
+  struct Stats {
+    uint64_t passes = 0;      // streaming passes over the source
+    uint64_t rows_read = 0;   // rows decoded across all passes
+    uint64_t sets_counted = 0;  // subsets resolved by counting
+    uint64_t memo_hits = 0;     // subsets resolved from the memo
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Streams the source once and fills `entropies[i]` for `sets[i]`.
+  util::Status CountPass(const std::vector<fd::AttributeSet>& sets,
+                         std::vector<double>* entropies);
+
+  void MemoPut(fd::AttributeSet x, double h);
+  bool MemoGet(fd::AttributeSet x, double* h);
+
+  relation::RowSource* source_;
+  EntropyOracleOptions options_;
+  util::ThreadPool pool_;
+  size_t num_attributes_ = 0;
+  uint64_t num_rows_ = 0;
+  relation::ValueDictionary dictionary_;
+  Stats stats_;
+
+  // LRU memo: map from subset bits to (entropy, position in the recency
+  // list); the list front is most recent.
+  struct MemoEntry {
+    double h = 0.0;
+    std::list<uint64_t>::iterator where;
+  };
+  std::unordered_map<uint64_t, MemoEntry> memo_;
+  std::list<uint64_t> memo_order_;
+};
+
+}  // namespace limbo::schemes
+
+#endif  // LIMBO_SCHEMES_ENTROPY_ORACLE_H_

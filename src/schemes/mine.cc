@@ -1,0 +1,223 @@
+#include "schemes/mine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace limbo::schemes {
+
+std::string AcyclicScheme::ToString(const relation::Schema& schema) const {
+  std::string out = "{";
+  for (size_t i = 0; i < bags.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += bags[i].ToString(schema);
+  }
+  out += "} sep ";
+  out += separator.ToString(schema);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), " j=%.4f", j_measure);
+  out += buf;
+  return out;
+}
+
+namespace {
+
+/// All subsets of {0..m-1} with 0 < |S| <= max_size, ascending by bitmask.
+std::vector<fd::AttributeSet> EnumerateSeparators(size_t m, size_t max_size) {
+  std::vector<fd::AttributeSet> out;
+  out.push_back(fd::AttributeSet());  // the empty separator: plain MI split
+  if (max_size == 0 || m == 0) return out;
+  const uint64_t full = fd::AttributeSet::Full(m).bits();
+  for (uint64_t bits = 1; bits <= full; ++bits) {
+    fd::AttributeSet s(bits);
+    if (s.Count() <= max_size) out.push_back(s);
+  }
+  return out;
+}
+
+/// Connected components of the graph on `nodes` given by `edge(i, j)`.
+std::vector<fd::AttributeSet> Components(
+    const std::vector<relation::AttributeId>& nodes,
+    const std::vector<std::vector<bool>>& edge) {
+  const size_t n = nodes.size();
+  std::vector<int> comp(n, -1);
+  std::vector<fd::AttributeSet> out;
+  for (size_t seed = 0; seed < n; ++seed) {
+    if (comp[seed] >= 0) continue;
+    const int id = static_cast<int>(out.size());
+    std::vector<size_t> stack{seed};
+    comp[seed] = id;
+    fd::AttributeSet members = fd::AttributeSet::Single(nodes[seed]);
+    while (!stack.empty()) {
+      const size_t u = stack.back();
+      stack.pop_back();
+      for (size_t v = 0; v < n; ++v) {
+        if (comp[v] < 0 && edge[u][v]) {
+          comp[v] = id;
+          members = members.With(nodes[v]);
+          stack.push_back(v);
+        }
+      }
+    }
+    out.push_back(members);
+  }
+  return out;
+}
+
+/// Canonical identity of a scheme: its sorted bag bitmasks.
+std::vector<uint64_t> BagSignature(const std::vector<fd::AttributeSet>& bags) {
+  std::vector<uint64_t> sig;
+  sig.reserve(bags.size());
+  for (fd::AttributeSet b : bags) sig.push_back(b.bits());
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+}  // namespace
+
+util::Result<MineResult> MineAcyclicSchemes(EntropyOracle& oracle,
+                                            const MineOptions& options) {
+  LIMBO_OBS_SPAN(span, "schemes.mine");
+  MineResult result;
+  const size_t m = oracle.num_attributes();
+  const fd::AttributeSet omega = fd::AttributeSet::Full(m);
+  if (m < 2) {
+    return util::Status::InvalidArgument(
+        "scheme mining needs at least two attributes");
+  }
+  const size_t max_sep = std::min(options.max_separator, m - 2);
+  std::vector<fd::AttributeSet> separators = EnumerateSeparators(m, max_sep);
+
+  // Stage 1: one batch for H(Ω), every H(X), and every H(A ∪ X) — the
+  // marginals the pruning bound runs on.
+  std::vector<fd::AttributeSet> stage1{omega};
+  for (fd::AttributeSet x : separators) {
+    stage1.push_back(x);
+    for (relation::AttributeId a : omega.Minus(x).ToList()) {
+      stage1.push_back(x.With(a));
+    }
+  }
+  LIMBO_ASSIGN_OR_RETURN(std::vector<double> h1, oracle.HBatch(stage1));
+  std::unordered_map<uint64_t, double> h;
+  for (size_t i = 0; i < stage1.size(); ++i) h[stage1[i].bits()] = h1[i];
+  const double h_omega = h[omega.bits()];
+  result.total_entropy = h_omega;
+  result.num_rows = oracle.num_rows();
+
+  // Stage 2: for every separator, decide which pairs the bound cannot
+  // close, and fetch their H(A ∪ B ∪ X) in one more batch.
+  struct PairQuery {
+    size_t sep;       // index into `separators`
+    size_t i, j;      // indices into that separator's rest-list
+  };
+  std::vector<std::vector<relation::AttributeId>> rest(separators.size());
+  std::vector<PairQuery> queries;
+  std::vector<fd::AttributeSet> stage2;
+  for (size_t s = 0; s < separators.size(); ++s) {
+    const fd::AttributeSet x = separators[s];
+    rest[s] = omega.Minus(x).ToList();
+    const double hx = h[x.bits()];
+    for (size_t i = 0; i < rest[s].size(); ++i) {
+      for (size_t j = i + 1; j < rest[s].size(); ++j) {
+        const double hax = h[x.With(rest[s][i]).bits()];
+        const double hbx = h[x.With(rest[s][j]).bits()];
+        // I(A;B|X) <= min(H(AX), H(BX)) - H(X): when the bound is
+        // already within tolerance the pair is independent given X and
+        // the joint entropy is never counted.
+        if (std::min(hax, hbx) - hx <= options.tolerance) {
+          ++result.pairs_pruned;
+          continue;
+        }
+        queries.push_back({s, i, j});
+        stage2.push_back(x.With(rest[s][i]).With(rest[s][j]));
+      }
+    }
+  }
+  result.pairs_evaluated = queries.size();
+  LIMBO_ASSIGN_OR_RETURN(std::vector<double> h2, oracle.HBatch(stage2));
+
+  // Dependence graphs per separator. Pairs the bound closed stay
+  // edge-free; evaluated pairs get an edge iff CMI exceeds tolerance.
+  std::vector<std::vector<std::vector<bool>>> edges(separators.size());
+  for (size_t s = 0; s < separators.size(); ++s) {
+    edges[s].assign(rest[s].size(),
+                    std::vector<bool>(rest[s].size(), false));
+  }
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const PairQuery& pq = queries[q];
+    const fd::AttributeSet x = separators[pq.sep];
+    const double hax = h[x.With(rest[pq.sep][pq.i]).bits()];
+    const double hbx = h[x.With(rest[pq.sep][pq.j]).bits()];
+    const double cmi = hax + hbx - h2[q] - h[x.bits()];
+    if (cmi > options.tolerance) {
+      edges[pq.sep][pq.i][pq.j] = true;
+      edges[pq.sep][pq.j][pq.i] = true;
+    }
+  }
+
+  // Stage 3: components -> candidate schemes; J needs each bag's entropy.
+  struct Candidate {
+    fd::AttributeSet separator;
+    std::vector<fd::AttributeSet> bags;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<fd::AttributeSet> stage3;
+  for (size_t s = 0; s < separators.size(); ++s) {
+    ++result.separators_tried;
+    std::vector<fd::AttributeSet> comps = Components(rest[s], edges[s]);
+    if (comps.size() < 2) continue;
+    Candidate c;
+    c.separator = separators[s];
+    for (fd::AttributeSet comp : comps) {
+      c.bags.push_back(comp.Union(separators[s]));
+    }
+    std::sort(c.bags.begin(), c.bags.end());
+    for (fd::AttributeSet bag : c.bags) stage3.push_back(bag);
+    candidates.push_back(std::move(c));
+  }
+  LIMBO_ASSIGN_OR_RETURN(std::vector<double> h3, oracle.HBatch(stage3));
+
+  // Score, filter by epsilon, dedupe by bag signature (smallest J wins).
+  std::map<std::vector<uint64_t>, AcyclicScheme> by_signature;
+  size_t cursor = 0;
+  for (const Candidate& c : candidates) {
+    double sum_bags = 0.0;
+    for (size_t b = 0; b < c.bags.size(); ++b) sum_bags += h3[cursor++];
+    const double k = static_cast<double>(c.bags.size());
+    double j = sum_bags - (k - 1.0) * h[c.separator.bits()] - h_omega;
+    if (j < 0.0) j = 0.0;  // floating-point residue; J is non-negative
+    if (j > options.epsilon) continue;
+    AcyclicScheme scheme{c.separator, c.bags, j};
+    auto [it, inserted] =
+        by_signature.emplace(BagSignature(c.bags), scheme);
+    if (!inserted && j < it->second.j_measure) it->second = scheme;
+  }
+  for (auto& [sig, scheme] : by_signature) {
+    result.schemes.push_back(std::move(scheme));
+  }
+  std::sort(result.schemes.begin(), result.schemes.end(),
+            [](const AcyclicScheme& a, const AcyclicScheme& b) {
+              if (a.j_measure != b.j_measure) return a.j_measure < b.j_measure;
+              if (!(a.separator == b.separator)) return a.separator < b.separator;
+              if (a.bags.size() != b.bags.size())
+                return a.bags.size() < b.bags.size();
+              return a.bags < b.bags;
+            });
+  if (result.schemes.size() > options.max_schemes) {
+    result.schemes.resize(options.max_schemes);
+  }
+
+  LIMBO_OBS_COUNT("schemes.mine.separators", result.separators_tried);
+  LIMBO_OBS_COUNT("schemes.mine.pairs_pruned", result.pairs_pruned);
+  LIMBO_OBS_COUNT("schemes.mine.pairs_evaluated", result.pairs_evaluated);
+  LIMBO_OBS_COUNT("schemes.mine.schemes", result.schemes.size());
+  return result;
+}
+
+}  // namespace limbo::schemes

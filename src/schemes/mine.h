@@ -1,0 +1,75 @@
+#ifndef LIMBO_SCHEMES_MINE_H_
+#define LIMBO_SCHEMES_MINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fd/attribute_set.h"
+#include "relation/schema.h"
+#include "schemes/entropy_oracle.h"
+#include "util/result.h"
+
+namespace limbo::schemes {
+
+/// An approximate acyclic (join-tree) scheme: a separator X and bags
+/// {X ∪ C_1, ..., X ∪ C_k} whose components C_i partition the remaining
+/// attributes. `j_measure` is the scheme's approximation error in bits —
+/// the J-measure of Kenig et al.,
+///   J = Σ_i H(bag_i) − (k−1)·H(X) − H(Ω),
+/// which is 0 exactly when the relation decomposes losslessly along the
+/// scheme (the bags are mutually independent given the separator) and
+/// grows with the information the join would hallucinate.
+struct AcyclicScheme {
+  fd::AttributeSet separator;
+  std::vector<fd::AttributeSet> bags;  // ascending by bits; each ⊇ separator
+  double j_measure = 0.0;
+
+  /// "{[A,B] | [A,C]} sep [A] j=0.0123" using schema names.
+  std::string ToString(const relation::Schema& schema) const;
+};
+
+struct MineOptions {
+  /// Accept a scheme iff its J-measure is at most this many bits.
+  double epsilon = 0.05;
+  /// Largest separator cardinality enumerated.
+  size_t max_separator = 2;
+  /// Conditional mutual information at or below this is treated as
+  /// independence when splitting into components.
+  double tolerance = 1e-9;
+  /// Keep at most this many schemes (after the deterministic sort).
+  size_t max_schemes = 16;
+};
+
+struct MineResult {
+  std::vector<AcyclicScheme> schemes;  // sorted: j asc, separator, #bags
+  double total_entropy = 0.0;          // H(Ω) of the mined relation
+  uint64_t num_rows = 0;
+  uint64_t separators_tried = 0;
+  uint64_t pairs_pruned = 0;   // CMI bound closed the pair without H(ABX)
+  uint64_t pairs_evaluated = 0;  // pairs that needed the full H(ABX)
+};
+
+/// Mines approximate acyclic schemes from the oracle's relation.
+///
+/// Search: enumerate candidate separators X up to `max_separator`
+/// attributes (in ascending-bitmask order, so output is deterministic).
+/// For each X, build the conditional-dependence graph over Ω ∖ X — an
+/// edge {A,B} iff I(A;B|X) = H(AX) + H(BX) − H(ABX) − H(X) exceeds
+/// `tolerance` — pruning with the bound
+///   I(A;B|X) ≤ min(H(AX), H(BX)) − H(X),
+/// which needs no joint pass when it already sits at or below the
+/// tolerance. Connected components C_1..C_k of that graph give the
+/// candidate scheme {X ∪ C_i}; schemes with at least two components and
+/// J ≤ epsilon are kept, deduplicated by bag signature (the same bags can
+/// arise under nested separators; the smallest J wins), and sorted by
+/// (J, separator bits, bag count, bags).
+///
+/// Entropy requests are batched through the oracle so the whole search
+/// costs a handful of streaming passes, not one per query.
+util::Result<MineResult> MineAcyclicSchemes(EntropyOracle& oracle,
+                                            const MineOptions& options = {});
+
+}  // namespace limbo::schemes
+
+#endif  // LIMBO_SCHEMES_MINE_H_

@@ -405,6 +405,50 @@ util::Result<std::string> Engine::HandleFds(const JsonValue& request) const {
   return out;
 }
 
+util::Result<std::string> Engine::HandleSchemes(
+    const JsonValue& request) const {
+  size_t limit = bundle_.schemes.size();
+  if (const JsonValue* l = request.Find("limit"); l != nullptr) {
+    if (l->kind != JsonValue::Kind::kInteger) {
+      return util::Status::InvalidArgument(
+          "\"limit\" must be a non-negative integer");
+    }
+    limit = std::min(limit, static_cast<size_t>(l->integer));
+  }
+  std::string out = "{\"ok\":true,";
+  AppendNumberField("epsilon", bundle_.schemes_epsilon, &out);
+  out.push_back(',');
+  AppendIntField("max_separator", bundle_.schemes_max_separator, &out);
+  out.push_back(',');
+  AppendNumberField("total_entropy", bundle_.schemes_total_entropy, &out);
+  out.push_back(',');
+  AppendIntField("count", bundle_.schemes.size(), &out);
+  out.push_back(',');
+  AppendKey("schemes", &out);
+  out.push_back('[');
+  for (size_t i = 0; i < limit; ++i) {
+    const model::BundleScheme& s = bundle_.schemes[i];
+    if (i > 0) out.push_back(',');
+    out += "{";
+    AppendKey("separator", &out);
+    AppendNameList(bundle_.schema, fd::AttributeSet(s.separator_bits).ToList(),
+                   &out);
+    out.push_back(',');
+    AppendKey("bags", &out);
+    out.push_back('[');
+    for (size_t b = 0; b < s.bag_bits.size(); ++b) {
+      if (b > 0) out.push_back(',');
+      AppendNameList(bundle_.schema, fd::AttributeSet(s.bag_bits[b]).ToList(),
+                     &out);
+    }
+    out += "],";
+    AppendNumberField("j_measure", s.j_measure, &out);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
 util::Result<std::string> Engine::HandleInfo() const {
   std::string out = "{\"ok\":true,";
   AppendIntField("format_version", bundle_.format_version, &out);
@@ -441,6 +485,10 @@ util::Result<std::string> Engine::HandleInfo() const {
   AppendIntField("fds_mined", bundle_.num_fds, &out);
   out.push_back(',');
   AppendIntField("ranked_fds", bundle_.ranked_fds.size(), &out);
+  out.push_back(',');
+  AppendBoolField("has_schemes", bundle_.has_schemes, &out);
+  out.push_back(',');
+  AppendIntField("schemes", bundle_.schemes.size(), &out);
   out.push_back(',');
   AppendStringField("oov_policy",
                     options_.oov == OovPolicy::kDrop ? "drop" : "strict",
@@ -501,6 +549,19 @@ std::string Engine::HandleRequest(const JsonValue& request,
       LIMBO_OBS_SPAN(span, "serve.fds");
       LIMBO_OBS_COUNT("serve.query.fds", 1);
       return HandleFds(request);
+    }
+    if (op->str == "schemes") {
+      LIMBO_OBS_SPAN(span, "serve.schemes");
+      LIMBO_OBS_COUNT("serve.query.schemes", 1);
+      if (!bundle_.has_schemes) {
+        // A typed protocol error, not a transport failure: v1/v2 bundles
+        // (and fits without --schemes) simply have no section to serve.
+        LIMBO_OBS_COUNT("serve.query.errors", 1);
+        return ErrorResponse(
+            "no_schemes",
+            "bundle has no mined-schemes section; re-fit with --schemes");
+      }
+      return HandleSchemes(request);
     }
     if (op->str == "info") {
       LIMBO_OBS_SPAN(span, "serve.info");

@@ -129,6 +129,8 @@ class Engine {
       const util::JsonValue& request) const;
   util::Result<std::string> HandleAttrs() const;
   util::Result<std::string> HandleFds(const util::JsonValue& request) const;
+  util::Result<std::string> HandleSchemes(
+      const util::JsonValue& request) const;
   util::Result<std::string> HandleInfo() const;
 
   model::ModelBundle bundle_;

@@ -61,6 +61,10 @@ void AppendLineage(bool has_lineage, const model::BundleLineage& l,
   AppendNumberField("drift_score", l.drift_score, out);
   out->push_back(',');
   AppendStringField("drift_class", model::DriftClassName(l.drift_class), out);
+  // Appended last so pre-v3 consumers matching on the leading fields
+  // (generation, parent_checksum, ...) keep matching byte-for-byte.
+  out->push_back(',');
+  AppendNumberField("entropy_drift", l.entropy_drift, out);
   out->push_back('}');
 }
 

@@ -44,9 +44,12 @@ relation::Relation TestRelation() {
   return std::move(builder).Build();
 }
 
-ModelBundle FittedBundle() {
+ModelBundle FittedBundle(bool mine_schemes = true) {
   FitOptions options;
   options.k = 3;
+  // Schemes on by default so the tag-11 section sits inside every
+  // truncation/bit-flip/corruption fixture below.
+  options.mine_schemes = mine_schemes;
   auto bundle = FitModel(TestRelation(), options);
   EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
   return std::move(bundle).value();
@@ -158,6 +161,20 @@ void ExpectEqualBundles(const ModelBundle& a, const ModelBundle& b) {
     ExpectBitEqual(a.lineage.drift_score, b.lineage.drift_score);
     ExpectBitEqual(a.lineage.drift_moderate, b.lineage.drift_moderate);
     ExpectBitEqual(a.lineage.drift_severe, b.lineage.drift_severe);
+    ExpectBitEqual(a.lineage.entropy_drift, b.lineage.entropy_drift);
+  }
+
+  ASSERT_EQ(a.has_schemes, b.has_schemes);
+  if (a.has_schemes) {
+    ExpectBitEqual(a.schemes_epsilon, b.schemes_epsilon);
+    EXPECT_EQ(a.schemes_max_separator, b.schemes_max_separator);
+    ExpectBitEqual(a.schemes_total_entropy, b.schemes_total_entropy);
+    ASSERT_EQ(a.schemes.size(), b.schemes.size());
+    for (size_t i = 0; i < a.schemes.size(); ++i) {
+      EXPECT_EQ(a.schemes[i].separator_bits, b.schemes[i].separator_bits);
+      EXPECT_EQ(a.schemes[i].bag_bits, b.schemes[i].bag_bits);
+      ExpectBitEqual(a.schemes[i].j_measure, b.schemes[i].j_measure);
+    }
   }
 }
 
@@ -338,6 +355,45 @@ TEST(ModelBundleTest, ReadsVersion1Files) {
 TEST(ModelBundleTest, RejectsRefitSectionsUnderVersion1Header) {
   std::string bytes = SerializeBundle(FittedBundle());
   uint32_t version = 1;
+  std::memcpy(bytes.data() + 8, &version, sizeof(version));
+  auto parsed = ParseBundle(bytes);
+  ASSERT_FALSE(parsed.ok());
+}
+
+TEST(ModelBundleTest, SchemesSectionRoundTrips) {
+  const ModelBundle bundle = FittedBundle();
+  ASSERT_TRUE(bundle.has_schemes);
+  EXPECT_GT(bundle.schemes_total_entropy, 0.0);
+  for (const BundleScheme& s : bundle.schemes) {
+    EXPECT_GE(s.bag_bits.size(), 2u);
+    EXPECT_GE(s.j_measure, 0.0);
+  }
+  auto parsed = ParseBundle(SerializeBundle(bundle));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectEqualBundles(bundle, *parsed);
+}
+
+// A pre-v3 bundle (no schemes section) must still load — and the schemes
+// fields come back empty, which is what routes the serve-side `schemes`
+// query to its typed no_schemes error instead of a crash.
+TEST(ModelBundleTest, ReadsVersion2FilesWithoutSchemes) {
+  const ModelBundle bundle = FittedBundle(/*mine_schemes=*/false);
+  ASSERT_FALSE(bundle.has_schemes);
+  std::string bytes = SerializeBundle(bundle);
+  uint32_t version = 2;
+  std::memcpy(bytes.data() + 8, &version, sizeof(version));
+  auto parsed = ParseBundle(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->format_version, 2u);
+  EXPECT_FALSE(parsed->has_schemes);
+  EXPECT_TRUE(parsed->schemes.empty());
+}
+
+// A v2 header over a payload carrying the v3-only schemes section is
+// structurally inconsistent: tag 11 exceeds v2's maximum known tag.
+TEST(ModelBundleTest, RejectsSchemesSectionUnderVersion2Header) {
+  std::string bytes = SerializeBundle(FittedBundle());
+  uint32_t version = 2;
   std::memcpy(bytes.data() + 8, &version, sizeof(version));
   auto parsed = ParseBundle(bytes);
   ASSERT_FALSE(parsed.ok());

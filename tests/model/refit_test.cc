@@ -296,6 +296,91 @@ TEST(RefitTest, RejectsRaggedRow) {
   EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
 }
 
+constexpr uint32_t kRankedFdsTag = 8;
+constexpr uint32_t kValueGroupsTag = 6;
+
+/// Rows that break the fit-time FD City->State: Boston co-occurs with a
+/// second state, so an exact re-derivation over the absorbed relation
+/// cannot reproduce the parent's FD cover.
+std::string FdBreakingRowsCsv() {
+  return std::string(kHeader) +
+         "Boston,XX,02134,alice\n"
+         "Boston,XX,02134,nina\n"
+         "Denver,YY,80201,walt\n";
+}
+
+// The moderate path is a complete re-derivation, not a patch: CV_D value
+// groups and FD ranks are recomputed over the absorbed relation. Rows
+// that break a parent FD must therefore change the child's ranked-FD
+// section — a patch that froze the parent's FDs would ship stale
+// structure under a bundle that claims to describe the new rows.
+TEST(RefitTest, ModerateRefitRederivesFdsWhenNewRowsBreakOne) {
+  const ModelBundle parent = FitParent();
+  RefitOptions options;
+  options.drift_moderate = 0.0;  // any positive score -> moderate
+  auto result = RefitCsv(parent, FdBreakingRowsCsv(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->drift_class, DriftClass::kModerate);
+  ASSERT_FALSE(result->bundle.ranked_fds.empty());
+
+  const auto parent_sections = SplitSections(SerializeBundle(parent));
+  const auto child_sections = SplitSections(SerializeBundle(result->bundle));
+  ASSERT_EQ(parent_sections.count(kRankedFdsTag), 1u);
+  ASSERT_EQ(child_sections.count(kRankedFdsTag), 1u);
+  EXPECT_NE(child_sections.at(kRankedFdsTag),
+            parent_sections.at(kRankedFdsTag))
+      << "moderate refit served the parent's FD section unchanged even "
+         "though the absorbed rows broke City->State";
+  // The value groups are re-derived over the absorbed dictionary too.
+  ASSERT_EQ(child_sections.count(kValueGroupsTag), 1u);
+  EXPECT_NE(child_sections.at(kValueGroupsTag),
+            parent_sections.at(kValueGroupsTag));
+
+  // Semantics, not just bytes: no surviving exact FD may still claim
+  // City (attr 0) alone determines State (attr 1).
+  const fd::AttributeSet city = fd::AttributeSet::Single(0);
+  for (const core::RankedFd& r : result->bundle.ranked_fds) {
+    if (r.fd.lhs == city) {
+      EXPECT_FALSE(r.fd.rhs.Contains(1))
+          << r.fd.ToString(result->bundle.schema);
+    }
+  }
+}
+
+// The second drift signal: per-attribute entropy drift between the
+// absorbed rows and the parent's frozen Phase-1 counts, recorded on the
+// result and in the child's lineage. Zero rows -> zero signal; rows with
+// unseen values in every column -> strictly positive.
+TEST(RefitTest, EntropyDriftSignalTracksAbsorbedRows) {
+  const ModelBundle parent = FitParent();
+  auto zero = RefitCsv(parent, kHeader);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero->entropy_drift, 0.0);
+  EXPECT_EQ(zero->bundle.lineage.entropy_drift, 0.0);
+
+  RefitOptions options;
+  options.drift_moderate = 0.0;
+  auto shifted = RefitCsv(parent, ShiftedRowsCsv(), options);
+  ASSERT_TRUE(shifted.ok()) << shifted.status().ToString();
+  ASSERT_EQ(shifted->drift_class, DriftClass::kModerate);
+  EXPECT_GT(shifted->entropy_drift, 0.0);
+  EXPECT_EQ(shifted->bundle.lineage.entropy_drift, shifted->entropy_drift);
+  // The signal survives the wire round trip bit for bit.
+  auto parsed = ParseBundle(SerializeBundle(shifted->bundle));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(std::memcmp(&parsed->lineage.entropy_drift,
+                        &shifted->entropy_drift, sizeof(double)),
+            0);
+  // Informational only: the classification is still driven by the loss
+  // ratio, and the severe path carries no signal (no bundle either).
+  options.drift_moderate = 0.0;
+  options.drift_severe = 1e-9;
+  auto severe = RefitCsv(parent, ShiftedRowsCsv(), options);
+  ASSERT_TRUE(severe.ok());
+  ASSERT_EQ(severe->drift_class, DriftClass::kSevere);
+  EXPECT_EQ(severe->entropy_drift, 0.0);
+}
+
 // New values arriving in the refit rows are interned into the child's
 // dictionary with correct supports, and the parent's dictionary is
 // untouched (the refit copies, never mutates).

@@ -1,0 +1,216 @@
+#include "schemes/entropy_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fd/attribute_set.h"
+#include "relation/relation.h"
+#include "relation/row_source.h"
+#include "testing/make_relation.h"
+#include "util/random.h"
+
+namespace limbo::schemes {
+namespace {
+
+using fd::AttributeSet;
+
+/// Ground-truth H(X): project every tuple onto X's attribute texts and
+/// count distinct combinations the slow, obvious way.
+double BruteForceEntropy(const relation::Relation& rel, AttributeSet x) {
+  std::map<std::vector<std::string>, uint64_t> counts;
+  for (relation::TupleId t = 0; t < rel.NumTuples(); ++t) {
+    std::vector<std::string> key;
+    for (relation::AttributeId a : x.ToList()) {
+      key.push_back(rel.TextAt(t, a));
+    }
+    ++counts[key];
+  }
+  const double n = static_cast<double>(rel.NumTuples());
+  double h = std::log2(n);
+  for (const auto& [key, c] : counts) {
+    h -= static_cast<double>(c) * std::log2(static_cast<double>(c)) / n;
+  }
+  return h < 0.0 ? 0.0 : h;
+}
+
+/// Random categorical relation: m attributes, each value drawn from a
+/// per-attribute alphabet of `width` symbols.
+relation::Relation RandomRelation(size_t rows, size_t m, size_t width,
+                                  uint64_t seed) {
+  util::Random rng(seed);
+  std::vector<std::string> header;
+  for (size_t a = 0; a < m; ++a) header.push_back("A" + std::to_string(a));
+  std::vector<std::vector<std::string>> data;
+  for (size_t t = 0; t < rows; ++t) {
+    std::vector<std::string> row;
+    for (size_t a = 0; a < m; ++a) {
+      row.push_back("v" + std::to_string(rng.Uniform(width)));
+    }
+    data.push_back(std::move(row));
+  }
+  return limbo::testing::MakeRelation(std::move(header), data);
+}
+
+TEST(EntropyFromCounts, KnownValues) {
+  // Uniform over 4 -> 2 bits; a point mass -> 0; empty -> 0.
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({1, 1, 1, 1}, 4), 2.0);
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({5}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({}, 0), 0.0);
+  // {2,1,1} over 4: log2(4) - (2*1)/4 = 1.5.
+  EXPECT_DOUBLE_EQ(EntropyFromCounts({2, 1, 1}, 4), 1.5);
+}
+
+TEST(EntropyFromCounts, OrderIndependent) {
+  const std::vector<uint64_t> counts = {7, 1, 3, 9, 2, 2, 5};
+  std::vector<uint64_t> reversed(counts.rbegin(), counts.rend());
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  EXPECT_EQ(EntropyFromCounts(counts, total),
+            EntropyFromCounts(reversed, total));
+}
+
+TEST(EntropyOracle, MatchesBruteForceOnPaperExample) {
+  const relation::Relation rel = limbo::testing::PaperFigure4();
+  relation::RelationRowSource source(rel);
+  EntropyOracle oracle(source);
+  const size_t m = rel.NumAttributes();
+  for (uint64_t bits = 0; bits < (uint64_t{1} << m); ++bits) {
+    const AttributeSet x(bits);
+    auto h = oracle.H(x);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    EXPECT_NEAR(*h, BruteForceEntropy(rel, x), 1e-12) << x.bits();
+  }
+}
+
+TEST(EntropyOracle, MatchesBruteForceOnRandomRelations) {
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    const relation::Relation rel = RandomRelation(200, 4, 3, seed);
+    relation::RelationRowSource source(rel);
+    EntropyOracle oracle(source);
+    std::vector<AttributeSet> sets;
+    for (uint64_t bits = 1; bits < 16; ++bits) sets.push_back(AttributeSet(bits));
+    auto hs = oracle.HBatch(sets);
+    ASSERT_TRUE(hs.ok());
+    for (size_t i = 0; i < sets.size(); ++i) {
+      EXPECT_NEAR((*hs)[i], BruteForceEntropy(rel, sets[i]), 1e-12);
+    }
+  }
+}
+
+TEST(EntropyOracle, EmptySetIsZeroWithoutAPass) {
+  const relation::Relation rel = limbo::testing::PaperFigure4();
+  relation::RelationRowSource source(rel);
+  EntropyOracle oracle(source);
+  auto h = oracle.H(AttributeSet());
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(*h, 0.0);
+  EXPECT_EQ(oracle.stats().passes, 0u);
+}
+
+TEST(EntropyOracle, MonotoneInTheSubset) {
+  // H is monotone: adding attributes never loses information.
+  for (uint64_t seed : {3u, 11u, 99u}) {
+    const relation::Relation rel = RandomRelation(150, 5, 3, seed);
+    relation::RelationRowSource source(rel);
+    EntropyOracle oracle(source);
+    util::Random rng(seed * 31 + 1);
+    for (int trial = 0; trial < 20; ++trial) {
+      const AttributeSet x(rng.Uniform(32));
+      const AttributeSet xy(
+          x.Union(AttributeSet(rng.Uniform(32))).bits());
+      auto hx = oracle.H(x);
+      auto hxy = oracle.H(xy);
+      ASSERT_TRUE(hx.ok() && hxy.ok());
+      EXPECT_GE(*hxy, *hx - 1e-12);
+    }
+  }
+}
+
+TEST(EntropyOracle, SubmodularOnRandomRelations) {
+  // Diminishing returns: for X ⊆ Y and a ∉ Y,
+  //   H(X ∪ a) − H(X) >= H(Y ∪ a) − H(Y).
+  for (uint64_t seed : {5u, 23u, 77u}) {
+    const relation::Relation rel = RandomRelation(150, 5, 3, seed);
+    relation::RelationRowSource source(rel);
+    EntropyOracle oracle(source);
+    util::Random rng(seed * 17 + 3);
+    for (int trial = 0; trial < 20; ++trial) {
+      const AttributeSet y(rng.Uniform(32));
+      const AttributeSet x = y.Intersect(AttributeSet(rng.Uniform(32)));
+      const relation::AttributeId a =
+          static_cast<relation::AttributeId>(rng.Uniform(5));
+      if (y.Contains(a)) continue;
+      auto hx = oracle.H(x);
+      auto hxa = oracle.H(x.With(a));
+      auto hy = oracle.H(y);
+      auto hya = oracle.H(y.With(a));
+      ASSERT_TRUE(hx.ok() && hxa.ok() && hy.ok() && hya.ok());
+      EXPECT_GE((*hxa - *hx) - (*hya - *hy), -1e-12);
+    }
+  }
+}
+
+TEST(EntropyOracle, BitIdenticalAcrossLaneCounts) {
+  const relation::Relation rel = RandomRelation(500, 6, 4, 2026);
+  std::vector<AttributeSet> sets;
+  for (uint64_t bits = 1; bits < 64; ++bits) sets.push_back(AttributeSet(bits));
+  std::vector<double> reference;
+  for (size_t threads : {1u, 2u, 4u}) {
+    relation::RelationRowSource source(rel);
+    EntropyOracleOptions options;
+    options.threads = threads;
+    EntropyOracle oracle(source, options);
+    auto hs = oracle.HBatch(sets);
+    ASSERT_TRUE(hs.ok());
+    if (reference.empty()) {
+      reference = *hs;
+      continue;
+    }
+    for (size_t i = 0; i < sets.size(); ++i) {
+      // Exact equality — the sorted-counts reduction is the contract.
+      EXPECT_EQ((*hs)[i], reference[i]) << "set " << sets[i].bits()
+                                        << " at " << threads << " lanes";
+    }
+  }
+}
+
+TEST(EntropyOracle, MemoAbsorbsRepeatQueries) {
+  const relation::Relation rel = limbo::testing::PaperFigure4();
+  relation::RelationRowSource source(rel);
+  EntropyOracle oracle(source);
+  const AttributeSet x = AttributeSet::Single(0);
+  ASSERT_TRUE(oracle.H(x).ok());
+  const uint64_t passes = oracle.stats().passes;
+  ASSERT_TRUE(oracle.H(x).ok());
+  EXPECT_EQ(oracle.stats().passes, passes);
+  EXPECT_GE(oracle.stats().memo_hits, 1u);
+}
+
+TEST(EntropyOracle, BatchDeduplicatesAndPreservesOrder) {
+  const relation::Relation rel = limbo::testing::PaperFigure4();
+  relation::RelationRowSource source(rel);
+  EntropyOracle oracle(source);
+  const AttributeSet a = AttributeSet::Single(0);
+  const AttributeSet b = AttributeSet::Single(1);
+  auto hs = oracle.HBatch({a, b, a, AttributeSet(), b});
+  ASSERT_TRUE(hs.ok());
+  ASSERT_EQ(hs->size(), 5u);
+  EXPECT_EQ((*hs)[0], (*hs)[2]);
+  EXPECT_EQ((*hs)[1], (*hs)[4]);
+  EXPECT_EQ((*hs)[3], 0.0);
+  EXPECT_EQ(oracle.stats().sets_counted, 2u);
+}
+
+TEST(EntropyOracle, RejectsOutOfRangeAttributes) {
+  const relation::Relation rel = limbo::testing::PaperFigure4();  // 3 attrs
+  relation::RelationRowSource source(rel);
+  EntropyOracle oracle(source);
+  EXPECT_FALSE(oracle.H(AttributeSet::Single(7)).ok());
+}
+
+}  // namespace
+}  // namespace limbo::schemes

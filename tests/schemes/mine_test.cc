@@ -1,0 +1,222 @@
+#include "schemes/mine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "fd/attribute_set.h"
+#include "relation/relation.h"
+#include "relation/row_source.h"
+#include "schemes/entropy_oracle.h"
+#include "testing/make_relation.h"
+
+namespace limbo::schemes {
+namespace {
+
+using fd::AttributeSet;
+
+/// The textbook lossless join: for each A value, B and C range over their
+/// two A-specific symbols independently, so B ⫫ C | A exactly and
+/// R = R[A,B] ⋈ R[A,C] without spurious tuples.
+relation::Relation LosslessJoinRelation() {
+  std::vector<std::vector<std::string>> rows;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int c = 0; c < 2; ++c) {
+        rows.push_back({"a" + std::to_string(a),
+                        "b" + std::to_string(2 * a + b),
+                        "c" + std::to_string(2 * a + c)});
+      }
+    }
+  }
+  return limbo::testing::MakeRelation({"A", "B", "C"}, rows);
+}
+
+std::string RenderAll(const MineResult& result,
+                      const relation::Schema& schema) {
+  std::string out;
+  for (const AcyclicScheme& s : result.schemes) {
+    out += s.ToString(schema);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+TEST(MineAcyclicSchemes, FindsTheLosslessJoinScheme) {
+  const relation::Relation rel = LosslessJoinRelation();
+  relation::RelationRowSource source(rel);
+  EntropyOracle oracle(source);
+  auto result = MineAcyclicSchemes(oracle);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows, 8u);
+  EXPECT_NEAR(result->total_entropy, 3.0, 1e-12);
+  bool found = false;
+  for (const AcyclicScheme& s : result->schemes) {
+    EXPECT_LE(s.j_measure, 0.05);
+    EXPECT_GE(s.bags.size(), 2u);
+    if (s.separator == AttributeSet::Single(0) && s.bags.size() == 2 &&
+        s.bags[0] == AttributeSet(0b011) && s.bags[1] == AttributeSet(0b101)) {
+      found = true;
+      EXPECT_NEAR(s.j_measure, 0.0, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found) << RenderAll(*result, rel.schema());
+}
+
+TEST(MineAcyclicSchemes, IndependentPairSplitsOnTheEmptySeparator) {
+  // A and B uniform and independent: the only legal separator at m=2 is
+  // empty, and the dependence graph has no edge.
+  std::vector<std::vector<std::string>> rows;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      rows.push_back({"a" + std::to_string(a), "b" + std::to_string(b)});
+    }
+  }
+  const relation::Relation rel =
+      limbo::testing::MakeRelation({"A", "B"}, rows);
+  relation::RelationRowSource source(rel);
+  EntropyOracle oracle(source);
+  auto result = MineAcyclicSchemes(oracle);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->schemes.size(), 1u);
+  EXPECT_EQ(result->schemes[0].separator, AttributeSet());
+  ASSERT_EQ(result->schemes[0].bags.size(), 2u);
+  EXPECT_EQ(result->schemes[0].bags[0], AttributeSet::Single(0));
+  EXPECT_EQ(result->schemes[0].bags[1], AttributeSet::Single(1));
+  EXPECT_NEAR(result->schemes[0].j_measure, 0.0, 1e-12);
+}
+
+TEST(MineAcyclicSchemes, CorrelatedPairYieldsNothing) {
+  // B is a bijection of A: one dependence component, nothing to split.
+  const relation::Relation rel = limbo::testing::MakeRelation(
+      {"A", "B"},
+      {{"a0", "b0"}, {"a1", "b1"}, {"a2", "b2"}, {"a0", "b0"}});
+  relation::RelationRowSource source(rel);
+  EntropyOracle oracle(source);
+  auto result = MineAcyclicSchemes(oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->schemes.empty());
+}
+
+TEST(MineAcyclicSchemes, EpsilonGatesApproximateSchemes) {
+  // Noisy three-way dependence with no exact FDs anywhere: every value of
+  // B and C occurs under both A values, and B, C stay weakly dependent
+  // given A. With the tolerance wide open every candidate graph is
+  // edgeless, so every scheme's J-measure is strictly positive — a strict
+  // epsilon keeps none, a loose one admits the join-tree scheme whose J
+  // must equal the oracle-side identity H(AB) + H(AC) − H(A) − H(Ω).
+  std::vector<std::vector<std::string>> rows;
+  auto add = [&rows](int a, int b, int c, int copies) {
+    for (int i = 0; i < copies; ++i) {
+      rows.push_back({"a" + std::to_string(a), "b" + std::to_string(b),
+                      "c" + std::to_string(c)});
+    }
+  };
+  add(0, 0, 0, 3), add(0, 0, 1, 1), add(0, 1, 0, 1), add(0, 1, 1, 1);
+  add(1, 1, 1, 3), add(1, 1, 0, 1), add(1, 0, 1, 1), add(1, 0, 0, 1);
+  const relation::Relation rel =
+      limbo::testing::MakeRelation({"A", "B", "C"}, rows);
+
+  MineOptions strict;
+  strict.epsilon = 1e-12;
+  strict.tolerance = 1.0;  // every pair counts as independent
+  {
+    relation::RelationRowSource source(rel);
+    EntropyOracle oracle(source);
+    auto result = MineAcyclicSchemes(oracle, strict);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->schemes.empty()) << RenderAll(*result, rel.schema());
+  }
+
+  MineOptions loose = strict;
+  loose.epsilon = 1.0;
+  relation::RelationRowSource source(rel);
+  EntropyOracle oracle(source);
+  auto result = MineAcyclicSchemes(oracle, loose);
+  ASSERT_TRUE(result.ok());
+  bool found = false;
+  for (const AcyclicScheme& s : result->schemes) {
+    if (s.separator != AttributeSet::Single(0) || s.bags.size() != 2 ||
+        s.bags[0] != AttributeSet(0b011) || s.bags[1] != AttributeSet(0b101)) {
+      continue;
+    }
+    found = true;
+    auto hab = oracle.H(AttributeSet(0b011));
+    auto hac = oracle.H(AttributeSet(0b101));
+    auto ha = oracle.H(AttributeSet::Single(0));
+    auto homega = oracle.H(AttributeSet(0b111));
+    ASSERT_TRUE(hab.ok() && hac.ok() && ha.ok() && homega.ok());
+    const double expected = *hab + *hac - *ha - *homega;
+    EXPECT_GT(s.j_measure, 0.0);
+    EXPECT_NEAR(s.j_measure, expected, 1e-12);
+  }
+  EXPECT_TRUE(found) << RenderAll(*result, rel.schema());
+}
+
+TEST(MineAcyclicSchemes, DeterministicAcrossRunsAndLaneCounts) {
+  const relation::Relation rel = LosslessJoinRelation();
+  std::string reference;
+  for (size_t threads : {1u, 1u, 4u}) {
+    relation::RelationRowSource source(rel);
+    EntropyOracleOptions oracle_options;
+    oracle_options.threads = threads;
+    EntropyOracle oracle(source, oracle_options);
+    auto result = MineAcyclicSchemes(oracle);
+    ASSERT_TRUE(result.ok());
+    const std::string rendered = RenderAll(*result, rel.schema());
+    if (reference.empty()) {
+      reference = rendered;
+      EXPECT_FALSE(reference.empty());
+      continue;
+    }
+    EXPECT_EQ(rendered, reference) << "threads=" << threads;
+  }
+}
+
+TEST(MineAcyclicSchemes, MaxSchemesTruncatesAfterTheSort) {
+  const relation::Relation rel = LosslessJoinRelation();
+  MineOptions unbounded;
+  unbounded.max_schemes = 64;
+  std::vector<AcyclicScheme> all;
+  {
+    relation::RelationRowSource source(rel);
+    EntropyOracle oracle(source);
+    auto result = MineAcyclicSchemes(oracle, unbounded);
+    ASSERT_TRUE(result.ok());
+    all = result->schemes;
+    ASSERT_GE(all.size(), 2u);
+  }
+  MineOptions capped;
+  capped.max_schemes = 1;
+  relation::RelationRowSource source(rel);
+  EntropyOracle oracle(source);
+  auto result = MineAcyclicSchemes(oracle, capped);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->schemes.size(), 1u);
+  // Truncation keeps the sort's head, not an arbitrary survivor.
+  EXPECT_EQ(result->schemes[0].ToString(rel.schema()),
+            all[0].ToString(rel.schema()));
+}
+
+TEST(MineAcyclicSchemes, RejectsSingleAttributeRelations) {
+  const relation::Relation rel = limbo::testing::MakeRelation(
+      {"A"}, {{"a0"}, {"a1"}});
+  relation::RelationRowSource source(rel);
+  EntropyOracle oracle(source);
+  EXPECT_FALSE(MineAcyclicSchemes(oracle).ok());
+}
+
+TEST(AcyclicScheme, RendersWithSchemaNames) {
+  const relation::Relation rel = limbo::testing::PaperFigure4();
+  AcyclicScheme scheme;
+  scheme.separator = AttributeSet::Single(0);
+  scheme.bags = {AttributeSet(0b011), AttributeSet(0b101)};
+  scheme.j_measure = 0.0123;
+  EXPECT_EQ(scheme.ToString(rel.schema()),
+            "{[A,B] | [A,C]} sep [A] j=0.0123");
+}
+
+}  // namespace
+}  // namespace limbo::schemes

@@ -55,6 +55,20 @@ Engine TestEngine(OovPolicy oov = OovPolicy::kDrop) {
   return std::move(engine).value();
 }
 
+/// Engine over a bundle fitted with --schemes: carries a tag-11 section
+/// so the `schemes` query has something to serve.
+Engine SchemesEngine() {
+  model::FitOptions options;
+  options.k = 3;
+  options.mine_schemes = true;
+  auto bundle = model::FitModel(TestRelation(), options);
+  EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EXPECT_TRUE(bundle->has_schemes);
+  auto engine = Engine::FromBundle(std::move(bundle).value(), EngineOptions{});
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
 std::string AssignQuery(const std::vector<std::string>& fields) {
   std::string q = "{\"op\":\"assign\",\"row\":[";
   for (size_t i = 0; i < fields.size(); ++i) {
@@ -113,6 +127,7 @@ TEST(EngineTest, ResponsesBitIdenticalAcrossWorkerCounts) {
   for (const auto& row : TestRows()) queries.push_back(AssignQuery(row));
   queries.push_back("{\"op\":\"info\"}");
   queries.push_back("{\"op\":\"fds\",\"limit\":5}");
+  queries.push_back("{\"op\":\"schemes\"}");  // typed error: no section
 
   auto run = [&](size_t workers) {
     util::ThreadPool pool(workers);
@@ -257,6 +272,71 @@ TEST(EngineTest, FdsHonorsLimit) {
   EXPECT_EQ(limited.Find("fds")->array.size(), 1u);
 }
 
+TEST(EngineTest, SchemesQueryServesTheMinedSection) {
+  Engine engine = SchemesEngine();
+  JsonValue all = ParseResponse(engine.HandleLine("{\"op\":\"schemes\"}"));
+  ASSERT_TRUE(ResponseOk(all));
+  ASSERT_NE(all.Find("epsilon"), nullptr);
+  ASSERT_NE(all.Find("total_entropy"), nullptr);
+  const JsonValue* schemes = all.Find("schemes");
+  ASSERT_NE(schemes, nullptr);
+  ASSERT_EQ(schemes->kind, JsonValue::Kind::kArray);
+  const size_t total = schemes->array.size();
+  ASSERT_GE(total, 1u);
+  EXPECT_EQ(all.Find("count")->integer, total);
+  // Every scheme decodes to attribute names and a finite J-measure.
+  for (const JsonValue& s : schemes->array) {
+    const JsonValue* bags = s.Find("bags");
+    ASSERT_NE(bags, nullptr);
+    ASSERT_GE(bags->array.size(), 2u);
+    for (const JsonValue& bag : bags->array) {
+      ASSERT_GE(bag.array.size(), 1u);
+      EXPECT_EQ(bag.array[0].kind, JsonValue::Kind::kString);
+    }
+    ASSERT_NE(s.Find("separator"), nullptr);
+    ASSERT_NE(s.Find("j_measure"), nullptr);
+  }
+  // `limit` truncates the sorted list, keeping the head; `count` still
+  // reports the full section size, mirroring the info summary.
+  JsonValue limited =
+      ParseResponse(engine.HandleLine("{\"op\":\"schemes\",\"limit\":1}"));
+  ASSERT_TRUE(ResponseOk(limited));
+  ASSERT_EQ(limited.Find("schemes")->array.size(), 1u);
+  EXPECT_EQ(limited.Find("count")->integer, total);
+}
+
+TEST(EngineTest, SchemesQueryOnPlainBundleIsATypedError) {
+  Engine engine = TestEngine();  // fitted without --schemes
+  JsonValue response =
+      ParseResponse(engine.HandleLine("{\"op\":\"schemes\"}"));
+  EXPECT_FALSE(ResponseOk(response));
+  ASSERT_NE(response.Find("code"), nullptr);
+  EXPECT_EQ(response.Find("code")->str, "no_schemes");
+}
+
+// Worker-count invariance holds for the schemes query too: the section
+// is frozen at fit time, so serving it is a pure read.
+TEST(EngineTest, SchemesResponsesBitIdenticalAcrossWorkerCounts) {
+  Engine engine = SchemesEngine();
+  std::vector<std::string> queries = {
+      "{\"op\":\"schemes\"}", "{\"op\":\"schemes\",\"limit\":2}",
+      "{\"op\":\"schemes\",\"limit\":1}", "{\"op\":\"info\"}"};
+  auto run = [&](size_t workers) {
+    util::ThreadPool pool(workers);
+    std::vector<core::LossKernel> kernels(pool.threads());
+    std::vector<std::string> responses(queries.size());
+    pool.ParallelFor(0, queries.size(), 1,
+                     [&](size_t begin, size_t end, size_t lane) {
+                       for (size_t i = begin; i < end; ++i) {
+                         responses[i] =
+                             engine.HandleLine(queries[i], &kernels[lane]);
+                       }
+                     });
+    return responses;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
 TEST(EngineTest, InfoEchoesTheFitParameters) {
   Engine engine = TestEngine();
   JsonValue response = ParseResponse(engine.HandleLine("{\"op\":\"info\"}"));
@@ -321,6 +401,7 @@ TEST(EngineTest, HandleRequestsMatchesPerLineResponses) {
   queries.push_back("{\"op\":\"assign\",\"csv\":\"Miami,FL,33101,dave\"}");
   queries.push_back("{\"op\":\"info\"}");
   queries.push_back("{\"op\":\"fds\",\"limit\":2}");
+  queries.push_back("{\"op\":\"schemes\",\"limit\":2}");
   queries.push_back("{\"op\":\"warp\"}");
 
   std::vector<util::JsonValue> parsed;

@@ -3,8 +3,8 @@
 
 Extracts every ``limbo-tool`` / ``limbo-serve`` / ``micro_limbo``
 invocation from fenced code blocks in docs/tutorial.md, README.md,
-docs/architecture.md, docs/serving.md, docs/refit.md and
-docs/performance.md, rewrites the binary path
+docs/architecture.md, docs/serving.md, docs/refit.md, docs/schemes.md
+and docs/performance.md, rewrites the binary path
 to the actual build tree, and executes them in order inside a scratch
 directory (so commands that generate files feed the commands that
 consume them, exactly as a reader would run them). Any non-zero exit —
@@ -29,6 +29,7 @@ DOCS = [
     REPO / "docs" / "architecture.md",
     REPO / "docs" / "serving.md",
     REPO / "docs" / "refit.md",
+    REPO / "docs" / "schemes.md",
     REPO / "docs" / "performance.md",
 ]
 

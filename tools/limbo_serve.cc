@@ -20,6 +20,7 @@
 //   {"op":"valuegroup","attr":"A","value":"x"} -> the value's group
 //   {"op":"attrs"}                           -> attribute dendrogram
 //   {"op":"fds","limit":10}                  -> ranked dependencies
+//   {"op":"schemes","limit":10}              -> mined acyclic schemes
 //   {"op":"info"}                            -> model metadata
 //   {"op":"models"}                          -> the registry (admin)
 //   {"op":"reload"[,"model":"name"]}         -> blue/green hot reload

@@ -9,6 +9,8 @@
 //   limbo-tool mvds       data.csv [--max-lhs=2]
 //   limbo-tool keys       data.csv [--max-size=4]
 //   limbo-tool rank       data.csv [--psi=0.5]
+//   limbo-tool schemes    data.csv [--epsilon=0.05] [--max-sep=2]
+//                                  [--max-schemes=16]
 //   limbo-tool partition  data.csv [--k=0] [--phi=0.5] [--stream]
 //   limbo-tool decompose  data.csv [--psi=0.5] [--out=prefix]
 //   limbo-tool generate   db2|dblp [--out=data.csv] [--tuples=N] [--seed=S]
@@ -16,7 +18,9 @@
 //   limbo-tool report     data.csv [--out=report.md] [--psi=0.5]
 //   limbo-tool fit        data.csv [--phi-t=0.1] [--phi-v=0] [--psi=0.5]
 //                                  [--k=10] [--model-out=data.limbo]
-//                                  [--no-refit-state]
+//                                  [--no-refit-state] [--schemes]
+//                                  [--schemes-epsilon=0.05]
+//                                  [--schemes-max-sep=2]
 //   limbo-tool refit      data.limbo --input=new_rows.csv
 //                                  [--model-out=child.limbo]
 //                                  [--drift-moderate=2.0] [--drift-severe=8.0]
@@ -89,6 +93,8 @@
 #include "relation/row_source.h"
 #include "relation/source_stats.h"
 #include "relation/stats.h"
+#include "schemes/entropy_oracle.h"
+#include "schemes/mine.h"
 #include "datagen/db2_sample.h"
 #include "datagen/dblp.h"
 
@@ -132,8 +138,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: limbo-tool <profile|summary|duplicates|values|fds|approx-fds|"
-      "mvds|keys|rank|partition|decompose|summaries|report|fit|refit|inspect|"
-      "generate> data.csv [--flag=value ...]\n");
+      "mvds|keys|rank|schemes|partition|decompose|summaries|report|fit|refit|"
+      "inspect|generate> data.csv [--flag=value ...]\n");
   return 2;
 }
 
@@ -151,11 +157,14 @@ int ValidateFlags(const Args& args) {
       {"mvds", {"max-lhs"}},
       {"keys", {"max-size"}},
       {"rank", {"psi"}},
+      {"schemes", {"epsilon", "max-sep", "max-schemes"}},
       {"partition", {"k", "phi", "max-k", "stream", "stats", "chunk"}},
       {"decompose", {"psi", "out"}},
       {"summaries", {"phi-t", "out", "stream", "stats", "chunk"}},
       {"report", {"phi-t", "phi-v", "psi", "out"}},
-      {"fit", {"phi-t", "phi-v", "psi", "k", "model-out", "no-refit-state"}},
+      {"fit",
+       {"phi-t", "phi-v", "psi", "k", "model-out", "no-refit-state", "schemes",
+        "schemes-epsilon", "schemes-max-sep"}},
       {"refit",
        {"input", "model-out", "drift-moderate", "drift-severe", "chunk"}},
       {"inspect", {}},
@@ -409,6 +418,58 @@ int CmdRank(const relation::Relation& rel, const Args& args) {
           summary->grouping.aib.merges(), "attribute_grouping_trajectory"));
     }
     AddReportSection(MeasuresSection(rel, summary->ranked_cover));
+  }
+  return 0;
+}
+
+/// Mines approximate acyclic schemes: a streamed entropy oracle over the
+/// relation feeds the J-measure search. The printed error per scheme is
+/// its J-measure — the KL cost in bits of pretending the relation joins
+/// losslessly from the scheme's bags.
+int CmdSchemes(const relation::Relation& rel, const Args& args) {
+  relation::RelationRowSource source(rel);
+  schemes::EntropyOracleOptions oracle_options;
+  oracle_options.threads = args.GetSize("threads", 0);
+  schemes::EntropyOracle oracle(source, oracle_options);
+  schemes::MineOptions options;
+  options.epsilon = args.GetDouble("epsilon", options.epsilon);
+  options.max_separator = args.GetSize("max-sep", options.max_separator);
+  options.max_schemes = args.GetSize("max-schemes", options.max_schemes);
+  auto result = schemes::MineAcyclicSchemes(oracle, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("# H(Omega) = %.4f bits over %" PRIu64
+              " rows; %zu approximate acyclic schemes (J <= %.4f):\n",
+              result->total_entropy, result->num_rows,
+              result->schemes.size(), options.epsilon);
+  for (const auto& scheme : result->schemes) {
+    std::printf("%s\n", scheme.ToString(rel.schema()).c_str());
+  }
+  std::printf("# separators tried: %" PRIu64 "; pairs pruned %" PRIu64
+              " / evaluated %" PRIu64 "; oracle passes %" PRIu64
+              " (%" PRIu64 " sets, %" PRIu64 " memo hits)\n",
+              result->separators_tried, result->pairs_pruned,
+              result->pairs_evaluated, oracle.stats().passes,
+              oracle.stats().sets_counted, oracle.stats().memo_hits);
+  if (g_collect_report) {
+    obs::ReportSection section("schemes");
+    section.AddField("total_entropy", result->total_entropy);
+    section.AddField("epsilon", options.epsilon);
+    section.AddField("separators_tried", result->separators_tried);
+    section.AddField("pairs_pruned", result->pairs_pruned);
+    section.AddField("pairs_evaluated", result->pairs_evaluated);
+    section.AddField("oracle_passes", oracle.stats().passes);
+    section.AddField("oracle_sets", oracle.stats().sets_counted);
+    section.table.columns = {"scheme", "bags", "j_measure"};
+    for (const auto& scheme : result->schemes) {
+      section.table.rows.push_back(
+          {obs::ReportValue::String(scheme.ToString(rel.schema())),
+           obs::ReportValue::Integer(scheme.bags.size()),
+           obs::ReportValue::Number(scheme.j_measure)});
+    }
+    AddReportSection(std::move(section));
   }
   return 0;
 }
@@ -770,6 +831,11 @@ int CmdFit(const relation::Relation& rel, const Args& args) {
   options.k = args.GetSize("k", options.k);
   options.threads = args.GetSize("threads", 0);
   options.refit_state = !args.Has("no-refit-state");
+  options.mine_schemes = args.Has("schemes");
+  options.schemes_epsilon =
+      args.GetDouble("schemes-epsilon", options.schemes_epsilon);
+  options.schemes_max_separator =
+      args.GetSize("schemes-max-sep", options.schemes_max_separator);
   auto bundle = model::FitModel(rel, options);
   if (!bundle.ok()) {
     std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
@@ -786,6 +852,12 @@ int CmdFit(const relation::Relation& rel, const Args& args) {
       "groups, %zu ranked FDs)\n",
       out.c_str(), bundle->num_rows, bundle->representatives.size(),
       bundle->value_groups.size(), bundle->ranked_fds.size());
+  if (bundle->has_schemes) {
+    std::printf("mined %zu acyclic schemes (epsilon %.4f, H(Omega) %.4f "
+                "bits)\n",
+                bundle->schemes.size(), bundle->schemes_epsilon,
+                bundle->schemes_total_entropy);
+  }
   return 0;
 }
 
@@ -866,6 +938,19 @@ int CmdInspect(const Args& args) {
               bundle->value_groups.size(), bundle->duplicate_groups.size());
   std::printf("ranked FDs: %zu\n", bundle->ranked_fds.size());
   std::printf("grouping: %s\n", bundle->has_grouping ? "yes" : "no");
+  if (bundle->has_schemes) {
+    std::printf("schemes: %zu (epsilon %.4f, max separator %" PRIu64
+                ", H(Omega) %.4f bits)\n",
+                bundle->schemes.size(), bundle->schemes_epsilon,
+                bundle->schemes_max_separator,
+                bundle->schemes_total_entropy);
+    for (const model::BundleScheme& s : bundle->schemes) {
+      std::printf("  sep=%016" PRIx64 " bags=%zu j=%.6f\n", s.separator_bits,
+                  s.bag_bits.size(), s.j_measure);
+    }
+  } else {
+    std::printf("schemes: none\n");
+  }
   if (bundle->has_phase1_tree) {
     const core::DcfTree::Stats& t = bundle->phase1_tree.stats;
     std::printf("refit state: yes (%" PRIu64 " leaf entries, %" PRIu64
@@ -886,6 +971,9 @@ int CmdInspect(const Args& args) {
     std::printf("  drift %.4f [%s] (thresholds %.2f / %.2f)\n", l.drift_score,
                 DriftClassName(l.drift_class), l.drift_moderate,
                 l.drift_severe);
+    std::printf("  entropy drift %.4f bits (largest per-attribute |dH|, "
+                "absorbed vs parent)\n",
+                l.entropy_drift);
   } else {
     std::printf("lineage: none (original fit)\n");
   }
@@ -969,6 +1057,7 @@ int main(int argc, char** argv) {
     if (args.command == "mvds") rc = CmdMvds(*rel, args);
     if (args.command == "keys") rc = CmdKeys(*rel, args);
     if (args.command == "rank") rc = CmdRank(*rel, args);
+    if (args.command == "schemes") rc = CmdSchemes(*rel, args);
     if (args.command == "partition") rc = CmdPartition(*rel, args);
     if (args.command == "decompose") rc = CmdDecompose(*rel, args);
     if (args.command == "summaries") rc = CmdSummaries(*rel, args);
