@@ -66,8 +66,16 @@ util::Result<std::vector<double>> EntropyOracle::HBatch(
   }
   if (!missing.empty()) {
     std::vector<double> fresh(missing.size(), 0.0);
-    util::Status st = CountPass(missing, &fresh);
-    if (!st.ok()) return st;
+    // Bound peak memory: at most max_sets_per_pass private counting maps
+    // live at once, at the price of extra streams over the source.
+    const size_t stride = options_.max_sets_per_pass == 0
+                              ? missing.size()
+                              : options_.max_sets_per_pass;
+    for (size_t lo = 0; lo < missing.size(); lo += stride) {
+      const size_t n = std::min(stride, missing.size() - lo);
+      util::Status st = CountPass(missing.data() + lo, n, fresh.data() + lo);
+      if (!st.ok()) return st;
+    }
     for (size_t s = 0; s < missing.size(); ++s) MemoPut(missing[s], fresh[s]);
     for (size_t i = 0; i < sets.size(); ++i) {
       if (slot_of[i] != SIZE_MAX) out[i] = fresh[slot_of[i]];
@@ -76,14 +84,12 @@ util::Result<std::vector<double>> EntropyOracle::HBatch(
   return out;
 }
 
-util::Status EntropyOracle::CountPass(
-    const std::vector<fd::AttributeSet>& sets,
-    std::vector<double>* entropies) {
+util::Status EntropyOracle::CountPass(const fd::AttributeSet* sets,
+                                      size_t num_sets, double* entropies) {
   LIMBO_OBS_SPAN(span, "schemes.oracle.pass");
   util::Status reset = source_->Reset();
   if (!reset.ok()) return reset;
 
-  const size_t num_sets = sets.size();
   // Attribute lists resolved once (ascending ids — the canonical key
   // order) plus a per-set private counting map. Each map is written only
   // by the lane that owns set s (ParallelFor grain 1 → chunk s → lane
@@ -161,10 +167,14 @@ util::Status EntropyOracle::CountPass(
   LIMBO_OBS_COUNT("schemes.oracle.sets_counted", num_sets);
 
   for (size_t s = 0; s < num_sets; ++s) {
+    // Move the map out so its memory is released as soon as the entropy
+    // is folded, not when the whole pass unwinds.
+    const std::unordered_map<std::string, uint64_t> map =
+        std::move(counts[s]);
     std::vector<uint64_t> c;
-    c.reserve(counts[s].size());
-    for (const auto& [key, n] : counts[s]) c.push_back(n);
-    (*entropies)[s] = EntropyFromCounts(std::move(c), rows);
+    c.reserve(map.size());
+    for (const auto& [key, n] : map) c.push_back(n);
+    entropies[s] = EntropyFromCounts(std::move(c), rows);
   }
   return util::Status::Ok();
 }

@@ -29,6 +29,13 @@ struct EntropyOracleOptions {
   size_t chunk_rows = 4096;
   /// Bound on memoized H(X) entries kept across queries (LRU).
   size_t memo_entries = 4096;
+  /// Upper bound on subsets counted per streaming pass. Every set in a
+  /// pass owns a private hash map with up to one entry per distinct value
+  /// combination, so an unbounded batch (the miner's stage-2 requests grow
+  /// as separators x unpruned pairs) can hold millions of maps alive at
+  /// once; larger batches split into extra passes instead — extra streams
+  /// over the source are cheap relative to the maps. 0 = unlimited.
+  size_t max_sets_per_pass = 1024;
 };
 
 /// Computes H(X) — the Shannon entropy of the projection of a streamed
@@ -59,9 +66,11 @@ class EntropyOracle {
   /// Entropy of one subset. Memoized; H(empty) = 0 without a pass.
   util::Result<double> H(fd::AttributeSet x);
 
-  /// Entropies of many subsets, resolved in one streaming pass over the
-  /// rows (minus whatever the memo already holds). Result order matches
-  /// `sets`; duplicate sets are counted once.
+  /// Entropies of many subsets, resolved in streaming passes over the
+  /// rows (minus whatever the memo already holds) of at most
+  /// `max_sets_per_pass` sets each. Result order matches `sets`;
+  /// duplicate sets are counted once. Sub-batching never changes a
+  /// result: each set's counts are exact and folded independently.
   util::Result<std::vector<double>> HBatch(
       const std::vector<fd::AttributeSet>& sets);
 
@@ -79,9 +88,10 @@ class EntropyOracle {
   const Stats& stats() const { return stats_; }
 
  private:
-  /// Streams the source once and fills `entropies[i]` for `sets[i]`.
-  util::Status CountPass(const std::vector<fd::AttributeSet>& sets,
-                         std::vector<double>* entropies);
+  /// Streams the source once and fills `entropies[i]` for `sets[i]`
+  /// (`num_sets` of each; callers bound num_sets by max_sets_per_pass).
+  util::Status CountPass(const fd::AttributeSet* sets, size_t num_sets,
+                         double* entropies);
 
   void MemoPut(fd::AttributeSet x, double h);
   bool MemoGet(fd::AttributeSet x, double* h);

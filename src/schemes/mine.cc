@@ -26,19 +26,46 @@ std::string AcyclicScheme::ToString(const relation::Schema& schema) const {
   return out;
 }
 
-namespace {
-
-/// All subsets of {0..m-1} with 0 < |S| <= max_size, ascending by bitmask.
 std::vector<fd::AttributeSet> EnumerateSeparators(size_t m, size_t max_size) {
   std::vector<fd::AttributeSet> out;
   out.push_back(fd::AttributeSet());  // the empty separator: plain MI split
   if (max_size == 0 || m == 0) return out;
   const uint64_t full = fd::AttributeSet::Full(m).bits();
-  for (uint64_t bits = 1; bits <= full; ++bits) {
-    fd::AttributeSet s(bits);
-    if (s.Count() <= max_size) out.push_back(s);
+  // Gosper's hack per cardinality visits exactly the C(m, k) subsets of
+  // size k; sweeping all 2^m bitmasks instead would hang for m past ~32
+  // (and never terminate at m = 64, where `bits <= full` is always true).
+  for (size_t k = 1; k <= std::min(max_size, m); ++k) {
+    uint64_t bits =
+        k >= 64 ? ~uint64_t{0} : (uint64_t{1} << k) - 1;  // lowest k bits
+    while (true) {
+      out.push_back(fd::AttributeSet(bits));
+      const uint64_t low = bits & (~bits + 1);
+      const uint64_t carry = bits + low;  // wraps to 0 past the top run
+      if (carry == 0 || carry > full) break;
+      bits = (((bits ^ carry) >> 2) / low) | carry;
+    }
   }
+  // Per-cardinality order -> the documented ascending-bitmask order.
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+namespace {
+
+/// Number of separators EnumerateSeparators(m, max_size) would return,
+/// saturating at `cap` (the partial sums of C(m, k) overflow fast).
+/// Requires cap <= 2^57 so choose * (m - k + 1) cannot overflow.
+uint64_t CountSeparators(size_t m, size_t max_size, uint64_t cap) {
+  uint64_t total = 1;  // the empty separator
+  uint64_t choose = 1;
+  for (size_t k = 1; k <= std::min(max_size, m); ++k) {
+    // choose = C(m, k) via C(m, k-1) * (m - k + 1) / k, exact at each step.
+    choose = choose * static_cast<uint64_t>(m - k + 1) /
+             static_cast<uint64_t>(k);
+    if (choose >= cap || cap - choose <= total) return cap;
+    total += choose;
+  }
+  return total;
 }
 
 /// Connected components of the graph on `nodes` given by `edge(i, j)`.
@@ -92,6 +119,12 @@ util::Result<MineResult> MineAcyclicSchemes(EntropyOracle& oracle,
         "scheme mining needs at least two attributes");
   }
   const size_t max_sep = std::min(options.max_separator, m - 2);
+  if (CountSeparators(m, max_sep, kMaxSeparators) >= kMaxSeparators) {
+    return util::Status::InvalidArgument(
+        "scheme mining: separator space exceeds " +
+        std::to_string(kMaxSeparators) +
+        " candidates; lower max_separator for this many attributes");
+  }
   std::vector<fd::AttributeSet> separators = EnumerateSeparators(m, max_sep);
 
   // Stage 1: one batch for H(Ω), every H(X), and every H(A ∪ X) — the

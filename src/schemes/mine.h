@@ -29,6 +29,18 @@ struct AcyclicScheme {
   std::string ToString(const relation::Schema& schema) const;
 };
 
+/// All subsets of {0..m-1} with |S| <= max_size (always including the
+/// empty set), ascending by bitmask. Enumerated per cardinality with
+/// Gosper's hack, so the cost is O(sum_{k<=max_size} C(m, k)) — never the
+/// 2^m of a full bitmask sweep — and safe for every schema width the
+/// relation layer admits (m <= 64).
+std::vector<fd::AttributeSet> EnumerateSeparators(size_t m, size_t max_size);
+
+/// MineAcyclicSchemes refuses separator spaces at or above this many
+/// candidates (wide schema x large max_separator) instead of attempting
+/// an astronomically long search.
+inline constexpr uint64_t kMaxSeparators = uint64_t{1} << 20;
+
 struct MineOptions {
   /// Accept a scheme iff its J-measure is at most this many bits.
   double epsilon = 0.05;

@@ -21,6 +21,24 @@ namespace {
 
 using util::JsonValue;
 
+/// Optional non-negative integer "limit" field, clamped to `fallback`.
+/// kInteger's payload is unsigned and the parser routes every '-'-leading
+/// token to kNumber, so a negative literal lands in the kind check below —
+/// it can never reach the uint64 and wrap through the cast. The clamp
+/// against fallback runs in uint64 so over-size_t values on narrow
+/// platforms saturate instead of truncating.
+util::Result<size_t> ParseLimit(const JsonValue& request, size_t fallback) {
+  const JsonValue* l = request.Find("limit");
+  if (l == nullptr) return fallback;
+  if (l->kind != JsonValue::Kind::kInteger) {
+    return util::Status::InvalidArgument(
+        "\"limit\" must be a non-negative integer");
+  }
+  const uint64_t clamped =
+      std::min(static_cast<uint64_t>(fallback), l->integer);
+  return static_cast<size_t>(clamped);
+}
+
 void AppendNameList(const relation::Schema& schema,
                     const std::vector<relation::AttributeId>& ids,
                     std::string* out) {
@@ -369,16 +387,8 @@ util::Result<std::string> Engine::HandleAttrs() const {
 }
 
 util::Result<std::string> Engine::HandleFds(const JsonValue& request) const {
-  size_t limit = bundle_.ranked_fds.size();
-  if (const JsonValue* l = request.Find("limit"); l != nullptr) {
-    // Negative literals parse as kNumber (the integer kind is unsigned),
-    // so kInteger already implies non-negative.
-    if (l->kind != JsonValue::Kind::kInteger) {
-      return util::Status::InvalidArgument(
-          "\"limit\" must be a non-negative integer");
-    }
-    limit = std::min(limit, static_cast<size_t>(l->integer));
-  }
+  LIMBO_ASSIGN_OR_RETURN(size_t limit,
+                         ParseLimit(request, bundle_.ranked_fds.size()));
   std::string out = "{\"ok\":true,";
   AppendIntField("total_mined", bundle_.num_fds, &out);
   out.push_back(',');
@@ -407,14 +417,8 @@ util::Result<std::string> Engine::HandleFds(const JsonValue& request) const {
 
 util::Result<std::string> Engine::HandleSchemes(
     const JsonValue& request) const {
-  size_t limit = bundle_.schemes.size();
-  if (const JsonValue* l = request.Find("limit"); l != nullptr) {
-    if (l->kind != JsonValue::Kind::kInteger) {
-      return util::Status::InvalidArgument(
-          "\"limit\" must be a non-negative integer");
-    }
-    limit = std::min(limit, static_cast<size_t>(l->integer));
-  }
+  LIMBO_ASSIGN_OR_RETURN(size_t limit,
+                         ParseLimit(request, bundle_.schemes.size()));
   std::string out = "{\"ok\":true,";
   AppendNumberField("epsilon", bundle_.schemes_epsilon, &out);
   out.push_back(',');

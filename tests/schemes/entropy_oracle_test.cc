@@ -178,6 +178,36 @@ TEST(EntropyOracle, BitIdenticalAcrossLaneCounts) {
   }
 }
 
+TEST(EntropyOracle, SubBatchingBoundsLiveMapsAndKeepsResultsExact) {
+  // max_sets_per_pass trades extra streams over the source for a bound
+  // on simultaneously live counting maps; every entropy is folded from
+  // the same exact counts, so the split is invisible in the results.
+  const relation::Relation rel = RandomRelation(200, 5, 3, 9);
+  std::vector<AttributeSet> sets;
+  for (uint64_t bits = 1; bits < 32; ++bits) sets.push_back(AttributeSet(bits));
+  std::vector<double> reference;
+  {
+    relation::RelationRowSource source(rel);
+    EntropyOracleOptions options;
+    options.max_sets_per_pass = 0;  // unlimited: the whole batch, one pass
+    EntropyOracle oracle(source, options);
+    auto hs = oracle.HBatch(sets);
+    ASSERT_TRUE(hs.ok());
+    reference = *hs;
+    EXPECT_EQ(oracle.stats().passes, 1u);
+  }
+  relation::RelationRowSource source(rel);
+  EntropyOracleOptions options;
+  options.max_sets_per_pass = 4;
+  EntropyOracle oracle(source, options);
+  auto hs = oracle.HBatch(sets);
+  ASSERT_TRUE(hs.ok());
+  EXPECT_EQ(oracle.stats().passes, 8u);  // ceil(31 / 4)
+  for (size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_EQ((*hs)[i], reference[i]) << "set " << sets[i].bits();
+  }
+}
+
 TEST(EntropyOracle, MemoAbsorbsRepeatQueries) {
   const relation::Relation rel = limbo::testing::PaperFigure4();
   relation::RelationRowSource source(rel);

@@ -34,6 +34,18 @@ relation::Relation LosslessJoinRelation() {
   return limbo::testing::MakeRelation({"A", "B", "C"}, rows);
 }
 
+/// `m` attributes over two rows: every column constant except the last.
+relation::Relation WideRelation(size_t m) {
+  std::vector<std::string> names;
+  for (size_t a = 0; a < m; ++a) names.push_back("A" + std::to_string(a));
+  std::vector<std::vector<std::string>> rows(2);
+  for (size_t a = 0; a < m; ++a) {
+    rows[0].push_back("v");
+    rows[1].push_back(a + 1 == m ? "w" : "v");
+  }
+  return limbo::testing::MakeRelation(std::move(names), rows);
+}
+
 std::string RenderAll(const MineResult& result,
                       const relation::Schema& schema) {
   std::string out;
@@ -206,6 +218,66 @@ TEST(MineAcyclicSchemes, RejectsSingleAttributeRelations) {
   relation::RelationRowSource source(rel);
   EntropyOracle oracle(source);
   EXPECT_FALSE(MineAcyclicSchemes(oracle).ok());
+}
+
+TEST(EnumerateSeparators, MatchesTheBitmaskSweepOnNarrowSchemas) {
+  for (size_t m = 1; m <= 12; ++m) {
+    for (size_t max_size : std::vector<size_t>{0, 1, 2, 3, m}) {
+      std::vector<AttributeSet> expected;
+      expected.push_back(AttributeSet());
+      if (max_size > 0) {
+        for (uint64_t bits = 1; bits < (uint64_t{1} << m); ++bits) {
+          if (AttributeSet(bits).Count() <= max_size) {
+            expected.push_back(AttributeSet(bits));
+          }
+        }
+      }
+      const std::vector<AttributeSet> got = EnumerateSeparators(m, max_size);
+      ASSERT_EQ(got.size(), expected.size()) << "m=" << m << " k=" << max_size;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].bits(), expected[i].bits())
+            << "m=" << m << " k=" << max_size << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(EnumerateSeparators, HandlesTheWidestSchemaWithoutSweeping) {
+  // At m = 64 the full bitmask is UINT64_MAX, so the old 1..full sweep
+  // never terminated (and 33..63 attributes took ~2^m iterations).
+  const std::vector<AttributeSet> singles = EnumerateSeparators(64, 1);
+  ASSERT_EQ(singles.size(), 65u);
+  EXPECT_TRUE(singles.front().Empty());
+  EXPECT_EQ(singles.back().bits(), AttributeSet::Single(63).bits());
+  // 1 + C(64,1) + C(64,2).
+  EXPECT_EQ(EnumerateSeparators(64, 2).size(), 1u + 64u + 2016u);
+}
+
+TEST(MineAcyclicSchemes, MinesTheWidestSchemaQuickly) {
+  const relation::Relation rel = WideRelation(64);
+  relation::RelationRowSource source(rel);
+  EntropyOracle oracle(source);
+  MineOptions options;
+  options.max_separator = 1;
+  auto result = MineAcyclicSchemes(oracle, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->schemes.empty());
+  EXPECT_NEAR(result->schemes[0].j_measure, 0.0, 1e-12);
+}
+
+TEST(MineAcyclicSchemes, RefusesExplosiveSeparatorSpaces) {
+  // C(40, 6) alone is ~3.8M separators, past kMaxSeparators: refuse up
+  // front instead of entering an astronomically long search.
+  const relation::Relation rel = WideRelation(40);
+  relation::RelationRowSource source(rel);
+  EntropyOracle oracle(source);
+  MineOptions options;
+  options.max_separator = 10;
+  auto result = MineAcyclicSchemes(oracle, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("separator space"),
+            std::string::npos);
+  EXPECT_EQ(oracle.stats().passes, 0u);  // refused before any counting
 }
 
 TEST(AcyclicScheme, RendersWithSchemaNames) {

@@ -199,6 +199,8 @@ TEST(EngineTest, ProtocolErrorsAreCleanResponses) {
       "{\"op\":\"assign\",\"row\":[1,2,3,4]}",
       "{\"op\":\"assign\",\"csv\":\"line1\\nline2,b,c,d\"}",
       "{\"op\":\"fds\",\"limit\":\"ten\"}",
+      "{\"op\":\"fds\",\"limit\":-1}",
+      "{\"op\":\"fds\",\"limit\":2.5}",
       "{\"op\":\"valuegroup\"}",
       "{\"op\":\"valuegroup\",\"attr\":\"NoSuch\",\"value\":\"x\"}",
   };
@@ -270,6 +272,14 @@ TEST(EngineTest, FdsHonorsLimit) {
       ParseResponse(engine.HandleLine("{\"op\":\"fds\",\"limit\":1}"));
   ASSERT_TRUE(ResponseOk(limited));
   EXPECT_EQ(limited.Find("fds")->array.size(), 1u);
+  // A negative limit gets the typed error the message promises — it must
+  // not wrap through the unsigned cast into "no limit at all".
+  JsonValue negative =
+      ParseResponse(engine.HandleLine("{\"op\":\"fds\",\"limit\":-1}"));
+  EXPECT_FALSE(ResponseOk(negative));
+  ASSERT_NE(negative.Find("error"), nullptr);
+  EXPECT_NE(negative.Find("error")->str.find("non-negative"),
+            std::string::npos);
 }
 
 TEST(EngineTest, SchemesQueryServesTheMinedSection) {
@@ -303,6 +313,13 @@ TEST(EngineTest, SchemesQueryServesTheMinedSection) {
   ASSERT_TRUE(ResponseOk(limited));
   ASSERT_EQ(limited.Find("schemes")->array.size(), 1u);
   EXPECT_EQ(limited.Find("count")->integer, total);
+  // Same typed rejection of a negative limit as the fds handler.
+  JsonValue negative =
+      ParseResponse(engine.HandleLine("{\"op\":\"schemes\",\"limit\":-1}"));
+  EXPECT_FALSE(ResponseOk(negative));
+  ASSERT_NE(negative.Find("error"), nullptr);
+  EXPECT_NE(negative.Find("error")->str.find("non-negative"),
+            std::string::npos);
 }
 
 TEST(EngineTest, SchemesQueryOnPlainBundleIsATypedError) {
